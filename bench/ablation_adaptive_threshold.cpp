@@ -1,0 +1,87 @@
+// Ablation: fixed vs self-calibrating detection threshold across rating
+// populations with different spreads.
+//
+// A threshold tuned for the §IV mixture (honest window error ~0.028)
+// misfires on a quieter population (σ 0.15: honest error ~0.013 — the
+// fixed threshold flags *everything*) and goes blind on a noisier one
+// (σ 0.35: attack windows sit above it). The adaptive tracker learns each
+// population's baseline from its own non-suspicious windows and keeps the
+// operating point sane without retuning.
+#include <cstdio>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "detect/adaptive_threshold.hpp"
+#include "detect/ar_detector.hpp"
+#include "core/metrics.hpp"
+#include "sim/illustrative.hpp"
+
+using namespace trustrate;
+
+namespace {
+
+struct Rates {
+  double detection = 0.0;
+  double false_alarm = 0.0;
+};
+
+// Scores per-window decisions against whether the window overlaps the
+// attack, across `runs` seeded scenarios.
+Rates evaluate(double good_sigma, bool adaptive, double fixed_threshold) {
+  sim::IllustrativeConfig cfg;
+  cfg.good_sigma = good_sigma;
+  cfg.bad_sigma = good_sigma / 10.0;
+
+  detect::ArDetectorConfig det_cfg;
+  det_cfg.count_based = true;
+  det_cfg.window_count = 50;
+  det_cfg.step_count = 10;
+  det_cfg.error_threshold = 1.0;  // classify manually below
+  const detect::ArSuspicionDetector det(det_cfg);
+
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t fn = 0;
+  std::size_t tn = 0;
+  Rng root(90210);
+  detect::AdaptiveThresholdTracker tracker{detect::AdaptiveThresholdConfig{}};
+  constexpr int kRuns = 200;
+  for (int run = 0; run < kRuns; ++run) {
+    Rng rng = root.split();
+    const RatingSeries s = sim::generate_illustrative(cfg, rng);
+    const auto res = det.analyze(s, 0.0, cfg.simu_time);
+    for (const auto& w : res.windows) {
+      if (!w.evaluated) continue;
+      const double threshold =
+          adaptive ? tracker.threshold() : fixed_threshold;
+      const bool flagged = w.model_error < threshold;
+      if (adaptive) tracker.observe(w.model_error);
+      const bool is_attack =
+          w.window.end > cfg.attack_start && w.window.start < cfg.attack_end;
+      if (is_attack && flagged) ++tp;
+      if (is_attack && !flagged) ++fn;
+      if (!is_attack && flagged) ++fp;
+      if (!is_attack && !flagged) ++tn;
+    }
+  }
+  return {static_cast<double>(tp) / static_cast<double>(tp + fn),
+          static_cast<double>(fp) / static_cast<double>(fp + tn)};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: fixed vs adaptive threshold across populations ===\n");
+  std::printf("(per-window scoring on the illustrative scenario, 200 runs each;\n"
+              " fixed threshold 0.022 was tuned for sigma 0.20)\n\n");
+  std::printf("good_sigma,mode,detection,false_alarm\n");
+  for (double sigma : {0.15, 0.20, 0.30}) {
+    const Rates fixed = evaluate(sigma, /*adaptive=*/false, 0.022);
+    const Rates adaptive = evaluate(sigma, /*adaptive=*/true, 0.0);
+    std::printf("%.2f,fixed,%.3f,%.3f\n", sigma, fixed.detection,
+                fixed.false_alarm);
+    std::printf("%.2f,adaptive,%.3f,%.3f\n", sigma, adaptive.detection,
+                adaptive.false_alarm);
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation: why Fig. 12 (bias_shift2 = 0.2) is the hard case, and what
+// recovers it.
+//
+// The residual-variance statistic detects collaborative blocks through the
+// variance collapse they cause. At bias 0.2 the attacker-honest mean gap
+// itself contributes share*(1-share)*0.04 of i.i.d. mixture variance that
+// no AR model can predict away, so with attackers spread uniformly over
+// the 10-day window (the paper's literal daily-coin model) the window
+// error stays near the honest baseline and detection degrades.
+//
+// Real recruitment campaigns are bursty: recruits act within a day or two
+// of being contacted. A burst concentrates the collaborative mass, which
+// (a) spikes the arrival rate and (b) deepens the variance collapse. A
+// narrow, volume-gated detector (3-day windows, evaluated only when the
+// window is anomalously dense) then recovers paper-level protection.
+//
+// Three conditions, all at bias 0.2, a1 = 8:
+//   A. spread attack, default detector   (the fig12 configuration)
+//   B. burst attack,  default detector   (burst evades wide windows)
+//   C. burst attack,  volume-gated narrow detector
+#include <cmath>
+#include <cstdio>
+
+#include "core/marketplace_experiment.hpp"
+
+using namespace trustrate;
+
+namespace {
+
+struct Outcome {
+  double pc_detection_m12 = 0.0;
+  double fa_honest_m12 = 0.0;
+  double weighted_dev = 0.0;
+  double simple_dev = 0.0;
+};
+
+Outcome run(bool burst, bool gated_detector) {
+  core::MarketplaceExperimentConfig cfg;
+  cfg.market.a1 = 8.0;
+  cfg.market.a2 = 0.5;
+  cfg.market.bias_shift2 = 0.2;
+  cfg.market.recruit_burst = burst;
+  cfg.system = core::default_marketplace_system_config();
+  if (gated_detector) {
+    cfg.system.ar.window_days = 3.0;
+    cfg.system.ar.step_days = 1.5;
+    cfg.system.ar.min_ratings = 60;       // only anomalously dense windows
+    cfg.system.ar.error_threshold = 0.03; // gate carries the specificity
+  }
+  const auto result = core::run_marketplace_experiment(cfg);
+
+  Outcome out;
+  const auto& last = result.months.back();
+  out.pc_detection_m12 = last.detection_pc;
+  out.fa_honest_m12 = last.false_alarm_reliable;
+  int dishonest = 0;
+  for (const auto& a : result.aggregates) {
+    if (!a.dishonest) continue;
+    ++dishonest;
+    out.weighted_dev += std::fabs(a.weighted - a.quality);
+    out.simple_dev += std::fabs(a.simple_average - a.quality);
+  }
+  out.weighted_dev /= dishonest;
+  out.simple_dev /= dishonest;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: bias 0.2 attacks vs recruitment temporality ===\n");
+  std::printf(
+      "condition,pc_detection_m12,fa_reliable_m12,mean_dev_weighted,mean_dev_simple\n");
+  const Outcome a = run(/*burst=*/false, /*gated=*/false);
+  std::printf("A spread+default,%.3f,%.3f,%.4f,%.4f\n", a.pc_detection_m12,
+              a.fa_honest_m12, a.weighted_dev, a.simple_dev);
+  const Outcome b = run(/*burst=*/true, /*gated=*/false);
+  std::printf("B burst+default,%.3f,%.3f,%.4f,%.4f\n", b.pc_detection_m12,
+              b.fa_honest_m12, b.weighted_dev, b.simple_dev);
+  const Outcome c = run(/*burst=*/true, /*gated=*/true);
+  std::printf("C burst+volume-gated,%.3f,%.3f,%.4f,%.4f\n", c.pc_detection_m12,
+              c.fa_honest_m12, c.weighted_dev, c.simple_dev);
+  return 0;
+}

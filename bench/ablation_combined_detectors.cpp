@@ -1,0 +1,96 @@
+// Ablation: composing detectors (extension beyond the paper).
+//
+// Three temporal detectors see three different attack signatures:
+//   AR error          predictability / variance collapse
+//   rate anomaly      arrival-rate spikes
+//   CUSUM             mean shift
+//
+// This bench scores each alone and the OR-composition per rating on three
+// campaign shapes against the illustrative honest baseline (300 runs):
+//   stealth   bias 0.15, tight block, spread over the attack window
+//   blatant   bias 0.35, spread
+//   burst     bias 0.2, whole campaign inside 2 days
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "detect/ar_detector.hpp"
+#include "detect/cusum_detector.hpp"
+#include "detect/rate_detector.hpp"
+#include "core/metrics.hpp"
+#include "sim/illustrative.hpp"
+
+using namespace trustrate;
+
+namespace {
+
+struct Scores {
+  core::DetectionMetrics ar;
+  core::DetectionMetrics rate;
+  core::DetectionMetrics cusum;
+  core::DetectionMetrics combined;
+};
+
+void run_scenario(const char* label, double bias2, double attack_len,
+                  double recruit2) {
+  sim::IllustrativeConfig cfg;
+  cfg.bias_shift2 = bias2;
+  cfg.enable_type1 = false;
+  cfg.attack_end = cfg.attack_start + attack_len;
+  cfg.recruit_power2 = recruit2;
+
+  detect::ArDetectorConfig ar_cfg;
+  ar_cfg.count_based = true;
+  ar_cfg.window_count = 50;
+  ar_cfg.step_count = 10;
+  ar_cfg.error_threshold = 0.022;
+  const detect::ArSuspicionDetector ar_det(ar_cfg);
+
+  detect::RateDetectorConfig rate_cfg;
+  rate_cfg.window_days = 3.0;
+  rate_cfg.step_days = 1.5;
+  rate_cfg.p_value = 1e-5;
+  const detect::RateAnomalyDetector rate_det(rate_cfg);
+
+  const detect::CusumDetector cusum_det({.k = 0.4, .h = 10.0, .warmup = 40});
+
+  Scores scores;
+  Rng root(31337);
+  constexpr int kRuns = 300;
+  for (int run = 0; run < kRuns; ++run) {
+    Rng rng = root.split();
+    const RatingSeries s = sim::generate_illustrative(cfg, rng);
+    const auto ar_mask = ar_det.analyze(s, 0.0, cfg.simu_time).in_suspicious_window;
+    const auto rate_mask =
+        rate_det.analyze(s, 0.0, cfg.simu_time).in_anomalous_window;
+    const auto cusum_mask = cusum_det.analyze(s).in_alarm;
+    std::vector<bool> any(s.size(), false);
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      any[i] = ar_mask[i] || rate_mask[i] || cusum_mask[i];
+    }
+    scores.ar += core::score_rating_flags(s, ar_mask);
+    scores.rate += core::score_rating_flags(s, rate_mask);
+    scores.cusum += core::score_rating_flags(s, cusum_mask);
+    scores.combined += core::score_rating_flags(s, any);
+  }
+
+  std::printf("%s\n", label);
+  auto row = [](const char* name, const core::DetectionMetrics& m) {
+    std::printf("  %-12s detection %.3f, false alarm %.3f\n", name,
+                m.detection_ratio(), m.false_alarm_ratio());
+  };
+  row("AR", scores.ar);
+  row("rate", scores.rate);
+  row("CUSUM", scores.cusum);
+  row("AR|rate|CUSUM", scores.combined);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: detector composition (300 runs each) ===\n\n");
+  run_scenario("stealth: bias 0.15, 14-day campaign", 0.15, 14.0, 1.0);
+  run_scenario("blatant: bias 0.35, 14-day campaign", 0.35, 14.0, 1.0);
+  run_scenario("burst:   bias 0.20, 2-day campaign at 7x volume", 0.20, 2.0, 7.0);
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Ablation: dispositional-bias compensation (extension beyond the paper).
+//
+// The paper's §II-B notes individual unfair ratings (personality/habit)
+// and relies on them cancelling out. They cancel *in expectation* — but a
+// given product is rated by a finite draw of raters, and the inflater/
+// curmudgeon mix varies product to product, adding variance to every
+// aggregate. RaterProfileStore estimates each rater's dispositional
+// offset from their history and subtracts it before aggregation, removing
+// that mix variance. (A population-wide *common-mode* skew is
+// unobservable without an external anchor: profiles measure deviation
+// from the — equally skewed — consensus. This bench therefore uses a
+// balanced population; the skew limit is printed as a reminder.)
+//
+// Setup: 150 training + 30 evaluation products; 120 raters of whom 30%
+// inflate by +0.15 and 30% deflate by -0.15; ~12 raters per product.
+// Metric: mean |aggregate − quality| on the evaluation products.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "trust/rater_profile.hpp"
+
+using namespace trustrate;
+
+namespace {
+
+struct Population {
+  std::vector<double> bias;  // per rater
+};
+
+Population make_population(Rng& rng, int raters) {
+  Population pop;
+  pop.bias.resize(static_cast<std::size_t>(raters), 0.0);
+  for (auto& b : pop.bias) {
+    const double u = rng.uniform();
+    if (u < 0.30) {
+      b = 0.15;   // grade-inflater
+    } else if (u < 0.60) {
+      b = -0.15;  // curmudgeon
+    }
+  }
+  return pop;
+}
+
+RatingSeries rate_product(Rng& rng, const Population& pop, ProductId id,
+                          double quality) {
+  RatingSeries s;
+  double t = id * 10.0;
+  for (RaterId rater = 0; rater < pop.bias.size(); ++rater) {
+    if (!rng.bernoulli(0.10)) continue;  // ~12 raters per product
+    const double v = quality + pop.bias[rater] + rng.gaussian(0.0, 0.08);
+    s.push_back({t += 0.01, clamp_unit(v), rater, id, RatingLabel::kHonest});
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: dispositional-bias compensation ===\n");
+  std::printf("population: 30%% inflate +0.15, 30%% deflate -0.15 (balanced);\n"
+              "per-product rater mix varies -> aggregate variance\n\n");
+  Rng rng(1977);
+  const Population pop = make_population(rng, 120);
+
+  trust::RaterProfileStore profiles{trust::ProfileClassifierConfig{}};
+  for (ProductId p = 0; p < 150; ++p) {
+    profiles.observe_product(rate_product(rng, pop, p, rng.uniform(0.3, 0.7)));
+  }
+
+  double err_raw = 0.0;
+  double err_debiased = 0.0;
+  int evaluated = 0;
+  for (ProductId p = 100; p < 130; ++p) {
+    const double quality = rng.uniform(0.3, 0.7);
+    const RatingSeries s = rate_product(rng, pop, p, quality);
+    if (s.empty()) continue;
+    ++evaluated;
+    double raw = 0.0;
+    double debiased = 0.0;
+    for (const Rating& r : s) {
+      raw += r.value;
+      debiased += profiles.debias(r.rater, r.value);
+    }
+    raw /= static_cast<double>(s.size());
+    debiased /= static_cast<double>(s.size());
+    err_raw += std::fabs(raw - quality);
+    err_debiased += std::fabs(debiased - quality);
+  }
+  std::printf("mean |aggregate - quality| over %d products:\n", evaluated);
+  std::printf("  plain average:     %.4f\n", err_raw / evaluated);
+  std::printf("  debiased average:  %.4f\n", err_debiased / evaluated);
+
+  // Classification summary.
+  int high = 0;
+  int low = 0;
+  int careless = 0;
+  int normal = 0;
+  for (RaterId id = 0; id < pop.bias.size(); ++id) {
+    switch (profiles.classify(id)) {
+      case trust::RaterBehavior::kBiasedHigh: ++high; break;
+      case trust::RaterBehavior::kBiasedLow: ++low; break;
+      case trust::RaterBehavior::kCareless: ++careless; break;
+      case trust::RaterBehavior::kNormal: ++normal; break;
+      case trust::RaterBehavior::kUnclassified: break;
+    }
+  }
+  std::printf("\nclassified: %d biased-high (truth %d), %d biased-low (truth %d), "
+              "%d careless, %d normal\n",
+              high, static_cast<int>(std::count(pop.bias.begin(), pop.bias.end(), 0.15)),
+              low, static_cast<int>(std::count(pop.bias.begin(), pop.bias.end(), -0.15)),
+              careless, normal);
+  std::printf("note: a net population skew is invisible to profile-based\n"
+              "debiasing (the consensus is skewed too); correcting it needs\n"
+              "an external anchor.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation: detection latency (extension beyond the paper) — how long
+// after a campaign starts does the first suspicious window fire? The
+// operational metric for containment: every undetected day lets more
+// biased ratings into the aggregate.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "detect/ar_detector.hpp"
+#include "sim/illustrative.hpp"
+
+using namespace trustrate;
+
+int main() {
+  sim::IllustrativeConfig cfg;  // attack starts day 30
+  detect::ArDetectorConfig det_cfg;
+  det_cfg.count_based = true;
+  det_cfg.window_count = 50;
+  det_cfg.step_count = 5;  // fine-grained stepping for latency resolution
+  det_cfg.error_threshold = 0.022;
+  const detect::ArSuspicionDetector det(det_cfg);
+
+  std::vector<double> latencies;
+  int missed = 0;
+  constexpr int kRuns = 500;
+  Rng root(60607);
+  for (int run = 0; run < kRuns; ++run) {
+    Rng rng = root.split();
+    const RatingSeries s = sim::generate_illustrative(cfg, rng);
+    double first = -1.0;
+    for (const auto& w : det.analyze(s, 0.0, cfg.simu_time).windows) {
+      if (!w.suspicious) continue;
+      if (w.window.end <= cfg.attack_start) continue;  // pre-attack FA
+      first = w.window.end;  // flagged once the window is complete
+      break;
+    }
+    if (first < 0.0) {
+      ++missed;
+    } else {
+      latencies.push_back(std::max(first - cfg.attack_start, 0.0));
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  auto q = [&](double p) {
+    return latencies[static_cast<std::size_t>(p * (latencies.size() - 1))];
+  };
+  std::printf("=== Ablation: detection latency (%d runs, attack at day %.0f) ===\n",
+              kRuns, cfg.attack_start);
+  std::printf("detected %zu/%d campaigns (%.1f%%)\n", latencies.size(), kRuns,
+              100.0 * latencies.size() / kRuns);
+  std::printf("latency days: p10 %.1f, median %.1f, p90 %.1f, max %.1f\n",
+              q(0.10), q(0.50), q(0.90), latencies.back());
+  std::printf("(the attack runs 14 days; a median latency under half of that\n"
+              " lets Procedure 2 penalize the campaign while it is running)\n");
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Ablation: the Record Maintenance forgetting factor (DESIGN.md calls this
+// lever out explicitly). Without forgetting (lambda = 1) a collaborative
+// rater's accumulated honest evidence eventually outweighs monthly attack
+// hits and trust drifts back above the detection threshold; moderate
+// forgetting pins trust at the recent-behaviour rate.
+#include <cstdio>
+
+#include "core/marketplace_experiment.hpp"
+
+using namespace trustrate;
+
+int main() {
+  std::printf("=== Ablation: forgetting factor (12-month marketplace) ===\n");
+  std::printf("lambda,pc_detection_m6,pc_detection_m12,pc_trust_m12,"
+              "fa_reliable_m12\n");
+  for (double lambda : {1.0, 0.98, 0.95, 0.9, 0.8}) {
+    core::MarketplaceExperimentConfig cfg;
+    cfg.system = core::default_marketplace_system_config();
+    cfg.system.forgetting = lambda;
+    const auto result = core::run_marketplace_experiment(cfg);
+    const auto& m6 = result.months[5];
+    const auto& m12 = result.months[11];
+    std::printf("%.2f,%.3f,%.3f,%.3f,%.3f\n", lambda, m6.detection_pc,
+                m12.detection_pc, m12.mean_trust_pc, m12.false_alarm_reliable);
+  }
+  return 0;
+}

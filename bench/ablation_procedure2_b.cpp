@@ -1,0 +1,27 @@
+// Ablation: Procedure 2's b parameter — the weight of a unit of AR
+// suspicion relative to a hard filter rejection. b trades collaborative-
+// rater detection against honest-bystander false alarms, because every
+// rater active in a suspicious window shares the penalty.
+#include <cstdio>
+
+#include "core/marketplace_experiment.hpp"
+
+using namespace trustrate;
+
+int main() {
+  std::printf("=== Ablation: Procedure-2 suspicion weight b ===\n");
+  std::printf("b,pc_detection_m12,fa_reliable_m6,fa_careless_m6,"
+              "fa_reliable_m12,fa_careless_m12\n");
+  for (double b : {2.0, 5.0, 8.0, 10.0, 14.0, 20.0}) {
+    core::MarketplaceExperimentConfig cfg;
+    cfg.system = core::default_marketplace_system_config();
+    cfg.system.b = b;
+    const auto result = core::run_marketplace_experiment(cfg);
+    const auto& m6 = result.months[5];
+    const auto& m12 = result.months[11];
+    std::printf("%.0f,%.3f,%.3f,%.3f,%.3f,%.3f\n", b, m12.detection_pc,
+                m6.false_alarm_reliable, m6.false_alarm_careless,
+                m12.false_alarm_reliable, m12.false_alarm_careless);
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Fig. 3 reproduction: histograms of the illustrative scenario's ratings
+// with and without collaborative raters. The paper's point: the two
+// histograms are nearly indistinguishable — the value distribution alone
+// cannot reveal a moderate-bias collaborative attack; the temporal view
+// (Fig. 4) can.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "sim/illustrative.hpp"
+#include "stats/histogram.hpp"
+
+using namespace trustrate;
+
+int main() {
+  sim::IllustrativeConfig cfg;
+  Rng rng_honest(2007);
+  Rng rng_attack(2007);
+  const auto honest = sim::generate_illustrative_honest_only(cfg, rng_honest);
+  const auto attacked = sim::generate_illustrative(cfg, rng_attack);
+
+  stats::Histogram h_honest(0.0, 1.0, 11);
+  stats::Histogram h_attack(0.0, 1.0, 11);
+  for (const Rating& r : honest) h_honest.add(r.value);
+  for (const Rating& r : attacked) h_attack.add(r.value);
+
+  std::printf("=== Fig. 3: rating histograms (11 levels) ===\n");
+  std::printf("rating_level,count_without_CR,count_with_CR\n");
+  for (int i = 0; i < h_honest.bins(); ++i) {
+    std::printf("%.2f,%zu,%zu\n", h_honest.bin_center(i), h_honest.count(i),
+                h_attack.count(i));
+  }
+  std::printf("\n# entropies: without CR %.3f nats, with CR %.3f nats\n",
+              h_honest.entropy(), h_attack.entropy());
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Fig. 6 reproduction: mean trust of reliable, careless, and potential-
+// collaborative (PC) raters over 12 months of the §IV marketplace
+// (a1 = 6, a2 = 0.5). Paper shape: PC trust sinks quickly toward ~0.4;
+// careless and reliable trust climb, careless slightly below reliable.
+#include <cstdio>
+
+#include "core/marketplace_experiment.hpp"
+
+using namespace trustrate;
+
+int main() {
+  core::MarketplaceExperimentConfig cfg;
+  cfg.market.a1 = 6.0;
+  cfg.market.a2 = 0.5;
+  cfg.system = core::default_marketplace_system_config();
+
+  const auto result = core::run_marketplace_experiment(cfg);
+
+  std::printf("=== Fig. 6: mean rater trust per month (a1=6, a2=0.5) ===\n");
+  std::printf("month,reliable,careless,pc\n");
+  for (const auto& m : result.months) {
+    std::printf("%d,%.4f,%.4f,%.4f\n", m.month, m.mean_trust_reliable,
+                m.mean_trust_careless, m.mean_trust_pc);
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Fig. 9 reproduction: per-month unfair-*rating* detection ratio and fair-
+// rating false-alarm ratio of the proposed scheme (a1 = 6, a2 = 0.5).
+// Paper shape: detection climbs toward ~0.87 while false alarm decays to
+// almost zero. The paper also notes that none of the baseline schemes
+// detect strategy-2 collaborative ratings at all; the companion ablation
+// bench (ablation_baseline_detectors) quantifies that claim.
+#include <cstdio>
+
+#include "core/marketplace_experiment.hpp"
+
+using namespace trustrate;
+
+int main() {
+  core::MarketplaceExperimentConfig cfg;
+  cfg.market.a1 = 6.0;
+  cfg.market.a2 = 0.5;
+  cfg.system = core::default_marketplace_system_config();
+  const auto result = core::run_marketplace_experiment(cfg);
+
+  std::printf("=== Fig. 9: unfair-rating detection per month (a1=6, a2=0.5) ===\n");
+  std::printf("month,detection_ratio,false_alarm_ratio\n");
+  for (const auto& m : result.months) {
+    std::printf("%d,%.3f,%.3f\n", m.month, m.rating_metrics.detection_ratio(),
+                m.rating_metrics.false_alarm_ratio());
+  }
+  return 0;
+}

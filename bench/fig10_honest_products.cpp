@@ -1,0 +1,40 @@
+// Fig. 10 reproduction: aggregated ratings of the 48 honest products
+// (a1 = 8, a2 = 0.5, bias_shift2 = 0.15). All three schemes — simple
+// average, beta-function aggregation, and the proposed modified weighted
+// average — should track the true product quality closely, since honest
+// products receive no collaborative ratings.
+#include <cmath>
+#include <cstdio>
+
+#include "core/marketplace_experiment.hpp"
+
+using namespace trustrate;
+
+int main() {
+  core::MarketplaceExperimentConfig cfg;
+  cfg.market.a1 = 8.0;
+  cfg.market.a2 = 0.5;
+  cfg.market.bias_shift2 = 0.15;
+  cfg.system = core::default_marketplace_system_config();
+  const auto result = core::run_marketplace_experiment(cfg);
+
+  std::printf("=== Fig. 10: aggregated rating, honest products (bias 0.15) ===\n");
+  std::printf("product_id,quality,simple_average,beta_function,modified_weighted\n");
+  double dev_simple = 0.0;
+  double dev_beta = 0.0;
+  double dev_weighted = 0.0;
+  int count = 0;
+  for (const auto& a : result.aggregates) {
+    if (a.dishonest) continue;
+    ++count;
+    std::printf("%u,%.3f,%.4f,%.4f,%.4f\n", a.id, a.quality, a.simple_average,
+                a.beta_function, a.weighted);
+    dev_simple += std::fabs(a.simple_average - a.quality);
+    dev_beta += std::fabs(a.beta_function - a.quality);
+    dev_weighted += std::fabs(a.weighted - a.quality);
+  }
+  std::printf("\nmean |aggregate - quality| over %d honest products:\n", count);
+  std::printf("simple %.4f, beta %.4f, weighted %.4f\n", dev_simple / count,
+              dev_beta / count, dev_weighted / count);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fig. 12 reproduction: aggregated ratings of the 12 dishonest products
+// with the stronger bias_shift2 = 0.2 (a1 = 8, a2 = 0.5). Paper numbers:
+// the proposed scheme's worst deviation from true quality is ~0.02; the
+// simple/beta schemes are off by ~0.1 — an order of magnitude more.
+#include <cmath>
+#include <cstdio>
+
+#include "core/marketplace_experiment.hpp"
+
+using namespace trustrate;
+
+int main() {
+  core::MarketplaceExperimentConfig cfg;
+  cfg.market.a1 = 8.0;
+  cfg.market.a2 = 0.5;
+  cfg.market.bias_shift2 = 0.2;
+  cfg.system = core::default_marketplace_system_config();
+  const auto result = core::run_marketplace_experiment(cfg);
+
+  std::printf(
+      "=== Fig. 12: aggregated rating, dishonest products (bias 0.20) ===\n");
+  std::printf("product_id,quality,simple_average,beta_function,modified_weighted\n");
+  double dev_simple = 0.0;
+  double dev_beta = 0.0;
+  double dev_weighted = 0.0;
+  double worst_weighted = 0.0;
+  int count = 0;
+  for (const auto& a : result.aggregates) {
+    if (!a.dishonest) continue;
+    ++count;
+    std::printf("%u,%.3f,%.4f,%.4f,%.4f\n", a.id, a.quality, a.simple_average,
+                a.beta_function, a.weighted);
+    dev_simple += std::fabs(a.simple_average - a.quality);
+    dev_beta += std::fabs(a.beta_function - a.quality);
+    dev_weighted += std::fabs(a.weighted - a.quality);
+    worst_weighted = std::max(worst_weighted, std::fabs(a.weighted - a.quality));
+  }
+  std::printf("\nmean |aggregate - quality| over %d dishonest products:\n", count);
+  std::printf("simple %.4f, beta %.4f, weighted %.4f (worst weighted %.4f)\n",
+              dev_simple / count, dev_beta / count, dev_weighted / count,
+              worst_weighted);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Micro-benchmarks: cost of the AR estimators vs window length and model
+// order, plus the end-to-end detector and filter on realistic windows.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "detect/ar_detector.hpp"
+#include "detect/beta_filter.hpp"
+#include "signal/ar.hpp"
+#include "sim/illustrative.hpp"
+
+using namespace trustrate;
+
+namespace {
+
+std::vector<double> noise(std::size_t n) {
+  Rng rng(1);
+  std::vector<double> xs(n);
+  for (double& x : xs) x = rng.gaussian(0.5, 0.2);
+  return xs;
+}
+
+void BM_FitCovariance(benchmark::State& state) {
+  const auto xs = noise(static_cast<std::size_t>(state.range(0)));
+  const int order = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signal::fit_ar_covariance(xs, order));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FitCovariance)
+    ->Args({50, 4})
+    ->Args({200, 4})
+    ->Args({1000, 4})
+    ->Args({200, 2})
+    ->Args({200, 8})
+    ->Args({200, 16});
+
+void BM_FitAutocorrelation(benchmark::State& state) {
+  const auto xs = noise(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signal::fit_ar_autocorrelation(xs, 4));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FitAutocorrelation)->Arg(50)->Arg(200)->Arg(1000);
+
+void BM_FitBurg(benchmark::State& state) {
+  const auto xs = noise(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signal::fit_ar_burg(xs, 4));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FitBurg)->Arg(50)->Arg(200)->Arg(1000);
+
+void BM_DetectorAnalyze(benchmark::State& state) {
+  sim::IllustrativeConfig cfg;
+  cfg.simu_time = static_cast<double>(state.range(0));
+  Rng rng(2);
+  const RatingSeries series = sim::generate_illustrative(cfg, rng);
+  detect::ArDetectorConfig det_cfg;
+  det_cfg.window_days = 10.0;
+  det_cfg.step_days = 5.0;
+  const detect::ArSuspicionDetector det(det_cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.analyze(series, 0.0, cfg.simu_time));
+  }
+  state.SetItemsProcessed(state.iterations() * series.size());
+}
+BENCHMARK(BM_DetectorAnalyze)->Arg(60)->Arg(360)->Arg(1440);
+
+void BM_BetaFilter(benchmark::State& state) {
+  sim::IllustrativeConfig cfg;
+  cfg.simu_time = static_cast<double>(state.range(0));
+  Rng rng(3);
+  const RatingSeries series = sim::generate_illustrative(cfg, rng);
+  const detect::BetaQuantileFilter filter({.q = 0.05});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.filter(series));
+  }
+  state.SetItemsProcessed(state.iterations() * series.size());
+}
+BENCHMARK(BM_BetaFilter)->Arg(60)->Arg(360);
+
+}  // namespace

@@ -1,0 +1,53 @@
+// Micro-benchmarks: end-to-end system throughput — one epoch of the
+// trust-enhanced pipeline, and the marketplace simulator itself.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/marketplace_experiment.hpp"
+#include "core/system.hpp"
+#include "sim/marketplace.hpp"
+
+using namespace trustrate;
+
+namespace {
+
+void BM_ProcessEpoch(benchmark::State& state) {
+  sim::MarketplaceConfig mc;
+  mc.months = 1;
+  Rng rng(4);
+  const auto market = simulate_marketplace(mc, rng);
+  std::vector<core::ProductObservation> obs;
+  std::size_t ratings = 0;
+  for (const auto* p : market.products_in_month(0)) {
+    obs.push_back({p->id, p->t_start, p->t_end, p->ratings});
+    ratings += p->ratings.size();
+  }
+  for (auto _ : state) {
+    core::TrustEnhancedRatingSystem system(
+        core::default_marketplace_system_config());
+    benchmark::DoNotOptimize(system.process_epoch(obs));
+  }
+  state.SetItemsProcessed(state.iterations() * ratings);
+}
+BENCHMARK(BM_ProcessEpoch);
+
+void BM_SimulateMarketplace(benchmark::State& state) {
+  sim::MarketplaceConfig mc;
+  mc.months = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(5);
+    benchmark::DoNotOptimize(simulate_marketplace(mc, rng));
+  }
+}
+BENCHMARK(BM_SimulateMarketplace)->Arg(1)->Arg(12);
+
+void BM_FullExperiment(benchmark::State& state) {
+  for (auto _ : state) {
+    core::MarketplaceExperimentConfig cfg;
+    cfg.system = core::default_marketplace_system_config();
+    benchmark::DoNotOptimize(core::run_marketplace_experiment(cfg));
+  }
+}
+BENCHMARK(BM_FullExperiment)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,57 @@
+// Attack-detection walkthrough on the paper's illustrative scenario
+// (§III-A.2): generates honest + collaborative ratings, shows why the
+// value histogram cannot separate them, and how the AR model error can.
+//
+//   build/examples/attack_detection_demo
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "detect/ar_detector.hpp"
+#include "detect/beta_filter.hpp"
+#include "sim/illustrative.hpp"
+#include "stats/histogram.hpp"
+
+using namespace trustrate;
+
+int main() {
+  sim::IllustrativeConfig cfg;  // 60 days, quality 0.7->0.8, attack days 30-44
+  Rng rng(7);
+  const RatingSeries ratings = sim::generate_illustrative(cfg, rng);
+  std::printf("generated %zu ratings (%zu collaborative) over %.0f days\n",
+              ratings.size(), count_unfair(ratings), cfg.simu_time);
+
+  // The histogram view: attack barely visible.
+  stats::Histogram hist(0.0, 1.0, 11);
+  for (const Rating& r : ratings) hist.add(r.value);
+  std::printf("\nvalue histogram (the static view):\n");
+  for (int i = 0; i < hist.bins(); ++i) {
+    std::printf("  %.1f | ", hist.bin_center(i));
+    const int bars = static_cast<int>(hist.frequency(i) * 120);
+    for (int b = 0; b < bars; ++b) std::printf("#");
+    std::printf("\n");
+  }
+  std::printf("-> the collaborative mass hides inside the honest bulk.\n");
+
+  // The temporal view: AR model error per window.
+  detect::ArDetectorConfig det_cfg;
+  det_cfg.count_based = true;
+  det_cfg.window_count = 50;
+  det_cfg.step_count = 10;
+  det_cfg.error_threshold = 0.022;
+  const detect::ArSuspicionDetector detector(det_cfg);
+  const auto result = detector.analyze(ratings, 0.0, cfg.simu_time);
+
+  std::printf("\nAR model error per 50-rating window (threshold %.3f):\n",
+              det_cfg.error_threshold);
+  for (const auto& w : result.windows) {
+    if (!w.evaluated) continue;
+    std::printf("  day %5.1f | err %.4f %s\n", w.window.center(), w.model_error,
+                w.suspicious ? "<-- suspicious" : "");
+  }
+
+  std::printf("\nraters with accumulated suspicion: %zu\n",
+              result.suspicion.size());
+  std::printf("true attack interval: days %.0f-%.0f\n", cfg.attack_start,
+              cfg.attack_end);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Quickstart: detect a collaborative rating attack on one product and
+// compute a trust-weighted aggregate — the library's core loop in ~60
+// lines.
+//
+//   build/examples/quickstart
+#include <cstdio>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "core/system.hpp"
+
+using namespace trustrate;
+
+int main() {
+  Rng rng(1);
+
+  // 1. A month of ratings for one product: 250 honest raters around the
+  //    true quality 0.5, plus 60 colluders pushing 0.65 during days 10-20.
+  core::ProductObservation product;
+  product.product = 1;
+  product.t_start = 0.0;
+  product.t_end = 30.0;
+  for (double t = rng.exponential(8.0); t < 30.0; t += rng.exponential(8.0)) {
+    product.ratings.push_back(
+        {t, quantize_unit(clamp_unit(rng.gaussian(0.5, 0.25)), 10, false),
+         static_cast<RaterId>(rng.uniform_int(0, 249)), 1,
+         RatingLabel::kHonest});
+  }
+  RaterId shill = 1000;
+  for (double t = 10.0 + rng.exponential(14.0); t < 20.0;
+       t += rng.exponential(14.0)) {
+    product.ratings.push_back(
+        {t, quantize_unit(clamp_unit(rng.gaussian(0.65, 0.02)), 10, false),
+         shill++, 1, RatingLabel::kCollaborative2});
+  }
+  sort_by_time(product.ratings);
+
+  // 2. Run the trust-enhanced rating system (Whitby beta filter + AR
+  //    suspicion detector + Procedure-2 beta trust).
+  core::SystemConfig config;
+  config.filter.q = 0.02;
+  config.ar.window_days = 8.0;
+  config.ar.step_days = 2.0;
+  config.ar.error_threshold = 0.024;
+  config.b = 10.0;
+  core::TrustEnhancedRatingSystem system(config);
+
+  const core::EpochReport report =
+      system.process_epoch(std::vector<core::ProductObservation>{product});
+
+  // 3. Inspect what the detector saw.
+  const auto& pr = report.products[0];
+  std::printf("ratings: %zu (%zu filtered out)\n", product.ratings.size(),
+              pr.filter_outcome.removed.size());
+  std::printf("suspicious windows: %zu\n", pr.suspicion.suspicious_count());
+  for (const auto& w : pr.suspicion.windows) {
+    if (w.suspicious) {
+      std::printf("  days [%.0f, %.0f): model error %.4f, level %.2f\n",
+                  w.window.start, w.window.end, w.model_error, w.level);
+    }
+  }
+  std::printf("collaborative ratings inside flagged windows: %.0f%%\n",
+              100.0 * report.rating_metrics.detection_ratio());
+  std::printf("(honest bystanders in those windows share the suspicion at\n"
+              " first; repeated epochs separate them — see the marketplace\n"
+              " example)\n");
+  std::printf("raters now below the malicious threshold: %zu\n",
+              system.malicious().size());
+
+  // 4. Aggregate with and without trust weighting.
+  std::printf("\naggregated rating (true quality 0.50):\n");
+  std::printf("  simple average:            %.3f  <- boosted by the attack\n",
+              system.aggregate_with(product.ratings,
+                                    agg::AggregatorKind::kSimpleAverage));
+  std::printf("  modified weighted average: %.3f  <- trust-protected\n",
+              system.aggregate(product.ratings));
+  return 0;
+}

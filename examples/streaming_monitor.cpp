@@ -1,0 +1,104 @@
+// Live-stream monitoring: ingest a time-ordered rating stream one rating
+// at a time through StreamingRatingSystem, with a RateAnomalyDetector
+// running alongside as an early-warning channel — the deployment shape of
+// the paper's system.
+//
+//   build/examples/streaming_monitor
+#include <cstdio>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "core/streaming.hpp"
+#include "detect/rate_detector.hpp"
+
+using namespace trustrate;
+
+int main() {
+  // Four months of a single product's stream; months 2 and 4 carry
+  // collaborative campaigns from the same shill block.
+  Rng rng(17);
+  RatingSeries stream_data;
+  for (int month = 0; month < 4; ++month) {
+    const double t0 = month * 30.0;
+    for (double t = t0 + rng.exponential(8.0); t < t0 + 30.0;
+         t += rng.exponential(8.0)) {
+      stream_data.push_back(
+          {t, quantize_unit(clamp_unit(rng.gaussian(0.55, 0.25)), 10, false),
+           static_cast<RaterId>(rng.uniform_int(0, 300)), 1,
+           RatingLabel::kHonest});
+    }
+    if (month % 2 == 1) {  // campaign months
+      RaterId shill = 9000;
+      for (double t = t0 + 8.0 + rng.exponential(18.0); t < t0 + 18.0;
+           t += rng.exponential(18.0)) {
+        stream_data.push_back(
+            {t, quantize_unit(clamp_unit(rng.gaussian(0.72, 0.02)), 10, false),
+             shill++, 1, RatingLabel::kCollaborative2});
+      }
+    }
+  }
+  sort_by_time(stream_data);
+
+  core::SystemConfig config;
+  config.filter.q = 0.02;
+  config.ar.window_days = 8.0;
+  config.ar.step_days = 2.0;
+  config.ar.error_threshold = 0.024;
+  config.b = 10.0;
+  core::StreamingRatingSystem stream(config, /*epoch_days=*/30.0);
+
+  std::printf("streaming %zu ratings over 120 days (campaigns in months 2 & 4)\n\n",
+              stream_data.size());
+  std::size_t last_epoch = 0;
+  for (const Rating& r : stream_data) {
+    stream.submit(r);
+    if (stream.epochs_closed() != last_epoch) {
+      last_epoch = stream.epochs_closed();
+      const auto agg = stream.aggregate(1);
+      std::printf("epoch %zu closed: %3zu raters below trust threshold, "
+                  "aggregate %.3f (true quality 0.55)\n",
+                  last_epoch, stream.malicious().size(),
+                  agg.value_or(-1.0));
+    }
+  }
+  stream.flush();
+  const auto final_agg = stream.aggregate(1);
+  std::printf("final:          %3zu raters below trust threshold, "
+              "aggregate %.3f\n",
+              stream.malicious().size(), final_agg.value_or(-1.0));
+
+  // Who ended up distrusted? With a single product and ~4 ratings per
+  // honest rater, campaign-window bystanders cannot rebuild trust the way
+  // they do in the multi-product marketplace (fig07_fig08) — but the
+  // shills sit at the very bottom and the aggregate stays on target.
+  double shill_trust = 0.0;
+  int shills = 0;
+  double honest_trust = 0.0;
+  int honest = 0;
+  for (const auto& [id, rec] : stream.system().trust_store().records()) {
+    if (id >= 9000) {
+      shill_trust += rec.trust();
+      ++shills;
+    } else {
+      honest_trust += rec.trust();
+      ++honest;
+    }
+  }
+  std::printf("mean trust: shills %.3f (%d), honest raters %.3f (%d)\n\n",
+              shill_trust / shills, shills, honest_trust / honest, honest);
+
+  // Early-warning channel: arrival-rate anomalies, no trust needed.
+  detect::RateDetectorConfig rate_cfg;
+  rate_cfg.window_days = 3.0;
+  rate_cfg.step_days = 1.5;
+  const detect::RateAnomalyDetector rate_det(rate_cfg);
+  const auto anomalies = rate_det.analyze(stream_data, 0.0, 120.0);
+  std::printf("arrival-rate anomalies (baseline %.1f ratings/day):\n",
+              anomalies.baseline_rate);
+  for (const auto& w : anomalies.windows) {
+    if (!w.anomalous) continue;
+    std::printf("  days [%.1f, %.1f): %zu ratings (expected %.1f)\n",
+                w.window.start, w.window.end, w.last - w.first, w.expected);
+  }
+  return 0;
+}

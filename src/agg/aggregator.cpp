@@ -1,0 +1,82 @@
+#include "agg/aggregator.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "trust/opinion.hpp"
+
+namespace trustrate::agg {
+
+double SimpleAverage::aggregate(std::span<const TrustedRating> ratings) const {
+  TRUSTRATE_EXPECTS(!ratings.empty(), "cannot aggregate zero ratings");
+  double sum = 0.0;
+  for (const TrustedRating& r : ratings) sum += r.value;
+  return sum / static_cast<double>(ratings.size());
+}
+
+double BetaAggregation::aggregate(std::span<const TrustedRating> ratings) const {
+  TRUSTRATE_EXPECTS(!ratings.empty(), "cannot aggregate zero ratings");
+  double s = 0.0;
+  double f = 0.0;
+  for (const TrustedRating& r : ratings) {
+    s += r.value;
+    f += 1.0 - r.value;
+  }
+  return (s + 1.0) / (s + f + 2.0);
+}
+
+double ModifiedWeightedAverage::aggregate(
+    std::span<const TrustedRating> ratings) const {
+  TRUSTRATE_EXPECTS(!ratings.empty(), "cannot aggregate zero ratings");
+  double weight_sum = 0.0;
+  double acc = 0.0;
+  for (const TrustedRating& r : ratings) {
+    const double w = std::max(r.trust - 0.5, 0.0);
+    weight_sum += w;
+    acc += w * r.value;
+  }
+  if (weight_sum <= 0.0) {
+    // No rater above neutral trust: no trust signal, fall back to the mean.
+    return SimpleAverage{}.aggregate(ratings);
+  }
+  return acc / weight_sum;
+}
+
+OpinionAggregation::OpinionAggregation(double admission_threshold)
+    : admission_threshold_(admission_threshold) {
+  TRUSTRATE_EXPECTS(admission_threshold > 0.0 && admission_threshold < 1.0,
+                    "admission threshold must be in (0, 1)");
+}
+
+double OpinionAggregation::aggregate(std::span<const TrustedRating> ratings) const {
+  TRUSTRATE_EXPECTS(!ratings.empty(), "cannot aggregate zero ratings");
+  double sum = 0.0;
+  std::size_t admitted = 0;
+  for (const TrustedRating& r : ratings) {
+    if (r.trust <= admission_threshold_) continue;
+    sum += r.value;
+    ++admitted;
+  }
+  if (admitted == 0) {
+    // Nobody passes the admission decision: no basis to discriminate.
+    return SimpleAverage{}.aggregate(ratings);
+  }
+  return sum / static_cast<double>(admitted);
+}
+
+std::unique_ptr<Aggregator> make_aggregator(AggregatorKind kind) {
+  switch (kind) {
+    case AggregatorKind::kSimpleAverage:
+      return std::make_unique<SimpleAverage>();
+    case AggregatorKind::kBetaFunction:
+      return std::make_unique<BetaAggregation>();
+    case AggregatorKind::kModifiedWeightedAverage:
+      return std::make_unique<ModifiedWeightedAverage>();
+    case AggregatorKind::kOpinionTrustModel:
+      return std::make_unique<OpinionAggregation>();
+  }
+  throw PreconditionError("unknown aggregator kind");
+}
+
+}  // namespace trustrate::agg

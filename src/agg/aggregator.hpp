@@ -1,0 +1,90 @@
+// Rating aggregation interface and the four schemes compared in the
+// paper's §III-B.2.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace trustrate::agg {
+
+/// One rater's contribution to an aggregate: the rating value and the
+/// system's trust in the rater. The paper assumes one rating per rater at
+/// aggregation time; callers with multiple ratings per rater pre-average.
+struct TrustedRating {
+  double value = 0.0;  ///< rating in [0, 1]
+  double trust = 0.5;  ///< trust in the rater, in (0, 1)
+};
+
+/// Abstract aggregation scheme: TrustedRatings -> aggregated rating [0, 1].
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+
+  /// Aggregates the given ratings. Requires a non-empty span.
+  virtual double aggregate(std::span<const TrustedRating> ratings) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Method 1: plain arithmetic mean, ignoring trust.
+class SimpleAverage final : public Aggregator {
+ public:
+  double aggregate(std::span<const TrustedRating> ratings) const override;
+  std::string name() const override { return "simple-average"; }
+};
+
+/// Method 2: beta-function aggregation (Jøsang & Ismail 2002, ref. [30]):
+/// Rag = (S' + 1) / (S' + F' + 2) with S' = Σ r_i and F' = Σ (1 − r_i).
+class BetaAggregation final : public Aggregator {
+ public:
+  double aggregate(std::span<const TrustedRating> ratings) const override;
+  std::string name() const override { return "beta-function"; }
+};
+
+/// Method 3 — the paper's choice: weighted average with weight
+/// max(T_i − 0.5, 0). Raters at or below neutral trust are excluded; the
+/// weight rewards trust *above* neutrality rather than absolute trust.
+/// When every weight is zero (e.g. all raters still at the 0.5 prior) the
+/// scheme degrades to the simple average — there is no trust signal yet.
+class ModifiedWeightedAverage final : public Aggregator {
+ public:
+  double aggregate(std::span<const TrustedRating> ratings) const override;
+  std::string name() const override { return "modified-weighted-average"; }
+};
+
+/// Method 4: trust-model aggregation in the style of Sun et al.
+/// (INFOCOM'06, ref. [8]); see DESIGN.md §5 for the substitution note.
+/// That framework makes *binary* trust decisions (secure-routing style):
+/// an agent with trust above the neutral point is admitted, and admitted
+/// agents participate equally — trust magnitude carries no further weight.
+/// Moderately-distrusted collaborative raters (trust ~0.6) are therefore
+/// admitted at full weight, which is exactly why the paper measured this
+/// scheme as the worst of the four for rating aggregation (Rag 0.5985,
+/// essentially the unweighted mean).
+class OpinionAggregation final : public Aggregator {
+ public:
+  /// `admission_threshold` is the trust level above which a rater's
+  /// opinion is accepted.
+  explicit OpinionAggregation(double admission_threshold = 0.5);
+
+  double aggregate(std::span<const TrustedRating> ratings) const override;
+  std::string name() const override { return "opinion-trust-model"; }
+
+ private:
+  double admission_threshold_;
+};
+
+/// Known aggregation schemes, for configuration by name.
+enum class AggregatorKind {
+  kSimpleAverage,
+  kBetaFunction,
+  kModifiedWeightedAverage,
+  kOpinionTrustModel,
+};
+
+/// Factory for the four schemes.
+std::unique_ptr<Aggregator> make_aggregator(AggregatorKind kind);
+
+}  // namespace trustrate::agg

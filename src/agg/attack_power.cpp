@@ -1,0 +1,33 @@
+#include "agg/attack_power.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace trustrate::agg {
+
+double averaged_rating(double quality, long long honest, double attacker_rating,
+                       long long attackers) {
+  TRUSTRATE_EXPECTS(honest >= 0 && attackers >= 0, "counts must be non-negative");
+  TRUSTRATE_EXPECTS(honest + attackers > 0, "need at least one rating");
+  return (quality * static_cast<double>(honest) +
+          attacker_rating * static_cast<double>(attackers)) /
+         static_cast<double>(honest + attackers);
+}
+
+long long min_attackers_to_boost(double quality, long long honest,
+                                 double attacker_rating, double target) {
+  TRUSTRATE_EXPECTS(honest >= 0, "honest count must be non-negative");
+  TRUSTRATE_EXPECTS(attacker_rating > target,
+                    "attackers must rate above the target to boost");
+  TRUSTRATE_EXPECTS(target > quality, "target must exceed the true quality");
+  const double bound =
+      static_cast<double>(honest) * (target - quality) / (attacker_rating - target);
+  // Strict inequality: the next integer strictly above the bound.
+  const double floor_b = std::floor(bound);
+  long long m = static_cast<long long>(floor_b) + 1;
+  if (m < 1) m = 1;
+  return m;
+}
+
+}  // namespace trustrate::agg

@@ -1,0 +1,25 @@
+// Analytic attack-power model — the paper's equation (1).
+//
+// With N honest raters at true quality q and M collaborative raters all
+// rating r, simple averaging yields (qN + rM) / (N + M). The attackers
+// reach a target aggregate g when M > N (g − q) / (r − g); the paper's
+// worked example (q = 3, g = 3.5 on a 5-level scale) gives M > N/3 for
+// maximal bias (r = 5) and M > N for moderate bias (r = 4).
+#pragma once
+
+namespace trustrate::agg {
+
+/// Aggregate rating under simple averaging with N honest ratings at value
+/// `quality` and M collaborative ratings at value `attacker_rating`.
+/// Requires N + M > 0.
+double averaged_rating(double quality, long long honest, double attacker_rating,
+                       long long attackers);
+
+/// Smallest integer M such that the simple average strictly exceeds
+/// `target`. Requires attacker_rating > target > quality and honest >= 0.
+/// Returns the paper's bound M > N (g − q)/(r − g), rounded up to the next
+/// integer that strictly satisfies it.
+long long min_attackers_to_boost(double quality, long long honest,
+                                 double attacker_rating, double target);
+
+}  // namespace trustrate::agg

@@ -1,0 +1,65 @@
+#include "common/csv.hpp"
+
+#include <cstdlib>
+#include <istream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace trustrate {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  if (line.empty()) return fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return fields;
+}
+
+std::string join_csv(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ',';
+    out += fields[i];
+  }
+  return out;
+}
+
+double parse_double_field(const std::string& field, const std::string& context) {
+  char* end = nullptr;
+  const double value = std::strtod(field.c_str(), &end);
+  if (end == field.c_str() || *end != '\0') {
+    throw DataError("malformed numeric field '" + field + "' in " + context);
+  }
+  return value;
+}
+
+long long parse_int_field(const std::string& field, const std::string& context) {
+  char* end = nullptr;
+  const long long value = std::strtoll(field.c_str(), &end, 10);
+  if (end == field.c_str() || *end != '\0' || value < 0) {
+    throw DataError("malformed integer field '" + field + "' in " + context);
+  }
+  return value;
+}
+
+std::vector<std::vector<std::string>> read_csv(std::istream& in) {
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    rows.push_back(split_csv_line(line));
+  }
+  return rows;
+}
+
+}  // namespace trustrate

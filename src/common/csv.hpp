@@ -1,0 +1,28 @@
+// Minimal CSV helpers for trace I/O and bench output.
+//
+// The format is deliberately simple: comma-separated fields, no quoting, no
+// embedded commas. That is all the rating traces need.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace trustrate {
+
+/// Splits one CSV line into fields. Empty line -> empty vector.
+std::vector<std::string> split_csv_line(const std::string& line);
+
+/// Joins fields with commas.
+std::string join_csv(const std::vector<std::string>& fields);
+
+/// Parses a double field; throws DataError with context on failure.
+double parse_double_field(const std::string& field, const std::string& context);
+
+/// Parses a non-negative integer field; throws DataError on failure.
+long long parse_int_field(const std::string& field, const std::string& context);
+
+/// Reads all non-empty lines of a stream as CSV rows.
+std::vector<std::vector<std::string>> read_csv(std::istream& in);
+
+}  // namespace trustrate

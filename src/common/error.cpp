@@ -1,0 +1,11 @@
+#include "common/error.hpp"
+
+namespace trustrate::detail {
+
+void fail_precondition(const char* expr, const char* file, int line,
+                       const std::string& msg) {
+  throw PreconditionError(std::string(file) + ":" + std::to_string(line) +
+                          ": precondition `" + expr + "` failed: " + msg);
+}
+
+}  // namespace trustrate::detail

@@ -1,0 +1,45 @@
+// Error handling for trustrate.
+//
+// Policy (see DESIGN.md §6): violated preconditions throw; expected numeric
+// degeneracies are reported in-band by the functions that can hit them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace trustrate {
+
+/// Base class for all library-thrown errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when external data (a trace file, a CSV row) is malformed.
+class DataError : public Error {
+ public:
+  explicit DataError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void fail_precondition(const char* expr, const char* file, int line,
+                                    const std::string& msg);
+}  // namespace detail
+
+}  // namespace trustrate
+
+/// Precondition check: throws trustrate::PreconditionError when `expr` is
+/// false. Always on (the checked conditions are cheap interface contracts,
+/// not inner-loop asserts).
+#define TRUSTRATE_EXPECTS(expr, msg)                                          \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::trustrate::detail::fail_precondition(#expr, __FILE__, __LINE__, msg); \
+    }                                                                         \
+  } while (false)

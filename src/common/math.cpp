@@ -1,0 +1,67 @@
+#include "common/math.hpp"
+
+#include "common/error.hpp"
+
+namespace trustrate {
+
+double quantize_unit(double x, int levels, bool include_zero) {
+  TRUSTRATE_EXPECTS(levels >= 2, "quantize_unit needs at least 2 levels");
+  const double clamped = clamp_unit(x);
+  if (include_zero) {
+    // Grid {k/(L-1)}: snap to the nearest grid point.
+    const double step = 1.0 / (levels - 1);
+    return std::round(clamped / step) * step;
+  }
+  // Grid {k/L, k=1..L}: snap, then keep away from 0.
+  const double step = 1.0 / levels;
+  double snapped = std::round(clamped / step) * step;
+  if (snapped < step) snapped = step;
+  if (snapped > 1.0) snapped = 1.0;
+  return snapped;
+}
+
+double compensated_sum(std::span<const double> xs) {
+  // Neumaier's variant: unlike plain Kahan it also compensates when the
+  // incoming term is larger than the running sum.
+  double sum = 0.0;
+  double c = 0.0;
+  for (double x : xs) {
+    const double t = sum + x;
+    if (std::fabs(sum) >= std::fabs(x)) {
+      c += (sum - t) + x;
+    } else {
+      c += (x - t) + sum;
+    }
+    sum = t;
+  }
+  return sum + c;
+}
+
+double mean_of(std::span<const double> xs) {
+  TRUSTRATE_EXPECTS(!xs.empty(), "mean_of requires a non-empty span");
+  return compensated_sum(xs) / static_cast<double>(xs.size());
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  TRUSTRATE_EXPECTS(a.size() == b.size(), "dot requires equal-length spans");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double energy(std::span<const double> xs) {
+  double sum = 0.0;
+  for (double x : xs) sum += x * x;
+  return sum;
+}
+
+std::vector<double> linspace(double lo, double hi, int n) {
+  TRUSTRATE_EXPECTS(n >= 2, "linspace needs n >= 2");
+  std::vector<double> out(static_cast<std::size_t>(n));
+  const double step = (hi - lo) / (n - 1);
+  for (int i = 0; i < n; ++i) out[static_cast<std::size_t>(i)] = lo + step * i;
+  out.back() = hi;
+  return out;
+}
+
+}  // namespace trustrate

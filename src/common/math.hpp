@@ -1,0 +1,45 @@
+// Small numeric helpers shared across modules.
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+namespace trustrate {
+
+/// Clamps x to the unit interval.
+constexpr double clamp_unit(double x) {
+  if (x < 0.0) return 0.0;
+  if (x > 1.0) return 1.0;
+  return x;
+}
+
+/// Quantizes x in [0,1] onto `levels` evenly spaced values.
+///
+/// With include_zero = true the grid is {0, 1/(L-1), ..., 1} — the paper's
+/// 11-level scale 0, 0.1, ..., 1.0. With include_zero = false it is
+/// {1/L, 2/L, ..., 1} — the paper's 10-level scale 0.1, ..., 1.0.
+double quantize_unit(double x, int levels, bool include_zero);
+
+/// True when |a - b| <= tol.
+constexpr bool approx_equal(double a, double b, double tol = 1e-9) {
+  return std::fabs(a - b) <= tol;
+}
+
+/// Sum of a span (Kahan compensated; these series are short but the
+/// compensation is free at this scale).
+double compensated_sum(std::span<const double> xs);
+
+/// Arithmetic mean; requires a non-empty span.
+double mean_of(std::span<const double> xs);
+
+/// Dot product of equal-length spans.
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// Energy (sum of squares) of a span.
+double energy(std::span<const double> xs);
+
+/// Linearly spaced grid of n points from lo to hi inclusive (n >= 2).
+std::vector<double> linspace(double lo, double hi, int n);
+
+}  // namespace trustrate

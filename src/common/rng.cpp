@@ -1,0 +1,60 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace trustrate {
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  TRUSTRATE_EXPECTS(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  TRUSTRATE_EXPECTS(lo <= hi, "uniform_int(lo, hi) requires lo <= hi");
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::gaussian(double mean, double sigma) {
+  TRUSTRATE_EXPECTS(sigma >= 0.0, "gaussian sigma must be non-negative");
+  if (sigma == 0.0) return mean;
+  return std::normal_distribution<double>(mean, sigma)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  return std::bernoulli_distribution(clamped)(engine_);
+}
+
+std::uint32_t Rng::poisson(double mean) {
+  TRUSTRATE_EXPECTS(mean >= 0.0, "poisson mean must be non-negative");
+  if (mean == 0.0) return 0;
+  return static_cast<std::uint32_t>(
+      std::poisson_distribution<std::uint32_t>(mean)(engine_));
+}
+
+double Rng::exponential(double rate) {
+  TRUSTRATE_EXPECTS(rate > 0.0, "exponential rate must be positive");
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+Rng Rng::split() {
+  // Mix two engine outputs through splitmix64 so child streams do not
+  // overlap the parent's future output in any obvious way.
+  auto mix = [](std::uint64_t z) {
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  const std::uint64_t a = engine_();
+  const std::uint64_t b = engine_();
+  return Rng(mix(a) ^ (mix(b) << 1));
+}
+
+}  // namespace trustrate

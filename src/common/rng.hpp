@@ -1,0 +1,51 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in trustrate takes an Rng& parameter; there is
+// no global generator (Core Guidelines I.2). Monte-Carlo experiments derive
+// independent per-run streams with Rng::split().
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace trustrate {
+
+/// Seedable random source with the distributions the simulators need.
+/// Thin facade over std::mt19937_64; copyable so callers can snapshot state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : engine_(seed) {}
+
+  /// Uniform double on [0, 1).
+  double uniform();
+
+  /// Uniform double on [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer on [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Normal with given mean and standard deviation (sigma >= 0).
+  double gaussian(double mean, double sigma);
+
+  /// Bernoulli trial with success probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+
+  /// Poisson-distributed count with the given mean (mean >= 0).
+  std::uint32_t poisson(double mean);
+
+  /// Exponential inter-arrival time with the given rate (rate > 0).
+  double exponential(double rate);
+
+  /// Derives an independent child generator; deterministic given this
+  /// generator's current state. Use one child per Monte-Carlo run.
+  Rng split();
+
+  /// Direct access for std distributions not wrapped above.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace trustrate

@@ -1,0 +1,32 @@
+#include "common/types.hpp"
+
+#include <algorithm>
+
+namespace trustrate {
+
+bool is_time_sorted(const RatingSeries& series) {
+  return std::is_sorted(series.begin(), series.end(),
+                        [](const Rating& a, const Rating& b) { return a.time < b.time; });
+}
+
+void sort_by_time(RatingSeries& series) {
+  std::sort(series.begin(), series.end(), [](const Rating& a, const Rating& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.rater < b.rater;
+  });
+}
+
+std::vector<double> values_of(const RatingSeries& series) {
+  std::vector<double> out;
+  out.reserve(series.size());
+  for (const Rating& r : series) out.push_back(r.value);
+  return out;
+}
+
+std::size_t count_unfair(const RatingSeries& series) {
+  return static_cast<std::size_t>(
+      std::count_if(series.begin(), series.end(),
+                    [](const Rating& r) { return is_unfair(r.label); }));
+}
+
+}  // namespace trustrate

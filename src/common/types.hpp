@@ -1,0 +1,66 @@
+// Core value types shared by every trustrate module.
+//
+// Time is measured in fractional *days* (the unit used throughout the
+// paper). Rating values live on the unit interval [0, 1]; discrete rating
+// scales (5-star, 11-level, ...) are mapped onto [0, 1] by the producers.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <vector>
+
+namespace trustrate {
+
+/// Identifier of a rater (user submitting ratings).
+using RaterId = std::uint32_t;
+
+/// Identifier of a rated object (product, movie, service ...).
+using ProductId = std::uint32_t;
+
+/// Sentinel for "no rater" (e.g. synthetic or anonymous entries).
+inline constexpr RaterId kNoRater = static_cast<RaterId>(-1);
+
+/// Ground-truth provenance of a rating, used by simulators and metrics.
+/// Production code paths never look at this — it exists so experiments can
+/// score detectors against the truth.
+enum class RatingLabel : std::uint8_t {
+  kHonest = 0,      ///< fair rating from a reliable rater
+  kCareless,        ///< fair but noisy rating (careless rater)
+  kCollaborative1,  ///< type-1 collaborative: honest rating shifted by bias
+  kCollaborative2,  ///< type-2 collaborative: recruited rater, biased stream
+};
+
+/// True for the two collaborative (unfair) label kinds.
+constexpr bool is_unfair(RatingLabel label) {
+  return label == RatingLabel::kCollaborative1 ||
+         label == RatingLabel::kCollaborative2;
+}
+
+/// One rating event: rater `rater` rated `product` with `value` at `time`.
+struct Rating {
+  double time = 0.0;              ///< days since trace start
+  double value = 0.0;             ///< rating on [0, 1]
+  RaterId rater = kNoRater;       ///< who rated
+  ProductId product = 0;          ///< what was rated
+  RatingLabel label = RatingLabel::kHonest;  ///< ground truth (simulation only)
+
+  friend auto operator<=>(const Rating&, const Rating&) = default;
+};
+
+/// A time-ordered sequence of ratings for one object (or one mixed stream).
+/// Invariant maintained by producers: non-decreasing `time`.
+using RatingSeries = std::vector<Rating>;
+
+/// Returns true when `series` is sorted by time (the RatingSeries invariant).
+bool is_time_sorted(const RatingSeries& series);
+
+/// Sorts a series by (time, rater) to establish the RatingSeries invariant.
+void sort_by_time(RatingSeries& series);
+
+/// Extracts the rating values of a series, in order.
+std::vector<double> values_of(const RatingSeries& series);
+
+/// Number of ratings in `series` with an unfair ground-truth label.
+std::size_t count_unfair(const RatingSeries& series);
+
+}  // namespace trustrate

@@ -1,0 +1,50 @@
+#include "core/evaluation.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace trustrate::core {
+
+std::vector<RocPoint> roc_curve(
+    const std::vector<double>& thresholds,
+    const std::function<DetectionMetrics(double)>& score_at) {
+  TRUSTRATE_EXPECTS(static_cast<bool>(score_at), "score_at must be callable");
+  std::vector<RocPoint> points;
+  points.reserve(thresholds.size());
+  for (double t : thresholds) {
+    const DetectionMetrics m = score_at(t);
+    points.push_back({t, m.detection_ratio(), m.false_alarm_ratio()});
+  }
+  return points;
+}
+
+double roc_auc(std::vector<RocPoint> points) {
+  TRUSTRATE_EXPECTS(!points.empty(), "AUC needs at least one point");
+  points.push_back({0.0, 0.0, 0.0});
+  points.push_back({0.0, 1.0, 1.0});
+  std::sort(points.begin(), points.end(),
+            [](const RocPoint& a, const RocPoint& b) {
+              if (a.false_alarm != b.false_alarm) {
+                return a.false_alarm < b.false_alarm;
+              }
+              return a.detection < b.detection;
+            });
+  double auc = 0.0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const double dx = points[i].false_alarm - points[i - 1].false_alarm;
+    auc += dx * 0.5 * (points[i].detection + points[i - 1].detection);
+  }
+  return std::clamp(auc, 0.0, 1.0);
+}
+
+RocPoint best_youden(const std::vector<RocPoint>& points) {
+  TRUSTRATE_EXPECTS(!points.empty(), "best_youden needs a non-empty curve");
+  return *std::max_element(points.begin(), points.end(),
+                           [](const RocPoint& a, const RocPoint& b) {
+                             return (a.detection - a.false_alarm) <
+                                    (b.detection - b.false_alarm);
+                           });
+}
+
+}  // namespace trustrate::core

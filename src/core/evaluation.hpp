@@ -1,0 +1,36 @@
+// Detector evaluation utilities: ROC curves and area-under-curve over a
+// threshold sweep. Factored out of the ablation benches so downstream
+// users can calibrate the detector on their own labelled data.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/metrics.hpp"
+
+namespace trustrate::core {
+
+/// One operating point of a detector.
+struct RocPoint {
+  double threshold = 0.0;
+  double detection = 0.0;    ///< true-positive rate
+  double false_alarm = 0.0;  ///< false-positive rate
+};
+
+/// Evaluates `score_at` (threshold -> confusion counts) at each threshold
+/// and returns the operating points in the given threshold order.
+std::vector<RocPoint> roc_curve(
+    const std::vector<double>& thresholds,
+    const std::function<DetectionMetrics(double)>& score_at);
+
+/// Area under the ROC curve by trapezoidal integration over false-alarm
+/// rate, with the (0,0) and (1,1) endpoints added. Points may be given in
+/// any order. Returns a value in [0, 1]; 0.5 = chance. Requires at least
+/// one point.
+double roc_auc(std::vector<RocPoint> points);
+
+/// The point with the highest Youden index (detection − false_alarm) — a
+/// standard automatic threshold choice. Requires a non-empty curve.
+RocPoint best_youden(const std::vector<RocPoint>& points);
+
+}  // namespace trustrate::core

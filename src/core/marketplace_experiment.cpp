@@ -1,0 +1,167 @@
+#include "core/marketplace_experiment.hpp"
+
+#include "common/rng.hpp"
+
+namespace trustrate::core {
+
+SystemConfig default_marketplace_system_config() {
+  SystemConfig cfg;
+  cfg.enable_filter = true;
+  cfg.filter.q = 0.02;         // paper uses 0.1; see EXPERIMENTS.md calibration
+  cfg.filter.min_ratings = 5;
+
+  cfg.enable_ar_detector = true;
+  // The paper uses 10-day windows stepping by 5. With the attack interval
+  // itself 10 days long, a window only aligns with the full attack when the
+  // random attack offset happens to match the grid; 8-day windows stepping
+  // by 2 always place one window (nearly) inside the attack, which removes
+  // the alignment lottery (EXPERIMENTS.md calibration).
+  cfg.ar.window_days = 8.0;
+  cfg.ar.step_days = 2.0;
+  cfg.ar.order = 4;
+  // The paper's threshold is 0.02 on the residual-variance scale; our
+  // beta-filter pass compresses the kept ratings' variance a little more
+  // than theirs did, moving the honest/attack gap down to ~[0.015, 0.022)
+  // (calibration in EXPERIMENTS.md).
+  cfg.ar.error_threshold = 0.024;
+  cfg.ar.scale = 1.0;
+
+  // The paper uses b = 1 with an *unbounded* suspicion level
+  // L = (1 - e)/threshold (tens per hit). Our level is bounded to (0, 1],
+  // so the equivalent evidence weight moves into b.
+  cfg.b = 10.0;
+
+  // Record maintenance: exponential forgetting keeps trust tracking the
+  // *recent* behaviour rate instead of lifetime totals; without it a
+  // collaborative rater's accumulated honest evidence eventually outweighs
+  // monthly attack hits and trust drifts back up ([8]'s fading scheme).
+  cfg.forgetting = 0.95;
+
+  cfg.malicious_threshold = 0.5;  // paper threshold_sus
+  cfg.aggregator = agg::AggregatorKind::kModifiedWeightedAverage;
+  return cfg;
+}
+
+MarketplaceExperimentResult run_marketplace_experiment(
+    const MarketplaceExperimentConfig& config) {
+  Rng rng(config.seed);
+  const sim::MarketplaceResult market = sim::simulate_marketplace(config.market, rng);
+
+  TrustEnhancedRatingSystem system(config.system);
+  MarketplaceExperimentResult result;
+  result.rater_kind = market.rater_kind;
+
+  for (int month = 0; month < config.market.months; ++month) {
+    // Assemble this month's observations.
+    std::vector<ProductObservation> observations;
+    std::vector<const sim::SimProduct*> products = market.products_in_month(month);
+    observations.reserve(products.size());
+    for (const sim::SimProduct* p : products) {
+      observations.push_back({p->id, p->t_start, p->t_end, p->ratings});
+    }
+
+    const EpochReport report = system.process_epoch(observations);
+
+    // Aggregated ratings for this month's products, with this month's trust.
+    for (const sim::SimProduct* p : products) {
+      if (p->ratings.empty()) continue;
+      ProductAggregate agg;
+      agg.id = p->id;
+      agg.dishonest = p->dishonest;
+      agg.quality = p->quality;
+      agg.simple_average =
+          system.aggregate_with(p->ratings, agg::AggregatorKind::kSimpleAverage);
+      agg.beta_function =
+          system.aggregate_with(p->ratings, agg::AggregatorKind::kBetaFunction);
+      agg.weighted = system.aggregate_with(
+          p->ratings, agg::AggregatorKind::kModifiedWeightedAverage);
+      result.aggregates.push_back(agg);
+    }
+
+    // Population statistics.
+    MonthlyStats stats;
+    stats.month = month + 1;
+    stats.window_metrics = report.rating_metrics;
+
+    // Rater-level reading of Fig. 9: a rating is flagged when its rater is
+    // currently below the malicious-trust threshold. Fair ratings submitted
+    // by potential-collaborative raters are excluded from the false-alarm
+    // denominator: flagging an attacker's off-duty ratings is not an alarm.
+    for (const sim::SimProduct* p : products) {
+      for (const Rating& r : p->ratings) {
+        const bool flagged =
+            system.trust(r.rater) < config.system.malicious_threshold;
+        if (is_unfair(r.label)) {
+          if (flagged) {
+            ++stats.rating_metrics.true_positive;
+          } else {
+            ++stats.rating_metrics.false_negative;
+          }
+        } else if (market.rater_kind[r.rater] !=
+                   sim::RaterKind::kPotentialCollaborative) {
+          if (flagged) {
+            ++stats.rating_metrics.false_positive;
+          } else {
+            ++stats.rating_metrics.true_negative;
+          }
+        }
+      }
+    }
+
+    double sum_reliable = 0.0;
+    double sum_careless = 0.0;
+    double sum_pc = 0.0;
+    std::size_t n_reliable = 0;
+    std::size_t n_careless = 0;
+    std::size_t n_pc = 0;
+    std::size_t flagged_reliable = 0;
+    std::size_t flagged_careless = 0;
+    std::size_t flagged_pc = 0;
+    const double threshold = config.system.malicious_threshold;
+    for (RaterId id = 0; id < market.rater_count(); ++id) {
+      const double trust = system.trust(id);
+      const bool flagged = trust < threshold;
+      switch (market.rater_kind[id]) {
+        case sim::RaterKind::kReliable:
+          sum_reliable += trust;
+          ++n_reliable;
+          flagged_reliable += flagged ? 1 : 0;
+          break;
+        case sim::RaterKind::kCareless:
+          sum_careless += trust;
+          ++n_careless;
+          flagged_careless += flagged ? 1 : 0;
+          break;
+        case sim::RaterKind::kPotentialCollaborative:
+          sum_pc += trust;
+          ++n_pc;
+          flagged_pc += flagged ? 1 : 0;
+          break;
+      }
+    }
+    if (n_reliable > 0) {
+      stats.mean_trust_reliable = sum_reliable / static_cast<double>(n_reliable);
+      stats.false_alarm_reliable =
+          static_cast<double>(flagged_reliable) / static_cast<double>(n_reliable);
+    }
+    if (n_careless > 0) {
+      stats.mean_trust_careless = sum_careless / static_cast<double>(n_careless);
+      stats.false_alarm_careless =
+          static_cast<double>(flagged_careless) / static_cast<double>(n_careless);
+    }
+    if (n_pc > 0) {
+      stats.mean_trust_pc = sum_pc / static_cast<double>(n_pc);
+      stats.detection_pc =
+          static_cast<double>(flagged_pc) / static_cast<double>(n_pc);
+    }
+    result.months.push_back(stats);
+  }
+
+  result.final_trust.reserve(market.rater_count());
+  for (RaterId id = 0; id < market.rater_count(); ++id) {
+    result.final_trust.push_back(system.trust(id));
+  }
+  return result;
+}
+
+}  // namespace trustrate::core

@@ -1,0 +1,57 @@
+#include "core/metrics.hpp"
+
+#include "common/error.hpp"
+
+namespace trustrate::core {
+
+double DetectionMetrics::detection_ratio() const {
+  const std::size_t positives = true_positive + false_negative;
+  if (positives == 0) return 0.0;
+  return static_cast<double>(true_positive) / static_cast<double>(positives);
+}
+
+double DetectionMetrics::false_alarm_ratio() const {
+  const std::size_t negatives = false_positive + true_negative;
+  if (negatives == 0) return 0.0;
+  return static_cast<double>(false_positive) / static_cast<double>(negatives);
+}
+
+DetectionMetrics& DetectionMetrics::operator+=(const DetectionMetrics& other) {
+  true_positive += other.true_positive;
+  false_positive += other.false_positive;
+  false_negative += other.false_negative;
+  true_negative += other.true_negative;
+  return *this;
+}
+
+DetectionMetrics score_rating_flags(const RatingSeries& series,
+                                    const std::vector<bool>& flagged) {
+  TRUSTRATE_EXPECTS(series.size() == flagged.size(),
+                    "flag vector must match series size");
+  DetectionMetrics m;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const bool unfair = is_unfair(series[i].label);
+    if (unfair && flagged[i]) ++m.true_positive;
+    if (unfair && !flagged[i]) ++m.false_negative;
+    if (!unfair && flagged[i]) ++m.false_positive;
+    if (!unfair && !flagged[i]) ++m.true_negative;
+  }
+  return m;
+}
+
+DetectionMetrics score_rater_detection(const std::vector<RaterId>& all_raters,
+                                       const std::unordered_set<RaterId>& truly_unfair,
+                                       const std::unordered_set<RaterId>& detected) {
+  DetectionMetrics m;
+  for (RaterId id : all_raters) {
+    const bool unfair = truly_unfair.contains(id);
+    const bool flagged = detected.contains(id);
+    if (unfair && flagged) ++m.true_positive;
+    if (unfair && !flagged) ++m.false_negative;
+    if (!unfair && flagged) ++m.false_positive;
+    if (!unfair && !flagged) ++m.true_negative;
+  }
+  return m;
+}
+
+}  // namespace trustrate::core

@@ -1,0 +1,40 @@
+// Evaluation metrics: detection ratio and false-alarm ratio, computed from
+// ground-truth labels carried by simulated ratings/raters.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace trustrate::core {
+
+/// Binary confusion counts.
+struct DetectionMetrics {
+  std::size_t true_positive = 0;   ///< unfair, flagged
+  std::size_t false_positive = 0;  ///< fair, flagged
+  std::size_t false_negative = 0;  ///< unfair, missed
+  std::size_t true_negative = 0;   ///< fair, passed
+
+  /// TP / (TP + FN); 0 when there are no positives.
+  double detection_ratio() const;
+
+  /// FP / (FP + TN); 0 when there are no negatives.
+  double false_alarm_ratio() const;
+
+  /// Merges another confusion table into this one.
+  DetectionMetrics& operator+=(const DetectionMetrics& other);
+};
+
+/// Scores per-rating flags against the series' ground-truth labels.
+/// `flagged[i]` says rating i was marked unfair. Sizes must match.
+DetectionMetrics score_rating_flags(const RatingSeries& series,
+                                    const std::vector<bool>& flagged);
+
+/// Scores rater-level detection: `detected` against the ground-truth set of
+/// unfair raters, over the universe `all_raters`.
+DetectionMetrics score_rater_detection(const std::vector<RaterId>& all_raters,
+                                       const std::unordered_set<RaterId>& truly_unfair,
+                                       const std::unordered_set<RaterId>& detected);
+
+}  // namespace trustrate::core

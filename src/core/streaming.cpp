@@ -1,0 +1,86 @@
+#include "core/streaming.hpp"
+
+#include "common/error.hpp"
+
+namespace trustrate::core {
+
+StreamingRatingSystem::StreamingRatingSystem(SystemConfig config,
+                                             double epoch_days,
+                                             std::size_t retention_epochs)
+    : system_(config), epoch_days_(epoch_days),
+      retention_epochs_(retention_epochs) {
+  TRUSTRATE_EXPECTS(epoch_days > 0.0, "epoch length must be positive");
+}
+
+void StreamingRatingSystem::submit(const Rating& rating) {
+  if (!anchored_) {
+    anchored_ = true;
+    epoch_start_ = rating.time;
+    last_time_ = rating.time;
+  }
+  TRUSTRATE_EXPECTS(rating.time >= last_time_,
+                    "ratings must be submitted in time order");
+  last_time_ = rating.time;
+
+  // Close as many epochs as the stream has moved past.
+  while (rating.time >= epoch_start_ + epoch_days_) {
+    close_epoch(epoch_start_ + epoch_days_);
+  }
+  pending_[rating.product].push_back(rating);
+}
+
+std::size_t StreamingRatingSystem::flush() {
+  if (!anchored_ || pending_.empty()) return 0;
+  const std::size_t products = pending_.size();
+  close_epoch(std::max(last_time_ + 1e-9, epoch_start_ + epoch_days_));
+  return products;
+}
+
+void StreamingRatingSystem::close_epoch(double epoch_end) {
+  std::vector<ProductObservation> observations;
+  observations.reserve(pending_.size());
+  for (auto& [product, series] : pending_) {
+    ProductObservation obs;
+    obs.product = product;
+    obs.t_start = epoch_start_;
+    obs.t_end = epoch_end;
+    obs.ratings = std::move(series);
+    observations.push_back(std::move(obs));
+  }
+  pending_.clear();
+
+  if (!observations.empty()) {
+    system_.process_epoch(observations);
+    for (auto& obs : observations) {
+      Retained& r = retained_[obs.product];
+      r.epochs.push_back(std::move(obs.ratings));
+      if (r.epochs.size() > retention_epochs_) {
+        r.epochs.erase(r.epochs.begin());
+      }
+    }
+  }
+  epoch_start_ = epoch_end;
+  ++epochs_closed_;
+}
+
+std::optional<double> StreamingRatingSystem::aggregate(ProductId product) const {
+  RatingSeries all;
+  if (const auto it = retained_.find(product); it != retained_.end()) {
+    for (const RatingSeries& epoch : it->second.epochs) {
+      all.insert(all.end(), epoch.begin(), epoch.end());
+    }
+  }
+  if (const auto it = pending_.find(product); it != pending_.end()) {
+    all.insert(all.end(), it->second.begin(), it->second.end());
+  }
+  if (all.empty()) return std::nullopt;
+  return system_.aggregate(all);
+}
+
+std::size_t StreamingRatingSystem::pending_ratings() const {
+  std::size_t n = 0;
+  for (const auto& [product, series] : pending_) n += series.size();
+  return n;
+}
+
+}  // namespace trustrate::core

@@ -1,0 +1,80 @@
+// Streaming front-end for the trust-enhanced rating system (extension
+// beyond the paper).
+//
+// TrustEnhancedRatingSystem is epoch-batched — the shape of the paper's
+// experiments. Real deployments see a single time-ordered stream of
+// ratings across many products. StreamingRatingSystem buffers the stream,
+// closes an epoch every `epoch_days`, and feeds the buffered per-product
+// series through the batch pipeline, so callers get the paper's exact
+// semantics from an incremental API:
+//
+//     StreamingRatingSystem stream(config, /*epoch_days=*/30.0);
+//     stream.submit(rating);              // time-ordered
+//     stream.trust(rater);                // current trust
+//     stream.aggregate(product);          // trust-weighted, retained window
+//
+// Epoch boundaries are anchored at the first submitted rating's time.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "core/system.hpp"
+
+namespace trustrate::core {
+
+class StreamingRatingSystem {
+ public:
+  /// `epoch_days` is the trust-update cadence (the paper uses months);
+  /// `retention_epochs` controls how many closed epochs of ratings are
+  /// kept per product for aggregation queries.
+  explicit StreamingRatingSystem(SystemConfig config, double epoch_days = 30.0,
+                                 std::size_t retention_epochs = 2);
+
+  /// Ingests one rating. Ratings must arrive in non-decreasing time order;
+  /// a rating whose time has passed the current epoch's end closes the
+  /// epoch (running the filter, detector, and Procedure 2 on everything
+  /// buffered) before being buffered itself.
+  void submit(const Rating& rating);
+
+  /// Closes the in-progress epoch regardless of time. Returns the number
+  /// of products processed. Call at end-of-stream.
+  std::size_t flush();
+
+  /// Current trust in a rater (0.5 when unknown).
+  double trust(RaterId id) const { return system_.trust(id); }
+
+  /// Raters currently below the malicious threshold.
+  std::vector<RaterId> malicious() const { return system_.malicious(); }
+
+  /// Trust-weighted aggregated rating over the product's retained ratings
+  /// (buffered + up to `retention_epochs` closed epochs). Empty when the
+  /// product has no retained ratings.
+  std::optional<double> aggregate(ProductId product) const;
+
+  std::size_t epochs_closed() const { return epochs_closed_; }
+  std::size_t pending_ratings() const;
+  const TrustEnhancedRatingSystem& system() const { return system_; }
+
+ private:
+  void close_epoch(double epoch_end);
+
+  TrustEnhancedRatingSystem system_;
+  double epoch_days_;
+  std::size_t retention_epochs_;
+
+  bool anchored_ = false;
+  double epoch_start_ = 0.0;
+  double last_time_ = 0.0;
+  std::size_t epochs_closed_ = 0;
+
+  std::unordered_map<ProductId, RatingSeries> pending_;
+  /// Closed-epoch ratings per product, oldest first, at most
+  /// retention_epochs entries' worth.
+  struct Retained {
+    std::vector<RatingSeries> epochs;
+  };
+  std::unordered_map<ProductId, Retained> retained_;
+};
+
+}  // namespace trustrate::core

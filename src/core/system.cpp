@@ -1,0 +1,133 @@
+#include "core/system.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace trustrate::core {
+
+TrustEnhancedRatingSystem::TrustEnhancedRatingSystem(SystemConfig config)
+    : config_(config), filter_(config.filter), detector_(config.ar) {
+  TRUSTRATE_EXPECTS(config_.b >= 0.0, "Procedure 2 parameter b must be >= 0");
+  TRUSTRATE_EXPECTS(config_.forgetting > 0.0 && config_.forgetting <= 1.0,
+                    "forgetting factor must be in (0, 1]");
+  TRUSTRATE_EXPECTS(config_.malicious_threshold > 0.0 &&
+                        config_.malicious_threshold < 1.0,
+                    "malicious threshold must be in (0, 1)");
+}
+
+EpochReport TrustEnhancedRatingSystem::process_epoch(
+    std::span<const ProductObservation> observations) {
+  EpochReport report;
+
+  // Record maintenance: fade old evidence before folding in the new epoch.
+  if (config_.forgetting < 1.0) store_.fade_all(config_.forgetting);
+
+  // Per-rater Procedure-2 observations accumulated across the epoch's
+  // products.
+  std::unordered_map<RaterId, trust::EpochObservation> epoch_obs;
+
+  for (const ProductObservation& obs : observations) {
+    TRUSTRATE_EXPECTS(is_time_sorted(obs.ratings),
+                      "product ratings must be time-sorted");
+    ProductReport pr;
+    pr.product = obs.product;
+
+    // Feature extraction I: the rating filter.
+    if (config_.enable_filter) {
+      pr.filter_outcome = filter_.filter(obs.ratings);
+    } else {
+      pr.filter_outcome = detect::NullFilter{}.filter(obs.ratings);
+    }
+    pr.kept = pr.filter_outcome.kept_series(obs.ratings);
+
+    // Feature extraction II: Procedure 1.
+    const RatingSeries& detector_input =
+        config_.detector_on_filtered ? pr.kept : obs.ratings;
+    if (config_.enable_ar_detector) {
+      pr.suspicion = detector_.analyze(detector_input, obs.t_start, obs.t_end);
+    } else {
+      pr.suspicion.in_suspicious_window.assign(detector_input.size(), false);
+    }
+
+    // Per-rating flags over the *input* series: filtered or suspicious.
+    pr.flagged.assign(obs.ratings.size(), false);
+    for (std::size_t i : pr.filter_outcome.removed) pr.flagged[i] = true;
+    for (std::size_t k = 0; k < detector_input.size(); ++k) {
+      if (!pr.suspicion.in_suspicious_window[k]) continue;
+      pr.flagged[config_.detector_on_filtered ? pr.filter_outcome.kept[k] : k] =
+          true;
+    }
+    report.rating_metrics += score_rating_flags(obs.ratings, pr.flagged);
+
+    // Observation buffer: accumulate n / f / s / C per rater.
+    for (const Rating& r : obs.ratings) {
+      ++epoch_obs[r.rater].ratings;
+    }
+    for (std::size_t i : pr.filter_outcome.removed) {
+      ++epoch_obs[obs.ratings[i].rater].filtered;
+    }
+    // s_i counts *ratings* inside suspicious windows (per product).
+    for (std::size_t k = 0; k < detector_input.size(); ++k) {
+      if (pr.suspicion.in_suspicious_window[k]) {
+        ++epoch_obs[detector_input[k].rater].suspicious;
+      }
+    }
+    for (const auto& [rater, c] : pr.suspicion.suspicion) {
+      epoch_obs[rater].suspicion_value += c;
+    }
+
+    report.products.push_back(std::move(pr));
+  }
+
+  // Procedure 2: one trust update per active rater.
+  for (const auto& [rater, obs] : epoch_obs) {
+    store_.update(rater, obs, config_.b);
+  }
+  ++epochs_;
+  return report;
+}
+
+std::vector<RaterId> TrustEnhancedRatingSystem::malicious() const {
+  return store_.below(config_.malicious_threshold);
+}
+
+double TrustEnhancedRatingSystem::aggregate(const RatingSeries& ratings) const {
+  return aggregate_with(ratings, config_.aggregator);
+}
+
+double TrustEnhancedRatingSystem::aggregate_with(const RatingSeries& ratings,
+                                                 agg::AggregatorKind kind) const {
+  TRUSTRATE_EXPECTS(!ratings.empty(), "cannot aggregate an empty series");
+
+  // Apply the filter first (the aggregator only sees normal ratings).
+  RatingSeries kept = config_.enable_filter
+                          ? filter_.filter(ratings).kept_series(ratings)
+                          : ratings;
+  if (kept.empty()) kept = ratings;  // filter nuked everything: fall back
+
+  // One rating per rater: average multiple ratings from the same rater.
+  std::unordered_map<RaterId, std::pair<double, std::size_t>> per_rater;
+  for (const Rating& r : kept) {
+    auto& [sum, count] = per_rater[r.rater];
+    sum += r.value;
+    ++count;
+  }
+  std::vector<agg::TrustedRating> trusted;
+  trusted.reserve(per_rater.size());
+  for (const auto& [rater, sum_count] : per_rater) {
+    trusted.push_back({sum_count.first / static_cast<double>(sum_count.second),
+                       store_.trust(rater)});
+  }
+  return agg::make_aggregator(kind)->aggregate(trusted);
+}
+
+void TrustEnhancedRatingSystem::add_recommendation(const trust::Recommendation& rec) {
+  recommendations_.add(rec);
+}
+
+double TrustEnhancedRatingSystem::combined_trust(RaterId id) const {
+  return trust::combined_trust(store_, recommendations_, id);
+}
+
+}  // namespace trustrate::core

@@ -1,0 +1,67 @@
+#include "data/inject.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "stats/descriptive.hpp"
+
+namespace trustrate::data {
+
+RatingTrace inject_collaborative(const RatingTrace& trace,
+                                 const InjectionConfig& config, Rng& rng) {
+  TRUSTRATE_EXPECTS(config.attack_end > config.attack_start,
+                    "attack interval must be well-formed");
+  TRUSTRATE_EXPECTS(!trace.ratings.empty(), "cannot inject into an empty trace");
+
+  RatingTrace out = trace;
+  out.name = trace.name + "+attack";
+
+  // Empirical statistics of the original trace drive the attack parameters,
+  // mirroring how the paper set badVar = 0.25 * goodVar of the real data.
+  const auto values = values_of(trace.ratings);
+  const auto summary = stats::summarize(values);
+  const double bad_sigma = config.bad_sigma_factor * summary.stddev;
+
+  // Empirical arrival rate inside the window decides the type-2 rate.
+  std::size_t in_window = 0;
+  RaterId max_rater = 0;
+  for (const Rating& r : trace.ratings) {
+    if (r.time >= config.attack_start && r.time < config.attack_end) ++in_window;
+    if (r.rater != kNoRater) max_rater = std::max(max_rater, r.rater);
+  }
+  const double window_days = config.attack_end - config.attack_start;
+  const double base_rate = static_cast<double>(in_window) / window_days;
+
+  auto quantize = [&](double v) {
+    return quantize_unit(v, out.levels, out.levels_include_zero);
+  };
+
+  // Type 1: shift a fraction of existing in-window ratings.
+  for (Rating& r : out.ratings) {
+    if (r.time < config.attack_start || r.time >= config.attack_end) continue;
+    if (!rng.bernoulli(config.recruit_power1)) continue;
+    r.value = quantize(r.value + config.bias_shift1);
+    r.label = RatingLabel::kCollaborative1;
+  }
+
+  // Type 2: extra Poisson stream around (local mean + bias).
+  const double type2_rate = base_rate * config.recruit_power2;
+  if (type2_rate > 0.0) {
+    RaterId next_rater = max_rater + 1;
+    for (double t = config.attack_start + rng.exponential(type2_rate);
+         t < config.attack_end; t += rng.exponential(type2_rate)) {
+      Rating r;
+      r.time = t;
+      r.value = quantize(rng.gaussian(summary.mean + config.bias_shift2, bad_sigma));
+      r.rater = next_rater++;
+      r.label = RatingLabel::kCollaborative2;
+      out.ratings.push_back(r);
+    }
+  }
+
+  sort_by_time(out.ratings);
+  return out;
+}
+
+}  // namespace trustrate::data

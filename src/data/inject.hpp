@@ -1,0 +1,36 @@
+// Collaborative-rating injection into an existing trace — the Fig. 5
+// experiment: take a (real or synthetic) movie-rating trace and insert the
+// paper's two attack types during a chosen interval.
+//
+// Paper parameters for Dinosaur Planet: attack days 212-272,
+// bias_shift1 = 0.2 with recruit_power1 = 0.5, bias_shift2 = 0.25 with
+// recruit_power2 = 1, bad_sigma = 0.25 * good_sigma (good_sigma estimated
+// from the original ratings).
+#pragma once
+
+#include "common/rng.hpp"
+#include "data/trace.hpp"
+
+namespace trustrate::data {
+
+struct InjectionConfig {
+  double attack_start = 212.0;
+  double attack_end = 272.0;
+
+  // Type 1: existing ratings in the window get shifted.
+  double bias_shift1 = 0.2;
+  double recruit_power1 = 0.5;  ///< fraction of in-window ratings shifted
+
+  // Type 2: extra recruited raters arrive during the window.
+  double bias_shift2 = 0.25;
+  double recruit_power2 = 1.0;  ///< type-2 rate = empirical in-window rate * this
+  double bad_sigma_factor = 0.25;  ///< bad_sigma = factor * empirical rating stddev
+};
+
+/// Returns a copy of `trace` with the attack injected. Type-2 raters get
+/// fresh ids above the trace's maximum. Ground-truth labels are set on the
+/// affected ratings. The result stays time-sorted.
+RatingTrace inject_collaborative(const RatingTrace& trace,
+                                 const InjectionConfig& config, Rng& rng);
+
+}  // namespace trustrate::data

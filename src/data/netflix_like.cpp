@@ -1,0 +1,55 @@
+#include "data/netflix_like.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace trustrate::data {
+
+double netflix_arrival_rate(const NetflixLikeConfig& config, double t) {
+  const double x = t / config.peak_day;
+  const double spike = config.peak_rate * x * std::exp(1.0 - x);
+  const double weekly =
+      1.0 + config.weekly_amplitude * std::sin(2.0 * M_PI * t / 7.0);
+  return std::max((config.base_rate + spike) * weekly, 1e-6);
+}
+
+RatingTrace generate_netflix_like(const NetflixLikeConfig& config, Rng& rng) {
+  TRUSTRATE_EXPECTS(config.days > 0.0, "trace length must be positive");
+  TRUSTRATE_EXPECTS(config.stars >= 2, "need at least two star levels");
+  TRUSTRATE_EXPECTS(config.weekly_amplitude >= 0.0 && config.weekly_amplitude < 1.0,
+                    "weekly amplitude must be in [0, 1)");
+  TRUSTRATE_EXPECTS(config.rater_pool >= 1, "need a rater pool");
+
+  RatingTrace trace;
+  trace.name = "netflix-like";
+  trace.levels = config.stars;
+  trace.levels_include_zero = false;
+
+  // Thinning algorithm for the inhomogeneous Poisson arrivals: simulate at
+  // the maximum rate, accept with probability rate(t)/max_rate.
+  double max_rate = 0.0;
+  for (double t = 0.0; t < config.days; t += 1.0) {
+    max_rate = std::max(max_rate, netflix_arrival_rate(config, t));
+  }
+  max_rate *= 1.05;  // headroom for intra-day peaks
+
+  for (double t = rng.exponential(max_rate); t < config.days;
+       t += rng.exponential(max_rate)) {
+    if (!rng.bernoulli(netflix_arrival_rate(config, t) / max_rate)) continue;
+    const double frac = t / config.days;
+    const double quality =
+        config.quality_start + frac * (config.quality_end - config.quality_start);
+    const double raw = rng.gaussian(quality, config.sigma);
+    Rating r;
+    r.time = t;
+    r.value = quantize_unit(raw, config.stars, /*include_zero=*/false);
+    r.rater = static_cast<RaterId>(rng.uniform_int(0, config.rater_pool - 1));
+    r.label = RatingLabel::kHonest;
+    trace.ratings.push_back(r);
+  }
+  return trace;
+}
+
+}  // namespace trustrate::data

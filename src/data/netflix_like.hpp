@@ -1,0 +1,47 @@
+// Synthetic movie-rating trace shaped like the Netflix Prize data the paper
+// used for Fig. 5 ("Dinosaur Planet", 2003).
+//
+// The real dataset is proprietary and withdrawn, so we synthesize a trace
+// that preserves the properties the AR detector keys on (DESIGN.md §5):
+//  * 1-5 star integer ratings (coarse discretization),
+//  * bursty Poisson arrivals with a popularity curve — a release spike
+//    decaying into a long tail — modulated by a weekly cycle,
+//  * a slowly drifting mean opinion,
+//  * several hundred days of history.
+// Real data can still be used via data::load_trace_csv.
+#pragma once
+
+#include "common/rng.hpp"
+#include "data/trace.hpp"
+
+namespace trustrate::data {
+
+struct NetflixLikeConfig {
+  double days = 700.0;
+  int stars = 5;                ///< integer star levels 1..stars
+
+  // Popularity curve: rate(t) = base + peak * (t/t0) * exp(1 - t/t0),
+  // a gamma-like release spike peaking at t0.
+  double base_rate = 0.8;       ///< ratings/day in the long tail
+  double peak_rate = 6.0;       ///< extra ratings/day at the spike
+  double peak_day = 120.0;
+
+  /// Weekly arrival modulation amplitude in [0, 1): weekends are busier.
+  double weekly_amplitude = 0.3;
+
+  // Opinion: mean star value drifts linearly (as word-of-mouth settles).
+  double quality_start = 0.62;  ///< on [0,1]; ~3.1 stars
+  double quality_end = 0.68;
+  double sigma = 0.22;          ///< rating spread before discretization
+
+  int rater_pool = 3000;        ///< distinct rater ids
+};
+
+/// Generates the synthetic trace. Star value s in 1..5 is stored
+/// normalized as s/stars (the 5-level no-zero scale).
+RatingTrace generate_netflix_like(const NetflixLikeConfig& config, Rng& rng);
+
+/// Instantaneous arrival rate of the popularity curve (exposed for tests).
+double netflix_arrival_rate(const NetflixLikeConfig& config, double t);
+
+}  // namespace trustrate::data

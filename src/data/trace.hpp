@@ -1,0 +1,35 @@
+// Rating traces: named rating series with scale metadata, plus CSV I/O so
+// real datasets (e.g. the Netflix Prize files, when available) can be
+// converted and loaded.
+//
+// CSV format (no header): time_days,rater_id,value[,product_id]
+// where value is on the unit interval; the product column is optional on
+// input (defaults to 0) and always written on output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace trustrate::data {
+
+struct RatingTrace {
+  std::string name;
+  int levels = 5;                   ///< discrete scale size
+  bool levels_include_zero = false; ///< whether 0 is a valid level
+  RatingSeries ratings;             ///< time-sorted
+
+  double duration() const {
+    return ratings.empty() ? 0.0 : ratings.back().time - ratings.front().time;
+  }
+};
+
+/// Parses a trace from CSV rows. Throws DataError on malformed rows or
+/// values outside [0, 1]. The result is sorted by time.
+RatingTrace load_trace_csv(std::istream& in, const std::string& name);
+
+/// Writes a trace in the same CSV format.
+void save_trace_csv(const RatingTrace& trace, std::ostream& out);
+
+}  // namespace trustrate::data

@@ -1,0 +1,43 @@
+#include "detect/adaptive_threshold.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace trustrate::detect {
+
+AdaptiveThresholdTracker::AdaptiveThresholdTracker(AdaptiveThresholdConfig config)
+    : config_(config), mean_(config.initial_mean) {
+  TRUSTRATE_EXPECTS(config_.ratio > 0.0 && config_.ratio < 1.0,
+                    "ratio must be in (0, 1)");
+  TRUSTRATE_EXPECTS(config_.alpha > 0.0 && config_.alpha <= 1.0,
+                    "alpha must be in (0, 1]");
+  TRUSTRATE_EXPECTS(config_.floor >= 0.0, "floor must be non-negative");
+  TRUSTRATE_EXPECTS(config_.initial_mean > 0.0, "initial mean must be positive");
+}
+
+double AdaptiveThresholdTracker::threshold() const {
+  return std::max(config_.floor, mean_ * config_.ratio);
+}
+
+bool AdaptiveThresholdTracker::observe(double error) {
+  TRUSTRATE_EXPECTS(error >= 0.0, "window error must be non-negative");
+  const bool clears = error >= threshold();
+  if (clears) recalibrating_ = false;
+  const bool absorb =
+      observations_ < config_.warmup || clears || recalibrating_;
+  if (absorb) {
+    mean_ += config_.alpha * (error - mean_);
+    ++observations_;
+    consecutive_rejections_ = 0;
+    return true;
+  }
+  if (++consecutive_rejections_ >= config_.recalibrate_after) {
+    // Persistent low errors: treat as a population change, not a campaign.
+    recalibrating_ = true;
+    consecutive_rejections_ = 0;
+  }
+  return false;
+}
+
+}  // namespace trustrate::detect

@@ -1,0 +1,69 @@
+// Self-calibrating detection threshold (extension beyond the paper).
+//
+// The AR detector thresholds an *absolute* residual variance, so the right
+// threshold depends on the honest population's rating spread — a number an
+// operator rarely knows up front (README: "thresholds are population-
+// calibrated"). This tracker learns the honest error level online: it
+// maintains exponentially-weighted estimates of the mean and deviation of
+// *non-suspicious* window errors and places the threshold a configurable
+// fraction below that baseline:
+//
+//     threshold = max(floor, baseline_mean * ratio)
+//
+// Only windows the current threshold does NOT flag update the baseline, so
+// campaigns cannot drag the baseline down to meet them (the same
+// self-consistency trick as the rate detector's trimmed mean). Usage:
+//
+//     AdaptiveThresholdTracker tracker({});
+//     for each evaluated window w:
+//       w.suspicious = w.error < tracker.threshold();
+//       tracker.observe(w.error);   // ignored internally if below threshold
+#pragma once
+
+#include <cstddef>
+
+namespace trustrate::detect {
+
+struct AdaptiveThresholdConfig {
+  double ratio = 0.6;        ///< threshold as a fraction of the honest baseline
+  double alpha = 0.05;       ///< EWMA weight of a new observation
+  double floor = 0.004;      ///< hard lower bound on the threshold
+  double initial_mean = 0.03;///< baseline before any observations
+  std::size_t warmup = 10;   ///< observations accepted unconditionally
+
+  /// A genuine population change looks like an attack at first: every new
+  /// error sits below the stale threshold and is rejected. Campaigns are
+  /// transient, population shifts persist — after this many *consecutive*
+  /// rejections the tracker enters recalibration and absorbs observations
+  /// until one clears the threshold again. Campaigns longer than this many
+  /// windows can poison the baseline; size it to several campaign lengths.
+  std::size_t recalibrate_after = 50;
+};
+
+class AdaptiveThresholdTracker {
+ public:
+  explicit AdaptiveThresholdTracker(AdaptiveThresholdConfig config = {});
+
+  /// Current detection threshold.
+  double threshold() const;
+
+  /// Current baseline estimate of the honest window error.
+  double baseline() const { return mean_; }
+
+  /// Feeds one window error. During warmup every observation updates the
+  /// baseline; afterwards only errors at or above the current threshold do
+  /// (suspicious windows must not poison the baseline). Returns true when
+  /// the observation was absorbed into the baseline.
+  bool observe(double error);
+
+  std::size_t observations() const { return observations_; }
+
+ private:
+  AdaptiveThresholdConfig config_;
+  double mean_;
+  std::size_t observations_ = 0;
+  std::size_t consecutive_rejections_ = 0;
+  bool recalibrating_ = false;
+};
+
+}  // namespace trustrate::detect

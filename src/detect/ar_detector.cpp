@@ -1,0 +1,119 @@
+#include "detect/ar_detector.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace trustrate::detect {
+
+ArSuspicionDetector::ArSuspicionDetector(ArDetectorConfig config)
+    : config_(config) {
+  TRUSTRATE_EXPECTS(config_.order >= 1, "AR detector order must be >= 1");
+  TRUSTRATE_EXPECTS(config_.error_threshold > 0.0 && config_.error_threshold <= 1.0,
+                    "error threshold must be in (0, 1]");
+  TRUSTRATE_EXPECTS(config_.scale > 0.0 && config_.scale <= 1.0,
+                    "scale must be in (0, 1]");
+  if (config_.count_based) {
+    TRUSTRATE_EXPECTS(config_.window_count >= 1 && config_.step_count >= 1,
+                      "count windows must be non-empty");
+  } else {
+    TRUSTRATE_EXPECTS(config_.window_days > 0.0 && config_.step_days > 0.0,
+                      "time windows must have positive width and step");
+  }
+}
+
+double ArSuspicionDetector::window_error(std::span<const double> values) const {
+  const signal::ArOptions options{.demean = config_.demean};
+  signal::ArModel model;
+  switch (config_.estimator) {
+    case ArEstimator::kAutocorrelation:
+      model = signal::fit_ar_autocorrelation(values, config_.order, options);
+      break;
+    case ArEstimator::kBurg:
+      model = signal::fit_ar_burg(values, config_.order, options);
+      break;
+    case ArEstimator::kCovariance:
+      model = signal::fit_ar_covariance(values, config_.order, options);
+      break;
+  }
+  return config_.normalization == ErrorNormalization::kResidualVariance
+             ? model.residual_variance()
+             : model.normalized_error;
+}
+
+SuspicionResult ArSuspicionDetector::analyze(const RatingSeries& series,
+                                             double t0, double t1) const {
+  TRUSTRATE_EXPECTS(is_time_sorted(series), "series must be time-sorted");
+  SuspicionResult result;
+  result.in_suspicious_window.assign(series.size(), false);
+
+  const std::size_t needed = std::max<std::size_t>(
+      config_.min_ratings, 2 * static_cast<std::size_t>(config_.order) + 1);
+
+  // Build the window index ranges.
+  std::vector<WindowReport> reports;
+  if (config_.count_based) {
+    for (const auto& iw : signal::make_count_windows(
+             series.size(), config_.window_count, config_.step_count)) {
+      WindowReport r;
+      r.first = iw.begin;
+      r.last = iw.end;
+      r.window = {series[iw.begin].time,
+                  series[iw.end - 1].time};  // informational span
+      reports.push_back(r);
+    }
+  } else if (t1 > t0) {
+    for (const auto& tw :
+         signal::make_time_windows(t0, t1, config_.window_days, config_.step_days)) {
+      WindowReport r;
+      r.window = tw;
+      const auto idx = signal::indices_in_window(series, tw);
+      r.first = idx.begin;
+      r.last = idx.end;
+      reports.push_back(r);
+    }
+  }
+
+  // Procedure 1: evaluate windows in time order, accumulating C(i) with the
+  // latest-level bookkeeping so overlapping windows do not double-count.
+  std::unordered_map<RaterId, double> latest_level;
+  for (WindowReport& r : reports) {
+    const std::size_t n = r.last - r.first;
+    if (n < needed) {
+      result.windows.push_back(r);
+      continue;
+    }
+    std::vector<double> values;
+    values.reserve(n);
+    for (std::size_t i = r.first; i < r.last; ++i) values.push_back(series[i].value);
+
+    r.model_error = window_error(values);
+    r.evaluated = true;
+    if (r.model_error < config_.error_threshold) {
+      r.suspicious = true;
+      r.level = config_.scale * (1.0 - r.model_error / config_.error_threshold);
+
+      for (std::size_t i = r.first; i < r.last; ++i) {
+        result.in_suspicious_window[i] = true;
+        const RaterId rater = series[i].rater;
+        double& latest = latest_level[rater];
+        if (latest == 0.0) {
+          result.suspicion[rater] += r.level;
+        } else if (r.level > latest) {
+          result.suspicion[rater] += r.level - latest;
+        }
+        latest = r.level;
+      }
+    }
+    result.windows.push_back(r);
+  }
+  return result;
+}
+
+std::size_t SuspicionResult::suspicious_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(windows.begin(), windows.end(),
+                    [](const WindowReport& w) { return w.suspicious; }));
+}
+
+}  // namespace trustrate::detect

@@ -1,0 +1,83 @@
+#include "detect/beta_filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/special.hpp"
+
+namespace trustrate::detect {
+
+namespace {
+
+/// Quantile band of the majority opinion. The kept ratings are summarized
+/// by a Beta distribution fitted by moments — the *predictive* distribution
+/// of an individual rating, not the posterior of the mean (which collapses
+/// to a point for large samples and would reject everything). When the
+/// sample is too over-dispersed for a Beta fit, empirical quantiles serve
+/// as the band.
+struct Band {
+  double lo;
+  double hi;
+};
+
+Band majority_band(const std::vector<double>& values, double q) {
+  const double m = std::clamp(stats::summarize(values).mean, 1e-6, 1.0 - 1e-6);
+  const double v = stats::population_variance(values);
+  if (v <= 1e-12) {
+    // Degenerate: all kept ratings (nearly) identical; nothing is an outlier
+    // relative to them.
+    return {0.0, 1.0};
+  }
+  const double common = m * (1.0 - m) / v - 1.0;
+  if (common <= 0.0) {
+    // Over-dispersed beyond any Beta: fall back to empirical quantiles.
+    return {stats::quantile(values, q), stats::quantile(values, 1.0 - q)};
+  }
+  const double a = m * common;
+  const double b = (1.0 - m) * common;
+  return {stats::beta_quantile(q, a, b), stats::beta_quantile(1.0 - q, a, b)};
+}
+
+}  // namespace
+
+BetaQuantileFilter::BetaQuantileFilter(BetaFilterConfig config) : config_(config) {
+  TRUSTRATE_EXPECTS(config_.q > 0.0 && config_.q < 0.5,
+                    "beta filter q must be in (0, 0.5)");
+  TRUSTRATE_EXPECTS(config_.max_iterations >= 1,
+                    "beta filter needs at least one iteration");
+}
+
+FilterOutcome BetaQuantileFilter::filter(const RatingSeries& series) const {
+  FilterOutcome out;
+  out.kept.resize(series.size());
+  std::iota(out.kept.begin(), out.kept.end(), 0);
+  if (series.size() < config_.min_ratings) return out;
+
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    std::vector<double> values;
+    values.reserve(out.kept.size());
+    for (std::size_t i : out.kept) values.push_back(series[i].value);
+    const Band band = majority_band(values, config_.q);
+
+    std::vector<std::size_t> still_kept;
+    bool changed = false;
+    for (std::size_t i : out.kept) {
+      const double v = series[i].value;
+      if (v < band.lo || v > band.hi) {
+        out.removed.push_back(i);
+        changed = true;
+      } else {
+        still_kept.push_back(i);
+      }
+    }
+    out.kept = std::move(still_kept);
+    if (!changed || out.kept.size() < config_.min_ratings) break;
+  }
+  std::sort(out.removed.begin(), out.removed.end());
+  return out;
+}
+
+}  // namespace trustrate::detect

@@ -1,0 +1,44 @@
+// Beta-function quantile filter (Whitby, Jøsang & Indulska 2004, the
+// paper's ref. [4] and its Feature Extraction I).
+//
+// The kept ratings define a "majority opinion": a Beta distribution fitted
+// to them by moments (the predictive distribution of a single rating). A
+// rating is abnormal when it falls outside the [q, 1−q] quantile band of
+// that distribution. Removal changes the majority, so the test can be
+// iterated; the default is a single pass, matching the filter's role in
+// the paper (it catches only far-from-majority ratings).
+#pragma once
+
+#include "detect/filter.hpp"
+
+namespace trustrate::detect {
+
+struct BetaFilterConfig {
+  /// Sensitivity: fraction of each tail treated as abnormal (paper §IV
+  /// uses 0.1). Must be in (0, 0.5).
+  double q = 0.1;
+
+  /// Below this many ratings the majority is statistically meaningless and
+  /// the filter keeps everything.
+  std::size_t min_ratings = 5;
+
+  /// Number of filter passes (each pass refits the majority opinion to the
+  /// survivors). One pass is the paper's operating point; more passes make
+  /// the filter stricter.
+  int max_iterations = 1;
+};
+
+class BetaQuantileFilter final : public RatingFilter {
+ public:
+  explicit BetaQuantileFilter(BetaFilterConfig config = {});
+
+  FilterOutcome filter(const RatingSeries& series) const override;
+  std::string name() const override { return "beta-quantile"; }
+
+  const BetaFilterConfig& config() const { return config_; }
+
+ private:
+  BetaFilterConfig config_;
+};
+
+}  // namespace trustrate::detect

@@ -1,0 +1,97 @@
+#include "detect/cluster_filter.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace trustrate::detect {
+
+ClusterFilter::ClusterFilter(ClusterFilterConfig config) : config_(config) {
+  TRUSTRATE_EXPECTS(config_.min_separation > 0.0,
+                    "cluster filter separation must be positive");
+  TRUSTRATE_EXPECTS(config_.max_minority_fraction > 0.0 &&
+                        config_.max_minority_fraction < 1.0,
+                    "minority fraction must be in (0, 1)");
+}
+
+double ClusterFilter::optimal_split(std::vector<double> values) {
+  TRUSTRATE_EXPECTS(values.size() >= 2, "optimal_split needs >= 2 values");
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+
+  // Prefix sums let each candidate split be scored in O(1).
+  std::vector<double> prefix(n + 1, 0.0);
+  std::vector<double> prefix_sq(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    prefix[i + 1] = prefix[i] + values[i];
+    prefix_sq[i + 1] = prefix_sq[i] + values[i] * values[i];
+  }
+  auto wcss = [&](std::size_t lo, std::size_t hi) {  // [lo, hi)
+    const double cnt = static_cast<double>(hi - lo);
+    const double sum = prefix[hi] - prefix[lo];
+    const double sq = prefix_sq[hi] - prefix_sq[lo];
+    return sq - sum * sum / cnt;
+  };
+
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_k = 1;
+  for (std::size_t k = 1; k < n; ++k) {  // low cluster = first k values
+    const double cost = wcss(0, k) + wcss(k, n);
+    if (cost < best) {
+      best = cost;
+      best_k = k;
+    }
+  }
+  return values[best_k - 1];  // inclusive upper edge of the low cluster
+}
+
+FilterOutcome ClusterFilter::filter(const RatingSeries& series) const {
+  FilterOutcome out;
+  if (series.size() < config_.min_ratings) {
+    out.kept.resize(series.size());
+    std::iota(out.kept.begin(), out.kept.end(), 0);
+    return out;
+  }
+
+  const double split = optimal_split(values_of(series));
+  std::vector<std::size_t> low;
+  std::vector<std::size_t> high;
+  double low_sum = 0.0;
+  double high_sum = 0.0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (series[i].value <= split) {
+      low.push_back(i);
+      low_sum += series[i].value;
+    } else {
+      high.push_back(i);
+      high_sum += series[i].value;
+    }
+  }
+  if (low.empty() || high.empty()) {
+    out.kept.resize(series.size());
+    std::iota(out.kept.begin(), out.kept.end(), 0);
+    return out;
+  }
+
+  const double low_mean = low_sum / static_cast<double>(low.size());
+  const double high_mean = high_sum / static_cast<double>(high.size());
+  const double total = static_cast<double>(series.size());
+  const bool separated = (high_mean - low_mean) >= config_.min_separation;
+  const auto& minority = (low.size() <= high.size()) ? low : high;
+  const bool small_enough =
+      static_cast<double>(minority.size()) / total <= config_.max_minority_fraction;
+
+  if (separated && small_enough) {
+    out.removed = minority;
+    out.kept = (low.size() <= high.size()) ? high : low;
+    std::sort(out.kept.begin(), out.kept.end());
+  } else {
+    out.kept.resize(series.size());
+    std::iota(out.kept.begin(), out.kept.end(), 0);
+  }
+  return out;
+}
+
+}  // namespace trustrate::detect

@@ -1,0 +1,44 @@
+// Clustering-based unfair-rating filter (inspired by Dellarocas 2000, the
+// paper's ref. [3] — baseline).
+//
+// Rating values are split into two clusters by exact 1-D 2-means (optimal
+// split point of the sorted values). When the clusters are well separated
+// and one is a minority, the minority cluster is deemed unfair — the
+// classic picture of a ballot-stuffing block far from the honest mass.
+// Moderate-bias collaborative ratings overlap the honest cluster, so the
+// split never separates them: the paper's argument for why this baseline
+// fails against strategy 2.
+#pragma once
+
+#include "detect/filter.hpp"
+
+namespace trustrate::detect {
+
+struct ClusterFilterConfig {
+  /// Minimum |mean(cluster A) − mean(cluster B)| for the split to count as
+  /// two genuine opinions rather than noise.
+  double min_separation = 0.3;
+
+  /// The flagged cluster must hold at most this fraction of the ratings.
+  double max_minority_fraction = 0.45;
+
+  std::size_t min_ratings = 6;  ///< below this, keep everything
+};
+
+class ClusterFilter final : public RatingFilter {
+ public:
+  explicit ClusterFilter(ClusterFilterConfig config = {});
+
+  FilterOutcome filter(const RatingSeries& series) const override;
+  std::string name() const override { return "cluster"; }
+
+  /// Exact 1-D 2-means: returns the threshold value such that values <=
+  /// threshold form the low cluster, minimizing within-cluster sum of
+  /// squares. Requires >= 2 values.
+  static double optimal_split(std::vector<double> values);
+
+ private:
+  ClusterFilterConfig config_;
+};
+
+}  // namespace trustrate::detect

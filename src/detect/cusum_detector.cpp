@@ -1,0 +1,79 @@
+#include "detect/cusum_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+
+namespace trustrate::detect {
+
+std::size_t CusumResult::first_alarm() const {
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].alarm) return i;
+  }
+  return points.size();
+}
+
+std::size_t CusumResult::alarm_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(points.begin(), points.end(),
+                    [](const CusumPoint& p) { return p.alarm; }));
+}
+
+CusumDetector::CusumDetector(CusumConfig config) : config_(config) {
+  TRUSTRATE_EXPECTS(config_.k >= 0.0, "CUSUM slack must be non-negative");
+  TRUSTRATE_EXPECTS(config_.h > 0.0, "CUSUM threshold must be positive");
+  TRUSTRATE_EXPECTS(config_.warmup >= 2, "CUSUM warmup needs >= 2 ratings");
+  TRUSTRATE_EXPECTS(config_.min_sigma > 0.0, "CUSUM min_sigma must be positive");
+}
+
+CusumResult CusumDetector::analyze(const RatingSeries& series) const {
+  TRUSTRATE_EXPECTS(is_time_sorted(series), "series must be time-sorted");
+  CusumResult result;
+  result.points.resize(series.size());
+  result.in_alarm.assign(series.size(), false);
+  if (series.size() < config_.warmup) return result;
+
+  // Reference statistics from the warmup prefix.
+  std::vector<double> warmup_values;
+  warmup_values.reserve(config_.warmup);
+  for (std::size_t i = 0; i < config_.warmup; ++i) {
+    warmup_values.push_back(series[i].value);
+  }
+  const auto summary = stats::summarize(warmup_values);
+  result.mu0 = summary.mean;
+  result.sigma0 = std::max(summary.stddev, config_.min_sigma);
+
+  double upper = 0.0;
+  double lower = 0.0;
+  // Onset tracking: when an alarm fires, every rating since the last zero
+  // of the breaching sum belongs to the detected shift.
+  std::size_t upper_onset = config_.warmup;
+  std::size_t lower_onset = config_.warmup;
+  for (std::size_t i = config_.warmup; i < series.size(); ++i) {
+    const double z = (series[i].value - result.mu0) / result.sigma0;
+    const double upper_next = std::max(0.0, upper + z - config_.k);
+    const double lower_next = std::max(0.0, lower - z - config_.k);
+    if (upper == 0.0 && upper_next > 0.0) upper_onset = i;
+    if (lower == 0.0 && lower_next > 0.0) lower_onset = i;
+    upper = upper_next;
+    lower = lower_next;
+    CusumPoint& p = result.points[i];
+    p.upper = upper;
+    p.lower = lower;
+    if (upper > config_.h || lower > config_.h) {
+      p.alarm = true;
+      std::size_t onset = upper > config_.h ? upper_onset : lower_onset;
+      if (i - onset > config_.max_backtrack) onset = i - config_.max_backtrack;
+      for (std::size_t k = onset; k <= i; ++k) result.in_alarm[k] = true;
+      upper = 0.0;  // restart after an alarm
+      lower = 0.0;
+      upper_onset = i + 1;
+      lower_onset = i + 1;
+    }
+  }
+  return result;
+}
+
+}  // namespace trustrate::detect

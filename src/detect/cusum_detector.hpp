@@ -1,0 +1,75 @@
+// CUSUM (cumulative sum) change-point detector (extension beyond the
+// paper).
+//
+// A collaborative campaign shifts the mean of the rating stream; CUSUM is
+// the classical sequential test for exactly that. Two one-sided sums track
+// upward and downward shifts of the standardized ratings:
+//
+//     S+_n = max(0, S+_{n-1} + (z_n − k))      z_n = (x_n − μ0) / σ0
+//     S-_n = max(0, S-_{n-1} − (z_n + k))
+//
+// An alarm fires when either sum exceeds `h`. The reference mean μ0 and
+// scale σ0 come from a warmup prefix, so the detector is self-calibrating
+// per product. Compared with the AR detector it reacts to *mean shift*
+// rather than *predictability*, which makes the two complementary:
+// CUSUM sees large-bias campaigns the variance signature misses, and is
+// blind to zero-net-bias collusion that the AR error still exposes.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace trustrate::detect {
+
+struct CusumConfig {
+  double k = 0.5;              ///< slack (in σ units): half the shift to detect
+  double h = 8.0;              ///< decision threshold (in σ units)
+  std::size_t warmup = 30;     ///< ratings used to estimate μ0, σ0
+  double min_sigma = 0.02;     ///< lower bound on the scale estimate
+
+  /// Cap on how far behind an alarm the onset backtracking may reach. A
+  /// slightly-biased reference mean keeps the sum fractionally positive
+  /// for long stretches, which would otherwise drag the onset arbitrarily
+  /// far into honest territory.
+  std::size_t max_backtrack = 20;
+};
+
+/// Per-rating CUSUM state (exposed for plotting/tests).
+struct CusumPoint {
+  double upper = 0.0;  ///< S+ after this rating
+  double lower = 0.0;  ///< S- after this rating
+  bool alarm = false;  ///< either sum above h at this rating
+};
+
+struct CusumResult {
+  std::vector<CusumPoint> points;     ///< one per input rating
+  /// Per rating: part of a detected shift. On alarm the mask backtracks to
+  /// the breaching sum's onset (its last zero), so the whole shifted block
+  /// is flagged, not just the crossing rating.
+  std::vector<bool> in_alarm;
+  double mu0 = 0.0;                   ///< estimated reference mean
+  double sigma0 = 0.0;                ///< estimated reference scale
+
+  /// Index of the first alarmed rating, or series size when none.
+  std::size_t first_alarm() const;
+  std::size_t alarm_count() const;
+};
+
+class CusumDetector {
+ public:
+  explicit CusumDetector(CusumConfig config = {});
+
+  /// Runs the two-sided CUSUM over a time-sorted series. Series shorter
+  /// than the warmup produce no alarms. The sums reset to zero when an
+  /// alarm fires (standard restart behaviour) so separate campaigns raise
+  /// separate alarms.
+  CusumResult analyze(const RatingSeries& series) const;
+
+  const CusumConfig& config() const { return config_; }
+
+ private:
+  CusumConfig config_;
+};
+
+}  // namespace trustrate::detect

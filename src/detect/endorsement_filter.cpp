@@ -1,0 +1,52 @@
+#include "detect/endorsement_filter.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+
+namespace trustrate::detect {
+
+EndorsementFilter::EndorsementFilter(EndorsementFilterConfig config)
+    : config_(config) {
+  TRUSTRATE_EXPECTS(config_.deviations > 0.0,
+                    "endorsement filter deviations must be positive");
+}
+
+std::vector<double> EndorsementFilter::qualities(const RatingSeries& series) {
+  const std::size_t n = series.size();
+  std::vector<double> q(n, 1.0);
+  if (n < 2) return q;
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      acc += 1.0 - std::fabs(series[i].value - series[j].value);
+    }
+    q[i] = acc / static_cast<double>(n - 1);
+  }
+  return q;
+}
+
+FilterOutcome EndorsementFilter::filter(const RatingSeries& series) const {
+  FilterOutcome out;
+  if (series.size() < config_.min_ratings) {
+    out.kept.resize(series.size());
+    std::iota(out.kept.begin(), out.kept.end(), 0);
+    return out;
+  }
+  const auto q = qualities(series);
+  const auto summary = stats::summarize(q);
+  const double cutoff = summary.mean - config_.deviations * summary.stddev;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (q[i] < cutoff) {
+      out.removed.push_back(i);
+    } else {
+      out.kept.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace trustrate::detect

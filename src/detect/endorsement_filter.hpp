@@ -1,0 +1,36 @@
+// Endorsement-based rating quality (Chen & Singh 2001, the paper's ref. [2]
+// — baseline).
+//
+// Every rating endorses every other rating in proportion to their
+// agreement: endorse(r_i, r_j) = 1 − |r_i − r_j|. A rating's quality is its
+// mean endorsement from all other ratings; ratings whose quality falls more
+// than `deviations` standard deviations below the mean quality are
+// abnormal. Unfair ratings far from the majority collect weak endorsements
+// and sink; moderate-bias collaborative ratings endorse *each other* and
+// survive — exactly the failure mode the paper exploits.
+#pragma once
+
+#include "detect/filter.hpp"
+
+namespace trustrate::detect {
+
+struct EndorsementFilterConfig {
+  double deviations = 2.0;     ///< flag quality < mean − deviations·stddev
+  std::size_t min_ratings = 5; ///< below this, keep everything
+};
+
+class EndorsementFilter final : public RatingFilter {
+ public:
+  explicit EndorsementFilter(EndorsementFilterConfig config = {});
+
+  FilterOutcome filter(const RatingSeries& series) const override;
+  std::string name() const override { return "endorsement"; }
+
+  /// Quality scores for each rating in `series` (mean pairwise agreement).
+  static std::vector<double> qualities(const RatingSeries& series);
+
+ private:
+  EndorsementFilterConfig config_;
+};
+
+}  // namespace trustrate::detect

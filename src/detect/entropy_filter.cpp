@@ -1,0 +1,86 @@
+#include "detect/entropy_filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace trustrate::detect {
+
+namespace {
+
+double entropy_of(const std::vector<double>& counts) {
+  double total = 0.0;
+  for (double c : counts) total += c;
+  double h = 0.0;
+  for (double c : counts) {
+    if (c <= 0.0) continue;
+    const double p = c / total;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+EntropyFilter::EntropyFilter(EntropyFilterConfig config) : config_(config) {
+  TRUSTRATE_EXPECTS(config_.levels >= 2, "entropy filter needs >= 2 levels");
+  TRUSTRATE_EXPECTS(config_.threshold > 0.0, "entropy threshold must be positive");
+  TRUSTRATE_EXPECTS(config_.memory >= config_.warmup,
+                    "entropy memory must cover the warmup");
+}
+
+int EntropyFilter::level_of(double value) const {
+  if (config_.levels_include_zero) {
+    const int idx = static_cast<int>(std::lround(value * (config_.levels - 1)));
+    return std::clamp(idx, 0, config_.levels - 1);
+  }
+  const int idx = static_cast<int>(std::lround(value * config_.levels)) - 1;
+  return std::clamp(idx, 0, config_.levels - 1);
+}
+
+FilterOutcome EntropyFilter::filter(const RatingSeries& series) const {
+  FilterOutcome out;
+  // Laplace smoothing: every level starts with one pseudo-count so early
+  // entropies are well-defined. `window` holds the accepted levels backing
+  // the counts so the oldest can be retired once `memory` is reached.
+  std::vector<double> counts(static_cast<std::size_t>(config_.levels), 1.0);
+  std::deque<int> window;
+  std::size_t accepted = 0;
+  auto admit = [&](int level) {
+    counts[static_cast<std::size_t>(level)] += 1.0;
+    window.push_back(level);
+    if (window.size() > config_.memory) {
+      counts[static_cast<std::size_t>(window.front())] -= 1.0;
+      window.pop_front();
+    }
+  };
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const int level = level_of(series[i].value);
+    if (accepted < config_.warmup) {
+      admit(level);
+      out.kept.push_back(i);
+      ++accepted;
+      continue;
+    }
+    const double before = entropy_of(counts);
+    counts[static_cast<std::size_t>(level)] += 1.0;
+    const double after = entropy_of(counts);
+    // Only an entropy *increase* marks an unfair rating: a testimony that
+    // clashes with the accumulated consensus adds uncertainty, while one
+    // that agrees concentrates the distribution (entropy falls).
+    counts[static_cast<std::size_t>(level)] -= 1.0;  // probe only
+    if (after - before > config_.threshold) {
+      out.removed.push_back(i);
+    } else {
+      admit(level);
+      out.kept.push_back(i);
+      ++accepted;
+    }
+  }
+  return out;
+}
+
+}  // namespace trustrate::detect

@@ -1,0 +1,46 @@
+// Entropy-based unfair-rating filter (Weng, Miao & Goh 2006, the paper's
+// ref. [5] — one of the baselines the paper argues fails against
+// moderate-bias collaborative attacks).
+//
+// Ratings are processed in arrival order. The level distribution seen so
+// far (Laplace-smoothed) has entropy H; a new rating whose inclusion
+// *raises* the entropy by more than `threshold` is considered low-quality
+// (it clashes with the accumulated opinion and adds uncertainty) and is
+// filtered out. Agreeing ratings lower the entropy and always pass.
+// Filtered ratings do not update the distribution.
+#pragma once
+
+#include "detect/filter.hpp"
+
+namespace trustrate::detect {
+
+struct EntropyFilterConfig {
+  int levels = 10;             ///< discrete rating levels
+  bool levels_include_zero = false;
+  double threshold = 0.08;     ///< entropy increase (nats) marking a rating unfair
+  std::size_t warmup = 10;     ///< ratings accepted unconditionally at start
+
+  /// Number of most recent accepted ratings forming the reference
+  /// distribution. Bounding the memory keeps the per-rating entropy change
+  /// on a meaningful scale: with an unbounded history |dH| tends to zero
+  /// and the filter goes inert.
+  std::size_t memory = 50;
+};
+
+class EntropyFilter final : public RatingFilter {
+ public:
+  explicit EntropyFilter(EntropyFilterConfig config = {});
+
+  FilterOutcome filter(const RatingSeries& series) const override;
+  std::string name() const override { return "entropy"; }
+
+  const EntropyFilterConfig& config() const { return config_; }
+
+ private:
+  /// Level index of a unit-interval value.
+  int level_of(double value) const;
+
+  EntropyFilterConfig config_;
+};
+
+}  // namespace trustrate::detect

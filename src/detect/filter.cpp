@@ -1,0 +1,27 @@
+#include "detect/filter.hpp"
+
+#include <numeric>
+
+namespace trustrate::detect {
+
+RatingSeries FilterOutcome::kept_series(const RatingSeries& input) const {
+  RatingSeries out;
+  out.reserve(kept.size());
+  for (std::size_t i : kept) out.push_back(input[i]);
+  return out;
+}
+
+std::vector<bool> FilterOutcome::removed_mask(std::size_t input_size) const {
+  std::vector<bool> mask(input_size, false);
+  for (std::size_t i : removed) mask[i] = true;
+  return mask;
+}
+
+FilterOutcome NullFilter::filter(const RatingSeries& series) const {
+  FilterOutcome out;
+  out.kept.resize(series.size());
+  std::iota(out.kept.begin(), out.kept.end(), 0);
+  return out;
+}
+
+}  // namespace trustrate::detect

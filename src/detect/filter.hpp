@@ -1,0 +1,50 @@
+// Rating-filter interface (the paper's Feature Extraction I + Rating Filter).
+//
+// A filter examines the ratings of one object and partitions them into
+// kept ("normal") and removed ("abnormal") sets. Implementations:
+//   * BetaQuantileFilter  — Whitby et al. [4], the filter the paper adopts
+//   * EntropyFilter       — Weng et al. [5] baseline
+//   * EndorsementFilter   — Chen & Singh [2] baseline
+//   * ClusterFilter       — Dellarocas [3]-inspired baseline
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace trustrate::detect {
+
+/// Partition produced by a filter: indices into the input series.
+/// `kept` and `removed` are disjoint, sorted, and together cover the input.
+struct FilterOutcome {
+  std::vector<std::size_t> kept;
+  std::vector<std::size_t> removed;
+
+  /// Convenience: the kept ratings as a series (preserves order).
+  RatingSeries kept_series(const RatingSeries& input) const;
+
+  /// Boolean mask over the input: true = removed.
+  std::vector<bool> removed_mask(std::size_t input_size) const;
+};
+
+/// Abstract rating filter (Core Guidelines I.25: empty abstract interface).
+class RatingFilter {
+ public:
+  virtual ~RatingFilter() = default;
+
+  /// Partitions `series` (the ratings of one object, time-sorted).
+  virtual FilterOutcome filter(const RatingSeries& series) const = 0;
+
+  /// Human-readable name for reports.
+  virtual std::string name() const = 0;
+};
+
+/// A filter that keeps everything (control condition in experiments).
+class NullFilter final : public RatingFilter {
+ public:
+  FilterOutcome filter(const RatingSeries& series) const override;
+  std::string name() const override { return "none"; }
+};
+
+}  // namespace trustrate::detect

@@ -1,0 +1,97 @@
+#include "detect/rate_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/special.hpp"
+
+namespace trustrate::detect {
+
+double poisson_upper_tail(double mean, std::size_t count) {
+  TRUSTRATE_EXPECTS(mean >= 0.0, "Poisson mean must be non-negative");
+  if (count == 0) return 1.0;
+  if (mean <= 0.0) return 0.0;
+  if (mean < 50.0) {
+    // Exact: P(X >= c) = 1 - sum_{k < c} e^-m m^k / k!.
+    double term = std::exp(-mean);
+    double cdf = term;
+    for (std::size_t k = 1; k < count; ++k) {
+      term *= mean / static_cast<double>(k);
+      cdf += term;
+    }
+    return std::max(1.0 - cdf, 0.0);
+  }
+  // Normal approximation with continuity correction.
+  const double z =
+      (static_cast<double>(count) - 0.5 - mean) / std::sqrt(mean);
+  return 1.0 - stats::normal_cdf(z);
+}
+
+std::size_t RateAnomalyResult::anomalous_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(windows.begin(), windows.end(),
+                    [](const RateWindowReport& w) { return w.anomalous; }));
+}
+
+RateAnomalyDetector::RateAnomalyDetector(RateDetectorConfig config)
+    : config_(config) {
+  TRUSTRATE_EXPECTS(config_.window_days > 0.0 && config_.step_days > 0.0,
+                    "window and step must be positive");
+  TRUSTRATE_EXPECTS(config_.p_value > 0.0 && config_.p_value < 0.5,
+                    "p-value must be in (0, 0.5)");
+  TRUSTRATE_EXPECTS(config_.trim_fraction >= 0.0 && config_.trim_fraction < 1.0,
+                    "trim fraction must be in [0, 1)");
+}
+
+RateAnomalyResult RateAnomalyDetector::analyze(const RatingSeries& series,
+                                               double t0, double t1) const {
+  TRUSTRATE_EXPECTS(is_time_sorted(series), "series must be time-sorted");
+  TRUSTRATE_EXPECTS(t1 > t0, "analysis interval must be non-empty");
+  RateAnomalyResult result;
+  result.in_anomalous_window.assign(series.size(), false);
+
+  const auto tiles =
+      signal::make_time_windows(t0, t1, config_.window_days, config_.step_days);
+  std::vector<double> counts;
+  counts.reserve(tiles.size());
+  for (const auto& tw : tiles) {
+    RateWindowReport r;
+    r.window = tw;
+    const auto idx = signal::indices_in_window(series, tw);
+    r.first = idx.begin;
+    r.last = idx.end;
+    counts.push_back(static_cast<double>(idx.size()));
+    result.windows.push_back(r);
+  }
+  if (result.windows.empty()) return result;
+
+  // Trimmed-mean baseline: drop the busiest windows so campaigns cannot
+  // raise their own bar.
+  std::vector<double> sorted(counts);
+  std::sort(sorted.begin(), sorted.end());
+  const auto keep = std::max<std::size_t>(
+      1, sorted.size() - static_cast<std::size_t>(
+                             config_.trim_fraction * static_cast<double>(sorted.size())));
+  double sum = 0.0;
+  for (std::size_t i = 0; i < keep; ++i) sum += sorted[i];
+  result.baseline_rate =
+      std::max(sum / static_cast<double>(keep) / config_.window_days,
+               config_.min_rate);
+
+  const double expected = result.baseline_rate * config_.window_days;
+  for (std::size_t i = 0; i < result.windows.size(); ++i) {
+    RateWindowReport& r = result.windows[i];
+    r.expected = expected;
+    const auto count = static_cast<std::size_t>(counts[i]);
+    if (poisson_upper_tail(expected, count) < config_.p_value) {
+      r.anomalous = true;
+      for (std::size_t k = r.first; k < r.last; ++k) {
+        result.in_anomalous_window[k] = true;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace trustrate::detect

@@ -1,0 +1,74 @@
+// Arrival-rate anomaly detector (extension beyond the paper).
+//
+// Collaborative campaigns do not just bias the *values* of ratings — they
+// spike the *arrival rate*: a product that normally collects a handful of
+// ratings per day suddenly collects dozens. This detector models honest
+// arrivals as a Poisson process whose rate is estimated from the
+// product's own history, and flags windows whose rating count is
+// improbably high under that rate. It formalizes the "volume gate" that
+// the burst-attack ablation (EXPERIMENTS.md, Fig. 12 note) shows is
+// needed against high-bias burst campaigns, and composes naturally with
+// ArSuspicionDetector: rate anomaly says *something* is happening;
+// variance collapse says the extra ratings agree with each other.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "signal/window.hpp"
+
+namespace trustrate::detect {
+
+struct RateDetectorConfig {
+  double window_days = 3.0;
+  double step_days = 1.5;
+
+  /// One-sided significance: a window is anomalous when the probability of
+  /// observing at least its count under the estimated Poisson rate is
+  /// below this (with the usual normal approximation for large means).
+  double p_value = 1e-4;
+
+  /// The rate estimate excludes the highest-rate fraction of windows so a
+  /// campaign does not inflate its own baseline (trimmed mean).
+  double trim_fraction = 0.25;
+
+  /// Minimum baseline rate (ratings/day) before anything can be judged.
+  double min_rate = 0.5;
+};
+
+/// Per-window report.
+struct RateWindowReport {
+  signal::TimeWindow window;
+  std::size_t first = 0;  ///< index range [first, last) into the series
+  std::size_t last = 0;
+  double expected = 0.0;  ///< expected count under the baseline rate
+  bool anomalous = false;
+};
+
+struct RateAnomalyResult {
+  std::vector<RateWindowReport> windows;
+  std::vector<bool> in_anomalous_window;  ///< per input rating
+  double baseline_rate = 0.0;             ///< ratings/day
+
+  std::size_t anomalous_count() const;
+};
+
+class RateAnomalyDetector {
+ public:
+  explicit RateAnomalyDetector(RateDetectorConfig config = {});
+
+  /// Analyzes a time-sorted series over [t0, t1). Requires t1 > t0.
+  RateAnomalyResult analyze(const RatingSeries& series, double t0, double t1) const;
+
+  const RateDetectorConfig& config() const { return config_; }
+
+ private:
+  RateDetectorConfig config_;
+};
+
+/// Upper-tail probability P(X >= count) for X ~ Poisson(mean): exact sum
+/// for small means, normal approximation with continuity correction above.
+/// Exposed for tests.
+double poisson_upper_tail(double mean, std::size_t count);
+
+}  // namespace trustrate::detect

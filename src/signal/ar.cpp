@@ -1,0 +1,282 @@
+#include "signal/ar.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "signal/matrix.hpp"
+
+namespace trustrate::signal {
+
+namespace {
+
+constexpr double kTinyEnergy = 1e-14;
+
+// Copies x, subtracting the mean when requested; returns the subtracted mean.
+double preprocess(std::span<const double> x, bool demean, std::vector<double>& out) {
+  out.assign(x.begin(), x.end());
+  if (!demean) return 0.0;
+  const double m = mean_of(x);
+  for (double& v : out) v -= m;
+  return m;
+}
+
+void finalize_error(ArModel& model) {
+  if (model.reference_energy <= kTinyEnergy) {
+    model.degenerate = true;
+    model.normalized_error = 0.0;
+    model.residual_energy = 0.0;
+    return;
+  }
+  model.normalized_error =
+      std::clamp(model.residual_energy / model.reference_energy, 0.0, 1.0);
+}
+
+// Covariance-method normal equations at order p for signal y.
+// Returns false when the system is singular.
+bool try_covariance_fit(const std::vector<double>& y, int p, ArModel& model) {
+  const std::size_t n = y.size();
+  const auto pp = static_cast<std::size_t>(p);
+
+  // c(i, j) = sum_{t=p}^{N-1} y(t-i) y(t-j), 0 <= i, j <= p.
+  Matrix c(pp + 1, pp + 1, 0.0);
+  for (std::size_t i = 0; i <= pp; ++i) {
+    for (std::size_t j = i; j <= pp; ++j) {
+      double acc = 0.0;
+      for (std::size_t t = pp; t < n; ++t) acc += y[t - i] * y[t - j];
+      c(i, j) = acc;
+      c(j, i) = acc;
+    }
+  }
+
+  Matrix a(pp, pp, 0.0);
+  std::vector<double> rhs(pp, 0.0);
+  for (std::size_t i = 1; i <= pp; ++i) {
+    for (std::size_t j = 1; j <= pp; ++j) a(i - 1, j - 1) = c(i, j);
+    rhs[i - 1] = -c(i, 0);
+  }
+
+  auto solution = solve_ldlt(a, rhs);
+  if (!solution) solution = solve_gaussian(a, rhs);
+  if (!solution) return false;
+
+  model.coeffs = std::move(*solution);
+  // E_min = c(0,0) + sum_k a_k c(0,k); guard against cancellation below 0.
+  double e = c(0, 0);
+  for (std::size_t k = 1; k <= pp; ++k) e += model.coeffs[k - 1] * c(0, k);
+  model.residual_energy = std::max(e, 0.0);
+  model.reference_energy = c(0, 0);
+  return true;
+}
+
+}  // namespace
+
+double ArModel::predict_next(std::span<const double> history) const {
+  TRUSTRATE_EXPECTS(history.size() >= coeffs.size(),
+                    "predict_next needs at least `order` history samples");
+  double acc = 0.0;
+  for (std::size_t k = 0; k < coeffs.size(); ++k) {
+    acc -= coeffs[k] * (history[history.size() - 1 - k] - mean);
+  }
+  return acc + mean;
+}
+
+ArModel fit_ar_covariance(std::span<const double> x, int order, ArOptions options) {
+  TRUSTRATE_EXPECTS(order >= 1, "AR order must be >= 1");
+  TRUSTRATE_EXPECTS(x.size() >= 2 * static_cast<std::size_t>(order) + 1,
+                    "covariance method needs x.size() >= 2*order + 1");
+  ArModel model;
+  model.requested_order = order;
+  model.sample_count = x.size();
+  std::vector<double> y;
+  model.mean = preprocess(x, options.demean, y);
+
+  // A constant (or constant-after-demean) window has no energy to model.
+  if (energy(y) <= kTinyEnergy) {
+    model.reference_energy = 0.0;
+    finalize_error(model);
+    return model;
+  }
+
+  // Singular normal equations (e.g. a constant level with p >= 2 makes the
+  // covariance matrix rank-1) are handled by order reduction: the lower
+  // order model describes the same signal exactly.
+  for (int p = order; p >= 1; --p) {
+    if (try_covariance_fit(y, p, model)) {
+      finalize_error(model);
+      return model;
+    }
+  }
+  // Even order 1 was singular: y(t-1) is identically 0 over the fit range.
+  // Nothing is predictable; report full error.
+  model.coeffs.clear();
+  model.reference_energy = energy(y);
+  model.residual_energy = model.reference_energy;
+  finalize_error(model);
+  return model;
+}
+
+ArModel fit_ar_autocorrelation(std::span<const double> x, int order,
+                               ArOptions options) {
+  TRUSTRATE_EXPECTS(order >= 1, "AR order must be >= 1");
+  TRUSTRATE_EXPECTS(x.size() >= 2 * static_cast<std::size_t>(order) + 1,
+                    "autocorrelation method needs x.size() >= 2*order + 1");
+  ArModel model;
+  model.requested_order = order;
+  model.sample_count = x.size();
+  std::vector<double> y;
+  model.mean = preprocess(x, options.demean, y);
+  const std::size_t n = y.size();
+
+  // Biased autocorrelation estimates r(0..p).
+  std::vector<double> r(static_cast<std::size_t>(order) + 1, 0.0);
+  for (int k = 0; k <= order; ++k) {
+    double acc = 0.0;
+    for (std::size_t t = 0; t + static_cast<std::size_t>(k) < n; ++t) {
+      acc += y[t] * y[t + static_cast<std::size_t>(k)];
+    }
+    r[static_cast<std::size_t>(k)] = acc / static_cast<double>(n);
+  }
+
+  model.reference_energy = r[0] * static_cast<double>(n);
+  if (r[0] <= kTinyEnergy) {
+    model.reference_energy = 0.0;
+    finalize_error(model);
+    return model;
+  }
+
+  // Levinson–Durbin recursion.
+  std::vector<double> a(static_cast<std::size_t>(order), 0.0);
+  double e = r[0];
+  for (int m = 0; m < order; ++m) {
+    double k_num = r[static_cast<std::size_t>(m) + 1];
+    for (int i = 0; i < m; ++i) {
+      k_num += a[static_cast<std::size_t>(i)] * r[static_cast<std::size_t>(m - i)];
+    }
+    const double k_m = (e > kTinyEnergy) ? -k_num / e : 0.0;
+    // Update coefficients a_1..a_{m+1}.
+    std::vector<double> prev(a.begin(), a.begin() + m);
+    a[static_cast<std::size_t>(m)] = k_m;
+    for (int i = 0; i < m; ++i) {
+      a[static_cast<std::size_t>(i)] =
+          prev[static_cast<std::size_t>(i)] + k_m * prev[static_cast<std::size_t>(m - 1 - i)];
+    }
+    e *= (1.0 - k_m * k_m);
+    if (e < 0.0) e = 0.0;
+  }
+  model.coeffs = std::move(a);
+  model.residual_energy = e * static_cast<double>(n);
+  finalize_error(model);
+  return model;
+}
+
+ArModel fit_ar_burg(std::span<const double> x, int order, ArOptions options) {
+  TRUSTRATE_EXPECTS(order >= 1, "AR order must be >= 1");
+  TRUSTRATE_EXPECTS(x.size() >= 2 * static_cast<std::size_t>(order) + 1,
+                    "Burg method needs x.size() >= 2*order + 1");
+  ArModel model;
+  model.requested_order = order;
+  model.sample_count = x.size();
+  std::vector<double> y;
+  model.mean = preprocess(x, options.demean, y);
+  const std::size_t n = y.size();
+
+  model.reference_energy = energy(y);
+  if (model.reference_energy <= kTinyEnergy) {
+    model.reference_energy = 0.0;
+    finalize_error(model);
+    return model;
+  }
+
+  std::vector<double> f(y);   // forward errors
+  std::vector<double> b(y);   // backward errors
+  std::vector<double> a;      // a_1..a_m
+  double e = model.reference_energy / static_cast<double>(n);
+
+  for (int m = 0; m < order; ++m) {
+    // Reflection coefficient maximizing error reduction.
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t t = static_cast<std::size_t>(m) + 1; t < n; ++t) {
+      num += f[t] * b[t - 1];
+      den += f[t] * f[t] + b[t - 1] * b[t - 1];
+    }
+    const double k = (den > kTinyEnergy) ? -2.0 * num / den : 0.0;
+
+    // Update AR coefficients.
+    std::vector<double> prev(a);
+    a.resize(static_cast<std::size_t>(m) + 1);
+    a[static_cast<std::size_t>(m)] = k;
+    for (int i = 0; i < m; ++i) {
+      a[static_cast<std::size_t>(i)] =
+          prev[static_cast<std::size_t>(i)] + k * prev[static_cast<std::size_t>(m - 1 - i)];
+    }
+
+    // Update error sequences (in place, back-to-front on b).
+    for (std::size_t t = n - 1; t > static_cast<std::size_t>(m); --t) {
+      const double f_new = f[t] + k * b[t - 1];
+      const double b_new = b[t - 1] + k * f[t];
+      f[t] = f_new;
+      b[t] = b_new;
+    }
+    e *= (1.0 - k * k);
+    if (e < 0.0) e = 0.0;
+  }
+  model.coeffs = std::move(a);
+  model.residual_energy = e * static_cast<double>(n);
+  finalize_error(model);
+  return model;
+}
+
+std::vector<double> ar_residuals(std::span<const double> x, const ArModel& model) {
+  const auto p = static_cast<std::size_t>(model.order());
+  TRUSTRATE_EXPECTS(x.size() > p, "ar_residuals needs more samples than the order");
+  std::vector<double> out;
+  out.reserve(x.size() - p);
+  for (std::size_t t = p; t < x.size(); ++t) {
+    double e = x[t] - model.mean;
+    for (std::size_t k = 1; k <= p; ++k) {
+      e += model.coeffs[k - 1] * (x[t - k] - model.mean);
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+int select_order_fpe(std::span<const double> x, int max_order, ArOptions options) {
+  TRUSTRATE_EXPECTS(max_order >= 1, "select_order_fpe needs max_order >= 1");
+  TRUSTRATE_EXPECTS(x.size() >= 2 * static_cast<std::size_t>(max_order) + 2,
+                    "select_order_fpe needs x.size() >= 2*max_order + 2");
+  const double n = static_cast<double>(x.size());
+  std::vector<double> fpe(static_cast<std::size_t>(max_order) + 1, 0.0);
+  double best_fpe = std::numeric_limits<double>::infinity();
+  for (int p = 1; p <= max_order; ++p) {
+    const ArModel m = fit_ar_covariance(x, p, options);
+    const double e_p = m.residual_energy / n;
+    fpe[static_cast<std::size_t>(p)] = e_p * (n + p + 1.0) / (n - p - 1.0);
+    best_fpe = std::min(best_fpe, fpe[static_cast<std::size_t>(p)]);
+  }
+  // Parsimony: the smallest order within 1% of the best FPE. Raw argmin
+  // tends to overfit by a coefficient or two on finite records.
+  for (int p = 1; p <= max_order; ++p) {
+    if (fpe[static_cast<std::size_t>(p)] <= best_fpe * 1.01) return p;
+  }
+  return max_order;
+}
+
+std::vector<double> synthesize_ar(std::span<const double> coeffs,
+                                  std::span<const double> innovations) {
+  std::vector<double> x(innovations.size(), 0.0);
+  const std::size_t p = coeffs.size();
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    double acc = innovations[t];
+    for (std::size_t k = 1; k <= p && k <= t; ++k) {
+      acc -= coeffs[k - 1] * x[t - k];
+    }
+    x[t] = acc;
+  }
+  return x;
+}
+
+}  // namespace trustrate::signal

@@ -1,0 +1,115 @@
+#include "signal/matrix.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace trustrate::signal {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+std::vector<double> Matrix::multiply(std::span<const double> x) const {
+  TRUSTRATE_EXPECTS(x.size() == cols_, "multiply: size mismatch");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+bool Matrix::is_symmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = r + 1; c < cols_; ++c) {
+      if (std::fabs((*this)(r, c) - (*this)(c, r)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::vector<double>> solve_gaussian(Matrix a, std::vector<double> b) {
+  TRUSTRATE_EXPECTS(a.rows() == a.cols(), "solve_gaussian: matrix must be square");
+  TRUSTRATE_EXPECTS(a.rows() == b.size(), "solve_gaussian: size mismatch");
+  const std::size_t n = a.rows();
+  if (n == 0) return std::vector<double>{};
+
+  // Scale-aware singularity threshold.
+  double max_abs = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      max_abs = std::max(max_abs, std::fabs(a(r, c)));
+    }
+  }
+  const double tiny = std::max(max_abs, 1.0) * 1e-13;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a(r, col)) > std::fabs(a(pivot, col))) pivot = r;
+    }
+    if (std::fabs(a(pivot, col)) < tiny) return std::nullopt;
+    if (pivot != col) {
+      for (std::size_t c = col; c < n; ++c) std::swap(a(pivot, c), a(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) / a(col, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= a(i, c) * x[c];
+    x[i] = acc / a(i, i);
+  }
+  return x;
+}
+
+std::optional<std::vector<double>> solve_ldlt(const Matrix& a, std::span<const double> b) {
+  TRUSTRATE_EXPECTS(a.rows() == a.cols(), "solve_ldlt: matrix must be square");
+  TRUSTRATE_EXPECTS(a.rows() == b.size(), "solve_ldlt: size mismatch");
+  const std::size_t n = a.rows();
+  if (n == 0) return std::vector<double>{};
+
+  Matrix l(n, n, 0.0);
+  std::vector<double> d(n, 0.0);
+  double max_diag = 0.0;
+  for (std::size_t i = 0; i < n; ++i) max_diag = std::max(max_diag, std::fabs(a(i, i)));
+  const double tiny = std::max(max_diag, 1.0) * 1e-13;
+
+  for (std::size_t j = 0; j < n; ++j) {
+    double dj = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) dj -= l(j, k) * l(j, k) * d[k];
+    if (dj < tiny) return std::nullopt;  // not safely positive definite
+    d[j] = dj;
+    l(j, j) = 1.0;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k) * d[k];
+      l(i, j) = acc / dj;
+    }
+  }
+
+  // Forward solve L z = b.
+  std::vector<double> z(b.begin(), b.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < i; ++k) z[i] -= l(i, k) * z[k];
+  }
+  // Diagonal solve D y = z.
+  for (std::size_t i = 0; i < n; ++i) z[i] /= d[i];
+  // Back solve L^T x = y.
+  for (std::size_t i = n; i-- > 0;) {
+    for (std::size_t k = i + 1; k < n; ++k) z[i] -= l(k, i) * z[k];
+  }
+  return z;
+}
+
+}  // namespace trustrate::signal

@@ -1,0 +1,47 @@
+// Small dense linear algebra for the AR normal equations.
+//
+// Sizes here are the AR model order (~4-10), so simplicity and numerical
+// robustness beat asymptotic cleverness.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace trustrate::signal {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Matrix-vector product; requires x.size() == cols().
+  std::vector<double> multiply(std::span<const double> x) const;
+
+  /// True when the matrix is square and symmetric within `tol`.
+  bool is_symmetric(double tol = 1e-9) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// Returns nullopt when A is (numerically) singular — an expected outcome
+/// for degenerate windows (e.g. constant ratings), not an error.
+std::optional<std::vector<double>> solve_gaussian(Matrix a, std::vector<double> b);
+
+/// Solves A x = b for symmetric positive (semi-)definite A via LDL^T.
+/// Returns nullopt on breakdown (non-positive pivot beyond tolerance), in
+/// which case callers should fall back to solve_gaussian.
+std::optional<std::vector<double>> solve_ldlt(const Matrix& a, std::span<const double> b);
+
+}  // namespace trustrate::signal

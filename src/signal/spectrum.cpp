@@ -1,0 +1,56 @@
+#include "signal/spectrum.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "common/error.hpp"
+
+namespace trustrate::signal {
+
+double ar_psd(const ArModel& model, double frequency) {
+  TRUSTRATE_EXPECTS(frequency >= 0.0 && frequency <= 0.5,
+                    "normalized frequency must be in [0, 0.5]");
+  TRUSTRATE_EXPECTS(!model.degenerate, "degenerate model has no spectrum");
+  const double omega = 2.0 * M_PI * frequency;
+  std::complex<double> denom(1.0, 0.0);
+  for (std::size_t k = 0; k < model.coeffs.size(); ++k) {
+    const double angle = -omega * static_cast<double>(k + 1);
+    denom += model.coeffs[k] * std::complex<double>(std::cos(angle), std::sin(angle));
+  }
+  const double mag2 = std::norm(denom);
+  const double sigma2 = std::max(model.residual_variance(), 1e-15);
+  return sigma2 / std::max(mag2, 1e-15);
+}
+
+std::vector<double> ar_psd_grid(const ArModel& model, int bins) {
+  TRUSTRATE_EXPECTS(bins >= 2, "PSD grid needs at least 2 bins");
+  std::vector<double> psd(static_cast<std::size_t>(bins));
+  for (int i = 0; i < bins; ++i) {
+    const double f = 0.5 * static_cast<double>(i) / (bins - 1);
+    psd[static_cast<std::size_t>(i)] = ar_psd(model, f);
+  }
+  return psd;
+}
+
+double spectral_flatness(const ArModel& model, int bins) {
+  const auto psd = ar_psd_grid(model, bins);
+  double log_sum = 0.0;
+  double sum = 0.0;
+  for (double p : psd) {
+    log_sum += std::log(p);
+    sum += p;
+  }
+  const double geometric = std::exp(log_sum / static_cast<double>(psd.size()));
+  const double arithmetic = sum / static_cast<double>(psd.size());
+  if (arithmetic <= 0.0) return 1.0;
+  return std::min(geometric / arithmetic, 1.0);
+}
+
+double window_spectral_flatness(std::span<const double> xs, int order,
+                                ArOptions options) {
+  const ArModel model = fit_ar_covariance(xs, order, options);
+  if (model.degenerate) return 0.0;  // constant window: maximally structured
+  return spectral_flatness(model);
+}
+
+}  // namespace trustrate::signal

@@ -1,0 +1,41 @@
+// AR (all-pole) power spectral density estimation.
+//
+// An AR(p) model fitted to a rating stream doubles as a parametric
+// spectrum estimator (the classic use of the covariance method in Hayes):
+//
+//     S(f) = sigma^2 / |1 + a_1 e^{-j2πf} + ... + a_p e^{-j2πfp}|^2
+//
+// For the detector this offers a diagnostic view: honest (white) windows
+// have a flat spectrum; a collaborative campaign concentrates power at
+// low frequencies (a slowly varying bias component). Extension beyond the
+// paper, used by the spectral-flatness diagnostics and ablations.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "signal/ar.hpp"
+
+namespace trustrate::signal {
+
+/// Power spectral density of a fitted AR model at normalized frequency
+/// f in [0, 0.5] (cycles per sample). Requires a non-degenerate model.
+double ar_psd(const ArModel& model, double frequency);
+
+/// PSD evaluated on `bins` equally spaced frequencies over [0, 0.5].
+/// Requires bins >= 2.
+std::vector<double> ar_psd_grid(const ArModel& model, int bins);
+
+/// Spectral flatness (Wiener entropy): geometric mean / arithmetic mean of
+/// the PSD over a `bins`-point grid, in (0, 1]. 1 = perfectly flat (white
+/// noise); near 0 = strongly peaked (predictable structure). A scale-free
+/// companion statistic to the detector's residual variance.
+double spectral_flatness(const ArModel& model, int bins = 128);
+
+/// Convenience: fits AR(order) by the covariance method and returns the
+/// spectral flatness of the window. Same preconditions as
+/// fit_ar_covariance.
+double window_spectral_flatness(std::span<const double> xs, int order,
+                                ArOptions options = {});
+
+}  // namespace trustrate::signal

@@ -1,0 +1,51 @@
+#include "signal/window.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace trustrate::signal {
+
+std::vector<TimeWindow> make_time_windows(double t0, double t1, double width,
+                                          double step) {
+  TRUSTRATE_EXPECTS(width > 0.0 && step > 0.0, "width and step must be positive");
+  TRUSTRATE_EXPECTS(t1 > t0, "make_time_windows requires t1 > t0");
+  std::vector<TimeWindow> out;
+  for (double start = t0; start < t1; start += step) {
+    out.push_back({start, start + width});
+    // A window already covering the remainder of [t0, t1) ends the tiling.
+    if (start + width >= t1) break;
+  }
+  return out;
+}
+
+std::vector<IndexWindow> make_count_windows(std::size_t n, std::size_t window,
+                                            std::size_t step) {
+  TRUSTRATE_EXPECTS(window >= 1 && step >= 1, "window and step must be >= 1");
+  std::vector<IndexWindow> out;
+  for (std::size_t begin = 0; begin + window <= n; begin += step) {
+    out.push_back({begin, begin + window});
+  }
+  return out;
+}
+
+IndexWindow indices_in_window(const RatingSeries& series, const TimeWindow& w) {
+  const auto lo = std::lower_bound(
+      series.begin(), series.end(), w.start,
+      [](const Rating& r, double t) { return r.time < t; });
+  const auto hi = std::lower_bound(
+      lo, series.end(), w.end,
+      [](const Rating& r, double t) { return r.time < t; });
+  return {static_cast<std::size_t>(lo - series.begin()),
+          static_cast<std::size_t>(hi - series.begin())};
+}
+
+std::vector<double> values_in_window(const RatingSeries& series, const TimeWindow& w) {
+  const IndexWindow idx = indices_in_window(series, w);
+  std::vector<double> out;
+  out.reserve(idx.size());
+  for (std::size_t i = idx.begin; i < idx.end; ++i) out.push_back(series[i].value);
+  return out;
+}
+
+}  // namespace trustrate::signal

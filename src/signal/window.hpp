@@ -1,0 +1,51 @@
+// Windowing helpers: the paper slices rating streams into (possibly
+// overlapping) windows, either by time span or by rating count, before
+// fitting the AR model (§III-A.1).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace trustrate::signal {
+
+/// Half-open time interval [start, end) in days.
+struct TimeWindow {
+  double start = 0.0;
+  double end = 0.0;
+
+  bool contains(double t) const { return t >= start && t < end; }
+  double center() const { return 0.5 * (start + end); }
+};
+
+/// Half-open index range [begin, end) into a series.
+struct IndexWindow {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t size() const { return end - begin; }
+};
+
+/// Tiling of [t0, t1) with windows of `width` days advancing by `step` days
+/// (step < width produces overlapping windows; the paper uses width 10,
+/// step 5). The last window may extend past t1 so the tail is covered.
+/// Requires width > 0, step > 0, t1 > t0.
+std::vector<TimeWindow> make_time_windows(double t0, double t1, double width,
+                                          double step);
+
+/// Count-based windows of `window` consecutive samples advancing by `step`
+/// (Fig. 4's model error uses 50-rating windows). Windows that would run
+/// past `n` are dropped. Requires window >= 1, step >= 1.
+std::vector<IndexWindow> make_count_windows(std::size_t n, std::size_t window,
+                                            std::size_t step);
+
+/// Index range of ratings (in a time-sorted series) falling inside `w`.
+/// Binary search, O(log n).
+IndexWindow indices_in_window(const RatingSeries& series, const TimeWindow& w);
+
+/// Values of the ratings inside `w` (time-sorted series).
+std::vector<double> values_in_window(const RatingSeries& series, const TimeWindow& w);
+
+}  // namespace trustrate::signal

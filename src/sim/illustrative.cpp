@@ -1,0 +1,75 @@
+#include "sim/illustrative.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "sim/quality.hpp"
+
+namespace trustrate::sim {
+
+RatingSeries generate_illustrative(const IllustrativeConfig& config, Rng& rng) {
+  TRUSTRATE_EXPECTS(config.simu_time > 0.0, "simu_time must be positive");
+  TRUSTRATE_EXPECTS(config.arrival_rate > 0.0, "arrival_rate must be positive");
+  TRUSTRATE_EXPECTS(config.honest_pool >= 1, "need at least one honest rater");
+  TRUSTRATE_EXPECTS(config.attack_end >= config.attack_start,
+                    "attack interval must be well-formed");
+
+  const QualityTrajectory quality(config.quality_start, config.quality_end, 0.0,
+                                  config.simu_time);
+  RatingSeries series;
+
+  // Pre-mark which honest raters are type-1 "influenced".
+  std::vector<bool> influenced(static_cast<std::size_t>(config.honest_pool), false);
+  if (config.enable_type1) {
+    for (auto&& flag : influenced) flag = rng.bernoulli(config.recruit_power1);
+  }
+
+  auto quantize = [&](double v) {
+    return quantize_unit(v, config.levels, config.levels_include_zero);
+  };
+  const auto in_attack = [&](double t) {
+    return t >= config.attack_start && t < config.attack_end;
+  };
+
+  // Honest (and type-1-influenced) stream: Poisson arrivals over the run.
+  for (double t = rng.exponential(config.arrival_rate); t < config.simu_time;
+       t += rng.exponential(config.arrival_rate)) {
+    const auto rater =
+        static_cast<RaterId>(rng.uniform_int(0, config.honest_pool - 1));
+    double value = rng.gaussian(quality.at(t), config.good_sigma);
+    RatingLabel label = RatingLabel::kHonest;
+    if (config.enable_type1 && influenced[rater] && in_attack(t)) {
+      value += config.bias_shift1;
+      label = RatingLabel::kCollaborative1;
+    }
+    series.push_back({t, quantize(value), rater, 0, label});
+  }
+
+  // Type-2 stream: extra recruited raters during the attack interval only.
+  if (config.enable_type2 && config.recruit_power2 > 0.0 &&
+      config.attack_end > config.attack_start) {
+    const double rate = config.arrival_rate * config.recruit_power2;
+    const auto first_type2 = static_cast<RaterId>(config.honest_pool);
+    for (double t = config.attack_start + rng.exponential(rate);
+         t < std::min(config.attack_end, config.simu_time);
+         t += rng.exponential(rate)) {
+      const auto rater = static_cast<RaterId>(
+          first_type2 + rng.uniform_int(0, std::max(config.type2_pool - 1, 0)));
+      const double value =
+          rng.gaussian(quality.at(t) + config.bias_shift2, config.bad_sigma);
+      series.push_back({t, quantize(value), rater, 0, RatingLabel::kCollaborative2});
+    }
+  }
+
+  sort_by_time(series);
+  return series;
+}
+
+RatingSeries generate_illustrative_honest_only(IllustrativeConfig config, Rng& rng) {
+  config.enable_type1 = false;
+  config.enable_type2 = false;
+  return generate_illustrative(config, rng);
+}
+
+}  // namespace trustrate::sim

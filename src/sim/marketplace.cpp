@@ -1,0 +1,228 @@
+#include "sim/marketplace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace trustrate::sim {
+
+namespace {
+
+// Samples `count` distinct elements from [0, n) (partial Fisher-Yates).
+std::vector<int> sample_without_replacement(int n, int count, Rng& rng) {
+  std::vector<int> pool(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) pool[static_cast<std::size_t>(i)] = i;
+  count = std::min(count, n);
+  for (int i = 0; i < count; ++i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_int(i, n - 1));
+    std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
+  }
+  pool.resize(static_cast<std::size_t>(count));
+  return pool;
+}
+
+}  // namespace
+
+std::vector<const SimProduct*> MarketplaceResult::products_in_month(int month) const {
+  std::vector<const SimProduct*> out;
+  for (const SimProduct& p : products) {
+    if (p.month == month) out.push_back(&p);
+  }
+  return out;
+}
+
+MarketplaceResult simulate_marketplace(const MarketplaceConfig& config, Rng& rng) {
+  TRUSTRATE_EXPECTS(config.reliable_raters >= 0 && config.careless_raters >= 0 &&
+                        config.pc_raters >= 0,
+                    "rater counts must be non-negative");
+  TRUSTRATE_EXPECTS(config.months >= 1, "need at least one month");
+  TRUSTRATE_EXPECTS(config.p_rate > 0.0 && config.p_rate * config.a1 <= 1.0,
+                    "a1 * p_rate must stay a probability");
+  TRUSTRATE_EXPECTS(config.a1 > 1.0 && config.a2 < 1.0 && config.a2 > 0.0,
+                    "paper requires a1 > 1 and 0 < a2 < 1");
+  TRUSTRATE_EXPECTS(config.attack_days <= config.days_per_month,
+                    "attack window must fit inside a month");
+
+  MarketplaceResult result;
+  const int total_raters =
+      config.reliable_raters + config.careless_raters + config.pc_raters;
+  result.rater_kind.reserve(static_cast<std::size_t>(total_raters));
+  for (int i = 0; i < config.reliable_raters; ++i)
+    result.rater_kind.push_back(RaterKind::kReliable);
+  for (int i = 0; i < config.careless_raters; ++i)
+    result.rater_kind.push_back(RaterKind::kCareless);
+  for (int i = 0; i < config.pc_raters; ++i)
+    result.rater_kind.push_back(RaterKind::kPotentialCollaborative);
+
+  // Active population: under churn, slot k of each category maps to a
+  // (possibly replaced) rater id; fresh ids extend rater_kind.
+  std::vector<RaterId> active_id(static_cast<std::size_t>(total_raters));
+  for (int i = 0; i < total_raters; ++i) {
+    active_id[static_cast<std::size_t>(i)] = static_cast<RaterId>(i);
+  }
+
+  ProductId next_product = 0;
+  for (int month = 0; month < config.months; ++month) {
+    const double month_start = month * config.days_per_month;
+    const double month_end = month_start + config.days_per_month;
+
+    // Churn: replace a fraction of the population with fresh identities of
+    // the same behavioural kind (not in month 0 — the initial population).
+    if (config.monthly_churn > 0.0 && month > 0) {
+      for (auto& id : active_id) {
+        if (!rng.bernoulli(config.monthly_churn)) continue;
+        const RaterKind kind = result.rater_kind[id];
+        id = static_cast<RaterId>(result.rater_kind.size());
+        result.rater_kind.push_back(kind);
+      }
+    }
+
+    // Create this month's products.
+    std::vector<SimProduct> active;
+    const int total_products =
+        config.honest_products_per_month + config.dishonest_products_per_month;
+    for (int k = 0; k < total_products; ++k) {
+      SimProduct p;
+      p.id = next_product++;
+      p.month = month;
+      p.dishonest = k >= config.honest_products_per_month;
+      p.quality = rng.uniform(config.quality_lo, config.quality_hi);
+      p.t_start = month_start;
+      p.t_end = month_end;
+      active.push_back(p);
+    }
+
+    // Dishonest products pick an attack window and recruit PC raters
+    // (or mint fresh Sybil identities under the whitewash strategy).
+    const bool campaign_month =
+        (month % std::max(config.attack_every_k_months, 1)) == 0;
+    std::vector<std::unordered_set<RaterId>> recruited(active.size());
+    for (std::size_t pi = 0; pi < active.size(); ++pi) {
+      SimProduct& p = active[pi];
+      if (!p.dishonest || !campaign_month) continue;
+      const double latest_start = config.days_per_month - config.attack_days;
+      const double offset =
+          (latest_start > 0.0) ? rng.uniform(0.0, latest_start) : 0.0;
+      p.attack_start = month_start + offset;
+      p.attack_end = p.attack_start + config.attack_days;
+
+      const int to_recruit = static_cast<int>(
+          std::lround(config.recruit_power3 * config.pc_raters));
+      if (config.whitewash) {
+        for (int i = 0; i < to_recruit; ++i) {
+          const auto rater = static_cast<RaterId>(result.rater_kind.size());
+          result.rater_kind.push_back(RaterKind::kPotentialCollaborative);
+          recruited[pi].insert(rater);
+          result.ever_recruited.insert(rater);
+        }
+      } else {
+        for (int idx :
+             sample_without_replacement(config.pc_raters, to_recruit, rng)) {
+          const RaterId rater = active_id[static_cast<std::size_t>(
+              config.reliable_raters + config.careless_raters + idx)];
+          recruited[pi].insert(rater);
+          result.ever_recruited.insert(rater);
+        }
+      }
+    }
+
+    // Daily rating decisions. `rated` guards one-rating-per-product.
+    std::vector<std::unordered_set<RaterId>> rated(active.size());
+    const int days = static_cast<int>(config.days_per_month);
+    for (int day = 0; day < days; ++day) {
+      const double day_start = month_start + day;
+      for (std::size_t pi = 0; pi < active.size(); ++pi) {
+        SimProduct& p = active[pi];
+        for (int slot = 0; slot < total_raters; ++slot) {
+          const RaterId rater = active_id[static_cast<std::size_t>(slot)];
+          if (rated[pi].contains(rater)) continue;
+          const RaterKind kind = result.rater_kind[rater];
+
+          const double t = day_start + rng.uniform();
+          const bool recruited_here = recruited[pi].contains(rater);
+          const bool in_attack =
+              p.dishonest && t >= p.attack_start && t < p.attack_end;
+
+          double prob = config.p_rate;
+          bool attack_rating = false;
+          if (kind == RaterKind::kPotentialCollaborative) {
+            if (recruited_here && in_attack && !config.recruit_burst) {
+              prob = config.a1 * config.p_rate;
+              attack_rating = true;
+            } else {
+              prob = config.a2 * config.p_rate;
+            }
+          }
+          if (!rng.bernoulli(prob)) continue;
+
+          double value;
+          RatingLabel label;
+          if (attack_rating) {
+            value = rng.gaussian(p.quality + config.bias_shift2, config.bad_sigma);
+            label = RatingLabel::kCollaborative2;
+          } else if (kind == RaterKind::kCareless) {
+            value = rng.gaussian(p.quality, config.careless_sigma);
+            label = RatingLabel::kCareless;
+          } else {
+            value = rng.gaussian(p.quality, config.good_sigma);
+            label = RatingLabel::kHonest;
+          }
+          p.ratings.push_back(
+              {t, quantize_unit(value, config.levels, /*include_zero=*/false),
+               rater, p.id, label});
+          rated[pi].insert(rater);
+        }
+      }
+    }
+
+    // Attack ratings emitted outside the daily loop: burst-mode campaigns
+    // (each participating recruit rates shortly after the campaign starts)
+    // and whitewash Sybils (whose fresh ids are not part of the daily
+    // population; in spread mode their arrival day follows the same daily
+    // coin as the in-loop model).
+    if (config.recruit_burst || config.whitewash) {
+      const double participation =
+          1.0 - std::pow(1.0 - config.a1 * config.p_rate, config.attack_days);
+      for (std::size_t pi = 0; pi < active.size(); ++pi) {
+        SimProduct& p = active[pi];
+        if (!p.dishonest) continue;
+        for (RaterId rater : recruited[pi]) {
+          if (rated[pi].contains(rater)) continue;
+          double t = -1.0;
+          if (config.recruit_burst) {
+            if (!rng.bernoulli(participation)) continue;
+            t = p.attack_start + rng.exponential(1.0 / config.burst_mean_days);
+            if (t >= p.attack_end) continue;
+          } else {
+            // Spread mode (whitewash only; PC recruits are handled in the
+            // daily loop): first success of the daily a1*p_rate coin.
+            const int days_in_window = static_cast<int>(config.attack_days);
+            for (int d = 0; d < days_in_window; ++d) {
+              if (rng.bernoulli(config.a1 * config.p_rate)) {
+                t = p.attack_start + d + rng.uniform();
+                break;
+              }
+            }
+            if (t < 0.0 || t >= p.attack_end) continue;
+          }
+          const double value =
+              rng.gaussian(p.quality + config.bias_shift2, config.bad_sigma);
+          p.ratings.push_back(
+              {t, quantize_unit(value, config.levels, /*include_zero=*/false),
+               rater, p.id, RatingLabel::kCollaborative2});
+          rated[pi].insert(rater);
+        }
+      }
+    }
+
+    for (SimProduct& p : active) {
+      sort_by_time(p.ratings);
+      result.products.push_back(std::move(p));
+    }
+  }
+  return result;
+}
+
+}  // namespace trustrate::sim

@@ -1,0 +1,126 @@
+// The §IV marketplace simulation: 800 raters (400 reliable, 200 careless,
+// 200 potential-collaborative) rating 60 products over 12 months, where
+// each month 4 honest products and 1 dishonest product are active and the
+// dishonest product recruits potential-collaborative (PC) raters for a
+// 10-day attack.
+//
+// Behaviour rules (paper §IV-A):
+//  * Reliable/careless raters rate each active product with daily
+//    probability p_rate; values ~ N(quality, sigma) quantized to 10 levels
+//    0.1..1.0; one rating per rater per product.
+//  * A PC rater recruited by the current dishonest product rates it with
+//    daily probability a1 * p_rate (a1 > 1) during the attack window,
+//    giving N(quality + bias_shift2, bad_sigma). Otherwise PC raters
+//    behave like reliable raters but rate with probability a2 * p_rate
+//    (a2 < 1).
+//  * Each dishonest product recruits `recruit_power3` of the PC pool.
+//
+// `p_rate` is not specified in the paper; the default is calibrated so a
+// product collects a few dozen ratings per month (DESIGN.md §3).
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace trustrate::sim {
+
+/// Ground-truth rater category.
+enum class RaterKind : std::uint8_t { kReliable, kCareless, kPotentialCollaborative };
+
+struct MarketplaceConfig {
+  // --- population ---
+  int reliable_raters = 400;
+  int careless_raters = 200;
+  int pc_raters = 200;
+
+  // --- calendar ---
+  int months = 12;
+  double days_per_month = 30.0;
+  int honest_products_per_month = 4;
+  int dishonest_products_per_month = 1;
+
+  // --- product quality & rating noise ---
+  double quality_lo = 0.4;
+  double quality_hi = 0.6;
+  double good_sigma = 0.2;      ///< reliable raters (paper "goodVar")
+  double careless_sigma = 0.3;  ///< careless raters (paper "carelessVar")
+  int levels = 10;              ///< scale 0.1 .. 1.0
+
+  // --- attack model ---
+  double bias_shift2 = 0.15;
+  double bad_sigma = 0.02;      ///< paper "badVar"
+  double recruit_power3 = 1.0;  ///< fraction of PC raters each dishonest product recruits
+  double attack_days = 10.0;    ///< recruiting window length within the month
+
+  /// Temporal structure of the recruited ratings. The paper's literal model
+  /// (false) has each recruited rater toss an a1*p_rate coin every attack
+  /// day, which spreads the collaborative ratings uniformly over the
+  /// window. Real recruitment campaigns cluster: most recruits act within
+  /// a day or two of being contacted. With true, each participating
+  /// recruit rates at attack_start + Exp(burst_mean_days), concentrating
+  /// the attack mass early — the temporal signature the AR detector is
+  /// designed around. Participation probability matches the literal model:
+  /// 1 - (1 - a1*p_rate)^attack_days.
+  bool recruit_burst = false;
+  double burst_mean_days = 2.0;
+
+  // --- adaptive counter-strategies (the paper's future-work study) ---
+
+  /// Dishonest products run a campaign only every k-th month (k > 1 is the
+  /// "on-off" attack: idle months let the attackers' trust recover,
+  /// especially under forgetting).
+  int attack_every_k_months = 1;
+
+  /// Whitewashing / Sybil strategy: instead of recruiting from the PC
+  /// pool, each campaign uses *fresh* rater identities that have no trust
+  /// history (they are appended to rater_kind as PC raters). Defeats
+  /// identity-based trust accumulation by construction.
+  bool whitewash = false;
+
+  // --- population dynamics (extension) ---
+
+  /// Fraction of each rater category replaced by fresh identities at the
+  /// start of every month (rater churn). Newcomers keep the departed
+  /// rater's behavioural kind but start from the neutral trust prior —
+  /// the classic reputation-bootstrapping stressor. 0 disables churn.
+  double monthly_churn = 0.0;
+
+  // --- rating propensity ---
+  double p_rate = 0.02;  ///< daily probability an honest rater rates an active product
+  double a1 = 6.0;       ///< recruited PC multiplier (> 1)
+  double a2 = 0.5;       ///< non-recruited PC multiplier (< 1)
+};
+
+/// One simulated product with its full rating history.
+struct SimProduct {
+  ProductId id = 0;
+  int month = 0;          ///< month index 0..months-1
+  bool dishonest = false;
+  double quality = 0.5;
+  double t_start = 0.0;   ///< active interval [t_start, t_end)
+  double t_end = 0.0;
+  double attack_start = 0.0;  ///< only meaningful when dishonest
+  double attack_end = 0.0;
+  RatingSeries ratings;   ///< time-sorted, ground-truth labelled
+};
+
+/// Full simulation output with ground truth for scoring.
+struct MarketplaceResult {
+  std::vector<SimProduct> products;
+  std::vector<RaterKind> rater_kind;          ///< indexed by RaterId
+  std::unordered_set<RaterId> ever_recruited; ///< PC raters recruited at least once
+
+  std::size_t rater_count() const { return rater_kind.size(); }
+
+  /// Products active in a given month.
+  std::vector<const SimProduct*> products_in_month(int month) const;
+};
+
+/// Runs the full simulation. Rater ids are assigned contiguously:
+/// [0, reliable) reliable, [reliable, reliable+careless) careless, rest PC.
+MarketplaceResult simulate_marketplace(const MarketplaceConfig& config, Rng& rng);
+
+}  // namespace trustrate::sim

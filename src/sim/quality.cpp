@@ -1,0 +1,25 @@
+#include "sim/quality.hpp"
+
+#include "common/error.hpp"
+
+namespace trustrate::sim {
+
+QualityTrajectory::QualityTrajectory(double start_value, double end_value,
+                                     double t_start, double t_end)
+    : start_value_(start_value), end_value_(end_value), t_start_(t_start),
+      t_end_(t_end) {
+  TRUSTRATE_EXPECTS(t_end > t_start, "quality trajectory needs t_end > t_start");
+}
+
+QualityTrajectory QualityTrajectory::constant(double value) {
+  return QualityTrajectory(value, value, 0.0, 1.0);
+}
+
+double QualityTrajectory::at(double t) const {
+  if (t <= t_start_) return start_value_;
+  if (t >= t_end_) return end_value_;
+  const double frac = (t - t_start_) / (t_end_ - t_start_);
+  return start_value_ + frac * (end_value_ - start_value_);
+}
+
+}  // namespace trustrate::sim

@@ -1,0 +1,29 @@
+// Object-quality trajectories.
+#pragma once
+
+namespace trustrate::sim {
+
+/// Linearly drifting quality: q(t) interpolates from `start_value` at
+/// t = t_start to `end_value` at t = t_end, clamped outside the range.
+/// The paper's illustrative object drifts 0.7 -> 0.8 over 60 days.
+class QualityTrajectory {
+ public:
+  QualityTrajectory(double start_value, double end_value, double t_start,
+                    double t_end);
+
+  /// Constant quality.
+  static QualityTrajectory constant(double value);
+
+  double at(double t) const;
+
+  double start_value() const { return start_value_; }
+  double end_value() const { return end_value_; }
+
+ private:
+  double start_value_;
+  double end_value_;
+  double t_start_;
+  double t_end_;
+};
+
+}  // namespace trustrate::sim

@@ -1,0 +1,113 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace trustrate::stats {
+
+Summary summarize(std::span<const double> xs) {
+  TRUSTRATE_EXPECTS(!xs.empty(), "summarize requires a non-empty sample");
+  Summary s;
+  s.count = xs.size();
+  s.min = xs[0];
+  s.max = xs[0];
+  double mean = 0.0;
+  double m2 = 0.0;
+  std::size_t n = 0;
+  for (double x : xs) {
+    ++n;
+    const double delta = x - mean;
+    mean += delta / static_cast<double>(n);
+    m2 += delta * (x - mean);
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = mean;
+  s.variance = (n >= 2) ? m2 / static_cast<double>(n - 1) : 0.0;
+  s.stddev = std::sqrt(s.variance);
+  return s;
+}
+
+double sample_variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  return summarize(xs).variance;
+}
+
+double population_variance(std::span<const double> xs) {
+  TRUSTRATE_EXPECTS(!xs.empty(), "population_variance requires non-empty sample");
+  const double m = mean_of(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size());
+}
+
+double median(std::span<const double> xs) {
+  return quantile(xs, 0.5);
+}
+
+double quantile(std::span<const double> xs, double q) {
+  TRUSTRATE_EXPECTS(!xs.empty(), "quantile requires a non-empty sample");
+  TRUSTRATE_EXPECTS(q >= 0.0 && q <= 1.0, "quantile q must be in [0, 1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double pearson_correlation(std::span<const double> a, std::span<const double> b) {
+  TRUSTRATE_EXPECTS(a.size() == b.size() && a.size() >= 2,
+                    "pearson_correlation requires equal sizes >= 2");
+  const double ma = mean_of(a);
+  const double mb = mean_of(b);
+  double sab = 0.0;
+  double saa = 0.0;
+  double sbb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  const double denom = std::sqrt(saa * sbb);
+  if (denom <= 0.0) return 0.0;
+  return sab / denom;
+}
+
+double rmse(std::span<const double> a, std::span<const double> b) {
+  TRUSTRATE_EXPECTS(a.size() == b.size() && !a.empty(),
+                    "rmse requires equal non-empty sizes");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+std::vector<double> autocorrelation(std::span<const double> xs, int max_lag) {
+  TRUSTRATE_EXPECTS(!xs.empty(), "autocorrelation requires non-empty sample");
+  TRUSTRATE_EXPECTS(max_lag >= 0, "autocorrelation max_lag must be >= 0");
+  const auto n = xs.size();
+  const double m = mean_of(xs);
+  double denom = 0.0;
+  for (double x : xs) denom += (x - m) * (x - m);
+  std::vector<double> r(static_cast<std::size_t>(max_lag) + 1, 0.0);
+  if (denom <= 0.0) return r;  // constant series: define all correlations as 0
+  for (int k = 0; k <= max_lag; ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i + static_cast<std::size_t>(k) < n; ++i) {
+      acc += (xs[i] - m) * (xs[i + static_cast<std::size_t>(k)] - m);
+    }
+    r[static_cast<std::size_t>(k)] = acc / denom;
+  }
+  return r;
+}
+
+}  // namespace trustrate::stats

@@ -1,0 +1,46 @@
+// Descriptive statistics over double samples.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace trustrate::stats {
+
+/// Summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< unbiased sample variance (0 when count < 2)
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes the full summary in one pass (Welford). Requires non-empty xs.
+Summary summarize(std::span<const double> xs);
+
+/// Unbiased sample variance; 0.0 when xs.size() < 2.
+double sample_variance(std::span<const double> xs);
+
+/// Population variance (divide by n); requires non-empty xs.
+double population_variance(std::span<const double> xs);
+
+/// Median by partial sort of a copy; requires non-empty xs.
+double median(std::span<const double> xs);
+
+/// Linear-interpolation quantile, q in [0, 1]; requires non-empty xs.
+/// quantile(xs, 0) == min, quantile(xs, 1) == max.
+double quantile(std::span<const double> xs, double q);
+
+/// Pearson correlation of two equal-length samples; 0.0 when either is
+/// (numerically) constant. Requires size >= 2.
+double pearson_correlation(std::span<const double> a, std::span<const double> b);
+
+/// Root-mean-square error between two equal-length series.
+double rmse(std::span<const double> a, std::span<const double> b);
+
+/// Biased sample autocorrelation r[k] = sum_{n} (x[n]-m)(x[n+k]-m) / sum (x[n]-m)^2
+/// for k = 0..max_lag. r[0] == 1 unless the series is constant (then all 0).
+std::vector<double> autocorrelation(std::span<const double> xs, int max_lag);
+
+}  // namespace trustrate::stats

@@ -1,0 +1,54 @@
+#include "stats/histogram.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace trustrate::stats {
+
+Histogram::Histogram(double lo, double hi, int bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / bins),
+      counts_(static_cast<std::size_t>(bins), 0) {
+  TRUSTRATE_EXPECTS(bins >= 1, "Histogram needs at least one bin");
+  TRUSTRATE_EXPECTS(hi > lo, "Histogram needs hi > lo");
+}
+
+void Histogram::add(double x) {
+  int idx = static_cast<int>(std::floor((x - lo_) / width_));
+  if (idx < 0) idx = 0;
+  if (idx >= bins()) idx = bins() - 1;
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+std::size_t Histogram::count(int i) const {
+  TRUSTRATE_EXPECTS(i >= 0 && i < bins(), "Histogram bin index out of range");
+  return counts_[static_cast<std::size_t>(i)];
+}
+
+double Histogram::bin_center(int i) const {
+  TRUSTRATE_EXPECTS(i >= 0 && i < bins(), "Histogram bin index out of range");
+  return lo_ + (i + 0.5) * width_;
+}
+
+double Histogram::frequency(int i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(i)) / static_cast<double>(total_);
+}
+
+double Histogram::entropy() const {
+  if (total_ == 0) return 0.0;
+  double h = 0.0;
+  for (std::size_t c : counts_) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total_);
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace trustrate::stats

@@ -1,0 +1,47 @@
+// Fixed-bin histogram over a closed interval.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace trustrate::stats {
+
+/// Histogram with `bins` equal-width bins over [lo, hi]. Values exactly at
+/// `hi` land in the last bin; values outside [lo, hi] are clamped into the
+/// boundary bins (rating data is already clipped, so this is a safety net).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  int bins() const { return static_cast<int>(counts_.size()); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t total() const { return total_; }
+
+  /// Raw count of bin i.
+  std::size_t count(int i) const;
+
+  /// Center of bin i.
+  double bin_center(int i) const;
+
+  /// Fraction of samples in bin i (0 when empty histogram).
+  double frequency(int i) const;
+
+  /// Counts as a vector (for printing / plotting).
+  const std::vector<std::size_t>& counts() const { return counts_; }
+
+  /// Shannon entropy (nats) of the bin distribution; 0 for empty histogram.
+  double entropy() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace trustrate::stats

@@ -1,0 +1,25 @@
+#include "stats/intervals.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace trustrate::stats {
+
+Interval wilson_interval(std::size_t successes, std::size_t trials, double z) {
+  TRUSTRATE_EXPECTS(trials >= 1, "wilson_interval needs at least one trial");
+  TRUSTRATE_EXPECTS(successes <= trials, "successes cannot exceed trials");
+  TRUSTRATE_EXPECTS(z > 0.0, "z must be positive");
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::clamp(center - margin, 0.0, 1.0),
+          std::clamp(center + margin, 0.0, 1.0)};
+}
+
+}  // namespace trustrate::stats

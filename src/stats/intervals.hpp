@@ -1,0 +1,25 @@
+// Confidence intervals for proportions — Monte-Carlo experiments report
+// detection/false-alarm *rates*; a 500-run estimate deserves an interval,
+// not just a point.
+#pragma once
+
+#include <cstddef>
+
+namespace trustrate::stats {
+
+/// A two-sided confidence interval.
+struct Interval {
+  double lo = 0.0;
+  double hi = 1.0;
+
+  bool contains(double p) const { return p >= lo && p <= hi; }
+  double width() const { return hi - lo; }
+};
+
+/// Wilson score interval for a binomial proportion: `successes` of `trials`
+/// at confidence z (1.96 for 95%). Well-behaved at the boundaries (0 or n
+/// successes), unlike the Wald interval. Requires trials >= 1, z > 0.
+Interval wilson_interval(std::size_t successes, std::size_t trials,
+                         double z = 1.959963984540054);
+
+}  // namespace trustrate::stats

@@ -1,0 +1,56 @@
+#include "stats/moving.hpp"
+
+#include "common/error.hpp"
+
+namespace trustrate::stats {
+
+std::vector<MovingPoint> moving_average_by_count(std::span<const double> values,
+                                                 std::span<const double> positions,
+                                                 std::size_t window,
+                                                 std::size_t step) {
+  TRUSTRATE_EXPECTS(values.size() == positions.size(),
+                    "values and positions must pair up");
+  TRUSTRATE_EXPECTS(window >= 1 && step >= 1,
+                    "window and step must be at least 1");
+  std::vector<MovingPoint> out;
+  for (std::size_t start = 0; start + window <= values.size(); start += step) {
+    MovingPoint p;
+    p.count = window;
+    double sum_v = 0.0;
+    double sum_t = 0.0;
+    for (std::size_t i = start; i < start + window; ++i) {
+      sum_v += values[i];
+      sum_t += positions[i];
+    }
+    p.value = sum_v / static_cast<double>(window);
+    p.position = sum_t / static_cast<double>(window);
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<MovingPoint> moving_average_by_time(std::span<const double> values,
+                                                std::span<const double> positions,
+                                                double start, double end,
+                                                double width, double step) {
+  TRUSTRATE_EXPECTS(values.size() == positions.size(),
+                    "values and positions must pair up");
+  TRUSTRATE_EXPECTS(width > 0.0 && step > 0.0, "width and step must be positive");
+  std::vector<MovingPoint> out;
+  for (double t0 = start; t0 < end; t0 += step) {
+    const double t1 = t0 + width;
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (positions[i] >= t0 && positions[i] < t1) {
+        sum += values[i];
+        ++n;
+      }
+    }
+    if (n == 0) continue;
+    out.push_back({t0 + width / 2.0, sum / static_cast<double>(n), n});
+  }
+  return out;
+}
+
+}  // namespace trustrate::stats

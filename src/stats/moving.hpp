@@ -1,0 +1,36 @@
+// Windowed / moving statistics used by the figures (moving average of
+// ratings) and by detectors (per-window series extraction).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace trustrate::stats {
+
+/// One point of a moving-statistic series.
+struct MovingPoint {
+  double position = 0.0;  ///< window center (index- or time-domain)
+  double value = 0.0;     ///< statistic over the window
+  std::size_t count = 0;  ///< samples in the window
+};
+
+/// Moving average over count-based windows: each window holds `window`
+/// consecutive samples and consecutive windows start `step` samples apart
+/// (Fig. 4 of the paper uses window=20, step=10). `positions` gives the
+/// x-coordinate of each sample (e.g. rating times); the emitted position is
+/// the mean position inside the window. Windows that would run past the end
+/// are dropped. Requires window >= 1, step >= 1, equal-length inputs.
+std::vector<MovingPoint> moving_average_by_count(std::span<const double> values,
+                                                 std::span<const double> positions,
+                                                 std::size_t window,
+                                                 std::size_t step);
+
+/// Mean of `values` whose paired `positions` fall in [t0, t1); skips empty
+/// windows (no point emitted). Windows advance by `step` from `start` while
+/// window start < `end`.
+std::vector<MovingPoint> moving_average_by_time(std::span<const double> values,
+                                                std::span<const double> positions,
+                                                double start, double end,
+                                                double width, double step);
+
+}  // namespace trustrate::stats

@@ -1,0 +1,34 @@
+// Special functions: log-gamma, regularized incomplete gamma/beta, and the
+// beta distribution built on them. Hand-rolled (Lanczos + continued
+// fractions, cf. Numerical Recipes) because the reproduction must not depend
+// on external math libraries.
+#pragma once
+
+namespace trustrate::stats {
+
+/// Natural log of the gamma function, x > 0.
+double log_gamma(double x);
+
+/// Regularized lower incomplete gamma P(a, x); a > 0, x >= 0.
+double regularized_gamma_p(double a, double x);
+
+/// Chi-squared CDF with k degrees of freedom (k > 0, x >= 0).
+double chi_squared_cdf(double x, double k);
+
+/// Regularized incomplete beta I_x(a, b); a, b > 0, x in [0, 1].
+double regularized_beta(double x, double a, double b);
+
+/// Beta(a, b) distribution CDF at x in [0, 1].
+double beta_cdf(double x, double a, double b);
+
+/// Beta(a, b) distribution quantile (inverse CDF) for p in [0, 1].
+/// Bisection refined with Newton steps; accurate to ~1e-10.
+double beta_quantile(double p, double a, double b);
+
+/// Standard normal CDF.
+double normal_cdf(double x);
+
+/// Standard normal PDF.
+double normal_pdf(double x);
+
+}  // namespace trustrate::stats

@@ -1,0 +1,47 @@
+#include "stats/whiteness.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/special.hpp"
+
+namespace trustrate::stats {
+
+TestResult ljung_box(std::span<const double> xs, int lags) {
+  TRUSTRATE_EXPECTS(lags >= 1, "ljung_box requires lags >= 1");
+  TRUSTRATE_EXPECTS(xs.size() > static_cast<std::size_t>(lags),
+                    "ljung_box requires more samples than lags");
+  const double n = static_cast<double>(xs.size());
+  const auto r = autocorrelation(xs, lags);
+  double q = 0.0;
+  for (int k = 1; k <= lags; ++k) {
+    const double rk = r[static_cast<std::size_t>(k)];
+    q += rk * rk / (n - k);
+  }
+  q *= n * (n + 2.0);
+  TestResult result;
+  result.statistic = q;
+  result.p_value = 1.0 - chi_squared_cdf(q, static_cast<double>(lags));
+  return result;
+}
+
+TestResult turning_point(std::span<const double> xs) {
+  TRUSTRATE_EXPECTS(xs.size() >= 3, "turning_point requires >= 3 samples");
+  const std::size_t n = xs.size();
+  std::size_t turns = 0;
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const bool peak = xs[i] > xs[i - 1] && xs[i] > xs[i + 1];
+    const bool valley = xs[i] < xs[i - 1] && xs[i] < xs[i + 1];
+    if (peak || valley) ++turns;
+  }
+  const double nn = static_cast<double>(n);
+  const double mean = 2.0 * (nn - 2.0) / 3.0;
+  const double variance = (16.0 * nn - 29.0) / 90.0;
+  TestResult result;
+  result.statistic = (static_cast<double>(turns) - mean) / std::sqrt(variance);
+  result.p_value = 2.0 * (1.0 - normal_cdf(std::fabs(result.statistic)));
+  return result;
+}
+
+}  // namespace trustrate::stats

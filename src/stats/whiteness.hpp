@@ -1,0 +1,28 @@
+// Whiteness tests: is a series compatible with white noise?
+//
+// The paper's detector relies on the premise that honest de-meaned ratings
+// are approximately white. These tests let us validate that premise (in
+// tests and ablations) independently of the AR-model error.
+#pragma once
+
+#include <span>
+
+namespace trustrate::stats {
+
+/// Result of a hypothesis test.
+struct TestResult {
+  double statistic = 0.0;
+  double p_value = 1.0;  ///< probability of a statistic this extreme under H0
+};
+
+/// Ljung–Box portmanteau test on the first `lags` autocorrelations.
+/// H0: the series is white. Small p-value => reject whiteness.
+/// Requires xs.size() > static_cast<std::size_t>(lags) and lags >= 1.
+TestResult ljung_box(std::span<const double> xs, int lags);
+
+/// Turning-point test: counts local extrema; for an i.i.d. series the count
+/// is asymptotically normal with mean 2(n-2)/3. Two-sided p-value.
+/// Requires xs.size() >= 3.
+TestResult turning_point(std::span<const double> xs);
+
+}  // namespace trustrate::stats

@@ -1,0 +1,39 @@
+#include "trust/forgetting.hpp"
+
+#include "common/error.hpp"
+
+namespace trustrate::trust {
+
+double effective_memory_epochs(double lambda) {
+  TRUSTRATE_EXPECTS(lambda >= 0.0 && lambda <= 1.0, "lambda must be in [0, 1]");
+  if (lambda >= 1.0) return 1e9;
+  return 1.0 / (1.0 - lambda);
+}
+
+double lambda_for_memory(double epochs) {
+  TRUSTRATE_EXPECTS(epochs >= 1.0, "memory must be at least one epoch");
+  return 1.0 - 1.0 / epochs;
+}
+
+WindowedTrustRecord::WindowedTrustRecord(std::size_t window) : window_(window) {
+  TRUSTRATE_EXPECTS(window >= 1, "window must hold at least one epoch");
+}
+
+void WindowedTrustRecord::add_epoch(double successes, double failures) {
+  TRUSTRATE_EXPECTS(successes >= 0.0 && failures >= 0.0,
+                    "evidence must be non-negative");
+  epochs_.push_back({successes, failures});
+  successes_ += successes;
+  failures_ += failures;
+  if (epochs_.size() > window_) {
+    successes_ -= epochs_.front().successes;
+    failures_ -= epochs_.front().failures;
+    epochs_.pop_front();
+  }
+}
+
+double WindowedTrustRecord::trust() const {
+  return (successes_ + 1.0) / (successes_ + failures_ + 2.0);
+}
+
+}  // namespace trustrate::trust

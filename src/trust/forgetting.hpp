@@ -1,0 +1,59 @@
+// Forgetting schemes for trust records (paper §III-B: the Record
+// Maintenance module; the schemes follow ref. [8]).
+//
+// Two families:
+//  * Exponential fading — TrustRecord::fade(lambda): every epoch both
+//    evidence counters shrink by lambda, so the effective memory is
+//    1/(1-lambda) epochs. Built into TrustRecord; this header adds the
+//    helpers for reasoning about it.
+//  * Sliding window — WindowedTrustRecord: only the last `window` epochs
+//    of evidence count, each at full weight. Sharper cutoff; an attacker
+//    who pauses for `window` epochs is forgiven completely, whereas
+//    exponential fading never fully forgets.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "trust/record.hpp"
+
+namespace trustrate::trust {
+
+/// Effective number of epochs an exponentially-faded record remembers
+/// (the mass-weighted memory 1/(1-lambda)); infinity-like large value for
+/// lambda == 1. Useful when translating between the two schemes.
+double effective_memory_epochs(double lambda);
+
+/// The fading factor whose effective memory is `epochs` (inverse of
+/// effective_memory_epochs). Requires epochs >= 1.
+double lambda_for_memory(double epochs);
+
+/// Beta trust over a sliding window of per-epoch evidence.
+class WindowedTrustRecord {
+ public:
+  /// Keeps the most recent `window` epochs of evidence. window >= 1.
+  explicit WindowedTrustRecord(std::size_t window);
+
+  /// Appends one epoch's evidence (computed per Procedure 2) and drops the
+  /// epoch that falls off the window.
+  void add_epoch(double successes, double failures);
+
+  /// Beta-mean trust over the retained evidence; 0.5 with no evidence.
+  double trust() const;
+
+  double successes() const { return successes_; }
+  double failures() const { return failures_; }
+  std::size_t epochs_retained() const { return epochs_.size(); }
+
+ private:
+  struct Epoch {
+    double successes;
+    double failures;
+  };
+  std::size_t window_;
+  std::deque<Epoch> epochs_;
+  double successes_ = 0.0;
+  double failures_ = 0.0;
+};
+
+}  // namespace trustrate::trust

@@ -1,0 +1,60 @@
+#include "trust/opinion.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace trustrate::trust {
+
+Opinion Opinion::from_evidence(double s, double f) {
+  TRUSTRATE_EXPECTS(s >= 0.0 && f >= 0.0, "evidence counts must be non-negative");
+  const double denom = s + f + 2.0;
+  return {s / denom, f / denom, 2.0 / denom};
+}
+
+Opinion Opinion::from_value(double value, double base_uncertainty) {
+  TRUSTRATE_EXPECTS(base_uncertainty >= 0.0 && base_uncertainty <= 1.0,
+                    "base_uncertainty must be in [0, 1]");
+  const double v = clamp_unit(value);
+  const double certain = 1.0 - base_uncertainty;
+  return {v * certain, (1.0 - v) * certain, base_uncertainty};
+}
+
+double Opinion::expectation(double base_rate) const {
+  return belief + base_rate * uncertainty;
+}
+
+bool Opinion::valid(double tol) const {
+  if (belief < -tol || disbelief < -tol || uncertainty < -tol) return false;
+  return std::fabs(belief + disbelief + uncertainty - 1.0) <= tol;
+}
+
+Opinion discount(const Opinion& trust_in_source, const Opinion& statement) {
+  const double t = trust_in_source.belief;
+  Opinion out;
+  out.belief = t * statement.belief;
+  out.disbelief = t * statement.disbelief;
+  out.uncertainty = 1.0 - out.belief - out.disbelief;
+  return out;
+}
+
+Opinion consensus(const Opinion& a, const Opinion& b) {
+  const double k = a.uncertainty + b.uncertainty - a.uncertainty * b.uncertainty;
+  if (k <= 1e-12) {
+    // Both dogmatic: average the dogmatic parts.
+    return {(a.belief + b.belief) / 2.0, (a.disbelief + b.disbelief) / 2.0, 0.0};
+  }
+  Opinion out;
+  out.belief = (a.belief * b.uncertainty + b.belief * a.uncertainty) / k;
+  out.disbelief = (a.disbelief * b.uncertainty + b.disbelief * a.uncertainty) / k;
+  out.uncertainty = (a.uncertainty * b.uncertainty) / k;
+  // Normalize residual numeric drift so the invariant holds exactly.
+  const double sum = out.belief + out.disbelief + out.uncertainty;
+  out.belief /= sum;
+  out.disbelief /= sum;
+  out.uncertainty /= sum;
+  return out;
+}
+
+}  // namespace trustrate::trust

@@ -1,0 +1,47 @@
+// Opinion algebra: (belief, disbelief, uncertainty) triples with discounting
+// and consensus, in the style of Jøsang's subjective logic and the trust
+// evaluation framework of Sun et al. (INFOCOM'06, the paper's ref. [8]).
+//
+// Used for (a) the "Method 4" rating aggregator the paper benchmarks
+// against, and (b) indirect-trust propagation in the trust manager.
+// See DESIGN.md §5: the exact equations of [8] were not available, so this
+// module is the documented stand-in from the same beta-evidence family.
+#pragma once
+
+namespace trustrate::trust {
+
+/// A subjective opinion: belief + disbelief + uncertainty == 1.
+struct Opinion {
+  double belief = 0.0;
+  double disbelief = 0.0;
+  double uncertainty = 1.0;
+
+  /// Opinion from beta evidence (s successes, f failures):
+  /// b = s/(s+f+2), d = f/(s+f+2), u = 2/(s+f+2).
+  static Opinion from_evidence(double s, double f);
+
+  /// Opinion encoding a graded statement with fixed uncertainty:
+  /// b = value*(1-u), d = (1-value)*(1-u). `value` in [0,1], `u` in [0,1].
+  static Opinion from_value(double value, double base_uncertainty);
+
+  /// Probability expectation b + base_rate * u.
+  double expectation(double base_rate = 0.5) const;
+
+  /// Validity check (components non-negative, sum to 1 within tolerance).
+  bool valid(double tol = 1e-9) const;
+};
+
+/// Discounting (trust propagation along a chain): the subject holds
+/// `trust_in_source` about the recommender, who holds `statement` about the
+/// target. Belief and disbelief shrink by the recommender's belief mass;
+/// everything else becomes uncertainty. Sun et al.'s concatenation
+/// propagation has the same fixed point: no trust in the recommender ->
+/// vacuous opinion.
+Opinion discount(const Opinion& trust_in_source, const Opinion& statement);
+
+/// Consensus (multipath combination) of two independent opinions about the
+/// same statement. Jøsang's rule; when both opinions are dogmatic
+/// (u == 0) the result is their average.
+Opinion consensus(const Opinion& a, const Opinion& b);
+
+}  // namespace trustrate::trust

@@ -1,0 +1,57 @@
+#include "trust/propagation.hpp"
+
+#include "common/error.hpp"
+
+namespace trustrate::trust {
+
+namespace {
+// Uncertainty assigned to a single helpful/unhelpful vote. One vote should
+// not be dogmatic; treating it as one unit of beta evidence gives u = 2/3.
+constexpr double kVoteUncertainty = 2.0 / 3.0;
+}  // namespace
+
+void RecommendationBuffer::add(const Recommendation& rec) {
+  TRUSTRATE_EXPECTS(rec.score >= 0.0 && rec.score <= 1.0,
+                    "recommendation score must be in [0, 1]");
+  recs_.push_back(rec);
+}
+
+std::vector<Recommendation> RecommendationBuffer::about(RaterId about) const {
+  std::vector<Recommendation> out;
+  for (const Recommendation& r : recs_) {
+    if (r.about == about) out.push_back(r);
+  }
+  return out;
+}
+
+Opinion indirect_opinion(const TrustStore& store, const RecommendationBuffer& buffer,
+                         RaterId target) {
+  Opinion combined{0.0, 0.0, 1.0};  // vacuous
+  bool any = false;
+  for (const Recommendation& rec : buffer.about(target)) {
+    if (rec.from == rec.about) continue;  // self-promotion is not evidence
+    const auto it = store.records().find(rec.from);
+    const Opinion recommender_trust =
+        (it != store.records().end())
+            ? Opinion::from_evidence(it->second.successes, it->second.failures)
+            : Opinion::from_evidence(0.0, 0.0);
+    const Opinion statement = Opinion::from_value(rec.score, kVoteUncertainty);
+    const Opinion path = discount(recommender_trust, statement);
+    combined = any ? consensus(combined, path) : path;
+    any = true;
+  }
+  return combined;
+}
+
+double combined_trust(const TrustStore& store, const RecommendationBuffer& buffer,
+                      RaterId target) {
+  const auto it = store.records().find(target);
+  const Opinion direct =
+      (it != store.records().end())
+          ? Opinion::from_evidence(it->second.successes, it->second.failures)
+          : Opinion::from_evidence(0.0, 0.0);
+  const Opinion indirect = indirect_opinion(store, buffer, target);
+  return consensus(direct, indirect).expectation();
+}
+
+}  // namespace trustrate::trust

@@ -1,0 +1,53 @@
+// Indirect trust establishment from rater-on-rater feedback.
+//
+// Some rating sites let users mark other users' reviews helpful/unhelpful.
+// The paper's trust manager stores this in a Recommendation Buffer and
+// derives indirect trust {system : rater, providing fair rating} from it.
+// Propagation: the system discounts each recommender's statement by its own
+// (direct) trust in the recommender, then combines paths by consensus.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "trust/opinion.hpp"
+#include "trust/record.hpp"
+
+namespace trustrate::trust {
+
+/// One piece of rater-on-rater feedback: `from` judges `about`'s ratings
+/// helpful (score near 1) or unhelpful (score near 0).
+struct Recommendation {
+  RaterId from = kNoRater;
+  RaterId about = kNoRater;
+  double score = 0.5;  ///< in [0, 1]
+};
+
+/// Buffer of recommendations awaiting the next trust update.
+class RecommendationBuffer {
+ public:
+  void add(const Recommendation& rec);
+
+  /// All recommendations about `about`.
+  std::vector<Recommendation> about(RaterId about) const;
+
+  std::size_t size() const { return recs_.size(); }
+  void clear() { recs_.clear(); }
+
+ private:
+  std::vector<Recommendation> recs_;
+};
+
+/// Indirect trust opinion about `target` from the buffered recommendations,
+/// where each recommender's statement is discounted by the system's direct
+/// trust in the recommender (from `store`). Returns the vacuous opinion
+/// when nobody has recommended `target`. Self-recommendations are ignored.
+Opinion indirect_opinion(const TrustStore& store, const RecommendationBuffer& buffer,
+                         RaterId target);
+
+/// Blended trust value: consensus of direct evidence (from `store`) and the
+/// indirect opinion; expectation of the combined opinion.
+double combined_trust(const TrustStore& store, const RecommendationBuffer& buffer,
+                      RaterId target);
+
+}  // namespace trustrate::trust

@@ -1,0 +1,79 @@
+#include "trust/rater_profile.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace trustrate::trust {
+
+double RaterProfile::bias() const {
+  if (ratings == 0) return 0.0;
+  return deviation_sum / static_cast<double>(ratings);
+}
+
+double RaterProfile::spread() const {
+  if (ratings < 2) return 0.0;
+  const double mean = bias();
+  const double var =
+      deviation_sq_sum / static_cast<double>(ratings) - mean * mean;
+  return std::sqrt(std::max(var, 0.0));
+}
+
+void RaterProfile::add(double deviation) {
+  ++ratings;
+  deviation_sum += deviation;
+  deviation_sq_sum += deviation * deviation;
+}
+
+RaterProfileStore::RaterProfileStore(ProfileClassifierConfig config)
+    : config_(config) {
+  TRUSTRATE_EXPECTS(config_.bias_threshold > 0.0,
+                    "bias threshold must be positive");
+  TRUSTRATE_EXPECTS(config_.spread_threshold > 0.0,
+                    "spread threshold must be positive");
+  TRUSTRATE_EXPECTS(config_.min_ratings >= 2,
+                    "classification needs at least 2 ratings");
+}
+
+void RaterProfileStore::observe_product(const RatingSeries& ratings) {
+  const std::size_t n = ratings.size();
+  if (n < 2) return;
+  double total = 0.0;
+  for (const Rating& r : ratings) total += r.value;
+  // Leave-one-out consensus: the rater's own rating must not drag the
+  // reference toward itself, or small products never reveal bias.
+  const double denom = static_cast<double>(n - 1);
+  for (const Rating& r : ratings) {
+    const double consensus = (total - r.value) / denom;
+    profiles_[r.rater].add(r.value - consensus);
+  }
+}
+
+RaterBehavior RaterProfileStore::classify(RaterId id) const {
+  const RaterProfile* p = find(id);
+  if (p == nullptr || p->ratings < config_.min_ratings) {
+    return RaterBehavior::kUnclassified;
+  }
+  if (p->bias() > config_.bias_threshold) return RaterBehavior::kBiasedHigh;
+  if (p->bias() < -config_.bias_threshold) return RaterBehavior::kBiasedLow;
+  if (p->spread() > config_.spread_threshold) return RaterBehavior::kCareless;
+  return RaterBehavior::kNormal;
+}
+
+double RaterProfileStore::bias_of(RaterId id) const {
+  const RaterProfile* p = find(id);
+  if (p == nullptr || p->ratings < config_.min_ratings) return 0.0;
+  return p->bias();
+}
+
+double RaterProfileStore::debias(RaterId id, double value) const {
+  return clamp_unit(value - bias_of(id));
+}
+
+const RaterProfile* RaterProfileStore::find(RaterId id) const {
+  const auto it = profiles_.find(id);
+  return it == profiles_.end() ? nullptr : &it->second;
+}
+
+}  // namespace trustrate::trust

@@ -1,0 +1,88 @@
+// Per-rater behavioral profiles: handling the paper's *individual* unfair
+// ratings (§II-B) — dispositional bias ("personality/habit"), carelessness,
+// and randomness — which the collaborative-rating machinery deliberately
+// ignores (individual high and low ratings cancel; extension beyond the
+// paper's implementation).
+//
+// A profile accumulates, per rater, the deviation of each of their ratings
+// from the consensus of the product they rated. Longitudinally this
+// separates:
+//   * dispositional raters — consistent positive/negative mean deviation
+//     (the grade-inflater, the curmudgeon),
+//   * careless raters      — near-zero mean deviation, high spread,
+//   * normal raters        — near-zero mean deviation, low spread.
+//
+// The estimated dispositional bias can then be *subtracted* before
+// aggregation (debiasing), which recovers accuracy that down-weighting
+// alone cannot: a consistent curmudgeon carries real information once
+// their offset is removed.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace trustrate::trust {
+
+/// Longitudinal deviation statistics for one rater.
+struct RaterProfile {
+  std::size_t ratings = 0;
+  double deviation_sum = 0.0;     ///< Σ (rating − product consensus)
+  double deviation_sq_sum = 0.0;  ///< Σ (rating − consensus)²
+
+  /// Mean deviation from consensus — the dispositional-bias estimate.
+  double bias() const;
+
+  /// Standard deviation of the deviations — the noisiness estimate.
+  double spread() const;
+
+  void add(double deviation);
+};
+
+/// Behavioral classification thresholds.
+struct ProfileClassifierConfig {
+  double bias_threshold = 0.08;    ///< |bias| above this = dispositional
+  double spread_threshold = 0.22;  ///< spread above this = careless
+  std::size_t min_ratings = 8;     ///< below this a rater is unclassified
+};
+
+enum class RaterBehavior : std::uint8_t {
+  kUnclassified,   ///< not enough evidence
+  kNormal,
+  kBiasedHigh,     ///< dispositional grade-inflater
+  kBiasedLow,      ///< dispositional curmudgeon
+  kCareless,       ///< unbiased but noisy
+};
+
+/// Tracks profiles across products.
+class RaterProfileStore {
+ public:
+  explicit RaterProfileStore(ProfileClassifierConfig config = {});
+
+  /// Folds one product's rating series into the profiles: each rating's
+  /// deviation from the series' leave-one-out mean is recorded against its
+  /// rater. Series with fewer than 2 ratings are ignored (no consensus).
+  void observe_product(const RatingSeries& ratings);
+
+  /// Classification of one rater under the configured thresholds.
+  RaterBehavior classify(RaterId id) const;
+
+  /// Dispositional-bias estimate; 0 for unknown/unclassified raters, so
+  /// debiasing is always safe to apply.
+  double bias_of(RaterId id) const;
+
+  /// Returns `value − bias_of(rater)` clamped to [0, 1]: the debiased
+  /// rating to hand to an aggregator.
+  double debias(RaterId id, double value) const;
+
+  const RaterProfile* find(RaterId id) const;
+  std::size_t size() const { return profiles_.size(); }
+
+ private:
+  ProfileClassifierConfig config_;
+  std::unordered_map<RaterId, RaterProfile> profiles_;
+};
+
+}  // namespace trustrate::trust

@@ -1,0 +1,51 @@
+#include "trust/record.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace trustrate::trust {
+
+void TrustRecord::fade(double factor) {
+  TRUSTRATE_EXPECTS(factor >= 0.0 && factor <= 1.0,
+                    "fade factor must be in [0, 1]");
+  successes *= factor;
+  failures *= factor;
+}
+
+void update_record(TrustRecord& record, const EpochObservation& obs, double b) {
+  TRUSTRATE_EXPECTS(b >= 0.0, "Procedure 2 parameter b must be >= 0");
+  TRUSTRATE_EXPECTS(obs.filtered + obs.suspicious <= obs.ratings ||
+                        obs.filtered <= obs.ratings,
+                    "filtered ratings cannot exceed ratings provided");
+  record.failures += static_cast<double>(obs.filtered) + b * obs.suspicion_value;
+  const double gained = static_cast<double>(obs.ratings) -
+                        static_cast<double>(obs.filtered) -
+                        static_cast<double>(obs.suspicious);
+  record.successes += std::max(gained, 0.0);
+}
+
+double TrustStore::trust(RaterId id) const {
+  const auto it = records_.find(id);
+  if (it == records_.end()) return 0.5;
+  return it->second.trust();
+}
+
+void TrustStore::update(RaterId id, const EpochObservation& obs, double b) {
+  update_record(records_[id], obs, b);
+}
+
+void TrustStore::fade_all(double factor) {
+  for (auto& [id, record] : records_) record.fade(factor);
+}
+
+std::vector<RaterId> TrustStore::below(double threshold) const {
+  std::vector<RaterId> out;
+  for (const auto& [id, record] : records_) {
+    if (record.trust() < threshold) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace trustrate::trust

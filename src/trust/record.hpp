@@ -1,0 +1,76 @@
+// Beta-function trust records (paper §III-B, Procedure 2).
+//
+// A rater's trust is (S + 1) / (S + F + 2) where S counts (estimated)
+// honest ratings and F counts (estimated) dishonest ones — the mean of a
+// Beta(S+1, F+1) posterior. Procedure 2 estimates S and F from the rating
+// filter (hard evidence) and the AR suspicion values (soft evidence).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace trustrate::trust {
+
+/// Evidence accumulated about one rater.
+struct TrustRecord {
+  double successes = 0.0;  ///< S: estimated honest ratings
+  double failures = 0.0;   ///< F: estimated dishonest ratings
+
+  /// Beta-mean trust in (0, 1). Fresh records report 0.5 (paper's initial
+  /// trust value).
+  double trust() const { return (successes + 1.0) / (successes + failures + 2.0); }
+
+  /// Evidence mass backing this record (0 for a fresh rater).
+  double evidence() const { return successes + failures; }
+
+  /// Exponential forgetting: both counters decay by `factor` in [0, 1]
+  /// so old behaviour matters less than recent behaviour ([8]'s fading
+  /// scheme; factor == 1 disables forgetting).
+  void fade(double factor);
+};
+
+/// What the rating aggregator observed about one rater during one epoch
+/// (paper Procedure 2 variables).
+struct EpochObservation {
+  std::size_t ratings = 0;        ///< n_i: ratings provided in the epoch
+  std::size_t filtered = 0;       ///< f_i: ratings removed by the filter
+  std::size_t suspicious = 0;     ///< s_i: kept ratings inside >=1 suspicious window
+  double suspicion_value = 0.0;   ///< C_i: accumulated suspicious level (Procedure 1)
+};
+
+/// Applies one Procedure-2 update: F += f + b*C, S += n − f − s.
+/// `b` weighs a suspicion unit relative to a hard filter rejection.
+/// S never goes negative (s counts a subset of n − f, but soft double
+/// counting across overlapping windows is clamped defensively).
+void update_record(TrustRecord& record, const EpochObservation& obs, double b);
+
+/// Trust records for a rater population.
+class TrustStore {
+ public:
+  /// Record for `id`, created at the neutral prior when absent.
+  TrustRecord& record(RaterId id) { return records_[id]; }
+
+  /// Trust in `id`; 0.5 for unknown raters (fresh prior).
+  double trust(RaterId id) const;
+
+  /// Applies Procedure 2 to one rater.
+  void update(RaterId id, const EpochObservation& obs, double b);
+
+  /// Applies exponential forgetting to every record.
+  void fade_all(double factor);
+
+  /// Raters whose trust is strictly below `threshold` (the paper flags
+  /// potential collaborative raters with threshold 0.5).
+  std::vector<RaterId> below(double threshold) const;
+
+  std::size_t size() const { return records_.size(); }
+  const std::unordered_map<RaterId, TrustRecord>& records() const { return records_; }
+
+ private:
+  std::unordered_map<RaterId, TrustRecord> records_;
+};
+
+}  // namespace trustrate::trust

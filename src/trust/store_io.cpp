@@ -1,0 +1,46 @@
+#include "trust/store_io.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace trustrate::trust {
+
+void save_store_csv(const TrustStore& store, std::ostream& out) {
+  std::vector<RaterId> ids;
+  ids.reserve(store.size());
+  for (const auto& [id, record] : store.records()) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (RaterId id : ids) {
+    const TrustRecord& r = store.records().at(id);
+    out << id << ',' << r.successes << ',' << r.failures << '\n';
+  }
+}
+
+TrustStore load_store_csv(std::istream& in) {
+  TrustStore store;
+  std::size_t row_number = 0;
+  for (const auto& row : read_csv(in)) {
+    ++row_number;
+    const std::string context = "trust store row " + std::to_string(row_number);
+    if (row.size() != 3) {
+      throw DataError("expected 3 fields (rater,S,F) in " + context);
+    }
+    const auto id = static_cast<RaterId>(parse_int_field(row[0], context));
+    const double s = parse_double_field(row[1], context);
+    const double f = parse_double_field(row[2], context);
+    if (s < 0.0 || f < 0.0) {
+      throw DataError("negative evidence in " + context);
+    }
+    if (store.records().contains(id)) {
+      throw DataError("duplicate rater id in " + context);
+    }
+    store.record(id) = TrustRecord{.successes = s, .failures = f};
+  }
+  return store;
+}
+
+}  // namespace trustrate::trust

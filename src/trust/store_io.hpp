@@ -1,0 +1,20 @@
+// Trust-store persistence: CSV save/load so a deployed system can restart
+// without losing its accumulated trust evidence.
+//
+// Format (no header): rater_id,successes,failures
+#pragma once
+
+#include <iosfwd>
+
+#include "trust/record.hpp"
+
+namespace trustrate::trust {
+
+/// Writes every record, sorted by rater id (deterministic output).
+void save_store_csv(const TrustStore& store, std::ostream& out);
+
+/// Reads records into a fresh store. Throws DataError on malformed rows,
+/// negative evidence, or duplicate rater ids.
+TrustStore load_store_csv(std::istream& in);
+
+}  // namespace trustrate::trust

@@ -1,0 +1,109 @@
+// Unit tests for the self-calibrating detection threshold.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "detect/adaptive_threshold.hpp"
+
+namespace trustrate::detect {
+namespace {
+
+TEST(AdaptiveThreshold, StartsFromConfiguredPrior) {
+  const AdaptiveThresholdTracker tracker(
+      {.ratio = 0.5, .alpha = 0.1, .floor = 0.001, .initial_mean = 0.04});
+  EXPECT_DOUBLE_EQ(tracker.baseline(), 0.04);
+  EXPECT_DOUBLE_EQ(tracker.threshold(), 0.02);
+}
+
+TEST(AdaptiveThreshold, ConvergesToHonestBaseline) {
+  AdaptiveThresholdTracker tracker(
+      {.ratio = 0.6, .alpha = 0.1, .floor = 0.001, .initial_mean = 0.1});
+  Rng rng(1);
+  for (int i = 0; i < 400; ++i) {
+    tracker.observe(rng.gaussian(0.03, 0.004));
+  }
+  EXPECT_NEAR(tracker.baseline(), 0.03, 0.005);
+  EXPECT_NEAR(tracker.threshold(), 0.018, 0.004);
+}
+
+TEST(AdaptiveThreshold, AdaptsToPopulationChange) {
+  // The motivating scenario: a persistently quieter population (lower
+  // rating variance) triggers recalibration and pulls the threshold down
+  // rather than flagging everything forever.
+  AdaptiveThresholdTracker tracker({.ratio = 0.6, .alpha = 0.1, .floor = 0.001,
+                                    .initial_mean = 0.05,
+                                    .recalibrate_after = 50});
+  Rng rng(2);
+  for (int i = 0; i < 300; ++i) tracker.observe(rng.gaussian(0.05, 0.005));
+  const double high_threshold = tracker.threshold();
+  for (int i = 0; i < 300; ++i) tracker.observe(rng.gaussian(0.02, 0.002));
+  EXPECT_LT(tracker.threshold(), high_threshold);
+  EXPECT_NEAR(tracker.baseline(), 0.02, 0.006);
+}
+
+TEST(AdaptiveThreshold, ShortCampaignDoesNotTriggerRecalibration) {
+  AdaptiveThresholdTracker tracker({.ratio = 0.6, .alpha = 0.1, .floor = 0.001,
+                                    .initial_mean = 0.03,
+                                    .recalibrate_after = 50});
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) tracker.observe(rng.gaussian(0.03, 0.003));
+  const double before = tracker.baseline();
+  // 30 suspicious windows (a long campaign) — still below the limit.
+  for (int i = 0; i < 30; ++i) tracker.observe(0.006);
+  EXPECT_NEAR(tracker.baseline(), before, 1e-12);
+  // Honest windows resume; baseline keeps tracking them.
+  for (int i = 0; i < 20; ++i) tracker.observe(rng.gaussian(0.03, 0.003));
+  EXPECT_NEAR(tracker.baseline(), 0.03, 0.006);
+}
+
+TEST(AdaptiveThreshold, SuspiciousErrorsDoNotPoisonBaseline) {
+  AdaptiveThresholdTracker tracker(
+      {.ratio = 0.6, .alpha = 0.1, .floor = 0.001, .initial_mean = 0.03,
+       .warmup = 5});
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) tracker.observe(rng.gaussian(0.03, 0.003));
+  const double before = tracker.baseline();
+  // A campaign shorter than recalibrate_after feeds suspicious errors.
+  int absorbed = 0;
+  for (int i = 0; i < 40; ++i) {
+    if (tracker.observe(0.005)) ++absorbed;
+  }
+  EXPECT_EQ(absorbed, 0);
+  EXPECT_NEAR(tracker.baseline(), before, 1e-12);
+}
+
+TEST(AdaptiveThreshold, WarmupAcceptsEverything) {
+  AdaptiveThresholdTracker tracker(
+      {.ratio = 0.6, .alpha = 0.5, .floor = 0.001, .initial_mean = 0.5,
+       .warmup = 3});
+  EXPECT_TRUE(tracker.observe(0.001));  // far below threshold, but warmup
+  EXPECT_TRUE(tracker.observe(0.001));
+  EXPECT_TRUE(tracker.observe(0.001));
+  EXPECT_FALSE(tracker.observe(0.001));  // warmup over, now rejected
+}
+
+TEST(AdaptiveThreshold, FloorHolds) {
+  AdaptiveThresholdTracker tracker(
+      {.ratio = 0.6, .alpha = 0.5, .floor = 0.01, .initial_mean = 0.012,
+       .warmup = 50});
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) tracker.observe(0.002);
+  EXPECT_DOUBLE_EQ(tracker.threshold(), 0.01);
+}
+
+TEST(AdaptiveThreshold, ConfigValidation) {
+  AdaptiveThresholdConfig bad;
+  bad.ratio = 1.5;
+  EXPECT_THROW(AdaptiveThresholdTracker{bad}, PreconditionError);
+  bad = {};
+  bad.alpha = 0.0;
+  EXPECT_THROW(AdaptiveThresholdTracker{bad}, PreconditionError);
+  bad = {};
+  bad.initial_mean = 0.0;
+  EXPECT_THROW(AdaptiveThresholdTracker{bad}, PreconditionError);
+  AdaptiveThresholdTracker ok{AdaptiveThresholdConfig{}};
+  EXPECT_THROW(ok.observe(-0.1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace trustrate::detect

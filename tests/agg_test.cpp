@@ -1,0 +1,182 @@
+// Unit tests for the aggregation module: the four §III-B.2 schemes and the
+// eq.(1) attack-power analysis.
+#include <gtest/gtest.h>
+
+#include "agg/aggregator.hpp"
+#include "agg/attack_power.hpp"
+#include "common/error.hpp"
+
+namespace trustrate::agg {
+namespace {
+
+std::vector<TrustedRating> mixed_population() {
+  // 2 honest raters (rating 0.8, trust 0.9), 2 attackers (0.4, trust 0.3).
+  return {{0.8, 0.9}, {0.8, 0.9}, {0.4, 0.3}, {0.4, 0.3}};
+}
+
+// --------------------------------------------------------------- schemes
+
+TEST(SimpleAverage, IgnoresTrust) {
+  const SimpleAverage s;
+  EXPECT_DOUBLE_EQ(s.aggregate(mixed_population()), 0.6);
+}
+
+TEST(SimpleAverage, SingleRating) {
+  const SimpleAverage s;
+  const std::vector<TrustedRating> one{{0.3, 0.5}};
+  EXPECT_DOUBLE_EQ(s.aggregate(one), 0.3);
+}
+
+TEST(BetaAggregation, MatchesClosedForm) {
+  const BetaAggregation b;
+  // S' = 2.4, F' = 1.6 -> (2.4 + 1) / (2.4 + 1.6 + 2) = 3.4/6.
+  EXPECT_NEAR(b.aggregate(mixed_population()), 3.4 / 6.0, 1e-12);
+}
+
+TEST(BetaAggregation, PullsTowardHalfWithFewRatings) {
+  const BetaAggregation b;
+  const std::vector<TrustedRating> one{{1.0, 0.9}};
+  // (1+1)/(1+0+2) = 2/3: strong prior pull with a single rating.
+  EXPECT_NEAR(b.aggregate(one), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ModifiedWeightedAverage, ExcludesAtOrBelowNeutral) {
+  const ModifiedWeightedAverage w;
+  // Attackers at trust 0.3 get weight 0 -> pure honest mean.
+  EXPECT_DOUBLE_EQ(w.aggregate(mixed_population()), 0.8);
+}
+
+TEST(ModifiedWeightedAverage, WeightIsTrustAboveNeutral) {
+  const ModifiedWeightedAverage w;
+  const std::vector<TrustedRating> ratings{{1.0, 0.9}, {0.0, 0.6}};
+  // weights 0.4 and 0.1 -> (0.4*1 + 0.1*0)/0.5 = 0.8.
+  EXPECT_NEAR(w.aggregate(ratings), 0.8, 1e-12);
+}
+
+TEST(ModifiedWeightedAverage, AllNeutralFallsBackToMean) {
+  const ModifiedWeightedAverage w;
+  const std::vector<TrustedRating> ratings{{0.2, 0.5}, {0.6, 0.5}};
+  EXPECT_DOUBLE_EQ(w.aggregate(ratings), 0.4);
+}
+
+TEST(ModifiedWeightedAverage, ExactlyNeutralTrustExcluded) {
+  const ModifiedWeightedAverage w;
+  const std::vector<TrustedRating> ratings{{0.2, 0.5}, {0.9, 0.8}};
+  EXPECT_DOUBLE_EQ(w.aggregate(ratings), 0.9);
+}
+
+TEST(OpinionAggregation, AdmitsAboveThresholdEqually) {
+  const OpinionAggregation o;
+  // Attacker trust 0.3 rejected; honest 0.9 admitted.
+  EXPECT_DOUBLE_EQ(o.aggregate(mixed_population()), 0.8);
+}
+
+TEST(OpinionAggregation, ModeratelyTrustedAttackersAdmittedFullWeight) {
+  // The failure mode the paper measured: trust 0.6 attackers participate
+  // at full weight, dragging the aggregate to the plain mean.
+  const OpinionAggregation o;
+  const std::vector<TrustedRating> ratings{{0.8, 0.95}, {0.8, 0.95},
+                                           {0.4, 0.6}, {0.4, 0.6}};
+  EXPECT_DOUBLE_EQ(o.aggregate(ratings), 0.6);
+}
+
+TEST(OpinionAggregation, NobodyAdmittedFallsBackToMean) {
+  const OpinionAggregation o;
+  const std::vector<TrustedRating> ratings{{0.2, 0.3}, {0.8, 0.4}};
+  EXPECT_DOUBLE_EQ(o.aggregate(ratings), 0.5);
+}
+
+TEST(Aggregators, EmptyInputThrows) {
+  const std::vector<TrustedRating> empty;
+  EXPECT_THROW(SimpleAverage{}.aggregate(empty), PreconditionError);
+  EXPECT_THROW(BetaAggregation{}.aggregate(empty), PreconditionError);
+  EXPECT_THROW(ModifiedWeightedAverage{}.aggregate(empty), PreconditionError);
+  EXPECT_THROW(OpinionAggregation{}.aggregate(empty), PreconditionError);
+}
+
+TEST(Aggregators, FactoryCoversAllKinds) {
+  EXPECT_EQ(make_aggregator(AggregatorKind::kSimpleAverage)->name(),
+            "simple-average");
+  EXPECT_EQ(make_aggregator(AggregatorKind::kBetaFunction)->name(),
+            "beta-function");
+  EXPECT_EQ(make_aggregator(AggregatorKind::kModifiedWeightedAverage)->name(),
+            "modified-weighted-average");
+  EXPECT_EQ(make_aggregator(AggregatorKind::kOpinionTrustModel)->name(),
+            "opinion-trust-model");
+}
+
+// Property: every scheme returns a value inside the rating range.
+class AggregatorBoundsTest : public ::testing::TestWithParam<AggregatorKind> {};
+
+TEST_P(AggregatorBoundsTest, OutputWithinUnitInterval) {
+  const auto aggregator = make_aggregator(GetParam());
+  const std::vector<std::vector<TrustedRating>> cases{
+      {{0.0, 0.1}}, {{1.0, 0.99}},
+      {{0.0, 0.9}, {1.0, 0.9}},
+      {{0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5}},
+      {{0.1, 0.2}, {0.9, 0.8}, {0.3, 0.6}, {0.7, 0.4}},
+  };
+  for (const auto& ratings : cases) {
+    const double out = aggregator->aggregate(ratings);
+    EXPECT_GE(out, 0.0) << aggregator->name();
+    EXPECT_LE(out, 1.0) << aggregator->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, AggregatorBoundsTest,
+                         ::testing::Values(AggregatorKind::kSimpleAverage,
+                                           AggregatorKind::kBetaFunction,
+                                           AggregatorKind::kModifiedWeightedAverage,
+                                           AggregatorKind::kOpinionTrustModel));
+
+// The paper's headline aggregation property, as a deterministic test.
+TEST(Aggregators, ProposedSchemeResistsMajorityAttack) {
+  // 10 honest at 0.8 (trust 0.95) vs 10 attackers at 0.4 (trust 0.3):
+  // only the modified weighted average stays at the honest consensus.
+  std::vector<TrustedRating> ratings;
+  for (int i = 0; i < 10; ++i) ratings.push_back({0.8, 0.95});
+  for (int i = 0; i < 10; ++i) ratings.push_back({0.4, 0.3});
+  EXPECT_NEAR(ModifiedWeightedAverage{}.aggregate(ratings), 0.8, 1e-9);
+  EXPECT_NEAR(SimpleAverage{}.aggregate(ratings), 0.6, 1e-9);
+  EXPECT_LT(BetaAggregation{}.aggregate(ratings), 0.65);
+}
+
+// ------------------------------------------------------------ eq (1)
+
+TEST(AttackPower, AveragedRatingMatchesFormula) {
+  EXPECT_DOUBLE_EQ(averaged_rating(3.0, 90, 5.0, 30), (270.0 + 150.0) / 120.0);
+}
+
+TEST(AttackPower, PaperStrategyOneThreshold) {
+  // Strategy 1 (rate 5): M > N/3.
+  EXPECT_EQ(min_attackers_to_boost(3.0, 90, 5.0, 3.5), 31);
+  EXPECT_EQ(min_attackers_to_boost(3.0, 30, 5.0, 3.5), 11);
+}
+
+TEST(AttackPower, PaperStrategyTwoThreshold) {
+  // Strategy 2 (rate 4): M > N.
+  EXPECT_EQ(min_attackers_to_boost(3.0, 90, 4.0, 3.5), 91);
+}
+
+TEST(AttackPower, MinimumIsTight) {
+  for (long long n : {10, 50, 100}) {
+    const long long m = min_attackers_to_boost(3.0, n, 5.0, 3.5);
+    EXPECT_GT(averaged_rating(3.0, n, 5.0, m), 3.5);
+    if (m > 1) {
+      EXPECT_LE(averaged_rating(3.0, n, 5.0, m - 1), 3.5);
+    }
+  }
+}
+
+TEST(AttackPower, ZeroHonestNeedsOneAttacker) {
+  EXPECT_EQ(min_attackers_to_boost(3.0, 0, 5.0, 3.5), 1);
+}
+
+TEST(AttackPower, PreconditionChecks) {
+  EXPECT_THROW(min_attackers_to_boost(3.0, 10, 3.4, 3.5), PreconditionError);
+  EXPECT_THROW(min_attackers_to_boost(3.6, 10, 5.0, 3.5), PreconditionError);
+  EXPECT_THROW(averaged_rating(3.0, 0, 5.0, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace trustrate::agg

@@ -1,0 +1,120 @@
+// Tests for marketplace population dynamics (churn) and campaign cadence.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "sim/marketplace.hpp"
+
+namespace trustrate::sim {
+namespace {
+
+MarketplaceConfig small() {
+  MarketplaceConfig cfg;
+  cfg.reliable_raters = 60;
+  cfg.careless_raters = 30;
+  cfg.pc_raters = 30;
+  cfg.months = 4;
+  return cfg;
+}
+
+TEST(Churn, ZeroChurnKeepsPopulationFixed) {
+  auto cfg = small();
+  cfg.monthly_churn = 0.0;
+  Rng rng(1);
+  const auto result = simulate_marketplace(cfg, rng);
+  EXPECT_EQ(result.rater_count(), 120u);
+}
+
+TEST(Churn, ChurnMintsFreshIdentities) {
+  auto cfg = small();
+  cfg.monthly_churn = 0.2;
+  Rng rng(2);
+  const auto result = simulate_marketplace(cfg, rng);
+  // ~20% of 120 replaced in each of months 2-4.
+  EXPECT_GT(result.rater_count(), 140u);
+  EXPECT_LT(result.rater_count(), 220u);
+}
+
+TEST(Churn, FreshIdentitiesKeepTheirKind) {
+  auto cfg = small();
+  cfg.monthly_churn = 0.3;
+  Rng rng(3);
+  const auto result = simulate_marketplace(cfg, rng);
+  // Category proportions are preserved among all identities ever seen:
+  // replacements clone the departing rater's kind.
+  std::size_t reliable = 0;
+  std::size_t pc = 0;
+  for (const RaterKind kind : result.rater_kind) {
+    reliable += kind == RaterKind::kReliable ? 1 : 0;
+    pc += kind == RaterKind::kPotentialCollaborative ? 1 : 0;
+  }
+  const double total = static_cast<double>(result.rater_count());
+  EXPECT_NEAR(reliable / total, 0.5, 0.08);
+  EXPECT_NEAR(pc / total, 0.25, 0.08);
+}
+
+TEST(Churn, ChurnedOutRatersStopRating) {
+  auto cfg = small();
+  cfg.monthly_churn = 1.0;  // complete turnover every month
+  Rng rng(4);
+  const auto result = simulate_marketplace(cfg, rng);
+  // Month-2+ products must be rated exclusively by identities minted after
+  // the initial population.
+  for (const auto& p : result.products) {
+    if (p.month == 0) continue;
+    for (const Rating& r : p.ratings) {
+      EXPECT_GE(r.rater, 120u) << "month " << p.month;
+    }
+  }
+}
+
+TEST(Churn, UnfairLabelsStillOnlyFromPcKind) {
+  auto cfg = small();
+  cfg.monthly_churn = 0.25;
+  Rng rng(5);
+  const auto result = simulate_marketplace(cfg, rng);
+  for (const auto& p : result.products) {
+    for (const Rating& r : p.ratings) {
+      if (!is_unfair(r.label)) continue;
+      EXPECT_EQ(result.rater_kind[r.rater], RaterKind::kPotentialCollaborative);
+    }
+  }
+}
+
+TEST(Cadence, OnOffSkipsAlternateMonths) {
+  auto cfg = small();
+  cfg.attack_every_k_months = 2;
+  Rng rng(6);
+  const auto result = simulate_marketplace(cfg, rng);
+  for (const auto& p : result.products) {
+    if (!p.dishonest) continue;
+    const std::size_t unfair = count_unfair(p.ratings);
+    if (p.month % 2 == 0) {
+      EXPECT_GT(unfair, 0u) << "campaign month " << p.month;
+    } else {
+      EXPECT_EQ(unfair, 0u) << "idle month " << p.month;
+    }
+  }
+}
+
+TEST(Cadence, WhitewashSybilsAreSingleUse) {
+  auto cfg = small();
+  cfg.whitewash = true;
+  Rng rng(7);
+  const auto result = simulate_marketplace(cfg, rng);
+  // Each Sybil id appears in at most one product's attack.
+  std::unordered_set<RaterId> seen;
+  for (const auto& p : result.products) {
+    std::unordered_set<RaterId> here;
+    for (const Rating& r : p.ratings) {
+      if (!is_unfair(r.label)) continue;
+      EXPECT_FALSE(seen.contains(r.rater));
+      here.insert(r.rater);
+    }
+    seen.insert(here.begin(), here.end());
+  }
+}
+
+}  // namespace
+}  // namespace trustrate::sim

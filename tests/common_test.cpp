@@ -1,0 +1,293 @@
+// Unit tests for the common module: types, rng, math, csv, errors.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace trustrate {
+namespace {
+
+// ---------------------------------------------------------------- types
+
+TEST(Types, SortByTimeEstablishesInvariant) {
+  RatingSeries s{{3.0, 0.5, 1, 0, RatingLabel::kHonest},
+                 {1.0, 0.7, 2, 0, RatingLabel::kHonest},
+                 {2.0, 0.2, 3, 0, RatingLabel::kHonest}};
+  EXPECT_FALSE(is_time_sorted(s));
+  sort_by_time(s);
+  EXPECT_TRUE(is_time_sorted(s));
+  EXPECT_DOUBLE_EQ(s.front().time, 1.0);
+  EXPECT_DOUBLE_EQ(s.back().time, 3.0);
+}
+
+TEST(Types, SortByTimeBreaksTiesByRater) {
+  RatingSeries s{{1.0, 0.5, 9, 0, RatingLabel::kHonest},
+                 {1.0, 0.7, 2, 0, RatingLabel::kHonest}};
+  sort_by_time(s);
+  EXPECT_EQ(s[0].rater, 2u);
+  EXPECT_EQ(s[1].rater, 9u);
+}
+
+TEST(Types, ValuesOfPreservesOrder) {
+  RatingSeries s{{1.0, 0.1, 1, 0, RatingLabel::kHonest},
+                 {2.0, 0.9, 2, 0, RatingLabel::kHonest}};
+  const auto v = values_of(s);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[0], 0.1);
+  EXPECT_DOUBLE_EQ(v[1], 0.9);
+}
+
+TEST(Types, IsUnfairClassifiesLabels) {
+  EXPECT_FALSE(is_unfair(RatingLabel::kHonest));
+  EXPECT_FALSE(is_unfair(RatingLabel::kCareless));
+  EXPECT_TRUE(is_unfair(RatingLabel::kCollaborative1));
+  EXPECT_TRUE(is_unfair(RatingLabel::kCollaborative2));
+}
+
+TEST(Types, CountUnfair) {
+  RatingSeries s{{1.0, 0.5, 1, 0, RatingLabel::kHonest},
+                 {2.0, 0.5, 2, 0, RatingLabel::kCollaborative1},
+                 {3.0, 0.5, 3, 0, RatingLabel::kCollaborative2},
+                 {4.0, 0.5, 4, 0, RatingLabel::kCareless}};
+  EXPECT_EQ(count_unfair(s), 2u);
+}
+
+TEST(Types, EmptySeriesIsSorted) {
+  EXPECT_TRUE(is_time_sorted({}));
+  EXPECT_EQ(count_unfair({}), 0u);
+}
+
+// ------------------------------------------------------------------ rng
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 3.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = rng.uniform_int(0, 3);
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 3);
+    saw_lo = saw_lo || x == 0;
+    saw_hi = saw_hi || x == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMomentsRoughlyMatch) {
+  Rng rng(123);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gaussian(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(Rng, GaussianZeroSigmaIsDeterministic) {
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(rng.gaussian(0.3, 0.0), 0.3);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.poisson(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng rng(9);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliClampsOutOfRangeProbability) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.bernoulli(-0.5));
+  EXPECT_TRUE(rng.bernoulli(1.5));
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  Rng parent(77);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  // Children differ from each other.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1.uniform() == child2.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(77);
+  Rng b(77);
+  Rng ca = a.split();
+  Rng cb = b.split();
+  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(ca.uniform(), cb.uniform());
+}
+
+TEST(Rng, PreconditionViolationsThrow) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(3.0, 2.0), PreconditionError);
+  EXPECT_THROW(rng.gaussian(0.0, -1.0), PreconditionError);
+  EXPECT_THROW(rng.poisson(-1.0), PreconditionError);
+  EXPECT_THROW(rng.exponential(0.0), PreconditionError);
+}
+
+// ----------------------------------------------------------------- math
+
+TEST(Math, ClampUnit) {
+  EXPECT_DOUBLE_EQ(clamp_unit(-0.5), 0.0);
+  EXPECT_DOUBLE_EQ(clamp_unit(0.25), 0.25);
+  EXPECT_DOUBLE_EQ(clamp_unit(1.5), 1.0);
+}
+
+TEST(Math, QuantizeElevenLevelsWithZero) {
+  // Paper's illustrative scale: 0, 0.1, ..., 1.0.
+  EXPECT_NEAR(quantize_unit(0.03, 11, true), 0.0, 1e-12);
+  EXPECT_NEAR(quantize_unit(0.07, 11, true), 0.1, 1e-12);
+  EXPECT_NEAR(quantize_unit(0.55, 11, true), 0.6, 1e-12);  // ties round up
+  EXPECT_NEAR(quantize_unit(1.0, 11, true), 1.0, 1e-12);
+}
+
+TEST(Math, QuantizeTenLevelsNoZero) {
+  // Paper's §IV scale: 0.1, 0.2, ..., 1.0 (no zero level).
+  EXPECT_NEAR(quantize_unit(0.0, 10, false), 0.1, 1e-12);
+  EXPECT_NEAR(quantize_unit(0.02, 10, false), 0.1, 1e-12);
+  EXPECT_NEAR(quantize_unit(0.97, 10, false), 1.0, 1e-12);
+  EXPECT_NEAR(quantize_unit(0.43, 10, false), 0.4, 1e-12);
+}
+
+TEST(Math, QuantizeRejectsSilly) {
+  EXPECT_THROW(quantize_unit(0.5, 1, true), PreconditionError);
+}
+
+TEST(Math, MeanOf) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 2.5);
+  EXPECT_THROW(mean_of({}), PreconditionError);
+}
+
+TEST(Math, DotAndEnergy) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(energy(a), 14.0);
+}
+
+TEST(Math, CompensatedSumHandlesCancellation) {
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    xs.push_back(1e16);
+    xs.push_back(1.0);
+    xs.push_back(-1e16);
+  }
+  EXPECT_NEAR(compensated_sum(xs), 1000.0, 1e-6);
+}
+
+TEST(Math, Linspace) {
+  const auto g = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(g.size(), 5u);
+  EXPECT_DOUBLE_EQ(g[0], 0.0);
+  EXPECT_DOUBLE_EQ(g[2], 0.5);
+  EXPECT_DOUBLE_EQ(g[4], 1.0);
+}
+
+// ------------------------------------------------------------------ csv
+
+TEST(Csv, SplitAndJoinRoundTrip) {
+  const std::string line = "1,2.5,hello";
+  const auto fields = split_csv_line(line);
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(join_csv(fields), line);
+}
+
+TEST(Csv, SplitHandlesEmptyFields) {
+  const auto fields = split_csv_line("a,,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "");
+}
+
+TEST(Csv, ParseDoubleRejectsGarbage) {
+  EXPECT_DOUBLE_EQ(parse_double_field("2.5", "test"), 2.5);
+  EXPECT_THROW(parse_double_field("2.5x", "test"), DataError);
+  EXPECT_THROW(parse_double_field("", "test"), DataError);
+}
+
+TEST(Csv, ParseIntRejectsNegativeAndGarbage) {
+  EXPECT_EQ(parse_int_field("42", "test"), 42);
+  EXPECT_THROW(parse_int_field("-1", "test"), DataError);
+  EXPECT_THROW(parse_int_field("1.5", "test"), DataError);
+}
+
+TEST(Csv, ReadCsvSkipsBlankLinesAndCr) {
+  std::istringstream in("a,b\r\n\nc,d\n");
+  const auto rows = read_csv(in);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1], "b");
+  EXPECT_EQ(rows[1][0], "c");
+}
+
+// ---------------------------------------------------------------- error
+
+TEST(Error, PreconditionMessageNamesExpression) {
+  try {
+    TRUSTRATE_EXPECTS(1 == 2, "numbers disagree");
+    FAIL() << "expected throw";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("numbers disagree"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace trustrate

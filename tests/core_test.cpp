@@ -1,0 +1,297 @@
+// Unit tests for the core module: metrics and the TrustEnhancedRatingSystem
+// pipeline (filter -> Procedure 1 -> Procedure 2 -> aggregation).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "core/metrics.hpp"
+#include "core/system.hpp"
+
+namespace trustrate::core {
+namespace {
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Metrics, RatiosFromConfusionCounts) {
+  DetectionMetrics m{.true_positive = 8, .false_positive = 3,
+                     .false_negative = 2, .true_negative = 87};
+  EXPECT_DOUBLE_EQ(m.detection_ratio(), 0.8);
+  EXPECT_DOUBLE_EQ(m.false_alarm_ratio(), 3.0 / 90.0);
+}
+
+TEST(Metrics, EmptyClassesGiveZero) {
+  DetectionMetrics m;
+  EXPECT_DOUBLE_EQ(m.detection_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(m.false_alarm_ratio(), 0.0);
+}
+
+TEST(Metrics, AccumulationAddsCounts) {
+  DetectionMetrics a{.true_positive = 1, .false_positive = 2,
+                     .false_negative = 3, .true_negative = 4};
+  DetectionMetrics b = a;
+  b += a;
+  EXPECT_EQ(b.true_positive, 2u);
+  EXPECT_EQ(b.true_negative, 8u);
+}
+
+TEST(Metrics, ScoreRatingFlags) {
+  RatingSeries s{{1.0, 0.5, 1, 0, RatingLabel::kHonest},
+                 {2.0, 0.5, 2, 0, RatingLabel::kCollaborative2},
+                 {3.0, 0.5, 3, 0, RatingLabel::kCollaborative2},
+                 {4.0, 0.5, 4, 0, RatingLabel::kCareless}};
+  const std::vector<bool> flagged{true, true, false, false};
+  const auto m = score_rating_flags(s, flagged);
+  EXPECT_EQ(m.true_positive, 1u);
+  EXPECT_EQ(m.false_positive, 1u);
+  EXPECT_EQ(m.false_negative, 1u);
+  EXPECT_EQ(m.true_negative, 1u);
+}
+
+TEST(Metrics, ScoreRatingFlagsSizeMismatchThrows) {
+  RatingSeries s{{1.0, 0.5, 1, 0, RatingLabel::kHonest}};
+  EXPECT_THROW(score_rating_flags(s, {}), PreconditionError);
+}
+
+TEST(Metrics, ScoreRaterDetection) {
+  const std::vector<RaterId> all{1, 2, 3, 4};
+  const std::unordered_set<RaterId> unfair{1, 2};
+  const std::unordered_set<RaterId> detected{2, 3};
+  const auto m = score_rater_detection(all, unfair, detected);
+  EXPECT_EQ(m.true_positive, 1u);   // 2
+  EXPECT_EQ(m.false_negative, 1u);  // 1
+  EXPECT_EQ(m.false_positive, 1u);  // 3
+  EXPECT_EQ(m.true_negative, 1u);   // 4
+}
+
+// ----------------------------------------------------------------- system
+
+// Honest ratings for one product over [t0, t1). The rating spread matches
+// the SIV reliable/careless mixture the default threshold is calibrated
+// for (pooled sigma ~0.25); a uniformly tighter population would need a
+// lower threshold.
+ProductObservation honest_product(Rng& rng, ProductId id, double t0, double t1,
+                                  double quality, double per_day = 8.0,
+                                  RaterId pool = 200) {
+  ProductObservation obs;
+  obs.product = id;
+  obs.t_start = t0;
+  obs.t_end = t1;
+  for (double t = t0 + rng.exponential(per_day); t < t1;
+       t += rng.exponential(per_day)) {
+    obs.ratings.push_back(
+        {t, quantize_unit(clamp_unit(rng.gaussian(quality, 0.25)), 10, false),
+         static_cast<RaterId>(rng.uniform_int(0, pool - 1)), id,
+         RatingLabel::kHonest});
+  }
+  sort_by_time(obs.ratings);
+  return obs;
+}
+
+// Adds a tight collaborative block from dedicated rater ids.
+void add_attack(ProductObservation& obs, Rng& rng, double t0, double t1,
+                double mean, double per_day, RaterId first) {
+  RaterId next = first;
+  for (double t = t0 + rng.exponential(per_day); t < t1;
+       t += rng.exponential(per_day)) {
+    obs.ratings.push_back(
+        {t, quantize_unit(clamp_unit(rng.gaussian(mean, 0.02)), 10, false),
+         next++, obs.product, RatingLabel::kCollaborative2});
+  }
+  sort_by_time(obs.ratings);
+}
+
+SystemConfig test_config() {
+  SystemConfig cfg;
+  cfg.filter.q = 0.02;
+  cfg.ar.window_days = 8.0;
+  cfg.ar.step_days = 2.0;
+  cfg.ar.error_threshold = 0.024;
+  cfg.b = 10.0;
+  return cfg;
+}
+
+TEST(System, FreshSystemHasNeutralTrust) {
+  TrustEnhancedRatingSystem system(test_config());
+  EXPECT_DOUBLE_EQ(system.trust(5), 0.5);
+  EXPECT_TRUE(system.malicious().empty());
+  EXPECT_EQ(system.epochs_processed(), 0u);
+}
+
+TEST(System, HonestEpochRaisesTrust) {
+  TrustEnhancedRatingSystem system(test_config());
+  Rng rng(500);
+  const auto obs = honest_product(rng, 0, 0.0, 30.0, 0.5);
+  system.process_epoch(std::vector<ProductObservation>{obs});
+  EXPECT_EQ(system.epochs_processed(), 1u);
+  double mean_trust = 0.0;
+  std::size_t n = 0;
+  for (const auto& [id, rec] : system.trust_store().records()) {
+    mean_trust += rec.trust();
+    ++n;
+  }
+  ASSERT_GT(n, 0u);
+  EXPECT_GT(mean_trust / static_cast<double>(n), 0.5);
+}
+
+TEST(System, AttackedEpochSinksAttackerTrust) {
+  TrustEnhancedRatingSystem system(test_config());
+  Rng rng(501);
+  // Several months of attacks by the same rater block.
+  for (int month = 0; month < 6; ++month) {
+    const double t0 = month * 30.0;
+    auto obs = honest_product(rng, static_cast<ProductId>(month), t0, t0 + 30.0,
+                              0.5);
+    add_attack(obs, rng, t0 + 5.0, t0 + 15.0, 0.65, 16.0, 1000);
+    system.process_epoch(std::vector<ProductObservation>{obs});
+  }
+  // Attacker ids start at 1000 and were reused across months.
+  double attacker_trust = 0.0;
+  std::size_t attackers = 0;
+  double honest_trust = 0.0;
+  std::size_t honest = 0;
+  for (const auto& [id, rec] : system.trust_store().records()) {
+    if (id >= 1000) {
+      attacker_trust += rec.trust();
+      ++attackers;
+    } else {
+      honest_trust += rec.trust();
+      ++honest;
+    }
+  }
+  ASSERT_GT(attackers, 0u);
+  ASSERT_GT(honest, 0u);
+  EXPECT_LT(attacker_trust / attackers, honest_trust / honest);
+}
+
+TEST(System, ReportShapesAreConsistent) {
+  TrustEnhancedRatingSystem system(test_config());
+  Rng rng(502);
+  auto obs = honest_product(rng, 0, 0.0, 30.0, 0.5);
+  add_attack(obs, rng, 5.0, 15.0, 0.65, 16.0, 1000);
+  const auto report =
+      system.process_epoch(std::vector<ProductObservation>{obs});
+  ASSERT_EQ(report.products.size(), 1u);
+  const auto& pr = report.products[0];
+  EXPECT_EQ(pr.flagged.size(), obs.ratings.size());
+  EXPECT_EQ(pr.filter_outcome.kept.size() + pr.filter_outcome.removed.size(),
+            obs.ratings.size());
+  EXPECT_EQ(pr.kept.size(), pr.filter_outcome.kept.size());
+  // The detector ran on the raw series? No: default is filtered input.
+  EXPECT_EQ(pr.suspicion.in_suspicious_window.size(), pr.kept.size());
+}
+
+TEST(System, DetectorOnRawOptionChangesIndexBase) {
+  SystemConfig cfg = test_config();
+  cfg.detector_on_filtered = false;
+  TrustEnhancedRatingSystem system(cfg);
+  Rng rng(503);
+  auto obs = honest_product(rng, 0, 0.0, 30.0, 0.5);
+  const auto report =
+      system.process_epoch(std::vector<ProductObservation>{obs});
+  EXPECT_EQ(report.products[0].suspicion.in_suspicious_window.size(),
+            obs.ratings.size());
+}
+
+TEST(System, DisabledStagesKeepEverythingNeutral) {
+  SystemConfig cfg = test_config();
+  cfg.enable_filter = false;
+  cfg.enable_ar_detector = false;
+  TrustEnhancedRatingSystem system(cfg);
+  Rng rng(504);
+  auto obs = honest_product(rng, 0, 0.0, 30.0, 0.5);
+  add_attack(obs, rng, 5.0, 15.0, 0.65, 16.0, 1000);
+  const auto report =
+      system.process_epoch(std::vector<ProductObservation>{obs});
+  EXPECT_TRUE(report.products[0].filter_outcome.removed.empty());
+  EXPECT_EQ(report.rating_metrics.true_positive, 0u);
+  // Without evidence of misbehaviour, everybody's trust rises.
+  EXPECT_TRUE(system.malicious().empty());
+}
+
+TEST(System, AggregateUsesTrust) {
+  TrustEnhancedRatingSystem system(test_config());
+  Rng rng(505);
+  // Build trust: attackers (ids >= 1000) misbehave for 6 epochs.
+  for (int month = 0; month < 6; ++month) {
+    const double t0 = month * 30.0;
+    auto obs = honest_product(rng, static_cast<ProductId>(month), t0, t0 + 30.0,
+                              0.5);
+    add_attack(obs, rng, t0 + 5.0, t0 + 15.0, 0.65, 16.0, 1000);
+    system.process_epoch(std::vector<ProductObservation>{obs});
+  }
+  // New product: honest say 0.5, known attackers say 0.9.
+  RatingSeries ratings;
+  for (int i = 0; i < 30; ++i) {
+    ratings.push_back({180.0 + i * 0.5,
+                       quantize_unit(clamp_unit(rng.gaussian(0.5, 0.2)), 10, false),
+                       static_cast<RaterId>(i), 99, RatingLabel::kHonest});
+  }
+  for (int i = 0; i < 30; ++i) {
+    ratings.push_back({180.0 + i * 0.5 + 0.1, 0.9,
+                       static_cast<RaterId>(1000 + i), 99,
+                       RatingLabel::kCollaborative2});
+  }
+  sort_by_time(ratings);
+  const double weighted =
+      system.aggregate_with(ratings, agg::AggregatorKind::kModifiedWeightedAverage);
+  const double simple =
+      system.aggregate_with(ratings, agg::AggregatorKind::kSimpleAverage);
+  EXPECT_LT(weighted, simple);  // distrusted raters down-weighted
+  EXPECT_NEAR(weighted, 0.5, 0.12);
+}
+
+TEST(System, AggregateEmptyThrows) {
+  TrustEnhancedRatingSystem system(test_config());
+  EXPECT_THROW(system.aggregate({}), PreconditionError);
+}
+
+TEST(System, RecommendationsFeedCombinedTrust) {
+  TrustEnhancedRatingSystem system(test_config());
+  Rng rng(506);
+  // Rater 1 builds direct trust.
+  auto obs = honest_product(rng, 0, 0.0, 30.0, 0.5, 8.0, /*pool=*/2);
+  system.process_epoch(std::vector<ProductObservation>{obs});
+  system.add_recommendation({/*from=*/0, /*about=*/42, /*score=*/1.0});
+  EXPECT_GT(system.combined_trust(42), 0.5);
+}
+
+TEST(System, ForgettingFadesEvidence) {
+  SystemConfig cfg = test_config();
+  cfg.forgetting = 0.5;
+  TrustEnhancedRatingSystem system(cfg);
+  Rng rng(507);
+  auto obs = honest_product(rng, 0, 0.0, 30.0, 0.5);
+  system.process_epoch(std::vector<ProductObservation>{obs});
+  const double after_one = system.trust(obs.ratings[0].rater);
+  // An epoch with no activity fades everyone toward the prior.
+  system.process_epoch({});
+  system.process_epoch({});
+  const double after_idle = system.trust(obs.ratings[0].rater);
+  EXPECT_LT(std::abs(after_idle - 0.5), std::abs(after_one - 0.5));
+}
+
+TEST(System, ConfigValidation) {
+  SystemConfig cfg = test_config();
+  cfg.b = -1.0;
+  EXPECT_THROW(TrustEnhancedRatingSystem{cfg}, PreconditionError);
+  cfg = test_config();
+  cfg.forgetting = 0.0;
+  EXPECT_THROW(TrustEnhancedRatingSystem{cfg}, PreconditionError);
+  cfg = test_config();
+  cfg.malicious_threshold = 1.0;
+  EXPECT_THROW(TrustEnhancedRatingSystem{cfg}, PreconditionError);
+}
+
+TEST(System, UnsortedProductRatingsRejected) {
+  TrustEnhancedRatingSystem system(test_config());
+  ProductObservation obs;
+  obs.t_end = 30.0;
+  obs.ratings = {{5.0, 0.5, 1, 0, RatingLabel::kHonest},
+                 {1.0, 0.5, 2, 0, RatingLabel::kHonest}};
+  EXPECT_THROW(system.process_epoch(std::vector<ProductObservation>{obs}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace trustrate::core

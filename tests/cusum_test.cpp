@@ -1,0 +1,135 @@
+// Unit tests for the CUSUM change-point detector.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "detect/cusum_detector.hpp"
+
+namespace trustrate::detect {
+namespace {
+
+RatingSeries shifted_series(Rng& rng, std::size_t before, std::size_t after,
+                            double mu0, double mu1, double sigma) {
+  RatingSeries s;
+  for (std::size_t i = 0; i < before + after; ++i) {
+    const double mean = i < before ? mu0 : mu1;
+    s.push_back({static_cast<double>(i), clamp_unit(rng.gaussian(mean, sigma)),
+                 static_cast<RaterId>(i), 0, RatingLabel::kHonest});
+  }
+  return s;
+}
+
+TEST(Cusum, NoAlarmOnStationaryStream) {
+  Rng rng(1);
+  const auto s = shifted_series(rng, 300, 0, 0.5, 0.5, 0.15);
+  const CusumDetector det({.k = 0.5, .h = 8.0, .warmup = 30});
+  const auto res = det.analyze(s);
+  EXPECT_EQ(res.alarm_count(), 0u);
+  EXPECT_NEAR(res.mu0, 0.5, 0.1);
+}
+
+TEST(Cusum, DetectsUpwardShift) {
+  Rng rng(2);
+  const auto s = shifted_series(rng, 100, 100, 0.5, 0.68, 0.15);
+  const CusumDetector det({.k = 0.4, .h = 8.0, .warmup = 30});
+  const auto res = det.analyze(s);
+  ASSERT_GT(res.alarm_count(), 0u);
+  // The first alarm comes after the shift begins and within a reasonable
+  // delay (CUSUM's expected delay ~ h / (shift/sigma - k) samples).
+  EXPECT_GE(res.first_alarm(), 100u);
+  EXPECT_LE(res.first_alarm(), 160u);
+}
+
+TEST(Cusum, DetectsDownwardShift) {
+  Rng rng(3);
+  const auto s = shifted_series(rng, 100, 100, 0.6, 0.42, 0.15);
+  const CusumDetector det({.k = 0.4, .h = 8.0, .warmup = 30});
+  const auto res = det.analyze(s);
+  ASSERT_GT(res.alarm_count(), 0u);
+  EXPECT_GE(res.first_alarm(), 100u);
+}
+
+TEST(Cusum, BacktrackedMaskCoversShiftedBlock) {
+  Rng rng(4);
+  const auto s = shifted_series(rng, 100, 100, 0.5, 0.7, 0.12);
+  const CusumDetector det({.k = 0.4, .h = 8.0, .warmup = 30});
+  const auto res = det.analyze(s);
+  std::size_t flagged_after_shift = 0;
+  std::size_t flagged_before_shift = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (!res.in_alarm[i]) continue;
+    if (i >= 100) {
+      ++flagged_after_shift;
+    } else {
+      ++flagged_before_shift;
+    }
+  }
+  EXPECT_GT(flagged_after_shift, 50u);
+  // Bounded contamination: most of the mask lies in the shifted block.
+  EXPECT_GT(flagged_after_shift, 2 * flagged_before_shift);
+}
+
+TEST(Cusum, ShortSeriesProducesNoAlarms) {
+  Rng rng(5);
+  const auto s = shifted_series(rng, 10, 0, 0.5, 0.5, 0.15);
+  const CusumDetector det({.k = 0.5, .h = 8.0, .warmup = 30});
+  const auto res = det.analyze(s);
+  EXPECT_EQ(res.alarm_count(), 0u);
+  EXPECT_EQ(res.first_alarm(), s.size());
+}
+
+TEST(Cusum, RestartsAfterAlarm) {
+  Rng rng(6);
+  // Two separated shift episodes -> at least two alarms.
+  RatingSeries s;
+  std::size_t t = 0;
+  auto extend = [&](std::size_t n, double mu) {
+    for (std::size_t i = 0; i < n; ++i, ++t) {
+      s.push_back({static_cast<double>(t), clamp_unit(rng.gaussian(mu, 0.1)),
+                   static_cast<RaterId>(t), 0, RatingLabel::kHonest});
+    }
+  };
+  extend(80, 0.5);
+  extend(60, 0.75);
+  extend(80, 0.5);
+  extend(60, 0.75);
+  const CusumDetector det({.k = 0.4, .h = 6.0, .warmup = 30});
+  const auto res = det.analyze(s);
+  EXPECT_GE(res.alarm_count(), 2u);
+}
+
+TEST(Cusum, SigmaFloorPreventsDivisionBlowup) {
+  // Constant warmup (stddev 0) must not produce infinite z-scores.
+  RatingSeries s;
+  for (std::size_t i = 0; i < 60; ++i) {
+    s.push_back({static_cast<double>(i), 0.5, static_cast<RaterId>(i), 0,
+                 RatingLabel::kHonest});
+  }
+  const CusumDetector det({.k = 0.5, .h = 8.0, .warmup = 30, .min_sigma = 0.02});
+  const auto res = det.analyze(s);
+  EXPECT_DOUBLE_EQ(res.sigma0, 0.02);
+  EXPECT_EQ(res.alarm_count(), 0u);
+}
+
+TEST(Cusum, ConfigValidation) {
+  CusumConfig bad;
+  bad.h = 0.0;
+  EXPECT_THROW(CusumDetector{bad}, PreconditionError);
+  bad = {};
+  bad.warmup = 1;
+  EXPECT_THROW(CusumDetector{bad}, PreconditionError);
+  bad = {};
+  bad.k = -0.1;
+  EXPECT_THROW(CusumDetector{bad}, PreconditionError);
+}
+
+TEST(Cusum, RequiresSortedInput) {
+  RatingSeries s{{5.0, 0.5, 1, 0, RatingLabel::kHonest},
+                 {1.0, 0.5, 2, 0, RatingLabel::kHonest}};
+  const CusumDetector det{CusumConfig{}};
+  EXPECT_THROW(det.analyze(s), PreconditionError);
+}
+
+}  // namespace
+}  // namespace trustrate::detect

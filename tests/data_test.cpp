@@ -1,0 +1,246 @@
+// Unit tests for the data module: trace CSV I/O, the synthetic
+// Netflix-like generator, and collaborative-rating injection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "data/inject.hpp"
+#include "data/netflix_like.hpp"
+#include "data/trace.hpp"
+#include "stats/descriptive.hpp"
+
+namespace trustrate::data {
+namespace {
+
+// ----------------------------------------------------------------- trace
+
+TEST(Trace, CsvRoundTrip) {
+  RatingTrace trace;
+  trace.name = "t";
+  trace.ratings = {{1.5, 0.4, 3, 0, RatingLabel::kHonest},
+                   {2.5, 0.8, 7, 0, RatingLabel::kHonest}};
+  std::ostringstream out;
+  save_trace_csv(trace, out);
+  std::istringstream in(out.str());
+  const RatingTrace loaded = load_trace_csv(in, "t");
+  ASSERT_EQ(loaded.ratings.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.ratings[0].time, 1.5);
+  EXPECT_DOUBLE_EQ(loaded.ratings[1].value, 0.8);
+  EXPECT_EQ(loaded.ratings[0].rater, 3u);
+}
+
+TEST(Trace, LoadSortsByTime) {
+  std::istringstream in("5.0,1,0.5\n1.0,2,0.6\n");
+  const RatingTrace loaded = load_trace_csv(in, "t");
+  EXPECT_TRUE(is_time_sorted(loaded.ratings));
+  EXPECT_DOUBLE_EQ(loaded.ratings.front().time, 1.0);
+}
+
+TEST(Trace, LoadRejectsMalformedRows) {
+  std::istringstream missing("1.0,2\n");
+  EXPECT_THROW(load_trace_csv(missing, "t"), DataError);
+  std::istringstream out_of_range("1.0,2,1.5\n");
+  EXPECT_THROW(load_trace_csv(out_of_range, "t"), DataError);
+  std::istringstream garbage("abc,2,0.5\n");
+  EXPECT_THROW(load_trace_csv(garbage, "t"), DataError);
+}
+
+TEST(Trace, DurationOfEmptyTraceIsZero) {
+  RatingTrace trace;
+  EXPECT_DOUBLE_EQ(trace.duration(), 0.0);
+}
+
+// ----------------------------------------------------------- netflix-like
+
+TEST(NetflixLike, ArrivalRateHasSpikeAndTail) {
+  NetflixLikeConfig cfg;
+  const double at_peak = netflix_arrival_rate(cfg, cfg.peak_day);
+  const double early = netflix_arrival_rate(cfg, 5.0);
+  const double late = netflix_arrival_rate(cfg, 650.0);
+  EXPECT_GT(at_peak, early);
+  EXPECT_GT(at_peak, late);
+  EXPECT_GT(late, 0.0);
+}
+
+TEST(NetflixLike, TraceCoversConfiguredSpan) {
+  NetflixLikeConfig cfg;
+  cfg.days = 300.0;
+  Rng rng(300);
+  const RatingTrace trace = generate_netflix_like(cfg, rng);
+  ASSERT_GT(trace.ratings.size(), 200u);
+  EXPECT_TRUE(is_time_sorted(trace.ratings));
+  EXPECT_GE(trace.ratings.front().time, 0.0);
+  EXPECT_LT(trace.ratings.back().time, 300.0);
+}
+
+TEST(NetflixLike, ValuesAreStarLevels) {
+  NetflixLikeConfig cfg;
+  cfg.days = 200.0;
+  Rng rng(301);
+  const RatingTrace trace = generate_netflix_like(cfg, rng);
+  for (const Rating& r : trace.ratings) {
+    const double stars = r.value * cfg.stars;
+    EXPECT_NEAR(stars, std::round(stars), 1e-9);
+    EXPECT_GE(stars, 1.0 - 1e-9);  // no zero-star level
+    EXPECT_LE(stars, cfg.stars + 1e-9);
+  }
+}
+
+TEST(NetflixLike, MeanNearConfiguredQuality) {
+  NetflixLikeConfig cfg;
+  Rng rng(302);
+  const RatingTrace trace = generate_netflix_like(cfg, rng);
+  const auto values = values_of(trace.ratings);
+  const double mean = stats::summarize(values).mean;
+  EXPECT_NEAR(mean, 0.5 * (cfg.quality_start + cfg.quality_end), 0.05);
+}
+
+TEST(NetflixLike, MoreRatingsNearPeak) {
+  NetflixLikeConfig cfg;
+  Rng rng(303);
+  const RatingTrace trace = generate_netflix_like(cfg, rng);
+  std::size_t near_peak = 0;
+  std::size_t tail = 0;
+  for (const Rating& r : trace.ratings) {
+    if (r.time >= cfg.peak_day - 25 && r.time < cfg.peak_day + 25) ++near_peak;
+    if (r.time >= 600 && r.time < 650) ++tail;
+  }
+  EXPECT_GT(near_peak, 2 * tail);
+}
+
+TEST(NetflixLike, DeterministicGivenSeed) {
+  NetflixLikeConfig cfg;
+  cfg.days = 100.0;
+  Rng a(304);
+  Rng b(304);
+  EXPECT_EQ(generate_netflix_like(cfg, a).ratings,
+            generate_netflix_like(cfg, b).ratings);
+}
+
+TEST(NetflixLike, ConfigValidation) {
+  NetflixLikeConfig cfg;
+  cfg.stars = 1;
+  Rng rng(1);
+  EXPECT_THROW(generate_netflix_like(cfg, rng), PreconditionError);
+}
+
+// -------------------------------------------------------------- injection
+
+RatingTrace small_trace(Rng& rng) {
+  NetflixLikeConfig cfg;
+  cfg.days = 400.0;
+  return generate_netflix_like(cfg, rng);
+}
+
+TEST(Inject, AddsType2AndShiftsType1InWindow) {
+  Rng rng(400);
+  const RatingTrace original = small_trace(rng);
+  InjectionConfig inj;
+  inj.attack_start = 100.0;
+  inj.attack_end = 160.0;
+  Rng rng2(401);
+  const RatingTrace attacked = inject_collaborative(original, inj, rng2);
+
+  EXPECT_GT(attacked.ratings.size(), original.ratings.size());
+  EXPECT_TRUE(is_time_sorted(attacked.ratings));
+  for (const Rating& r : attacked.ratings) {
+    if (is_unfair(r.label)) {
+      EXPECT_GE(r.time, inj.attack_start);
+      EXPECT_LT(r.time, inj.attack_end);
+    }
+  }
+}
+
+TEST(Inject, Type2VolumeMatchesRecruitPower) {
+  Rng rng(402);
+  const RatingTrace original = small_trace(rng);
+  InjectionConfig inj;
+  inj.attack_start = 100.0;
+  inj.attack_end = 160.0;
+  inj.recruit_power2 = 1.0;
+
+  std::size_t in_window_before = 0;
+  for (const Rating& r : original.ratings) {
+    if (r.time >= 100.0 && r.time < 160.0) ++in_window_before;
+  }
+  Rng rng2(403);
+  const RatingTrace attacked = inject_collaborative(original, inj, rng2);
+  std::size_t type2 = 0;
+  for (const Rating& r : attacked.ratings) {
+    if (r.label == RatingLabel::kCollaborative2) ++type2;
+  }
+  // Type-2 rate equals the empirical in-window rate; expect rough parity.
+  EXPECT_NEAR(static_cast<double>(type2), static_cast<double>(in_window_before),
+              0.4 * in_window_before);
+}
+
+TEST(Inject, Type1OnlyRelabelsExistingRatings) {
+  Rng rng(404);
+  const RatingTrace original = small_trace(rng);
+  InjectionConfig inj;
+  inj.attack_start = 100.0;
+  inj.attack_end = 160.0;
+  inj.recruit_power2 = 0.0;  // no type-2 stream
+  Rng rng2(405);
+  const RatingTrace attacked = inject_collaborative(original, inj, rng2);
+  EXPECT_EQ(attacked.ratings.size(), original.ratings.size());
+  std::size_t type1 = 0;
+  for (const Rating& r : attacked.ratings) {
+    if (r.label == RatingLabel::kCollaborative1) ++type1;
+  }
+  EXPECT_GT(type1, 0u);
+}
+
+TEST(Inject, Type2RatersGetFreshIds) {
+  Rng rng(406);
+  const RatingTrace original = small_trace(rng);
+  RaterId max_original = 0;
+  for (const Rating& r : original.ratings) max_original = std::max(max_original, r.rater);
+  InjectionConfig inj;
+  inj.attack_start = 100.0;
+  inj.attack_end = 160.0;
+  Rng rng2(407);
+  const RatingTrace attacked = inject_collaborative(original, inj, rng2);
+  for (const Rating& r : attacked.ratings) {
+    if (r.label == RatingLabel::kCollaborative2) {
+      EXPECT_GT(r.rater, max_original);
+    }
+  }
+}
+
+TEST(Inject, ShiftedMeanInsideWindow) {
+  Rng rng(408);
+  const RatingTrace original = small_trace(rng);
+  InjectionConfig inj;
+  inj.attack_start = 100.0;
+  inj.attack_end = 160.0;
+  Rng rng2(409);
+  const RatingTrace attacked = inject_collaborative(original, inj, rng2);
+
+  auto window_mean = [&](const RatingTrace& t) {
+    std::vector<double> vs;
+    for (const Rating& r : t.ratings) {
+      if (r.time >= 100.0 && r.time < 160.0) vs.push_back(r.value);
+    }
+    return stats::summarize(vs).mean;
+  };
+  EXPECT_GT(window_mean(attacked), window_mean(original) + 0.05);
+}
+
+TEST(Inject, RejectsEmptyTraceAndBadWindow) {
+  RatingTrace empty;
+  InjectionConfig inj;
+  Rng rng(1);
+  EXPECT_THROW(inject_collaborative(empty, inj, rng), PreconditionError);
+  Rng rng2(2);
+  RatingTrace one;
+  one.ratings = {{1.0, 0.5, 1, 0, RatingLabel::kHonest}};
+  inj.attack_start = 10.0;
+  inj.attack_end = 5.0;
+  EXPECT_THROW(inject_collaborative(one, inj, rng2), PreconditionError);
+}
+
+}  // namespace
+}  // namespace trustrate::data

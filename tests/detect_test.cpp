@@ -1,0 +1,502 @@
+// Unit tests for the detect module: filter outcomes, beta-quantile filter,
+// AR suspicion detector (Procedure 1), and the three baseline filters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "detect/ar_detector.hpp"
+#include "detect/beta_filter.hpp"
+#include "detect/cluster_filter.hpp"
+#include "detect/endorsement_filter.hpp"
+#include "detect/entropy_filter.hpp"
+#include "detect/filter.hpp"
+
+namespace trustrate::detect {
+namespace {
+
+// Gaussian ratings around `quality` at 1/day for `days` days.
+RatingSeries honest_series(Rng& rng, int days, double quality, double sigma,
+                           double per_day = 4.0) {
+  RatingSeries s;
+  RaterId next = 0;
+  for (double t = rng.exponential(per_day); t < days;
+       t += rng.exponential(per_day)) {
+    s.push_back({t, clamp_unit(rng.gaussian(quality, sigma)), next++, 0,
+                 RatingLabel::kHonest});
+  }
+  return s;
+}
+
+// Appends a tight collaborative block on [t0, t1).
+void add_attack(RatingSeries& s, Rng& rng, double t0, double t1, double mean,
+                double per_day = 6.0, RaterId first_rater = 10000) {
+  RaterId next = first_rater;
+  for (double t = t0 + rng.exponential(per_day); t < t1;
+       t += rng.exponential(per_day)) {
+    s.push_back({t, clamp_unit(rng.gaussian(mean, 0.02)), next++, 0,
+                 RatingLabel::kCollaborative2});
+  }
+  sort_by_time(s);
+}
+
+// --------------------------------------------------------- FilterOutcome
+
+TEST(FilterOutcome, KeptSeriesPreservesOrder) {
+  RatingSeries s{{1.0, 0.1, 1, 0, RatingLabel::kHonest},
+                 {2.0, 0.2, 2, 0, RatingLabel::kHonest},
+                 {3.0, 0.3, 3, 0, RatingLabel::kHonest}};
+  FilterOutcome out;
+  out.kept = {0, 2};
+  out.removed = {1};
+  const RatingSeries kept = out.kept_series(s);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_DOUBLE_EQ(kept[0].value, 0.1);
+  EXPECT_DOUBLE_EQ(kept[1].value, 0.3);
+}
+
+TEST(FilterOutcome, RemovedMask) {
+  FilterOutcome out;
+  out.kept = {0, 2};
+  out.removed = {1};
+  const auto mask = out.removed_mask(3);
+  EXPECT_FALSE(mask[0]);
+  EXPECT_TRUE(mask[1]);
+  EXPECT_FALSE(mask[2]);
+}
+
+TEST(NullFilter, KeepsEverything) {
+  Rng rng(1);
+  const RatingSeries s = honest_series(rng, 10, 0.5, 0.2);
+  const NullFilter f;
+  const auto out = f.filter(s);
+  EXPECT_EQ(out.kept.size(), s.size());
+  EXPECT_TRUE(out.removed.empty());
+}
+
+// ------------------------------------------------------------ BetaFilter
+
+TEST(BetaFilter, KeepsSmallSamplesUntouched) {
+  const BetaQuantileFilter f({.q = 0.1, .min_ratings = 5});
+  RatingSeries s{{1.0, 0.9, 1, 0, RatingLabel::kHonest},
+                 {2.0, 0.1, 2, 0, RatingLabel::kHonest}};
+  const auto out = f.filter(s);
+  EXPECT_EQ(out.kept.size(), 2u);
+}
+
+TEST(BetaFilter, RemovesFarOutliers) {
+  Rng rng(5);
+  RatingSeries s = honest_series(rng, 30, 0.7, 0.1);
+  // A blatant ballot-stuffing block at the bottom of the scale.
+  for (int i = 0; i < 5; ++i) {
+    s.push_back({10.0 + i, 0.0, static_cast<RaterId>(900 + i), 0,
+                 RatingLabel::kCollaborative1});
+  }
+  sort_by_time(s);
+  const BetaQuantileFilter f({.q = 0.05});
+  const auto out = f.filter(s);
+  std::size_t removed_attackers = 0;
+  for (std::size_t i : out.removed) {
+    if (s[i].value == 0.0) ++removed_attackers;
+  }
+  EXPECT_EQ(removed_attackers, 5u);
+}
+
+TEST(BetaFilter, ModerateBiasSurvives) {
+  // The paper's motivating failure: a +0.15 shifted block passes.
+  Rng rng(6);
+  RatingSeries s = honest_series(rng, 30, 0.5, 0.2);
+  add_attack(s, rng, 10.0, 20.0, 0.65, 4.0);
+  const BetaQuantileFilter f({.q = 0.1});
+  const auto out = f.filter(s);
+  std::size_t removed_attackers = 0;
+  std::size_t attackers = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (!is_unfair(s[i].label)) continue;
+    ++attackers;
+    if (std::find(out.removed.begin(), out.removed.end(), i) != out.removed.end()) {
+      ++removed_attackers;
+    }
+  }
+  ASSERT_GT(attackers, 10u);
+  EXPECT_LT(static_cast<double>(removed_attackers) / attackers, 0.2);
+}
+
+TEST(BetaFilter, PartitionIsExactAndSorted) {
+  Rng rng(7);
+  const RatingSeries s = honest_series(rng, 40, 0.5, 0.25);
+  const BetaQuantileFilter f({.q = 0.1});
+  const auto out = f.filter(s);
+  EXPECT_EQ(out.kept.size() + out.removed.size(), s.size());
+  EXPECT_TRUE(std::is_sorted(out.kept.begin(), out.kept.end()));
+  EXPECT_TRUE(std::is_sorted(out.removed.begin(), out.removed.end()));
+  // Disjoint.
+  for (std::size_t i : out.kept) {
+    EXPECT_EQ(std::find(out.removed.begin(), out.removed.end(), i),
+              out.removed.end());
+  }
+}
+
+TEST(BetaFilter, IdenticalRatingsNeverFiltered) {
+  RatingSeries s;
+  for (int i = 0; i < 20; ++i) {
+    s.push_back({static_cast<double>(i), 0.6, static_cast<RaterId>(i), 0,
+                 RatingLabel::kHonest});
+  }
+  const BetaQuantileFilter f({.q = 0.1});
+  EXPECT_TRUE(f.filter(s).removed.empty());
+}
+
+TEST(BetaFilter, RejectsBadConfig) {
+  EXPECT_THROW(BetaQuantileFilter({.q = 0.0}), PreconditionError);
+  EXPECT_THROW(BetaQuantileFilter({.q = 0.6}), PreconditionError);
+  EXPECT_THROW(BetaQuantileFilter({.q = 0.1, .min_ratings = 5,
+                                   .max_iterations = 0}),
+               PreconditionError);
+}
+
+// ------------------------------------------------------------ ArDetector
+
+TEST(ArDetector, HonestStreamMostlyClean) {
+  Rng rng(11);
+  const RatingSeries s = honest_series(rng, 60, 0.5, 0.2, 8.0);
+  ArDetectorConfig cfg;
+  cfg.window_days = 10;
+  cfg.step_days = 5;
+  cfg.error_threshold = 0.015;  // well under the sigma^2 = 0.04 baseline
+  const ArSuspicionDetector det(cfg);
+  const auto res = det.analyze(s, 0.0, 60.0);
+  EXPECT_EQ(res.suspicious_count(), 0u);
+  EXPECT_TRUE(res.suspicion.empty());
+}
+
+TEST(ArDetector, TightCollaborativeBlockFlagged) {
+  Rng rng(12);
+  RatingSeries s = honest_series(rng, 60, 0.5, 0.2, 6.0);
+  add_attack(s, rng, 25.0, 35.0, 0.6, 14.0);
+  ArDetectorConfig cfg;
+  cfg.window_days = 10;
+  cfg.step_days = 5;
+  cfg.error_threshold = 0.02;
+  const ArSuspicionDetector det(cfg);
+  const auto res = det.analyze(s, 0.0, 60.0);
+  ASSERT_GT(res.suspicious_count(), 0u);
+  // Every suspicious window overlaps the attack interval.
+  for (const auto& w : res.windows) {
+    if (!w.suspicious) continue;
+    EXPECT_GT(w.window.end, 25.0);
+    EXPECT_LT(w.window.start, 35.0);
+  }
+}
+
+TEST(ArDetector, SuspicionAssignedToRatersInWindow) {
+  Rng rng(13);
+  RatingSeries s = honest_series(rng, 60, 0.5, 0.2, 6.0);
+  add_attack(s, rng, 25.0, 35.0, 0.6, 20.0, /*first_rater=*/5000);
+  ArDetectorConfig cfg;
+  cfg.window_days = 10;
+  cfg.step_days = 5;
+  cfg.error_threshold = 0.022;
+  const ArSuspicionDetector det(cfg);
+  const auto res = det.analyze(s, 0.0, 60.0);
+  ASSERT_FALSE(res.suspicion.empty());
+  // Most of the accumulated suspicion mass belongs to attackers.
+  double attacker_mass = 0.0;
+  double total_mass = 0.0;
+  for (const auto& [rater, c] : res.suspicion) {
+    EXPECT_GT(c, 0.0);
+    total_mass += c;
+    if (rater >= 5000) attacker_mass += c;
+  }
+  EXPECT_GT(attacker_mass / total_mass, 0.5);
+}
+
+TEST(ArDetector, LevelBoundedByScale) {
+  Rng rng(14);
+  RatingSeries s = honest_series(rng, 60, 0.5, 0.2, 6.0);
+  add_attack(s, rng, 25.0, 35.0, 0.6, 14.0);
+  ArDetectorConfig cfg;
+  cfg.window_days = 10;
+  cfg.step_days = 5;
+  cfg.error_threshold = 0.02;
+  cfg.scale = 0.7;
+  const ArSuspicionDetector det(cfg);
+  const auto res = det.analyze(s, 0.0, 60.0);
+  for (const auto& w : res.windows) {
+    EXPECT_LE(w.level, 0.7 + 1e-12);
+    EXPECT_GE(w.level, 0.0);
+  }
+}
+
+TEST(ArDetector, OverlappingWindowsDoNotDoubleCountSuspicion) {
+  // A rater inside one suspicious episode accrues at most the maximum
+  // window level, even with heavy window overlap.
+  Rng rng(15);
+  RatingSeries s = honest_series(rng, 60, 0.5, 0.2, 6.0);
+  add_attack(s, rng, 25.0, 35.0, 0.6, 14.0, 5000);
+  ArDetectorConfig cfg;
+  cfg.window_days = 10;
+  cfg.step_days = 1;  // 10x overlap
+  cfg.error_threshold = 0.02;
+  cfg.scale = 1.0;
+  const ArSuspicionDetector det(cfg);
+  const auto res = det.analyze(s, 0.0, 60.0);
+  for (const auto& [rater, c] : res.suspicion) {
+    EXPECT_LE(c, 1.0 + 1e-12) << "rater " << rater;
+  }
+}
+
+TEST(ArDetector, SparseWindowsSkipped) {
+  RatingSeries s;
+  for (int i = 0; i < 5; ++i) {
+    s.push_back({i * 10.0, 0.5, static_cast<RaterId>(i), 0, RatingLabel::kHonest});
+  }
+  ArDetectorConfig cfg;
+  cfg.window_days = 10;
+  cfg.step_days = 10;
+  const ArSuspicionDetector det(cfg);
+  const auto res = det.analyze(s, 0.0, 50.0);
+  for (const auto& w : res.windows) {
+    EXPECT_FALSE(w.evaluated);
+    EXPECT_FALSE(w.suspicious);
+  }
+}
+
+TEST(ArDetector, CountBasedWindows) {
+  Rng rng(16);
+  const RatingSeries s = honest_series(rng, 60, 0.5, 0.2, 8.0);
+  ArDetectorConfig cfg;
+  cfg.count_based = true;
+  cfg.window_count = 50;
+  cfg.step_count = 25;
+  const ArSuspicionDetector det(cfg);
+  const auto res = det.analyze(s, 0.0, 0.0);  // t0/t1 ignored
+  EXPECT_EQ(res.windows.size(), (s.size() - 50) / 25 + 1);
+}
+
+TEST(ArDetector, InSuspiciousWindowMaskMatchesWindows) {
+  Rng rng(17);
+  RatingSeries s = honest_series(rng, 60, 0.5, 0.2, 6.0);
+  add_attack(s, rng, 25.0, 35.0, 0.6, 14.0);
+  ArDetectorConfig cfg;
+  cfg.window_days = 10;
+  cfg.step_days = 5;
+  cfg.error_threshold = 0.02;
+  const ArSuspicionDetector det(cfg);
+  const auto res = det.analyze(s, 0.0, 60.0);
+  std::vector<bool> expected(s.size(), false);
+  for (const auto& w : res.windows) {
+    if (!w.suspicious) continue;
+    for (std::size_t i = w.first; i < w.last; ++i) expected[i] = true;
+  }
+  EXPECT_EQ(res.in_suspicious_window, expected);
+}
+
+TEST(ArDetector, RequiresSortedSeries) {
+  RatingSeries s{{5.0, 0.5, 1, 0, RatingLabel::kHonest},
+                 {1.0, 0.5, 2, 0, RatingLabel::kHonest}};
+  const ArSuspicionDetector det{ArDetectorConfig{}};
+  EXPECT_THROW(det.analyze(s, 0.0, 10.0), PreconditionError);
+}
+
+TEST(ArDetector, ConfigValidation) {
+  ArDetectorConfig bad;
+  bad.order = 0;
+  EXPECT_THROW(ArSuspicionDetector{bad}, PreconditionError);
+  bad = {};
+  bad.error_threshold = 0.0;
+  EXPECT_THROW(ArSuspicionDetector{bad}, PreconditionError);
+  bad = {};
+  bad.scale = 1.5;
+  EXPECT_THROW(ArSuspicionDetector{bad}, PreconditionError);
+  bad = {};
+  bad.window_days = -1.0;
+  EXPECT_THROW(ArSuspicionDetector{bad}, PreconditionError);
+}
+
+// Parameterized: all three estimators must agree on the qualitative
+// honest-vs-attack separation.
+class ArDetectorEstimatorTest : public ::testing::TestWithParam<ArEstimator> {};
+
+TEST_P(ArDetectorEstimatorTest, AttackWindowsHaveLowerError) {
+  Rng rng(18);
+  RatingSeries s = honest_series(rng, 60, 0.5, 0.2, 6.0);
+  add_attack(s, rng, 25.0, 35.0, 0.6, 14.0);
+  ArDetectorConfig cfg;
+  cfg.window_days = 10;
+  cfg.step_days = 5;
+  cfg.estimator = GetParam();
+  cfg.error_threshold = 0.0001;  // never fires; we compare raw errors
+  const ArSuspicionDetector det(cfg);
+  const auto res = det.analyze(s, 0.0, 60.0);
+  double attack_min = 1.0;
+  double honest_min = 1.0;
+  for (const auto& w : res.windows) {
+    if (!w.evaluated) continue;
+    const bool overlaps = w.window.end > 25.0 && w.window.start < 35.0;
+    if (overlaps) {
+      attack_min = std::min(attack_min, w.model_error);
+    } else {
+      honest_min = std::min(honest_min, w.model_error);
+    }
+  }
+  EXPECT_LT(attack_min, honest_min);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEstimators, ArDetectorEstimatorTest,
+                         ::testing::Values(ArEstimator::kCovariance,
+                                           ArEstimator::kAutocorrelation,
+                                           ArEstimator::kBurg));
+
+// -------------------------------------------------------- EntropyFilter
+
+TEST(EntropyFilter, AcceptsConsistentStream) {
+  Rng rng(21);
+  RatingSeries s;
+  for (int i = 0; i < 100; ++i) {
+    s.push_back({static_cast<double>(i),
+                 quantize_unit(clamp_unit(rng.gaussian(0.6, 0.15)), 10, false),
+                 static_cast<RaterId>(i), 0, RatingLabel::kHonest});
+  }
+  const EntropyFilter f({.levels = 10, .threshold = 0.12, .warmup = 10});
+  const auto out = f.filter(s);
+  EXPECT_LT(out.removed.size(), s.size() / 5);
+}
+
+TEST(EntropyFilter, WarmupAlwaysAccepted) {
+  RatingSeries s;
+  for (int i = 0; i < 5; ++i) {
+    s.push_back({static_cast<double>(i), i % 2 ? 1.0 : 0.1,
+                 static_cast<RaterId>(i), 0, RatingLabel::kHonest});
+  }
+  const EntropyFilter f({.levels = 10, .threshold = 0.001, .warmup = 5});
+  EXPECT_TRUE(f.filter(s).removed.empty());
+}
+
+TEST(EntropyFilter, FlagsSurpriseAfterConsensus) {
+  RatingSeries s;
+  // 40 identical ratings, then one at the other end of the scale.
+  for (int i = 0; i < 40; ++i) {
+    s.push_back({static_cast<double>(i), 0.6, static_cast<RaterId>(i), 0,
+                 RatingLabel::kHonest});
+  }
+  s.push_back({41.0, 0.1, 99, 0, RatingLabel::kCollaborative1});
+  const EntropyFilter f({.levels = 10, .threshold = 0.02, .warmup = 10});
+  const auto out = f.filter(s);
+  ASSERT_EQ(out.removed.size(), 1u);
+  EXPECT_EQ(out.removed[0], 40u);
+}
+
+TEST(EntropyFilter, ConfigValidation) {
+  EXPECT_THROW(EntropyFilter({.levels = 1}), PreconditionError);
+  EXPECT_THROW(EntropyFilter({.levels = 10, .threshold = 0.0}),
+               PreconditionError);
+}
+
+// ---------------------------------------------------- EndorsementFilter
+
+TEST(EndorsementFilter, QualityHighForAgreement) {
+  RatingSeries s{{1.0, 0.5, 1, 0, RatingLabel::kHonest},
+                 {2.0, 0.5, 2, 0, RatingLabel::kHonest},
+                 {3.0, 0.5, 3, 0, RatingLabel::kHonest}};
+  const auto q = EndorsementFilter::qualities(s);
+  for (double v : q) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(EndorsementFilter, LonelyOutlierHasLowQuality) {
+  RatingSeries s;
+  for (int i = 0; i < 9; ++i) {
+    s.push_back({static_cast<double>(i), 0.6, static_cast<RaterId>(i), 0,
+                 RatingLabel::kHonest});
+  }
+  s.push_back({10.0, 0.0, 99, 0, RatingLabel::kCollaborative1});
+  const auto q = EndorsementFilter::qualities(s);
+  EXPECT_LT(q.back(), q.front());
+  const EndorsementFilter f({.deviations = 2.0});
+  const auto out = f.filter(s);
+  ASSERT_EQ(out.removed.size(), 1u);
+  EXPECT_EQ(out.removed[0], 9u);
+}
+
+TEST(EndorsementFilter, CollaborativeBlockEndorsesItself) {
+  // The paper's argument: a mutually-consistent collaborative block keeps
+  // high endorsement quality and passes.
+  Rng rng(22);
+  RatingSeries s = honest_series(rng, 30, 0.5, 0.2);
+  add_attack(s, rng, 10.0, 20.0, 0.65, 6.0);
+  const EndorsementFilter f({.deviations = 2.0});
+  const auto out = f.filter(s);
+  std::size_t removed_attackers = 0;
+  for (std::size_t i : out.removed) {
+    if (is_unfair(s[i].label)) ++removed_attackers;
+  }
+  EXPECT_LT(removed_attackers, count_unfair(s) / 5 + 1);
+}
+
+TEST(EndorsementFilter, SmallSamplesUntouched) {
+  RatingSeries s{{1.0, 0.0, 1, 0, RatingLabel::kHonest},
+                 {2.0, 1.0, 2, 0, RatingLabel::kHonest}};
+  const EndorsementFilter f({.deviations = 1.0, .min_ratings = 5});
+  EXPECT_TRUE(f.filter(s).removed.empty());
+}
+
+// -------------------------------------------------------- ClusterFilter
+
+TEST(ClusterFilter, OptimalSplitSeparatesTwoBlobs) {
+  std::vector<double> values{0.1, 0.12, 0.15, 0.8, 0.82, 0.85};
+  const double split = ClusterFilter::optimal_split(values);
+  EXPECT_GE(split, 0.15);
+  EXPECT_LT(split, 0.8);
+}
+
+TEST(ClusterFilter, RemovesSeparatedMinority) {
+  RatingSeries s;
+  for (int i = 0; i < 12; ++i) {
+    s.push_back({static_cast<double>(i), 0.7, static_cast<RaterId>(i), 0,
+                 RatingLabel::kHonest});
+  }
+  for (int i = 0; i < 4; ++i) {
+    s.push_back({20.0 + i, 0.1, static_cast<RaterId>(100 + i), 0,
+                 RatingLabel::kCollaborative1});
+  }
+  sort_by_time(s);
+  const ClusterFilter f{ClusterFilterConfig{}};
+  const auto out = f.filter(s);
+  EXPECT_EQ(out.removed.size(), 4u);
+  for (std::size_t i : out.removed) EXPECT_DOUBLE_EQ(s[i].value, 0.1);
+}
+
+TEST(ClusterFilter, ModerateBiasNotSeparated) {
+  // +0.15 bias does not produce the separation the filter needs: the
+  // paper's strategy-2 evasion.
+  Rng rng(23);
+  RatingSeries s = honest_series(rng, 30, 0.5, 0.2);
+  add_attack(s, rng, 10.0, 20.0, 0.65, 6.0);
+  const ClusterFilter f{ClusterFilterConfig{}};
+  const auto out = f.filter(s);
+  std::size_t removed_attackers = 0;
+  for (std::size_t i : out.removed) {
+    if (is_unfair(s[i].label)) ++removed_attackers;
+  }
+  EXPECT_LT(removed_attackers, count_unfair(s) / 4 + 1);
+}
+
+TEST(ClusterFilter, BalancedClustersKept) {
+  RatingSeries s;
+  for (int i = 0; i < 10; ++i) {
+    s.push_back({static_cast<double>(i), i % 2 ? 0.2 : 0.8,
+                 static_cast<RaterId>(i), 0, RatingLabel::kHonest});
+  }
+  const ClusterFilter f({.min_separation = 0.3, .max_minority_fraction = 0.45});
+  // 50/50 split: neither side is a minority; keep everything.
+  EXPECT_TRUE(f.filter(s).removed.empty());
+}
+
+TEST(ClusterFilter, SplitRequiresTwoValues) {
+  EXPECT_THROW(ClusterFilter::optimal_split({1.0}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace trustrate::detect

@@ -1,0 +1,107 @@
+// Tests for the evaluation utilities (ROC/AUC) and trust-store persistence.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "core/evaluation.hpp"
+#include "trust/store_io.hpp"
+
+namespace trustrate {
+namespace {
+
+// ------------------------------------------------------------- evaluation
+
+TEST(Roc, CurveEvaluatesEachThreshold) {
+  const std::vector<double> thresholds{0.1, 0.2, 0.3};
+  const auto curve = core::roc_curve(thresholds, [](double t) {
+    core::DetectionMetrics m;
+    m.true_positive = static_cast<std::size_t>(t * 100);
+    m.false_negative = 100 - m.true_positive;
+    m.true_negative = 100;
+    return m;
+  });
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve[0].threshold, 0.1);
+  EXPECT_NEAR(curve[1].detection, 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(curve[2].false_alarm, 0.0);
+}
+
+TEST(Roc, PerfectDetectorHasUnitAuc) {
+  // Detection 1 at false alarm 0.
+  const std::vector<core::RocPoint> points{{0.5, 1.0, 0.0}};
+  EXPECT_DOUBLE_EQ(core::roc_auc(points), 1.0);
+}
+
+TEST(Roc, ChanceDiagonalHasHalfAuc) {
+  std::vector<core::RocPoint> points;
+  for (double x = 0.1; x < 1.0; x += 0.1) points.push_back({x, x, x});
+  EXPECT_NEAR(core::roc_auc(points), 0.5, 1e-9);
+}
+
+TEST(Roc, AucHandlesUnsortedInput) {
+  const std::vector<core::RocPoint> sorted{{0.0, 0.6, 0.1}, {0.0, 0.9, 0.4}};
+  const std::vector<core::RocPoint> shuffled{{0.0, 0.9, 0.4}, {0.0, 0.6, 0.1}};
+  EXPECT_NEAR(core::roc_auc(sorted), core::roc_auc(shuffled), 1e-12);
+}
+
+TEST(Roc, BestYoudenPicksLargestMargin) {
+  const std::vector<core::RocPoint> points{
+      {0.1, 0.9, 0.5}, {0.2, 0.8, 0.1}, {0.3, 0.4, 0.0}};
+  const auto best = core::best_youden(points);
+  EXPECT_DOUBLE_EQ(best.threshold, 0.2);  // margin 0.7 beats 0.4 both
+}
+
+TEST(Roc, PreconditionChecks) {
+  EXPECT_THROW(core::roc_auc({}), PreconditionError);
+  EXPECT_THROW(core::best_youden({}), PreconditionError);
+  EXPECT_THROW(core::roc_curve({0.1}, nullptr), PreconditionError);
+}
+
+// ------------------------------------------------------------- store I/O
+
+TEST(StoreIo, RoundTripPreservesRecords) {
+  trust::TrustStore store;
+  store.record(3) = {.successes = 10.5, .failures = 2.25};
+  store.record(1) = {.successes = 0.0, .failures = 7.0};
+  std::ostringstream out;
+  trust::save_store_csv(store, out);
+
+  std::istringstream in(out.str());
+  const trust::TrustStore loaded = trust::load_store_csv(in);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.trust(3), store.trust(3));
+  EXPECT_DOUBLE_EQ(loaded.trust(1), store.trust(1));
+  EXPECT_DOUBLE_EQ(loaded.records().at(3).successes, 10.5);
+}
+
+TEST(StoreIo, OutputSortedById) {
+  trust::TrustStore store;
+  store.record(9);
+  store.record(2);
+  store.record(5);
+  std::ostringstream out;
+  trust::save_store_csv(store, out);
+  const std::string text = out.str();
+  EXPECT_LT(text.find("2,"), text.find("5,"));
+  EXPECT_LT(text.find("5,"), text.find("9,"));
+}
+
+TEST(StoreIo, EmptyStoreRoundTrips) {
+  std::ostringstream out;
+  trust::save_store_csv({}, out);
+  std::istringstream in(out.str());
+  EXPECT_EQ(trust::load_store_csv(in).size(), 0u);
+}
+
+TEST(StoreIo, MalformedRowsRejected) {
+  std::istringstream missing("1,2\n");
+  EXPECT_THROW(trust::load_store_csv(missing), DataError);
+  std::istringstream negative("1,-3,0\n");
+  EXPECT_THROW(trust::load_store_csv(negative), DataError);
+  std::istringstream duplicate("1,2,3\n1,4,5\n");
+  EXPECT_THROW(trust::load_store_csv(duplicate), DataError);
+}
+
+}  // namespace
+}  // namespace trustrate

@@ -1,0 +1,344 @@
+// Tests for the extension modules: AR spectrum estimation, the arrival-
+// rate anomaly detector, and the streaming system facade.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "core/streaming.hpp"
+#include "detect/rate_detector.hpp"
+#include "signal/spectrum.hpp"
+
+namespace trustrate {
+namespace {
+
+// --------------------------------------------------------------- spectrum
+
+TEST(Spectrum, WhiteNoiseIsFlat) {
+  Rng rng(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(rng.gaussian(0.0, 1.0));
+  const double flatness =
+      signal::window_spectral_flatness(xs, 4, {.demean = true});
+  EXPECT_GT(flatness, 0.9);
+}
+
+TEST(Spectrum, Ar1HasLowFrequencyPeak) {
+  // x(n) = 0.9 x(n-1) + w: power concentrates at f = 0.
+  Rng rng(2);
+  std::vector<double> noise;
+  for (int i = 0; i < 2000; ++i) noise.push_back(rng.gaussian(0.0, 1.0));
+  const std::vector<double> coeffs{-0.9};
+  const auto x = signal::synthesize_ar(coeffs, noise);
+  const auto model = signal::fit_ar_covariance(x, 1, {.demean = true});
+  EXPECT_GT(signal::ar_psd(model, 0.0), 10.0 * signal::ar_psd(model, 0.5));
+  EXPECT_LT(signal::spectral_flatness(model), 0.5);
+}
+
+TEST(Spectrum, NegativeAr1PeaksAtNyquist) {
+  // x(n) = -0.9 x(n-1) + w alternates: power at f = 0.5.
+  Rng rng(3);
+  std::vector<double> noise;
+  for (int i = 0; i < 2000; ++i) noise.push_back(rng.gaussian(0.0, 1.0));
+  const std::vector<double> coeffs{0.9};
+  const auto x = signal::synthesize_ar(coeffs, noise);
+  const auto model = signal::fit_ar_covariance(x, 1, {.demean = true});
+  EXPECT_GT(signal::ar_psd(model, 0.5), 10.0 * signal::ar_psd(model, 0.0));
+}
+
+TEST(Spectrum, GridMatchesPointEvaluation) {
+  Rng rng(4);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.uniform());
+  const auto model = signal::fit_ar_covariance(xs, 3);
+  const auto grid = signal::ar_psd_grid(model, 5);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid[0], signal::ar_psd(model, 0.0));
+  EXPECT_DOUBLE_EQ(grid[4], signal::ar_psd(model, 0.5));
+}
+
+TEST(Spectrum, FlatnessBounded) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> xs;
+    for (int i = 0; i < 100; ++i) xs.push_back(rng.uniform());
+    const double f = signal::window_spectral_flatness(xs, 4);
+    EXPECT_GT(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+TEST(Spectrum, CollaborativeWindowLessFlatThanHonest) {
+  // The detector's premise, in the spectral domain: a rating window with a
+  // collaborative block has a less-flat AR spectrum (structure) than an
+  // honest window.
+  Rng rng(6);
+  std::vector<double> honest;
+  for (int i = 0; i < 100; ++i) {
+    honest.push_back(quantize_unit(clamp_unit(rng.gaussian(0.5, 0.25)), 10, false));
+  }
+  std::vector<double> attacked;
+  for (int i = 0; i < 100; ++i) {
+    const bool attack_phase = i >= 30 && i < 70;
+    const double v = attack_phase && rng.bernoulli(0.6)
+                         ? rng.gaussian(0.65, 0.02)
+                         : rng.gaussian(0.5, 0.25);
+    attacked.push_back(quantize_unit(clamp_unit(v), 10, false));
+  }
+  EXPECT_LT(signal::window_spectral_flatness(attacked, 4),
+            signal::window_spectral_flatness(honest, 4));
+}
+
+TEST(Spectrum, PreconditionChecks) {
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 50; ++i) xs.push_back(rng.uniform());
+  const auto model = signal::fit_ar_covariance(xs, 2);
+  EXPECT_THROW(signal::ar_psd(model, 0.6), PreconditionError);
+  EXPECT_THROW(signal::ar_psd_grid(model, 1), PreconditionError);
+}
+
+// ---------------------------------------------------------- rate detector
+
+TEST(PoissonTail, MatchesExactSmallCases) {
+  // P(X >= 1) = 1 - e^-m.
+  EXPECT_NEAR(detect::poisson_upper_tail(2.0, 1), 1.0 - std::exp(-2.0), 1e-12);
+  // P(X >= 0) = 1.
+  EXPECT_DOUBLE_EQ(detect::poisson_upper_tail(2.0, 0), 1.0);
+  // Far tail is tiny.
+  EXPECT_LT(detect::poisson_upper_tail(2.0, 20), 1e-10);
+}
+
+TEST(PoissonTail, NormalApproxContinuousWithExact) {
+  // At the exact/approx boundary (mean 50) the two should roughly agree.
+  const double exact_side = detect::poisson_upper_tail(49.9, 70);
+  const double approx_side = detect::poisson_upper_tail(50.1, 70);
+  EXPECT_NEAR(std::log10(exact_side), std::log10(approx_side), 0.5);
+}
+
+RatingSeries poisson_stream(Rng& rng, double rate, double t0, double t1,
+                            RatingSeries base = {}) {
+  for (double t = t0 + rng.exponential(rate); t < t1;
+       t += rng.exponential(rate)) {
+    base.push_back({t, 0.5, 0, 0, RatingLabel::kHonest});
+  }
+  sort_by_time(base);
+  return base;
+}
+
+TEST(RateDetector, SteadyStreamNotAnomalous) {
+  Rng rng(10);
+  const auto s = poisson_stream(rng, 10.0, 0.0, 30.0);
+  const detect::RateAnomalyDetector det{detect::RateDetectorConfig{}};
+  const auto res = det.analyze(s, 0.0, 30.0);
+  EXPECT_EQ(res.anomalous_count(), 0u);
+  EXPECT_NEAR(res.baseline_rate, 10.0, 3.0);
+}
+
+TEST(RateDetector, BurstFlagged) {
+  Rng rng(11);
+  auto s = poisson_stream(rng, 10.0, 0.0, 30.0);
+  // A 2-day burst at 8x the base rate.
+  s = poisson_stream(rng, 80.0, 12.0, 14.0, std::move(s));
+  const detect::RateAnomalyDetector det{detect::RateDetectorConfig{}};
+  const auto res = det.analyze(s, 0.0, 30.0);
+  ASSERT_GT(res.anomalous_count(), 0u);
+  for (const auto& w : res.windows) {
+    if (!w.anomalous) continue;
+    EXPECT_GT(w.window.end, 12.0);
+    EXPECT_LT(w.window.start, 14.0);
+  }
+}
+
+TEST(RateDetector, TrimmedBaselineResistsBurstInflation) {
+  Rng rng(12);
+  auto s = poisson_stream(rng, 10.0, 0.0, 30.0);
+  s = poisson_stream(rng, 80.0, 12.0, 14.0, std::move(s));
+  const detect::RateAnomalyDetector det{detect::RateDetectorConfig{}};
+  const auto res = det.analyze(s, 0.0, 30.0);
+  // Baseline estimated from the quiet windows, not dragged up by the burst.
+  EXPECT_LT(res.baseline_rate, 20.0);
+}
+
+TEST(RateDetector, MaskCoversAnomalousRatings) {
+  Rng rng(13);
+  auto s = poisson_stream(rng, 10.0, 0.0, 30.0);
+  s = poisson_stream(rng, 80.0, 12.0, 14.0, std::move(s));
+  const detect::RateAnomalyDetector det{detect::RateDetectorConfig{}};
+  const auto res = det.analyze(s, 0.0, 30.0);
+  ASSERT_EQ(res.in_anomalous_window.size(), s.size());
+  std::size_t flagged = 0;
+  for (bool b : res.in_anomalous_window) flagged += b ? 1 : 0;
+  EXPECT_GT(flagged, 100u);  // the burst has ~160 ratings
+}
+
+TEST(RateDetector, EmptySeriesNoWindowsFlagged) {
+  const detect::RateAnomalyDetector det{detect::RateDetectorConfig{}};
+  const auto res = det.analyze({}, 0.0, 30.0);
+  EXPECT_EQ(res.anomalous_count(), 0u);
+}
+
+TEST(RateDetector, ConfigValidation) {
+  detect::RateDetectorConfig bad;
+  bad.p_value = 0.0;
+  EXPECT_THROW(detect::RateAnomalyDetector{bad}, PreconditionError);
+  bad = {};
+  bad.window_days = 0.0;
+  EXPECT_THROW(detect::RateAnomalyDetector{bad}, PreconditionError);
+}
+
+// --------------------------------------------------------------- streaming
+
+core::SystemConfig streaming_config() {
+  core::SystemConfig cfg;
+  cfg.filter.q = 0.02;
+  cfg.ar.window_days = 8.0;
+  cfg.ar.step_days = 2.0;
+  cfg.ar.error_threshold = 0.024;
+  cfg.b = 10.0;
+  return cfg;
+}
+
+TEST(Streaming, EpochsCloseOnTime) {
+  core::StreamingRatingSystem stream(streaming_config(), 30.0);
+  EXPECT_EQ(stream.epochs_closed(), 0u);
+  stream.submit({0.0, 0.5, 1, 0, RatingLabel::kHonest});
+  stream.submit({29.9, 0.5, 2, 0, RatingLabel::kHonest});
+  EXPECT_EQ(stream.epochs_closed(), 0u);
+  EXPECT_EQ(stream.pending_ratings(), 2u);
+  stream.submit({30.1, 0.5, 3, 0, RatingLabel::kHonest});
+  EXPECT_EQ(stream.epochs_closed(), 1u);
+  EXPECT_EQ(stream.pending_ratings(), 1u);
+}
+
+TEST(Streaming, AnchorsAtFirstRating) {
+  core::StreamingRatingSystem stream(streaming_config(), 30.0);
+  stream.submit({1000.0, 0.5, 1, 0, RatingLabel::kHonest});
+  stream.submit({1029.0, 0.5, 2, 0, RatingLabel::kHonest});
+  EXPECT_EQ(stream.epochs_closed(), 0u);  // window is [1000, 1030)
+  stream.submit({1030.5, 0.5, 3, 0, RatingLabel::kHonest});
+  EXPECT_EQ(stream.epochs_closed(), 1u);
+}
+
+TEST(Streaming, OutOfOrderRejected) {
+  core::StreamingRatingSystem stream(streaming_config(), 30.0);
+  stream.submit({10.0, 0.5, 1, 0, RatingLabel::kHonest});
+  EXPECT_THROW(stream.submit({5.0, 0.5, 2, 0, RatingLabel::kHonest}),
+               PreconditionError);
+}
+
+TEST(Streaming, LongGapClosesMultipleEpochs) {
+  core::StreamingRatingSystem stream(streaming_config(), 30.0);
+  stream.submit({0.0, 0.5, 1, 0, RatingLabel::kHonest});
+  stream.submit({100.0, 0.5, 2, 0, RatingLabel::kHonest});
+  EXPECT_EQ(stream.epochs_closed(), 3u);  // [0,30), [30,60), [60,90)
+}
+
+TEST(Streaming, FlushProcessesPending) {
+  core::StreamingRatingSystem stream(streaming_config(), 30.0);
+  Rng rng(20);
+  for (double t = 0.0; t < 20.0; t += 0.2) {
+    stream.submit({t, quantize_unit(clamp_unit(rng.gaussian(0.5, 0.25)), 10, false),
+                   static_cast<RaterId>(rng.uniform_int(0, 50)), 7,
+                   RatingLabel::kHonest});
+  }
+  EXPECT_EQ(stream.epochs_closed(), 0u);
+  EXPECT_EQ(stream.flush(), 1u);
+  EXPECT_EQ(stream.epochs_closed(), 1u);
+  EXPECT_EQ(stream.pending_ratings(), 0u);
+}
+
+TEST(Streaming, MatchesBatchSystemOnSameData) {
+  // Streaming the marketplace's first month product-by-product must yield
+  // the same trust values as the batch API.
+  Rng rng(21);
+  RatingSeries all;
+  for (ProductId p = 0; p < 3; ++p) {
+    for (double t = rng.exponential(6.0); t < 30.0; t += rng.exponential(6.0)) {
+      all.push_back({t, quantize_unit(clamp_unit(rng.gaussian(0.5, 0.25)), 10, false),
+                     static_cast<RaterId>(rng.uniform_int(0, 100)), p,
+                     RatingLabel::kHonest});
+    }
+  }
+  sort_by_time(all);
+
+  core::StreamingRatingSystem stream(streaming_config(), 30.0);
+  for (const Rating& r : all) stream.submit(r);
+  stream.flush();
+
+  core::TrustEnhancedRatingSystem batch(streaming_config());
+  std::vector<core::ProductObservation> observations(3);
+  for (ProductId p = 0; p < 3; ++p) {
+    observations[p].product = p;
+    observations[p].t_start = all.front().time;
+    observations[p].t_end = 30.0;
+  }
+  for (const Rating& r : all) observations[r.product].ratings.push_back(r);
+  // Match the streaming epoch window [first_rating, first_rating + 30).
+  const double anchor = all.front().time;
+  for (auto& obs : observations) {
+    obs.t_start = anchor;
+    obs.t_end = std::max(all.back().time + 1e-9, anchor + 30.0);
+  }
+  batch.process_epoch(observations);
+
+  for (RaterId id = 0; id <= 100; ++id) {
+    EXPECT_NEAR(stream.trust(id), batch.trust(id), 1e-12) << "rater " << id;
+  }
+}
+
+TEST(Streaming, AggregateAvailableForRetainedProducts) {
+  core::StreamingRatingSystem stream(streaming_config(), 30.0, 2);
+  Rng rng(22);
+  for (double t = 0.0; t < 95.0; t += 0.4) {
+    stream.submit({t, quantize_unit(clamp_unit(rng.gaussian(0.6, 0.25)), 10, false),
+                   static_cast<RaterId>(rng.uniform_int(0, 80)), 5,
+                   RatingLabel::kHonest});
+  }
+  const auto agg = stream.aggregate(5);
+  ASSERT_TRUE(agg.has_value());
+  EXPECT_NEAR(*agg, 0.6, 0.1);
+  EXPECT_FALSE(stream.aggregate(999).has_value());
+}
+
+TEST(Streaming, DetectsAttackAcrossEpochs) {
+  core::StreamingRatingSystem stream(streaming_config(), 30.0);
+  Rng rng(23);
+  // Six months; the same shill block (ids 5000+) attacks each month.
+  for (int month = 0; month < 6; ++month) {
+    const double t0 = month * 30.0;
+    RatingSeries epoch;
+    for (double t = t0 + rng.exponential(8.0); t < t0 + 30.0;
+         t += rng.exponential(8.0)) {
+      epoch.push_back({t, quantize_unit(clamp_unit(rng.gaussian(0.5, 0.25)), 10, false),
+                       static_cast<RaterId>(rng.uniform_int(0, 200)),
+                       static_cast<ProductId>(month), RatingLabel::kHonest});
+    }
+    RaterId shill = 5000;
+    for (double t = t0 + 5.0 + rng.exponential(16.0); t < t0 + 15.0;
+         t += rng.exponential(16.0)) {
+      epoch.push_back({t, quantize_unit(clamp_unit(rng.gaussian(0.65, 0.02)), 10, false),
+                       shill++, static_cast<ProductId>(month),
+                       RatingLabel::kCollaborative2});
+    }
+    sort_by_time(epoch);
+    for (const Rating& r : epoch) stream.submit(r);
+  }
+  stream.flush();
+  // Shills distrusted, honest majority not.
+  double shill_trust = 0.0;
+  int shills = 0;
+  for (RaterId id = 5000; id < 5040; ++id) {
+    if (stream.system().trust_store().records().contains(id)) {
+      shill_trust += stream.trust(id);
+      ++shills;
+    }
+  }
+  ASSERT_GT(shills, 5);
+  EXPECT_LT(shill_trust / shills, 0.45);
+}
+
+}  // namespace
+}  // namespace trustrate

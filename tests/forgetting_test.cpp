@@ -1,0 +1,79 @@
+// Unit tests for the forgetting schemes (Record Maintenance, paper §III-B).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "trust/forgetting.hpp"
+
+namespace trustrate::trust {
+namespace {
+
+TEST(Forgetting, EffectiveMemoryRoundTrips) {
+  for (double epochs : {1.0, 2.0, 10.0, 20.0, 100.0}) {
+    const double lambda = lambda_for_memory(epochs);
+    EXPECT_NEAR(effective_memory_epochs(lambda), epochs, 1e-9);
+  }
+}
+
+TEST(Forgetting, NoFadingMeansHugeMemory) {
+  EXPECT_GT(effective_memory_epochs(1.0), 1e8);
+}
+
+TEST(Forgetting, KnownValues) {
+  EXPECT_NEAR(effective_memory_epochs(0.95), 20.0, 1e-9);
+  EXPECT_NEAR(lambda_for_memory(20.0), 0.95, 1e-9);
+}
+
+TEST(Forgetting, PreconditionChecks) {
+  EXPECT_THROW(effective_memory_epochs(-0.1), PreconditionError);
+  EXPECT_THROW(effective_memory_epochs(1.5), PreconditionError);
+  EXPECT_THROW(lambda_for_memory(0.5), PreconditionError);
+}
+
+TEST(WindowedRecord, EmptyIsNeutral) {
+  const WindowedTrustRecord r(5);
+  EXPECT_DOUBLE_EQ(r.trust(), 0.5);
+  EXPECT_EQ(r.epochs_retained(), 0u);
+}
+
+TEST(WindowedRecord, AccumulatesWithinWindow) {
+  WindowedTrustRecord r(5);
+  r.add_epoch(4.0, 0.0);
+  r.add_epoch(4.0, 0.0);
+  EXPECT_DOUBLE_EQ(r.successes(), 8.0);
+  EXPECT_DOUBLE_EQ(r.trust(), 9.0 / 10.0);
+}
+
+TEST(WindowedRecord, OldEpochsFallOff) {
+  WindowedTrustRecord r(2);
+  r.add_epoch(0.0, 10.0);  // bad epoch
+  r.add_epoch(5.0, 0.0);
+  r.add_epoch(5.0, 0.0);   // bad epoch now outside the window
+  EXPECT_DOUBLE_EQ(r.failures(), 0.0);
+  EXPECT_DOUBLE_EQ(r.successes(), 10.0);
+  EXPECT_EQ(r.epochs_retained(), 2u);
+}
+
+TEST(WindowedRecord, CompleteForgivenessAfterWindow) {
+  // The scheme's defining difference from exponential fading: after
+  // `window` clean epochs a past attack leaves no trace at all.
+  WindowedTrustRecord windowed(3);
+  TrustRecord faded{.successes = 0.0, .failures = 30.0};
+  windowed.add_epoch(0.0, 30.0);
+  for (int i = 0; i < 3; ++i) {
+    windowed.add_epoch(2.0, 0.0);
+    faded.fade(0.7);
+    faded.successes += 2.0;
+  }
+  EXPECT_DOUBLE_EQ(windowed.failures(), 0.0);  // fully forgiven
+  EXPECT_GT(faded.failures, 5.0);              // fading still remembers
+  EXPECT_GT(windowed.trust(), faded.trust());
+}
+
+TEST(WindowedRecord, PreconditionChecks) {
+  EXPECT_THROW(WindowedTrustRecord{0}, PreconditionError);
+  WindowedTrustRecord r(2);
+  EXPECT_THROW(r.add_epoch(-1.0, 0.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace trustrate::trust

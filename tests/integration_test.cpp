@@ -1,0 +1,251 @@
+// Integration tests: cross-module behaviour on seeded end-to-end scenarios
+// — small versions of the paper's experiments asserting the qualitative
+// results the figures rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/marketplace_experiment.hpp"
+#include "core/system.hpp"
+#include "data/inject.hpp"
+#include "data/netflix_like.hpp"
+#include "detect/ar_detector.hpp"
+#include "detect/beta_filter.hpp"
+#include "sim/illustrative.hpp"
+#include "sim/marketplace.hpp"
+
+namespace trustrate {
+namespace {
+
+// ---------------------------------------------------- illustrative (Fig 4)
+
+TEST(Integration, IllustrativeAttackDropsModelError) {
+  sim::IllustrativeConfig cfg;
+  Rng rng_a(2007);
+  Rng rng_h(2007);
+  const RatingSeries attacked = sim::generate_illustrative(cfg, rng_a);
+  const RatingSeries honest = sim::generate_illustrative_honest_only(cfg, rng_h);
+
+  detect::ArDetectorConfig det_cfg;
+  det_cfg.count_based = true;
+  det_cfg.window_count = 50;
+  det_cfg.step_count = 10;
+  const detect::ArSuspicionDetector det(det_cfg);
+
+  auto min_error_in = [&](const RatingSeries& s, double t0, double t1) {
+    double best = 1.0;
+    for (const auto& w : det.analyze(s, 0.0, cfg.simu_time).windows) {
+      if (!w.evaluated) continue;
+      if (w.window.end > t0 && w.window.start < t1) {
+        best = std::min(best, w.model_error);
+      }
+    }
+    return best;
+  };
+
+  const double attacked_min =
+      min_error_in(attacked, cfg.attack_start, cfg.attack_end);
+  const double honest_min = min_error_in(honest, cfg.attack_start, cfg.attack_end);
+  // Collaborative ratings make the attack interval markedly more
+  // predictable than the same interval without them.
+  EXPECT_LT(attacked_min, 0.75 * honest_min);
+}
+
+TEST(Integration, IllustrativeDetectionAcrossSeeds) {
+  // A lightweight version of the 500-run experiment: detection well above
+  // false alarm at the calibrated operating point.
+  sim::IllustrativeConfig cfg;
+  detect::ArDetectorConfig det_cfg;
+  det_cfg.count_based = true;
+  det_cfg.window_count = 50;
+  det_cfg.step_count = 10;
+  det_cfg.error_threshold = 0.022;
+  const detect::ArSuspicionDetector det(det_cfg);
+
+  int detected = 0;
+  int false_alarms = 0;
+  constexpr int kRuns = 60;
+  Rng root(99);
+  for (int run = 0; run < kRuns; ++run) {
+    Rng rng_a = root.split();
+    Rng rng_h = root.split();
+    const auto attacked = sim::generate_illustrative(cfg, rng_a);
+    const auto honest = sim::generate_illustrative_honest_only(cfg, rng_h);
+    bool hit = false;
+    for (const auto& w : det.analyze(attacked, 0.0, cfg.simu_time).windows) {
+      if (w.suspicious && w.window.end > cfg.attack_start &&
+          w.window.start < cfg.attack_end) {
+        hit = true;
+      }
+    }
+    if (hit) ++detected;
+    if (det.analyze(honest, 0.0, cfg.simu_time).suspicious_count() > 0) {
+      ++false_alarms;
+    }
+  }
+  EXPECT_GT(detected, kRuns / 2);           // paper: 0.782
+  EXPECT_LT(false_alarms, kRuns / 5);       // paper: 0.06
+  EXPECT_GT(detected, 3 * false_alarms);    // detection >> false alarm
+}
+
+// --------------------------------------------------- beta filter (Fig 4)
+
+TEST(Integration, BetaFilterDoesNotStopModerateBiasBoost) {
+  // The paper's Fig. 4 upper panel: even after filtering, the attack still
+  // lifts the moving average — the motivation for the AR detector.
+  sim::IllustrativeConfig cfg;
+  Rng rng(2008);
+  const RatingSeries attacked = sim::generate_illustrative(cfg, rng);
+  const detect::BetaQuantileFilter filter({.q = 0.1});
+  const RatingSeries kept = filter.filter(attacked).kept_series(attacked);
+
+  auto mean_in = [](const RatingSeries& s, double t0, double t1) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const Rating& r : s) {
+      if (r.time >= t0 && r.time < t1) {
+        sum += r.value;
+        ++n;
+      }
+    }
+    return sum / static_cast<double>(n);
+  };
+  const double before_attack = mean_in(kept, 0.0, cfg.attack_start);
+  const double during_attack = mean_in(kept, cfg.attack_start, cfg.attack_end);
+  EXPECT_GT(during_attack, before_attack + 0.03);
+}
+
+// ------------------------------------------------------- Netflix (Fig 5)
+
+TEST(Integration, InjectedTraceDropsModelErrorInAttackWindow) {
+  data::NetflixLikeConfig nf;
+  Rng rng(20031218);
+  const data::RatingTrace original = data::generate_netflix_like(nf, rng);
+  data::InjectionConfig inj;
+  Rng rng2(42);
+  const data::RatingTrace attacked = data::inject_collaborative(original, inj, rng2);
+
+  detect::ArDetectorConfig det_cfg;
+  det_cfg.count_based = true;
+  det_cfg.window_count = 100;
+  det_cfg.step_count = 25;
+  const detect::ArSuspicionDetector det(det_cfg);
+
+  auto min_error_in_window = [&](const RatingSeries& s) {
+    double best = 1.0;
+    for (const auto& w : det.analyze(s, 0.0, nf.days).windows) {
+      if (!w.evaluated) continue;
+      if (w.window.end > inj.attack_start && w.window.start < inj.attack_end) {
+        best = std::min(best, w.model_error);
+      }
+    }
+    return best;
+  };
+  EXPECT_LT(min_error_in_window(attacked.ratings),
+            0.75 * min_error_in_window(original.ratings));
+}
+
+// -------------------------------------------------- marketplace (Figs 6-12)
+
+TEST(Integration, MarketplaceTrustSeparatesPopulations) {
+  core::MarketplaceExperimentConfig cfg;
+  cfg.market.months = 6;  // half the paper's horizon keeps the test fast
+  cfg.system = core::default_marketplace_system_config();
+  const auto result = core::run_marketplace_experiment(cfg);
+  const auto& last = result.months.back();
+
+  // Fig. 6 ordering: reliable > careless > 0.5 > PC.
+  EXPECT_GT(last.mean_trust_reliable, last.mean_trust_careless);
+  EXPECT_GT(last.mean_trust_careless, 0.5);
+  EXPECT_LT(last.mean_trust_pc, 0.5);
+
+  // Figs. 7-8: meaningful PC detection, low honest false alarm.
+  EXPECT_GT(last.detection_pc, 0.5);
+  EXPECT_LT(last.false_alarm_reliable, 0.1);
+}
+
+TEST(Integration, MarketplaceDetectionImprovesOverTime) {
+  core::MarketplaceExperimentConfig cfg;
+  cfg.system = core::default_marketplace_system_config();
+  const auto result = core::run_marketplace_experiment(cfg);
+  // Fig. 9 shape: later months dominate early months on rating detection,
+  // and false alarms decay.
+  const auto& m2 = result.months[1];
+  const auto& m12 = result.months[11];
+  EXPECT_GT(m12.rating_metrics.detection_ratio(),
+            m2.rating_metrics.detection_ratio());
+  EXPECT_LT(m12.rating_metrics.false_alarm_ratio(), 0.03);
+}
+
+TEST(Integration, MarketplaceAggregationProtectsDishonestProducts) {
+  core::MarketplaceExperimentConfig cfg;
+  cfg.market.a1 = 8.0;
+  cfg.market.bias_shift2 = 0.15;
+  cfg.system = core::default_marketplace_system_config();
+  const auto result = core::run_marketplace_experiment(cfg);
+
+  double dev_simple = 0.0;
+  double dev_weighted = 0.0;
+  int n = 0;
+  for (const auto& a : result.aggregates) {
+    if (!a.dishonest) continue;
+    dev_simple += std::fabs(a.simple_average - a.quality);
+    dev_weighted += std::fabs(a.weighted - a.quality);
+    ++n;
+  }
+  ASSERT_GT(n, 0);
+  // Figs. 11: the proposed scheme at least halves the boost.
+  EXPECT_LT(dev_weighted, 0.6 * dev_simple);
+}
+
+TEST(Integration, HonestProductsUnaffectedByScheme) {
+  core::MarketplaceExperimentConfig cfg;
+  cfg.market.a1 = 8.0;
+  cfg.system = core::default_marketplace_system_config();
+  const auto result = core::run_marketplace_experiment(cfg);
+  for (const auto& a : result.aggregates) {
+    if (a.dishonest) continue;
+    // Fig. 10: every scheme tracks honest products' quality.
+    EXPECT_NEAR(a.simple_average, a.quality, 0.08);
+    EXPECT_NEAR(a.weighted, a.quality, 0.08);
+  }
+}
+
+TEST(Integration, ExperimentIsDeterministic) {
+  core::MarketplaceExperimentConfig cfg;
+  cfg.market.months = 3;
+  cfg.system = core::default_marketplace_system_config();
+  const auto a = core::run_marketplace_experiment(cfg);
+  const auto b = core::run_marketplace_experiment(cfg);
+  ASSERT_EQ(a.final_trust.size(), b.final_trust.size());
+  for (std::size_t i = 0; i < a.final_trust.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.final_trust[i], b.final_trust[i]);
+  }
+}
+
+TEST(Integration, BurstAttacksNeedVolumeGatedDetector) {
+  // The ablation bench's finding as a regression test: at bias 0.2 the
+  // volume-gated narrow-window configuration detects burst campaigns that
+  // the default configuration misses.
+  core::MarketplaceExperimentConfig cfg;
+  cfg.market.a1 = 8.0;
+  cfg.market.bias_shift2 = 0.2;
+  cfg.market.recruit_burst = true;
+  cfg.market.months = 6;
+  cfg.system = core::default_marketplace_system_config();
+  const auto plain = core::run_marketplace_experiment(cfg);
+
+  cfg.system.ar.window_days = 3.0;
+  cfg.system.ar.step_days = 1.5;
+  cfg.system.ar.min_ratings = 60;
+  cfg.system.ar.error_threshold = 0.03;
+  const auto gated = core::run_marketplace_experiment(cfg);
+
+  EXPECT_GT(gated.months.back().detection_pc,
+            plain.months.back().detection_pc + 0.3);
+  EXPECT_LT(gated.months.back().false_alarm_reliable, 0.05);
+}
+
+}  // namespace
+}  // namespace trustrate

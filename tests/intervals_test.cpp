@@ -1,0 +1,71 @@
+// Unit tests for proportion confidence intervals.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "stats/intervals.hpp"
+
+namespace trustrate::stats {
+namespace {
+
+TEST(Wilson, KnownTextbookValue) {
+  // 8 of 10 at 95%: Wilson interval ~ [0.490, 0.943].
+  const Interval ci = wilson_interval(8, 10);
+  EXPECT_NEAR(ci.lo, 0.490, 0.01);
+  EXPECT_NEAR(ci.hi, 0.943, 0.01);
+  EXPECT_TRUE(ci.contains(0.8));
+}
+
+TEST(Wilson, BoundariesStayInUnitInterval) {
+  const Interval none = wilson_interval(0, 50);
+  EXPECT_NEAR(none.lo, 0.0, 1e-12);
+  EXPECT_GT(none.hi, 0.0);
+  EXPECT_LT(none.hi, 0.15);
+
+  const Interval all = wilson_interval(50, 50);
+  EXPECT_NEAR(all.hi, 1.0, 1e-12);
+  EXPECT_LT(all.lo, 1.0);
+  EXPECT_GT(all.lo, 0.85);
+}
+
+TEST(Wilson, ShrinksWithSampleSize) {
+  const Interval small = wilson_interval(10, 20);
+  const Interval large = wilson_interval(500, 1000);
+  EXPECT_LT(large.width(), small.width());
+  EXPECT_TRUE(small.contains(0.5));
+  EXPECT_TRUE(large.contains(0.5));
+}
+
+TEST(Wilson, WiderAtHigherConfidence) {
+  const Interval z95 = wilson_interval(30, 100, 1.96);
+  const Interval z99 = wilson_interval(30, 100, 2.5758);
+  EXPECT_GT(z99.width(), z95.width());
+  EXPECT_LE(z99.lo, z95.lo);
+  EXPECT_GE(z99.hi, z95.hi);
+}
+
+TEST(Wilson, CoverageNearNominal) {
+  // Empirical check: ~95% of intervals from Binomial(100, 0.3) samples
+  // cover the true p.
+  Rng rng(42);
+  const double p = 0.3;
+  int covered = 0;
+  const int kTrials = 2000;
+  for (int t = 0; t < kTrials; ++t) {
+    std::size_t successes = 0;
+    for (int i = 0; i < 100; ++i) successes += rng.bernoulli(p) ? 1 : 0;
+    if (wilson_interval(successes, 100).contains(p)) ++covered;
+  }
+  const double coverage = static_cast<double>(covered) / kTrials;
+  EXPECT_GT(coverage, 0.92);
+  EXPECT_LT(coverage, 0.98);
+}
+
+TEST(Wilson, PreconditionChecks) {
+  EXPECT_THROW(wilson_interval(1, 0), PreconditionError);
+  EXPECT_THROW(wilson_interval(5, 4), PreconditionError);
+  EXPECT_THROW(wilson_interval(1, 10, 0.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace trustrate::stats

@@ -1,0 +1,109 @@
+// Tests for the §IV experiment driver: structural consistency of the
+// monthly statistics and product aggregates it reports.
+#include <gtest/gtest.h>
+
+#include "core/marketplace_experiment.hpp"
+
+namespace trustrate::core {
+namespace {
+
+MarketplaceExperimentConfig small_config() {
+  MarketplaceExperimentConfig cfg;
+  cfg.market.reliable_raters = 80;
+  cfg.market.careless_raters = 40;
+  cfg.market.pc_raters = 40;
+  cfg.market.months = 4;
+  cfg.system = default_marketplace_system_config();
+  return cfg;
+}
+
+TEST(MarketplaceExperiment, OneStatsEntryPerMonth) {
+  const auto result = run_marketplace_experiment(small_config());
+  ASSERT_EQ(result.months.size(), 4u);
+  for (std::size_t i = 0; i < result.months.size(); ++i) {
+    EXPECT_EQ(result.months[i].month, static_cast<int>(i) + 1);
+  }
+}
+
+TEST(MarketplaceExperiment, AggregatesCoverEveryRatedProduct) {
+  const auto cfg = small_config();
+  const auto result = run_marketplace_experiment(cfg);
+  // 4 months x 5 products, all of which receive ratings at these sizes.
+  EXPECT_EQ(result.aggregates.size(), 20u);
+  int dishonest = 0;
+  for (const auto& a : result.aggregates) {
+    if (a.dishonest) ++dishonest;
+    EXPECT_GE(a.quality, cfg.market.quality_lo);
+    EXPECT_LE(a.quality, cfg.market.quality_hi);
+    for (double v : {a.simple_average, a.beta_function, a.weighted}) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+  EXPECT_EQ(dishonest, 4);
+}
+
+TEST(MarketplaceExperiment, TrustVectorCoversPopulation) {
+  const auto result = run_marketplace_experiment(small_config());
+  EXPECT_EQ(result.final_trust.size(), 160u);
+  EXPECT_EQ(result.rater_kind.size(), 160u);
+  for (double t : result.final_trust) {
+    EXPECT_GT(t, 0.0);
+    EXPECT_LT(t, 1.0);
+  }
+}
+
+TEST(MarketplaceExperiment, RatesAreProbabilities) {
+  const auto result = run_marketplace_experiment(small_config());
+  for (const auto& m : result.months) {
+    for (double v : {m.false_alarm_reliable, m.false_alarm_careless,
+                     m.detection_pc, m.rating_metrics.detection_ratio(),
+                     m.rating_metrics.false_alarm_ratio(),
+                     m.window_metrics.detection_ratio()}) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+    for (double t : {m.mean_trust_reliable, m.mean_trust_careless,
+                     m.mean_trust_pc}) {
+      EXPECT_GT(t, 0.0);
+      EXPECT_LT(t, 1.0);
+    }
+  }
+}
+
+TEST(MarketplaceExperiment, SeedChangesOutcome) {
+  auto cfg = small_config();
+  const auto a = run_marketplace_experiment(cfg);
+  cfg.seed += 1;
+  const auto b = run_marketplace_experiment(cfg);
+  // Different seeds should produce observably different trust vectors.
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.final_trust.size(); ++i) {
+    if (a.final_trust[i] != b.final_trust[i]) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(MarketplaceExperiment, DefaultConfigIsValid) {
+  // The published operating point must construct cleanly.
+  const SystemConfig cfg = default_marketplace_system_config();
+  EXPECT_NO_THROW(TrustEnhancedRatingSystem{cfg});
+  EXPECT_TRUE(cfg.enable_filter);
+  EXPECT_TRUE(cfg.enable_ar_detector);
+  EXPECT_TRUE(cfg.detector_on_filtered);
+}
+
+TEST(MarketplaceExperiment, WhitewashGrowsRaterKind) {
+  auto cfg = small_config();
+  cfg.market.whitewash = true;
+  const auto result = run_marketplace_experiment(cfg);
+  // Sybil identities were appended beyond the base population.
+  EXPECT_GT(result.rater_kind.size(), 160u);
+  EXPECT_EQ(result.final_trust.size(), result.rater_kind.size());
+}
+
+}  // namespace
+}  // namespace trustrate::core

@@ -1,0 +1,304 @@
+// Property-based tests: invariants that must hold across randomized inputs
+// and parameter sweeps (parameterized gtest). Complements the example-based
+// unit tests with coverage of the configuration space.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "agg/aggregator.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "detect/ar_detector.hpp"
+#include "detect/beta_filter.hpp"
+#include "detect/cluster_filter.hpp"
+#include "detect/endorsement_filter.hpp"
+#include "detect/entropy_filter.hpp"
+#include "signal/ar.hpp"
+#include "stats/special.hpp"
+#include "trust/opinion.hpp"
+#include "trust/record.hpp"
+
+namespace trustrate {
+namespace {
+
+RatingSeries random_series(Rng& rng, std::size_t n) {
+  RatingSeries s;
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += rng.exponential(4.0);
+    s.push_back({t, quantize_unit(rng.uniform(), 10, false),
+                 static_cast<RaterId>(rng.uniform_int(0, 50)), 0,
+                 RatingLabel::kHonest});
+  }
+  return s;
+}
+
+// ------------------------------------------------------- filter invariants
+
+// Every RatingFilter must produce an exact, order-preserving partition.
+class FilterPartitionTest : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<detect::RatingFilter> make(int kind) const {
+    switch (kind) {
+      case 0: return std::make_unique<detect::BetaQuantileFilter>();
+      case 1: return std::make_unique<detect::EntropyFilter>();
+      case 2: return std::make_unique<detect::EndorsementFilter>();
+      case 3: return std::make_unique<detect::ClusterFilter>();
+      default: return std::make_unique<detect::NullFilter>();
+    }
+  }
+};
+
+TEST_P(FilterPartitionTest, PartitionInvariant) {
+  const auto filter = make(GetParam());
+  Rng rng(1000 + static_cast<std::uint64_t>(GetParam()));
+  for (std::size_t n : {0u, 1u, 5u, 40u, 200u}) {
+    const RatingSeries s = random_series(rng, n);
+    const auto out = filter->filter(s);
+    // Partition: kept + removed == all indices, disjoint, sorted, in range.
+    EXPECT_EQ(out.kept.size() + out.removed.size(), s.size()) << filter->name();
+    std::vector<std::size_t> all(out.kept);
+    all.insert(all.end(), out.removed.begin(), out.removed.end());
+    std::sort(all.begin(), all.end());
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      EXPECT_EQ(all[i], i) << filter->name() << " n=" << n;
+    }
+    EXPECT_TRUE(std::is_sorted(out.kept.begin(), out.kept.end()));
+  }
+}
+
+TEST_P(FilterPartitionTest, DeterministicOnSameInput) {
+  const auto filter = make(GetParam());
+  Rng rng(2000 + static_cast<std::uint64_t>(GetParam()));
+  const RatingSeries s = random_series(rng, 120);
+  const auto a = filter->filter(s);
+  const auto b = filter->filter(s);
+  EXPECT_EQ(a.kept, b.kept);
+  EXPECT_EQ(a.removed, b.removed);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFilters, FilterPartitionTest,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+// --------------------------------------------------------- AR invariants
+
+// Sweep (estimator, order, demean): errors are finite and in range for
+// arbitrary rating-like data, including nasty shapes.
+class ArInvariantTest
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(ArInvariantTest, ErrorsWellDefinedOnNastyInputs) {
+  const auto [est, order, demean] = GetParam();
+  const signal::ArOptions options{.demean = demean};
+  auto fit = [&](std::span<const double> xs) {
+    switch (est) {
+      case 0: return signal::fit_ar_covariance(xs, order, options);
+      case 1: return signal::fit_ar_autocorrelation(xs, order, options);
+      default: return signal::fit_ar_burg(xs, order, options);
+    }
+  };
+
+  Rng rng(3000);
+  std::vector<std::vector<double>> inputs;
+  // Random, constant, two-level alternating, ramp, spike.
+  std::vector<double> random_x;
+  for (int i = 0; i < 64; ++i) random_x.push_back(rng.uniform());
+  inputs.push_back(random_x);
+  inputs.push_back(std::vector<double>(64, 0.7));
+  std::vector<double> alt;
+  for (int i = 0; i < 64; ++i) alt.push_back(i % 2 ? 0.2 : 0.8);
+  inputs.push_back(alt);
+  std::vector<double> ramp;
+  for (int i = 0; i < 64; ++i) ramp.push_back(i / 64.0);
+  inputs.push_back(ramp);
+  std::vector<double> spike(64, 0.5);
+  spike[32] = 1.0;
+  inputs.push_back(spike);
+
+  for (const auto& xs : inputs) {
+    const signal::ArModel m = fit(xs);
+    EXPECT_TRUE(std::isfinite(m.normalized_error));
+    EXPECT_GE(m.normalized_error, 0.0);
+    EXPECT_LE(m.normalized_error, 1.0);
+    EXPECT_TRUE(std::isfinite(m.residual_variance()));
+    EXPECT_GE(m.residual_variance(), 0.0);
+    EXPECT_GE(m.residual_energy, -1e-12);
+    for (double c : m.coeffs) EXPECT_TRUE(std::isfinite(c));
+    EXPECT_EQ(m.sample_count, xs.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ArInvariantTest,
+    ::testing::Combine(::testing::Values(0, 1, 2),       // estimator
+                       ::testing::Values(1, 2, 4, 8),    // order
+                       ::testing::Bool()));              // demean
+
+TEST(ArProperty, HigherOrderNeverIncreasesCovarianceResidual) {
+  // Least squares: adding coefficients cannot hurt the fit.
+  Rng rng(3100);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> xs;
+    for (int i = 0; i < 100; ++i) xs.push_back(rng.uniform());
+    double prev = std::numeric_limits<double>::infinity();
+    for (int p = 1; p <= 8; ++p) {
+      const auto m = signal::fit_ar_covariance(xs, p);
+      // Residual over a shrinking fit range; allow tiny numerical slack.
+      EXPECT_LE(m.residual_energy, prev + 1e-9) << "order " << p;
+      prev = m.residual_energy;
+    }
+  }
+}
+
+TEST(ArProperty, ScaleInvarianceOfNormalizedError) {
+  Rng rng(3200);
+  std::vector<double> xs;
+  for (int i = 0; i < 80; ++i) xs.push_back(rng.gaussian(0.0, 1.0));
+  std::vector<double> scaled(xs);
+  for (double& v : scaled) v *= 7.5;
+  const auto a = signal::fit_ar_covariance(xs, 4, {.demean = true});
+  const auto b = signal::fit_ar_covariance(scaled, 4, {.demean = true});
+  EXPECT_NEAR(a.normalized_error, b.normalized_error, 1e-9);
+  // Residual variance scales with the square of the amplitude.
+  EXPECT_NEAR(b.residual_variance() / a.residual_variance(), 7.5 * 7.5, 1e-6);
+}
+
+// ------------------------------------------------------ trust invariants
+
+class TrustSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(TrustSweepTest, TrustMonotoneInEvidence) {
+  const double b = GetParam();
+  // More suspicion never raises trust; more clean ratings never lower it.
+  trust::TrustRecord base;
+  update_record(base, {.ratings = 5, .suspicious = 1, .suspicion_value = 0.5}, b);
+
+  trust::TrustRecord more_clean = base;
+  update_record(more_clean, {.ratings = 3}, b);
+  EXPECT_GE(more_clean.trust(), base.trust());
+
+  trust::TrustRecord more_suspicion = base;
+  update_record(more_suspicion,
+                {.ratings = 1, .suspicious = 1, .suspicion_value = 0.9}, b);
+  EXPECT_LE(more_suspicion.trust(), base.trust() + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(BSweep, TrustSweepTest,
+                         ::testing::Values(0.0, 1.0, 4.0, 10.0, 25.0));
+
+TEST(TrustProperty, TrustBoundedForArbitraryUpdateSequences) {
+  Rng rng(4000);
+  for (int trial = 0; trial < 50; ++trial) {
+    trust::TrustRecord r;
+    for (int step = 0; step < 30; ++step) {
+      trust::EpochObservation obs;
+      obs.ratings = static_cast<std::size_t>(rng.uniform_int(0, 10));
+      obs.filtered = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(obs.ratings)));
+      obs.suspicious = static_cast<std::size_t>(rng.uniform_int(0, 5));
+      obs.suspicion_value = rng.uniform(0.0, 3.0);
+      update_record(r, obs, rng.uniform(0.0, 12.0));
+      if (rng.bernoulli(0.3)) r.fade(rng.uniform(0.5, 1.0));
+      EXPECT_GT(r.trust(), 0.0);
+      EXPECT_LT(r.trust(), 1.0);
+      EXPECT_GE(r.successes, 0.0);
+      EXPECT_GE(r.failures, 0.0);
+    }
+  }
+}
+
+TEST(OpinionProperty, AlgebraClosedUnderRandomCompositions) {
+  Rng rng(4100);
+  for (int trial = 0; trial < 200; ++trial) {
+    const trust::Opinion a =
+        trust::Opinion::from_evidence(rng.uniform(0.0, 20.0), rng.uniform(0.0, 20.0));
+    const trust::Opinion b =
+        trust::Opinion::from_value(rng.uniform(), rng.uniform(0.01, 0.99));
+    const trust::Opinion d = trust::discount(a, b);
+    const trust::Opinion c = trust::consensus(a, d);
+    EXPECT_TRUE(a.valid() && b.valid() && d.valid() && c.valid());
+    EXPECT_GE(c.expectation(), 0.0);
+    EXPECT_LE(c.expectation(), 1.0);
+  }
+}
+
+// ------------------------------------------------- aggregation invariants
+
+TEST(AggregationProperty, BoundedByInputRange) {
+  Rng rng(5000);
+  const auto kinds = {agg::AggregatorKind::kSimpleAverage,
+                      agg::AggregatorKind::kBetaFunction,
+                      agg::AggregatorKind::kModifiedWeightedAverage,
+                      agg::AggregatorKind::kOpinionTrustModel};
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<agg::TrustedRating> ratings;
+    const int n = static_cast<int>(rng.uniform_int(1, 30));
+    double lo = 1.0;
+    double hi = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double v = rng.uniform();
+      ratings.push_back({v, rng.uniform()});
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    for (auto kind : kinds) {
+      const double out = agg::make_aggregator(kind)->aggregate(ratings);
+      if (kind == agg::AggregatorKind::kBetaFunction) {
+        // Beta aggregation shrinks toward 0.5, so it can leave [lo, hi]
+        // but never [0, 1].
+        EXPECT_GE(out, 0.0);
+        EXPECT_LE(out, 1.0);
+      } else {
+        EXPECT_GE(out, lo - 1e-12);
+        EXPECT_LE(out, hi + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(AggregationProperty, WeightedAverageMonotoneInAttackerTrust) {
+  // Lowering an attacker's trust never moves the aggregate toward them.
+  std::vector<agg::TrustedRating> ratings{{0.8, 0.9}, {0.8, 0.9}, {0.2, 0.9}};
+  const agg::ModifiedWeightedAverage w;
+  double prev = w.aggregate(ratings);
+  for (double t : {0.8, 0.7, 0.6, 0.5, 0.4}) {
+    ratings[2].trust = t;
+    const double out = w.aggregate(ratings);
+    EXPECT_GE(out, prev - 1e-12);
+    prev = out;
+  }
+  EXPECT_DOUBLE_EQ(prev, 0.8);  // fully excluded at t <= 0.5
+}
+
+// -------------------------------------------------- special functions
+
+TEST(SpecialProperty, BetaQuantileMonotoneInP) {
+  Rng rng(6000);
+  for (int trial = 0; trial < 30; ++trial) {
+    const double a = rng.uniform(0.2, 20.0);
+    const double b = rng.uniform(0.2, 20.0);
+    double prev = 0.0;
+    for (double p = 0.05; p < 1.0; p += 0.05) {
+      const double x = stats::beta_quantile(p, a, b);
+      EXPECT_GE(x, prev - 1e-12);
+      prev = x;
+    }
+  }
+}
+
+TEST(SpecialProperty, ChiSquaredCdfMonotone) {
+  for (double k : {1.0, 2.0, 5.0, 10.0}) {
+    double prev = 0.0;
+    for (double x = 0.0; x < 30.0; x += 0.5) {
+      const double c = stats::chi_squared_cdf(x, k);
+      EXPECT_GE(c, prev - 1e-12);
+      EXPECT_LE(c, 1.0);
+      prev = c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trustrate

@@ -1,0 +1,154 @@
+// Unit tests for rater behavioral profiles and dispositional debiasing.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "trust/rater_profile.hpp"
+
+namespace trustrate::trust {
+namespace {
+
+// One product rated by the standard cast: rater 1 inflates by +0.15,
+// rater 2 deflates by -0.15, rater 3 is noisy, raters 4+ are normal.
+RatingSeries cast_product(Rng& rng, ProductId product, double quality) {
+  RatingSeries s;
+  double t = product * 10.0;
+  auto add = [&](RaterId id, double value) {
+    s.push_back({t += 0.1, clamp_unit(value), id, product, RatingLabel::kHonest});
+  };
+  add(1, quality + 0.15 + rng.gaussian(0.0, 0.03));
+  add(2, quality - 0.15 + rng.gaussian(0.0, 0.03));
+  add(3, quality + rng.gaussian(0.0, 0.35));
+  for (RaterId id = 4; id < 24; ++id) {
+    add(id, quality + rng.gaussian(0.0, 0.05));
+  }
+  return s;
+}
+
+RaterProfileStore trained_store(std::uint64_t seed = 11, int products = 30) {
+  RaterProfileStore store{ProfileClassifierConfig{}};
+  Rng rng(seed);
+  for (int p = 0; p < products; ++p) {
+    store.observe_product(cast_product(rng, static_cast<ProductId>(p),
+                                       rng.uniform(0.35, 0.65)));
+  }
+  return store;
+}
+
+TEST(RaterProfile, BiasAndSpreadFromDeviations) {
+  RaterProfile p;
+  p.add(0.1);
+  p.add(0.3);
+  EXPECT_DOUBLE_EQ(p.bias(), 0.2);
+  EXPECT_NEAR(p.spread(), 0.1, 1e-12);
+}
+
+TEST(RaterProfile, EmptyProfileIsNeutral) {
+  RaterProfile p;
+  EXPECT_DOUBLE_EQ(p.bias(), 0.0);
+  EXPECT_DOUBLE_EQ(p.spread(), 0.0);
+}
+
+TEST(ProfileStore, ClassifiesTheCast) {
+  const RaterProfileStore store = trained_store();
+  EXPECT_EQ(store.classify(1), RaterBehavior::kBiasedHigh);
+  EXPECT_EQ(store.classify(2), RaterBehavior::kBiasedLow);
+  EXPECT_EQ(store.classify(3), RaterBehavior::kCareless);
+  EXPECT_EQ(store.classify(10), RaterBehavior::kNormal);
+  EXPECT_EQ(store.classify(999), RaterBehavior::kUnclassified);
+}
+
+TEST(ProfileStore, BiasEstimateNearTruth) {
+  const RaterProfileStore store = trained_store();
+  EXPECT_NEAR(store.bias_of(1), 0.15, 0.05);
+  EXPECT_NEAR(store.bias_of(2), -0.15, 0.05);
+  EXPECT_NEAR(store.bias_of(10), 0.0, 0.05);
+}
+
+TEST(ProfileStore, FewRatingsStayUnclassified) {
+  RaterProfileStore store({.bias_threshold = 0.08, .spread_threshold = 0.22,
+                           .min_ratings = 8});
+  Rng rng(12);
+  store.observe_product(cast_product(rng, 0, 0.5));  // a single product
+  EXPECT_EQ(store.classify(1), RaterBehavior::kUnclassified);
+  EXPECT_DOUBLE_EQ(store.bias_of(1), 0.0);  // debiasing stays a no-op
+}
+
+TEST(ProfileStore, DebiasRecoversConsensusView) {
+  const RaterProfileStore store = trained_store();
+  // The inflater rates a product 0.75; debiased it should read ~0.60.
+  EXPECT_NEAR(store.debias(1, 0.75), 0.60, 0.05);
+  // Unknown raters pass through unchanged.
+  EXPECT_DOUBLE_EQ(store.debias(999, 0.75), 0.75);
+}
+
+TEST(ProfileStore, DebiasClampsToUnitInterval) {
+  const RaterProfileStore store = trained_store();
+  EXPECT_GE(store.debias(2, 0.02), 0.0);  // deflater near the bottom
+  EXPECT_LE(store.debias(1, 0.99), 1.0);
+}
+
+TEST(ProfileStore, TinyProductsIgnored) {
+  RaterProfileStore store{ProfileClassifierConfig{}};
+  RatingSeries one{{1.0, 0.9, 7, 0, RatingLabel::kHonest}};
+  store.observe_product(one);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(ProfileStore, LeaveOneOutConsensusExcludesSelf) {
+  // Two raters: 0.2 and 0.8. Each one's consensus is the *other* rating,
+  // so the deviations are symmetric and full-sized (not halved).
+  RaterProfileStore store{ProfileClassifierConfig{}};
+  RatingSeries s{{1.0, 0.2, 1, 0, RatingLabel::kHonest},
+                 {2.0, 0.8, 2, 0, RatingLabel::kHonest}};
+  store.observe_product(s);
+  EXPECT_DOUBLE_EQ(store.find(1)->deviation_sum, -0.6);
+  EXPECT_DOUBLE_EQ(store.find(2)->deviation_sum, 0.6);
+}
+
+TEST(ProfileStore, ConfigValidation) {
+  ProfileClassifierConfig bad;
+  bad.min_ratings = 1;
+  EXPECT_THROW(RaterProfileStore{bad}, PreconditionError);
+  bad = {};
+  bad.bias_threshold = 0.0;
+  EXPECT_THROW(RaterProfileStore{bad}, PreconditionError);
+}
+
+// The headline property: debiasing improves aggregation accuracy on a
+// population with dispositional raters.
+TEST(ProfileStore, DebiasingImprovesAggregateAccuracy) {
+  Rng rng(13);
+  RaterProfileStore store{ProfileClassifierConfig{}};
+  // Train on 40 products.
+  std::vector<double> qualities;
+  for (int p = 0; p < 40; ++p) {
+    const double q = rng.uniform(0.35, 0.65);
+    qualities.push_back(q);
+    store.observe_product(cast_product(rng, static_cast<ProductId>(p), q));
+  }
+  // Evaluate on 20 fresh products: mean absolute aggregation error with
+  // and without debiasing.
+  double err_raw = 0.0;
+  double err_debiased = 0.0;
+  const int kEval = 20;
+  for (int p = 0; p < kEval; ++p) {
+    const double q = rng.uniform(0.35, 0.65);
+    const RatingSeries s = cast_product(rng, static_cast<ProductId>(100 + p), q);
+    double raw = 0.0;
+    double debiased = 0.0;
+    for (const Rating& r : s) {
+      raw += r.value;
+      debiased += store.debias(r.rater, r.value);
+    }
+    raw /= static_cast<double>(s.size());
+    debiased /= static_cast<double>(s.size());
+    err_raw += std::abs(raw - q);
+    err_debiased += std::abs(debiased - q);
+  }
+  EXPECT_LT(err_debiased, err_raw);
+}
+
+}  // namespace
+}  // namespace trustrate::trust

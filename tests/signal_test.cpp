@@ -1,0 +1,322 @@
+// Unit tests for the signal module: matrices/solvers, AR estimators,
+// windowing. Includes the property at the heart of the paper: white noise
+// has high normalized AR error; predictable signals have low error.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "signal/ar.hpp"
+#include "signal/matrix.hpp"
+#include "signal/window.hpp"
+
+namespace trustrate::signal {
+namespace {
+
+// --------------------------------------------------------------- matrix
+
+TEST(Matrix, MultiplyIdentity) {
+  Matrix m(2, 2);
+  m(0, 0) = 1.0;
+  m(1, 1) = 1.0;
+  const std::vector<double> x{3.0, 4.0};
+  const auto y = m.multiply(x);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 4.0);
+}
+
+TEST(Matrix, SymmetryCheck) {
+  Matrix m(2, 2);
+  m(0, 1) = 1.0;
+  m(1, 0) = 1.0;
+  EXPECT_TRUE(m.is_symmetric());
+  m(1, 0) = 2.0;
+  EXPECT_FALSE(m.is_symmetric());
+}
+
+TEST(Solve, GaussianSolvesKnownSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 2.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 3.0;
+  const auto x = solve_gaussian(a, {5.0, 10.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(Solve, GaussianNeedsPivoting) {
+  Matrix a(2, 2);
+  a(0, 0) = 0.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 0.0;
+  const auto x = solve_gaussian(a, {2.0, 3.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(Solve, GaussianDetectsSingular) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 4.0;
+  EXPECT_FALSE(solve_gaussian(a, {1.0, 2.0}).has_value());
+}
+
+TEST(Solve, LdltSolvesSpdSystem) {
+  Matrix a(3, 3);
+  // A = B^T B + I for B = [[1,2,0],[0,1,1],[1,0,1]] is SPD.
+  const double b[3][3] = {{1, 2, 0}, {0, 1, 1}, {1, 0, 1}};
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      double acc = (i == j) ? 1.0 : 0.0;
+      for (int k = 0; k < 3; ++k) acc += b[k][i] * b[k][j];
+      a(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) = acc;
+    }
+  }
+  const std::vector<double> truth{1.0, -2.0, 0.5};
+  const auto rhs = a.multiply(truth);
+  const auto x = solve_ldlt(a, rhs);
+  ASSERT_TRUE(x.has_value());
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR((*x)[static_cast<std::size_t>(i)], truth[static_cast<std::size_t>(i)], 1e-10);
+}
+
+TEST(Solve, LdltRejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 0.0;
+  a(1, 0) = 0.0; a(1, 1) = -1.0;
+  EXPECT_FALSE(solve_ldlt(a, std::vector<double>{1.0, 1.0}).has_value());
+}
+
+TEST(Solve, AgreementBetweenSolvers) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 4;
+    Matrix b(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.gaussian(0.0, 1.0);
+    }
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        double acc = (i == j) ? 0.5 : 0.0;
+        for (std::size_t k = 0; k < n; ++k) acc += b(k, i) * b(k, j);
+        a(i, j) = acc;
+      }
+    }
+    std::vector<double> rhs(n);
+    for (auto& v : rhs) v = rng.gaussian(0.0, 1.0);
+    const auto x1 = solve_gaussian(a, rhs);
+    const auto x2 = solve_ldlt(a, rhs);
+    ASSERT_TRUE(x1 && x2);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR((*x1)[i], (*x2)[i], 1e-8);
+  }
+}
+
+// ----------------------------------------------------------- AR fitting
+
+std::vector<double> white_noise(Rng& rng, int n, double sigma = 1.0) {
+  std::vector<double> xs;
+  xs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) xs.push_back(rng.gaussian(0.0, sigma));
+  return xs;
+}
+
+TEST(ArCovariance, RecoversAr2Coefficients) {
+  Rng rng(31);
+  const std::vector<double> truth{-1.2, 0.8};  // stable AR(2)
+  const auto noise = white_noise(rng, 4000, 0.5);
+  const auto x = synthesize_ar(truth, noise);
+  const ArModel m = fit_ar_covariance(x, 2, {.demean = true});
+  ASSERT_EQ(m.order(), 2);
+  EXPECT_NEAR(m.coeffs[0], truth[0], 0.03);
+  EXPECT_NEAR(m.coeffs[1], truth[1], 0.03);
+}
+
+TEST(ArAutocorrelation, RecoversAr2Coefficients) {
+  Rng rng(32);
+  const std::vector<double> truth{-1.2, 0.8};
+  const auto noise = white_noise(rng, 4000, 0.5);
+  const auto x = synthesize_ar(truth, noise);
+  const ArModel m = fit_ar_autocorrelation(x, 2, {.demean = true});
+  EXPECT_NEAR(m.coeffs[0], truth[0], 0.05);
+  EXPECT_NEAR(m.coeffs[1], truth[1], 0.05);
+}
+
+TEST(ArBurg, RecoversAr2Coefficients) {
+  Rng rng(33);
+  const std::vector<double> truth{-1.2, 0.8};
+  const auto noise = white_noise(rng, 4000, 0.5);
+  const auto x = synthesize_ar(truth, noise);
+  const ArModel m = fit_ar_burg(x, 2, {.demean = true});
+  EXPECT_NEAR(m.coeffs[0], truth[0], 0.05);
+  EXPECT_NEAR(m.coeffs[1], truth[1], 0.05);
+}
+
+TEST(ArCovariance, WhiteNoiseHasHighError) {
+  // The paper's core premise, tested across seeds: de-meaned white noise is
+  // unpredictable, so the normalized error stays near 1.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    const auto x = white_noise(rng, 200);
+    const ArModel m = fit_ar_covariance(x, 4, {.demean = true});
+    EXPECT_GT(m.normalized_error, 0.75) << "seed " << seed;
+    EXPECT_LE(m.normalized_error, 1.0);
+  }
+}
+
+TEST(ArCovariance, PredictableSignalHasLowError) {
+  // A sinusoid is an extreme "collaborative" signal: nearly perfectly
+  // AR-predictable.
+  std::vector<double> x;
+  for (int i = 0; i < 200; ++i) x.push_back(std::sin(0.3 * i));
+  const ArModel m = fit_ar_covariance(x, 4, {.demean = true});
+  EXPECT_LT(m.normalized_error, 1e-6);
+}
+
+TEST(ArCovariance, ConstantLevelIsPerfectlyPredictableWithoutDemean) {
+  // Without demeaning a constant level is captured exactly (x(n) = x(n-1)):
+  // the collaborative signature the detector keys on.
+  std::vector<double> x(60, 0.8);
+  const ArModel m = fit_ar_covariance(x, 4, {.demean = false});
+  EXPECT_NEAR(m.normalized_error, 0.0, 1e-10);
+}
+
+TEST(ArCovariance, ConstantSignalWithDemeanIsDegenerate) {
+  std::vector<double> x(60, 0.8);
+  const ArModel m = fit_ar_covariance(x, 4, {.demean = true});
+  EXPECT_TRUE(m.degenerate);
+  EXPECT_DOUBLE_EQ(m.normalized_error, 0.0);
+}
+
+TEST(ArCovariance, ErrorAlwaysInUnitInterval) {
+  Rng rng(44);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> x;
+    const int n = static_cast<int>(rng.uniform_int(10, 120));
+    for (int i = 0; i < n; ++i) x.push_back(rng.uniform(0.0, 1.0));
+    const int max_order = (n - 1) / 2;
+    const int order = static_cast<int>(rng.uniform_int(1, std::max(1, std::min(6, max_order))));
+    const ArModel m = fit_ar_covariance(x, order);
+    EXPECT_GE(m.normalized_error, 0.0);
+    EXPECT_LE(m.normalized_error, 1.0);
+  }
+}
+
+TEST(ArCovariance, PreconditionsEnforced) {
+  const std::vector<double> x(5, 1.0);
+  EXPECT_THROW(fit_ar_covariance(x, 0), PreconditionError);
+  EXPECT_THROW(fit_ar_covariance(x, 3), PreconditionError);  // needs >= 7
+}
+
+TEST(ArCovariance, ResidualsMatchReportedEnergy) {
+  Rng rng(51);
+  const auto x = white_noise(rng, 100);
+  const ArModel m = fit_ar_covariance(x, 3, {.demean = false});
+  const auto res = ar_residuals(x, m);
+  double e = 0.0;
+  for (double r : res) e += r * r;
+  EXPECT_NEAR(e, m.residual_energy, 1e-6 * std::max(1.0, m.residual_energy));
+}
+
+TEST(ArModelApi, PredictNextTracksAr1) {
+  // x(n) = 0.9 x(n-1) + w -> coeffs = {-0.9}.
+  ArModel m;
+  m.coeffs = {-0.9};
+  const std::vector<double> history{0.0, 1.0};
+  EXPECT_NEAR(m.predict_next(history), 0.9, 1e-12);
+}
+
+TEST(ArModelApi, PredictNextUsesMean) {
+  ArModel m;
+  m.coeffs = {-1.0};
+  m.mean = 0.5;
+  const std::vector<double> history{0.7};
+  // prediction = mean + 1.0 * (0.7 - 0.5)
+  EXPECT_NEAR(m.predict_next(history), 0.7, 1e-12);
+}
+
+TEST(ArEstimators, AgreeOnLongStationaryData) {
+  Rng rng(61);
+  const std::vector<double> truth{-0.5};
+  const auto noise = white_noise(rng, 8000);
+  const auto x = synthesize_ar(truth, noise);
+  const auto c = fit_ar_covariance(x, 1, {.demean = true});
+  const auto a = fit_ar_autocorrelation(x, 1, {.demean = true});
+  const auto b = fit_ar_burg(x, 1, {.demean = true});
+  EXPECT_NEAR(c.coeffs[0], a.coeffs[0], 0.02);
+  EXPECT_NEAR(c.coeffs[0], b.coeffs[0], 0.02);
+}
+
+TEST(ArOrderSelection, FpePrefersTrueOrder) {
+  Rng rng(71);
+  const std::vector<double> truth{-1.2, 0.8};
+  const auto noise = white_noise(rng, 2000);
+  const auto x = synthesize_ar(truth, noise);
+  const int order = select_order_fpe(x, 6, {.demean = true});
+  EXPECT_GE(order, 2);
+  EXPECT_LE(order, 4);  // FPE may slightly overfit, never underfit here
+}
+
+TEST(ArSynthesize, ZeroCoefficientsReproduceInnovations) {
+  const std::vector<double> w{1.0, -2.0, 3.0};
+  const auto x = synthesize_ar({}, w);
+  EXPECT_EQ(x, w);
+}
+
+// ------------------------------------------------------------ windowing
+
+TEST(Window, TimeWindowsCoverRangeWithOverlap) {
+  // Paper §IV: width 10, step 5.
+  const auto ws = make_time_windows(0.0, 30.0, 10.0, 5.0);
+  ASSERT_GE(ws.size(), 5u);
+  EXPECT_DOUBLE_EQ(ws[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(ws[0].end, 10.0);
+  EXPECT_DOUBLE_EQ(ws[1].start, 5.0);
+  // Last window covers the end of the range.
+  EXPECT_GE(ws.back().end, 30.0);
+}
+
+TEST(Window, SingleWindowWhenWidthCoversRange) {
+  const auto ws = make_time_windows(0.0, 5.0, 10.0, 5.0);
+  ASSERT_EQ(ws.size(), 1u);
+  EXPECT_DOUBLE_EQ(ws[0].start, 0.0);
+}
+
+TEST(Window, CountWindowsDropIncompleteTail) {
+  const auto ws = make_count_windows(25, 10, 10);
+  ASSERT_EQ(ws.size(), 2u);
+  EXPECT_EQ(ws[1].begin, 10u);
+  EXPECT_EQ(ws[1].end, 20u);
+}
+
+TEST(Window, IndicesInWindowBinarySearch) {
+  RatingSeries s;
+  for (int i = 0; i < 10; ++i) {
+    s.push_back({static_cast<double>(i), 0.5, static_cast<RaterId>(i), 0,
+                 RatingLabel::kHonest});
+  }
+  const IndexWindow idx = indices_in_window(s, {2.0, 5.0});
+  EXPECT_EQ(idx.begin, 2u);
+  EXPECT_EQ(idx.end, 5u);  // half-open: times 2, 3, 4
+}
+
+TEST(Window, ValuesInWindowEmptyWhenNoOverlap) {
+  RatingSeries s{{1.0, 0.5, 1, 0, RatingLabel::kHonest}};
+  EXPECT_TRUE(values_in_window(s, {5.0, 6.0}).empty());
+}
+
+TEST(Window, ContainsIsHalfOpen) {
+  const TimeWindow w{1.0, 2.0};
+  EXPECT_TRUE(w.contains(1.0));
+  EXPECT_FALSE(w.contains(2.0));
+}
+
+TEST(Window, PreconditionsEnforced) {
+  EXPECT_THROW(make_time_windows(0.0, 10.0, 0.0, 1.0), PreconditionError);
+  EXPECT_THROW(make_time_windows(5.0, 1.0, 1.0, 1.0), PreconditionError);
+  EXPECT_THROW(make_count_windows(10, 0, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace trustrate::signal

@@ -1,0 +1,341 @@
+// Unit tests for the sim module: quality trajectories, the illustrative
+// scenario generator (§III-A.2), and the marketplace simulator (§IV).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sim/illustrative.hpp"
+#include "sim/marketplace.hpp"
+#include "sim/quality.hpp"
+#include "stats/descriptive.hpp"
+
+namespace trustrate::sim {
+namespace {
+
+// ---------------------------------------------------------------- quality
+
+TEST(Quality, LinearInterpolation) {
+  const QualityTrajectory q(0.7, 0.8, 0.0, 60.0);
+  EXPECT_DOUBLE_EQ(q.at(0.0), 0.7);
+  EXPECT_DOUBLE_EQ(q.at(30.0), 0.75);
+  EXPECT_DOUBLE_EQ(q.at(60.0), 0.8);
+}
+
+TEST(Quality, ClampedOutsideRange) {
+  const QualityTrajectory q(0.7, 0.8, 0.0, 60.0);
+  EXPECT_DOUBLE_EQ(q.at(-5.0), 0.7);
+  EXPECT_DOUBLE_EQ(q.at(100.0), 0.8);
+}
+
+TEST(Quality, ConstantTrajectory) {
+  const QualityTrajectory q = QualityTrajectory::constant(0.42);
+  EXPECT_DOUBLE_EQ(q.at(0.0), 0.42);
+  EXPECT_DOUBLE_EQ(q.at(1000.0), 0.42);
+}
+
+TEST(Quality, RejectsEmptyInterval) {
+  EXPECT_THROW(QualityTrajectory(0.5, 0.6, 10.0, 10.0), PreconditionError);
+}
+
+// ------------------------------------------------------------ illustrative
+
+TEST(Illustrative, SeriesIsSortedAndInRange) {
+  IllustrativeConfig cfg;
+  Rng rng(100);
+  const RatingSeries s = generate_illustrative(cfg, rng);
+  EXPECT_TRUE(is_time_sorted(s));
+  for (const Rating& r : s) {
+    EXPECT_GE(r.time, 0.0);
+    EXPECT_LT(r.time, cfg.simu_time);
+    EXPECT_GE(r.value, 0.0);
+    EXPECT_LE(r.value, 1.0);
+  }
+}
+
+TEST(Illustrative, ArrivalCountNearExpectation) {
+  IllustrativeConfig cfg;  // 60 days at 3/day honest + attack extras
+  Rng rng(101);
+  const RatingSeries s = generate_illustrative_honest_only(cfg, rng);
+  EXPECT_NEAR(static_cast<double>(s.size()), 180.0, 45.0);  // ~3 sigma
+}
+
+TEST(Illustrative, ValuesQuantizedToElevenLevels) {
+  IllustrativeConfig cfg;
+  Rng rng(102);
+  const RatingSeries s = generate_illustrative(cfg, rng);
+  for (const Rating& r : s) {
+    const double scaled = r.value * 10.0;
+    EXPECT_NEAR(scaled, std::round(scaled), 1e-9);
+  }
+}
+
+TEST(Illustrative, UnfairRatingsOnlyInsideAttackWindow) {
+  IllustrativeConfig cfg;
+  Rng rng(103);
+  const RatingSeries s = generate_illustrative(cfg, rng);
+  for (const Rating& r : s) {
+    if (is_unfair(r.label)) {
+      EXPECT_GE(r.time, cfg.attack_start);
+      EXPECT_LT(r.time, cfg.attack_end);
+    }
+  }
+}
+
+TEST(Illustrative, HonestOnlyHasNoUnfairLabels) {
+  IllustrativeConfig cfg;
+  Rng rng(104);
+  const RatingSeries s = generate_illustrative_honest_only(cfg, rng);
+  EXPECT_EQ(count_unfair(s), 0u);
+}
+
+TEST(Illustrative, Type2RatersAboveHonestPool) {
+  IllustrativeConfig cfg;
+  Rng rng(105);
+  const RatingSeries s = generate_illustrative(cfg, rng);
+  for (const Rating& r : s) {
+    if (r.label == RatingLabel::kCollaborative2) {
+      EXPECT_GE(r.rater, static_cast<RaterId>(cfg.honest_pool));
+    } else {
+      EXPECT_LT(r.rater, static_cast<RaterId>(cfg.honest_pool));
+    }
+  }
+}
+
+TEST(Illustrative, Type2MeanIsShiftedUp) {
+  IllustrativeConfig cfg;
+  Rng rng(106);
+  const RatingSeries s = generate_illustrative(cfg, rng);
+  std::vector<double> honest_in_attack;
+  std::vector<double> type2;
+  for (const Rating& r : s) {
+    if (r.time < cfg.attack_start || r.time >= cfg.attack_end) continue;
+    if (r.label == RatingLabel::kCollaborative2) {
+      type2.push_back(r.value);
+    } else if (r.label == RatingLabel::kHonest) {
+      honest_in_attack.push_back(r.value);
+    }
+  }
+  ASSERT_GT(type2.size(), 10u);
+  ASSERT_GT(honest_in_attack.size(), 10u);
+  EXPECT_GT(stats::summarize(type2).mean,
+            stats::summarize(honest_in_attack).mean + 0.05);
+  // The collaborative block is much tighter than honest noise.
+  EXPECT_LT(stats::summarize(type2).stddev,
+            stats::summarize(honest_in_attack).stddev);
+}
+
+TEST(Illustrative, Type1FractionNearRecruitPower) {
+  IllustrativeConfig cfg;
+  cfg.enable_type2 = false;
+  cfg.recruit_power1 = 0.3;
+  int type1 = 0;
+  int in_window = 0;
+  Rng rng(107);
+  for (int run = 0; run < 20; ++run) {
+    Rng child = rng.split();
+    for (const Rating& r : generate_illustrative(cfg, child)) {
+      if (r.time < cfg.attack_start || r.time >= cfg.attack_end) continue;
+      ++in_window;
+      if (r.label == RatingLabel::kCollaborative1) ++type1;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(type1) / in_window, 0.3, 0.06);
+}
+
+TEST(Illustrative, DeterministicGivenSeed) {
+  IllustrativeConfig cfg;
+  Rng a(55);
+  Rng b(55);
+  EXPECT_EQ(generate_illustrative(cfg, a), generate_illustrative(cfg, b));
+}
+
+TEST(Illustrative, RejectsBadConfig) {
+  IllustrativeConfig cfg;
+  cfg.arrival_rate = 0.0;
+  Rng rng(1);
+  EXPECT_THROW(generate_illustrative(cfg, rng), PreconditionError);
+}
+
+// ------------------------------------------------------------ marketplace
+
+MarketplaceConfig small_market() {
+  MarketplaceConfig cfg;
+  cfg.reliable_raters = 60;
+  cfg.careless_raters = 30;
+  cfg.pc_raters = 30;
+  cfg.months = 3;
+  return cfg;
+}
+
+TEST(Marketplace, ProductCalendar) {
+  Rng rng(200);
+  const auto result = simulate_marketplace(small_market(), rng);
+  // 3 months x (4 honest + 1 dishonest).
+  ASSERT_EQ(result.products.size(), 15u);
+  int dishonest = 0;
+  for (const auto& p : result.products) {
+    if (p.dishonest) ++dishonest;
+    EXPECT_DOUBLE_EQ(p.t_end - p.t_start, 30.0);
+    EXPECT_GE(p.quality, 0.4);
+    EXPECT_LE(p.quality, 0.6);
+    EXPECT_TRUE(is_time_sorted(p.ratings));
+  }
+  EXPECT_EQ(dishonest, 3);
+  EXPECT_EQ(result.products_in_month(1).size(), 5u);
+}
+
+TEST(Marketplace, RaterKindsPartitionIds) {
+  Rng rng(201);
+  const auto result = simulate_marketplace(small_market(), rng);
+  ASSERT_EQ(result.rater_count(), 120u);
+  EXPECT_EQ(result.rater_kind[0], RaterKind::kReliable);
+  EXPECT_EQ(result.rater_kind[59], RaterKind::kReliable);
+  EXPECT_EQ(result.rater_kind[60], RaterKind::kCareless);
+  EXPECT_EQ(result.rater_kind[89], RaterKind::kCareless);
+  EXPECT_EQ(result.rater_kind[90], RaterKind::kPotentialCollaborative);
+}
+
+TEST(Marketplace, OneRatingPerRaterPerProduct) {
+  Rng rng(202);
+  const auto result = simulate_marketplace(small_market(), rng);
+  for (const auto& p : result.products) {
+    std::vector<RaterId> raters;
+    for (const Rating& r : p.ratings) raters.push_back(r.rater);
+    std::sort(raters.begin(), raters.end());
+    EXPECT_EQ(std::adjacent_find(raters.begin(), raters.end()), raters.end())
+        << "product " << p.id;
+  }
+}
+
+TEST(Marketplace, RatingsStayInsideProductMonth) {
+  Rng rng(203);
+  const auto result = simulate_marketplace(small_market(), rng);
+  for (const auto& p : result.products) {
+    for (const Rating& r : p.ratings) {
+      EXPECT_GE(r.time, p.t_start);
+      EXPECT_LT(r.time, p.t_end);
+      EXPECT_EQ(r.product, p.id);
+    }
+  }
+}
+
+TEST(Marketplace, UnfairRatingsOnlyOnDishonestProductsInAttackWindow) {
+  Rng rng(204);
+  const auto result = simulate_marketplace(small_market(), rng);
+  for (const auto& p : result.products) {
+    for (const Rating& r : p.ratings) {
+      if (!is_unfair(r.label)) continue;
+      EXPECT_TRUE(p.dishonest);
+      EXPECT_GE(r.time, p.attack_start);
+      EXPECT_LT(r.time, p.attack_end);
+      EXPECT_EQ(result.rater_kind[r.rater], RaterKind::kPotentialCollaborative);
+    }
+  }
+}
+
+TEST(Marketplace, AttackWindowInsideMonth) {
+  Rng rng(205);
+  const auto result = simulate_marketplace(small_market(), rng);
+  for (const auto& p : result.products) {
+    if (!p.dishonest) continue;
+    EXPECT_GE(p.attack_start, p.t_start);
+    EXPECT_LE(p.attack_end, p.t_end + 1e-9);
+    EXPECT_NEAR(p.attack_end - p.attack_start, 10.0, 1e-9);
+  }
+}
+
+TEST(Marketplace, RecruitPowerControlsRecruitment) {
+  MarketplaceConfig cfg = small_market();
+  cfg.recruit_power3 = 1.0;
+  Rng rng(206);
+  const auto result = simulate_marketplace(cfg, rng);
+  EXPECT_EQ(result.ever_recruited.size(), 30u);  // all PC raters
+
+  cfg.recruit_power3 = 0.0;
+  Rng rng2(206);
+  const auto none = simulate_marketplace(cfg, rng2);
+  EXPECT_TRUE(none.ever_recruited.empty());
+}
+
+TEST(Marketplace, ValuesQuantizedToTenLevelsNoZero) {
+  Rng rng(207);
+  const auto result = simulate_marketplace(small_market(), rng);
+  for (const auto& p : result.products) {
+    for (const Rating& r : p.ratings) {
+      EXPECT_GE(r.value, 0.1 - 1e-9);
+      const double scaled = r.value * 10.0;
+      EXPECT_NEAR(scaled, std::round(scaled), 1e-9);
+    }
+  }
+}
+
+TEST(Marketplace, BurstModeConcentratesAttack) {
+  MarketplaceConfig cfg = small_market();
+  cfg.recruit_burst = true;
+  cfg.burst_mean_days = 1.0;
+  Rng rng(208);
+  const auto result = simulate_marketplace(cfg, rng);
+  for (const auto& p : result.products) {
+    if (!p.dishonest) continue;
+    for (const Rating& r : p.ratings) {
+      if (!is_unfair(r.label)) continue;
+      EXPECT_GE(r.time, p.attack_start);
+      EXPECT_LT(r.time, p.attack_end);
+    }
+  }
+}
+
+TEST(Marketplace, BurstAndSpreadVolumesComparable) {
+  MarketplaceConfig spread = small_market();
+  MarketplaceConfig burst = small_market();
+  burst.recruit_burst = true;
+  std::size_t unfair_spread = 0;
+  std::size_t unfair_burst = 0;
+  Rng rng(209);
+  for (int run = 0; run < 10; ++run) {
+    Rng a = rng.split();
+    Rng b = rng.split();
+    for (const auto& p : simulate_marketplace(spread, a).products) {
+      unfair_spread += count_unfair(p.ratings);
+    }
+    for (const auto& p : simulate_marketplace(burst, b).products) {
+      unfair_burst += count_unfair(p.ratings);
+    }
+  }
+  ASSERT_GT(unfair_spread, 0u);
+  const double ratio =
+      static_cast<double>(unfair_burst) / static_cast<double>(unfair_spread);
+  EXPECT_GT(ratio, 0.6);
+  EXPECT_LT(ratio, 1.4);
+}
+
+TEST(Marketplace, DeterministicGivenSeed) {
+  Rng a(210);
+  Rng b(210);
+  const auto ra = simulate_marketplace(small_market(), a);
+  const auto rb = simulate_marketplace(small_market(), b);
+  ASSERT_EQ(ra.products.size(), rb.products.size());
+  for (std::size_t i = 0; i < ra.products.size(); ++i) {
+    EXPECT_EQ(ra.products[i].ratings, rb.products[i].ratings);
+  }
+}
+
+TEST(Marketplace, ConfigValidation) {
+  MarketplaceConfig cfg = small_market();
+  cfg.a1 = 0.5;  // must exceed 1
+  Rng rng(1);
+  EXPECT_THROW(simulate_marketplace(cfg, rng), PreconditionError);
+  cfg = small_market();
+  cfg.p_rate = 0.2;
+  cfg.a1 = 6.0;  // a1 * p_rate > 1
+  EXPECT_THROW(simulate_marketplace(cfg, rng), PreconditionError);
+  cfg = small_market();
+  cfg.attack_days = 31.0;
+  EXPECT_THROW(simulate_marketplace(cfg, rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace trustrate::sim

@@ -1,0 +1,306 @@
+// Unit tests for the trust module: beta-trust records, Procedure 2 updates,
+// forgetting, opinion algebra, recommendation propagation.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "trust/opinion.hpp"
+#include "trust/propagation.hpp"
+#include "trust/record.hpp"
+
+namespace trustrate::trust {
+namespace {
+
+// ---------------------------------------------------------------- record
+
+TEST(TrustRecord, FreshRecordIsNeutral) {
+  TrustRecord r;
+  EXPECT_DOUBLE_EQ(r.trust(), 0.5);
+  EXPECT_DOUBLE_EQ(r.evidence(), 0.0);
+}
+
+TEST(TrustRecord, BetaMeanFormula) {
+  TrustRecord r{.successes = 8.0, .failures = 2.0};
+  EXPECT_DOUBLE_EQ(r.trust(), 9.0 / 12.0);
+}
+
+TEST(TrustRecord, TrustStaysInOpenUnitInterval) {
+  TrustRecord all_bad{.successes = 0.0, .failures = 1000.0};
+  TrustRecord all_good{.successes = 1000.0, .failures = 0.0};
+  EXPECT_GT(all_bad.trust(), 0.0);
+  EXPECT_LT(all_good.trust(), 1.0);
+}
+
+TEST(TrustRecord, FadeScalesEvidence) {
+  TrustRecord r{.successes = 10.0, .failures = 5.0};
+  r.fade(0.5);
+  EXPECT_DOUBLE_EQ(r.successes, 5.0);
+  EXPECT_DOUBLE_EQ(r.failures, 2.5);
+}
+
+TEST(TrustRecord, FadePreservesTrustValue) {
+  // Fading scales S and F equally, so the mean moves toward the prior
+  // only through the +1/+2 terms.
+  TrustRecord r{.successes = 100.0, .failures = 50.0};
+  const double before = r.trust();
+  r.fade(0.9);
+  // Ratio S:F unchanged; trust moves slightly toward 0.5.
+  EXPECT_NEAR(r.successes / r.failures, 2.0, 1e-12);
+  EXPECT_LT(std::abs(r.trust() - 0.5), std::abs(before - 0.5) + 1e-12);
+}
+
+TEST(TrustRecord, FadeRejectsBadFactor) {
+  TrustRecord r;
+  EXPECT_THROW(r.fade(1.5), PreconditionError);
+  EXPECT_THROW(r.fade(-0.1), PreconditionError);
+}
+
+// ------------------------------------------------------------ procedure 2
+
+TEST(Procedure2, CleanEpochAddsSuccesses) {
+  TrustRecord r;
+  update_record(r, {.ratings = 5, .filtered = 0, .suspicious = 0,
+                    .suspicion_value = 0.0}, 1.0);
+  EXPECT_DOUBLE_EQ(r.successes, 5.0);
+  EXPECT_DOUBLE_EQ(r.failures, 0.0);
+  EXPECT_GT(r.trust(), 0.5);
+}
+
+TEST(Procedure2, FilteredRatingsBecomeFailures) {
+  TrustRecord r;
+  update_record(r, {.ratings = 4, .filtered = 3, .suspicious = 0,
+                    .suspicion_value = 0.0}, 1.0);
+  EXPECT_DOUBLE_EQ(r.successes, 1.0);
+  EXPECT_DOUBLE_EQ(r.failures, 3.0);
+  EXPECT_LT(r.trust(), 0.5);
+}
+
+TEST(Procedure2, SuspicionWeightedByB) {
+  TrustRecord r;
+  update_record(r, {.ratings = 2, .filtered = 0, .suspicious = 1,
+                    .suspicion_value = 0.5}, 2.0);
+  EXPECT_DOUBLE_EQ(r.failures, 1.0);   // b * C = 2 * 0.5
+  EXPECT_DOUBLE_EQ(r.successes, 1.0);  // n - f - s = 2 - 0 - 1
+}
+
+TEST(Procedure2, SuccessesNeverGoNegative) {
+  TrustRecord r;
+  // Overlapping windows can make s exceed n - f; clamp at zero.
+  update_record(r, {.ratings = 1, .filtered = 1, .suspicious = 2,
+                    .suspicion_value = 1.0}, 1.0);
+  EXPECT_DOUBLE_EQ(r.successes, 0.0);
+  EXPECT_DOUBLE_EQ(r.failures, 2.0);
+}
+
+TEST(Procedure2, RejectsNegativeB) {
+  TrustRecord r;
+  EXPECT_THROW(update_record(r, {}, -1.0), PreconditionError);
+}
+
+TEST(Procedure2, RepeatedSuspicionDrivesTrustDown) {
+  // The paper's core trust dynamic: a rater repeatedly active in
+  // suspicious intervals loses trust even if never hard-filtered.
+  TrustRecord r;
+  for (int month = 0; month < 12; ++month) {
+    update_record(r, {.ratings = 2, .filtered = 0, .suspicious = 1,
+                      .suspicion_value = 0.6}, 4.0);
+  }
+  EXPECT_LT(r.trust(), 0.4);
+}
+
+// ----------------------------------------------------------------- store
+
+TEST(TrustStore, UnknownRaterHasNeutralTrust) {
+  TrustStore store;
+  EXPECT_DOUBLE_EQ(store.trust(42), 0.5);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(TrustStore, UpdateCreatesRecord) {
+  TrustStore store;
+  store.update(7, {.ratings = 3}, 1.0);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_GT(store.trust(7), 0.5);
+}
+
+TEST(TrustStore, BelowReturnsSortedMaliciousRaters) {
+  TrustStore store;
+  store.update(3, {.ratings = 2, .filtered = 2}, 1.0);   // bad
+  store.update(1, {.ratings = 4, .filtered = 4}, 1.0);   // bad
+  store.update(2, {.ratings = 10}, 1.0);                 // good
+  const auto bad = store.below(0.5);
+  ASSERT_EQ(bad.size(), 2u);
+  EXPECT_EQ(bad[0], 1u);
+  EXPECT_EQ(bad[1], 3u);
+}
+
+TEST(TrustStore, FadeAllAffectsEveryRecord) {
+  TrustStore store;
+  store.update(1, {.ratings = 10}, 1.0);
+  store.update(2, {.ratings = 10}, 1.0);
+  store.fade_all(0.5);
+  EXPECT_DOUBLE_EQ(store.record(1).successes, 5.0);
+  EXPECT_DOUBLE_EQ(store.record(2).successes, 5.0);
+}
+
+// --------------------------------------------------------------- opinion
+
+TEST(Opinion, FromEvidenceMatchesBetaMapping) {
+  const Opinion o = Opinion::from_evidence(8.0, 2.0);
+  EXPECT_DOUBLE_EQ(o.belief, 8.0 / 12.0);
+  EXPECT_DOUBLE_EQ(o.disbelief, 2.0 / 12.0);
+  EXPECT_DOUBLE_EQ(o.uncertainty, 2.0 / 12.0);
+  EXPECT_TRUE(o.valid());
+}
+
+TEST(Opinion, NoEvidenceIsVacuous) {
+  const Opinion o = Opinion::from_evidence(0.0, 0.0);
+  EXPECT_DOUBLE_EQ(o.uncertainty, 1.0);
+  EXPECT_DOUBLE_EQ(o.expectation(), 0.5);
+}
+
+TEST(Opinion, FromValueSplitsBeliefMass) {
+  const Opinion o = Opinion::from_value(0.8, 0.2);
+  EXPECT_NEAR(o.belief, 0.64, 1e-12);
+  EXPECT_NEAR(o.disbelief, 0.16, 1e-12);
+  EXPECT_NEAR(o.uncertainty, 0.2, 1e-12);
+  EXPECT_TRUE(o.valid());
+}
+
+TEST(Opinion, ExpectationUsesBaseRate) {
+  const Opinion o{0.2, 0.3, 0.5};
+  EXPECT_DOUBLE_EQ(o.expectation(0.5), 0.45);
+  EXPECT_DOUBLE_EQ(o.expectation(0.0), 0.2);
+}
+
+TEST(Opinion, DiscountShrinksTowardUncertainty) {
+  const Opinion full_trust{1.0, 0.0, 0.0};
+  const Opinion no_trust{0.0, 1.0, 0.0};
+  const Opinion statement = Opinion::from_value(0.9, 0.1);
+
+  const Opinion kept = discount(full_trust, statement);
+  EXPECT_NEAR(kept.belief, statement.belief, 1e-12);
+
+  const Opinion dropped = discount(no_trust, statement);
+  EXPECT_NEAR(dropped.uncertainty, 1.0, 1e-12);
+  EXPECT_TRUE(dropped.valid());
+}
+
+TEST(Opinion, DiscountNeverIncreasesBelief) {
+  for (double t : {0.1, 0.5, 0.9}) {
+    const Opinion trust_op = Opinion::from_value(t, 0.1);
+    const Opinion statement = Opinion::from_value(0.7, 0.2);
+    const Opinion out = discount(trust_op, statement);
+    EXPECT_LE(out.belief, statement.belief + 1e-12);
+    EXPECT_TRUE(out.valid());
+  }
+}
+
+TEST(Opinion, ConsensusReducesUncertainty) {
+  const Opinion a = Opinion::from_evidence(3.0, 1.0);
+  const Opinion b = Opinion::from_evidence(2.0, 2.0);
+  const Opinion c = consensus(a, b);
+  EXPECT_TRUE(c.valid());
+  EXPECT_LT(c.uncertainty, a.uncertainty);
+  EXPECT_LT(c.uncertainty, b.uncertainty);
+}
+
+TEST(Opinion, ConsensusIsCommutative) {
+  const Opinion a = Opinion::from_evidence(5.0, 1.0);
+  const Opinion b = Opinion::from_evidence(1.0, 4.0);
+  const Opinion ab = consensus(a, b);
+  const Opinion ba = consensus(b, a);
+  EXPECT_NEAR(ab.belief, ba.belief, 1e-12);
+  EXPECT_NEAR(ab.disbelief, ba.disbelief, 1e-12);
+}
+
+TEST(Opinion, ConsensusWithVacuousIsIdentity) {
+  const Opinion a = Opinion::from_evidence(5.0, 2.0);
+  const Opinion vac{0.0, 0.0, 1.0};
+  const Opinion c = consensus(a, vac);
+  EXPECT_NEAR(c.belief, a.belief, 1e-12);
+  EXPECT_NEAR(c.disbelief, a.disbelief, 1e-12);
+}
+
+TEST(Opinion, ConsensusOfDogmaticOpinionsAverages) {
+  const Opinion a{1.0, 0.0, 0.0};
+  const Opinion b{0.0, 1.0, 0.0};
+  const Opinion c = consensus(a, b);
+  EXPECT_NEAR(c.belief, 0.5, 1e-12);
+  EXPECT_NEAR(c.disbelief, 0.5, 1e-12);
+}
+
+TEST(Opinion, EvidenceConsensusMatchesPooledEvidence) {
+  // Consensus of beta-evidence opinions equals the opinion of the pooled
+  // evidence — the defining property of the mapping.
+  const Opinion a = Opinion::from_evidence(3.0, 1.0);
+  const Opinion b = Opinion::from_evidence(2.0, 4.0);
+  const Opinion pooled = Opinion::from_evidence(5.0, 5.0);
+  const Opinion c = consensus(a, b);
+  EXPECT_NEAR(c.belief, pooled.belief, 1e-9);
+  EXPECT_NEAR(c.uncertainty, pooled.uncertainty, 1e-9);
+}
+
+// ------------------------------------------------------------ propagation
+
+TEST(Propagation, NoRecommendationsGiveVacuousOpinion) {
+  TrustStore store;
+  RecommendationBuffer buffer;
+  const Opinion o = indirect_opinion(store, buffer, 9);
+  EXPECT_DOUBLE_EQ(o.uncertainty, 1.0);
+}
+
+TEST(Propagation, TrustedRecommenderMovesOpinion) {
+  TrustStore store;
+  store.update(1, {.ratings = 20}, 1.0);  // rater 1 is trusted
+  RecommendationBuffer buffer;
+  buffer.add({1, 9, 1.0});  // rater 1 endorses rater 9
+  const Opinion o = indirect_opinion(store, buffer, 9);
+  EXPECT_GT(o.expectation(), 0.5);
+}
+
+TEST(Propagation, UntrustedRecommenderBarelyMoves) {
+  TrustStore store;
+  store.update(1, {.ratings = 20, .filtered = 20}, 1.0);  // distrusted
+  RecommendationBuffer buffer;
+  buffer.add({1, 9, 1.0});
+  const Opinion o = indirect_opinion(store, buffer, 9);
+  EXPECT_NEAR(o.expectation(), 0.5, 0.05);
+}
+
+TEST(Propagation, SelfRecommendationIgnored) {
+  TrustStore store;
+  store.update(9, {.ratings = 20}, 1.0);
+  RecommendationBuffer buffer;
+  buffer.add({9, 9, 1.0});
+  const Opinion o = indirect_opinion(store, buffer, 9);
+  EXPECT_DOUBLE_EQ(o.uncertainty, 1.0);
+}
+
+TEST(Propagation, CombinedTrustBlendsDirectAndIndirect) {
+  TrustStore store;
+  store.update(1, {.ratings = 20}, 1.0);                 // trusted recommender
+  store.update(9, {.ratings = 4, .filtered = 2}, 1.0);   // middling direct
+  RecommendationBuffer buffer;
+  buffer.add({1, 9, 1.0});
+  const double combined = combined_trust(store, buffer, 9);
+  const double direct_only = store.trust(9);
+  EXPECT_GT(combined, direct_only);  // endorsement helps
+}
+
+TEST(Propagation, BufferRejectsOutOfRangeScore) {
+  RecommendationBuffer buffer;
+  EXPECT_THROW(buffer.add({1, 2, 1.5}), PreconditionError);
+}
+
+TEST(Propagation, AboutFiltersBySubject) {
+  RecommendationBuffer buffer;
+  buffer.add({1, 9, 1.0});
+  buffer.add({2, 9, 0.0});
+  buffer.add({1, 5, 1.0});
+  EXPECT_EQ(buffer.about(9).size(), 2u);
+  EXPECT_EQ(buffer.about(5).size(), 1u);
+  EXPECT_TRUE(buffer.about(77).empty());
+}
+
+}  // namespace
+}  // namespace trustrate::trust
