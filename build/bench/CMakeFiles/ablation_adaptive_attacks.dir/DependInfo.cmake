@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_adaptive_attacks.cpp" "bench/CMakeFiles/ablation_adaptive_attacks.dir/ablation_adaptive_attacks.cpp.o" "gcc" "bench/CMakeFiles/ablation_adaptive_attacks.dir/ablation_adaptive_attacks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/trustrate_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trustrate_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trustrate_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trustrate_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trustrate_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trustrate_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trustrate_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trustrate_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trustrate_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

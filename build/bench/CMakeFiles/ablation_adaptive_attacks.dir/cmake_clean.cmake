@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adaptive_attacks.dir/ablation_adaptive_attacks.cpp.o"
+  "CMakeFiles/ablation_adaptive_attacks.dir/ablation_adaptive_attacks.cpp.o.d"
+  "ablation_adaptive_attacks"
+  "ablation_adaptive_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_baseline_detectors.dir/ablation_baseline_detectors.cpp.o"
+  "CMakeFiles/ablation_baseline_detectors.dir/ablation_baseline_detectors.cpp.o.d"
+  "ablation_baseline_detectors"
+  "ablation_baseline_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_baseline_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

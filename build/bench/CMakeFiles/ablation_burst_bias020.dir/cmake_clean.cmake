@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_burst_bias020.dir/ablation_burst_bias020.cpp.o"
+  "CMakeFiles/ablation_burst_bias020.dir/ablation_burst_bias020.cpp.o.d"
+  "ablation_burst_bias020"
+  "ablation_burst_bias020.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_burst_bias020.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_burst_bias020.
+# This may be replaced when dependencies are built.

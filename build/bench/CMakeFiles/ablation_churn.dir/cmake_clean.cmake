@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_churn.dir/ablation_churn.cpp.o"
+  "CMakeFiles/ablation_churn.dir/ablation_churn.cpp.o.d"
+  "ablation_churn"
+  "ablation_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_combined_detectors.dir/ablation_combined_detectors.cpp.o"
+  "CMakeFiles/ablation_combined_detectors.dir/ablation_combined_detectors.cpp.o.d"
+  "ablation_combined_detectors"
+  "ablation_combined_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_combined_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_debiasing.dir/ablation_debiasing.cpp.o"
+  "CMakeFiles/ablation_debiasing.dir/ablation_debiasing.cpp.o.d"
+  "ablation_debiasing"
+  "ablation_debiasing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_debiasing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_detection_latency.dir/ablation_detection_latency.cpp.o"
+  "CMakeFiles/ablation_detection_latency.dir/ablation_detection_latency.cpp.o.d"
+  "ablation_detection_latency"
+  "ablation_detection_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_detection_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

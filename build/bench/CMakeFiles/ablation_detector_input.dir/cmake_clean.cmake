@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_detector_input.dir/ablation_detector_input.cpp.o"
+  "CMakeFiles/ablation_detector_input.dir/ablation_detector_input.cpp.o.d"
+  "ablation_detector_input"
+  "ablation_detector_input.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_detector_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_detector_input.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_forgetting.dir/ablation_forgetting.cpp.o"
+  "CMakeFiles/ablation_forgetting.dir/ablation_forgetting.cpp.o.d"
+  "ablation_forgetting"
+  "ablation_forgetting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_forgetting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_procedure2_b.dir/ablation_procedure2_b.cpp.o"
+  "CMakeFiles/ablation_procedure2_b.dir/ablation_procedure2_b.cpp.o.d"
+  "ablation_procedure2_b"
+  "ablation_procedure2_b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_procedure2_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

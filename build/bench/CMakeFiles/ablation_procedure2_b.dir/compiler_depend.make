@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_procedure2_b.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_threshold_roc.dir/ablation_threshold_roc.cpp.o"
+  "CMakeFiles/ablation_threshold_roc.dir/ablation_threshold_roc.cpp.o.d"
+  "ablation_threshold_roc"
+  "ablation_threshold_roc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_threshold_roc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

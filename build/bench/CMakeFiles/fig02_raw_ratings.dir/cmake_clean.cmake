@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_raw_ratings.dir/fig02_raw_ratings.cpp.o"
+  "CMakeFiles/fig02_raw_ratings.dir/fig02_raw_ratings.cpp.o.d"
+  "fig02_raw_ratings"
+  "fig02_raw_ratings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_raw_ratings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig02_raw_ratings.
+# This may be replaced when dependencies are built.

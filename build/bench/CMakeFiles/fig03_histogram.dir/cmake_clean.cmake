@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_histogram.dir/fig03_histogram.cpp.o"
+  "CMakeFiles/fig03_histogram.dir/fig03_histogram.cpp.o.d"
+  "fig03_histogram"
+  "fig03_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

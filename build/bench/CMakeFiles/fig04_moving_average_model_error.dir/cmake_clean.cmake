@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_moving_average_model_error.dir/fig04_moving_average_model_error.cpp.o"
+  "CMakeFiles/fig04_moving_average_model_error.dir/fig04_moving_average_model_error.cpp.o.d"
+  "fig04_moving_average_model_error"
+  "fig04_moving_average_model_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_moving_average_model_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

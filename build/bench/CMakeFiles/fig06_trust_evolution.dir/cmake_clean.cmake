@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_trust_evolution.dir/fig06_trust_evolution.cpp.o"
+  "CMakeFiles/fig06_trust_evolution.dir/fig06_trust_evolution.cpp.o.d"
+  "fig06_trust_evolution"
+  "fig06_trust_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_trust_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

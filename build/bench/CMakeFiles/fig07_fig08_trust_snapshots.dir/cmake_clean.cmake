@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_fig08_trust_snapshots.dir/fig07_fig08_trust_snapshots.cpp.o"
+  "CMakeFiles/fig07_fig08_trust_snapshots.dir/fig07_fig08_trust_snapshots.cpp.o.d"
+  "fig07_fig08_trust_snapshots"
+  "fig07_fig08_trust_snapshots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_fig08_trust_snapshots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_honest_products.dir/fig10_honest_products.cpp.o"
+  "CMakeFiles/fig10_honest_products.dir/fig10_honest_products.cpp.o.d"
+  "fig10_honest_products"
+  "fig10_honest_products.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_honest_products.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

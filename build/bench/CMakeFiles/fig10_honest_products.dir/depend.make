@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_honest_products.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_dishonest_products_bias015.dir/fig11_dishonest_products_bias015.cpp.o"
+  "CMakeFiles/fig11_dishonest_products_bias015.dir/fig11_dishonest_products_bias015.cpp.o.d"
+  "fig11_dishonest_products_bias015"
+  "fig11_dishonest_products_bias015.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_dishonest_products_bias015.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_dishonest_products_bias015.
+# This may be replaced when dependencies are built.

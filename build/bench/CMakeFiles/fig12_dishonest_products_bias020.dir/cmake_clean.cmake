@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_dishonest_products_bias020.dir/fig12_dishonest_products_bias020.cpp.o"
+  "CMakeFiles/fig12_dishonest_products_bias020.dir/fig12_dishonest_products_bias020.cpp.o.d"
+  "fig12_dishonest_products_bias020"
+  "fig12_dishonest_products_bias020.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_dishonest_products_bias020.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_dishonest_products_bias020.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_illustrative_detection.dir/tab01_illustrative_detection.cpp.o"
+  "CMakeFiles/tab01_illustrative_detection.dir/tab01_illustrative_detection.cpp.o.d"
+  "tab01_illustrative_detection"
+  "tab01_illustrative_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_illustrative_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

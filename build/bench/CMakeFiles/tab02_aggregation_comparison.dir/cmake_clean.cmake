@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_aggregation_comparison.dir/tab02_aggregation_comparison.cpp.o"
+  "CMakeFiles/tab02_aggregation_comparison.dir/tab02_aggregation_comparison.cpp.o.d"
+  "tab02_aggregation_comparison"
+  "tab02_aggregation_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_aggregation_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_attack_power_analysis.dir/tab03_attack_power_analysis.cpp.o"
+  "CMakeFiles/tab03_attack_power_analysis.dir/tab03_attack_power_analysis.cpp.o.d"
+  "tab03_attack_power_analysis"
+  "tab03_attack_power_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_attack_power_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_trust_model.dir/custom_trust_model.cpp.o"
+  "CMakeFiles/custom_trust_model.dir/custom_trust_model.cpp.o.d"
+  "custom_trust_model"
+  "custom_trust_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_trust_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marketplace_simulation.dir/marketplace_simulation.cpp.o"
+  "CMakeFiles/marketplace_simulation.dir/marketplace_simulation.cpp.o.d"
+  "marketplace_simulation"
+  "marketplace_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marketplace_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

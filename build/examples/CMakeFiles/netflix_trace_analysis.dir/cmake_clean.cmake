@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netflix_trace_analysis.dir/netflix_trace_analysis.cpp.o"
+  "CMakeFiles/netflix_trace_analysis.dir/netflix_trace_analysis.cpp.o.d"
+  "netflix_trace_analysis"
+  "netflix_trace_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netflix_trace_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trustrate_cli.dir/trustrate_cli.cpp.o"
+  "CMakeFiles/trustrate_cli.dir/trustrate_cli.cpp.o.d"
+  "trustrate_cli"
+  "trustrate_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trustrate_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

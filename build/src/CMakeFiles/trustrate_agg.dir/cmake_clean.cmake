@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trustrate_agg.dir/agg/aggregator.cpp.o"
+  "CMakeFiles/trustrate_agg.dir/agg/aggregator.cpp.o.d"
+  "CMakeFiles/trustrate_agg.dir/agg/attack_power.cpp.o"
+  "CMakeFiles/trustrate_agg.dir/agg/attack_power.cpp.o.d"
+  "libtrustrate_agg.a"
+  "libtrustrate_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trustrate_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

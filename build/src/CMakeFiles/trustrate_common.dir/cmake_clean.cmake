@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trustrate_common.dir/common/csv.cpp.o"
+  "CMakeFiles/trustrate_common.dir/common/csv.cpp.o.d"
+  "CMakeFiles/trustrate_common.dir/common/error.cpp.o"
+  "CMakeFiles/trustrate_common.dir/common/error.cpp.o.d"
+  "CMakeFiles/trustrate_common.dir/common/math.cpp.o"
+  "CMakeFiles/trustrate_common.dir/common/math.cpp.o.d"
+  "CMakeFiles/trustrate_common.dir/common/rng.cpp.o"
+  "CMakeFiles/trustrate_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/trustrate_common.dir/common/types.cpp.o"
+  "CMakeFiles/trustrate_common.dir/common/types.cpp.o.d"
+  "libtrustrate_common.a"
+  "libtrustrate_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trustrate_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trustrate_core.dir/core/evaluation.cpp.o"
+  "CMakeFiles/trustrate_core.dir/core/evaluation.cpp.o.d"
+  "CMakeFiles/trustrate_core.dir/core/marketplace_experiment.cpp.o"
+  "CMakeFiles/trustrate_core.dir/core/marketplace_experiment.cpp.o.d"
+  "CMakeFiles/trustrate_core.dir/core/metrics.cpp.o"
+  "CMakeFiles/trustrate_core.dir/core/metrics.cpp.o.d"
+  "CMakeFiles/trustrate_core.dir/core/streaming.cpp.o"
+  "CMakeFiles/trustrate_core.dir/core/streaming.cpp.o.d"
+  "CMakeFiles/trustrate_core.dir/core/system.cpp.o"
+  "CMakeFiles/trustrate_core.dir/core/system.cpp.o.d"
+  "libtrustrate_core.a"
+  "libtrustrate_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trustrate_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/inject.cpp" "src/CMakeFiles/trustrate_data.dir/data/inject.cpp.o" "gcc" "src/CMakeFiles/trustrate_data.dir/data/inject.cpp.o.d"
+  "/root/repo/src/data/netflix_like.cpp" "src/CMakeFiles/trustrate_data.dir/data/netflix_like.cpp.o" "gcc" "src/CMakeFiles/trustrate_data.dir/data/netflix_like.cpp.o.d"
+  "/root/repo/src/data/trace.cpp" "src/CMakeFiles/trustrate_data.dir/data/trace.cpp.o" "gcc" "src/CMakeFiles/trustrate_data.dir/data/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/trustrate_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trustrate_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trustrate_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trustrate_data.dir/data/inject.cpp.o"
+  "CMakeFiles/trustrate_data.dir/data/inject.cpp.o.d"
+  "CMakeFiles/trustrate_data.dir/data/netflix_like.cpp.o"
+  "CMakeFiles/trustrate_data.dir/data/netflix_like.cpp.o.d"
+  "CMakeFiles/trustrate_data.dir/data/trace.cpp.o"
+  "CMakeFiles/trustrate_data.dir/data/trace.cpp.o.d"
+  "libtrustrate_data.a"
+  "libtrustrate_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trustrate_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/adaptive_threshold.cpp" "src/CMakeFiles/trustrate_detect.dir/detect/adaptive_threshold.cpp.o" "gcc" "src/CMakeFiles/trustrate_detect.dir/detect/adaptive_threshold.cpp.o.d"
+  "/root/repo/src/detect/ar_detector.cpp" "src/CMakeFiles/trustrate_detect.dir/detect/ar_detector.cpp.o" "gcc" "src/CMakeFiles/trustrate_detect.dir/detect/ar_detector.cpp.o.d"
+  "/root/repo/src/detect/beta_filter.cpp" "src/CMakeFiles/trustrate_detect.dir/detect/beta_filter.cpp.o" "gcc" "src/CMakeFiles/trustrate_detect.dir/detect/beta_filter.cpp.o.d"
+  "/root/repo/src/detect/cluster_filter.cpp" "src/CMakeFiles/trustrate_detect.dir/detect/cluster_filter.cpp.o" "gcc" "src/CMakeFiles/trustrate_detect.dir/detect/cluster_filter.cpp.o.d"
+  "/root/repo/src/detect/cusum_detector.cpp" "src/CMakeFiles/trustrate_detect.dir/detect/cusum_detector.cpp.o" "gcc" "src/CMakeFiles/trustrate_detect.dir/detect/cusum_detector.cpp.o.d"
+  "/root/repo/src/detect/endorsement_filter.cpp" "src/CMakeFiles/trustrate_detect.dir/detect/endorsement_filter.cpp.o" "gcc" "src/CMakeFiles/trustrate_detect.dir/detect/endorsement_filter.cpp.o.d"
+  "/root/repo/src/detect/entropy_filter.cpp" "src/CMakeFiles/trustrate_detect.dir/detect/entropy_filter.cpp.o" "gcc" "src/CMakeFiles/trustrate_detect.dir/detect/entropy_filter.cpp.o.d"
+  "/root/repo/src/detect/filter.cpp" "src/CMakeFiles/trustrate_detect.dir/detect/filter.cpp.o" "gcc" "src/CMakeFiles/trustrate_detect.dir/detect/filter.cpp.o.d"
+  "/root/repo/src/detect/rate_detector.cpp" "src/CMakeFiles/trustrate_detect.dir/detect/rate_detector.cpp.o" "gcc" "src/CMakeFiles/trustrate_detect.dir/detect/rate_detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/trustrate_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trustrate_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trustrate_signal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trustrate_detect.dir/detect/adaptive_threshold.cpp.o"
+  "CMakeFiles/trustrate_detect.dir/detect/adaptive_threshold.cpp.o.d"
+  "CMakeFiles/trustrate_detect.dir/detect/ar_detector.cpp.o"
+  "CMakeFiles/trustrate_detect.dir/detect/ar_detector.cpp.o.d"
+  "CMakeFiles/trustrate_detect.dir/detect/beta_filter.cpp.o"
+  "CMakeFiles/trustrate_detect.dir/detect/beta_filter.cpp.o.d"
+  "CMakeFiles/trustrate_detect.dir/detect/cluster_filter.cpp.o"
+  "CMakeFiles/trustrate_detect.dir/detect/cluster_filter.cpp.o.d"
+  "CMakeFiles/trustrate_detect.dir/detect/cusum_detector.cpp.o"
+  "CMakeFiles/trustrate_detect.dir/detect/cusum_detector.cpp.o.d"
+  "CMakeFiles/trustrate_detect.dir/detect/endorsement_filter.cpp.o"
+  "CMakeFiles/trustrate_detect.dir/detect/endorsement_filter.cpp.o.d"
+  "CMakeFiles/trustrate_detect.dir/detect/entropy_filter.cpp.o"
+  "CMakeFiles/trustrate_detect.dir/detect/entropy_filter.cpp.o.d"
+  "CMakeFiles/trustrate_detect.dir/detect/filter.cpp.o"
+  "CMakeFiles/trustrate_detect.dir/detect/filter.cpp.o.d"
+  "CMakeFiles/trustrate_detect.dir/detect/rate_detector.cpp.o"
+  "CMakeFiles/trustrate_detect.dir/detect/rate_detector.cpp.o.d"
+  "libtrustrate_detect.a"
+  "libtrustrate_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trustrate_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trustrate_signal.dir/signal/ar.cpp.o"
+  "CMakeFiles/trustrate_signal.dir/signal/ar.cpp.o.d"
+  "CMakeFiles/trustrate_signal.dir/signal/matrix.cpp.o"
+  "CMakeFiles/trustrate_signal.dir/signal/matrix.cpp.o.d"
+  "CMakeFiles/trustrate_signal.dir/signal/spectrum.cpp.o"
+  "CMakeFiles/trustrate_signal.dir/signal/spectrum.cpp.o.d"
+  "CMakeFiles/trustrate_signal.dir/signal/window.cpp.o"
+  "CMakeFiles/trustrate_signal.dir/signal/window.cpp.o.d"
+  "libtrustrate_signal.a"
+  "libtrustrate_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trustrate_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/illustrative.cpp" "src/CMakeFiles/trustrate_sim.dir/sim/illustrative.cpp.o" "gcc" "src/CMakeFiles/trustrate_sim.dir/sim/illustrative.cpp.o.d"
+  "/root/repo/src/sim/marketplace.cpp" "src/CMakeFiles/trustrate_sim.dir/sim/marketplace.cpp.o" "gcc" "src/CMakeFiles/trustrate_sim.dir/sim/marketplace.cpp.o.d"
+  "/root/repo/src/sim/quality.cpp" "src/CMakeFiles/trustrate_sim.dir/sim/quality.cpp.o" "gcc" "src/CMakeFiles/trustrate_sim.dir/sim/quality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/trustrate_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trustrate_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

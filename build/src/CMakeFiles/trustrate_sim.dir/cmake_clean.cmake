@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trustrate_sim.dir/sim/illustrative.cpp.o"
+  "CMakeFiles/trustrate_sim.dir/sim/illustrative.cpp.o.d"
+  "CMakeFiles/trustrate_sim.dir/sim/marketplace.cpp.o"
+  "CMakeFiles/trustrate_sim.dir/sim/marketplace.cpp.o.d"
+  "CMakeFiles/trustrate_sim.dir/sim/quality.cpp.o"
+  "CMakeFiles/trustrate_sim.dir/sim/quality.cpp.o.d"
+  "libtrustrate_sim.a"
+  "libtrustrate_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trustrate_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cpp" "src/CMakeFiles/trustrate_stats.dir/stats/descriptive.cpp.o" "gcc" "src/CMakeFiles/trustrate_stats.dir/stats/descriptive.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/trustrate_stats.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/trustrate_stats.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/intervals.cpp" "src/CMakeFiles/trustrate_stats.dir/stats/intervals.cpp.o" "gcc" "src/CMakeFiles/trustrate_stats.dir/stats/intervals.cpp.o.d"
+  "/root/repo/src/stats/moving.cpp" "src/CMakeFiles/trustrate_stats.dir/stats/moving.cpp.o" "gcc" "src/CMakeFiles/trustrate_stats.dir/stats/moving.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "src/CMakeFiles/trustrate_stats.dir/stats/special.cpp.o" "gcc" "src/CMakeFiles/trustrate_stats.dir/stats/special.cpp.o.d"
+  "/root/repo/src/stats/whiteness.cpp" "src/CMakeFiles/trustrate_stats.dir/stats/whiteness.cpp.o" "gcc" "src/CMakeFiles/trustrate_stats.dir/stats/whiteness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/trustrate_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trustrate_stats.dir/stats/descriptive.cpp.o"
+  "CMakeFiles/trustrate_stats.dir/stats/descriptive.cpp.o.d"
+  "CMakeFiles/trustrate_stats.dir/stats/histogram.cpp.o"
+  "CMakeFiles/trustrate_stats.dir/stats/histogram.cpp.o.d"
+  "CMakeFiles/trustrate_stats.dir/stats/intervals.cpp.o"
+  "CMakeFiles/trustrate_stats.dir/stats/intervals.cpp.o.d"
+  "CMakeFiles/trustrate_stats.dir/stats/moving.cpp.o"
+  "CMakeFiles/trustrate_stats.dir/stats/moving.cpp.o.d"
+  "CMakeFiles/trustrate_stats.dir/stats/special.cpp.o"
+  "CMakeFiles/trustrate_stats.dir/stats/special.cpp.o.d"
+  "CMakeFiles/trustrate_stats.dir/stats/whiteness.cpp.o"
+  "CMakeFiles/trustrate_stats.dir/stats/whiteness.cpp.o.d"
+  "libtrustrate_stats.a"
+  "libtrustrate_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trustrate_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trust/forgetting.cpp" "src/CMakeFiles/trustrate_trust.dir/trust/forgetting.cpp.o" "gcc" "src/CMakeFiles/trustrate_trust.dir/trust/forgetting.cpp.o.d"
+  "/root/repo/src/trust/opinion.cpp" "src/CMakeFiles/trustrate_trust.dir/trust/opinion.cpp.o" "gcc" "src/CMakeFiles/trustrate_trust.dir/trust/opinion.cpp.o.d"
+  "/root/repo/src/trust/propagation.cpp" "src/CMakeFiles/trustrate_trust.dir/trust/propagation.cpp.o" "gcc" "src/CMakeFiles/trustrate_trust.dir/trust/propagation.cpp.o.d"
+  "/root/repo/src/trust/rater_profile.cpp" "src/CMakeFiles/trustrate_trust.dir/trust/rater_profile.cpp.o" "gcc" "src/CMakeFiles/trustrate_trust.dir/trust/rater_profile.cpp.o.d"
+  "/root/repo/src/trust/record.cpp" "src/CMakeFiles/trustrate_trust.dir/trust/record.cpp.o" "gcc" "src/CMakeFiles/trustrate_trust.dir/trust/record.cpp.o.d"
+  "/root/repo/src/trust/store_io.cpp" "src/CMakeFiles/trustrate_trust.dir/trust/store_io.cpp.o" "gcc" "src/CMakeFiles/trustrate_trust.dir/trust/store_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/trustrate_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trustrate_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trustrate_trust.dir/trust/forgetting.cpp.o"
+  "CMakeFiles/trustrate_trust.dir/trust/forgetting.cpp.o.d"
+  "CMakeFiles/trustrate_trust.dir/trust/opinion.cpp.o"
+  "CMakeFiles/trustrate_trust.dir/trust/opinion.cpp.o.d"
+  "CMakeFiles/trustrate_trust.dir/trust/propagation.cpp.o"
+  "CMakeFiles/trustrate_trust.dir/trust/propagation.cpp.o.d"
+  "CMakeFiles/trustrate_trust.dir/trust/rater_profile.cpp.o"
+  "CMakeFiles/trustrate_trust.dir/trust/rater_profile.cpp.o.d"
+  "CMakeFiles/trustrate_trust.dir/trust/record.cpp.o"
+  "CMakeFiles/trustrate_trust.dir/trust/record.cpp.o.d"
+  "CMakeFiles/trustrate_trust.dir/trust/store_io.cpp.o"
+  "CMakeFiles/trustrate_trust.dir/trust/store_io.cpp.o.d"
+  "libtrustrate_trust.a"
+  "libtrustrate_trust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trustrate_trust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_threshold_test.dir/adaptive_threshold_test.cpp.o"
+  "CMakeFiles/adaptive_threshold_test.dir/adaptive_threshold_test.cpp.o.d"
+  "adaptive_threshold_test"
+  "adaptive_threshold_test.pdb"
+  "adaptive_threshold_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_threshold_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

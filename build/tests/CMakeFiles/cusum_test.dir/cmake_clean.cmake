@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cusum_test.dir/cusum_test.cpp.o"
+  "CMakeFiles/cusum_test.dir/cusum_test.cpp.o.d"
+  "cusum_test"
+  "cusum_test.pdb"
+  "cusum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cusum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marketplace_experiment_test.dir/marketplace_experiment_test.cpp.o"
+  "CMakeFiles/marketplace_experiment_test.dir/marketplace_experiment_test.cpp.o.d"
+  "marketplace_experiment_test"
+  "marketplace_experiment_test.pdb"
+  "marketplace_experiment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marketplace_experiment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rater_profile_test.dir/rater_profile_test.cpp.o"
+  "CMakeFiles/rater_profile_test.dir/rater_profile_test.cpp.o.d"
+  "rater_profile_test"
+  "rater_profile_test.pdb"
+  "rater_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rater_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
