@@ -1,0 +1,164 @@
+// Ablation: ingestion fault tolerance (extension beyond the paper).
+//
+// The hardened streaming front-end (core/ingest.hpp) claims that hostile
+// delivery — out-of-order arrivals, client retries, corrupted records —
+// does not degrade detection. This bench quantifies that claim: a six-month
+// multi-product stream with monthly shill campaigns is run clean, then
+// re-run under each transport fault class injected by data::FaultInjector,
+// and detection quality (mean shill vs honest trust, shills flagged below
+// the malicious threshold) is compared against the clean baseline. For the
+// repairable classes (bounded reordering, duplicates) the trust values must
+// match the clean run exactly; for lossy classes (drops, corruption) the
+// interesting question is how gracefully detection degrades.
+#include <cstdio>
+#include <string>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "core/streaming.hpp"
+#include "data/inject.hpp"
+
+using namespace trustrate;
+
+namespace {
+
+core::SystemConfig pipeline_config() {
+  core::SystemConfig cfg;
+  cfg.filter.q = 0.02;
+  cfg.ar.window_days = 8.0;
+  cfg.ar.step_days = 2.0;
+  cfg.ar.error_threshold = 0.024;
+  cfg.b = 10.0;
+  return cfg;
+}
+
+/// Six months, four products, a shill block attacking one product per month.
+RatingSeries campaign_stream(std::uint64_t seed) {
+  Rng rng(seed);
+  RatingSeries stream;
+  RaterId shill = 9000;
+  for (int month = 0; month < 6; ++month) {
+    const double t0 = month * 30.0;
+    for (ProductId p = 1; p <= 4; ++p) {
+      for (double t = t0 + rng.exponential(6.0); t < t0 + 30.0;
+           t += rng.exponential(6.0)) {
+        stream.push_back(
+            {t, quantize_unit(clamp_unit(rng.gaussian(0.55, 0.25)), 10, false),
+             static_cast<RaterId>(rng.uniform_int(0, 400)), p,
+             RatingLabel::kHonest});
+      }
+    }
+    const auto target = static_cast<ProductId>(1 + month % 4);
+    for (double t = t0 + 6.0 + rng.exponential(16.0); t < t0 + 16.0;
+         t += rng.exponential(16.0)) {
+      stream.push_back(
+          {t, quantize_unit(clamp_unit(rng.gaussian(0.72, 0.02)), 10, false),
+           shill++, target, RatingLabel::kCollaborative2});
+    }
+  }
+  sort_by_time(stream);
+  return stream;
+}
+
+struct RunResult {
+  double shill_trust = 0.0;
+  double honest_trust = 0.0;
+  double shill_flagged = 0.0;  ///< fraction of seen shills below threshold
+  core::IngestStats stats;
+  std::size_t degraded = 0;
+};
+
+RunResult run(const RatingSeries& arrivals, core::IngestConfig ingest) {
+  core::StreamingRatingSystem stream(pipeline_config(), 30.0, 2, ingest);
+  for (const Rating& r : arrivals) stream.submit(r);
+  stream.flush();
+
+  RunResult result;
+  result.stats = stream.ingest_stats();
+  result.degraded = stream.degraded_epochs();
+  int shills = 0;
+  int honest = 0;
+  int flagged = 0;
+  for (const auto& [id, rec] : stream.system().trust_store().records()) {
+    if (id >= 9000) {
+      result.shill_trust += rec.trust();
+      ++shills;
+      if (rec.trust() < pipeline_config().malicious_threshold) ++flagged;
+    } else {
+      result.honest_trust += rec.trust();
+      ++honest;
+    }
+  }
+  if (shills > 0) {
+    result.shill_trust /= shills;
+    result.shill_flagged = static_cast<double>(flagged) / shills;
+  }
+  if (honest > 0) result.honest_trust /= honest;
+  return result;
+}
+
+void report(const std::string& name, const RunResult& r,
+            const RunResult& baseline) {
+  std::printf(
+      "%-28s %8zu %8zu %6zu %6zu %6zu | %6.3f %6.3f %5.2f | %s\n",
+      name.c_str(), r.stats.submitted, r.stats.accepted, r.stats.reordered,
+      r.stats.duplicates, r.stats.dropped_late + r.stats.malformed,
+      r.shill_trust, r.honest_trust, r.shill_flagged,
+      r.shill_trust == baseline.shill_trust &&
+              r.honest_trust == baseline.honest_trust
+          ? "exact"
+          : "differs");
+}
+
+}  // namespace
+
+int main() {
+  const RatingSeries clean = campaign_stream(301);
+
+  std::printf("=== Ablation: detection quality under transport faults ===\n");
+  std::printf("six months, 4 products, monthly shill campaigns; lateness "
+              "bound 3 days\n\n");
+  std::printf("%-28s %8s %8s %6s %6s %6s | %6s %6s %5s | vs clean\n",
+              "fault class", "submit", "accept", "reord", "dup", "dead",
+              "shill", "honest", "det");
+
+  const core::IngestConfig hardened{.max_lateness_days = 3.0};
+  const RunResult baseline = run(clean, hardened);
+  report("clean", baseline, baseline);
+
+  {
+    data::FaultInjector inj({.delay_fraction = 0.3, .max_delay_days = 3.0},
+                            11);
+    report("reorder (within bound)", run(inj.corrupt(clean), hardened),
+           baseline);
+  }
+  {
+    data::FaultInjector inj({.delay_fraction = 0.3, .max_delay_days = 12.0},
+                            12);
+    report("reorder (beyond bound)", run(inj.corrupt(clean), hardened),
+           baseline);
+  }
+  {
+    data::FaultInjector inj({.duplicate_fraction = 0.25}, 13);
+    report("duplicates (25%)", run(inj.corrupt(clean), hardened), baseline);
+  }
+  {
+    data::FaultInjector inj({.corrupt_fraction = 0.10}, 14);
+    report("corruption (10%)", run(inj.corrupt(clean), hardened), baseline);
+  }
+  {
+    data::FaultInjector inj({.delay_fraction = 0.2,
+                             .max_delay_days = 3.0,
+                             .duplicate_fraction = 0.1,
+                             .corrupt_fraction = 0.05},
+                            15);
+    report("mixed (all classes)", run(inj.corrupt(clean), hardened), baseline);
+  }
+
+  std::printf(
+      "\nnote: 'det' is the fraction of shill identities below the trust\n"
+      "threshold. Bounded reordering and duplicates are repaired exactly\n"
+      "('exact' = bit-identical mean trust); drops and corruption thin the\n"
+      "evidence, so detection should degrade gracefully, not collapse.\n");
+  return 0;
+}

@@ -1,17 +1,42 @@
-// Live-stream monitoring: ingest a time-ordered rating stream one rating
-// at a time through StreamingRatingSystem, with a RateAnomalyDetector
-// running alongside as an early-warning channel — the deployment shape of
-// the paper's system.
+// Live-stream monitoring with a hostile transport: ingest a rating stream
+// that arrives out of order, duplicated, and occasionally corrupted, watch
+// the quarantine counters, survive a mid-stream crash via checkpoint/
+// recovery, and keep a RateAnomalyDetector running alongside as an
+// early-warning channel — the deployment shape of the paper's system.
 //
 //   build/examples/streaming_monitor
 #include <cstdio>
+#include <sstream>
 
 #include "common/math.hpp"
 #include "common/rng.hpp"
+#include "core/checkpoint.hpp"
 #include "core/streaming.hpp"
+#include "data/inject.hpp"
 #include "detect/rate_detector.hpp"
 
 using namespace trustrate;
+
+namespace {
+
+core::SystemConfig monitor_config() {
+  core::SystemConfig config;
+  config.filter.q = 0.02;
+  config.ar.window_days = 8.0;
+  config.ar.step_days = 2.0;
+  config.ar.error_threshold = 0.024;
+  config.b = 10.0;
+  return config;
+}
+
+void print_stats(const core::IngestStats& s) {
+  std::printf("  ingest: %zu submitted, %zu accepted (%zu reordered), "
+              "%zu duplicates, %zu late, %zu malformed\n",
+              s.submitted, s.accepted, s.reordered, s.duplicates,
+              s.dropped_late, s.malformed);
+}
+
+}  // namespace
 
 int main() {
   // Four months of a single product's stream; months 2 and 4 carry
@@ -39,33 +64,77 @@ int main() {
   }
   sort_by_time(stream_data);
 
-  core::SystemConfig config;
-  config.filter.q = 0.02;
-  config.ar.window_days = 8.0;
-  config.ar.step_days = 2.0;
-  config.ar.error_threshold = 0.024;
-  config.b = 10.0;
-  core::StreamingRatingSystem stream(config, /*epoch_days=*/30.0);
+  // The transport is hostile: 20% of arrivals delayed up to 2 days, 5%
+  // duplicated by client retries, 2% corrupted in flight.
+  data::FaultInjector faults({.delay_fraction = 0.2,
+                              .max_delay_days = 2.0,
+                              .duplicate_fraction = 0.05,
+                              .corrupt_fraction = 0.02},
+                             23);
+  const RatingSeries arrivals = faults.corrupt(stream_data);
 
-  std::printf("streaming %zu ratings over 120 days (campaigns in months 2 & 4)\n\n",
-              stream_data.size());
+  // Lateness bound 2 days: the injected delays are fully repairable.
+  const core::IngestConfig ingest{.max_lateness_days = 2.0};
+  core::StreamingRatingSystem stream(monitor_config(), /*epoch_days=*/30.0,
+                                     /*retention_epochs=*/2, ingest);
+
+  std::printf("streaming %zu arrivals (%zu clean ratings) over 120 days "
+              "(campaigns in months 2 & 4)\n\n",
+              arrivals.size(), stream_data.size());
+
+  // --- first half, then a simulated crash ---------------------------------
+  const std::size_t crash_point = arrivals.size() / 2;
   std::size_t last_epoch = 0;
-  for (const Rating& r : stream_data) {
-    stream.submit(r);
+  for (std::size_t i = 0; i < crash_point; ++i) {
+    stream.submit(arrivals[i]);
     if (stream.epochs_closed() != last_epoch) {
       last_epoch = stream.epochs_closed();
-      const auto agg = stream.aggregate(1);
       std::printf("epoch %zu closed: %3zu raters below trust threshold, "
                   "aggregate %.3f (true quality 0.55)\n",
                   last_epoch, stream.malicious().size(),
-                  agg.value_or(-1.0));
+                  stream.aggregate(1).value_or(-1.0));
+      print_stats(stream.ingest_stats());
     }
   }
-  stream.flush();
-  const auto final_agg = stream.aggregate(1);
+
+  // Operators checkpoint on a timer; here, right before the "crash".
+  std::ostringstream checkpoint;
+  core::save_checkpoint(stream, checkpoint);
+  std::printf("\n-- crash at arrival %zu; checkpoint is %zu bytes --\n",
+              crash_point, checkpoint.str().size());
+
+  // --- restart: restore and resume where we left off ----------------------
+  std::istringstream restore(checkpoint.str());
+  auto resumed = core::load_checkpoint(restore, monitor_config());
+  std::printf("-- restarted: %zu epochs closed, %zu ratings pending, "
+              "%zu buffered --\n\n",
+              resumed.epochs_closed(), resumed.pending_ratings(),
+              resumed.buffered_ratings());
+
+  for (std::size_t i = crash_point; i < arrivals.size(); ++i) {
+    resumed.submit(arrivals[i]);
+    if (resumed.epochs_closed() != last_epoch) {
+      last_epoch = resumed.epochs_closed();
+      std::printf("epoch %zu closed: %3zu raters below trust threshold, "
+                  "aggregate %.3f (true quality 0.55)\n",
+                  last_epoch, resumed.malicious().size(),
+                  resumed.aggregate(1).value_or(-1.0));
+      print_stats(resumed.ingest_stats());
+    }
+  }
+  resumed.flush();
   std::printf("final:          %3zu raters below trust threshold, "
               "aggregate %.3f\n",
-              stream.malicious().size(), final_agg.value_or(-1.0));
+              resumed.malicious().size(),
+              resumed.aggregate(1).value_or(-1.0));
+  print_stats(resumed.ingest_stats());
+  if (!resumed.quarantine().empty()) {
+    const auto& q = resumed.quarantine().back();
+    std::printf("  newest dead-letter: %s rating at t=%.2f (%s)\n",
+                core::to_string(q.reason), q.rating.time, q.detail.c_str());
+  }
+  std::printf("  epoch health: %zu/%zu degraded\n\n",
+              resumed.degraded_epochs(), resumed.epoch_health().size());
 
   // Who ended up distrusted? With a single product and ~4 ratings per
   // honest rater, campaign-window bystanders cannot rebuild trust the way
@@ -75,7 +144,7 @@ int main() {
   int shills = 0;
   double honest_trust = 0.0;
   int honest = 0;
-  for (const auto& [id, rec] : stream.system().trust_store().records()) {
+  for (const auto& [id, rec] : resumed.system().trust_store().records()) {
     if (id >= 9000) {
       shill_trust += rec.trust();
       ++shills;

@@ -1,8 +1,10 @@
 #include "common/csv.hpp"
 
+#include <cmath>
 #include <cstdlib>
 #include <istream>
 #include <sstream>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -51,13 +53,29 @@ long long parse_int_field(const std::string& field, const std::string& context) 
   return value;
 }
 
+double parse_finite_field(const std::string& field, const std::string& context) {
+  const double value = parse_double_field(field, context);
+  if (!std::isfinite(value)) {
+    throw DataError("non-finite numeric field '" + field + "' in " + context);
+  }
+  return value;
+}
+
 std::vector<std::vector<std::string>> read_csv(std::istream& in) {
   std::vector<std::vector<std::string>> rows;
+  for (auto& row : read_csv_rows(in)) rows.push_back(std::move(row.fields));
+  return rows;
+}
+
+std::vector<CsvRow> read_csv_rows(std::istream& in) {
+  std::vector<CsvRow> rows;
   std::string line;
+  std::size_t line_number = 0;
   while (std::getline(in, line)) {
+    ++line_number;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
-    rows.push_back(split_csv_line(line));
+    rows.push_back({line_number, split_csv_line(line)});
   }
   return rows;
 }

@@ -22,7 +22,23 @@ double parse_double_field(const std::string& field, const std::string& context);
 /// Parses a non-negative integer field; throws DataError on failure.
 long long parse_int_field(const std::string& field, const std::string& context);
 
+/// Parses a finite double field; throws DataError (mentioning the context)
+/// on non-numeric input and on NaN/infinity, which plain parse_double_field
+/// accepts.
+double parse_finite_field(const std::string& field, const std::string& context);
+
+/// One CSV row together with its 1-based line number in the source stream,
+/// so loader errors can point at the offending file line (blank lines are
+/// skipped but still counted).
+struct CsvRow {
+  std::size_t line = 0;
+  std::vector<std::string> fields;
+};
+
 /// Reads all non-empty lines of a stream as CSV rows.
 std::vector<std::vector<std::string>> read_csv(std::istream& in);
+
+/// Reads all non-empty lines of a stream as CSV rows with line numbers.
+std::vector<CsvRow> read_csv_rows(std::istream& in);
 
 }  // namespace trustrate

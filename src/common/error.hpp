@@ -2,6 +2,10 @@
 //
 // Policy (see DESIGN.md §6): violated preconditions throw; expected numeric
 // degeneracies are reported in-band by the functions that can hit them.
+// The streaming front-end goes one step further: bad *stream data* (late,
+// duplicated, malformed ratings) is classified and quarantined in-band by
+// core/ingest.hpp rather than thrown — a hostile stream must not take the
+// service down.
 #pragma once
 
 #include <stdexcept>
@@ -25,6 +29,14 @@ class PreconditionError : public Error {
 class DataError : public Error {
  public:
   explicit DataError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a streaming checkpoint cannot be restored (truncated file,
+/// unknown version, corrupted section). A DataError so generic persistence
+/// handlers catch it too.
+class CheckpointError : public DataError {
+ public:
+  explicit CheckpointError(const std::string& what) : DataError(what) {}
 };
 
 namespace detail {

@@ -1,0 +1,325 @@
+#include "core/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace trustrate::core {
+namespace {
+
+// ---------------------------------------------------------------- writing
+
+/// Hexfloat formatting: every finite double round-trips bit-exactly through
+/// strtod, and nan/inf (possible in quarantined ratings) print readably.
+std::string format_double(double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", x);
+  return buf;
+}
+
+void write_rating(std::ostream& out, const Rating& r) {
+  out << format_double(r.time) << ' ' << format_double(r.value) << ' '
+      << r.rater << ' ' << r.product << ' '
+      << static_cast<unsigned>(r.label) << '\n';
+}
+
+template <typename Map>
+std::vector<ProductId> sorted_keys(const Map& map) {
+  std::vector<ProductId> keys;
+  keys.reserve(map.size());
+  for (const auto& [key, value] : map) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+// ---------------------------------------------------------------- reading
+
+/// Whitespace-token reader over the checkpoint stream; every accessor
+/// throws CheckpointError with the offending context on malformed input.
+class TokenReader {
+ public:
+  explicit TokenReader(std::istream& in) : in_(in) {}
+
+  std::string next(const char* what) {
+    std::string token;
+    if (!(in_ >> token)) {
+      throw CheckpointError(std::string("checkpoint truncated: expected ") +
+                            what);
+    }
+    return token;
+  }
+
+  void expect(const char* keyword) {
+    const std::string token = next(keyword);
+    if (token != keyword) {
+      throw CheckpointError(std::string("checkpoint corrupt: expected '") +
+                            keyword + "', found '" + token + "'");
+    }
+  }
+
+  double read_double(const char* what) {
+    const std::string token = next(what);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') {
+      throw CheckpointError(std::string("checkpoint corrupt: bad number '") +
+                            token + "' for " + what);
+    }
+    return value;
+  }
+
+  std::size_t read_size(const char* what) {
+    const std::string token = next(what);
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0' || token.front() == '-') {
+      throw CheckpointError(std::string("checkpoint corrupt: bad count '") +
+                            token + "' for " + what);
+    }
+    return static_cast<std::size_t>(value);
+  }
+
+  bool read_bool(const char* what) {
+    const std::size_t v = read_size(what);
+    if (v > 1) {
+      throw CheckpointError(std::string("checkpoint corrupt: bad flag for ") +
+                            what);
+    }
+    return v == 1;
+  }
+
+  Rating read_rating() {
+    Rating r;
+    r.time = read_double("rating time");
+    r.value = read_double("rating value");
+    r.rater = static_cast<RaterId>(read_size("rating rater"));
+    r.product = static_cast<ProductId>(read_size("rating product"));
+    const std::size_t label = read_size("rating label");
+    if (label > static_cast<std::size_t>(RatingLabel::kCollaborative2)) {
+      throw CheckpointError("checkpoint corrupt: unknown rating label");
+    }
+    r.label = static_cast<RatingLabel>(label);
+    return r;
+  }
+
+ private:
+  std::istream& in_;
+};
+
+}  // namespace
+
+/// Grants the checkpoint serializer access to the streaming internals; this
+/// is the single place that knows the wire format.
+struct CheckpointAccess {
+  static void save(const StreamingRatingSystem& s, std::ostream& out) {
+    const IngestBuffer& ing = s.ingest_;
+    out << "trustrate-checkpoint " << kCheckpointVersion << '\n';
+    out << "config " << format_double(s.epoch_days_) << ' '
+        << s.retention_epochs_ << ' '
+        << format_double(ing.config_.max_lateness_days) << ' '
+        << ing.config_.max_quarantine << '\n';
+    out << "anchor " << (s.anchored_ ? 1 : 0) << ' '
+        << format_double(s.epoch_start_) << ' ' << format_double(s.last_time_)
+        << ' ' << s.epochs_closed_ << ' ' << s.system_.epochs_processed()
+        << '\n';
+
+    const IngestStats& st = ing.stats_;
+    out << "stats " << st.submitted << ' ' << st.accepted << ' '
+        << st.reordered << ' ' << st.duplicates << ' ' << st.dropped_late
+        << ' ' << st.malformed << ' ' << st.quarantined << '\n';
+
+    out << "health " << s.epoch_health_.size();
+    for (EpochHealth h : s.epoch_health_) {
+      out << ' ' << static_cast<unsigned>(h);
+    }
+    out << '\n';
+
+    out << "ingest " << (ing.anchored_ ? 1 : 0) << ' '
+        << format_double(ing.max_time_) << '\n';
+    out << "buffer " << ing.buffer_.size() << '\n';
+    for (const Rating& r : ing.buffer_) write_rating(out, r);
+    out << "seen " << ing.seen_.size() << '\n';
+    for (const auto& [time, rater, product, value] : ing.seen_) {
+      out << format_double(time) << ' ' << rater << ' ' << product << ' '
+          << format_double(value) << '\n';
+    }
+    out << "quarantine " << ing.quarantine_.size() << '\n';
+    for (const QuarantinedRating& q : ing.quarantine_) {
+      out << static_cast<unsigned>(q.reason) << ' ';
+      write_rating(out, q.rating);
+    }
+
+    out << "pending " << s.pending_.size() << '\n';
+    for (ProductId product : sorted_keys(s.pending_)) {
+      const RatingSeries& series = s.pending_.at(product);
+      out << product << ' ' << series.size() << '\n';
+      for (const Rating& r : series) write_rating(out, r);
+    }
+
+    out << "retained " << s.retained_.size() << '\n';
+    for (ProductId product : sorted_keys(s.retained_)) {
+      const auto& epochs = s.retained_.at(product).epochs;
+      out << product << ' ' << epochs.size() << '\n';
+      for (const RatingSeries& epoch : epochs) {
+        out << epoch.size() << '\n';
+        for (const Rating& r : epoch) write_rating(out, r);
+      }
+    }
+
+    const auto& records = s.system_.trust_store().records();
+    std::vector<RaterId> raters;
+    raters.reserve(records.size());
+    for (const auto& [id, record] : records) raters.push_back(id);
+    std::sort(raters.begin(), raters.end());
+    out << "trust " << raters.size() << '\n';
+    for (RaterId id : raters) {
+      const trust::TrustRecord& r = records.at(id);
+      out << id << ' ' << format_double(r.successes) << ' '
+          << format_double(r.failures) << '\n';
+    }
+    out << "end\n";
+  }
+
+  static StreamingRatingSystem load(std::istream& in,
+                                    const SystemConfig& config) {
+    TokenReader reader(in);
+    reader.expect("trustrate-checkpoint");
+    const std::size_t version = reader.read_size("version");
+    if (version != static_cast<std::size_t>(kCheckpointVersion)) {
+      throw CheckpointError("unsupported checkpoint version " +
+                            std::to_string(version));
+    }
+
+    reader.expect("config");
+    const double epoch_days = reader.read_double("epoch_days");
+    const std::size_t retention = reader.read_size("retention_epochs");
+    IngestConfig ingest_config;
+    ingest_config.max_lateness_days = reader.read_double("max_lateness_days");
+    ingest_config.max_quarantine = reader.read_size("max_quarantine");
+
+    StreamingRatingSystem s(config, epoch_days, retention, ingest_config);
+
+    reader.expect("anchor");
+    s.anchored_ = reader.read_bool("anchored");
+    s.epoch_start_ = reader.read_double("epoch_start");
+    s.last_time_ = reader.read_double("last_time");
+    s.epochs_closed_ = reader.read_size("epochs_closed");
+    const std::size_t system_epochs = reader.read_size("system_epochs");
+
+    IngestBuffer& ing = s.ingest_;
+    reader.expect("stats");
+    ing.stats_.submitted = reader.read_size("submitted");
+    ing.stats_.accepted = reader.read_size("accepted");
+    ing.stats_.reordered = reader.read_size("reordered");
+    ing.stats_.duplicates = reader.read_size("duplicates");
+    ing.stats_.dropped_late = reader.read_size("dropped_late");
+    ing.stats_.malformed = reader.read_size("malformed");
+    ing.stats_.quarantined = reader.read_size("quarantined");
+
+    reader.expect("health");
+    const std::size_t health_count = reader.read_size("health count");
+    s.epoch_health_.reserve(health_count);
+    for (std::size_t i = 0; i < health_count; ++i) {
+      const std::size_t h = reader.read_size("health flag");
+      if (h > static_cast<std::size_t>(EpochHealth::kDegradedDetector)) {
+        throw CheckpointError("checkpoint corrupt: unknown epoch health flag");
+      }
+      s.epoch_health_.push_back(static_cast<EpochHealth>(h));
+    }
+
+    reader.expect("ingest");
+    ing.anchored_ = reader.read_bool("ingest anchored");
+    ing.max_time_ = reader.read_double("ingest max_time");
+    reader.expect("buffer");
+    const std::size_t buffered = reader.read_size("buffer count");
+    for (std::size_t i = 0; i < buffered; ++i) {
+      ing.buffer_.insert(reader.read_rating());
+    }
+    reader.expect("seen");
+    const std::size_t seen = reader.read_size("seen count");
+    for (std::size_t i = 0; i < seen; ++i) {
+      const double time = reader.read_double("seen time");
+      const auto rater = static_cast<RaterId>(reader.read_size("seen rater"));
+      const auto product =
+          static_cast<ProductId>(reader.read_size("seen product"));
+      const double value = reader.read_double("seen value");
+      ing.seen_.insert({time, rater, product, value});
+    }
+    reader.expect("quarantine");
+    const std::size_t quarantined = reader.read_size("quarantine count");
+    for (std::size_t i = 0; i < quarantined; ++i) {
+      const std::size_t reason = reader.read_size("quarantine reason");
+      if (reason > static_cast<std::size_t>(IngestClass::kMalformed)) {
+        throw CheckpointError("checkpoint corrupt: unknown quarantine reason");
+      }
+      ing.quarantine_.push_back(
+          {reader.read_rating(), static_cast<IngestClass>(reason), {}});
+    }
+
+    reader.expect("pending");
+    const std::size_t pending_products = reader.read_size("pending products");
+    for (std::size_t i = 0; i < pending_products; ++i) {
+      const auto product =
+          static_cast<ProductId>(reader.read_size("pending product"));
+      const std::size_t count = reader.read_size("pending count");
+      RatingSeries& series = s.pending_[product];
+      series.reserve(count);
+      for (std::size_t k = 0; k < count; ++k) {
+        series.push_back(reader.read_rating());
+      }
+    }
+
+    reader.expect("retained");
+    const std::size_t retained_products = reader.read_size("retained products");
+    for (std::size_t i = 0; i < retained_products; ++i) {
+      const auto product =
+          static_cast<ProductId>(reader.read_size("retained product"));
+      const std::size_t epochs = reader.read_size("retained epochs");
+      auto& slot = s.retained_[product].epochs;
+      slot.resize(epochs);
+      for (std::size_t e = 0; e < epochs; ++e) {
+        const std::size_t count = reader.read_size("retained epoch count");
+        slot[e].reserve(count);
+        for (std::size_t k = 0; k < count; ++k) {
+          slot[e].push_back(reader.read_rating());
+        }
+      }
+    }
+
+    reader.expect("trust");
+    const std::size_t raters = reader.read_size("trust count");
+    trust::TrustStore store;
+    for (std::size_t i = 0; i < raters; ++i) {
+      const auto id = static_cast<RaterId>(reader.read_size("trust rater"));
+      trust::TrustRecord record;
+      record.successes = reader.read_double("trust successes");
+      record.failures = reader.read_double("trust failures");
+      if (store.records().contains(id)) {
+        throw CheckpointError("checkpoint corrupt: duplicate trust rater " +
+                              std::to_string(id));
+      }
+      store.record(id) = record;
+    }
+    s.system_.restore(std::move(store), system_epochs);
+
+    reader.expect("end");
+    return s;
+  }
+};
+
+void save_checkpoint(const StreamingRatingSystem& stream, std::ostream& out) {
+  CheckpointAccess::save(stream, out);
+}
+
+StreamingRatingSystem load_checkpoint(std::istream& in,
+                                      const SystemConfig& config) {
+  return CheckpointAccess::load(in, config);
+}
+
+}  // namespace trustrate::core

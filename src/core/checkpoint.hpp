@@ -1,0 +1,45 @@
+// Streaming checkpoint/recovery (extension beyond the paper).
+//
+// The trust store alone (trust/store_io.hpp) is not enough to restart a
+// deployed StreamingRatingSystem: mid-epoch state — the epoch anchor, the
+// reorder buffer, per-product pending and retained series, ingestion
+// counters — would be lost, and the restarted process would diverge from
+// the uninterrupted run. save_checkpoint captures the *complete* streaming
+// state; load_checkpoint restores it so the resumed stream reproduces the
+// uninterrupted run's trust values and aggregates exactly.
+//
+// Format: a versioned, line-oriented text file. The header is
+// `trustrate-checkpoint <version>`; unknown versions are rejected with
+// CheckpointError. Floating-point state is serialized as C hexfloats
+// (`%a`), so every double round-trips bit-exactly — "resume equals rerun"
+// is an equality, not an approximation.
+//
+// Not captured: the SystemConfig (the caller re-supplies it — configs hold
+// enums and nested structs whose wire format would outgrow this layer) and
+// the recommendation buffer (rater-on-rater feedback is not streaming
+// state). Quarantined ratings are restored with their classification but
+// without the human-readable detail string.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/streaming.hpp"
+
+namespace trustrate::core {
+
+/// Current checkpoint format version.
+inline constexpr int kCheckpointVersion = 1;
+
+/// Writes the complete streaming state. Deterministic: products and raters
+/// are sorted, so equal states produce byte-identical checkpoints.
+void save_checkpoint(const StreamingRatingSystem& stream, std::ostream& out);
+
+/// Restores a stream from a checkpoint written by save_checkpoint. `config`
+/// must be the pipeline configuration the checkpointed system ran with
+/// (epoch length, retention, and ingestion settings come from the
+/// checkpoint itself). Throws CheckpointError on a truncated, corrupted,
+/// or version-mismatched checkpoint.
+StreamingRatingSystem load_checkpoint(std::istream& in,
+                                      const SystemConfig& config);
+
+}  // namespace trustrate::core

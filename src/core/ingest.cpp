@@ -1,0 +1,104 @@
+#include "core/ingest.hpp"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace trustrate::core {
+
+const char* to_string(IngestClass c) {
+  switch (c) {
+    case IngestClass::kAccepted:  return "accepted";
+    case IngestClass::kReordered: return "reordered";
+    case IngestClass::kDuplicate: return "duplicate";
+    case IngestClass::kLate:      return "late";
+    case IngestClass::kMalformed: return "malformed";
+  }
+  return "unknown";
+}
+
+IngestBuffer::IngestBuffer(IngestConfig config) : config_(config) {
+  TRUSTRATE_EXPECTS(config_.max_lateness_days >= 0.0 &&
+                        std::isfinite(config_.max_lateness_days),
+                    "lateness bound must be finite and >= 0");
+}
+
+double IngestBuffer::watermark() const {
+  if (!anchored_) return -std::numeric_limits<double>::infinity();
+  return max_time_ - config_.max_lateness_days;
+}
+
+void IngestBuffer::quarantine_rating(const Rating& rating, IngestClass reason,
+                                     std::string detail) {
+  ++stats_.quarantined;
+  quarantine_.push_back({rating, reason, std::move(detail)});
+  while (quarantine_.size() > config_.max_quarantine) quarantine_.pop_front();
+}
+
+IngestClass IngestBuffer::submit(const Rating& rating,
+                                 std::vector<Rating>& released) {
+  ++stats_.submitted;
+
+  // Validation: classify, never throw.
+  if (!std::isfinite(rating.time) || !std::isfinite(rating.value)) {
+    ++stats_.malformed;
+    quarantine_rating(rating, IngestClass::kMalformed, "non-finite time or value");
+    return IngestClass::kMalformed;
+  }
+  if (rating.value < 0.0 || rating.value > 1.0) {
+    ++stats_.malformed;
+    quarantine_rating(rating, IngestClass::kMalformed,
+                      "value " + std::to_string(rating.value) + " outside [0,1]");
+    return IngestClass::kMalformed;
+  }
+
+  // Lateness: behind the watermark means the reorder window already closed.
+  if (anchored_ && rating.time < watermark()) {
+    ++stats_.dropped_late;
+    quarantine_rating(rating, IngestClass::kLate,
+                      "time " + std::to_string(rating.time) +
+                          " behind watermark " + std::to_string(watermark()));
+    return IngestClass::kLate;
+  }
+
+  // Duplicate: exact resubmission inside the lateness horizon.
+  const SeenKey key{rating.time, rating.rater, rating.product, rating.value};
+  if (!seen_.insert(key).second) {
+    ++stats_.duplicates;
+    return IngestClass::kDuplicate;
+  }
+
+  ++stats_.accepted;
+  const bool out_of_order = anchored_ && rating.time < max_time_;
+  if (out_of_order) ++stats_.reordered;
+
+  buffer_.insert(rating);
+  if (!anchored_ || rating.time > max_time_) {
+    anchored_ = true;
+    max_time_ = rating.time;
+  }
+  release_ready(released);
+  return out_of_order ? IngestClass::kReordered : IngestClass::kAccepted;
+}
+
+void IngestBuffer::release_ready(std::vector<Rating>& released) {
+  const double mark = watermark();
+  while (!buffer_.empty() && buffer_.begin()->time <= mark) {
+    released.push_back(*buffer_.begin());
+    buffer_.erase(buffer_.begin());
+  }
+  // Expire duplicate-horizon keys strictly behind the watermark: anything
+  // resubmitted there is dropped late before the duplicate check runs.
+  while (!seen_.empty() && std::get<0>(*seen_.begin()) < mark) {
+    seen_.erase(seen_.begin());
+  }
+}
+
+void IngestBuffer::drain(std::vector<Rating>& released) {
+  for (const Rating& r : buffer_) released.push_back(r);
+  buffer_.clear();
+}
+
+}  // namespace trustrate::core

@@ -1,0 +1,146 @@
+// Tolerant stream ingestion for the streaming front-end (extension beyond
+// the paper).
+//
+// Real rating streams are hostile input: events arrive late or out of
+// order, clients retry and duplicate submissions, and malformed records
+// slip through upstream producers. The fraud-detection literature the
+// ROADMAP points at (BIRDNEST, Allahbakhsh et al.) stresses that detection
+// pipelines must survive exactly this traffic, so the streaming system no
+// longer assumes a clean, time-ordered trace.
+//
+// IngestBuffer implements the classic bounded-lateness design:
+//
+//  * every accepted rating advances `max_time`, and the **watermark** is
+//    `max_time - max_lateness_days`;
+//  * accepted ratings sit in a reorder buffer until the watermark passes
+//    their event time, then are released in non-decreasing time order —
+//    downstream consumers see a sorted stream, exactly as if the input had
+//    been sorted up front;
+//  * a rating older than the watermark missed its window: it is *dropped
+//    late* and dead-lettered, never silently reordered;
+//  * an exact resubmission (same rater, product, time, value) of a rating
+//    still inside the lateness horizon is a *duplicate* and is dropped;
+//  * a malformed rating (non-finite time/value, value outside [0, 1]) is
+//    *quarantined*.
+//
+// Classification is in-band — `submit` never throws on bad data — and every
+// outcome is counted in IngestStats so operators can watch the failure
+// rates. The dead-letter list keeps the most recent offenders (bounded by
+// `max_quarantine`) for debugging.
+#pragma once
+
+#include <deque>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace trustrate::core {
+
+/// Outcome of ingesting one rating.
+enum class IngestClass : std::uint8_t {
+  kAccepted = 0,  ///< accepted, arrived in watermark order
+  kReordered,     ///< accepted, arrived out of order but within the bound
+  kDuplicate,     ///< exact duplicate of an accepted rating; dropped
+  kLate,          ///< behind the watermark; dropped and dead-lettered
+  kMalformed,     ///< non-finite or out-of-range; dead-lettered
+};
+
+const char* to_string(IngestClass c);
+
+struct IngestConfig {
+  /// Bounded lateness: a rating may trail the newest accepted rating by up
+  /// to this many days and still be merged in order. 0 demands a sorted
+  /// stream (any regression is dropped late).
+  double max_lateness_days = 0.0;
+
+  /// Dead-letter list capacity; oldest entries are evicted beyond this.
+  std::size_t max_quarantine = 1024;
+};
+
+/// Ingestion counters. `accepted` includes `reordered`; the dead-letter
+/// total `quarantined` equals `dropped_late + malformed`.
+struct IngestStats {
+  std::size_t submitted = 0;     ///< everything offered to submit()
+  std::size_t accepted = 0;      ///< released (or releasable) downstream
+  std::size_t reordered = 0;     ///< accepted with time < max seen time
+  std::size_t duplicates = 0;    ///< exact resubmissions dropped
+  std::size_t dropped_late = 0;  ///< behind the watermark
+  std::size_t malformed = 0;     ///< failed validation
+  std::size_t quarantined = 0;   ///< dead-letter total (late + malformed)
+
+  friend bool operator==(const IngestStats&, const IngestStats&) = default;
+};
+
+/// One dead-lettered rating with its classification and a human-readable
+/// reason (the detail is diagnostic only and is not checkpointed).
+struct QuarantinedRating {
+  Rating rating;
+  IngestClass reason = IngestClass::kMalformed;
+  std::string detail;
+};
+
+/// Bounded-lateness reordering buffer with duplicate detection and a
+/// dead-letter quarantine. See the file comment for the semantics.
+class IngestBuffer {
+ public:
+  explicit IngestBuffer(IngestConfig config = {});
+
+  /// Classifies one rating. Accepted ratings are buffered; every buffered
+  /// rating whose time the new watermark has passed is appended to
+  /// `released` in non-decreasing time order. Never throws on bad data.
+  IngestClass submit(const Rating& rating, std::vector<Rating>& released);
+
+  /// Releases everything still buffered (end of stream), in time order.
+  /// The watermark and duplicate horizon are unchanged.
+  void drain(std::vector<Rating>& released);
+
+  /// Current watermark (-infinity before the first accepted rating).
+  double watermark() const;
+
+  /// True once at least one rating has been accepted.
+  bool anchored() const { return anchored_; }
+
+  /// Ratings accepted but still held for reordering.
+  std::size_t buffered() const { return buffer_.size(); }
+
+  const IngestStats& stats() const { return stats_; }
+  const std::deque<QuarantinedRating>& quarantine() const { return quarantine_; }
+  const IngestConfig& config() const { return config_; }
+
+ private:
+  friend struct CheckpointAccess;  ///< checkpoint.cpp serializes the state
+
+  /// Duplicate horizon key: (time, rater, product, value). Ordered by time
+  /// first so expired keys form a prefix.
+  using SeenKey = std::tuple<double, RaterId, ProductId, double>;
+
+  void quarantine_rating(const Rating& rating, IngestClass reason,
+                         std::string detail);
+  void release_ready(std::vector<Rating>& released);
+
+  IngestConfig config_;
+  IngestStats stats_;
+
+  bool anchored_ = false;
+  double max_time_ = 0.0;  ///< newest accepted event time (valid when anchored)
+
+  /// Accepted ratings awaiting release, ordered by time (stable for ties).
+  struct TimeLess {
+    bool operator()(const Rating& a, const Rating& b) const {
+      return a.time < b.time;
+    }
+  };
+  std::multiset<Rating, TimeLess> buffer_;
+
+  /// Keys of accepted ratings with time >= watermark (buffer + just-released
+  /// boundary); older keys cannot collide because their duplicates would be
+  /// dropped late anyway.
+  std::set<SeenKey> seen_;
+
+  std::deque<QuarantinedRating> quarantine_;
+};
+
+}  // namespace trustrate::core

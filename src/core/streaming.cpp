@@ -1,25 +1,32 @@
 #include "core/streaming.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace trustrate::core {
 
 StreamingRatingSystem::StreamingRatingSystem(SystemConfig config,
                                              double epoch_days,
-                                             std::size_t retention_epochs)
+                                             std::size_t retention_epochs,
+                                             IngestConfig ingest)
     : system_(config), epoch_days_(epoch_days),
-      retention_epochs_(retention_epochs) {
+      retention_epochs_(retention_epochs), ingest_(ingest) {
   TRUSTRATE_EXPECTS(epoch_days > 0.0, "epoch length must be positive");
 }
 
-void StreamingRatingSystem::submit(const Rating& rating) {
+IngestClass StreamingRatingSystem::submit(const Rating& rating) {
+  released_.clear();
+  const IngestClass result = ingest_.submit(rating, released_);
+  for (const Rating& r : released_) route(r);
+  return result;
+}
+
+void StreamingRatingSystem::route(const Rating& rating) {
   if (!anchored_) {
     anchored_ = true;
     epoch_start_ = rating.time;
-    last_time_ = rating.time;
   }
-  TRUSTRATE_EXPECTS(rating.time >= last_time_,
-                    "ratings must be submitted in time order");
   last_time_ = rating.time;
 
   // Close as many epochs as the stream has moved past.
@@ -30,6 +37,9 @@ void StreamingRatingSystem::submit(const Rating& rating) {
 }
 
 std::size_t StreamingRatingSystem::flush() {
+  released_.clear();
+  ingest_.drain(released_);
+  for (const Rating& r : released_) route(r);
   if (!anchored_ || pending_.empty()) return 0;
   const std::size_t products = pending_.size();
   close_epoch(std::max(last_time_ + 1e-9, epoch_start_ + epoch_days_));
@@ -49,8 +59,10 @@ void StreamingRatingSystem::close_epoch(double epoch_end) {
   }
   pending_.clear();
 
+  EpochHealth health = EpochHealth::kHealthy;
   if (!observations.empty()) {
-    system_.process_epoch(observations);
+    const EpochReport report = system_.process_epoch(observations);
+    if (report.detector_degraded) health = EpochHealth::kDegradedDetector;
     for (auto& obs : observations) {
       Retained& r = retained_[obs.product];
       r.epochs.push_back(std::move(obs.ratings));
@@ -61,6 +73,13 @@ void StreamingRatingSystem::close_epoch(double epoch_end) {
   }
   epoch_start_ = epoch_end;
   ++epochs_closed_;
+  epoch_health_.push_back(health);
+}
+
+std::size_t StreamingRatingSystem::degraded_epochs() const {
+  return static_cast<std::size_t>(
+      std::count(epoch_health_.begin(), epoch_health_.end(),
+                 EpochHealth::kDegradedDetector));
 }
 
 std::optional<double> StreamingRatingSystem::aggregate(ProductId product) const {

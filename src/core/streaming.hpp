@@ -2,43 +2,80 @@
 // beyond the paper).
 //
 // TrustEnhancedRatingSystem is epoch-batched — the shape of the paper's
-// experiments. Real deployments see a single time-ordered stream of
-// ratings across many products. StreamingRatingSystem buffers the stream,
-// closes an epoch every `epoch_days`, and feeds the buffered per-product
-// series through the batch pipeline, so callers get the paper's exact
-// semantics from an incremental API:
+// experiments. Real deployments see a single stream of ratings across many
+// products, and that stream is hostile: events arrive late, duplicated, or
+// malformed. StreamingRatingSystem hardens the batch pipeline behind a
+// tolerant ingestion layer (core/ingest.hpp), closes an epoch every
+// `epoch_days`, and feeds the buffered per-product series through the batch
+// pipeline, so callers get the paper's exact semantics from an incremental
+// API:
 //
 //     StreamingRatingSystem stream(config, /*epoch_days=*/30.0);
-//     stream.submit(rating);              // time-ordered
+//     stream.submit(rating);              // tolerant: classifies, never throws
 //     stream.trust(rater);                // current trust
 //     stream.aggregate(product);          // trust-weighted, retained window
+//     stream.ingest_stats();              // accepted/reordered/dropped counters
 //
-// Epoch boundaries are anchored at the first submitted rating's time.
+// Error policy (DESIGN.md §6): `submit` never throws on bad *data* — each
+// rating is classified in-band by the ingestion layer:
+//
+//  * out-of-order within `IngestConfig::max_lateness_days` → buffered and
+//    merged in time order (kReordered); downstream results are identical to
+//    a sorted run of the same ratings;
+//  * behind the watermark (time regression beyond the bound; with the
+//    default bound 0, *any* time regression) → dropped late and
+//    dead-lettered, never processed (kLate);
+//  * exact duplicates (same rater/product/time/value inside the lateness
+//    horizon) → dropped (kDuplicate);
+//  * malformed (non-finite time/value, value outside [0, 1]) → quarantined
+//    (kMalformed).
+//
+// Epoch boundaries are anchored at the earliest *accepted* rating's time.
+// When an epoch's AR detector degenerates (windows too short for the normal
+// equations, or a fit failure), the epoch still closes on the beta-filter-
+// only path and is flagged in `epoch_health()` instead of throwing.
+//
+// The full streaming state (ingest buffer, pending and retained series,
+// epoch anchor, trust evidence) can be checkpointed and restored — see
+// core/checkpoint.hpp.
 #pragma once
 
 #include <optional>
 #include <unordered_map>
 
+#include "core/ingest.hpp"
 #include "core/system.hpp"
 
 namespace trustrate::core {
+
+/// Outcome of one closed epoch, recorded per epoch in order.
+enum class EpochHealth : std::uint8_t {
+  kHealthy = 0,
+  /// The AR detector contributed nothing (degenerate fit or every window
+  /// too short); trust was updated from the beta filter alone.
+  kDegradedDetector,
+};
 
 class StreamingRatingSystem {
  public:
   /// `epoch_days` is the trust-update cadence (the paper uses months);
   /// `retention_epochs` controls how many closed epochs of ratings are
-  /// kept per product for aggregation queries.
+  /// kept per product for aggregation queries; `ingest` configures the
+  /// tolerant front-door (lateness bound, quarantine capacity).
   explicit StreamingRatingSystem(SystemConfig config, double epoch_days = 30.0,
-                                 std::size_t retention_epochs = 2);
+                                 std::size_t retention_epochs = 2,
+                                 IngestConfig ingest = {});
 
-  /// Ingests one rating. Ratings must arrive in non-decreasing time order;
-  /// a rating whose time has passed the current epoch's end closes the
-  /// epoch (running the filter, detector, and Procedure 2 on everything
-  /// buffered) before being buffered itself.
-  void submit(const Rating& rating);
+  /// Ingests one rating and returns its classification (see the file
+  /// comment). Accepted ratings whose time the watermark has passed are
+  /// routed into the current epoch; a rating that crosses the epoch's end
+  /// closes the epoch (running the filter, detector, and Procedure 2 on
+  /// everything buffered) first. Never throws on bad data.
+  IngestClass submit(const Rating& rating);
 
-  /// Closes the in-progress epoch regardless of time. Returns the number
-  /// of products processed. Call at end-of-stream.
+  /// Drains the reorder buffer and closes the in-progress epoch regardless
+  /// of time. Returns the number of products processed. Call at
+  /// end-of-stream.
   std::size_t flush();
 
   /// Current trust in a rater (0.5 when unknown).
@@ -48,25 +85,57 @@ class StreamingRatingSystem {
   std::vector<RaterId> malicious() const { return system_.malicious(); }
 
   /// Trust-weighted aggregated rating over the product's retained ratings
-  /// (buffered + up to `retention_epochs` closed epochs). Empty when the
+  /// (routed-but-unclosed + up to `retention_epochs` closed epochs; ratings
+  /// still held in the reorder buffer are not yet visible). Empty when the
   /// product has no retained ratings.
   std::optional<double> aggregate(ProductId product) const;
 
   std::size_t epochs_closed() const { return epochs_closed_; }
+
+  /// Ratings routed into the current epoch but not yet processed.
   std::size_t pending_ratings() const;
+
+  /// Ratings accepted but still held by the reordering buffer.
+  std::size_t buffered_ratings() const { return ingest_.buffered(); }
+
+  /// Ingestion counters (accepted, reordered, duplicates, dropped_late,
+  /// malformed, quarantined).
+  const IngestStats& ingest_stats() const { return ingest_.stats(); }
+
+  /// Most recent dead-lettered ratings, oldest first.
+  const std::deque<QuarantinedRating>& quarantine() const {
+    return ingest_.quarantine();
+  }
+
+  /// Per-epoch health flags, one per closed epoch, in close order.
+  const std::vector<EpochHealth>& epoch_health() const { return epoch_health_; }
+
+  /// Closed epochs that fell back to the beta-filter-only path.
+  std::size_t degraded_epochs() const;
+
   const TrustEnhancedRatingSystem& system() const { return system_; }
+  double epoch_days() const { return epoch_days_; }
+  std::size_t retention_epochs() const { return retention_epochs_; }
 
  private:
+  friend struct CheckpointAccess;  ///< checkpoint.cpp serializes the state
+
+  /// Routes one watermark-released rating into the epoch pipeline.
+  void route(const Rating& rating);
   void close_epoch(double epoch_end);
 
   TrustEnhancedRatingSystem system_;
   double epoch_days_;
   std::size_t retention_epochs_;
 
+  IngestBuffer ingest_;
+  std::vector<Rating> released_;  ///< scratch for watermark releases
+
   bool anchored_ = false;
   double epoch_start_ = 0.0;
   double last_time_ = 0.0;
   std::size_t epochs_closed_ = 0;
+  std::vector<EpochHealth> epoch_health_;
 
   std::unordered_map<ProductId, RatingSeries> pending_;
   /// Closed-epoch ratings per product, oldest first, at most

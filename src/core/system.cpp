@@ -1,6 +1,7 @@
 #include "core/system.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -41,14 +42,30 @@ EpochReport TrustEnhancedRatingSystem::process_epoch(
     }
     pr.kept = pr.filter_outcome.kept_series(obs.ratings);
 
-    // Feature extraction II: Procedure 1.
+    // Feature extraction II: Procedure 1. A degenerate detector pass (fit
+    // failure, or every window too short for the normal equations) must not
+    // take the epoch down: the product degrades to the beta-filter-only
+    // path and is flagged (DESIGN.md §6).
     const RatingSeries& detector_input =
         config_.detector_on_filtered ? pr.kept : obs.ratings;
     if (config_.enable_ar_detector) {
-      pr.suspicion = detector_.analyze(detector_input, obs.t_start, obs.t_end);
+      try {
+        pr.suspicion = detector_.analyze(detector_input, obs.t_start, obs.t_end);
+        const bool any_evaluated = std::any_of(
+            pr.suspicion.windows.begin(), pr.suspicion.windows.end(),
+            [](const detect::WindowReport& w) { return w.evaluated; });
+        if (!detector_input.empty() && !any_evaluated) {
+          pr.detector_degraded = true;
+        }
+      } catch (const Error&) {
+        pr.suspicion = {};
+        pr.suspicion.in_suspicious_window.assign(detector_input.size(), false);
+        pr.detector_degraded = true;
+      }
     } else {
       pr.suspicion.in_suspicious_window.assign(detector_input.size(), false);
     }
+    report.detector_degraded |= pr.detector_degraded;
 
     // Per-rating flags over the *input* series: filtered or suspicious.
     pr.flagged.assign(obs.ratings.size(), false);
@@ -120,6 +137,12 @@ double TrustEnhancedRatingSystem::aggregate_with(const RatingSeries& ratings,
                        store_.trust(rater)});
   }
   return agg::make_aggregator(kind)->aggregate(trusted);
+}
+
+void TrustEnhancedRatingSystem::restore(trust::TrustStore store,
+                                        std::size_t epochs_processed) {
+  store_ = std::move(store);
+  epochs_ = epochs_processed;
 }
 
 void TrustEnhancedRatingSystem::add_recommendation(const trust::Recommendation& rec) {

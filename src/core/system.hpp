@@ -83,6 +83,11 @@ struct ProductReport {
   detect::SuspicionResult suspicion;
   std::vector<bool> flagged;  ///< per input rating: filtered OR suspicious
   RatingSeries kept;          ///< ratings surviving the filter
+
+  /// True when the AR detector was enabled but could not contribute: every
+  /// window was too short for the normal equations, or the fit raised an
+  /// error. The product fell back to the beta-filter-only path.
+  bool detector_degraded = false;
 };
 
 /// Per-epoch outcome.
@@ -92,6 +97,10 @@ struct EpochReport {
   /// Confusion table of per-rating flags vs ground-truth labels, summed
   /// over the epoch's products (meaningful for simulated data only).
   DetectionMetrics rating_metrics;
+
+  /// True when any product in the epoch degraded to the beta-filter-only
+  /// path (see ProductReport::detector_degraded).
+  bool detector_degraded = false;
 };
 
 class TrustEnhancedRatingSystem {
@@ -127,6 +136,12 @@ class TrustEnhancedRatingSystem {
   const trust::TrustStore& trust_store() const { return store_; }
   const SystemConfig& config() const { return config_; }
   std::size_t epochs_processed() const { return epochs_; }
+
+  /// Checkpoint support: replaces the accumulated trust evidence and the
+  /// epoch counter with recovered state (core/checkpoint.hpp). The
+  /// recommendation buffer is not part of streaming state and is left
+  /// untouched.
+  void restore(trust::TrustStore store, std::size_t epochs_processed);
 
  private:
   SystemConfig config_;

@@ -1,6 +1,7 @@
 #include "data/inject.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/error.hpp"
 #include "common/math.hpp"
@@ -61,6 +62,91 @@ RatingTrace inject_collaborative(const RatingTrace& trace,
   }
 
   sort_by_time(out.ratings);
+  return out;
+}
+
+// --------------------------------------------------------- fault injection
+
+FaultInjector::FaultInjector(FaultInjectorConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  TRUSTRATE_EXPECTS(config_.delay_fraction >= 0.0 &&
+                        config_.duplicate_fraction >= 0.0 &&
+                        config_.corrupt_fraction >= 0.0,
+                    "fault fractions must be >= 0");
+  TRUSTRATE_EXPECTS(config_.delay_fraction + config_.duplicate_fraction +
+                            config_.corrupt_fraction <=
+                        1.0,
+                    "fault fractions must sum to <= 1 (mutually exclusive)");
+  TRUSTRATE_EXPECTS(config_.max_delay_days >= 0.0,
+                    "arrival delay bound must be >= 0");
+}
+
+RatingSeries FaultInjector::corrupt(const RatingSeries& clean) {
+  TRUSTRATE_EXPECTS(is_time_sorted(clean),
+                    "fault injection needs a time-sorted series");
+  summary_ = {};
+
+  struct Arrival {
+    Rating rating;
+    double key = 0.0;  ///< arrival time (event time + optional delay)
+    std::size_t seq = 0;
+    bool duplicate = false;
+    bool delayed = false;
+    bool corrupted = false;
+  };
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(clean.size() + clean.size() / 4);
+
+  std::size_t seq = 0;
+  for (const Rating& r : clean) {
+    const double u = rng_.uniform();
+    const double c = config_.corrupt_fraction;
+    const double d = c + config_.duplicate_fraction;
+    const double l = d + config_.delay_fraction;
+    if (u < c) {
+      // Alternate the two malformation kinds the ingest layer rejects.
+      Rating bad = r;
+      bad.value = summary_.corrupted % 2 == 0
+                      ? std::numeric_limits<double>::quiet_NaN()
+                      : bad.value + 2.0;
+      ++summary_.corrupted;
+      arrivals.push_back({bad, r.time, seq++, false, false, true});
+    } else if (u < d) {
+      arrivals.push_back({r, r.time, seq++, false, false, false});
+      arrivals.push_back({r, r.time, seq++, true, false, false});
+      ++summary_.duplicated;
+    } else if (u < l) {
+      const double key = r.time + rng_.uniform(0.0, config_.max_delay_days);
+      ++summary_.delayed;
+      arrivals.push_back({r, key, seq++, false, true, false});
+    } else {
+      arrivals.push_back({r, r.time, seq++, false, false, false});
+    }
+  }
+
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const Arrival& a, const Arrival& b) {
+              return a.key != b.key ? a.key < b.key : a.seq < b.seq;
+            });
+
+  // Count the delayed ratings that actually arrive out of order — the exact
+  // quantity IngestStats::reordered observes, provided `clean` carries no
+  // natural duplicates. Corrupted and duplicate arrivals are dropped by the
+  // ingest layer before its high-water mark moves, so they are skipped.
+  double max_time = -std::numeric_limits<double>::infinity();
+  for (const Arrival& a : arrivals) {
+    if (a.duplicate || a.corrupted) continue;
+    if (a.rating.time < max_time) {
+      if (a.delayed) ++summary_.reordered;
+    } else {
+      max_time = a.rating.time;
+    }
+  }
+
+  RatingSeries out;
+  out.reserve(arrivals.size());
+  for (const Arrival& a : arrivals) out.push_back(a.rating);
+  summary_.total = out.size();
   return out;
 }
 

@@ -33,4 +33,60 @@ struct InjectionConfig {
 RatingTrace inject_collaborative(const RatingTrace& trace,
                                  const InjectionConfig& config, Rng& rng);
 
+// --------------------------------------------------------- fault injection
+//
+// Transport-level fault injection for the hardened streaming front-end
+// (core/ingest.hpp): where inject_collaborative models *adversarial
+// content*, FaultInjector models *hostile delivery* — late arrivals,
+// client retries (duplicates), and corrupted records. Tests and
+// bench/ablation_fault_tolerance use it to quantify detection quality
+// under each fault class against the clean baseline.
+
+struct FaultInjectorConfig {
+  /// Fraction of ratings whose *arrival* is delayed by up to
+  /// `max_delay_days`, producing out-of-order delivery. Event times are
+  /// untouched, so an ingest layer with lateness >= max_delay_days can
+  /// repair the stream exactly.
+  double delay_fraction = 0.0;
+  double max_delay_days = 0.0;
+
+  /// Fraction of ratings resubmitted verbatim immediately after the
+  /// original (client retry).
+  double duplicate_fraction = 0.0;
+
+  /// Fraction of ratings corrupted in place (NaN or out-of-range value).
+  double corrupt_fraction = 0.0;
+};
+
+/// What one corrupt() call actually injected. `reordered` counts delayed
+/// ratings that ended up arriving after a later-timed rating — the exact
+/// quantity IngestStats::reordered observes on the faulted sequence.
+struct FaultSummary {
+  std::size_t total = 0;       ///< ratings in the faulted arrival sequence
+  std::size_t delayed = 0;     ///< ratings selected for arrival delay
+  std::size_t reordered = 0;   ///< delayed ratings arriving out of time order
+  std::size_t duplicated = 0;  ///< retry copies inserted
+  std::size_t corrupted = 0;   ///< ratings made malformed
+};
+
+/// Seeded, deterministic stream corrupter. Faults are mutually exclusive
+/// per rating (a rating is delayed, duplicated, or corrupted, never two at
+/// once) so the summary counts line up one-to-one with IngestStats.
+class FaultInjector {
+ public:
+  FaultInjector(FaultInjectorConfig config, std::uint64_t seed);
+
+  /// Returns the faulted *arrival sequence* for a time-sorted series: the
+  /// order in which a stream consumer would receive the ratings. Not
+  /// time-sorted when delays are configured. Updates summary().
+  RatingSeries corrupt(const RatingSeries& clean);
+
+  const FaultSummary& summary() const { return summary_; }
+
+ private:
+  FaultInjectorConfig config_;
+  Rng rng_;
+  FaultSummary summary_;
+};
+
 }  // namespace trustrate::data

@@ -10,20 +10,19 @@ namespace trustrate::data {
 RatingTrace load_trace_csv(std::istream& in, const std::string& name) {
   RatingTrace trace;
   trace.name = name;
-  std::size_t row_number = 0;
-  for (const auto& row : read_csv(in)) {
-    ++row_number;
-    const std::string context = name + " row " + std::to_string(row_number);
-    if (row.size() != 3 && row.size() != 4) {
+  for (const auto& row : read_csv_rows(in)) {
+    const std::string context = name + " line " + std::to_string(row.line);
+    const auto& fields = row.fields;
+    if (fields.size() != 3 && fields.size() != 4) {
       throw DataError("expected 3-4 fields (time,rater,value[,product]) in " +
                       context);
     }
     Rating r;
-    r.time = parse_double_field(row[0], context);
-    r.rater = static_cast<RaterId>(parse_int_field(row[1], context));
-    r.value = parse_double_field(row[2], context);
-    if (row.size() == 4) {
-      r.product = static_cast<ProductId>(parse_int_field(row[3], context));
+    r.time = parse_finite_field(fields[0], context);
+    r.rater = static_cast<RaterId>(parse_int_field(fields[1], context));
+    r.value = parse_finite_field(fields[2], context);
+    if (fields.size() == 4) {
+      r.product = static_cast<ProductId>(parse_int_field(fields[3], context));
     }
     if (r.value < 0.0 || r.value > 1.0) {
       throw DataError("rating value out of [0,1] in " + context);

@@ -1,6 +1,7 @@
 #include "trust/store_io.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <ostream>
 #include <vector>
 
@@ -14,24 +15,27 @@ void save_store_csv(const TrustStore& store, std::ostream& out) {
   ids.reserve(store.size());
   for (const auto& [id, record] : store.records()) ids.push_back(id);
   std::sort(ids.begin(), ids.end());
+  // max_digits10 so the evidence doubles round-trip exactly through load.
+  const auto precision =
+      out.precision(std::numeric_limits<double>::max_digits10);
   for (RaterId id : ids) {
     const TrustRecord& r = store.records().at(id);
     out << id << ',' << r.successes << ',' << r.failures << '\n';
   }
+  out.precision(precision);
 }
 
 TrustStore load_store_csv(std::istream& in) {
   TrustStore store;
-  std::size_t row_number = 0;
-  for (const auto& row : read_csv(in)) {
-    ++row_number;
-    const std::string context = "trust store row " + std::to_string(row_number);
-    if (row.size() != 3) {
+  for (const auto& row : read_csv_rows(in)) {
+    const std::string context = "trust store line " + std::to_string(row.line);
+    const auto& fields = row.fields;
+    if (fields.size() != 3) {
       throw DataError("expected 3 fields (rater,S,F) in " + context);
     }
-    const auto id = static_cast<RaterId>(parse_int_field(row[0], context));
-    const double s = parse_double_field(row[1], context);
-    const double f = parse_double_field(row[2], context);
+    const auto id = static_cast<RaterId>(parse_int_field(fields[0], context));
+    const double s = parse_finite_field(fields[1], context);
+    const double f = parse_finite_field(fields[2], context);
     if (s < 0.0 || f < 0.0) {
       throw DataError("negative evidence in " + context);
     }

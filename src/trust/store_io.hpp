@@ -1,7 +1,11 @@
 // Trust-store persistence: CSV save/load so a deployed system can restart
-// without losing its accumulated trust evidence.
+// without losing its accumulated trust evidence. (For the *complete*
+// streaming state — epoch anchor, reorder buffer, retained series — see
+// core/checkpoint.hpp; this file is the human-readable trust-only subset.)
 //
 // Format (no header): rater_id,successes,failures
+// Evidence is written with max_digits10 precision so values round-trip
+// exactly; load errors carry the 1-based file line number.
 #pragma once
 
 #include <iosfwd>
@@ -14,7 +18,8 @@ namespace trustrate::trust {
 void save_store_csv(const TrustStore& store, std::ostream& out);
 
 /// Reads records into a fresh store. Throws DataError on malformed rows,
-/// negative evidence, or duplicate rater ids.
+/// non-finite or negative evidence, or duplicate rater ids; messages name
+/// the offending source line.
 TrustStore load_store_csv(std::istream& in);
 
 }  // namespace trustrate::trust

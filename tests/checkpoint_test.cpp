@@ -1,0 +1,198 @@
+// Checkpoint/recovery tests: a stream checkpointed mid-epoch (with ratings
+// still in the reorder buffer), restored into a fresh process, and resumed
+// must reproduce the uninterrupted run's trust values, aggregates, and
+// ingestion counters bit-exactly.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "core/checkpoint.hpp"
+#include "core/streaming.hpp"
+
+namespace trustrate {
+namespace {
+
+core::SystemConfig pipeline_config() {
+  core::SystemConfig cfg;
+  cfg.filter.q = 0.02;
+  cfg.ar.window_days = 8.0;
+  cfg.ar.step_days = 2.0;
+  cfg.ar.error_threshold = 0.024;
+  cfg.b = 10.0;
+  return cfg;
+}
+
+RatingSeries mixed_stream(std::uint64_t seed, double days) {
+  Rng rng(seed);
+  RatingSeries stream;
+  for (ProductId p = 1; p <= 3; ++p) {
+    for (double t = rng.exponential(6.0); t < days; t += rng.exponential(6.0)) {
+      stream.push_back(
+          {t, quantize_unit(clamp_unit(rng.gaussian(0.55, 0.25)), 10, false),
+           static_cast<RaterId>(rng.uniform_int(0, 150)), p,
+           RatingLabel::kHonest});
+    }
+  }
+  sort_by_time(stream);
+  return stream;
+}
+
+void expect_bitwise_equal_state(const core::StreamingRatingSystem& a,
+                                const core::StreamingRatingSystem& b) {
+  EXPECT_EQ(a.epochs_closed(), b.epochs_closed());
+  EXPECT_EQ(a.pending_ratings(), b.pending_ratings());
+  EXPECT_EQ(a.buffered_ratings(), b.buffered_ratings());
+  EXPECT_EQ(a.ingest_stats(), b.ingest_stats());
+  EXPECT_EQ(a.epoch_health(), b.epoch_health());
+
+  const auto& ra = a.system().trust_store().records();
+  const auto& rb = b.system().trust_store().records();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (const auto& [id, rec] : ra) {
+    ASSERT_TRUE(rb.contains(id)) << "rater " << id;
+    EXPECT_EQ(rec.successes, rb.at(id).successes) << "rater " << id;
+    EXPECT_EQ(rec.failures, rb.at(id).failures) << "rater " << id;
+  }
+  for (ProductId p = 1; p <= 3; ++p) {
+    EXPECT_EQ(a.aggregate(p), b.aggregate(p)) << "product " << p;
+  }
+}
+
+TEST(Checkpoint, RoundTripPreservesStateExactly) {
+  const RatingSeries stream_data = mixed_stream(201, 75.0);
+  core::StreamingRatingSystem original(pipeline_config(), 30.0, 2,
+                                       {.max_lateness_days = 2.0});
+  for (const Rating& r : stream_data) original.submit(r);
+  // Mid-epoch, reorder buffer non-empty: the hard case.
+  ASSERT_GT(original.pending_ratings(), 0u);
+  ASSERT_GT(original.buffered_ratings(), 0u);
+
+  std::ostringstream out;
+  core::save_checkpoint(original, out);
+  std::istringstream in(out.str());
+  const auto restored = core::load_checkpoint(in, pipeline_config());
+
+  expect_bitwise_equal_state(original, restored);
+}
+
+TEST(Checkpoint, SaveIsDeterministic) {
+  const RatingSeries stream_data = mixed_stream(202, 50.0);
+  core::StreamingRatingSystem stream(pipeline_config(), 30.0);
+  for (const Rating& r : stream_data) stream.submit(r);
+
+  std::ostringstream a, b;
+  core::save_checkpoint(stream, a);
+  core::save_checkpoint(stream, b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Checkpoint, ResumeReproducesUninterruptedRunExactly) {
+  // The acceptance-criteria property: save mid-epoch, load, continue the
+  // stream — final trust values and aggregates bitwise-match a run that was
+  // never interrupted.
+  const RatingSeries stream_data = mixed_stream(203, 95.0);
+  const std::size_t cut = stream_data.size() / 2;
+
+  // Uninterrupted reference.
+  core::StreamingRatingSystem uninterrupted(pipeline_config(), 30.0, 2,
+                                            {.max_lateness_days = 1.5});
+  for (const Rating& r : stream_data) uninterrupted.submit(r);
+  uninterrupted.flush();
+
+  // Crash-and-recover run: first half, checkpoint, "restart", second half.
+  core::StreamingRatingSystem first_half(pipeline_config(), 30.0, 2,
+                                         {.max_lateness_days = 1.5});
+  for (std::size_t i = 0; i < cut; ++i) first_half.submit(stream_data[i]);
+  std::ostringstream out;
+  core::save_checkpoint(first_half, out);
+
+  std::istringstream in(out.str());
+  auto resumed = core::load_checkpoint(in, pipeline_config());
+  for (std::size_t i = cut; i < stream_data.size(); ++i) {
+    resumed.submit(stream_data[i]);
+  }
+  resumed.flush();
+
+  expect_bitwise_equal_state(uninterrupted, resumed);
+}
+
+TEST(Checkpoint, ResumedStreamStillDeduplicatesAcrossRestart) {
+  core::StreamingRatingSystem stream(pipeline_config(), 30.0, 2,
+                                     {.max_lateness_days = 5.0});
+  const Rating r{10.0, 0.5, 1, 1, RatingLabel::kHonest};
+  stream.submit(r);
+
+  std::ostringstream out;
+  core::save_checkpoint(stream, out);
+  std::istringstream in(out.str());
+  auto resumed = core::load_checkpoint(in, pipeline_config());
+
+  // A client retry that straddles the restart is still a duplicate.
+  EXPECT_EQ(resumed.submit(r), core::IngestClass::kDuplicate);
+  EXPECT_EQ(resumed.ingest_stats().duplicates, 1u);
+}
+
+TEST(Checkpoint, QuarantineSurvivesRestart) {
+  core::StreamingRatingSystem stream(pipeline_config(), 30.0);
+  stream.submit({1.0, 0.5, 1, 1, RatingLabel::kHonest});
+  stream.submit({1.5, 2.0, 2, 1, RatingLabel::kHonest});  // malformed
+  ASSERT_EQ(stream.quarantine().size(), 1u);
+
+  std::ostringstream out;
+  core::save_checkpoint(stream, out);
+  std::istringstream in(out.str());
+  const auto resumed = core::load_checkpoint(in, pipeline_config());
+
+  ASSERT_EQ(resumed.quarantine().size(), 1u);
+  EXPECT_EQ(resumed.quarantine().front().reason,
+            core::IngestClass::kMalformed);
+  EXPECT_EQ(resumed.quarantine().front().rating.rater, 2u);
+  EXPECT_EQ(resumed.ingest_stats().malformed, 1u);
+}
+
+TEST(Checkpoint, EmptySystemRoundTrips) {
+  core::StreamingRatingSystem empty(pipeline_config(), 30.0);
+  std::ostringstream out;
+  core::save_checkpoint(empty, out);
+  std::istringstream in(out.str());
+  const auto restored = core::load_checkpoint(in, pipeline_config());
+  EXPECT_EQ(restored.epochs_closed(), 0u);
+  EXPECT_EQ(restored.pending_ratings(), 0u);
+  EXPECT_EQ(restored.ingest_stats(), core::IngestStats{});
+}
+
+TEST(Checkpoint, RejectsBadHeaderVersionAndTruncation) {
+  std::istringstream empty("");
+  EXPECT_THROW(core::load_checkpoint(empty, pipeline_config()),
+               CheckpointError);
+
+  std::istringstream wrong_magic("not-a-checkpoint 1");
+  EXPECT_THROW(core::load_checkpoint(wrong_magic, pipeline_config()),
+               CheckpointError);
+
+  std::istringstream future_version("trustrate-checkpoint 99");
+  EXPECT_THROW(core::load_checkpoint(future_version, pipeline_config()),
+               CheckpointError);
+
+  // A valid checkpoint cut short mid-section.
+  core::StreamingRatingSystem stream(pipeline_config(), 30.0);
+  stream.submit({1.0, 0.5, 1, 1, RatingLabel::kHonest});
+  std::ostringstream out;
+  core::save_checkpoint(stream, out);
+  const std::string full = out.str();
+  std::istringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(core::load_checkpoint(truncated, pipeline_config()),
+               CheckpointError);
+
+  // Corrupted numeric field.
+  std::string corrupted = full;
+  corrupted.replace(corrupted.find("stats ") + 6, 1, "x");
+  std::istringstream bad(corrupted);
+  EXPECT_THROW(core::load_checkpoint(bad, pipeline_config()), CheckpointError);
+}
+
+}  // namespace
+}  // namespace trustrate

@@ -47,6 +47,58 @@ TEST(Trace, LoadRejectsMalformedRows) {
   EXPECT_THROW(load_trace_csv(garbage, "t"), DataError);
 }
 
+/// Throws `load` and returns the DataError message for inspection.
+template <typename Load>
+std::string data_error_message(Load load) {
+  try {
+    load();
+  } catch (const DataError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected DataError";
+  return {};
+}
+
+TEST(Trace, LoadErrorsCarryLineNumbers) {
+  // The bad row is on file line 3 (line 2 is blank and must still count).
+  std::istringstream truncated("1.0,2,0.5\n\n2.0,3\n");
+  const std::string msg = data_error_message(
+      [&] { load_trace_csv(truncated, "t"); });
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("t"), std::string::npos) << msg;
+}
+
+TEST(Trace, LoadRejectsNonFiniteValues) {
+  // strtod happily parses "nan"/"inf"; the loader must not let them in
+  // (NaN even slips past range checks because NaN comparisons are false).
+  std::istringstream nan_value("1.0,2,nan\n");
+  EXPECT_THROW(load_trace_csv(nan_value, "t"), DataError);
+  std::istringstream inf_time("inf,2,0.5\n");
+  EXPECT_THROW(load_trace_csv(inf_time, "t"), DataError);
+  const std::string msg = data_error_message([] {
+    std::istringstream in("1.0,2,nan\n");
+    load_trace_csv(in, "t");
+  });
+  EXPECT_NE(msg.find("non-finite"), std::string::npos) << msg;
+}
+
+TEST(Trace, LoadEmptyFileYieldsEmptyTrace) {
+  std::istringstream empty("");
+  const RatingTrace loaded = load_trace_csv(empty, "t");
+  EXPECT_TRUE(loaded.ratings.empty());
+  std::istringstream blank_lines("\n\n\n");
+  EXPECT_TRUE(load_trace_csv(blank_lines, "t").ratings.empty());
+}
+
+TEST(Trace, LoadRejectsTrailingTruncatedRow) {
+  // Valid rows followed by a truncated final row: the error names the last
+  // line, and nothing from the file leaks out.
+  std::istringstream in("1.0,2,0.5\n2.0,3,0.6\n3.0,4\n");
+  const std::string msg =
+      data_error_message([&] { load_trace_csv(in, "t"); });
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+}
+
 TEST(Trace, DurationOfEmptyTraceIsZero) {
   RatingTrace trace;
   EXPECT_DOUBLE_EQ(trace.duration(), 0.0);

@@ -101,6 +101,47 @@ TEST(StoreIo, MalformedRowsRejected) {
   EXPECT_THROW(trust::load_store_csv(negative), DataError);
   std::istringstream duplicate("1,2,3\n1,4,5\n");
   EXPECT_THROW(trust::load_store_csv(duplicate), DataError);
+  std::istringstream nan_evidence("1,nan,0\n");
+  EXPECT_THROW(trust::load_store_csv(nan_evidence), DataError);
+}
+
+/// Returns the DataError message raised by loading `text`.
+std::string store_error_message(const std::string& text) {
+  try {
+    std::istringstream in(text);
+    trust::load_store_csv(in);
+  } catch (const DataError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected DataError";
+  return {};
+}
+
+TEST(StoreIo, ErrorsCarryLineNumbers) {
+  // Bad row on file line 3; the blank line 2 still counts.
+  EXPECT_NE(store_error_message("1,2,3\n\n4,5\n").find("line 3"),
+            std::string::npos);
+  // Duplicate rater reported at the second occurrence's line.
+  EXPECT_NE(store_error_message("1,2,3\n2,0,0\n1,4,5\n").find("line 3"),
+            std::string::npos);
+  EXPECT_NE(store_error_message("7,nan,0\n").find("non-finite"),
+            std::string::npos);
+}
+
+TEST(StoreIo, RoundTripIsExactForNonRepresentableDecimals) {
+  // max_digits10 output: evidence values with no short decimal form still
+  // round-trip bit-exactly (checkpoint-resume depends on this).
+  trust::TrustStore store;
+  store.record(1) = {.successes = 0.1 + 0.2, .failures = 1.0 / 3.0};
+  store.record(2) = {.successes = 1e-17, .failures = 12345.678901234567};
+  std::ostringstream out;
+  trust::save_store_csv(store, out);
+  std::istringstream in(out.str());
+  const trust::TrustStore loaded = trust::load_store_csv(in);
+  for (const auto& [id, rec] : store.records()) {
+    EXPECT_EQ(loaded.records().at(id).successes, rec.successes);
+    EXPECT_EQ(loaded.records().at(id).failures, rec.failures);
+  }
 }
 
 }  // namespace

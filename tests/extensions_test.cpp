@@ -222,11 +222,21 @@ TEST(Streaming, AnchorsAtFirstRating) {
   EXPECT_EQ(stream.epochs_closed(), 1u);
 }
 
-TEST(Streaming, OutOfOrderRejected) {
+TEST(Streaming, TimeRegressionQuarantinedNotThrown) {
+  // Documented submit() contract: with the default lateness bound of 0, a
+  // time regression is dropped late and dead-lettered, never processed and
+  // never an exception (see core/streaming.hpp and DESIGN.md §6).
   core::StreamingRatingSystem stream(streaming_config(), 30.0);
   stream.submit({10.0, 0.5, 1, 0, RatingLabel::kHonest});
-  EXPECT_THROW(stream.submit({5.0, 0.5, 2, 0, RatingLabel::kHonest}),
-               PreconditionError);
+  EXPECT_EQ(stream.submit({5.0, 0.5, 2, 0, RatingLabel::kHonest}),
+            core::IngestClass::kLate);
+  EXPECT_EQ(stream.ingest_stats().dropped_late, 1u);
+  EXPECT_EQ(stream.ingest_stats().quarantined, 1u);
+  ASSERT_EQ(stream.quarantine().size(), 1u);
+  EXPECT_EQ(stream.quarantine().front().rating.rater, 2u);
+  EXPECT_EQ(stream.quarantine().front().reason, core::IngestClass::kLate);
+  // The regressed rating never reached the pipeline.
+  EXPECT_EQ(stream.pending_ratings(), 1u);
 }
 
 TEST(Streaming, LongGapClosesMultipleEpochs) {

@@ -1,0 +1,370 @@
+// Fault-tolerance tests for the hardened streaming front-end: the
+// bounded-lateness ingest buffer, quarantine semantics, degraded-mode
+// epoch handling, and the FaultInjector-driven end-to-end suite (each
+// fault class must leave the stream running with accurate counters, and
+// repairable faults must reproduce the clean run's trust values exactly).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "core/streaming.hpp"
+#include "data/inject.hpp"
+
+namespace trustrate {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+// ----------------------------------------------------------- IngestBuffer
+
+TEST(IngestBuffer, ReleasesInTimeOrderWithinLatenessBound) {
+  core::IngestBuffer buffer({.max_lateness_days = 5.0});
+  std::vector<Rating> released;
+  EXPECT_EQ(buffer.submit({10.0, 0.5, 1, 0, RatingLabel::kHonest}, released),
+            core::IngestClass::kAccepted);
+  EXPECT_EQ(buffer.submit({12.0, 0.5, 2, 0, RatingLabel::kHonest}, released),
+            core::IngestClass::kAccepted);
+  // 11.0 regresses but stays within the bound: accepted as reordered.
+  EXPECT_EQ(buffer.submit({11.0, 0.5, 3, 0, RatingLabel::kHonest}, released),
+            core::IngestClass::kReordered);
+  // Nothing released yet: watermark is 12 - 5 = 7.
+  EXPECT_TRUE(released.empty());
+  EXPECT_EQ(buffer.buffered(), 3u);
+
+  // 18.0 pushes the watermark to 13: everything releases, sorted.
+  buffer.submit({18.0, 0.5, 4, 0, RatingLabel::kHonest}, released);
+  ASSERT_EQ(released.size(), 3u);
+  EXPECT_DOUBLE_EQ(released[0].time, 10.0);
+  EXPECT_DOUBLE_EQ(released[1].time, 11.0);
+  EXPECT_DOUBLE_EQ(released[2].time, 12.0);
+  EXPECT_EQ(buffer.buffered(), 1u);
+
+  buffer.drain(released);
+  ASSERT_EQ(released.size(), 4u);
+  EXPECT_DOUBLE_EQ(released[3].time, 18.0);
+  EXPECT_EQ(buffer.stats().accepted, 4u);
+  EXPECT_EQ(buffer.stats().reordered, 1u);
+}
+
+TEST(IngestBuffer, BehindWatermarkDroppedLate) {
+  core::IngestBuffer buffer({.max_lateness_days = 2.0});
+  std::vector<Rating> released;
+  buffer.submit({10.0, 0.5, 1, 0, RatingLabel::kHonest}, released);
+  EXPECT_EQ(buffer.submit({7.5, 0.5, 2, 0, RatingLabel::kHonest}, released),
+            core::IngestClass::kLate);
+  EXPECT_EQ(buffer.stats().dropped_late, 1u);
+  EXPECT_EQ(buffer.stats().quarantined, 1u);
+  ASSERT_EQ(buffer.quarantine().size(), 1u);
+  EXPECT_EQ(buffer.quarantine().front().reason, core::IngestClass::kLate);
+}
+
+TEST(IngestBuffer, ExactDuplicatesDropped) {
+  core::IngestBuffer buffer({.max_lateness_days = 10.0});
+  std::vector<Rating> released;
+  const Rating r{5.0, 0.7, 9, 3, RatingLabel::kHonest};
+  EXPECT_EQ(buffer.submit(r, released), core::IngestClass::kAccepted);
+  EXPECT_EQ(buffer.submit(r, released), core::IngestClass::kDuplicate);
+  // Same rater/time but different value is NOT a duplicate (equal time is
+  // not a regression, so it is a plain accept).
+  EXPECT_EQ(buffer.submit({5.0, 0.8, 9, 3, RatingLabel::kHonest}, released),
+            core::IngestClass::kAccepted);
+  EXPECT_EQ(buffer.stats().duplicates, 1u);
+  EXPECT_EQ(buffer.stats().accepted, 2u);
+}
+
+TEST(IngestBuffer, MalformedQuarantined) {
+  core::IngestBuffer buffer;
+  std::vector<Rating> released;
+  EXPECT_EQ(buffer.submit({kNan, 0.5, 1, 0, RatingLabel::kHonest}, released),
+            core::IngestClass::kMalformed);
+  EXPECT_EQ(buffer.submit({1.0, kNan, 1, 0, RatingLabel::kHonest}, released),
+            core::IngestClass::kMalformed);
+  EXPECT_EQ(buffer.submit({1.0, 1.5, 1, 0, RatingLabel::kHonest}, released),
+            core::IngestClass::kMalformed);
+  EXPECT_EQ(buffer.submit({1.0, -0.1, 1, 0, RatingLabel::kHonest}, released),
+            core::IngestClass::kMalformed);
+  EXPECT_EQ(buffer.stats().malformed, 4u);
+  EXPECT_EQ(buffer.stats().quarantined, 4u);
+  EXPECT_EQ(buffer.stats().accepted, 0u);
+  EXPECT_TRUE(released.empty());
+}
+
+TEST(IngestBuffer, QuarantineCapped) {
+  core::IngestBuffer buffer({.max_lateness_days = 0.0, .max_quarantine = 3});
+  std::vector<Rating> released;
+  for (int i = 0; i < 10; ++i) {
+    buffer.submit({1.0, 2.0 + i, 1, 0, RatingLabel::kHonest}, released);
+  }
+  EXPECT_EQ(buffer.stats().quarantined, 10u);  // counters keep counting
+  EXPECT_EQ(buffer.quarantine().size(), 3u);   // list stays bounded
+  // Newest offenders are retained.
+  EXPECT_DOUBLE_EQ(buffer.quarantine().back().rating.value, 11.0);
+}
+
+TEST(IngestBuffer, ZeroLatenessDemandsSortedStream) {
+  core::IngestBuffer buffer;  // default: max_lateness_days = 0
+  std::vector<Rating> released;
+  buffer.submit({1.0, 0.5, 1, 0, RatingLabel::kHonest}, released);
+  ASSERT_EQ(released.size(), 1u);  // released immediately
+  EXPECT_EQ(buffer.submit({0.5, 0.5, 2, 0, RatingLabel::kHonest}, released),
+            core::IngestClass::kLate);
+  // Equal times are fine.
+  EXPECT_EQ(buffer.submit({1.0, 0.6, 3, 0, RatingLabel::kHonest}, released),
+            core::IngestClass::kAccepted);
+}
+
+TEST(IngestBuffer, ClassNames) {
+  EXPECT_STREQ(core::to_string(core::IngestClass::kAccepted), "accepted");
+  EXPECT_STREQ(core::to_string(core::IngestClass::kMalformed), "malformed");
+}
+
+// ----------------------------------------------------- streaming + faults
+
+core::SystemConfig pipeline_config() {
+  core::SystemConfig cfg;
+  cfg.filter.q = 0.02;
+  cfg.ar.window_days = 8.0;
+  cfg.ar.step_days = 2.0;
+  cfg.ar.error_threshold = 0.024;
+  cfg.b = 10.0;
+  return cfg;
+}
+
+/// Three months of honest traffic with a month-2 shill campaign — enough
+/// structure for the detector to have something to find.
+RatingSeries attack_stream(std::uint64_t seed) {
+  Rng rng(seed);
+  RatingSeries stream;
+  for (int month = 0; month < 3; ++month) {
+    const double t0 = month * 30.0;
+    for (double t = t0 + rng.exponential(8.0); t < t0 + 30.0;
+         t += rng.exponential(8.0)) {
+      stream.push_back(
+          {t, quantize_unit(clamp_unit(rng.gaussian(0.55, 0.25)), 10, false),
+           static_cast<RaterId>(rng.uniform_int(0, 200)), 1,
+           RatingLabel::kHonest});
+    }
+    if (month == 1) {
+      RaterId shill = 9000;
+      for (double t = t0 + 8.0 + rng.exponential(18.0); t < t0 + 18.0;
+           t += rng.exponential(18.0)) {
+        stream.push_back(
+            {t, quantize_unit(clamp_unit(rng.gaussian(0.72, 0.02)), 10, false),
+             shill++, 1, RatingLabel::kCollaborative2});
+      }
+    }
+  }
+  sort_by_time(stream);
+  return stream;
+}
+
+/// Runs a full stream through a fresh system and returns it.
+core::StreamingRatingSystem run_stream(const RatingSeries& arrivals,
+                                       core::IngestConfig ingest = {}) {
+  core::StreamingRatingSystem stream(pipeline_config(), 30.0, 2, ingest);
+  for (const Rating& r : arrivals) stream.submit(r);
+  stream.flush();
+  return stream;
+}
+
+/// Asserts bit-exact trust equality over the union of both stores.
+void expect_identical_trust(const core::StreamingRatingSystem& a,
+                            const core::StreamingRatingSystem& b) {
+  const auto& ra = a.system().trust_store().records();
+  const auto& rb = b.system().trust_store().records();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (const auto& [id, rec] : ra) {
+    ASSERT_TRUE(rb.contains(id)) << "rater " << id;
+    EXPECT_EQ(rec.successes, rb.at(id).successes) << "rater " << id;
+    EXPECT_EQ(rec.failures, rb.at(id).failures) << "rater " << id;
+  }
+}
+
+TEST(FaultTolerance, ReorderedWithinBoundMatchesCleanRunExactly) {
+  const RatingSeries clean = attack_stream(101);
+  data::FaultInjector injector({.delay_fraction = 0.3, .max_delay_days = 3.0},
+                               7);
+  const RatingSeries faulted = injector.corrupt(clean);
+  ASSERT_GT(injector.summary().reordered, 10u);
+
+  const auto baseline = run_stream(clean);
+  const auto hardened = run_stream(faulted, {.max_lateness_days = 3.0});
+
+  const auto& stats = hardened.ingest_stats();
+  EXPECT_EQ(stats.submitted, faulted.size());
+  EXPECT_EQ(stats.accepted, clean.size());
+  EXPECT_EQ(stats.reordered, injector.summary().reordered);
+  EXPECT_EQ(stats.dropped_late, 0u);
+  EXPECT_EQ(stats.duplicates, 0u);
+  EXPECT_EQ(stats.malformed, 0u);
+
+  // Bounded reordering is fully repaired: bit-exact downstream equality.
+  EXPECT_EQ(hardened.epochs_closed(), baseline.epochs_closed());
+  expect_identical_trust(baseline, hardened);
+  EXPECT_EQ(baseline.aggregate(1), hardened.aggregate(1));
+}
+
+TEST(FaultTolerance, DuplicatesDroppedAndCounted) {
+  const RatingSeries clean = attack_stream(102);
+  data::FaultInjector injector({.duplicate_fraction = 0.25}, 8);
+  const RatingSeries faulted = injector.corrupt(clean);
+  ASSERT_GT(injector.summary().duplicated, 10u);
+
+  const auto baseline = run_stream(clean);
+  const auto hardened = run_stream(faulted);
+
+  EXPECT_EQ(hardened.ingest_stats().duplicates, injector.summary().duplicated);
+  EXPECT_EQ(hardened.ingest_stats().accepted, clean.size());
+  expect_identical_trust(baseline, hardened);
+}
+
+TEST(FaultTolerance, MalformedQuarantinedAndCounted) {
+  const RatingSeries clean = attack_stream(103);
+  data::FaultInjector injector({.corrupt_fraction = 0.1}, 9);
+  const RatingSeries faulted = injector.corrupt(clean);
+  ASSERT_GT(injector.summary().corrupted, 5u);
+
+  const auto hardened = run_stream(faulted);
+  const auto& stats = hardened.ingest_stats();
+  EXPECT_EQ(stats.malformed, injector.summary().corrupted);
+  EXPECT_EQ(stats.quarantined, injector.summary().corrupted);
+  EXPECT_EQ(stats.accepted, clean.size() - injector.summary().corrupted);
+  // The pipeline still closed its epochs and still distrusts the shills.
+  EXPECT_EQ(hardened.epochs_closed(), 3u);
+  double shill_trust = 0.0;
+  int shills = 0;
+  for (const auto& [id, rec] : hardened.system().trust_store().records()) {
+    if (id >= 9000) {
+      shill_trust += rec.trust();
+      ++shills;
+    }
+  }
+  ASSERT_GT(shills, 5);
+  EXPECT_LT(shill_trust / shills, 0.45);
+}
+
+TEST(FaultTolerance, BeyondBoundDroppedLateStreamSurvives) {
+  const RatingSeries clean = attack_stream(104);
+  data::FaultInjector injector({.delay_fraction = 0.2, .max_delay_days = 10.0},
+                               10);
+  const RatingSeries faulted = injector.corrupt(clean);
+
+  // Lateness bound much smaller than the injected delays: some arrivals
+  // miss the window and must be dead-lettered, not processed or thrown.
+  const auto hardened = run_stream(faulted, {.max_lateness_days = 1.0});
+  const auto& stats = hardened.ingest_stats();
+  EXPECT_GT(stats.dropped_late, 0u);
+  EXPECT_EQ(stats.submitted, faulted.size());
+  EXPECT_EQ(stats.accepted + stats.dropped_late, faulted.size());
+  EXPECT_EQ(stats.quarantined, stats.dropped_late + stats.malformed);
+  for (const auto& q : hardened.quarantine()) {
+    EXPECT_EQ(q.reason, core::IngestClass::kLate);
+  }
+}
+
+TEST(FaultTolerance, AllFaultClassesAtOnceCountersReconcile) {
+  const RatingSeries clean = attack_stream(105);
+  data::FaultInjector injector({.delay_fraction = 0.2,
+                                .max_delay_days = 2.0,
+                                .duplicate_fraction = 0.1,
+                                .corrupt_fraction = 0.05},
+                               11);
+  const RatingSeries faulted = injector.corrupt(clean);
+
+  const auto hardened = run_stream(faulted, {.max_lateness_days = 2.0});
+  const auto& stats = hardened.ingest_stats();
+  EXPECT_EQ(stats.submitted, faulted.size());
+  EXPECT_EQ(stats.duplicates, injector.summary().duplicated);
+  EXPECT_EQ(stats.malformed, injector.summary().corrupted);
+  EXPECT_EQ(stats.reordered, injector.summary().reordered);
+  EXPECT_EQ(stats.dropped_late, 0u);  // delays within the bound
+  EXPECT_EQ(stats.submitted,
+            stats.accepted + stats.duplicates + stats.malformed);
+}
+
+// ---------------------------------------------------------- degraded mode
+
+TEST(DegradedMode, SparseEpochFallsBackToBetaFilterOnly) {
+  // Three ratings per epoch: every AR window is shorter than the normal
+  // equations need, so the epoch must close on the beta-filter-only path
+  // with a health flag — not throw.
+  core::StreamingRatingSystem stream(pipeline_config(), 30.0);
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    const double t0 = epoch * 30.0;
+    stream.submit({t0 + 1.0, 0.5, 1, 0, RatingLabel::kHonest});
+    stream.submit({t0 + 2.0, 0.6, 2, 0, RatingLabel::kHonest});
+    stream.submit({t0 + 3.0, 0.4, 3, 0, RatingLabel::kHonest});
+  }
+  stream.flush();
+  ASSERT_EQ(stream.epochs_closed(), 2u);
+  ASSERT_EQ(stream.epoch_health().size(), 2u);
+  EXPECT_EQ(stream.epoch_health()[0], core::EpochHealth::kDegradedDetector);
+  EXPECT_EQ(stream.degraded_epochs(), 2u);
+  // Trust was still updated from the filter path.
+  EXPECT_GT(stream.system().trust_store().size(), 0u);
+}
+
+TEST(DegradedMode, FallbackMatchesDetectorDisabledRun) {
+  // A degraded epoch's trust updates must equal a run with the AR detector
+  // explicitly disabled — the documented beta-filter-only fallback.
+  RatingSeries sparse;
+  for (int i = 0; i < 5; ++i) {
+    sparse.push_back({static_cast<double>(i), 0.4 + 0.05 * i,
+                      static_cast<RaterId>(i), 0, RatingLabel::kHonest});
+  }
+  auto degraded_cfg = pipeline_config();
+  core::StreamingRatingSystem degraded(degraded_cfg, 30.0);
+  for (const Rating& r : sparse) degraded.submit(r);
+  degraded.flush();
+  ASSERT_EQ(degraded.degraded_epochs(), 1u);
+
+  auto no_detector_cfg = pipeline_config();
+  no_detector_cfg.enable_ar_detector = false;
+  core::StreamingRatingSystem reference(no_detector_cfg, 30.0);
+  for (const Rating& r : sparse) reference.submit(r);
+  reference.flush();
+
+  for (RaterId id = 0; id < 5; ++id) {
+    EXPECT_EQ(degraded.trust(id), reference.trust(id)) << "rater " << id;
+  }
+}
+
+TEST(DegradedMode, HealthyEpochNotFlagged) {
+  const RatingSeries clean = attack_stream(106);
+  const auto stream = run_stream(clean);
+  ASSERT_GT(stream.epoch_health().size(), 0u);
+  EXPECT_EQ(stream.epoch_health()[0], core::EpochHealth::kHealthy);
+}
+
+// ----------------------------------------------------------- FaultInjector
+
+TEST(FaultInjector, DeterministicGivenSeed) {
+  const RatingSeries clean = attack_stream(107);
+  data::FaultInjector a({.delay_fraction = 0.2, .max_delay_days = 2.0}, 3);
+  data::FaultInjector b({.delay_fraction = 0.2, .max_delay_days = 2.0}, 3);
+  EXPECT_EQ(a.corrupt(clean), b.corrupt(clean));
+}
+
+TEST(FaultInjector, NoFaultsIsIdentity) {
+  const RatingSeries clean = attack_stream(108);
+  data::FaultInjector injector({}, 4);
+  EXPECT_EQ(injector.corrupt(clean), clean);
+  EXPECT_EQ(injector.summary().total, clean.size());
+  EXPECT_EQ(injector.summary().reordered, 0u);
+}
+
+TEST(FaultInjector, ValidatesConfig) {
+  EXPECT_THROW(data::FaultInjector({.delay_fraction = 0.8,
+                                    .duplicate_fraction = 0.3},
+                                   1),
+               PreconditionError);
+  EXPECT_THROW(data::FaultInjector({.max_delay_days = -1.0}, 1),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace trustrate
