@@ -1,0 +1,61 @@
+// Micro-benchmark: parallel epoch engine scaling (DESIGN.md §8).
+//
+// One 64-product epoch, ~60 days of dense ratings per product with a daily
+// AR window step so the per-product stage dominates. The system (and with
+// it the worker pool) is constructed once outside the timing loop — the
+// steady-state streaming case, where the pool is reused every epoch close.
+// BM_ParallelEpoch/1 is the serial baseline (no pool, classic loop);
+// speedup at Arg(N) is baseline_time / argN_time. Expect ~N× up to the
+// machine's core count and flat lines beyond it (or everywhere, on a
+// single-core host).
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "core/system.hpp"
+
+using namespace trustrate;
+
+namespace {
+
+std::vector<core::ProductObservation> dense_epoch(std::size_t products) {
+  Rng rng(11);
+  std::vector<core::ProductObservation> obs(products);
+  for (std::size_t p = 0; p < products; ++p) {
+    obs[p].product = static_cast<ProductId>(p);
+    obs[p].t_start = 0.0;
+    obs[p].t_end = 60.0;
+    for (double t = rng.exponential(8.0); t < 60.0;
+         t += rng.exponential(8.0)) {
+      obs[p].ratings.push_back(
+          {t, quantize_unit(clamp_unit(rng.gaussian(0.5, 0.2)), 10, false),
+           static_cast<RaterId>(rng.uniform_int(0, 2000)),
+           obs[p].product, RatingLabel::kHonest});
+    }
+    sort_by_time(obs[p].ratings);
+  }
+  return obs;
+}
+
+void BM_ParallelEpoch(benchmark::State& state) {
+  const auto observations = dense_epoch(64);
+  core::SystemConfig cfg;
+  cfg.ar.window_days = 10.0;
+  cfg.ar.step_days = 1.0;  // heavy window sweep per product
+  cfg.epoch_workers = static_cast<std::size_t>(state.range(0));
+  core::TrustEnhancedRatingSystem system(cfg);
+  std::size_t ratings = 0;
+  for (const auto& o : observations) ratings += o.ratings.size();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.process_epoch(observations));
+  }
+  state.SetItemsProcessed(state.iterations() * ratings);
+  state.counters["workers"] = static_cast<double>(cfg.epoch_workers);
+}
+BENCHMARK(BM_ParallelEpoch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace

@@ -126,8 +126,8 @@ struct CheckpointAccess {
         << ing.config_.max_quarantine << '\n';
     out << "anchor " << (s.anchored_ ? 1 : 0) << ' '
         << format_double(s.epoch_start_) << ' ' << format_double(s.last_time_)
-        << ' ' << s.epochs_closed_ << ' ' << s.system_.epochs_processed()
-        << '\n';
+        << ' ' << s.epochs_closed_ << ' ' << s.skipped_empty_epochs_ << ' '
+        << s.system_.epochs_processed() << '\n';
 
     const IngestStats& st = ing.stats_;
     out << "stats " << st.submitted << ' ' << st.accepted << ' '
@@ -191,7 +191,7 @@ struct CheckpointAccess {
     TokenReader reader(in);
     reader.expect("trustrate-checkpoint");
     const std::size_t version = reader.read_size("version");
-    if (version != static_cast<std::size_t>(kCheckpointVersion)) {
+    if (version < 1 || version > static_cast<std::size_t>(kCheckpointVersion)) {
       throw CheckpointError("unsupported checkpoint version " +
                             std::to_string(version));
     }
@@ -210,6 +210,9 @@ struct CheckpointAccess {
     s.epoch_start_ = reader.read_double("epoch_start");
     s.last_time_ = reader.read_double("last_time");
     s.epochs_closed_ = reader.read_size("epochs_closed");
+    if (version >= 2) {
+      s.skipped_empty_epochs_ = reader.read_size("skipped_empty_epochs");
+    }
     const std::size_t system_epochs = reader.read_size("system_epochs");
 
     IngestBuffer& ing = s.ingest_;

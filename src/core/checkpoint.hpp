@@ -27,8 +27,14 @@
 
 namespace trustrate::core {
 
-/// Current checkpoint format version.
-inline constexpr int kCheckpointVersion = 1;
+/// Current checkpoint format version. Version 2 added the skipped-empty-
+/// epoch counter to the anchor line; version-1 checkpoints still load
+/// (the counter defaults to 0). Note the parallel epoch engine's worker
+/// count is deliberately NOT part of the format — it is configuration
+/// (SystemConfig::epoch_workers, re-supplied by the caller), and results
+/// are worker-count-invariant, so a checkpoint taken at 8 workers resumes
+/// bit-exactly at 1 and vice versa.
+inline constexpr int kCheckpointVersion = 2;
 
 /// Writes the complete streaming state. Deterministic: products and raters
 /// are sorted, so equal states produce byte-identical checkpoints.

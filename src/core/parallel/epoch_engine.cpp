@@ -1,0 +1,84 @@
+#include "core/parallel/epoch_engine.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/parallel/thread_pool.hpp"
+
+namespace trustrate::core::parallel {
+
+ProductReport analyze_product(const ProductObservation& obs,
+                              const StageContext& ctx) {
+  const SystemConfig& config = *ctx.config;
+  TRUSTRATE_EXPECTS(is_time_sorted(obs.ratings),
+                    "product ratings must be time-sorted");
+  ProductReport pr;
+  pr.product = obs.product;
+
+  // Feature extraction I: the rating filter.
+  if (config.enable_filter) {
+    pr.filter_outcome = ctx.filter->filter(obs.ratings);
+  } else {
+    pr.filter_outcome = detect::NullFilter{}.filter(obs.ratings);
+  }
+  pr.kept = pr.filter_outcome.kept_series(obs.ratings);
+
+  // Feature extraction II: Procedure 1. A degenerate detector pass (fit
+  // failure, or every window too short for the normal equations) must not
+  // take the epoch down: the product degrades to the beta-filter-only
+  // path and is flagged (DESIGN.md §6).
+  const RatingSeries& detector_input =
+      config.detector_on_filtered ? pr.kept : obs.ratings;
+  if (config.enable_ar_detector) {
+    try {
+      pr.suspicion =
+          ctx.detector->analyze(detector_input, obs.t_start, obs.t_end);
+      const bool any_evaluated = std::any_of(
+          pr.suspicion.windows.begin(), pr.suspicion.windows.end(),
+          [](const detect::WindowReport& w) { return w.evaluated; });
+      if (!detector_input.empty() && !any_evaluated) {
+        pr.detector_degraded = true;
+      }
+    } catch (const Error&) {
+      pr.suspicion = {};
+      pr.suspicion.in_suspicious_window.assign(detector_input.size(), false);
+      pr.detector_degraded = true;
+    }
+  } else {
+    pr.suspicion.in_suspicious_window.assign(detector_input.size(), false);
+  }
+
+  // Per-rating flags over the *input* series: filtered or suspicious.
+  pr.flagged.assign(obs.ratings.size(), false);
+  for (std::size_t i : pr.filter_outcome.removed) pr.flagged[i] = true;
+  for (std::size_t k = 0; k < detector_input.size(); ++k) {
+    if (!pr.suspicion.in_suspicious_window[k]) continue;
+    pr.flagged[config.detector_on_filtered ? pr.filter_outcome.kept[k] : k] =
+        true;
+  }
+  return pr;
+}
+
+EpochEngine::EpochEngine(std::size_t workers) : workers_(workers) {
+  TRUSTRATE_EXPECTS(workers >= 1, "epoch engine needs at least one worker");
+  if (workers > 1) pool_ = std::make_unique<ThreadPool>(workers - 1);
+}
+
+EpochEngine::~EpochEngine() = default;
+
+std::vector<ProductReport> EpochEngine::analyze(
+    std::span<const ProductObservation> observations, const StageContext& ctx) {
+  std::vector<ProductReport> reports(observations.size());
+  if (!pool_ || observations.size() < 2) {
+    for (std::size_t i = 0; i < observations.size(); ++i) {
+      reports[i] = analyze_product(observations[i], ctx);
+    }
+    return reports;
+  }
+  pool_->parallel_for(observations.size(), [&](std::size_t i) {
+    reports[i] = analyze_product(observations[i], ctx);
+  });
+  return reports;
+}
+
+}  // namespace trustrate::core::parallel

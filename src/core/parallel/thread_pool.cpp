@@ -1,0 +1,100 @@
+#include "core/parallel/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace trustrate::core::parallel {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// Shared state of one parallel_for call: the ticket counter handing out
+/// indices, a join latch over the helper tasks, and the first exception.
+struct ForState {
+  std::atomic<std::size_t> next{0};
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t live_helpers = 0;
+  std::exception_ptr error;
+
+  void run_shard() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        const std::lock_guard lock(mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->fn = &fn;  // caller blocks below, so the reference stays valid
+
+  const std::size_t helpers = std::min(workers_.size(), n - 1);
+  state->live_helpers = helpers;
+  if (helpers > 0) {
+    {
+      const std::lock_guard lock(mutex_);
+      for (std::size_t i = 0; i < helpers; ++i) {
+        queue_.push_back([state] {
+          state->run_shard();
+          const std::lock_guard lock(state->mutex);
+          if (--state->live_helpers == 0) state->done.notify_one();
+        });
+      }
+    }
+    wake_.notify_all();
+  }
+
+  state->run_shard();  // the caller is a worker too
+  {
+    std::unique_lock lock(state->mutex);
+    state->done.wait(lock, [&] { return state->live_helpers == 0; });
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace trustrate::core::parallel

@@ -1,0 +1,53 @@
+// Fixed-size thread pool backing the parallel epoch engine (core/parallel).
+//
+// The pool starts its worker threads once and keeps them alive until
+// destruction, so repeated per-epoch fan-outs (the streaming front-end
+// closes an epoch every `epoch_days`) pay no thread-spawn cost. The only
+// entry point is `parallel_for`, a blocking fork-join primitive: the
+// calling thread participates as one worker, so a pool of W-1 threads
+// yields W-way concurrency and a pool of 0 threads degenerates to a plain
+// serial loop with no synchronization beyond function-call overhead.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace trustrate::core::parallel {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 is valid: parallel_for then runs entirely
+  /// in the caller).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t threads() const { return workers_.size(); }
+
+  /// Runs fn(i) for every i in [0, n), blocking until all indices have
+  /// executed. The caller participates, so total concurrency is
+  /// threads() + 1. Indices are claimed dynamically from a shared ticket
+  /// counter — *assignment* of index to thread is nondeterministic, so fn
+  /// must write only to per-index state (slot i). The first exception
+  /// thrown by fn is rethrown here after the join; remaining indices still
+  /// run (there is no cancellation).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace trustrate::core::parallel

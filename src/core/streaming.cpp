@@ -29,11 +29,36 @@ void StreamingRatingSystem::route(const Rating& rating) {
   }
   last_time_ = rating.time;
 
-  // Close as many epochs as the stream has moved past.
+  // Close as many epochs as the stream has moved past. Only the first
+  // close can carry data; once pending_ is empty the rest of the gap is
+  // a fully empty span, which is skipped in O(1) instead of spinning one
+  // close (and one EpochHealth entry) per elapsed epoch — a year-long gap
+  // with a small epoch would otherwise close thousands of empty epochs.
   while (rating.time >= epoch_start_ + epoch_days_) {
+    if (pending_.empty()) {
+      fast_forward_empty_epochs(rating.time);
+      break;
+    }
     close_epoch(epoch_start_ + epoch_days_);
   }
   pending_[rating.product].push_back(rating);
+}
+
+void StreamingRatingSystem::fast_forward_empty_epochs(double now) {
+  // now >= epoch_start_ + epoch_days_, so skip >= 1.
+  auto skip = static_cast<std::size_t>((now - epoch_start_) / epoch_days_);
+  epoch_start_ += static_cast<double>(skip) * epoch_days_;
+  // Floating-point guards: land on the grid cell containing `now` even
+  // when the multiply rounds the boundary across it.
+  while (epoch_start_ > now) {
+    epoch_start_ -= epoch_days_;
+    --skip;
+  }
+  while (now >= epoch_start_ + epoch_days_) {
+    epoch_start_ += epoch_days_;
+    ++skip;
+  }
+  skipped_empty_epochs_ += skip;
 }
 
 std::size_t StreamingRatingSystem::flush() {
@@ -58,6 +83,13 @@ void StreamingRatingSystem::close_epoch(double epoch_end) {
     observations.push_back(std::move(obs));
   }
   pending_.clear();
+  // Fixed product-ID order: the epoch pipeline (and the parallel engine's
+  // merge) sees products in the same order on every run and platform, not
+  // in hash-map iteration order.
+  std::sort(observations.begin(), observations.end(),
+            [](const ProductObservation& a, const ProductObservation& b) {
+              return a.product < b.product;
+            });
 
   EpochHealth health = EpochHealth::kHealthy;
   if (!observations.empty()) {

@@ -107,8 +107,14 @@ class StreamingRatingSystem {
     return ingest_.quarantine();
   }
 
-  /// Per-epoch health flags, one per closed epoch, in close order.
+  /// Per-epoch health flags, one per closed epoch, in close order. Fully
+  /// empty epochs skipped by the gap fast-forward do not appear here.
   const std::vector<EpochHealth>& epoch_health() const { return epoch_health_; }
+
+  /// Fully empty epochs the stream fast-forwarded over (large timestamp
+  /// gaps): they closed nothing, updated no trust, and are not counted in
+  /// epochs_closed() or epoch_health().
+  std::size_t skipped_empty_epochs() const { return skipped_empty_epochs_; }
 
   /// Closed epochs that fell back to the beta-filter-only path.
   std::size_t degraded_epochs() const;
@@ -124,6 +130,10 @@ class StreamingRatingSystem {
   void route(const Rating& rating);
   void close_epoch(double epoch_end);
 
+  /// Advances epoch_start_ over the fully empty span up to (and including)
+  /// the epoch containing `now`, in O(1), bumping skipped_empty_epochs_.
+  void fast_forward_empty_epochs(double now);
+
   TrustEnhancedRatingSystem system_;
   double epoch_days_;
   std::size_t retention_epochs_;
@@ -135,6 +145,7 @@ class StreamingRatingSystem {
   double epoch_start_ = 0.0;
   double last_time_ = 0.0;
   std::size_t epochs_closed_ = 0;
+  std::size_t skipped_empty_epochs_ = 0;
   std::vector<EpochHealth> epoch_health_;
 
   std::unordered_map<ProductId, RatingSeries> pending_;

@@ -4,11 +4,13 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "core/parallel/epoch_engine.hpp"
 
 namespace trustrate::core {
 
 TrustEnhancedRatingSystem::TrustEnhancedRatingSystem(SystemConfig config)
-    : config_(config), filter_(config.filter), detector_(config.ar) {
+    : config_(config), filter_(config.filter), detector_(config.ar),
+      engine_(std::make_unique<parallel::EpochEngine>(config.epoch_workers)) {
   TRUSTRATE_EXPECTS(config_.b >= 0.0, "Procedure 2 parameter b must be >= 0");
   TRUSTRATE_EXPECTS(config_.forgetting > 0.0 && config_.forgetting <= 1.0,
                     "forgetting factor must be in (0, 1]");
@@ -17,6 +19,12 @@ TrustEnhancedRatingSystem::TrustEnhancedRatingSystem(SystemConfig config)
                     "malicious threshold must be in (0, 1)");
 }
 
+TrustEnhancedRatingSystem::~TrustEnhancedRatingSystem() = default;
+TrustEnhancedRatingSystem::TrustEnhancedRatingSystem(
+    TrustEnhancedRatingSystem&&) noexcept = default;
+TrustEnhancedRatingSystem& TrustEnhancedRatingSystem::operator=(
+    TrustEnhancedRatingSystem&&) noexcept = default;
+
 EpochReport TrustEnhancedRatingSystem::process_epoch(
     std::span<const ProductObservation> observations) {
   EpochReport report;
@@ -24,57 +32,24 @@ EpochReport TrustEnhancedRatingSystem::process_epoch(
   // Record maintenance: fade old evidence before folding in the new epoch.
   if (config_.forgetting < 1.0) store_.fade_all(config_.forgetting);
 
-  // Per-rater Procedure-2 observations accumulated across the epoch's
-  // products.
+  // Stage 1 — independent per-product analysis (filter → Procedure 1 →
+  // flags), sharded across the epoch engine. Slot i of `products` holds
+  // observation i's report regardless of which worker computed it.
+  const parallel::StageContext ctx{&config_, &filter_, &detector_};
+  std::vector<ProductReport> products = engine_->analyze(observations, ctx);
+
+  // Stage 2 — deterministic merge in input-slot order. Every accumulation
+  // below (metrics, per-rater n/f/s/C) runs in exactly the order of the
+  // serial loop, so the report and the trust store are bitwise-identical
+  // at any worker count.
   std::unordered_map<RaterId, trust::EpochObservation> epoch_obs;
-
-  for (const ProductObservation& obs : observations) {
-    TRUSTRATE_EXPECTS(is_time_sorted(obs.ratings),
-                      "product ratings must be time-sorted");
-    ProductReport pr;
-    pr.product = obs.product;
-
-    // Feature extraction I: the rating filter.
-    if (config_.enable_filter) {
-      pr.filter_outcome = filter_.filter(obs.ratings);
-    } else {
-      pr.filter_outcome = detect::NullFilter{}.filter(obs.ratings);
-    }
-    pr.kept = pr.filter_outcome.kept_series(obs.ratings);
-
-    // Feature extraction II: Procedure 1. A degenerate detector pass (fit
-    // failure, or every window too short for the normal equations) must not
-    // take the epoch down: the product degrades to the beta-filter-only
-    // path and is flagged (DESIGN.md §6).
+  for (std::size_t slot = 0; slot < observations.size(); ++slot) {
+    const ProductObservation& obs = observations[slot];
+    ProductReport& pr = products[slot];
     const RatingSeries& detector_input =
         config_.detector_on_filtered ? pr.kept : obs.ratings;
-    if (config_.enable_ar_detector) {
-      try {
-        pr.suspicion = detector_.analyze(detector_input, obs.t_start, obs.t_end);
-        const bool any_evaluated = std::any_of(
-            pr.suspicion.windows.begin(), pr.suspicion.windows.end(),
-            [](const detect::WindowReport& w) { return w.evaluated; });
-        if (!detector_input.empty() && !any_evaluated) {
-          pr.detector_degraded = true;
-        }
-      } catch (const Error&) {
-        pr.suspicion = {};
-        pr.suspicion.in_suspicious_window.assign(detector_input.size(), false);
-        pr.detector_degraded = true;
-      }
-    } else {
-      pr.suspicion.in_suspicious_window.assign(detector_input.size(), false);
-    }
-    report.detector_degraded |= pr.detector_degraded;
 
-    // Per-rating flags over the *input* series: filtered or suspicious.
-    pr.flagged.assign(obs.ratings.size(), false);
-    for (std::size_t i : pr.filter_outcome.removed) pr.flagged[i] = true;
-    for (std::size_t k = 0; k < detector_input.size(); ++k) {
-      if (!pr.suspicion.in_suspicious_window[k]) continue;
-      pr.flagged[config_.detector_on_filtered ? pr.filter_outcome.kept[k] : k] =
-          true;
-    }
+    report.detector_degraded |= pr.detector_degraded;
     report.rating_metrics += score_rating_flags(obs.ratings, pr.flagged);
 
     // Observation buffer: accumulate n / f / s / C per rater.

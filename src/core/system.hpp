@@ -35,6 +35,10 @@
 
 namespace trustrate::core {
 
+namespace parallel {
+class EpochEngine;
+}  // namespace parallel
+
 struct SystemConfig {
   // Feature extraction I.
   bool enable_filter = true;
@@ -63,6 +67,14 @@ struct SystemConfig {
 
   /// Aggregation scheme used by aggregate().
   agg::AggregatorKind aggregator = agg::AggregatorKind::kModifiedWeightedAverage;
+
+  /// Worker count of the parallel epoch engine (core/parallel). 1 runs the
+  /// classic serial loop with no threads; W > 1 shards the per-product
+  /// filter + AR sweep across W workers (W − 1 pool threads plus the
+  /// caller). Output is bitwise-identical at every worker count — see
+  /// DESIGN.md §8. This is *configuration*, not state: checkpoints never
+  /// record it, so a stream saved at 8 workers restores fine at 1.
+  std::size_t epoch_workers = 1;
 };
 
 /// Ratings of one product during one epoch, with the product's active span
@@ -106,10 +118,17 @@ struct EpochReport {
 class TrustEnhancedRatingSystem {
  public:
   explicit TrustEnhancedRatingSystem(SystemConfig config = {});
+  ~TrustEnhancedRatingSystem();
+  TrustEnhancedRatingSystem(TrustEnhancedRatingSystem&&) noexcept;
+  TrustEnhancedRatingSystem& operator=(TrustEnhancedRatingSystem&&) noexcept;
 
   /// Processes one epoch: filters each product's ratings, runs the AR
   /// detector on the survivors, and applies Procedure 2 to every rater
   /// active in the epoch. Forgetting is applied before the update.
+  ///
+  /// The per-product stage runs on the epoch engine
+  /// (SystemConfig::epoch_workers); reports and trust-evidence deltas are
+  /// merged in input order, so results do not depend on the worker count.
   EpochReport process_epoch(std::span<const ProductObservation> observations);
 
   /// Trust in a rater (0.5 for unknown raters).
@@ -147,6 +166,7 @@ class TrustEnhancedRatingSystem {
   SystemConfig config_;
   detect::BetaQuantileFilter filter_;
   detect::ArSuspicionDetector detector_;
+  std::unique_ptr<parallel::EpochEngine> engine_;
   trust::TrustStore store_;
   trust::RecommendationBuffer recommendations_;
   std::size_t epochs_ = 0;

@@ -74,9 +74,22 @@ SuspicionResult ArSuspicionDetector::analyze(const RatingSeries& series,
     }
   }
 
-  // Procedure 1: evaluate windows in time order, accumulating C(i) with the
-  // latest-level bookkeeping so overlapping windows do not double-count.
-  std::unordered_map<RaterId, double> latest_level;
+  // Procedure 1: evaluate windows in time order, accumulating C(i) with
+  // per-rater *run* bookkeeping. A run is a streak of suspicious windows
+  // in consecutive evaluated windows all containing the rater; within one
+  // run the rater contributes the run's maximum level exactly once (the
+  // max-level reading, see the header). When the rater was absent from the
+  // preceding evaluated window the run is over, and the next suspicious
+  // appearance credits its full level again — the old code kept the stale
+  // level and credited only the delta, under-counting C(i). Tracking the
+  // evaluated-window ordinal (not a 0.0-level sentinel) keeps "not seen
+  // yet" distinct from a legitimate near-zero level.
+  struct RunState {
+    std::size_t window = 0;  ///< evaluated-window ordinal of the last hit
+    double level = 0.0;      ///< running maximum level of the current run
+  };
+  std::unordered_map<RaterId, RunState> runs;
+  std::size_t eval_ordinal = 0;
   for (WindowReport& r : reports) {
     const std::size_t n = r.last - r.first;
     if (n < needed) {
@@ -89,6 +102,7 @@ SuspicionResult ArSuspicionDetector::analyze(const RatingSeries& series,
 
     r.model_error = window_error(values);
     r.evaluated = true;
+    const std::size_t ordinal = eval_ordinal++;
     if (r.model_error < config_.error_threshold) {
       r.suspicious = true;
       r.level = config_.scale * (1.0 - r.model_error / config_.error_threshold);
@@ -96,13 +110,20 @@ SuspicionResult ArSuspicionDetector::analyze(const RatingSeries& series,
       for (std::size_t i = r.first; i < r.last; ++i) {
         result.in_suspicious_window[i] = true;
         const RaterId rater = series[i].rater;
-        double& latest = latest_level[rater];
-        if (latest == 0.0) {
+        const auto [it, fresh] = runs.try_emplace(rater, RunState{ordinal, 0.0});
+        RunState& run = it->second;
+        if (!fresh && run.window == ordinal) continue;  // already credited here
+        if (fresh || run.window + 1 != ordinal) {
+          // New run: the rater was absent from the preceding evaluated
+          // window (or never seen) — credit the full level.
           result.suspicion[rater] += r.level;
-        } else if (r.level > latest) {
-          result.suspicion[rater] += r.level - latest;
+          run.level = r.level;
+        } else if (r.level > run.level) {
+          // Run continues: top up to the new running maximum.
+          result.suspicion[rater] += r.level - run.level;
+          run.level = r.level;
         }
-        latest = r.level;
+        run.window = ordinal;
       }
     }
     result.windows.push_back(r);

@@ -14,8 +14,12 @@
 //  * Procedure 1's lines 10–14 accumulate C(i) so that consecutive
 //    overlapping suspicious windows do not double-count a rater; the
 //    printed comparison direction is internally inconsistent, so we
-//    implement the max-level reading: within a run of suspicious windows a
-//    rater contributes the maximum level once.
+//    implement the max-level reading: within a *run* of suspicious windows
+//    a rater contributes the run's maximum level exactly once. A run ends
+//    when the rater is absent from an evaluated window (tracked by the
+//    evaluated-window ordinal, not a level sentinel); each later run is a
+//    genuinely new suspicious interval and credits its full maximum again,
+//    so C(i) = sum over the rater's runs of each run's peak level.
 #pragma once
 
 #include <string>

@@ -11,7 +11,12 @@ std::vector<TimeWindow> make_time_windows(double t0, double t1, double width,
   TRUSTRATE_EXPECTS(width > 0.0 && step > 0.0, "width and step must be positive");
   TRUSTRATE_EXPECTS(t1 > t0, "make_time_windows requires t1 > t0");
   std::vector<TimeWindow> out;
-  for (double start = t0; start < t1; start += step) {
+  // Each start is computed as t0 + k*step, not by repeated `start += step`:
+  // accumulated floating-point drift over long horizons would make late
+  // window edges disagree with the t0 + k*step grid.
+  for (std::size_t k = 0;; ++k) {
+    const double start = t0 + static_cast<double>(k) * step;
+    if (start >= t1) break;
     out.push_back({start, start + width});
     // A window already covering the remainder of [t0, t1) ends the tiling.
     if (start + width >= t1) break;

@@ -43,6 +43,7 @@ RatingSeries mixed_stream(std::uint64_t seed, double days) {
 void expect_bitwise_equal_state(const core::StreamingRatingSystem& a,
                                 const core::StreamingRatingSystem& b) {
   EXPECT_EQ(a.epochs_closed(), b.epochs_closed());
+  EXPECT_EQ(a.skipped_empty_epochs(), b.skipped_empty_epochs());
   EXPECT_EQ(a.pending_ratings(), b.pending_ratings());
   EXPECT_EQ(a.buffered_ratings(), b.buffered_ratings());
   EXPECT_EQ(a.ingest_stats(), b.ingest_stats());
@@ -151,6 +152,52 @@ TEST(Checkpoint, QuarantineSurvivesRestart) {
             core::IngestClass::kMalformed);
   EXPECT_EQ(resumed.quarantine().front().rating.rater, 2u);
   EXPECT_EQ(resumed.ingest_stats().malformed, 1u);
+}
+
+TEST(Checkpoint, SkippedEmptyEpochCounterRoundTrips) {
+  // The v2 anchor line carries the gap fast-forward counter.
+  core::StreamingRatingSystem stream(pipeline_config(), 30.0);
+  stream.submit({0.0, 0.5, 1, 1, RatingLabel::kHonest});
+  stream.submit({200.0, 0.5, 2, 1, RatingLabel::kHonest});  // skips [30,180)
+  ASSERT_GT(stream.skipped_empty_epochs(), 0u);
+
+  std::ostringstream out;
+  core::save_checkpoint(stream, out);
+  std::istringstream in(out.str());
+  const auto restored = core::load_checkpoint(in, pipeline_config());
+  EXPECT_EQ(restored.skipped_empty_epochs(), stream.skipped_empty_epochs());
+  expect_bitwise_equal_state(stream, restored);
+}
+
+TEST(Checkpoint, LoadsVersion1WithoutSkippedCounter) {
+  // Forward compatibility: a v1 checkpoint (no skipped-empty-epoch field)
+  // still loads, with the counter defaulting to 0.
+  core::StreamingRatingSystem stream(pipeline_config(), 30.0);
+  stream.submit({1.0, 0.5, 1, 1, RatingLabel::kHonest});
+  std::ostringstream out;
+  core::save_checkpoint(stream, out);
+  std::string text = out.str();
+  // Rewrite the header to v1 and drop the 5th anchor token (the counter).
+  const auto header = text.find("trustrate-checkpoint 2");
+  ASSERT_NE(header, std::string::npos);
+  text.replace(header, 22, "trustrate-checkpoint 1");
+  const auto anchor = text.find("anchor ");
+  ASSERT_NE(anchor, std::string::npos);
+  // anchor line tokens: flag start last_time epochs_closed skipped epochs
+  std::istringstream line(text.substr(anchor, text.find('\n', anchor) - anchor));
+  std::string tok, kw, flag, start, last, closed, skipped, epochs;
+  line >> kw >> flag >> start >> last >> closed >> skipped >> epochs;
+  const std::string v2_line =
+      kw + ' ' + flag + ' ' + start + ' ' + last + ' ' + closed + ' ' +
+      skipped + ' ' + epochs;
+  const std::string v1_line =
+      kw + ' ' + flag + ' ' + start + ' ' + last + ' ' + closed + ' ' + epochs;
+  text.replace(anchor, v2_line.size(), v1_line);
+
+  std::istringstream in(text);
+  const auto restored = core::load_checkpoint(in, pipeline_config());
+  EXPECT_EQ(restored.skipped_empty_epochs(), 0u);
+  EXPECT_EQ(restored.pending_ratings(), 1u);
 }
 
 TEST(Checkpoint, EmptySystemRoundTrips) {

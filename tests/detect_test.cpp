@@ -248,6 +248,117 @@ TEST(ArDetector, OverlappingWindowsDoNotDoubleCountSuspicion) {
   }
 }
 
+// Deterministic low-variance block on [t0, t1): `raters` raters take turns
+// rating every 1/per_day days with values tightly around `mean` (sigma
+// controls the window's AR model error, hence the suspicion level).
+void add_block(RatingSeries& s, Rng& rng, double t0, double t1, double mean,
+               double sigma, double per_day, RaterId first_rater,
+               RaterId raters) {
+  std::size_t k = 0;
+  for (double t = t0 + 0.5 / per_day; t < t1; t += 1.0 / per_day, ++k) {
+    s.push_back({t, clamp_unit(rng.gaussian(mean, sigma)),
+                 first_rater + static_cast<RaterId>(k % raters), 0,
+                 RatingLabel::kCollaborative2});
+  }
+  sort_by_time(s);
+}
+
+TEST(ArDetector, DisjointSuspiciousRunsEachCreditFullLevel) {
+  // Regression (ISSUE 2): a rater active in two suspicious intervals that
+  // do NOT share a run must accumulate the full level of each. The old
+  // bookkeeping never reset the per-rater "latest level", so the second,
+  // genuinely new interval credited only the delta and under-counted C(i).
+  Rng rng(81);
+  RatingSeries s;
+  // Suspicious block A on [0, 10), honest noise on [10, 20), suspicious
+  // block B on [20, 30); the same 20 raters form both blocks.
+  add_block(s, rng, 0.0, 10.0, 0.6, 0.005, 2.0, 1, 20);
+  add_block(s, rng, 10.0, 20.0, 0.5, 0.2, 2.0, 500, 20);  // honest middle
+  add_block(s, rng, 20.0, 30.0, 0.6, 0.005, 2.0, 1, 20);
+
+  ArDetectorConfig cfg;
+  cfg.window_days = 10.0;
+  cfg.step_days = 10.0;  // windows [0,10), [10,20), [20,30): no overlap
+  cfg.error_threshold = 0.02;
+  const ArSuspicionDetector det(cfg);
+  const auto res = det.analyze(s, 0.0, 30.0);
+
+  ASSERT_EQ(res.windows.size(), 3u);
+  ASSERT_TRUE(res.windows[0].suspicious);
+  ASSERT_FALSE(res.windows[1].suspicious);  // honest middle window
+  ASSERT_TRUE(res.windows[2].suspicious);
+  const double expected = res.windows[0].level + res.windows[2].level;
+  ASSERT_TRUE(res.suspicion.contains(1));
+  EXPECT_DOUBLE_EQ(res.suspicion.at(1), expected);
+}
+
+TEST(ArDetector, RunCreditsItsMaximumLevelOnce) {
+  // Within one run of consecutive suspicious windows a rater contributes
+  // the run's *maximum* level exactly once. The old bookkeeping summed
+  // every positive level delta, so a dip-and-recover level profile
+  // over-counted (e.g. levels 0.9, 0.7, 0.9 credited 1.1).
+  Rng rng(82);
+  RatingSeries s;
+  // One contiguous block on [0, 30) whose variance bulges in the middle:
+  // windows overlapping [12, 18) have a higher model error, so the level
+  // profile dips there and recovers after.
+  add_block(s, rng, 0.0, 12.0, 0.6, 0.004, 2.0, 1, 20);
+  add_block(s, rng, 12.0, 18.0, 0.6, 0.06, 2.0, 1, 20);
+  add_block(s, rng, 18.0, 30.0, 0.6, 0.004, 2.0, 1, 20);
+
+  ArDetectorConfig cfg;
+  cfg.window_days = 10.0;
+  cfg.step_days = 5.0;
+  cfg.error_threshold = 0.02;
+  const ArSuspicionDetector det(cfg);
+  const auto res = det.analyze(s, 0.0, 30.0);
+
+  // Precondition of the scenario: every window is suspicious (one run) and
+  // the level profile actually dips and recovers.
+  double max_level = 0.0;
+  bool dipped = false;
+  for (std::size_t i = 0; i < res.windows.size(); ++i) {
+    ASSERT_TRUE(res.windows[i].suspicious) << "window " << i;
+    max_level = std::max(max_level, res.windows[i].level);
+    if (i > 0 && i + 1 < res.windows.size() &&
+        res.windows[i].level < res.windows[i - 1].level &&
+        res.windows[i].level < res.windows[i + 1].level) {
+      dipped = true;
+    }
+  }
+  ASSERT_TRUE(dipped) << "scenario must produce a level dip";
+  // Rater 1 rates every 10 days/20 = twice per window: present in every
+  // window, so its C equals the single run's maximum level exactly.
+  ASSERT_TRUE(res.suspicion.contains(1));
+  EXPECT_DOUBLE_EQ(res.suspicion.at(1), max_level);
+}
+
+TEST(ArDetector, NearZeroLevelRaterIsStillCredited) {
+  // A window whose model error sits just below the threshold has a level
+  // near 0. The old code used `latest == 0.0` as the "rater not seen"
+  // sentinel, conflating it with legitimate near-zero levels; the
+  // window-ordinal bookkeeping keeps the two distinct, and every rater of
+  // a suspicious window appears in the suspicion map with C > 0.
+  Rng rng(83);
+  RatingSeries s;
+  add_block(s, rng, 0.0, 10.0, 0.6, 0.13, 2.0, 1, 10);  // error just below thr
+  ArDetectorConfig cfg;
+  cfg.window_days = 10.0;
+  cfg.step_days = 10.0;
+  cfg.error_threshold = 0.02;
+  const ArSuspicionDetector det(cfg);
+  const auto res = det.analyze(s, 0.0, 10.0);
+  ASSERT_EQ(res.windows.size(), 1u);
+  if (!res.windows[0].suspicious) {
+    GTEST_SKIP() << "seed produced error above threshold";
+  }
+  ASSERT_GT(res.windows[0].level, 0.0);
+  for (RaterId id = 1; id <= 10; ++id) {
+    ASSERT_TRUE(res.suspicion.contains(id)) << "rater " << id;
+    EXPECT_DOUBLE_EQ(res.suspicion.at(id), res.windows[0].level);
+  }
+}
+
 TEST(ArDetector, SparseWindowsSkipped) {
   RatingSeries s;
   for (int i = 0; i < 5; ++i) {

@@ -239,11 +239,38 @@ TEST(Streaming, TimeRegressionQuarantinedNotThrown) {
   EXPECT_EQ(stream.pending_ratings(), 1u);
 }
 
-TEST(Streaming, LongGapClosesMultipleEpochs) {
+TEST(Streaming, LongGapSkipsEmptyEpochs) {
+  // [0,30) holds a rating and closes; [30,60) and [60,90) are fully empty
+  // and are fast-forwarded over in O(1), not closed one by one.
   core::StreamingRatingSystem stream(streaming_config(), 30.0);
   stream.submit({0.0, 0.5, 1, 0, RatingLabel::kHonest});
   stream.submit({100.0, 0.5, 2, 0, RatingLabel::kHonest});
-  EXPECT_EQ(stream.epochs_closed(), 3u);  // [0,30), [30,60), [60,90)
+  EXPECT_EQ(stream.epochs_closed(), 1u);
+  EXPECT_EQ(stream.skipped_empty_epochs(), 2u);
+  EXPECT_EQ(stream.epoch_health().size(), 1u);
+  // The second rating landed in the live epoch [90, 120).
+  EXPECT_EQ(stream.pending_ratings(), 1u);
+  stream.submit({120.0, 0.5, 3, 0, RatingLabel::kHonest});
+  EXPECT_EQ(stream.epochs_closed(), 2u);
+  EXPECT_EQ(stream.skipped_empty_epochs(), 2u);
+}
+
+TEST(Streaming, YearLongGapFastForwardsInConstantTime) {
+  // Regression for the empty-epoch spin: with a small epoch, a year-long
+  // timestamp gap used to run thousands of empty close_epoch calls, each
+  // appending an EpochHealth entry. Now the empty span is skipped in O(1)
+  // and only counted.
+  core::StreamingRatingSystem stream(streaming_config(), /*epoch_days=*/0.25);
+  stream.submit({0.0, 0.5, 1, 0, RatingLabel::kHonest});
+  stream.submit({365.0, 0.5, 2, 0, RatingLabel::kHonest});
+  EXPECT_EQ(stream.epochs_closed(), 1u);  // only [0, 0.25) held data
+  EXPECT_EQ(stream.epoch_health().size(), 1u);
+  EXPECT_EQ(stream.skipped_empty_epochs(), 1459u);  // (365 − 0.25) / 0.25
+  // The stream still works after the jump: the late rating is pending in
+  // the epoch containing t = 365.
+  EXPECT_EQ(stream.pending_ratings(), 1u);
+  EXPECT_EQ(stream.flush(), 1u);
+  EXPECT_EQ(stream.epochs_closed(), 2u);
 }
 
 TEST(Streaming, FlushProcessesPending) {

@@ -1,0 +1,317 @@
+// Determinism suite for the parallel epoch engine (ISSUE 2 tentpole): the
+// sharded path must produce output bitwise-identical to the serial path —
+// same EpochReports, same suspicion maps, same trust evidence, same
+// checkpoint bytes — at every worker count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "core/checkpoint.hpp"
+#include "core/parallel/epoch_engine.hpp"
+#include "core/parallel/thread_pool.hpp"
+#include "core/streaming.hpp"
+#include "core/system.hpp"
+
+namespace trustrate {
+namespace {
+
+core::SystemConfig epoch_config(std::size_t workers) {
+  core::SystemConfig cfg;
+  cfg.filter.q = 0.05;
+  cfg.ar.window_days = 10.0;
+  cfg.ar.step_days = 5.0;
+  cfg.ar.error_threshold = 0.022;
+  cfg.b = 5.0;
+  cfg.epoch_workers = workers;
+  return cfg;
+}
+
+/// Seeded synthetic epoch: per product a dense honest stream over 60 days,
+/// every third product also carries a tight collaborative block.
+std::vector<core::ProductObservation> synthetic_epoch(std::size_t products,
+                                                      std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<core::ProductObservation> observations(products);
+  for (std::size_t p = 0; p < products; ++p) {
+    core::ProductObservation& obs = observations[p];
+    obs.product = static_cast<ProductId>(p);
+    obs.t_start = 0.0;
+    obs.t_end = 60.0;
+    for (double t = rng.exponential(4.0); t < 60.0; t += rng.exponential(4.0)) {
+      obs.ratings.push_back(
+          {t, quantize_unit(clamp_unit(rng.gaussian(0.5, 0.2)), 10, false),
+           static_cast<RaterId>(rng.uniform_int(0, 400)), obs.product,
+           RatingLabel::kHonest});
+    }
+    if (p % 3 == 0) {
+      RaterId shill = static_cast<RaterId>(5000 + 100 * p);
+      for (double t = 20.0 + rng.exponential(3.0); t < 35.0;
+           t += rng.exponential(3.0)) {
+        obs.ratings.push_back(
+            {t, clamp_unit(rng.gaussian(0.65, 0.02)), shill++, obs.product,
+             RatingLabel::kCollaborative2});
+      }
+    }
+    sort_by_time(obs.ratings);
+  }
+  return observations;
+}
+
+void expect_bitwise_equal(const core::EpochReport& a,
+                          const core::EpochReport& b) {
+  EXPECT_EQ(a.detector_degraded, b.detector_degraded);
+  EXPECT_EQ(a.rating_metrics.true_positive, b.rating_metrics.true_positive);
+  EXPECT_EQ(a.rating_metrics.false_positive, b.rating_metrics.false_positive);
+  EXPECT_EQ(a.rating_metrics.false_negative, b.rating_metrics.false_negative);
+  EXPECT_EQ(a.rating_metrics.true_negative, b.rating_metrics.true_negative);
+  ASSERT_EQ(a.products.size(), b.products.size());
+  for (std::size_t i = 0; i < a.products.size(); ++i) {
+    const core::ProductReport& pa = a.products[i];
+    const core::ProductReport& pb = b.products[i];
+    EXPECT_EQ(pa.product, pb.product);
+    EXPECT_EQ(pa.detector_degraded, pb.detector_degraded);
+    EXPECT_EQ(pa.filter_outcome.kept, pb.filter_outcome.kept);
+    EXPECT_EQ(pa.filter_outcome.removed, pb.filter_outcome.removed);
+    EXPECT_EQ(pa.kept, pb.kept);
+    EXPECT_EQ(pa.flagged, pb.flagged);
+    EXPECT_EQ(pa.suspicion.in_suspicious_window,
+              pb.suspicion.in_suspicious_window);
+    ASSERT_EQ(pa.suspicion.windows.size(), pb.suspicion.windows.size());
+    for (std::size_t w = 0; w < pa.suspicion.windows.size(); ++w) {
+      const detect::WindowReport& wa = pa.suspicion.windows[w];
+      const detect::WindowReport& wb = pb.suspicion.windows[w];
+      EXPECT_EQ(wa.first, wb.first);
+      EXPECT_EQ(wa.last, wb.last);
+      EXPECT_EQ(wa.evaluated, wb.evaluated);
+      EXPECT_EQ(wa.suspicious, wb.suspicious);
+      // Exact comparisons on purpose: bitwise, not approximately equal.
+      EXPECT_EQ(wa.model_error, wb.model_error);
+      EXPECT_EQ(wa.level, wb.level);
+      EXPECT_EQ(wa.window.start, wb.window.start);
+      EXPECT_EQ(wa.window.end, wb.window.end);
+    }
+    ASSERT_EQ(pa.suspicion.suspicion.size(), pb.suspicion.suspicion.size());
+    for (const auto& [rater, c] : pa.suspicion.suspicion) {
+      ASSERT_TRUE(pb.suspicion.suspicion.contains(rater)) << "rater " << rater;
+      EXPECT_EQ(c, pb.suspicion.suspicion.at(rater)) << "rater " << rater;
+    }
+  }
+}
+
+void expect_bitwise_equal_stores(const core::TrustEnhancedRatingSystem& a,
+                                 const core::TrustEnhancedRatingSystem& b) {
+  const auto& ra = a.trust_store().records();
+  const auto& rb = b.trust_store().records();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (const auto& [id, rec] : ra) {
+    ASSERT_TRUE(rb.contains(id)) << "rater " << id;
+    EXPECT_EQ(rec.successes, rb.at(id).successes) << "rater " << id;
+    EXPECT_EQ(rec.failures, rb.at(id).failures) << "rater " << id;
+  }
+}
+
+// ------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  core::parallel::ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ZeroThreadsRunsInCaller) {
+  core::parallel::ThreadPool pool(0);
+  EXPECT_EQ(pool.threads(), 0u);
+  std::vector<int> out(64, 0);
+  pool.parallel_for(out.size(), [&](std::size_t i) { out[i] = 1; });
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 64);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoOp) {
+  core::parallel::ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  core::parallel::ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 37) {
+                                     throw std::runtime_error("shard failure");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  core::parallel::ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.parallel_for(32, [&](std::size_t) { sum.fetch_add(1); });
+    ASSERT_EQ(sum.load(), 32);
+  }
+}
+
+// ------------------------------------------------------------ EpochEngine
+
+TEST(EpochEngine, RejectsZeroWorkers) {
+  EXPECT_THROW(core::parallel::EpochEngine engine(0), PreconditionError);
+}
+
+TEST(EpochEngine, SerialEngineMatchesAnalyzeProduct) {
+  const auto observations = synthetic_epoch(4, 91);
+  const core::SystemConfig cfg = epoch_config(1);
+  const detect::BetaQuantileFilter filter(cfg.filter);
+  const detect::ArSuspicionDetector detector(cfg.ar);
+  const core::parallel::StageContext ctx{&cfg, &filter, &detector};
+
+  core::parallel::EpochEngine engine(1);
+  const auto reports = engine.analyze(observations, ctx);
+  ASSERT_EQ(reports.size(), observations.size());
+  for (std::size_t i = 0; i < observations.size(); ++i) {
+    const auto direct = core::parallel::analyze_product(observations[i], ctx);
+    EXPECT_EQ(reports[i].product, direct.product);
+    EXPECT_EQ(reports[i].flagged, direct.flagged);
+    EXPECT_EQ(reports[i].kept, direct.kept);
+  }
+}
+
+TEST(EpochEngine, UnsortedObservationThrowsAtAnyWorkerCount) {
+  auto observations = synthetic_epoch(4, 92);
+  std::swap(observations[2].ratings.front(), observations[2].ratings.back());
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    core::TrustEnhancedRatingSystem system(epoch_config(workers));
+    EXPECT_THROW(system.process_epoch(observations), PreconditionError)
+        << workers << " workers";
+  }
+}
+
+// --------------------------------------------------- batch determinism
+
+TEST(ParallelEpoch, BitwiseIdenticalAcrossWorkerCounts) {
+  const auto epoch1 = synthetic_epoch(12, 7);
+  const auto epoch2 = synthetic_epoch(12, 8);  // second epoch: state carry
+
+  core::TrustEnhancedRatingSystem serial(epoch_config(1));
+  const core::EpochReport serial_r1 = serial.process_epoch(epoch1);
+  const core::EpochReport serial_r2 = serial.process_epoch(epoch2);
+
+  for (const std::size_t workers : {std::size_t{2}, std::size_t{8}}) {
+    SCOPED_TRACE(testing::Message() << workers << " workers");
+    core::TrustEnhancedRatingSystem parallel(epoch_config(workers));
+    const core::EpochReport r1 = parallel.process_epoch(epoch1);
+    const core::EpochReport r2 = parallel.process_epoch(epoch2);
+    expect_bitwise_equal(serial_r1, r1);
+    expect_bitwise_equal(serial_r2, r2);
+    expect_bitwise_equal_stores(serial, parallel);
+    // Aggregates are a function of the store: exact equality as well.
+    EXPECT_EQ(serial.aggregate(epoch1.front().ratings),
+              parallel.aggregate(epoch1.front().ratings));
+    EXPECT_EQ(serial.malicious(), parallel.malicious());
+  }
+}
+
+TEST(ParallelEpoch, DegradedProductsPropagateIdentically) {
+  // One product whose windows are all too short for the normal equations
+  // degrades to the beta-filter-only path; the flag must not depend on the
+  // worker count.
+  auto observations = synthetic_epoch(6, 17);
+  observations[3].ratings.resize(4);  // fewer than 2*order+1 everywhere
+
+  core::TrustEnhancedRatingSystem serial(epoch_config(1));
+  core::TrustEnhancedRatingSystem parallel(epoch_config(4));
+  const auto rs = serial.process_epoch(observations);
+  const auto rp = parallel.process_epoch(observations);
+  EXPECT_TRUE(rs.products[3].detector_degraded);
+  expect_bitwise_equal(rs, rp);
+  expect_bitwise_equal_stores(serial, parallel);
+}
+
+// ------------------------------------------------ streaming determinism
+
+TEST(ParallelEpoch, StreamingCheckpointsAreByteIdentical) {
+  // The strongest end-to-end statement: run the same hostile-ish stream
+  // through the streaming front-end at 1 and 4 workers, flush, and compare
+  // the full serialized state byte for byte.
+  RatingSeries stream_data;
+  Rng rng(51);
+  for (ProductId p = 0; p < 8; ++p) {
+    for (double t = rng.exponential(3.0); t < 75.0; t += rng.exponential(3.0)) {
+      stream_data.push_back(
+          {t, quantize_unit(clamp_unit(rng.gaussian(0.55, 0.22)), 10, false),
+           static_cast<RaterId>(rng.uniform_int(0, 250)), p,
+           RatingLabel::kHonest});
+    }
+  }
+  sort_by_time(stream_data);
+
+  std::ostringstream serial_bytes, parallel_bytes;
+  {
+    core::StreamingRatingSystem stream(epoch_config(1), 30.0, 2,
+                                       {.max_lateness_days = 1.0});
+    for (const Rating& r : stream_data) stream.submit(r);
+    stream.flush();
+    core::save_checkpoint(stream, serial_bytes);
+  }
+  {
+    core::StreamingRatingSystem stream(epoch_config(4), 30.0, 2,
+                                       {.max_lateness_days = 1.0});
+    for (const Rating& r : stream_data) stream.submit(r);
+    stream.flush();
+    core::save_checkpoint(stream, parallel_bytes);
+  }
+  EXPECT_EQ(serial_bytes.str(), parallel_bytes.str());
+}
+
+TEST(ParallelEpoch, CheckpointCrossesWorkerCounts) {
+  // Worker count is configuration, not state: a checkpoint taken at 8
+  // workers resumes at 1 (and vice versa) with bitwise-equal results.
+  RatingSeries stream_data;
+  Rng rng(52);
+  for (ProductId p = 0; p < 4; ++p) {
+    for (double t = rng.exponential(4.0); t < 70.0; t += rng.exponential(4.0)) {
+      stream_data.push_back(
+          {t, quantize_unit(clamp_unit(rng.gaussian(0.5, 0.2)), 10, false),
+           static_cast<RaterId>(rng.uniform_int(0, 120)), p,
+           RatingLabel::kHonest});
+    }
+  }
+  sort_by_time(stream_data);
+  const std::size_t cut = stream_data.size() / 2;
+
+  core::StreamingRatingSystem uninterrupted(epoch_config(1), 30.0);
+  for (const Rating& r : stream_data) uninterrupted.submit(r);
+  uninterrupted.flush();
+
+  core::StreamingRatingSystem first_half(epoch_config(8), 30.0);
+  for (std::size_t i = 0; i < cut; ++i) first_half.submit(stream_data[i]);
+  std::ostringstream out;
+  core::save_checkpoint(first_half, out);
+
+  std::istringstream in(out.str());
+  auto resumed = core::load_checkpoint(in, epoch_config(1));
+  for (std::size_t i = cut; i < stream_data.size(); ++i) {
+    resumed.submit(stream_data[i]);
+  }
+  resumed.flush();
+
+  std::ostringstream a, b;
+  core::save_checkpoint(uninterrupted, a);
+  core::save_checkpoint(resumed, b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+}  // namespace
+}  // namespace trustrate

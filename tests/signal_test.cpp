@@ -277,6 +277,22 @@ TEST(Window, TimeWindowsCoverRangeWithOverlap) {
   EXPECT_GE(ws.back().end, 30.0);
 }
 
+TEST(Window, LongHorizonEdgesStayOnGrid) {
+  // Regression (ISSUE 2): window starts are computed as t0 + k*step, not by
+  // repeated `start += step` — over a long horizon the accumulated
+  // floating-point drift made late window edges disagree with the grid.
+  const double t0 = 3.0;
+  const double t1 = 1000.0;
+  const double step = 0.1;  // inexact in binary: drift shows quickly
+  const auto ws = make_time_windows(t0, t1, 0.7, step);
+  ASSERT_GT(ws.size(), 9000u);
+  for (std::size_t k = 0; k < ws.size(); ++k) {
+    // Exact equality on purpose: the edge must be bitwise on the grid.
+    EXPECT_EQ(ws[k].start, t0 + static_cast<double>(k) * step) << "k=" << k;
+    EXPECT_EQ(ws[k].end, ws[k].start + 0.7) << "k=" << k;
+  }
+}
+
 TEST(Window, SingleWindowWhenWidthCoversRange) {
   const auto ws = make_time_windows(0.0, 5.0, 10.0, 5.0);
   ASSERT_EQ(ws.size(), 1u);
