@@ -95,6 +95,7 @@ void StreamingRatingSystem::close_epoch(double epoch_end) {
   if (!observations.empty()) {
     const EpochReport report = system_.process_epoch(observations);
     if (report.detector_degraded) health = EpochHealth::kDegradedDetector;
+    if (epoch_observer_) epoch_observer_(report, epoch_start_, epoch_end);
     for (auto& obs : observations) {
       Retained& r = retained_[obs.product];
       r.epochs.push_back(std::move(obs.ratings));

@@ -40,6 +40,7 @@
 // core/checkpoint.hpp.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <unordered_map>
 
@@ -119,6 +120,17 @@ class StreamingRatingSystem {
   /// Closed epochs that fell back to the beta-filter-only path.
   std::size_t degraded_epochs() const;
 
+  /// Called after each non-empty epoch closes, with the epoch's report and
+  /// its [start, end) boundaries. Observation hook for conformance tooling
+  /// (src/testkit) and monitoring; not streaming state — checkpoints never
+  /// record it, and a restored stream starts with no observer. The observer
+  /// must not call back into this system.
+  using EpochCloseObserver =
+      std::function<void(const EpochReport&, double epoch_start, double epoch_end)>;
+  void set_epoch_observer(EpochCloseObserver observer) {
+    epoch_observer_ = std::move(observer);
+  }
+
   const TrustEnhancedRatingSystem& system() const { return system_; }
   double epoch_days() const { return epoch_days_; }
   std::size_t retention_epochs() const { return retention_epochs_; }
@@ -147,6 +159,7 @@ class StreamingRatingSystem {
   std::size_t epochs_closed_ = 0;
   std::size_t skipped_empty_epochs_ = 0;
   std::vector<EpochHealth> epoch_health_;
+  EpochCloseObserver epoch_observer_;
 
   std::unordered_map<ProductId, RatingSeries> pending_;
   /// Closed-epoch ratings per product, oldest first, at most

@@ -43,6 +43,12 @@ EpochReport TrustEnhancedRatingSystem::process_epoch(
   // serial loop, so the report and the trust store are bitwise-identical
   // at any worker count.
   std::unordered_map<RaterId, trust::EpochObservation> epoch_obs;
+  // Per-product suspicion contributions are summed *canonically* (sorted
+  // ascending) per rater, not in product order: C(i) is then invariant under
+  // any relabeling of product IDs (which reorders the epoch's products),
+  // not just order-preserving ones — one of the metamorphic guarantees
+  // src/testkit checks. Counters are integers and need no such care.
+  std::unordered_map<RaterId, std::vector<double>> suspicion_terms;
   for (std::size_t slot = 0; slot < observations.size(); ++slot) {
     const ProductObservation& obs = observations[slot];
     ProductReport& pr = products[slot];
@@ -66,10 +72,16 @@ EpochReport TrustEnhancedRatingSystem::process_epoch(
       }
     }
     for (const auto& [rater, c] : pr.suspicion.suspicion) {
-      epoch_obs[rater].suspicion_value += c;
+      suspicion_terms[rater].push_back(c);
     }
 
     report.products.push_back(std::move(pr));
+  }
+  for (auto& [rater, terms] : suspicion_terms) {
+    std::sort(terms.begin(), terms.end());
+    double sum = 0.0;
+    for (const double term : terms) sum += term;
+    epoch_obs[rater].suspicion_value = sum;
   }
 
   // Procedure 2: one trust update per active rater.

@@ -1,0 +1,118 @@
+#include "testkit/digest.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace trustrate::testkit {
+namespace {
+
+template <typename Id>
+Id mapped(Id id, const std::unordered_map<Id, Id>* map) {
+  if (map == nullptr) return id;
+  const auto it = map->find(id);
+  return it == map->end() ? id : it->second;
+}
+
+void append_product(std::ostringstream& out, const core::ProductReport& pr,
+                    const ReportDigestOptions& opt) {
+  out << "product " << mapped(pr.product, opt.product_map)
+      << " degraded " << pr.detector_degraded << '\n';
+  out << "kept";
+  for (const std::size_t i : pr.filter_outcome.kept) out << ' ' << i;
+  out << "\nremoved";
+  for (const std::size_t i : pr.filter_outcome.removed) out << ' ' << i;
+  out << "\nflagged";
+  for (const bool f : pr.flagged) out << ' ' << f;
+  out << "\nseries";
+  for (const Rating& r : pr.kept) {
+    out << ' ' << mapped(r.rater, opt.rater_map) << ':' << hex_double(r.value);
+    if (opt.include_times) out << '@' << hex_double(r.time);
+  }
+  out << "\nwindows";
+  for (const detect::WindowReport& w : pr.suspicion.windows) {
+    out << ' ' << w.first << '-' << w.last << '/' << w.evaluated << '/'
+        << w.suspicious << '/' << hex_double(w.model_error) << '/'
+        << hex_double(w.level);
+    if (opt.include_times) {
+      out << '/' << hex_double(w.window.start) << '/' << hex_double(w.window.end);
+    }
+  }
+  out << "\nin_window";
+  for (const bool b : pr.suspicion.in_suspicious_window) out << ' ' << b;
+  out << "\nsuspicion";
+  std::vector<std::pair<RaterId, double>> suspicion(
+      pr.suspicion.suspicion.begin(), pr.suspicion.suspicion.end());
+  for (auto& [rater, c] : suspicion) rater = mapped(rater, opt.rater_map);
+  std::sort(suspicion.begin(), suspicion.end());
+  for (const auto& [rater, c] : suspicion) {
+    out << ' ' << rater << ':' << hex_double(c);
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+std::string hex_double(double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", x);
+  return buf;
+}
+
+std::string digest_report(const core::EpochReport& report,
+                          const ReportDigestOptions& options) {
+  std::ostringstream out;
+  out << "epoch degraded " << report.detector_degraded << " metrics "
+      << report.rating_metrics.true_positive << ' '
+      << report.rating_metrics.false_positive << ' '
+      << report.rating_metrics.false_negative << ' '
+      << report.rating_metrics.true_negative << '\n';
+  if (options.canonical_product_order) {
+    std::vector<const core::ProductReport*> order;
+    order.reserve(report.products.size());
+    for (const core::ProductReport& pr : report.products) order.push_back(&pr);
+    std::sort(order.begin(), order.end(),
+              [&](const core::ProductReport* a, const core::ProductReport* b) {
+                return mapped(a->product, options.product_map) <
+                       mapped(b->product, options.product_map);
+              });
+    for (const core::ProductReport* pr : order) {
+      append_product(out, *pr, options);
+    }
+  } else {
+    for (const core::ProductReport& pr : report.products) {
+      append_product(out, pr, options);
+    }
+  }
+  return out.str();
+}
+
+std::string digest_trust(
+    const trust::TrustStore& store,
+    const std::unordered_map<RaterId, RaterId>* rater_map) {
+  std::vector<std::pair<RaterId, const trust::TrustRecord*>> records;
+  records.reserve(store.records().size());
+  for (const auto& [id, record] : store.records()) {
+    records.emplace_back(mapped(id, rater_map), &record);
+  }
+  std::sort(records.begin(), records.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::ostringstream out;
+  for (const auto& [id, record] : records) {
+    out << id << ' ' << hex_double(record->successes) << ' '
+        << hex_double(record->failures) << '\n';
+  }
+  return out.str();
+}
+
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const unsigned char c : text) {
+    hash ^= c;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace trustrate::testkit

@@ -1,0 +1,55 @@
+// Canonical textual digests of pipeline outcomes (ISSUE 3 tentpole).
+//
+// The differential oracle and the metamorphic relations compare runs by
+// digest strings: every double is rendered as a C hexfloat, so two digests
+// are equal iff the underlying state is *bitwise* equal — "same verdict" is
+// an equality on bits, never a tolerance. Options let a relation exclude
+// exactly the fields its transform legitimately changes (absolute times
+// under a global time shift) or map relabeled IDs back to the originals
+// before rendering (rater/product relabeling invariance).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "core/system.hpp"
+#include "trust/record.hpp"
+
+namespace trustrate::testkit {
+
+/// Renders a double as a C hexfloat ("%a"): bit-exact round-trip, readable
+/// NaN/inf. The same convention as core/checkpoint.
+std::string hex_double(double x);
+
+/// ID translation applied before rendering/sorting. nullptr = identity; a
+/// present map must cover every ID encountered (unmapped IDs keep their
+/// value, which makes partial maps detectable as digest mismatches).
+struct ReportDigestOptions {
+  /// Include absolute times (window boundaries, kept-rating timestamps).
+  /// Off for the global-time-shift relation, whose transform moves them.
+  bool include_times = true;
+  /// Render products sorted by (mapped) product ID instead of report
+  /// order. On for the product-relabeling relation, where the epoch's
+  /// product sort order legitimately changes.
+  bool canonical_product_order = false;
+  const std::unordered_map<ProductId, ProductId>* product_map = nullptr;
+  const std::unordered_map<RaterId, RaterId>* rater_map = nullptr;
+};
+
+/// Canonical digest of one epoch's full outcome: per-product filter
+/// verdicts, kept series, per-rating flags, AR window sweep (model errors,
+/// levels, suspicion flags), per-rater suspicious values C(i), and the
+/// epoch's confusion counts.
+std::string digest_report(const core::EpochReport& report,
+                          const ReportDigestOptions& options = {});
+
+/// Canonical digest of the full trust store: raters sorted by (mapped) ID
+/// with hexfloat S/F evidence.
+std::string digest_trust(
+    const trust::TrustStore& store,
+    const std::unordered_map<RaterId, RaterId>* rater_map = nullptr);
+
+/// FNV-1a of a digest string, for compact failure messages.
+std::uint64_t fnv1a(const std::string& text);
+
+}  // namespace trustrate::testkit

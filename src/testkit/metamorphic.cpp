@@ -1,0 +1,182 @@
+#include "testkit/metamorphic.hpp"
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "testkit/oracle.hpp"
+
+namespace trustrate::testkit {
+namespace {
+
+MetamorphicResult violation(const Scenario& scenario, const char* relation,
+                            const std::string& what) {
+  MetamorphicResult r;
+  r.ok = false;
+  r.violation = std::string(relation) + ": seed " +
+                std::to_string(scenario.seed) + " [" + scenario.summary +
+                "]: " + what + "\n  repro: " + repro_command(scenario.seed);
+  return r;
+}
+
+/// Epoch-by-epoch + trust digest comparison between a base run and a
+/// transformed run (whose digests were already mapped back).
+std::optional<std::string> compare_runs(const StreamOutcome& base,
+                                        const StreamOutcome& variant) {
+  if (base.epoch_digests.size() != variant.epoch_digests.size()) {
+    return "epoch count " + std::to_string(variant.epoch_digests.size()) +
+           " != " + std::to_string(base.epoch_digests.size());
+  }
+  for (std::size_t i = 0; i < base.epoch_digests.size(); ++i) {
+    if (base.epoch_digests[i] != variant.epoch_digests[i]) {
+      return "epoch " + std::to_string(i) + " report diverged";
+    }
+  }
+  if (base.trust_digest != variant.trust_digest) {
+    return "trust records diverged";
+  }
+  return std::nullopt;
+}
+
+/// Random permutation of [0, n) via Fisher-Yates on the repo Rng (std::
+/// shuffle's algorithm is implementation-defined; this one is pinned).
+std::vector<std::size_t> permutation(std::size_t n, Rng& rng) {
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace
+
+MetamorphicResult check_rater_relabel(const Scenario& scenario) {
+  std::set<RaterId> distinct;
+  for (const Rating& r : scenario.ratings) distinct.insert(r.rater);
+  const std::vector<RaterId> raters(distinct.begin(), distinct.end());
+
+  Rng rng(scenario.seed ^ 0x6a09e667f3bcc909ull);
+  const std::vector<std::size_t> perm = permutation(raters.size(), rng);
+  std::unordered_map<RaterId, RaterId> forward, inverse;
+  for (std::size_t k = 0; k < raters.size(); ++k) {
+    // Fresh ID range far above every generator-assigned ID, so the renaming
+    // is a bijection with no accidental collisions.
+    const auto relabeled = static_cast<RaterId>(0x20000000u + perm[k]);
+    forward[raters[k]] = relabeled;
+    inverse[relabeled] = raters[k];
+  }
+
+  Scenario variant = scenario;
+  for (Rating& r : variant.ratings) r.rater = forward.at(r.rater);
+
+  const StreamOutcome base = run_stream(scenario, scenario.ratings, 1);
+  ReportDigestOptions options;
+  options.rater_map = &inverse;
+  const StreamOutcome mapped =
+      run_stream(variant, variant.ratings, 1, nullptr, options, &inverse);
+  if (const auto d = compare_runs(base, mapped)) {
+    return violation(scenario, "rater-relabel", *d);
+  }
+  return {};
+}
+
+MetamorphicResult check_product_relabel(const Scenario& scenario) {
+  const std::size_t products = scenario.product_attacks.size();
+  Rng rng(scenario.seed ^ 0xbb67ae8584caa73bull);
+  const std::vector<std::size_t> perm = permutation(products, rng);
+  std::unordered_map<ProductId, ProductId> forward, inverse;
+  for (std::size_t p = 0; p < products; ++p) {
+    // A permuted dense range: relabeling reorders the epoch loop's
+    // sorted-by-ID product sequence, which is exactly the point.
+    const auto relabeled = static_cast<ProductId>(1000 + perm[p]);
+    forward[static_cast<ProductId>(p)] = relabeled;
+    inverse[relabeled] = static_cast<ProductId>(p);
+  }
+
+  Scenario variant = scenario;
+  for (Rating& r : variant.ratings) r.product = forward.at(r.product);
+
+  ReportDigestOptions base_options;
+  base_options.canonical_product_order = true;
+  const StreamOutcome base =
+      run_stream(scenario, scenario.ratings, 1, nullptr, base_options);
+  ReportDigestOptions mapped_options;
+  mapped_options.canonical_product_order = true;
+  mapped_options.product_map = &inverse;
+  const StreamOutcome mapped =
+      run_stream(variant, variant.ratings, 1, nullptr, mapped_options);
+  if (const auto d = compare_runs(base, mapped)) {
+    return violation(scenario, "product-relabel", *d);
+  }
+  return {};
+}
+
+MetamorphicResult check_time_shift(const Scenario& scenario) {
+  Rng rng(scenario.seed ^ 0x3c6ef372fe94f82bull);
+  // A power-of-two whole-day shift: every shifted event time is still an
+  // exact multiple of kTimeGrid well inside double precision, so all
+  // boundary arithmetic shifts exactly and no comparison flips.
+  const double shift = 1024.0 * static_cast<double>(
+                                    std::int64_t{1} << rng.uniform_int(0, 2));
+
+  Scenario variant = scenario;
+  for (Rating& r : variant.ratings) r.time += shift;
+
+  ReportDigestOptions timeless;
+  timeless.include_times = false;
+  const StreamOutcome base =
+      run_stream(scenario, scenario.ratings, 1, nullptr, timeless);
+  const StreamOutcome shifted =
+      run_stream(variant, variant.ratings, 1, nullptr, timeless);
+  if (const auto d = compare_runs(base, shifted)) {
+    return violation(scenario, "time-shift", *d);
+  }
+  if (base.skipped_empty_epochs != shifted.skipped_empty_epochs) {
+    return violation(scenario, "time-shift",
+                     "skipped empty epochs " +
+                         std::to_string(shifted.skipped_empty_epochs) +
+                         " != " + std::to_string(base.skipped_empty_epochs));
+  }
+  return {};
+}
+
+MetamorphicResult check_duplicate_idempotence(const Scenario& scenario) {
+  RatingSeries doubled;
+  doubled.reserve(scenario.ratings.size() * 2);
+  for (const Rating& r : scenario.ratings) {
+    doubled.push_back(r);
+    doubled.push_back(r);
+  }
+
+  const StreamOutcome base = run_stream(scenario, scenario.ratings, 1);
+  const StreamOutcome twice = run_stream(scenario, doubled, 1);
+  if (const auto d = compare_runs(base, twice)) {
+    return violation(scenario, "duplicate-idempotence", *d);
+  }
+  if (twice.stats.duplicates != scenario.ratings.size()) {
+    return violation(scenario, "duplicate-idempotence",
+                     "duplicate count " +
+                         std::to_string(twice.stats.duplicates) + " != " +
+                         std::to_string(scenario.ratings.size()));
+  }
+  if (strip_ingest_noise(twice.checkpoint) !=
+      strip_ingest_noise(base.checkpoint)) {
+    return violation(scenario, "duplicate-idempotence",
+                     "checkpoint differs beyond ingest stats");
+  }
+  return {};
+}
+
+MetamorphicResult run_metamorphic(const Scenario& scenario) {
+  if (MetamorphicResult r = check_rater_relabel(scenario); !r.ok) return r;
+  if (MetamorphicResult r = check_product_relabel(scenario); !r.ok) return r;
+  if (MetamorphicResult r = check_time_shift(scenario); !r.ok) return r;
+  return check_duplicate_idempotence(scenario);
+}
+
+}  // namespace trustrate::testkit

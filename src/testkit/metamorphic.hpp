@@ -1,0 +1,39 @@
+// Metamorphic relation suite (ISSUE 3 tentpole).
+//
+// Each relation applies a transform to a generated scenario whose effect on
+// the pipeline output is known exactly, runs both versions, and compares
+// digests *bitwise* (testkit/digest.hpp). The generator guarantees in
+// testkit/scenario.hpp (grid-aligned, strictly increasing event times) are
+// what make these equalities rather than tolerances:
+//
+//  * rater-ID relabeling — a bijective renaming of all rater IDs permutes
+//    the trust store and the per-rater suspicion maps and changes nothing
+//    else;
+//  * product-ID relabeling — renaming products permutes each epoch's
+//    product reports (the epoch loop orders products by ID) and changes no
+//    verdict, no C(i), and no trust record;
+//  * global time shift — adding a whole number of grid days to every event
+//    time shifts window/epoch boundaries by exactly that amount and changes
+//    no comparison outcome anywhere;
+//  * duplicate-submission idempotence — submitting every rating twice
+//    changes only the duplicate counter.
+#pragma once
+
+#include "testkit/scenario.hpp"
+
+namespace trustrate::testkit {
+
+struct MetamorphicResult {
+  bool ok = true;
+  std::string violation;  ///< empty when ok; includes seed + repro command
+};
+
+MetamorphicResult check_rater_relabel(const Scenario& scenario);
+MetamorphicResult check_product_relabel(const Scenario& scenario);
+MetamorphicResult check_time_shift(const Scenario& scenario);
+MetamorphicResult check_duplicate_idempotence(const Scenario& scenario);
+
+/// Runs all four relations; returns the first violation.
+MetamorphicResult run_metamorphic(const Scenario& scenario);
+
+}  // namespace trustrate::testkit

@@ -1,0 +1,409 @@
+#include "testkit/oracle.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "core/checkpoint.hpp"
+
+namespace trustrate::testkit {
+namespace {
+
+std::string stats_to_string(const core::IngestStats& s) {
+  std::ostringstream out;
+  out << "submitted=" << s.submitted << " accepted=" << s.accepted
+      << " reordered=" << s.reordered << " duplicates=" << s.duplicates
+      << " dropped_late=" << s.dropped_late << " malformed=" << s.malformed
+      << " quarantined=" << s.quarantined;
+  return out.str();
+}
+
+/// Rewrites one checkpoint line per `edit`; lines are matched by prefix.
+template <typename Edit>
+std::string rewrite_lines(const std::string& text, Edit edit) {
+  std::istringstream in(text);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    edit(in, out, line);
+  }
+  return out.str();
+}
+
+bool starts_with(const std::string& line, const char* prefix) {
+  return line.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+StreamOutcome run_stream(
+    const Scenario& scenario, const RatingSeries& arrivals,
+    std::size_t workers, const CheckpointPlan* plan,
+    const ReportDigestOptions& digest_options,
+    const std::unordered_map<RaterId, RaterId>* trust_map) {
+  core::SystemConfig config = scenario.config;
+  config.epoch_workers = workers;
+  core::StreamingRatingSystem stream(config, scenario.epoch_days,
+                                     scenario.retention_epochs,
+                                     scenario.ingest);
+
+  StreamOutcome out;
+  const auto observer = [&out, &digest_options](const core::EpochReport& report,
+                                                double, double) {
+    out.epoch_digests.push_back(digest_report(report, digest_options));
+  };
+  stream.set_epoch_observer(observer);
+
+  // The restored system must live as long as the loop; `active` points at
+  // whichever instance is currently consuming the stream.
+  std::optional<core::StreamingRatingSystem> resumed;
+  core::StreamingRatingSystem* active = &stream;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    if (plan != nullptr && i == plan->cut_index) {
+      std::ostringstream bytes;
+      core::save_checkpoint(*active, bytes);
+      std::string text = bytes.str();
+      if (plan->downconvert_v1) text = downconvert_checkpoint_v1(text);
+      core::SystemConfig resume_config = scenario.config;
+      resume_config.epoch_workers = plan->resume_workers;
+      std::istringstream in(text);
+      resumed.emplace(core::load_checkpoint(in, resume_config));
+      resumed->set_epoch_observer(observer);
+      active = &*resumed;
+    }
+    active->submit(arrivals[i]);
+  }
+  active->flush();
+
+  out.trust_digest = digest_trust(active->system().trust_store(), trust_map);
+  std::ostringstream final_bytes;
+  core::save_checkpoint(*active, final_bytes);
+  out.checkpoint = final_bytes.str();
+  out.stats = active->ingest_stats();
+  out.health = active->epoch_health();
+  out.epochs_closed = active->epochs_closed();
+  out.skipped_empty_epochs = active->skipped_empty_epochs();
+  out.quarantine_size = active->quarantine().size();
+  return out;
+}
+
+BatchOutcome run_batch_reference(const Scenario& scenario) {
+  core::TrustEnhancedRatingSystem system(scenario.config);
+  BatchOutcome out;
+
+  std::unordered_map<ProductId, RatingSeries> pending;
+  bool anchored = false;
+  double epoch_start = 0.0;
+  double last_time = 0.0;
+  const double epoch_days = scenario.epoch_days;
+
+  const auto close = [&](double epoch_end) {
+    std::vector<core::ProductObservation> observations;
+    observations.reserve(pending.size());
+    for (auto& [product, series] : pending) {
+      core::ProductObservation obs;
+      obs.product = product;
+      obs.t_start = epoch_start;
+      obs.t_end = epoch_end;
+      obs.ratings = std::move(series);
+      observations.push_back(std::move(obs));
+    }
+    pending.clear();
+    std::sort(observations.begin(), observations.end(),
+              [](const core::ProductObservation& a,
+                 const core::ProductObservation& b) {
+                return a.product < b.product;
+              });
+    const core::EpochReport report = system.process_epoch(observations);
+    out.epoch_digests.push_back(digest_report(report));
+    epoch_start = epoch_end;
+    ++out.epochs_processed;
+  };
+
+  for (const Rating& rating : scenario.ratings) {
+    if (!anchored) {
+      anchored = true;
+      epoch_start = rating.time;
+    }
+    last_time = rating.time;
+    // Same grid walk as StreamingRatingSystem::route /
+    // fast_forward_empty_epochs, including the rounding guards — the two
+    // loops must agree on which cell every rating lands in.
+    while (rating.time >= epoch_start + epoch_days) {
+      if (pending.empty()) {
+        auto skip =
+            static_cast<std::size_t>((rating.time - epoch_start) / epoch_days);
+        epoch_start += static_cast<double>(skip) * epoch_days;
+        while (epoch_start > rating.time) {
+          epoch_start -= epoch_days;
+          --skip;
+        }
+        while (rating.time >= epoch_start + epoch_days) {
+          epoch_start += epoch_days;
+          ++skip;
+        }
+        out.skipped_empty_epochs += skip;
+        break;
+      }
+      close(epoch_start + epoch_days);
+    }
+    pending[rating.product].push_back(rating);
+  }
+  if (anchored && !pending.empty()) {
+    close(std::max(last_time + 1e-9, epoch_start + epoch_days));
+  }
+
+  out.trust_digest = digest_trust(system.trust_store());
+  return out;
+}
+
+std::string strip_ingest_noise(const std::string& checkpoint_text) {
+  return rewrite_lines(
+      checkpoint_text,
+      [](std::istream& in, std::ostream& out, const std::string& line) {
+        if (starts_with(line, "stats ")) {
+          out << "stats -\n";
+          return;
+        }
+        if (starts_with(line, "quarantine ")) {
+          std::istringstream fields(line);
+          std::string keyword;
+          std::size_t count = 0;
+          fields >> keyword >> count;
+          std::string entry;
+          for (std::size_t i = 0; i < count; ++i) std::getline(in, entry);
+          out << "quarantine -\n";
+          return;
+        }
+        out << line << '\n';
+      });
+}
+
+std::string normalize_skipped_counter(const std::string& checkpoint_text) {
+  return rewrite_lines(
+      checkpoint_text,
+      [](std::istream&, std::ostream& out, const std::string& line) {
+        if (starts_with(line, "anchor ")) {
+          std::istringstream fields(line);
+          std::string keyword, anchored, epoch_start, last_time, closed,
+              skipped, system_epochs;
+          fields >> keyword >> anchored >> epoch_start >> last_time >> closed >>
+              skipped >> system_epochs;
+          out << "anchor " << anchored << ' ' << epoch_start << ' ' << last_time
+              << ' ' << closed << " - " << system_epochs << '\n';
+          return;
+        }
+        out << line << '\n';
+      });
+}
+
+std::string downconvert_checkpoint_v1(const std::string& checkpoint_text) {
+  return rewrite_lines(
+      checkpoint_text,
+      [](std::istream&, std::ostream& out, const std::string& line) {
+        if (starts_with(line, "trustrate-checkpoint ")) {
+          out << "trustrate-checkpoint 1\n";
+          return;
+        }
+        if (starts_with(line, "anchor ")) {
+          std::istringstream fields(line);
+          std::string keyword, anchored, epoch_start, last_time, closed,
+              skipped, system_epochs;
+          fields >> keyword >> anchored >> epoch_start >> last_time >> closed >>
+              skipped >> system_epochs;
+          out << "anchor " << anchored << ' ' << epoch_start << ' ' << last_time
+              << ' ' << closed << ' ' << system_epochs << '\n';
+          return;
+        }
+        out << line << '\n';
+      });
+}
+
+std::string repro_command(std::uint64_t seed) {
+  return "TRUSTRATE_SEED=" + std::to_string(seed) +
+         " ./tests/conformance_test --gtest_filter='Conformance.ReplaySeed'";
+}
+
+DifferentialResult run_differential(const Scenario& scenario) {
+  DifferentialResult result;
+  const auto fail = [&](const std::string& what) {
+    result.ok = false;
+    result.divergence = "seed " + std::to_string(scenario.seed) + " [" +
+                        scenario.summary + "]: " + what +
+                        "\n  repro: " + repro_command(scenario.seed);
+    return result;
+  };
+  const auto compare_epochs = [&](const std::vector<std::string>& expected,
+                                  const std::vector<std::string>& actual,
+                                  const std::string& what)
+      -> std::optional<std::string> {
+    if (expected.size() != actual.size()) {
+      return what + ": epoch count " + std::to_string(actual.size()) +
+             " != " + std::to_string(expected.size());
+    }
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      if (expected[i] != actual[i]) {
+        std::ostringstream msg;
+        msg << what << ": epoch " << i << " report diverged (digest fnv "
+            << std::hex << fnv1a(actual[i]) << " != " << fnv1a(expected[i])
+            << ")";
+        return msg.str();
+      }
+    }
+    return std::nullopt;
+  };
+
+  const ArrivalPlan arrival_plan = make_arrivals(scenario);
+
+  // 0. Generator self-check: the shadow-ingest reference must recover the
+  // clean stream from the perturbed arrivals. A failure here means the
+  // perturbation constructor or the shadow semantics drifted — either way
+  // the scenario is not a valid oracle input.
+  const ShadowIngestOutcome shadow =
+      shadow_ingest(arrival_plan.arrivals, scenario.ingest);
+  if (shadow.accepted_sorted != scenario.ratings) {
+    return fail("shadow ingest did not recover the clean stream from the "
+                "perturbed arrivals");
+  }
+
+  // 1. Serial streaming on the clean stream: the comparison baseline.
+  const StreamOutcome base = run_stream(scenario, scenario.ratings, 1);
+
+  // 2. Batch reference: an independent epoch partition driving the batch
+  // pipeline directly.
+  const BatchOutcome batch = run_batch_reference(scenario);
+  if (const auto d = compare_epochs(batch.epoch_digests, base.epoch_digests,
+                                    "streaming vs batch reference")) {
+    return fail(*d);
+  }
+  if (batch.trust_digest != base.trust_digest) {
+    return fail("streaming vs batch reference: trust records diverged");
+  }
+  if (batch.epochs_processed != base.epochs_closed) {
+    return fail("streaming vs batch reference: epochs closed " +
+                std::to_string(base.epochs_closed) + " != " +
+                std::to_string(batch.epochs_processed));
+  }
+  if (batch.skipped_empty_epochs != base.skipped_empty_epochs) {
+    return fail("streaming vs batch reference: skipped empty epochs " +
+                std::to_string(base.skipped_empty_epochs) + " != " +
+                std::to_string(batch.skipped_empty_epochs));
+  }
+
+  // 3. Parallel epoch engine at 2 and 4 workers: the whole checkpoint (all
+  // trust evidence, retained series, counters) must be byte-identical.
+  for (const std::size_t workers : {std::size_t{2}, std::size_t{4}}) {
+    const StreamOutcome par = run_stream(scenario, scenario.ratings, workers);
+    if (const auto d = compare_epochs(
+            base.epoch_digests, par.epoch_digests,
+            "workers=" + std::to_string(workers) + " vs serial")) {
+      return fail(*d);
+    }
+    if (par.checkpoint != base.checkpoint) {
+      return fail("workers=" + std::to_string(workers) +
+                  " vs serial: final checkpoint bytes diverged");
+    }
+  }
+
+  // 4. Perturbed arrivals through the real ingest layer: identical epochs
+  // and trust, stats exactly as planned, state equal up to ingest noise.
+  const StreamOutcome perturbed =
+      run_stream(scenario, arrival_plan.arrivals, 1);
+  if (const auto d = compare_epochs(base.epoch_digests,
+                                    perturbed.epoch_digests,
+                                    "perturbed vs clean arrivals")) {
+    return fail(*d);
+  }
+  if (perturbed.trust_digest != base.trust_digest) {
+    return fail("perturbed vs clean arrivals: trust records diverged");
+  }
+  if (strip_ingest_noise(perturbed.checkpoint) !=
+      strip_ingest_noise(base.checkpoint)) {
+    return fail("perturbed vs clean arrivals: checkpoint differs beyond "
+                "ingest stats/quarantine");
+  }
+  if (perturbed.stats != shadow.stats) {
+    return fail("perturbed ingest stats {" + stats_to_string(perturbed.stats) +
+                "} != shadow reference {" + stats_to_string(shadow.stats) +
+                "}");
+  }
+  const PerturbationPlan& plan = arrival_plan.plan;
+  if (perturbed.stats.duplicates !=
+      plan.retries.size() + plan.horizon_retries.size()) {
+    return fail("perturbed ingest: duplicates " +
+                std::to_string(perturbed.stats.duplicates) + " != planned " +
+                std::to_string(plan.retries.size() +
+                               plan.horizon_retries.size()));
+  }
+  if (perturbed.stats.dropped_late != plan.stale) {
+    return fail("perturbed ingest: dropped_late " +
+                std::to_string(perturbed.stats.dropped_late) +
+                " != planned stale " + std::to_string(plan.stale));
+  }
+  if (perturbed.stats.malformed != plan.malformed) {
+    return fail("perturbed ingest: malformed " +
+                std::to_string(perturbed.stats.malformed) + " != planned " +
+                std::to_string(plan.malformed));
+  }
+  if (perturbed.stats.reordered != plan.moves.size()) {
+    return fail("perturbed ingest: reordered " +
+                std::to_string(perturbed.stats.reordered) + " != planned " +
+                std::to_string(plan.moves.size()));
+  }
+  if (perturbed.stats.quarantined !=
+      perturbed.stats.dropped_late + perturbed.stats.malformed) {
+    return fail("perturbed ingest: quarantined is not late + malformed");
+  }
+  const std::size_t expected_quarantine = std::min(
+      perturbed.stats.quarantined, scenario.ingest.max_quarantine);
+  if (perturbed.quarantine_size != expected_quarantine) {
+    return fail("perturbed ingest: quarantine size " +
+                std::to_string(perturbed.quarantine_size) +
+                " != min(quarantined, cap) = " +
+                std::to_string(expected_quarantine));
+  }
+
+  // 5. Mid-stream checkpoint/restore, resumed at a different worker count:
+  // resume must equal rerun down to the final checkpoint bytes.
+  const std::size_t cut = std::clamp<std::size_t>(
+      static_cast<std::size_t>(scenario.checkpoint_cut *
+                               static_cast<double>(scenario.ratings.size())),
+      1, scenario.ratings.size() - 1);
+  const CheckpointPlan resume_plan{cut, /*downconvert_v1=*/false,
+                                  /*resume_workers=*/2};
+  const StreamOutcome resumed =
+      run_stream(scenario, scenario.ratings, 1, &resume_plan);
+  if (const auto d = compare_epochs(base.epoch_digests, resumed.epoch_digests,
+                                    "checkpoint-resumed vs uninterrupted")) {
+    return fail(*d);
+  }
+  if (resumed.checkpoint != base.checkpoint) {
+    return fail("checkpoint-resumed vs uninterrupted: final checkpoint bytes "
+                "diverged");
+  }
+
+  // 6. v1 -> v2 checkpoint migration: a v1 restore loses only the skipped-
+  // empty-epoch counter; everything else must match bit-for-bit.
+  const CheckpointPlan migrate_plan{cut, /*downconvert_v1=*/true,
+                                    /*resume_workers=*/1};
+  const StreamOutcome migrated =
+      run_stream(scenario, scenario.ratings, 1, &migrate_plan);
+  if (const auto d = compare_epochs(base.epoch_digests, migrated.epoch_digests,
+                                    "v1-migrated vs uninterrupted")) {
+    return fail(*d);
+  }
+  if (migrated.trust_digest != base.trust_digest) {
+    return fail("v1-migrated vs uninterrupted: trust records diverged");
+  }
+  if (normalize_skipped_counter(migrated.checkpoint) !=
+      normalize_skipped_counter(base.checkpoint)) {
+    return fail("v1-migrated vs uninterrupted: checkpoint differs beyond the "
+                "skipped-empty-epoch counter");
+  }
+
+  return result;
+}
+
+}  // namespace trustrate::testkit

@@ -1,0 +1,96 @@
+// Differential conformance oracle (ISSUE 3 tentpole).
+//
+// One generated scenario (testkit/scenario.hpp) is pushed through every
+// execution path the system promises is equivalent:
+//
+//   1. the batch epoch loop — an independent reimplementation of the
+//      streaming epoch partition (anchor at first rating, fixed grid,
+//      empty-gap fast-forward) driving TrustEnhancedRatingSystem directly;
+//   2. StreamingRatingSystem on the clean, sorted stream;
+//   3. StreamingRatingSystem on the *perturbed* arrival sequence (in-bound
+//      reorder, retries, stale/malformed junk) that core/ingest must repair;
+//   4. a mid-stream checkpoint/restore (optionally down-converted to the
+//      v1 format first) resumed at a different worker count;
+//   5. the parallel epoch engine at 2 and 4 workers.
+//
+// All paths must agree *bitwise*: per-epoch reports (model errors, levels,
+// suspicious values C(i)), trust records, and — where the comparison is
+// meaningful — whole checkpoint byte strings. Ingestion statistics of the
+// perturbed path are checked against an independent shadow classifier and
+// the perturbation plan's exact expected counts (duplicates, late drops,
+// malformed, quarantine cap).
+#pragma once
+
+#include <unordered_map>
+
+#include "core/streaming.hpp"
+#include "testkit/digest.hpp"
+#include "testkit/scenario.hpp"
+
+namespace trustrate::testkit {
+
+/// Mid-run checkpoint/restore plan for run_stream: after `cut_index`
+/// arrivals the state is serialized (optionally rewritten as a version-1
+/// checkpoint) and restored into a fresh system with `resume_workers`.
+struct CheckpointPlan {
+  std::size_t cut_index = 0;
+  bool downconvert_v1 = false;
+  std::size_t resume_workers = 1;
+};
+
+/// Everything comparable about one streaming run.
+struct StreamOutcome {
+  std::vector<std::string> epoch_digests;  ///< one per closed epoch, in order
+  std::string trust_digest;
+  std::string checkpoint;                  ///< final serialized state
+  core::IngestStats stats;
+  std::vector<core::EpochHealth> health;
+  std::size_t epochs_closed = 0;
+  std::size_t skipped_empty_epochs = 0;
+  std::size_t quarantine_size = 0;
+};
+
+/// Runs the scenario's pipeline over `arrivals` with the given worker
+/// count, capturing per-epoch report digests via the epoch observer.
+/// `digest_options`/`trust_map` configure digest rendering (metamorphic
+/// relations map relabeled IDs back before comparing).
+StreamOutcome run_stream(
+    const Scenario& scenario, const RatingSeries& arrivals,
+    std::size_t workers, const CheckpointPlan* plan = nullptr,
+    const ReportDigestOptions& digest_options = {},
+    const std::unordered_map<RaterId, RaterId>* trust_map = nullptr);
+
+/// Outcome of the independent batch reference loop.
+struct BatchOutcome {
+  std::vector<std::string> epoch_digests;
+  std::string trust_digest;
+  std::size_t epochs_processed = 0;
+  std::size_t skipped_empty_epochs = 0;
+};
+
+BatchOutcome run_batch_reference(const Scenario& scenario);
+
+/// Replaces the ingest-statistics line and the quarantine block with
+/// placeholders: the perturbed path legitimately differs from the clean
+/// path in exactly these (and nothing else).
+std::string strip_ingest_noise(const std::string& checkpoint_text);
+
+/// Replaces the skipped-empty-epoch counter in the anchor line with a
+/// placeholder (a v1-migrated run loses the counter's pre-cut value).
+std::string normalize_skipped_counter(const std::string& checkpoint_text);
+
+/// Rewrites a v2 checkpoint as the v1 wire format (header version 1, no
+/// skipped-empty-epoch token) for migration testing.
+std::string downconvert_checkpoint_v1(const std::string& checkpoint_text);
+
+struct DifferentialResult {
+  bool ok = true;
+  std::string divergence;  ///< empty when ok; includes seed + repro command
+};
+
+DifferentialResult run_differential(const Scenario& scenario);
+
+/// One-line command replaying `seed` (printed on every divergence).
+std::string repro_command(std::uint64_t seed);
+
+}  // namespace trustrate::testkit

@@ -1,0 +1,407 @@
+#include "testkit/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+
+namespace trustrate::testkit {
+namespace {
+
+/// Snaps t onto the kTimeGrid lattice (exact: grid is a power of two).
+double to_grid(double t) { return std::floor(t / kTimeGrid) * kTimeGrid; }
+
+struct Timeline {
+  double t0 = 0.0;
+  std::vector<double> span_starts;  ///< generator spans, one per "month"
+  double epoch_days = 30.0;
+  std::size_t gap_epochs = 0;
+};
+
+Timeline make_timeline(Rng& rng) {
+  Timeline tl;
+  const double choices[] = {10.0, 15.0, 30.0};
+  tl.epoch_days = choices[rng.uniform_int(0, 2)];
+  tl.t0 = to_grid(rng.uniform(3.0, 20.0));
+  const std::size_t spans = static_cast<std::size_t>(rng.uniform_int(2, 4));
+  // With probability ~0.4 a long fully-empty gap is inserted between two
+  // spans, exercising the streaming empty-epoch fast-forward.
+  std::size_t gap_after = spans;  // no gap
+  if (rng.bernoulli(0.4) && spans >= 2) {
+    tl.gap_epochs = static_cast<std::size_t>(rng.uniform_int(2, 30));
+    gap_after = static_cast<std::size_t>(rng.uniform_int(1, static_cast<std::int64_t>(spans) - 1));
+  }
+  double t = tl.t0;
+  for (std::size_t e = 0; e < spans; ++e) {
+    if (e == gap_after) t += static_cast<double>(tl.gap_epochs) * tl.epoch_days;
+    tl.span_starts.push_back(t);
+    t += tl.epoch_days;
+  }
+  return tl;
+}
+
+AttackModel pick_attack(Rng& rng) {
+  const double p = rng.uniform();
+  if (p < 0.35) return AttackModel::kHonestBaseline;
+  if (p < 0.60) return AttackModel::kBiasShift;
+  if (p < 0.82) return AttackModel::kBurstCluster;
+  return AttackModel::kChurnRecruits;
+}
+
+}  // namespace
+
+const char* to_string(AttackModel model) {
+  switch (model) {
+    case AttackModel::kHonestBaseline: return "honest";
+    case AttackModel::kBiasShift:      return "bias-shift";
+    case AttackModel::kBurstCluster:   return "burst";
+    case AttackModel::kChurnRecruits:  return "churn";
+  }
+  return "unknown";
+}
+
+Scenario make_scenario(std::uint64_t seed) {
+  Rng rng(seed);
+  Scenario s;
+  s.seed = seed;
+
+  // --- pipeline configuration (epoch_workers stays 1; the oracle varies it)
+  s.config.filter.q = rng.bernoulli(0.5) ? 0.1 : 0.05;
+  s.config.enable_filter = !rng.bernoulli(0.05);
+  s.config.detector_on_filtered = !rng.bernoulli(0.1);
+  if (rng.bernoulli(0.5)) {
+    s.config.ar.window_days = 10.0;
+    s.config.ar.step_days = 5.0;
+  } else {
+    s.config.ar.window_days = 8.0;
+    s.config.ar.step_days = 4.0;
+  }
+  const double thresholds[] = {0.015, 0.02, 0.03};
+  s.config.ar.error_threshold = thresholds[rng.uniform_int(0, 2)];
+  s.config.b = rng.bernoulli(0.5) ? 1.0 : 5.0;
+  s.config.forgetting = rng.bernoulli(0.3) ? 0.95 : 1.0;
+
+  const Timeline tl = make_timeline(rng);
+  s.epoch_days = tl.epoch_days;
+  s.gap_epochs = tl.gap_epochs;
+  s.retention_epochs = static_cast<std::size_t>(rng.uniform_int(1, 3));
+
+  const double lateness[] = {0.0, 0.5, 2.0};
+  s.ingest.max_lateness_days = lateness[rng.uniform_int(0, 2)];
+  const std::size_t quarantine_caps[] = {4, 8, 1024};
+  s.ingest.max_quarantine = quarantine_caps[rng.uniform_int(0, 2)];
+
+  s.checkpoint_cut = rng.uniform(0.2, 0.8);
+
+  // --- population
+  const auto reliable = static_cast<RaterId>(rng.uniform_int(25, 90));
+  const auto careless = static_cast<RaterId>(rng.uniform_int(10, 30));
+  const std::size_t products = static_cast<std::size_t>(rng.uniform_int(2, 5));
+
+  // --- per-product streams composing the attack models
+  for (ProductId p = 0; p < products; ++p) {
+    const AttackModel attack = pick_attack(rng);
+    s.product_attacks.push_back(attack);
+    const double quality = rng.uniform(0.35, 0.65);
+    const double bias =
+        (rng.bernoulli(0.5) ? 1.0 : -1.0) * rng.uniform(0.12, 0.2);
+    const std::size_t burst_span = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(tl.span_starts.size()) - 1));
+
+    for (std::size_t e = 0; e < tl.span_starts.size(); ++e) {
+      const double span_start = tl.span_starts[e];
+      // Honest + careless baseline traffic.
+      const std::int64_t honest_n = rng.uniform_int(15, 45);
+      for (std::int64_t k = 0; k < honest_n; ++k) {
+        const auto rater =
+            static_cast<RaterId>(rng.uniform_int(0, reliable + careless - 1));
+        const double sigma = rater < reliable ? 0.2 : 0.3;
+        Rating r;
+        r.time = to_grid(span_start + rng.uniform(0.0, tl.epoch_days));
+        r.value = quantize_unit(clamp_unit(rng.gaussian(quality, sigma)), 10, false);
+        r.rater = rater;
+        r.product = p;
+        r.label = rater < reliable ? RatingLabel::kHonest : RatingLabel::kCareless;
+        s.ratings.push_back(r);
+      }
+
+      // Attack traffic.
+      if (attack == AttackModel::kBiasShift) {
+        // Persistent shill pool spreading moderately biased ratings over
+        // every span (the paper's strategy-2 flavor).
+        const std::int64_t pool = 4 + static_cast<std::int64_t>(p) % 3 * 2;
+        const std::int64_t shots = rng.uniform_int(3, 8);
+        for (std::int64_t k = 0; k < shots; ++k) {
+          Rating r;
+          r.time = to_grid(span_start + rng.uniform(0.0, tl.epoch_days));
+          r.value = clamp_unit(rng.gaussian(quality + bias, 0.05));
+          r.rater = static_cast<RaterId>(100000 + 1000 * p +
+                                         rng.uniform_int(0, pool - 1));
+          r.product = p;
+          r.label = RatingLabel::kCollaborative2;
+          s.ratings.push_back(r);
+        }
+      } else if ((attack == AttackModel::kBurstCluster && e == burst_span) ||
+                 attack == AttackModel::kChurnRecruits) {
+        // Tight low-variance collusive burst; churn uses fresh identities
+        // every span (whitewash), burst a single persistent campaign.
+        const double burst_len = rng.uniform(2.0, 4.0);
+        const double burst_at =
+            span_start + rng.uniform(0.0, tl.epoch_days - burst_len);
+        const std::int64_t m = rng.uniform_int(8, 18);
+        const RaterId base =
+            attack == AttackModel::kChurnRecruits
+                ? static_cast<RaterId>(200000 + 10000 * p + 500 * e)
+                : static_cast<RaterId>(150000 + 1000 * p);
+        for (std::int64_t k = 0; k < m; ++k) {
+          Rating r;
+          r.time = to_grid(burst_at + rng.uniform(0.0, burst_len));
+          r.value = clamp_unit(rng.gaussian(quality + bias, 0.02));
+          r.rater = base + static_cast<RaterId>(k);
+          r.product = p;
+          r.label = RatingLabel::kCollaborative2;
+          s.ratings.push_back(r);
+        }
+      }
+    }
+  }
+
+  // Canonical clean stream: sorted, then strictly increasing times (bump
+  // collisions by one grid step) so no downstream tie-break ever involves
+  // rater or product IDs — the metamorphic relations rely on this.
+  std::sort(s.ratings.begin(), s.ratings.end(),
+            [](const Rating& a, const Rating& b) {
+              return std::tie(a.time, a.rater, a.product) <
+                     std::tie(b.time, b.rater, b.product);
+            });
+  for (std::size_t i = 1; i < s.ratings.size(); ++i) {
+    if (s.ratings[i].time <= s.ratings[i - 1].time) {
+      s.ratings[i].time = s.ratings[i - 1].time + kTimeGrid;
+    }
+  }
+
+  // Exact watermark-boundary pairs: adjust a later rating's event time to
+  // sit exactly max_lateness_days after an earlier one; make_arrivals then
+  // delays the earlier rating to arrive right after it, hitting the
+  // watermark with equality (must be accepted, not dropped late).
+  if (s.ingest.max_lateness_days > 0.0 && s.ratings.size() > 8) {
+    const double bound = s.ingest.max_lateness_days;
+    std::vector<std::pair<std::size_t, std::size_t>> used;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(s.ratings.size()) - 2));
+      const double target = s.ratings[i].time + bound;
+      const auto it = std::lower_bound(
+          s.ratings.begin(), s.ratings.end(), target,
+          [](const Rating& r, double t) { return r.time < t; });
+      if (it == s.ratings.end()) continue;
+      const auto j = static_cast<std::size_t>(it - s.ratings.begin());
+      if (j <= i) continue;
+      const bool overlaps = std::any_of(
+          used.begin(), used.end(), [&](const auto& range) {
+            return i <= range.second && range.first <= j;
+          });
+      if (overlaps) continue;
+      s.ratings[j].time = target;  // keeps strict order: t[j-1] < target <= old t[j]
+      s.at_bound_pairs.push_back({i, j, true});
+      used.emplace_back(i, j);
+    }
+    std::sort(s.at_bound_pairs.begin(), s.at_bound_pairs.end(),
+              [](const Displacement& a, const Displacement& b) {
+                return a.from < b.from;
+              });
+  }
+
+  std::ostringstream summary;
+  summary << "products=" << products << " spans=" << tl.span_starts.size()
+          << " epoch_days=" << tl.epoch_days << " gap=" << tl.gap_epochs
+          << " lateness=" << s.ingest.max_lateness_days
+          << " qcap=" << s.ingest.max_quarantine << " attacks=[";
+  for (std::size_t p = 0; p < s.product_attacks.size(); ++p) {
+    summary << (p ? "," : "") << to_string(s.product_attacks[p]);
+  }
+  summary << "] ratings=" << s.ratings.size();
+  s.summary = summary.str();
+  return s;
+}
+
+ArrivalPlan make_arrivals(const Scenario& scenario) {
+  Rng rng(scenario.seed ^ 0xda3e39cb94b95bdbull);
+  const RatingSeries& clean = scenario.ratings;
+  const std::size_t n = clean.size();
+  const double bound = scenario.ingest.max_lateness_days;
+
+  ArrivalPlan out;
+  out.plan.moves = scenario.at_bound_pairs;
+
+  // Extra random in-bound displacements on index ranges disjoint from each
+  // other and from the at-bound pairs, so at each displaced arrival the
+  // maximum time seen so far is exactly the target rating's time.
+  if (bound > 0.0) {
+    auto reserved_end = [&](std::size_t i) -> std::size_t {
+      for (const Displacement& d : scenario.at_bound_pairs) {
+        if (i >= d.from && i <= d.to) return d.to + 1;
+      }
+      return i;
+    };
+    std::size_t i = 0;
+    while (i + 1 < n) {
+      const std::size_t skip = reserved_end(i);
+      if (skip != i) { i = skip; continue; }
+      if (rng.bernoulli(0.12)) {
+        // Furthest in-bound target, stopping before the next reserved range.
+        std::size_t j = i;
+        while (j + 1 < n && clean[j + 1].time - clean[i].time <= bound &&
+               reserved_end(j + 1) == j + 1) {
+          ++j;
+        }
+        if (j > i) {
+          const auto jj = static_cast<std::size_t>(rng.uniform_int(
+              static_cast<std::int64_t>(i) + 1, static_cast<std::int64_t>(j)));
+          out.plan.moves.push_back(
+              {i, jj, clean[jj].time - clean[i].time == bound});
+          i = jj + 1;
+          continue;
+        }
+      }
+      ++i;
+    }
+    std::sort(out.plan.moves.begin(), out.plan.moves.end(),
+              [](const Displacement& a, const Displacement& b) {
+                return a.from < b.from;
+              });
+  }
+
+  // Arrival sequence with displacements applied; ranges are disjoint, so at
+  // most one rating is in flight. clean_index tracks provenance (-1: junk).
+  std::vector<std::pair<Rating, std::ptrdiff_t>> seq;
+  seq.reserve(n + 16);
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (next < out.plan.moves.size() && out.plan.moves[next].from == i) {
+      continue;  // held; emitted right after its target below
+    }
+    seq.emplace_back(clean[i], static_cast<std::ptrdiff_t>(i));
+    if (next < out.plan.moves.size() && out.plan.moves[next].to == i) {
+      const Displacement& d = out.plan.moves[next];
+      seq.emplace_back(clean[d.from], static_cast<std::ptrdiff_t>(d.from));
+      if (d.exactly_at_bound && rng.bernoulli(0.6)) {
+        // Resubmission whose dedup key sits exactly on the horizon.
+        seq.emplace_back(clean[d.from], -1);
+        out.plan.horizon_retries.push_back(d.from);
+      }
+      ++next;
+    }
+  }
+
+  // Client retries: verbatim resubmission immediately after the original.
+  {
+    std::vector<std::pair<Rating, std::ptrdiff_t>> with_retries;
+    with_retries.reserve(seq.size() + 8);
+    for (const auto& entry : seq) {
+      with_retries.push_back(entry);
+      if (entry.second >= 0 && rng.bernoulli(0.04)) {
+        with_retries.emplace_back(entry.first, -1);
+        out.plan.retries.push_back(static_cast<std::size_t>(entry.second));
+      }
+    }
+    seq = std::move(with_retries);
+  }
+
+  // Stale junk (guaranteed behind the watermark at its arrival position)
+  // and malformed junk. Both are guaranteed drops: the accepted rating set
+  // stays exactly the clean stream.
+  const auto stale_n = static_cast<std::size_t>(rng.uniform_int(0, 5));
+  for (std::size_t k = 0; k < stale_n && !seq.empty(); ++k) {
+    auto pos = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(seq.size())));
+    double max_time = -std::numeric_limits<double>::infinity();
+    for (std::size_t q = 0; q < pos; ++q) {
+      const Rating& r = seq[q].first;
+      if (std::isfinite(r.time) && std::isfinite(r.value) && r.value >= 0.0 &&
+          r.value <= 1.0) {
+        max_time = std::max(max_time, r.time);
+      }
+    }
+    if (!std::isfinite(max_time)) continue;  // nothing accepted yet there
+    Rating stale;
+    stale.time = max_time - bound -
+                 kTimeGrid * static_cast<double>(rng.uniform_int(1, 2000));
+    stale.value = 0.5;
+    stale.rater = static_cast<RaterId>(900100 + k);
+    stale.product = 0;
+    seq.insert(seq.begin() + static_cast<std::ptrdiff_t>(pos), {stale, -1});
+    ++out.plan.stale;
+  }
+  const auto malformed_n = static_cast<std::size_t>(rng.uniform_int(0, 5));
+  for (std::size_t k = 0; k < malformed_n; ++k) {
+    Rating junk;
+    junk.rater = static_cast<RaterId>(900000 + k);
+    junk.product = 0;
+    junk.time = 1.0;
+    switch (rng.uniform_int(0, 3)) {
+      case 0: junk.value = std::numeric_limits<double>::quiet_NaN(); break;
+      case 1: junk.value = 1.5; break;
+      case 2: junk.value = -0.25; break;
+      default:
+        junk.value = 0.5;
+        junk.time = std::numeric_limits<double>::infinity();
+        break;
+    }
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(seq.size())));
+    seq.insert(seq.begin() + static_cast<std::ptrdiff_t>(pos), {junk, -1});
+    ++out.plan.malformed;
+  }
+
+  out.arrivals.reserve(seq.size());
+  for (const auto& [rating, idx] : seq) out.arrivals.push_back(rating);
+  return out;
+}
+
+ShadowIngestOutcome shadow_ingest(const RatingSeries& arrivals,
+                                  const core::IngestConfig& config) {
+  ShadowIngestOutcome out;
+  core::IngestStats& st = out.stats;
+  bool anchored = false;
+  double max_time = 0.0;
+  std::set<std::tuple<double, RaterId, ProductId, double>> seen;
+  for (const Rating& r : arrivals) {
+    ++st.submitted;
+    if (!std::isfinite(r.time) || !std::isfinite(r.value) || r.value < 0.0 ||
+        r.value > 1.0) {
+      ++st.malformed;
+      ++st.quarantined;
+      continue;
+    }
+    if (anchored && r.time < max_time - config.max_lateness_days) {
+      ++st.dropped_late;
+      ++st.quarantined;
+      continue;
+    }
+    if (!seen.insert({r.time, r.rater, r.product, r.value}).second) {
+      ++st.duplicates;
+      continue;
+    }
+    ++st.accepted;
+    if (anchored && r.time < max_time) ++st.reordered;
+    out.accepted_sorted.push_back(r);
+    if (!anchored || r.time > max_time) {
+      anchored = true;
+      max_time = r.time;
+    }
+    const double mark = max_time - config.max_lateness_days;
+    while (!seen.empty() && std::get<0>(*seen.begin()) < mark) {
+      seen.erase(seen.begin());
+    }
+  }
+  sort_by_time(out.accepted_sorted);
+  return out;
+}
+
+}  // namespace trustrate::testkit

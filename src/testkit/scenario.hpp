@@ -1,0 +1,124 @@
+// Deterministic conformance-scenario generation (ISSUE 3 tentpole).
+//
+// A Scenario is everything the differential oracle (testkit/oracle.hpp)
+// needs to exercise the full pipeline end-to-end, derived from a single
+// uint64 seed via common/rng: a pipeline configuration, a clean time-sorted
+// rating stream composing the paper's attack models (§IV/§V: honest
+// baselines, sustained bias shifts, tight collusive bursts, churned shill
+// identities, large empty-epoch gaps), and a *perturbation plan* of
+// transport faults (in-bound reorder, retries, stale and malformed junk)
+// that core/ingest must repair or reject without changing the outcome.
+//
+// Two generator guarantees make the metamorphic relations in
+// testkit/metamorphic.hpp *bitwise* statements rather than tolerances:
+//
+//  * every event time is a multiple of kTimeGrid (2^-10 days) and small
+//    enough that all boundary arithmetic in the pipeline (epoch grid,
+//    watermark, AR window grid) stays exact — so a global integer time
+//    shift changes no comparison outcome anywhere;
+//  * event times are globally *strictly increasing*, so no tie-break ever
+//    depends on rater or product IDs and relabeling either is outcome-free.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/ingest.hpp"
+#include "core/system.hpp"
+
+namespace trustrate::testkit {
+
+/// All generated event times are multiples of this grid (2^-10 days).
+inline constexpr double kTimeGrid = 1.0 / 1024.0;
+
+/// Attack model composed per product (paper §IV marketplace + §V study).
+enum class AttackModel : std::uint8_t {
+  kHonestBaseline = 0,  ///< reliable + careless raters only
+  kBiasShift,           ///< sustained moderate-bias collaborative stream
+  kBurstCluster,        ///< tight low-variance collusive burst in one epoch
+  kChurnRecruits,       ///< burst with fresh shill identities every epoch
+};
+
+const char* to_string(AttackModel model);
+
+/// A clean rating `from` (index into Scenario::ratings) whose *arrival* is
+/// displaced to immediately after index `to` (from < to). The pair is
+/// constructed so t[to] - t[from] <= max_lateness_days, i.e. the ingest
+/// layer must repair it; `exactly_at_bound` marks pairs with equality —
+/// the rating arrives with its event time exactly on the watermark.
+struct Displacement {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  bool exactly_at_bound = false;
+};
+
+/// Deterministic transport-fault plan applied by make_arrivals. Every entry
+/// is constructed so the ingest layer provably accepts the same rating set
+/// as the clean stream: moves are within the lateness bound, retries and
+/// horizon_retries are exact duplicates, stale and malformed junk is
+/// guaranteed to be dropped/quarantined.
+struct PerturbationPlan {
+  std::vector<Displacement> moves;
+  /// Clean indices resubmitted verbatim immediately after the original
+  /// (client retry): classified kDuplicate.
+  std::vector<std::size_t> retries;
+  /// `from` indices of exactly_at_bound moves additionally resubmitted
+  /// right after arrival — the duplicate key sits exactly on the dedup
+  /// horizon (time == watermark) and must still be recognized.
+  std::vector<std::size_t> horizon_retries;
+  std::size_t stale = 0;      ///< junk behind the watermark: kLate
+  std::size_t malformed = 0;  ///< non-finite / out-of-range junk: kMalformed
+};
+
+/// One generated conformance scenario. `ratings` is the clean stream:
+/// time-sorted, strictly increasing grid-aligned times, labelled ground
+/// truth. config.epoch_workers is always 1 (the oracle varies it).
+struct Scenario {
+  std::uint64_t seed = 0;
+  core::SystemConfig config;
+  double epoch_days = 30.0;
+  std::size_t retention_epochs = 2;
+  core::IngestConfig ingest;
+  RatingSeries ratings;
+  std::vector<AttackModel> product_attacks;  ///< indexed by ProductId
+  /// Indices of at-bound pairs prepared by the generator (event times were
+  /// adjusted so t[to] - t[from] == max_lateness_days exactly).
+  std::vector<Displacement> at_bound_pairs;
+  /// Fraction of the clean stream submitted before the mid-run checkpoint.
+  double checkpoint_cut = 0.5;
+  /// Number of fully-empty epochs the generator's timeline gap spans (the
+  /// streaming fast-forward path is exercised whenever this is > 0).
+  std::size_t gap_epochs = 0;
+  std::string summary;  ///< one-line description for failure messages
+};
+
+/// Builds the scenario for `seed`. Deterministic: equal seeds produce
+/// byte-identical scenarios on every platform with the same libstdc++
+/// distributions (the repo-wide reproducibility assumption).
+Scenario make_scenario(std::uint64_t seed);
+
+/// The perturbed arrival sequence for a scenario plus the plan that built
+/// it. Deterministic from scenario.seed. When ingest.max_lateness_days is 0
+/// the plan contains no moves (any reorder would be dropped late).
+struct ArrivalPlan {
+  RatingSeries arrivals;
+  PerturbationPlan plan;
+};
+
+ArrivalPlan make_arrivals(const Scenario& scenario);
+
+/// Reference reimplementation of the core/ingest classification semantics
+/// (validation -> watermark lateness -> duplicate horizon), independent of
+/// IngestBuffer: the differential oracle checks the real stats against
+/// these. `accepted_sorted` is the accepted multiset in time order.
+struct ShadowIngestOutcome {
+  core::IngestStats stats;
+  RatingSeries accepted_sorted;
+};
+
+ShadowIngestOutcome shadow_ingest(const RatingSeries& arrivals,
+                                  const core::IngestConfig& config);
+
+}  // namespace trustrate::testkit

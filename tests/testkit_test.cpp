@@ -1,0 +1,170 @@
+// Unit tests for the conformance testkit itself (ctest label: tier1).
+//
+// The randomized sweep (conformance_test.cpp) is only as trustworthy as the
+// generator, the shadow-ingest reference, and the digests — these tests pin
+// their contracts directly and keep one differential + metamorphic smoke
+// run in the default tier.
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/checkpoint.hpp"
+#include "core/ingest.hpp"
+#include "testkit/metamorphic.hpp"
+#include "testkit/oracle.hpp"
+
+namespace {
+
+using trustrate::Rating;
+using trustrate::RatingSeries;
+using namespace trustrate::testkit;
+
+// Renders a series bit-exactly (arrival sequences contain NaN-valued
+// malformed junk, so Rating::operator== cannot compare them).
+std::string render(const RatingSeries& series) {
+  std::ostringstream out;
+  for (const Rating& r : series) {
+    out << hex_double(r.time) << ' ' << hex_double(r.value) << ' ' << r.rater
+        << ' ' << r.product << '\n';
+  }
+  return out.str();
+}
+
+TEST(ScenarioGenerator, DeterministicFromSeed) {
+  const Scenario a = make_scenario(1234);
+  const Scenario b = make_scenario(1234);
+  EXPECT_EQ(a.ratings, b.ratings);
+  EXPECT_EQ(a.summary, b.summary);
+  EXPECT_EQ(a.epoch_days, b.epoch_days);
+  const ArrivalPlan pa = make_arrivals(a);
+  const ArrivalPlan pb = make_arrivals(b);
+  EXPECT_EQ(render(pa.arrivals), render(pb.arrivals));
+  EXPECT_EQ(pa.plan.moves.size(), pb.plan.moves.size());
+
+  const Scenario c = make_scenario(1235);
+  EXPECT_NE(a.ratings, c.ratings);
+}
+
+TEST(ScenarioGenerator, GridAlignedStrictlyIncreasingTimes) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const Scenario s = make_scenario(seed);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ASSERT_FALSE(s.ratings.empty());
+    double prev = -1.0;
+    for (const Rating& r : s.ratings) {
+      // Strictly increasing: no downstream tie-break can involve IDs.
+      ASSERT_GT(r.time, prev);
+      prev = r.time;
+      // On the 2^-10 lattice: division by the grid is exact.
+      const double cells = r.time / kTimeGrid;
+      ASSERT_EQ(cells, std::floor(cells)) << "time off-grid: " << r.time;
+      ASSERT_GE(r.value, 0.0);
+      ASSERT_LE(r.value, 1.0);
+    }
+  }
+}
+
+TEST(ScenarioGenerator, AtBoundPairsSitExactlyOnTheLatenessBound) {
+  std::size_t seen = 0;
+  for (std::uint64_t seed = 1; seed <= 40 && seen < 5; ++seed) {
+    const Scenario s = make_scenario(seed);
+    for (const Displacement& d : s.at_bound_pairs) {
+      ASSERT_LT(d.from, d.to);
+      EXPECT_EQ(s.ratings[d.to].time - s.ratings[d.from].time,
+                s.ingest.max_lateness_days);
+      EXPECT_TRUE(d.exactly_at_bound);
+      ++seen;
+    }
+  }
+  EXPECT_GE(seen, 5u) << "generator stopped producing at-bound pairs";
+}
+
+// The shadow classifier and the real IngestBuffer must agree on every
+// arrival sequence the generator produces — and both must recover exactly
+// the clean stream.
+TEST(ShadowIngest, MatchesRealIngestBuffer) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const Scenario s = make_scenario(seed);
+    SCOPED_TRACE("seed " + std::to_string(seed) + " [" + s.summary + "]");
+    const ArrivalPlan plan = make_arrivals(s);
+
+    trustrate::core::IngestBuffer buffer(s.ingest);
+    RatingSeries released;
+    std::vector<Rating> batch;
+    for (const Rating& r : plan.arrivals) {
+      batch.clear();
+      buffer.submit(r, batch);
+      released.insert(released.end(), batch.begin(), batch.end());
+    }
+    batch.clear();
+    buffer.drain(batch);
+    released.insert(released.end(), batch.begin(), batch.end());
+
+    const ShadowIngestOutcome shadow = shadow_ingest(plan.arrivals, s.ingest);
+    EXPECT_TRUE(buffer.stats() == shadow.stats);
+    EXPECT_EQ(released, shadow.accepted_sorted);
+    EXPECT_EQ(released, s.ratings);  // ingest repaired the perturbation
+  }
+}
+
+TEST(Digest, HexDoubleIsBitExact) {
+  EXPECT_EQ(hex_double(1.0), "0x1p+0");
+  EXPECT_NE(hex_double(0.1), hex_double(0.1 + 1e-17));
+  EXPECT_EQ(hex_double(0.1), hex_double(0.1));
+}
+
+TEST(Digest, TrustDigestSortsByMappedId) {
+  trustrate::trust::TrustStore store;
+  store.record(7) = {2.0, 1.0};
+  store.record(3) = {1.0, 0.0};
+  const std::string plain = digest_trust(store);
+  EXPECT_LT(plain.find("3 "), plain.find("7 "));
+
+  // Swapping 3 <-> 7 through a map must produce the digest of the swapped
+  // store, proving relabel comparisons are meaningful.
+  const std::unordered_map<trustrate::RaterId, trustrate::RaterId> swap_map{
+      {3, 7}, {7, 3}};
+  trustrate::trust::TrustStore swapped;
+  swapped.record(3) = {2.0, 1.0};
+  swapped.record(7) = {1.0, 0.0};
+  EXPECT_EQ(digest_trust(store, &swap_map), digest_trust(swapped));
+}
+
+TEST(Oracle, DownconvertedCheckpointLoadsAsV1) {
+  const Scenario s = make_scenario(11);
+  const StreamOutcome base = run_stream(s, s.ratings, 1);
+  const std::string v1 = downconvert_checkpoint_v1(base.checkpoint);
+  EXPECT_NE(v1.find("trustrate-checkpoint 1\n"), std::string::npos);
+
+  std::istringstream in(v1);
+  const trustrate::core::StreamingRatingSystem restored =
+      trustrate::core::load_checkpoint(in, s.config);
+  // v1 carries no skipped-empty-epoch counter; everything else round-trips.
+  EXPECT_EQ(restored.skipped_empty_epochs(), 0u);
+  EXPECT_EQ(restored.epochs_closed(), base.epochs_closed);
+  std::ostringstream resaved;
+  trustrate::core::save_checkpoint(restored, resaved);
+  EXPECT_EQ(normalize_skipped_counter(resaved.str()),
+            normalize_skipped_counter(base.checkpoint));
+}
+
+TEST(Oracle, StripIngestNoiseRemovesOnlyStatsAndQuarantine) {
+  const Scenario s = make_scenario(11);
+  const StreamOutcome base = run_stream(s, s.ratings, 1);
+  const std::string stripped = strip_ingest_noise(base.checkpoint);
+  EXPECT_NE(stripped.find("stats -\n"), std::string::npos);
+  EXPECT_NE(stripped.find("quarantine -\n"), std::string::npos);
+  EXPECT_NE(stripped.find("trust "), std::string::npos);
+  EXPECT_NE(stripped.find("end\n"), std::string::npos);
+}
+
+TEST(Conformance, SmokeOneSeed) {
+  const Scenario s = make_scenario(42);
+  const DifferentialResult diff = run_differential(s);
+  EXPECT_TRUE(diff.ok) << diff.divergence;
+  const MetamorphicResult meta = run_metamorphic(s);
+  EXPECT_TRUE(meta.ok) << meta.violation;
+}
+
+}  // namespace
