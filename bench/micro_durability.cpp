@@ -1,0 +1,142 @@
+// Micro-benchmarks: what durability costs. The in-memory streaming
+// front-end is the baseline; the durable front-end (WAL append per rating,
+// fsync per the policy, atomic checkpoints) is measured against it at each
+// FsyncPolicy so the per-rating WAL overhead is directly readable from the
+// items/s column:
+//
+//   none    append only — the OS flushes when it pleases
+//   epoch   fsync at epoch closes and flushes (the default)
+//   always  fsync after every record (group-commit territory)
+//
+// Plus the two recovery-path costs an operator plans around: writing an
+// atomic checkpoint, and cold recovery (checkpoint restore + WAL replay).
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "core/durable/durable_stream.hpp"
+#include "core/streaming.hpp"
+
+using namespace trustrate;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+core::SystemConfig bench_config() {
+  core::SystemConfig config;
+  config.filter.q = 0.02;
+  config.ar.window_days = 8.0;
+  config.ar.step_days = 2.0;
+  config.b = 10.0;
+  return config;
+}
+
+/// ~90 days of a single product's stream: enough to close two epochs and
+/// rotate past the first WAL segment boundary under small segment_bytes.
+RatingSeries bench_stream(std::size_t ratings) {
+  Rng rng(29);
+  RatingSeries out;
+  out.reserve(ratings);
+  const double span_days = 90.0;
+  for (std::size_t i = 0; i < ratings; ++i) {
+    out.push_back({span_days * static_cast<double>(i) /
+                       static_cast<double>(ratings),
+                   quantize_unit(clamp_unit(rng.gaussian(0.55, 0.25)), 10,
+                                 false),
+                   static_cast<RaterId>(rng.uniform_int(0, 300)), 1,
+                   RatingLabel::kHonest});
+  }
+  return out;
+}
+
+fs::path bench_dir(const char* name) {
+  return fs::temp_directory_path() /
+         (std::string("trustrate-micro-durability-") + name);
+}
+
+void BM_SubmitInMemory(benchmark::State& state) {
+  const auto arrivals = bench_stream(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    core::StreamingRatingSystem stream(bench_config(), /*epoch_days=*/30.0,
+                                       /*retention_epochs=*/2);
+    for (const auto& r : arrivals) {
+      benchmark::DoNotOptimize(stream.submit(r));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * arrivals.size());
+}
+BENCHMARK(BM_SubmitInMemory)->Arg(512);
+
+void BM_SubmitDurable(benchmark::State& state) {
+  const auto arrivals = bench_stream(static_cast<std::size_t>(state.range(0)));
+  const auto policy = static_cast<core::durable::FsyncPolicy>(state.range(1));
+  core::durable::DurableOptions options;
+  options.fsync = policy;
+  const fs::path dir = bench_dir(core::durable::to_string(policy));
+  for (auto _ : state) {
+    state.PauseTiming();
+    fs::remove_all(dir);  // each iteration starts from an empty directory
+    state.ResumeTiming();
+    core::durable::DurableStream durable(dir, bench_config(),
+                                         /*epoch_days=*/30.0,
+                                         /*retention_epochs=*/2, {}, options);
+    for (const auto& r : arrivals) {
+      benchmark::DoNotOptimize(durable.submit(r));
+    }
+  }
+  fs::remove_all(dir);
+  state.SetItemsProcessed(state.iterations() * arrivals.size());
+  state.SetLabel(std::string("fsync=") + core::durable::to_string(policy));
+}
+BENCHMARK(BM_SubmitDurable)
+    ->Args({512, static_cast<int>(core::durable::FsyncPolicy::kNone)})
+    ->Args({512, static_cast<int>(core::durable::FsyncPolicy::kEpoch)})
+    ->Args({512, static_cast<int>(core::durable::FsyncPolicy::kAlways)});
+
+void BM_Checkpoint(benchmark::State& state) {
+  const auto arrivals = bench_stream(static_cast<std::size_t>(state.range(0)));
+  const fs::path dir = bench_dir("checkpoint");
+  fs::remove_all(dir);
+  core::durable::DurableStream durable(dir, bench_config(),
+                                       /*epoch_days=*/30.0,
+                                       /*retention_epochs=*/2);
+  for (const auto& r : arrivals) durable.submit(r);
+  // next_lsn is stable between checkpoints, so each iteration atomically
+  // rewrites the same file: pure checkpoint write cost, no growth.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(durable.checkpoint());
+  }
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_Checkpoint)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+void BM_ColdRecovery(benchmark::State& state) {
+  const auto arrivals = bench_stream(static_cast<std::size_t>(state.range(0)));
+  const fs::path dir = bench_dir("recovery");
+  fs::remove_all(dir);
+  {
+    // Half the stream behind a checkpoint, half live in the WAL: recovery
+    // restores the checkpoint and replays the second half.
+    core::durable::DurableStream durable(dir, bench_config(),
+                                         /*epoch_days=*/30.0,
+                                         /*retention_epochs=*/2);
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+      if (i == arrivals.size() / 2) durable.checkpoint();
+      durable.submit(arrivals[i]);
+    }
+  }
+  for (auto _ : state) {
+    core::durable::DurableStream durable(dir, bench_config(),
+                                         /*epoch_days=*/30.0,
+                                         /*retention_epochs=*/2);
+    benchmark::DoNotOptimize(durable.recovery().replayed_records);
+  }
+  fs::remove_all(dir);
+  state.SetItemsProcessed(state.iterations() * arrivals.size());
+}
+BENCHMARK(BM_ColdRecovery)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,16 +1,24 @@
 // Live-stream monitoring with a hostile transport: ingest a rating stream
 // that arrives out of order, duplicated, and occasionally corrupted, watch
-// the quarantine counters, survive a mid-stream crash via checkpoint/
-// recovery, and keep a RateAnomalyDetector running alongside as an
-// early-warning channel — the deployment shape of the paper's system.
+// the quarantine counters, survive a mid-stream kill -9 via the durable
+// front-end (write-ahead log + atomic on-disk checkpoints), and keep a
+// RateAnomalyDetector running alongside as an early-warning channel — the
+// deployment shape of the paper's system.
+//
+// The crash is real in everything but the signal: every accepted rating is
+// logged to a WAL on disk, an operator checkpoint is written atomically,
+// and the process then "dies" mid-durable-write via the deterministic
+// crash injector — leaving a torn tail on disk exactly as kill -9 would.
+// Recovery restores the checkpoint, replays the log, and resumes at the
+// exactly-once cursor.
 //
 //   build/examples/streaming_monitor
 #include <cstdio>
-#include <sstream>
+#include <filesystem>
 
 #include "common/math.hpp"
 #include "common/rng.hpp"
-#include "core/checkpoint.hpp"
+#include "core/durable/durable_stream.hpp"
 #include "core/streaming.hpp"
 #include "data/inject.hpp"
 #include "detect/rate_detector.hpp"
@@ -75,54 +83,90 @@ int main() {
 
   // Lateness bound 2 days: the injected delays are fully repairable.
   const core::IngestConfig ingest{.max_lateness_days = 2.0};
-  core::StreamingRatingSystem stream(monitor_config(), /*epoch_days=*/30.0,
-                                     /*retention_epochs=*/2, ingest);
 
   std::printf("streaming %zu arrivals (%zu clean ratings) over 120 days "
               "(campaigns in months 2 & 4)\n\n",
               arrivals.size(), stream_data.size());
 
-  // --- first half, then a simulated crash ---------------------------------
-  const std::size_t crash_point = arrivals.size() / 2;
+  // Durable state — WAL segments plus atomic checkpoints — lives here.
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "trustrate-streaming-monitor";
+  fs::remove_all(dir);
+
+  // --- first half, then a kill -9 mid-durable-write -----------------------
+  // The injector admits a byte budget and then kills the "process" exactly
+  // where a real SIGKILL would: with a torn partial write on disk.
+  core::durable::CrashInjector injector;
+  core::durable::DurableOptions durable_options;
+  durable_options.crash = &injector;
+
+  const std::size_t checkpoint_at = arrivals.size() / 2;
+  std::size_t acked = 0;
   std::size_t last_epoch = 0;
-  for (std::size_t i = 0; i < crash_point; ++i) {
-    stream.submit(arrivals[i]);
-    if (stream.epochs_closed() != last_epoch) {
-      last_epoch = stream.epochs_closed();
-      std::printf("epoch %zu closed: %3zu raters below trust threshold, "
-                  "aggregate %.3f (true quality 0.55)\n",
-                  last_epoch, stream.malicious().size(),
-                  stream.aggregate(1).value_or(-1.0));
-      print_stats(stream.ingest_stats());
+  try {
+    core::durable::DurableStream durable(dir, monitor_config(),
+                                         /*epoch_days=*/30.0,
+                                         /*retention_epochs=*/2, ingest,
+                                         durable_options);
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+      if (i == checkpoint_at) {
+        // Operators checkpoint on a timer; here, right before the crash.
+        durable.checkpoint();
+        std::printf("\n-- atomic checkpoint at arrival %zu "
+                    "(%llu durable bytes so far); arming kill -9 --\n",
+                    i, static_cast<unsigned long long>(
+                           injector.total_written()));
+        injector.arm(4096);  // die somewhere in the next 4 KiB of WAL
+      }
+      durable.submit(arrivals[i]);
+      acked = i + 1;  // submit returned: this arrival is acknowledged
+      if (durable.stream().epochs_closed() != last_epoch) {
+        last_epoch = durable.stream().epochs_closed();
+        std::printf("epoch %zu closed: %3zu raters below trust threshold, "
+                    "aggregate %.3f (true quality 0.55)\n",
+                    last_epoch, durable.stream().malicious().size(),
+                    durable.stream().aggregate(1).value_or(-1.0));
+        print_stats(durable.stream().ingest_stats());
+      }
     }
+  } catch (const core::durable::CrashInjected& e) {
+    std::printf("-- %s: process dead after %llu durable bytes, "
+                "%zu/%zu arrivals acknowledged --\n",
+                e.what(),
+                static_cast<unsigned long long>(injector.total_written()),
+                acked, arrivals.size());
   }
 
-  // Operators checkpoint on a timer; here, right before the "crash".
-  std::ostringstream checkpoint;
-  core::save_checkpoint(stream, checkpoint);
-  std::printf("\n-- crash at arrival %zu; checkpoint is %zu bytes --\n",
-              crash_point, checkpoint.str().size());
+  // --- restart: recover from disk and resume where we left off ------------
+  core::durable::DurableStream durable(dir, monitor_config(),
+                                       /*epoch_days=*/30.0,
+                                       /*retention_epochs=*/2, ingest);
+  const auto& info = durable.recovery();
+  std::printf("-- recovered %s: checkpoint %srestored, %zu WAL records "
+              "replayed (%zu ratings), torn tail %s --\n",
+              dir.c_str(), info.loaded_checkpoint ? "" : "NOT ",
+              info.replayed_records, info.replayed_ratings,
+              info.wal_tail_truncated ? "truncated" : "clean");
+  std::printf("-- resuming at the exactly-once cursor: arrival %llu "
+              "(client had %zu acknowledged) --\n\n",
+              static_cast<unsigned long long>(durable.acknowledged()), acked);
 
-  // --- restart: restore and resume where we left off ----------------------
-  std::istringstream restore(checkpoint.str());
-  auto resumed = core::load_checkpoint(restore, monitor_config());
-  std::printf("-- restarted: %zu epochs closed, %zu ratings pending, "
-              "%zu buffered --\n\n",
-              resumed.epochs_closed(), resumed.pending_ratings(),
-              resumed.buffered_ratings());
-
-  for (std::size_t i = crash_point; i < arrivals.size(); ++i) {
-    resumed.submit(arrivals[i]);
-    if (resumed.epochs_closed() != last_epoch) {
-      last_epoch = resumed.epochs_closed();
+  last_epoch = durable.stream().epochs_closed();
+  while (durable.acknowledged() < arrivals.size()) {
+    durable.submit(arrivals[durable.acknowledged()]);
+    if (durable.stream().epochs_closed() != last_epoch) {
+      last_epoch = durable.stream().epochs_closed();
       std::printf("epoch %zu closed: %3zu raters below trust threshold, "
                   "aggregate %.3f (true quality 0.55)\n",
-                  last_epoch, resumed.malicious().size(),
-                  resumed.aggregate(1).value_or(-1.0));
-      print_stats(resumed.ingest_stats());
+                  last_epoch, durable.stream().malicious().size(),
+                  durable.stream().aggregate(1).value_or(-1.0));
+      print_stats(durable.stream().ingest_stats());
     }
   }
-  resumed.flush();
+  durable.flush();
+  durable.checkpoint();
+  const core::StreamingRatingSystem& resumed = durable.stream();
   std::printf("final:          %3zu raters below trust threshold, "
               "aggregate %.3f\n",
               resumed.malicious().size(),
@@ -135,6 +179,7 @@ int main() {
   }
   std::printf("  epoch health: %zu/%zu degraded\n\n",
               resumed.degraded_epochs(), resumed.epoch_health().size());
+  fs::remove_all(dir);
 
   // Who ended up distrusted? With a single product and ~4 ratings per
   // honest rater, campaign-window bystanders cannot rebuild trust the way

@@ -39,6 +39,24 @@ class CheckpointError : public DataError {
   explicit CheckpointError(const std::string& what) : DataError(what) {}
 };
 
+/// Thrown when the write-ahead log is corrupt in a way recovery must not
+/// paper over: a bad frame *followed by valid data* (mid-log corruption,
+/// not a torn tail), a segment sequence gap, or a replay that disagrees
+/// with the recorded outcome. A torn tail — a partial final write with
+/// nothing after it — is NOT an error; recovery truncates it.
+class WalError : public DataError {
+ public:
+  explicit WalError(const std::string& what) : DataError(what) {}
+};
+
+/// Thrown when the recovery ladder runs out of options: every checkpoint is
+/// corrupt (or none exists) and the WAL does not reach back to the start of
+/// the stream, so some acknowledged state is unrecoverable.
+class RecoveryError : public DataError {
+ public:
+  explicit RecoveryError(const std::string& what) : DataError(what) {}
+};
+
 namespace detail {
 [[noreturn]] void fail_precondition(const char* expr, const char* file, int line,
                                     const std::string& msg);

@@ -1,17 +1,23 @@
 #include "core/checkpoint.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
+#include "core/durable/crc32c.hpp"
 
 namespace trustrate::core {
 namespace {
+
+using durable::crc32c;
+using durable::crc32c_hex;
 
 // ---------------------------------------------------------------- writing
 
@@ -38,28 +44,68 @@ std::vector<ProductId> sorted_keys(const Map& map) {
   return keys;
 }
 
+/// Quarantine detail strings are free text (spaces, anything ingest put
+/// there); on the wire they must be a single whitespace-free token.
+/// Percent-escaping: '%', whitespace, control, and non-ASCII bytes become
+/// %XX; the empty string is spelled `-` (and a literal "-" is escaped so
+/// the spelling stays unambiguous). Round-trips byte-exactly.
+std::string escape_detail(const std::string& detail) {
+  if (detail.empty()) return "-";
+  std::string out;
+  out.reserve(detail.size());
+  for (const unsigned char c : detail) {
+    if (c <= 0x20 || c >= 0x7F || c == '%') {
+      char buf[4];
+      std::snprintf(buf, sizeof buf, "%%%02x", c);
+      out += buf;
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  if (out == "-") return "%2d";
+  return out;
+}
+
 // ---------------------------------------------------------------- reading
 
 /// Whitespace-token reader over the checkpoint stream; every accessor
-/// throws CheckpointError with the offending context on malformed input.
+/// throws CheckpointError with the offending context *and line number* on
+/// malformed input (mirroring the CSV loader's line-numbered errors).
 class TokenReader {
  public:
   explicit TokenReader(std::istream& in) : in_(in) {}
 
+  /// Line (1-based) of the most recently read token.
+  std::size_t line() const { return token_line_; }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw CheckpointError(message + " (line " + std::to_string(token_line_) +
+                          ")");
+  }
+
   std::string next(const char* what) {
-    std::string token;
-    if (!(in_ >> token)) {
-      throw CheckpointError(std::string("checkpoint truncated: expected ") +
-                            what);
+    int c = in_.get();
+    while (c != EOF && std::isspace(c)) {
+      if (c == '\n') ++line_;
+      c = in_.get();
     }
+    token_line_ = line_;
+    if (c == EOF) {
+      fail(std::string("checkpoint truncated: expected ") + what);
+    }
+    std::string token(1, static_cast<char>(c));
+    for (c = in_.get(); c != EOF && !std::isspace(c); c = in_.get()) {
+      token += static_cast<char>(c);
+    }
+    if (c == '\n') ++line_;
     return token;
   }
 
   void expect(const char* keyword) {
     const std::string token = next(keyword);
     if (token != keyword) {
-      throw CheckpointError(std::string("checkpoint corrupt: expected '") +
-                            keyword + "', found '" + token + "'");
+      fail(std::string("checkpoint corrupt: expected '") + keyword +
+           "', found '" + token + "'");
     }
   }
 
@@ -68,8 +114,8 @@ class TokenReader {
     char* end = nullptr;
     const double value = std::strtod(token.c_str(), &end);
     if (end == token.c_str() || *end != '\0') {
-      throw CheckpointError(std::string("checkpoint corrupt: bad number '") +
-                            token + "' for " + what);
+      fail(std::string("checkpoint corrupt: bad number '") + token + "' for " +
+           what);
     }
     return value;
   }
@@ -79,8 +125,8 @@ class TokenReader {
     char* end = nullptr;
     const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
     if (end == token.c_str() || *end != '\0' || token.front() == '-') {
-      throw CheckpointError(std::string("checkpoint corrupt: bad count '") +
-                            token + "' for " + what);
+      fail(std::string("checkpoint corrupt: bad count '") + token + "' for " +
+           what);
     }
     return static_cast<std::size_t>(value);
   }
@@ -88,8 +134,7 @@ class TokenReader {
   bool read_bool(const char* what) {
     const std::size_t v = read_size(what);
     if (v > 1) {
-      throw CheckpointError(std::string("checkpoint corrupt: bad flag for ") +
-                            what);
+      fail(std::string("checkpoint corrupt: bad flag for ") + what);
     }
     return v == 1;
   }
@@ -102,15 +147,110 @@ class TokenReader {
     r.product = static_cast<ProductId>(read_size("rating product"));
     const std::size_t label = read_size("rating label");
     if (label > static_cast<std::size_t>(RatingLabel::kCollaborative2)) {
-      throw CheckpointError("checkpoint corrupt: unknown rating label");
+      fail("checkpoint corrupt: unknown rating label");
     }
     r.label = static_cast<RatingLabel>(label);
     return r;
   }
 
+  /// Inverse of escape_detail.
+  std::string read_detail() {
+    const std::string token = next("quarantine detail");
+    if (token == "-") return {};
+    std::string out;
+    out.reserve(token.size());
+    for (std::size_t i = 0; i < token.size(); ++i) {
+      if (token[i] != '%') {
+        out += token[i];
+        continue;
+      }
+      if (i + 2 >= token.size() || !std::isxdigit(token[i + 1]) ||
+          !std::isxdigit(token[i + 2])) {
+        fail("checkpoint corrupt: bad escape in quarantine detail '" + token +
+             "'");
+      }
+      const char hex[3] = {token[i + 1], token[i + 2], '\0'};
+      out += static_cast<char>(std::strtoul(hex, nullptr, 16));
+      i += 2;
+    }
+    return out;
+  }
+
+  /// Consumes a v3 `crc <name> <hex8>` line. The checksum itself was
+  /// verified against the raw bytes before parsing began; this enforces
+  /// only that the line is structurally where the format says it is.
+  void consume_crc(const char* section) {
+    expect("crc");
+    const std::string name = next("crc section name");
+    if (name != section) {
+      fail(std::string("checkpoint corrupt: crc line names section '") + name +
+           "', expected '" + section + "'");
+    }
+    next("crc value");
+  }
+
  private:
   std::istream& in_;
+  std::size_t line_ = 1;
+  std::size_t token_line_ = 1;
 };
+
+/// Verifies every `crc <name> <hex8>` section checksum and the trailing
+/// `filecrc <hex8>` of a version-3 checkpoint against the raw bytes.
+/// Section coverage: from the byte after the previous crc line (the byte
+/// after the header line for the first section) up to the start of the crc
+/// line. filecrc covers everything from the first byte up to the start of
+/// the filecrc line. Throws CheckpointError naming the section and line.
+void verify_v3_checksums(const std::string& text) {
+  std::size_t line_start = 0;
+  std::size_t line_number = 0;
+  std::size_t section_start = std::string::npos;  // set after the header line
+  bool file_checked = false;
+  while (line_start < text.size()) {
+    std::size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = text.size();
+    ++line_number;
+    const std::string_view line(text.data() + line_start,
+                                line_end - line_start);
+    if (line_number == 1) {
+      section_start = line_end + 1;  // first section begins after the header
+    } else if (line.rfind("crc ", 0) == 0) {
+      std::istringstream fields{std::string(line)};
+      std::string keyword, name, hex;
+      fields >> keyword >> name >> hex;
+      if (section_start == std::string::npos || section_start > line_start) {
+        throw CheckpointError("checkpoint corrupt: stray crc line (line " +
+                              std::to_string(line_number) + ")");
+      }
+      const std::uint32_t actual = crc32c(
+          std::string_view(text.data() + section_start,
+                           line_start - section_start));
+      if (crc32c_hex(actual) != hex) {
+        throw CheckpointError("checkpoint corrupt: section '" + name +
+                              "' fails its checksum (crc line " +
+                              std::to_string(line_number) + ")");
+      }
+      section_start = line_end + 1;
+    } else if (line.rfind("filecrc ", 0) == 0) {
+      std::istringstream fields{std::string(line)};
+      std::string keyword, hex;
+      fields >> keyword >> hex;
+      const std::uint32_t actual =
+          crc32c(std::string_view(text.data(), line_start));
+      if (crc32c_hex(actual) != hex) {
+        throw CheckpointError(
+            "checkpoint corrupt: whole-file checksum mismatch (filecrc line " +
+            std::to_string(line_number) + ")");
+      }
+      file_checked = true;
+    }
+    line_start = line_end + 1;
+  }
+  if (!file_checked) {
+    throw CheckpointError(
+        "checkpoint truncated: version 3 requires a filecrc line");
+  }
+}
 
 }  // namespace
 
@@ -118,76 +258,116 @@ class TokenReader {
 /// is the single place that knows the wire format.
 struct CheckpointAccess {
   static void save(const StreamingRatingSystem& s, std::ostream& out) {
+    std::string text = "trustrate-checkpoint " +
+                       std::to_string(kCheckpointVersion) + "\n";
+    std::ostringstream sec;
+    // Closes the open section: appends its bytes plus the `crc` line whose
+    // checksum covers exactly those bytes.
+    const auto end_section = [&text, &sec](const char* name) {
+      const std::string body = sec.str();
+      text += body;
+      text += std::string("crc ") + name + ' ' + crc32c_hex(crc32c(body)) +
+              '\n';
+      sec.str({});
+    };
+
     const IngestBuffer& ing = s.ingest_;
-    out << "trustrate-checkpoint " << kCheckpointVersion << '\n';
-    out << "config " << format_double(s.epoch_days_) << ' '
+    sec << "config " << format_double(s.epoch_days_) << ' '
         << s.retention_epochs_ << ' '
         << format_double(ing.config_.max_lateness_days) << ' '
         << ing.config_.max_quarantine << '\n';
-    out << "anchor " << (s.anchored_ ? 1 : 0) << ' '
+    end_section("config");
+
+    sec << "anchor " << (s.anchored_ ? 1 : 0) << ' '
         << format_double(s.epoch_start_) << ' ' << format_double(s.last_time_)
         << ' ' << s.epochs_closed_ << ' ' << s.skipped_empty_epochs_ << ' '
         << s.system_.epochs_processed() << '\n';
+    end_section("anchor");
 
     const IngestStats& st = ing.stats_;
-    out << "stats " << st.submitted << ' ' << st.accepted << ' '
+    sec << "stats " << st.submitted << ' ' << st.accepted << ' '
         << st.reordered << ' ' << st.duplicates << ' ' << st.dropped_late
         << ' ' << st.malformed << ' ' << st.quarantined << '\n';
+    end_section("stats");
 
-    out << "health " << s.epoch_health_.size();
+    sec << "health " << s.epoch_health_.size();
     for (EpochHealth h : s.epoch_health_) {
-      out << ' ' << static_cast<unsigned>(h);
+      sec << ' ' << static_cast<unsigned>(h);
     }
-    out << '\n';
+    sec << '\n';
+    end_section("health");
 
-    out << "ingest " << (ing.anchored_ ? 1 : 0) << ' '
+    sec << "ingest " << (ing.anchored_ ? 1 : 0) << ' '
         << format_double(ing.max_time_) << '\n';
-    out << "buffer " << ing.buffer_.size() << '\n';
-    for (const Rating& r : ing.buffer_) write_rating(out, r);
-    out << "seen " << ing.seen_.size() << '\n';
+    sec << "buffer " << ing.buffer_.size() << '\n';
+    for (const Rating& r : ing.buffer_) write_rating(sec, r);
+    sec << "seen " << ing.seen_.size() << '\n';
     for (const auto& [time, rater, product, value] : ing.seen_) {
-      out << format_double(time) << ' ' << rater << ' ' << product << ' '
+      sec << format_double(time) << ' ' << rater << ' ' << product << ' '
           << format_double(value) << '\n';
     }
-    out << "quarantine " << ing.quarantine_.size() << '\n';
+    sec << "quarantine " << ing.quarantine_.size() << '\n';
     for (const QuarantinedRating& q : ing.quarantine_) {
-      out << static_cast<unsigned>(q.reason) << ' ';
-      write_rating(out, q.rating);
+      sec << static_cast<unsigned>(q.reason) << ' ' << format_double(q.rating.time)
+          << ' ' << format_double(q.rating.value) << ' ' << q.rating.rater
+          << ' ' << q.rating.product << ' '
+          << static_cast<unsigned>(q.rating.label) << ' '
+          << escape_detail(q.detail) << '\n';
     }
+    end_section("ingest");
 
-    out << "pending " << s.pending_.size() << '\n';
+    sec << "pending " << s.pending_.size() << '\n';
     for (ProductId product : sorted_keys(s.pending_)) {
       const RatingSeries& series = s.pending_.at(product);
-      out << product << ' ' << series.size() << '\n';
-      for (const Rating& r : series) write_rating(out, r);
+      sec << product << ' ' << series.size() << '\n';
+      for (const Rating& r : series) write_rating(sec, r);
     }
+    end_section("pending");
 
-    out << "retained " << s.retained_.size() << '\n';
+    sec << "retained " << s.retained_.size() << '\n';
     for (ProductId product : sorted_keys(s.retained_)) {
       const auto& epochs = s.retained_.at(product).epochs;
-      out << product << ' ' << epochs.size() << '\n';
+      sec << product << ' ' << epochs.size() << '\n';
       for (const RatingSeries& epoch : epochs) {
-        out << epoch.size() << '\n';
-        for (const Rating& r : epoch) write_rating(out, r);
+        sec << epoch.size() << '\n';
+        for (const Rating& r : epoch) write_rating(sec, r);
       }
     }
+    end_section("retained");
 
     const auto& records = s.system_.trust_store().records();
     std::vector<RaterId> raters;
     raters.reserve(records.size());
     for (const auto& [id, record] : records) raters.push_back(id);
     std::sort(raters.begin(), raters.end());
-    out << "trust " << raters.size() << '\n';
+    sec << "trust " << raters.size() << '\n';
     for (RaterId id : raters) {
       const trust::TrustRecord& r = records.at(id);
-      out << id << ' ' << format_double(r.successes) << ' '
+      sec << id << ' ' << format_double(r.successes) << ' '
           << format_double(r.failures) << '\n';
     }
-    out << "end\n";
+    end_section("trust");
+
+    text += "filecrc " + crc32c_hex(crc32c(text)) + "\n";
+    text += "end\n";
+    out << text;
   }
 
-  static StreamingRatingSystem load(std::istream& in,
+  static StreamingRatingSystem load(const std::string& text,
                                     const SystemConfig& config) {
+    // Header peek: the version decides whether checksums exist to verify
+    // before token parsing starts.
+    {
+      std::istringstream header(text);
+      std::string magic;
+      std::size_t version = 0;
+      if ((header >> magic >> version) && magic == "trustrate-checkpoint" &&
+          version == 3) {
+        verify_v3_checksums(text);
+      }
+    }
+
+    std::istringstream in(text);
     TokenReader reader(in);
     reader.expect("trustrate-checkpoint");
     const std::size_t version = reader.read_size("version");
@@ -195,6 +375,7 @@ struct CheckpointAccess {
       throw CheckpointError("unsupported checkpoint version " +
                             std::to_string(version));
     }
+    const bool checksummed = version >= 3;
 
     reader.expect("config");
     const double epoch_days = reader.read_double("epoch_days");
@@ -202,6 +383,7 @@ struct CheckpointAccess {
     IngestConfig ingest_config;
     ingest_config.max_lateness_days = reader.read_double("max_lateness_days");
     ingest_config.max_quarantine = reader.read_size("max_quarantine");
+    if (checksummed) reader.consume_crc("config");
 
     StreamingRatingSystem s(config, epoch_days, retention, ingest_config);
 
@@ -214,6 +396,7 @@ struct CheckpointAccess {
       s.skipped_empty_epochs_ = reader.read_size("skipped_empty_epochs");
     }
     const std::size_t system_epochs = reader.read_size("system_epochs");
+    if (checksummed) reader.consume_crc("anchor");
 
     IngestBuffer& ing = s.ingest_;
     reader.expect("stats");
@@ -224,6 +407,7 @@ struct CheckpointAccess {
     ing.stats_.dropped_late = reader.read_size("dropped_late");
     ing.stats_.malformed = reader.read_size("malformed");
     ing.stats_.quarantined = reader.read_size("quarantined");
+    if (checksummed) reader.consume_crc("stats");
 
     reader.expect("health");
     const std::size_t health_count = reader.read_size("health count");
@@ -231,10 +415,11 @@ struct CheckpointAccess {
     for (std::size_t i = 0; i < health_count; ++i) {
       const std::size_t h = reader.read_size("health flag");
       if (h > static_cast<std::size_t>(EpochHealth::kDegradedDetector)) {
-        throw CheckpointError("checkpoint corrupt: unknown epoch health flag");
+        reader.fail("checkpoint corrupt: unknown epoch health flag");
       }
       s.epoch_health_.push_back(static_cast<EpochHealth>(h));
     }
+    if (checksummed) reader.consume_crc("health");
 
     reader.expect("ingest");
     ing.anchored_ = reader.read_bool("ingest anchored");
@@ -259,11 +444,15 @@ struct CheckpointAccess {
     for (std::size_t i = 0; i < quarantined; ++i) {
       const std::size_t reason = reader.read_size("quarantine reason");
       if (reason > static_cast<std::size_t>(IngestClass::kMalformed)) {
-        throw CheckpointError("checkpoint corrupt: unknown quarantine reason");
+        reader.fail("checkpoint corrupt: unknown quarantine reason");
       }
+      const Rating rating = reader.read_rating();
+      // v1/v2 dropped the diagnostic detail; v3 carries it escaped.
+      std::string detail = checksummed ? reader.read_detail() : std::string{};
       ing.quarantine_.push_back(
-          {reader.read_rating(), static_cast<IngestClass>(reason), {}});
+          {rating, static_cast<IngestClass>(reason), std::move(detail)});
     }
+    if (checksummed) reader.consume_crc("ingest");
 
     reader.expect("pending");
     const std::size_t pending_products = reader.read_size("pending products");
@@ -277,6 +466,7 @@ struct CheckpointAccess {
         series.push_back(reader.read_rating());
       }
     }
+    if (checksummed) reader.consume_crc("pending");
 
     reader.expect("retained");
     const std::size_t retained_products = reader.read_size("retained products");
@@ -294,6 +484,7 @@ struct CheckpointAccess {
         }
       }
     }
+    if (checksummed) reader.consume_crc("retained");
 
     reader.expect("trust");
     const std::size_t raters = reader.read_size("trust count");
@@ -304,13 +495,18 @@ struct CheckpointAccess {
       record.successes = reader.read_double("trust successes");
       record.failures = reader.read_double("trust failures");
       if (store.records().contains(id)) {
-        throw CheckpointError("checkpoint corrupt: duplicate trust rater " +
-                              std::to_string(id));
+        reader.fail("checkpoint corrupt: duplicate trust rater " +
+                    std::to_string(id));
       }
       store.record(id) = record;
     }
+    if (checksummed) reader.consume_crc("trust");
     s.system_.restore(std::move(store), system_epochs);
 
+    if (checksummed) {
+      reader.expect("filecrc");
+      reader.next("filecrc value");
+    }
     reader.expect("end");
     return s;
   }
@@ -322,7 +518,9 @@ void save_checkpoint(const StreamingRatingSystem& stream, std::ostream& out) {
 
 StreamingRatingSystem load_checkpoint(std::istream& in,
                                       const SystemConfig& config) {
-  return CheckpointAccess::load(in, config);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return CheckpointAccess::load(buffer.str(), config);
 }
 
 }  // namespace trustrate::core

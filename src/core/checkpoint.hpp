@@ -14,11 +14,20 @@
 // (`%a`), so every double round-trips bit-exactly — "resume equals rerun"
 // is an equality, not an approximation.
 //
+// Version 3 (current) adds integrity and completeness (DESIGN.md §10):
+// every section is followed by a `crc <name> <hex8>` line carrying the
+// CRC32C of the section's exact bytes, and a `filecrc <hex8>` line before
+// the trailing `end` covers the whole file — any single corrupted byte is
+// detected at load and reported with its line number, never silently
+// restored. v3 also persists each quarantined rating's human-readable
+// `detail` string (percent-escaped into one token); v1/v2 dropped it.
+// Older versions still load (no checksums to verify, detail restored
+// empty).
+//
 // Not captured: the SystemConfig (the caller re-supplies it — configs hold
 // enums and nested structs whose wire format would outgrow this layer) and
 // the recommendation buffer (rater-on-rater feedback is not streaming
-// state). Quarantined ratings are restored with their classification but
-// without the human-readable detail string.
+// state).
 #pragma once
 
 #include <iosfwd>
@@ -28,13 +37,15 @@
 namespace trustrate::core {
 
 /// Current checkpoint format version. Version 2 added the skipped-empty-
-/// epoch counter to the anchor line; version-1 checkpoints still load
-/// (the counter defaults to 0). Note the parallel epoch engine's worker
-/// count is deliberately NOT part of the format — it is configuration
-/// (SystemConfig::epoch_workers, re-supplied by the caller), and results
-/// are worker-count-invariant, so a checkpoint taken at 8 workers resumes
-/// bit-exactly at 1 and vice versa.
-inline constexpr int kCheckpointVersion = 2;
+/// epoch counter to the anchor line; version 3 added per-section and
+/// whole-file CRC32C checksums plus the quarantined-rating detail string.
+/// Version-1/2 checkpoints still load (the counter defaults to 0, details
+/// restore empty, nothing is checksum-verified). Note the parallel epoch
+/// engine's worker count is deliberately NOT part of the format — it is
+/// configuration (SystemConfig::epoch_workers, re-supplied by the caller),
+/// and results are worker-count-invariant, so a checkpoint taken at 8
+/// workers resumes bit-exactly at 1 and vice versa.
+inline constexpr int kCheckpointVersion = 3;
 
 /// Writes the complete streaming state. Deterministic: products and raters
 /// are sorted, so equal states produce byte-identical checkpoints.

@@ -1,0 +1,43 @@
+#include "core/durable/crc32c.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace trustrate::core::durable {
+namespace {
+
+/// Reflected CRC32C polynomial (0x1EDC6F41 bit-reversed).
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) != 0 ? kPoly : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t size, std::uint32_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::string crc32c_hex(std::uint32_t crc) {
+  char buf[9];
+  std::snprintf(buf, sizeof buf, "%08x", crc);
+  return buf;
+}
+
+}  // namespace trustrate::core::durable

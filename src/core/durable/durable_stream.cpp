@@ -1,0 +1,259 @@
+#include "core/durable/durable_stream.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "core/checkpoint.hpp"
+
+namespace trustrate::core::durable {
+namespace {
+
+constexpr char kCkptPrefix[] = "ckpt-";
+constexpr char kCkptSuffix[] = ".ckpt";
+
+/// Checkpoint files in `dir`, newest (highest LSN) first.
+std::vector<std::pair<std::uint64_t, std::filesystem::path>> list_checkpoints(
+    const std::filesystem::path& dir) {
+  std::vector<std::pair<std::uint64_t, std::filesystem::path>> out;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kCkptPrefix, 0) != 0 || name.size() < 11 ||
+        name.substr(name.size() - 5) != kCkptSuffix) {
+      continue;
+    }
+    out.emplace_back(std::strtoull(name.c_str() + 5, nullptr, 10),
+                     entry.path());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return out;
+}
+
+}  // namespace
+
+std::string DurableStream::checkpoint_name(std::uint64_t lsn) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "ckpt-%020llu.ckpt",
+                static_cast<unsigned long long>(lsn));
+  return buf;
+}
+
+DurableStream::DurableStream(const std::filesystem::path& dir,
+                             const SystemConfig& config, double epoch_days,
+                             std::size_t retention_epochs, IngestConfig ingest,
+                             DurableOptions options)
+    : dir_(dir), options_(options) {
+  recover(config, epoch_days, retention_epochs, ingest);
+}
+
+void DurableStream::recover(const SystemConfig& config, double epoch_days,
+                            std::size_t retention_epochs,
+                            const IngestConfig& ingest) {
+  namespace fs = std::filesystem;
+  fs::create_directories(dir_);
+
+  // A crash mid-atomic-write leaves a `.tmp` the rename never promoted; it
+  // was never the live checkpoint, so it is garbage.
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    const std::string suffix = kTempSuffix;
+    if (name.size() > suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      fs::remove(entry.path());
+    }
+  }
+
+  const WalRecovered wal = read_wal(dir_);
+  recovery_.wal_tail_truncated = wal.tail_truncated;
+
+  const auto checkpoints = list_checkpoints(dir_);
+  recovery_.recovered = wal.next_lsn > 0 || !checkpoints.empty();
+
+  // Rungs 1..n of the ladder: newest checkpoint first, falling past any
+  // that fail their checksums (or any other load error).
+  std::uint64_t replay_from = 0;
+  for (const auto& [lsn, path] : checkpoints) {
+    try {
+      std::istringstream in(read_file(path));
+      stream_.emplace(load_checkpoint(in, config));
+      recovery_.loaded_checkpoint = true;
+      recovery_.checkpoint_lsn = lsn;
+      replay_from = lsn;
+      break;
+    } catch (const CheckpointError&) {
+      ++recovery_.corrupt_checkpoints;
+    }
+  }
+
+  if (!stream_.has_value()) {
+    // Final rung: fresh state, full replay — valid only when the log still
+    // reaches back to record 0 (pruning assumes the checkpoints it kept
+    // were good; if they all rotted, the early log may be gone).
+    if (wal.next_lsn > 0 && wal.first_lsn > 0) {
+      throw RecoveryError(
+          "no valid checkpoint and the WAL starts at record " +
+          std::to_string(wal.first_lsn) + ", not 0 (" +
+          std::to_string(recovery_.corrupt_checkpoints) +
+          " corrupt checkpoint(s) skipped): state before record " +
+          std::to_string(wal.first_lsn) + " is unrecoverable");
+    }
+    stream_.emplace(config, epoch_days, retention_epochs, ingest);
+  } else if (wal.next_lsn > replay_from && wal.first_lsn > replay_from) {
+    throw RecoveryError(
+        "checkpoint at record " + std::to_string(replay_from) +
+        " needs WAL records from " + std::to_string(replay_from) +
+        " onward, but the log starts at record " +
+        std::to_string(wal.first_lsn));
+  }
+
+  stream_->set_epoch_observer(
+      [this](const EpochReport&, double /*epoch_start*/, double epoch_end) {
+        observed_closes_.push_back(epoch_end);
+      });
+
+  for (const auto& [lsn, record] : wal.records) {
+    if (lsn < replay_from) continue;
+    replay(record, lsn);
+    ++recovery_.replayed_records;
+  }
+
+  WalOptions wal_options;
+  wal_options.segment_bytes = options_.segment_bytes;
+  wal_options.fsync = options_.fsync;
+  wal_options.crash = options_.crash;
+  if (wal.next_lsn < replay_from) {
+    // The log ends before the checkpoint (its tail segments are gone, e.g.
+    // pruned). New records must take LSNs after the checkpoint, or the next
+    // recovery would discard them as already-captured.
+    wal_.emplace(dir_, replay_from, wal_options);
+  } else {
+    wal_.emplace(dir_, wal, wal_options);
+  }
+}
+
+void DurableStream::replay(const WalRecord& record, std::uint64_t lsn) {
+  switch (record.type) {
+    case WalRecordType::kRating: {
+      observed_closes_.clear();
+      const IngestClass got = stream_->submit(record.rating);
+      ++recovery_.replayed_ratings;
+      if (got != record.ingest_class) {
+        throw WalError("WAL replay diverged at record " + std::to_string(lsn) +
+                       ": logged classification '" +
+                       to_string(record.ingest_class) +
+                       "', replay produced '" + to_string(got) + "'");
+      }
+      break;
+    }
+    case WalRecordType::kEpochClose:
+      // The closes themselves were re-triggered by replaying the preceding
+      // rating; the marker just cross-checks that they happened.
+      if (stream_->epochs_closed() != record.epochs_closed) {
+        throw WalError(
+            "WAL replay diverged at record " + std::to_string(lsn) +
+            ": epoch-close marker expects " +
+            std::to_string(record.epochs_closed) + " closed epoch(s), replay has " +
+            std::to_string(stream_->epochs_closed()));
+      }
+      break;
+    case WalRecordType::kFlush:
+      observed_closes_.clear();
+      stream_->flush();
+      if (stream_->epochs_closed() != record.epochs_closed) {
+        throw WalError(
+            "WAL replay diverged at record " + std::to_string(lsn) +
+            ": flush marker expects " + std::to_string(record.epochs_closed) +
+            " closed epoch(s), replay has " +
+            std::to_string(stream_->epochs_closed()));
+      }
+      break;
+  }
+}
+
+IngestClass DurableStream::submit(const Rating& rating) {
+  observed_closes_.clear();
+  const std::uint64_t before = stream_->epochs_closed();
+  const IngestClass klass = stream_->submit(rating);
+  const std::uint64_t after = stream_->epochs_closed();
+
+  // Apply-then-log is sound here: the in-memory effect dies with the
+  // process, so a crash inside append simply un-happens the submit — the
+  // caller was never acknowledged and resumes from acknowledged().
+  WalRecord record;
+  record.type = WalRecordType::kRating;
+  record.rating = rating;
+  record.ingest_class = klass;
+  wal_->append(record);
+
+  if (after > before) {
+    WalRecord marker;
+    marker.type = WalRecordType::kEpochClose;
+    marker.epochs_closed = after;
+    marker.epoch_start =
+        observed_closes_.empty() ? 0.0 : observed_closes_.back();
+    wal_->append(marker);
+    if (options_.fsync == FsyncPolicy::kEpoch) {
+      wal_->sync();
+    }
+  }
+  return klass;
+}
+
+std::size_t DurableStream::flush() {
+  observed_closes_.clear();
+  const std::size_t processed = stream_->flush();
+
+  WalRecord record;
+  record.type = WalRecordType::kFlush;
+  record.epochs_closed = stream_->epochs_closed();
+  wal_->append(record);
+  if (options_.fsync == FsyncPolicy::kEpoch) {
+    wal_->sync();
+  }
+  return processed;
+}
+
+std::uint64_t DurableStream::checkpoint() {
+  // The log must be on disk before a checkpoint claims to supersede it —
+  // regardless of fsync policy.
+  wal_->sync();
+  const std::uint64_t lsn = wal_->next_lsn();
+
+  std::ostringstream out;
+  save_checkpoint(*stream_, out);
+  atomic_write_file(dir_ / checkpoint_name(lsn), out.str(), options_.crash);
+
+  prune();
+  return lsn;
+}
+
+void DurableStream::prune() {
+  const auto checkpoints = list_checkpoints(dir_);  // newest first
+  const std::size_t keep = std::max<std::size_t>(1, options_.keep_checkpoints);
+  std::uint64_t oldest_kept = 0;
+  for (std::size_t i = 0; i < checkpoints.size(); ++i) {
+    if (i < keep) {
+      oldest_kept = checkpoints[i].first;
+    } else {
+      std::filesystem::remove(checkpoints[i].second);
+    }
+  }
+  if (checkpoints.empty()) return;
+
+  // A segment is obsolete when its *successor* starts at or below the
+  // oldest kept checkpoint: every record in it is then < that checkpoint's
+  // LSN. The last segment never qualifies (no successor), so the active
+  // segment is never removed. Obsolete segments form a prefix, so the
+  // surviving log stays contiguous even if a crash interrupts the loop.
+  const auto segments = wal_segments(dir_);
+  for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+    if (segments[i + 1].first_lsn <= oldest_kept) {
+      std::filesystem::remove(segments[i].path);
+    }
+  }
+}
+
+}  // namespace trustrate::core::durable

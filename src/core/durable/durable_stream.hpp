@@ -1,0 +1,122 @@
+// Crash-safe front-end for StreamingRatingSystem (ISSUE 4 tentpole): a
+// directory of durable state — WAL segments plus checksummed, atomically
+// written checkpoints — and the recovery orchestrator that rebuilds the
+// exact in-memory stream from them after a crash.
+//
+//     durable::DurableStream ds(dir, config, /*epoch_days=*/30.0);
+//     ds.submit(rating);      // logged to the WAL, then applied, then acked
+//     ds.checkpoint();        // atomic v3 checkpoint; obsolete WAL pruned
+//     ...process dies...
+//     durable::DurableStream back(dir, config, 30.0);   // recovers
+//     back.recovery().replayed_ratings;  // how much the WAL replayed
+//
+// Recovery ladder (each rung falls through to the next on corruption):
+//
+//   1. newest checkpoint `ckpt-<lsn>.ckpt`: checksum-verified load, then
+//      replay of WAL records >= lsn;
+//   2. older checkpoints, newest first, same way — a corrupt newer file
+//      never masks an older valid one;
+//   3. no checkpoint at all: fresh state, full WAL replay from record 0.
+//
+// If even rung 3 is impossible (all checkpoints corrupt AND the WAL's
+// early segments were already pruned) recovery throws RecoveryError
+// rather than fabricate partial state. A torn WAL tail — the partial last
+// write of the crashed process — is truncated, never fatal; every fully
+// framed record is replayed. Stale `.tmp` files from interrupted atomic
+// checkpoint writes are deleted.
+//
+// Exactly-once resume: `acknowledged()` (== ingest submitted count) is the
+// client's resume cursor. A crashed submit was never acknowledged; after
+// recovery the client continues from arrivals[acknowledged()], and the
+// resumed system is bitwise-identical to one that never crashed — the
+// property the crash-point sweep (src/testkit/crash.hpp) proves for every
+// kill position.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+
+#include "core/durable/wal.hpp"
+#include "core/streaming.hpp"
+
+namespace trustrate::core::durable {
+
+struct DurableOptions {
+  FsyncPolicy fsync = FsyncPolicy::kEpoch;
+  /// WAL segment rotation threshold.
+  std::size_t segment_bytes = 1 << 20;
+  /// Checkpoints kept on disk (>= 1); older ones and fully-covered WAL
+  /// segments are pruned after each checkpoint().
+  std::size_t keep_checkpoints = 2;
+  /// Crash-point injector for recovery testing; null in production.
+  CrashInjector* crash = nullptr;
+};
+
+class DurableStream {
+ public:
+  /// What the constructor's recovery pass found and did.
+  struct RecoveryInfo {
+    bool recovered = false;          ///< durable state existed in `dir`
+    bool loaded_checkpoint = false;  ///< a checkpoint rung succeeded
+    std::uint64_t checkpoint_lsn = 0;
+    std::size_t corrupt_checkpoints = 0;  ///< rungs skipped as corrupt
+    std::size_t replayed_records = 0;     ///< WAL records applied
+    std::size_t replayed_ratings = 0;     ///< rating records among them
+    bool wal_tail_truncated = false;      ///< a torn tail was cut off
+  };
+
+  /// Opens (creating if needed) the durable directory and recovers
+  /// whatever state it holds. `config`/`epoch_days`/`retention_epochs`/
+  /// `ingest` must be the configuration the directory's state ran with
+  /// (pipeline shape comes from the checkpoint when one loads; the
+  /// SystemConfig is re-supplied by the caller, as with load_checkpoint).
+  /// Throws WalError / RecoveryError on unrecoverable corruption.
+  DurableStream(const std::filesystem::path& dir, const SystemConfig& config,
+                double epoch_days = 30.0, std::size_t retention_epochs = 2,
+                IngestConfig ingest = {}, DurableOptions options = {});
+
+  /// WAL-backed submit: applies the rating, logs it (and any epoch close it
+  /// triggered), syncs per policy, and only then returns — the
+  /// acknowledgement IS the durability boundary. Never throws on bad data
+  /// (the classification is in-band, as with StreamingRatingSystem).
+  IngestClass submit(const Rating& rating);
+
+  /// Durable flush: logged so recovery reproduces the early epoch close.
+  std::size_t flush();
+
+  /// Writes an atomic, checksummed checkpoint capturing everything up to
+  /// the last acknowledged submission, then prunes obsolete checkpoints
+  /// and WAL segments. Returns the checkpoint's LSN.
+  std::uint64_t checkpoint();
+
+  /// Number of acknowledged submissions — the client's resume cursor after
+  /// a crash: continue with the arrival at this index.
+  std::uint64_t acknowledged() const {
+    return stream_->ingest_stats().submitted;
+  }
+
+  const StreamingRatingSystem& stream() const { return *stream_; }
+  const RecoveryInfo& recovery() const { return recovery_; }
+  const std::filesystem::path& dir() const { return dir_; }
+
+  /// Checkpoint file name for a given LSN (exposed for tests/tools).
+  static std::string checkpoint_name(std::uint64_t lsn);
+
+ private:
+  void recover(const SystemConfig& config, double epoch_days,
+               std::size_t retention_epochs, const IngestConfig& ingest);
+  void replay(const WalRecord& record, std::uint64_t lsn);
+  void prune();
+
+  std::filesystem::path dir_;
+  DurableOptions options_;
+  RecoveryInfo recovery_;
+  std::optional<StreamingRatingSystem> stream_;
+  std::optional<WalWriter> wal_;
+  /// Epoch-end times observed (via the stream's close observer) during the
+  /// submit/flush/replay call in flight; cleared per call.
+  std::vector<double> observed_closes_;
+};
+
+}  // namespace trustrate::core::durable

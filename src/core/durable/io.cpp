@@ -1,0 +1,126 @@
+#include "core/durable/io.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace trustrate::core::durable {
+namespace {
+
+[[noreturn]] void throw_io(const std::string& what,
+                           const std::filesystem::path& path) {
+  throw DataError(what + " '" + path.string() + "': " + std::strerror(errno));
+}
+
+#ifndef _WIN32
+void write_all(int fd, const char* data, std::size_t size,
+               const std::filesystem::path& path) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_io("cannot write", path);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+#endif
+
+}  // namespace
+
+DurableFile::DurableFile(const std::filesystem::path& path, CrashInjector* crash)
+    : path_(path), crash_(crash) {
+#ifndef _WIN32
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) throw_io("cannot open durable file", path);
+  const off_t at = ::lseek(fd_, 0, SEEK_END);
+  if (at < 0) throw_io("cannot seek durable file", path);
+  size_ = static_cast<std::uint64_t>(at);
+#else
+  throw Error("durable file I/O requires a POSIX platform");
+#endif
+}
+
+DurableFile::~DurableFile() { close(); }
+
+void DurableFile::close() {
+#ifndef _WIN32
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+#endif
+}
+
+void DurableFile::append(std::string_view bytes) {
+#ifndef _WIN32
+  const std::size_t allowed =
+      crash_ != nullptr ? crash_->gate(bytes.size()) : bytes.size();
+  write_all(fd_, bytes.data(), allowed, path_);
+  size_ += allowed;
+  if (allowed < bytes.size()) {
+    throw CrashInjected("after byte " + std::to_string(size_) + " of '" +
+                        path_.filename().string() + "'");
+  }
+#endif
+}
+
+void DurableFile::sync() {
+#ifndef _WIN32
+  if (crash_ != nullptr && crash_->exhausted()) {
+    throw CrashInjected("before fsync of '" + path_.filename().string() + "'");
+  }
+  if (fd_ >= 0 && ::fsync(fd_) != 0) throw_io("cannot fsync", path_);
+#endif
+}
+
+void atomic_write_file(const std::filesystem::path& path,
+                       std::string_view bytes, CrashInjector* crash) {
+  const std::filesystem::path tmp = path.string() + kTempSuffix;
+  {
+    // Truncate a stale temp from an earlier crashed attempt before reuse.
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    DurableFile file(tmp, crash);
+    file.append(bytes);
+    file.sync();
+  }
+  if (crash != nullptr && crash->exhausted()) {
+    throw CrashInjected("before rename of '" + tmp.filename().string() + "'");
+  }
+  std::filesystem::rename(tmp, path);
+  sync_directory(path.parent_path(), crash);
+}
+
+void sync_directory(const std::filesystem::path& dir, CrashInjector* crash) {
+#ifndef _WIN32
+  if (crash != nullptr && crash->exhausted()) {
+    throw CrashInjected("before directory fsync of '" + dir.string() + "'");
+  }
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) throw_io("cannot open directory", dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) throw_io("cannot fsync directory", dir);
+#else
+  (void)dir;
+  (void)crash;
+#endif
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw_io("cannot read", path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+}  // namespace trustrate::core::durable

@@ -1,0 +1,134 @@
+// Low-level durable file I/O plus the deterministic crash-point injector
+// (ISSUE 4 tentpole).
+//
+// Every byte the durability layer persists — WAL frames, checkpoint files —
+// flows through DurableFile / atomic_write_file, and both route their
+// writes through an optional CrashInjector. The injector models a
+// `kill -9` at a byte-exact position: armed with a budget of k bytes, it
+// lets exactly k more durable bytes reach the file and then throws
+// CrashInjected *after* persisting that prefix — precisely the on-disk
+// state an abrupt process death leaves behind (a torn tail on the file
+// being written, nothing after it). Barrier operations (fsync, the
+// temp-file rename) also consult the injector, so a sweep over k covers
+// "crashed after the temp checkpoint was fully written but before the
+// rename" and every other in-between state.
+//
+// The injector simulates *process* death: bytes handed to write() are
+// assumed to survive (the page cache outlives the process). fsync matters
+// for machine-level power loss, which no in-process test can simulate —
+// the fsync policies are therefore exercised for correctness and measured
+// for cost (bench/micro_durability), while the crash sweep proves the
+// recovery logic over every partial-write state.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace trustrate::core::durable {
+
+/// Thrown by the crash injector to simulate an abrupt process kill mid-
+/// durable-write. Deliberately NOT a DataError: nothing is wrong with any
+/// data; the "process" just died. Test harnesses catch it, abandon the
+/// in-memory state, and run recovery against the directory.
+class CrashInjected : public Error {
+ public:
+  explicit CrashInjected(const std::string& where)
+      : Error("crash injected " + where) {}
+};
+
+/// Deterministic byte-budget crash injector. Unarmed it only counts durable
+/// bytes (a dry run sizes the sweep); armed with budget k it admits exactly
+/// k more bytes, then the next durable operation throws CrashInjected.
+class CrashInjector {
+ public:
+  void arm(std::uint64_t budget) {
+    armed_ = true;
+    remaining_ = budget;
+  }
+  void disarm() { armed_ = false; }
+  bool armed() const { return armed_; }
+
+  /// Durable bytes admitted since construction (armed or not).
+  std::uint64_t total_written() const { return total_; }
+
+  /// Gate for a durable write of `want` bytes: returns how many of them may
+  /// be persisted. A return < want (possible only when armed) means the
+  /// budget is exhausted — the caller persists exactly that prefix and then
+  /// throws CrashInjected.
+  std::size_t gate(std::size_t want) {
+    if (!armed_) {
+      total_ += want;
+      return want;
+    }
+    const std::uint64_t allowed =
+        remaining_ < want ? remaining_ : static_cast<std::uint64_t>(want);
+    remaining_ -= allowed;
+    total_ += allowed;
+    return static_cast<std::size_t>(allowed);
+  }
+
+  /// True once an armed budget has run out: barrier operations (fsync,
+  /// rename) call this and die *before* taking effect.
+  bool exhausted() const { return armed_ && remaining_ == 0; }
+
+ private:
+  bool armed_ = false;
+  std::uint64_t remaining_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Unbuffered append-only file handle. Writes go straight to the OS (no
+/// userspace buffering), so the injector's byte accounting equals what is
+/// on disk; sync() is a real fsync on POSIX.
+class DurableFile {
+ public:
+  /// Opens (creating if absent) `path` for appending. `crash` may be null.
+  DurableFile(const std::filesystem::path& path, CrashInjector* crash);
+  ~DurableFile();
+  DurableFile(const DurableFile&) = delete;
+  DurableFile& operator=(const DurableFile&) = delete;
+
+  /// Appends `bytes`, throwing CrashInjected after persisting the admitted
+  /// prefix when the injector's budget runs out.
+  void append(std::string_view bytes);
+
+  /// fsync barrier; consults the injector first (a crash can land exactly
+  /// between the last write and the sync).
+  void sync();
+
+  /// Bytes in the file (including whatever it held when opened).
+  std::uint64_t size() const { return size_; }
+
+  const std::filesystem::path& path() const { return path_; }
+
+  void close();
+
+ private:
+  std::filesystem::path path_;
+  CrashInjector* crash_ = nullptr;
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+};
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory,
+/// write + fsync, rename over `path`, fsync the directory. A crash at any
+/// injected point leaves either the old file (plus at most a stale temp)
+/// or the complete new one — never a torn `path`.
+void atomic_write_file(const std::filesystem::path& path,
+                       std::string_view bytes, CrashInjector* crash);
+
+/// fsyncs a directory so a rename/create within it is durable (POSIX; no-op
+/// elsewhere). Consults the injector as a barrier.
+void sync_directory(const std::filesystem::path& dir, CrashInjector* crash);
+
+/// Reads a whole file into a string. Throws DataError when unreadable.
+std::string read_file(const std::filesystem::path& path);
+
+/// Suffix of in-flight atomic writes; recovery deletes leftovers.
+inline constexpr const char* kTempSuffix = ".tmp";
+
+}  // namespace trustrate::core::durable

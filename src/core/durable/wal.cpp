@@ -1,0 +1,310 @@
+#include "core/durable/wal.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "core/durable/crc32c.hpp"
+
+namespace trustrate::core::durable {
+namespace {
+
+constexpr char kMagic[] = "trustrate-wal 1\n";
+constexpr std::size_t kMagicSize = sizeof(kMagic) - 1;  // 16 bytes
+constexpr std::size_t kFrameHeader = 9;                 // len + crc + type
+/// Sanity bound on one frame's payload; real payloads are tens of bytes, so
+/// anything huge is corruption, not data — refuse before allocating.
+constexpr std::uint32_t kMaxPayload = 1u << 20;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out.append(b, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out.append(b, 8);
+}
+
+void put_double(std::string& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(out, bits);
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+double get_double(const char* p) {
+  const std::uint64_t bits = get_u64(p);
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string encode_payload(const WalRecord& record) {
+  std::string payload;
+  switch (record.type) {
+    case WalRecordType::kRating:
+      payload.reserve(26);
+      put_double(payload, record.rating.time);
+      put_double(payload, record.rating.value);
+      put_u32(payload, record.rating.rater);
+      put_u32(payload, record.rating.product);
+      payload.push_back(static_cast<char>(record.rating.label));
+      payload.push_back(static_cast<char>(record.ingest_class));
+      break;
+    case WalRecordType::kEpochClose:
+      put_u64(payload, record.epochs_closed);
+      put_double(payload, record.epoch_start);
+      break;
+    case WalRecordType::kFlush:
+      put_u64(payload, record.epochs_closed);
+      break;
+  }
+  return payload;
+}
+
+/// Attempts to decode the frame at `offset`. Returns the record and the
+/// offset just past it, or nullopt when the bytes there are not a valid
+/// frame (short, insane length, bad CRC, unknown type, bad payload).
+std::optional<std::pair<WalRecord, std::size_t>> parse_frame(
+    const std::string& data, std::size_t offset) {
+  if (offset + kFrameHeader > data.size()) return std::nullopt;
+  const std::uint32_t len = get_u32(data.data() + offset);
+  if (len > kMaxPayload) return std::nullopt;
+  const std::size_t end = offset + kFrameHeader + len;
+  if (end > data.size()) return std::nullopt;
+  const std::uint32_t stored_crc = get_u32(data.data() + offset + 4);
+  // CRC covers length || type || payload, so a flip anywhere in the frame
+  // (length field included) is caught.
+  std::uint32_t crc = crc32c(data.data() + offset, 4);
+  crc = crc32c(data.data() + offset + 8, 1 + len, crc);
+  if (crc != stored_crc) return std::nullopt;
+
+  WalRecord record;
+  const char* p = data.data() + offset + kFrameHeader;
+  const auto type = static_cast<unsigned char>(data[offset + 8]);
+  switch (type) {
+    case static_cast<unsigned char>(WalRecordType::kRating): {
+      if (len != 26) return std::nullopt;
+      record.type = WalRecordType::kRating;
+      record.rating.time = get_double(p);
+      record.rating.value = get_double(p + 8);
+      record.rating.rater = static_cast<RaterId>(get_u32(p + 16));
+      record.rating.product = static_cast<ProductId>(get_u32(p + 20));
+      const auto label = static_cast<unsigned char>(p[24]);
+      const auto klass = static_cast<unsigned char>(p[25]);
+      if (label > static_cast<unsigned char>(RatingLabel::kCollaborative2) ||
+          klass > static_cast<unsigned char>(IngestClass::kMalformed)) {
+        return std::nullopt;
+      }
+      record.rating.label = static_cast<RatingLabel>(label);
+      record.ingest_class = static_cast<IngestClass>(klass);
+      break;
+    }
+    case static_cast<unsigned char>(WalRecordType::kEpochClose):
+      if (len != 16) return std::nullopt;
+      record.type = WalRecordType::kEpochClose;
+      record.epochs_closed = get_u64(p);
+      record.epoch_start = get_double(p + 8);
+      break;
+    case static_cast<unsigned char>(WalRecordType::kFlush):
+      if (len != 8) return std::nullopt;
+      record.type = WalRecordType::kFlush;
+      record.epochs_closed = get_u64(p);
+      break;
+    default:
+      return std::nullopt;
+  }
+  return std::make_pair(record, end);
+}
+
+/// True when any byte offset in [from, end) starts a valid frame —
+/// distinguishes a torn tail (garbage to the end of file) from mid-log
+/// corruption (valid data survives past the bad frame).
+bool valid_frame_after(const std::string& data, std::size_t from) {
+  for (std::size_t at = from; at + kFrameHeader <= data.size(); ++at) {
+    if (parse_frame(data, at).has_value()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<WalSegment> wal_segments(const std::filesystem::path& dir) {
+  std::vector<WalSegment> segments;
+  if (!std::filesystem::exists(dir)) return segments;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal-", 0) != 0 || name.size() < 9 ||
+        name.substr(name.size() - 4) != ".log") {
+      continue;
+    }
+    WalSegment seg;
+    seg.path = entry.path();
+    seg.first_lsn = std::strtoull(name.c_str() + 4, nullptr, 10);
+    segments.push_back(std::move(seg));
+  }
+  std::sort(segments.begin(), segments.end(),
+            [](const WalSegment& a, const WalSegment& b) {
+              return a.first_lsn < b.first_lsn;
+            });
+  return segments;
+}
+
+const char* to_string(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kNone:   return "none";
+    case FsyncPolicy::kEpoch:  return "epoch";
+    case FsyncPolicy::kAlways: return "always";
+  }
+  return "unknown";
+}
+
+std::string encode_frame(const WalRecord& record) {
+  const std::string payload = encode_payload(record);
+  std::string frame;
+  frame.reserve(kFrameHeader + payload.size());
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  std::string covered;  // length || type || payload, the CRC'd bytes
+  covered.reserve(5 + payload.size());
+  put_u32(covered, static_cast<std::uint32_t>(payload.size()));
+  covered.push_back(static_cast<char>(record.type));
+  covered += payload;
+  put_u32(frame, crc32c(covered));
+  frame.push_back(static_cast<char>(record.type));
+  frame += payload;
+  return frame;
+}
+
+WalRecovered read_wal(const std::filesystem::path& dir) {
+  WalRecovered out;
+  std::vector<WalSegment> segments = wal_segments(dir);
+
+  // A last segment whose creation itself was torn (partial or corrupt magic,
+  // no decodable frame) is removed up front; everything else must be intact.
+  while (!segments.empty()) {
+    const WalSegment& last = segments.back();
+    const std::string data = read_file(last.path);
+    const bool magic_ok =
+        data.size() >= kMagicSize && data.compare(0, kMagicSize, kMagic) == 0;
+    if (magic_ok) break;
+    if (valid_frame_after(data, 0)) {
+      throw WalError("WAL segment '" + last.path.filename().string() +
+                     "' has a corrupt header but decodable frames");
+    }
+    std::filesystem::remove(last.path);
+    segments.pop_back();
+  }
+
+  if (segments.empty()) return out;
+  out.first_lsn = segments.front().first_lsn;
+  std::uint64_t lsn = out.first_lsn;
+
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    const WalSegment& seg = segments[s];
+    const bool is_last = s + 1 == segments.size();
+    if (seg.first_lsn != lsn) {
+      throw WalError("WAL segment sequence gap: '" +
+                     seg.path.filename().string() + "' starts at record " +
+                     std::to_string(seg.first_lsn) + ", expected " +
+                     std::to_string(lsn));
+    }
+    const std::string data = read_file(seg.path);
+    if (data.size() < kMagicSize || data.compare(0, kMagicSize, kMagic) != 0) {
+      throw WalError("WAL segment '" + seg.path.filename().string() +
+                     "' has a corrupt header");
+    }
+    std::size_t offset = kMagicSize;
+    while (offset < data.size()) {
+      auto frame = parse_frame(data, offset);
+      if (!frame.has_value()) {
+        // Torn-tail rule: only the very end of the last segment may be
+        // unparseable, and only when nothing valid follows.
+        if (is_last && !valid_frame_after(data, offset + 1)) {
+          out.tail_truncated = true;
+          out.truncated_bytes = data.size() - offset;
+          std::filesystem::resize_file(seg.path, offset);
+          break;
+        }
+        throw WalError("WAL corrupt at byte " + std::to_string(offset) +
+                       " of segment '" + seg.path.filename().string() +
+                       "' (not a torn tail: valid data follows)");
+      }
+      out.records.emplace_back(lsn++, frame->first);
+      offset = frame->second;
+    }
+  }
+  out.next_lsn = lsn;
+  out.active_segment = segments.back().path;
+  out.active_segment_first_lsn = segments.back().first_lsn;
+  return out;
+}
+
+std::string WalWriter::segment_name(std::uint64_t lsn) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "wal-%020llu.log",
+                static_cast<unsigned long long>(lsn));
+  return buf;
+}
+
+WalWriter::WalWriter(const std::filesystem::path& dir, std::uint64_t next_lsn,
+                     const WalOptions& options)
+    : dir_(dir), options_(options), next_lsn_(next_lsn) {}
+
+WalWriter::WalWriter(const std::filesystem::path& dir,
+                     const WalRecovered& recovered, const WalOptions& options)
+    : dir_(dir), options_(options), next_lsn_(recovered.next_lsn) {
+  if (!recovered.active_segment.empty()) {
+    open_segment(recovered.active_segment);
+  }
+}
+
+void WalWriter::open_segment(const std::filesystem::path& path) {
+  segment_ = std::make_unique<DurableFile>(path, options_.crash);
+  if (segment_->size() == 0) {
+    segment_->append(std::string_view(kMagic, kMagicSize));
+  }
+}
+
+void WalWriter::rotate() {
+  if (segment_ != nullptr && options_.fsync != FsyncPolicy::kNone) {
+    segment_->sync();
+  }
+  segment_.reset();
+  open_segment(dir_ / segment_name(next_lsn_));
+}
+
+std::uint64_t WalWriter::append(const WalRecord& record) {
+  if (segment_ == nullptr || segment_->size() >= options_.segment_bytes) {
+    rotate();
+  }
+  segment_->append(encode_frame(record));
+  const std::uint64_t lsn = next_lsn_++;
+  if (options_.fsync == FsyncPolicy::kAlways) {
+    segment_->sync();
+  }
+  return lsn;
+}
+
+void WalWriter::sync() {
+  if (segment_ != nullptr) segment_->sync();
+}
+
+}  // namespace trustrate::core::durable

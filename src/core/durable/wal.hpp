@@ -1,0 +1,150 @@
+// Write-ahead log for the streaming rating pipeline (ISSUE 4 tentpole).
+//
+// Checkpoints are periodic; every rating acknowledged between two
+// checkpoints would be lost on a crash without a log. The WAL records
+// every *submission* the streaming system acknowledges — accepted,
+// reordered, duplicate, late, and malformed alike, because the ingestion
+// counters and the quarantine are part of the bit-exact state — plus
+// epoch-close markers and explicit flushes. Recovery = newest valid
+// checkpoint + replay of the records after it; the replayed system is
+// bitwise-identical to one that never died (core/durable/durable_stream.hpp).
+//
+// Wire format (binary, little-endian), per segment file `wal-<lsn20>.log`:
+//
+//   "trustrate-wal 1\n"                      16-byte segment magic
+//   frame := u32 payload_len | u32 crc | u8 type | payload
+//
+// where crc = CRC32C over (payload_len || type || payload). Frame types:
+//
+//   kRating     payload = f64 time | f64 value | u32 rater | u32 product |
+//               u8 label | u8 ingest_class        (26 bytes)
+//   kEpochClose payload = u64 epochs_closed | f64 new epoch_start
+//   kFlush      payload = u64 epochs_closed after the flush
+//
+// Doubles travel as raw IEEE-754 bit patterns — replay is bit-exact by
+// construction. The ingest_class byte is the classification returned at
+// submit time; replay re-classifies and must agree (cheap end-to-end check
+// that the WAL matches the checkpoint it extends).
+//
+// Segments rotate at `segment_bytes`; file names carry the LSN (log
+// sequence number = index of the segment's first record), so a checkpoint
+// taken at LSN n obsoletes every segment entirely below n.
+//
+// Torn-tail rule (recovery): a bad frame — short header, insane length,
+// CRC mismatch — at the end of the *last* segment with no valid frame
+// after it is a torn write: the tail is truncated and the log ends there.
+// A bad frame anywhere else (earlier segment, or followed by bytes that
+// still parse as a valid frame) is mid-log corruption and throws WalError:
+// silently resuming past it would drop acknowledged records.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/durable/io.hpp"
+#include "core/ingest.hpp"
+
+namespace trustrate::core::durable {
+
+/// When the log is forced to stable storage.
+enum class FsyncPolicy : std::uint8_t {
+  kNone = 0,  ///< never fsync (page cache only; survives kill -9, not power loss)
+  kEpoch,     ///< fsync on epoch-close markers, flushes, and checkpoints
+  kAlways,    ///< fsync after every appended record
+};
+
+const char* to_string(FsyncPolicy policy);
+
+enum class WalRecordType : std::uint8_t {
+  kRating = 1,      ///< one acknowledged submission (any classification)
+  kEpochClose = 2,  ///< an epoch closed while routing the previous rating
+  kFlush = 3,       ///< explicit flush(): drain + close regardless of time
+};
+
+/// One log record. Which fields are meaningful depends on `type`.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kRating;
+  Rating rating;                                      ///< kRating
+  IngestClass ingest_class = IngestClass::kAccepted;  ///< kRating
+  std::uint64_t epochs_closed = 0;  ///< kEpochClose / kFlush
+  double epoch_start = 0.0;         ///< kEpochClose
+};
+
+/// Serializes one record as a framed byte string (exposed for tests).
+std::string encode_frame(const WalRecord& record);
+
+struct WalOptions {
+  std::size_t segment_bytes = 1 << 20;  ///< rotation threshold
+  FsyncPolicy fsync = FsyncPolicy::kEpoch;
+  CrashInjector* crash = nullptr;
+};
+
+/// Everything read_wal learns from the segment files on disk.
+struct WalRecovered {
+  /// All decodable records, in order, paired with their LSN.
+  std::vector<std::pair<std::uint64_t, WalRecord>> records;
+  /// LSN of the first record present (segments below the newest checkpoint
+  /// may have been pruned).
+  std::uint64_t first_lsn = 0;
+  /// LSN the next appended record will get.
+  std::uint64_t next_lsn = 0;
+  /// True when a torn tail was truncated off the last segment.
+  bool tail_truncated = false;
+  std::uint64_t truncated_bytes = 0;
+  /// Last segment (append continues here), empty when no segment exists.
+  std::filesystem::path active_segment;
+  std::uint64_t active_segment_first_lsn = 0;
+};
+
+/// Scans `dir` for wal-*.log segments, validates every frame, truncates a
+/// torn tail (physically, via resize_file), and returns the decoded
+/// records. Throws WalError on mid-log corruption or a segment-sequence
+/// gap. A directory with no segments returns an empty log.
+WalRecovered read_wal(const std::filesystem::path& dir);
+
+/// One on-disk segment file and the LSN of its first record.
+struct WalSegment {
+  std::filesystem::path path;
+  std::uint64_t first_lsn = 0;
+};
+
+/// Lists `dir`'s wal-*.log segments in ascending LSN order (no validation;
+/// the checkpoint pruner uses this to find fully-obsolete segments).
+std::vector<WalSegment> wal_segments(const std::filesystem::path& dir);
+
+/// Append handle. Create fresh (`WalWriter(dir, 0, options)`) or continue
+/// a recovered log (`WalWriter(dir, recovered, options)`).
+class WalWriter {
+ public:
+  WalWriter(const std::filesystem::path& dir, std::uint64_t next_lsn,
+            const WalOptions& options);
+  WalWriter(const std::filesystem::path& dir, const WalRecovered& recovered,
+            const WalOptions& options);
+
+  /// Appends one record (rotating segments as needed) and returns its LSN.
+  /// Under FsyncPolicy::kAlways the record is fsynced before returning.
+  std::uint64_t append(const WalRecord& record);
+
+  /// Explicit fsync barrier (epoch closes and checkpoints under kEpoch).
+  void sync();
+
+  std::uint64_t next_lsn() const { return next_lsn_; }
+  const WalOptions& options() const { return options_; }
+
+  /// Segment file name for the record sequence starting at `lsn`.
+  static std::string segment_name(std::uint64_t lsn);
+
+ private:
+  void open_segment(const std::filesystem::path& path);
+  void rotate();
+
+  std::filesystem::path dir_;
+  WalOptions options_;
+  std::uint64_t next_lsn_ = 0;
+  std::unique_ptr<DurableFile> segment_;
+};
+
+}  // namespace trustrate::core::durable

@@ -1,0 +1,64 @@
+// Crash-point recovery sweep (ISSUE 4 tentpole, testing side).
+//
+// The durability layer's contract is byte-granular: kill the process after
+// any prefix of its durable writes and recovery must rebuild a system that
+// is bitwise-identical to the uninterrupted run, with every acknowledged
+// rating intact. This harness proves that by brute force:
+//
+//   1. an uninterrupted reference run over the scenario's perturbed
+//      arrivals (WAL + periodic on-disk checkpoints) records the final
+//      checkpoint bytes and, via an unarmed CrashInjector, the total
+//      number of durable bytes B the run produces;
+//   2. for crash budgets k sampled over [0, B] (stride-sampled — B is tens
+//      of thousands of bytes), the same run is repeated with the injector
+//      armed at k: the process "dies" (CrashInjected) after exactly k
+//      durable bytes, mid-frame, mid-checkpoint, between write and fsync,
+//      before or after a rename — wherever k lands;
+//   3. a fresh DurableStream recovers the directory, the client resumes
+//      submitting at `acknowledged()` (its exactly-once cursor), and the
+//      completed run's final checkpoint must equal the reference's
+//      byte-for-byte. Any acknowledged-but-lost rating, torn state, or
+//      replay divergence shows up as a byte diff or a thrown error.
+//
+// Used by tests/durability_test.cpp (fixed seeds + stride in CI, a
+// date-seeded densely-strided sweep nightly under ASan).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "core/durable/wal.hpp"
+#include "testkit/scenario.hpp"
+
+namespace trustrate::testkit {
+
+struct CrashSweepOptions {
+  /// Take an on-disk checkpoint after every this-many acknowledged
+  /// submissions (also exercises pruning; 0 disables mid-run checkpoints).
+  std::size_t checkpoint_every = 64;
+  /// Fsync policy of both the reference and the crashing runs (barrier
+  /// operations consult the injector, so the policy shifts where budgets
+  /// land).
+  core::durable::FsyncPolicy fsync = core::durable::FsyncPolicy::kEpoch;
+  /// Distance between sampled crash budgets; 1 sweeps every byte.
+  std::uint64_t stride = 97;
+  /// Offset of the first sampled budget (vary to cover different residues).
+  std::uint64_t first = 1;
+};
+
+struct CrashSweepResult {
+  bool ok = true;
+  std::string divergence;  ///< empty when ok; names the failing budget k
+  std::uint64_t total_bytes = 0;   ///< durable bytes of the reference run
+  std::size_t crash_points = 0;    ///< budgets that actually crashed
+  std::size_t clean_points = 0;    ///< budgets the run outlived (k >= B)
+};
+
+/// Runs the sweep for `scenario` under `dir` (created; wiped per budget;
+/// removed on success, left behind on failure as a repro artifact).
+CrashSweepResult run_crash_sweep(const Scenario& scenario,
+                                 const std::filesystem::path& dir,
+                                 const CrashSweepOptions& options = {});
+
+}  // namespace trustrate::testkit

@@ -11,7 +11,9 @@
 //      reorder, retries, stale/malformed junk) that core/ingest must repair;
 //   4. a mid-stream checkpoint/restore (optionally down-converted to the
 //      v1 format first) resumed at a different worker count;
-//   5. the parallel epoch engine at 2 and 4 workers.
+//   5. the parallel epoch engine at 2 and 4 workers;
+//   6. the durable front-end (core/durable): WAL + on-disk atomic
+//      checkpoint, live and after a cold recovery (restore + replay).
 //
 // All paths must agree *bitwise*: per-epoch reports (model errors, levels,
 // suspicious values C(i)), trust records, and — where the comparison is
@@ -70,17 +72,20 @@ struct BatchOutcome {
 
 BatchOutcome run_batch_reference(const Scenario& scenario);
 
-/// Replaces the ingest-statistics line and the quarantine block with
-/// placeholders: the perturbed path legitimately differs from the clean
-/// path in exactly these (and nothing else).
+/// Replaces the ingest-statistics line and the quarantine block (and, for
+/// v3 checkpoints, the checksums covering them) with placeholders: the
+/// perturbed path legitimately differs from the clean path in exactly
+/// these (and nothing else).
 std::string strip_ingest_noise(const std::string& checkpoint_text);
 
-/// Replaces the skipped-empty-epoch counter in the anchor line with a
-/// placeholder (a v1-migrated run loses the counter's pre-cut value).
+/// Replaces the skipped-empty-epoch counter in the anchor line (and the
+/// v3 checksums covering it) with a placeholder (a v1-migrated run loses
+/// the counter's pre-cut value).
 std::string normalize_skipped_counter(const std::string& checkpoint_text);
 
-/// Rewrites a v2 checkpoint as the v1 wire format (header version 1, no
-/// skipped-empty-epoch token) for migration testing.
+/// Rewrites a current-version checkpoint as the v1 wire format (header
+/// version 1, no skipped-empty-epoch token, no checksum lines, no
+/// quarantine detail token) for migration testing.
 std::string downconvert_checkpoint_v1(const std::string& checkpoint_text);
 
 struct DifferentialResult {

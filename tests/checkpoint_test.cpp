@@ -11,6 +11,7 @@
 #include "common/rng.hpp"
 #include "core/checkpoint.hpp"
 #include "core/streaming.hpp"
+#include "testkit/oracle.hpp"
 
 namespace trustrate {
 namespace {
@@ -170,34 +171,140 @@ TEST(Checkpoint, SkippedEmptyEpochCounterRoundTrips) {
 }
 
 TEST(Checkpoint, LoadsVersion1WithoutSkippedCounter) {
-  // Forward compatibility: a v1 checkpoint (no skipped-empty-epoch field)
-  // still loads, with the counter defaulting to 0.
+  // Backward compatibility: a v1 checkpoint (no skipped-empty-epoch field,
+  // no checksums, no quarantine detail) still loads, with the counter
+  // defaulting to 0 and details restored empty.
+  core::StreamingRatingSystem stream(pipeline_config(), 30.0);
+  stream.submit({1.0, 0.5, 1, 1, RatingLabel::kHonest});
+  stream.submit({1.5, 2.0, 2, 1, RatingLabel::kHonest});  // quarantined
+  ASSERT_FALSE(stream.quarantine().front().detail.empty());
+  std::ostringstream out;
+  core::save_checkpoint(stream, out);
+  const std::string v1 = testkit::downconvert_checkpoint_v1(out.str());
+  ASSERT_NE(v1.find("trustrate-checkpoint 1"), std::string::npos);
+  ASSERT_EQ(v1.find("crc "), std::string::npos);
+
+  std::istringstream in(v1);
+  const auto restored = core::load_checkpoint(in, pipeline_config());
+  EXPECT_EQ(restored.skipped_empty_epochs(), 0u);
+  EXPECT_EQ(restored.pending_ratings(), 1u);
+  ASSERT_EQ(restored.quarantine().size(), 1u);
+  EXPECT_TRUE(restored.quarantine().front().detail.empty());
+}
+
+TEST(Checkpoint, LoadsVersion2WithoutChecksums) {
+  // A v2 checkpoint carries the skipped counter but no checksums and no
+  // quarantine detail token.
+  core::StreamingRatingSystem stream(pipeline_config(), 30.0);
+  stream.submit({0.0, 0.5, 1, 1, RatingLabel::kHonest});
+  stream.submit({200.0, 0.5, 2, 1, RatingLabel::kHonest});  // skips epochs
+  stream.submit({200.5, -3.0, 3, 1, RatingLabel::kHonest});  // quarantined
+  ASSERT_GT(stream.skipped_empty_epochs(), 0u);
+  std::ostringstream out;
+  core::save_checkpoint(stream, out);
+
+  // Rewrite v3 as v2: header version 2, checksum lines and quarantine
+  // detail tokens dropped.
+  std::istringstream lines(out.str());
+  std::ostringstream v2;
+  std::string line;
+  std::size_t quarantine_entries = 0;
+  while (std::getline(lines, line)) {
+    if (line.rfind("trustrate-checkpoint ", 0) == 0) {
+      v2 << "trustrate-checkpoint 2\n";
+      continue;
+    }
+    if (line.rfind("crc ", 0) == 0 || line.rfind("filecrc ", 0) == 0) continue;
+    if (quarantine_entries > 0) {
+      v2 << line.substr(0, line.find_last_of(' ')) << '\n';
+      --quarantine_entries;
+      continue;
+    }
+    if (line.rfind("quarantine ", 0) == 0) {
+      std::istringstream fields(line);
+      std::string keyword;
+      fields >> keyword >> quarantine_entries;
+    }
+    v2 << line << '\n';
+  }
+
+  std::istringstream in(v2.str());
+  const auto restored = core::load_checkpoint(in, pipeline_config());
+  EXPECT_EQ(restored.skipped_empty_epochs(), stream.skipped_empty_epochs());
+  ASSERT_EQ(restored.quarantine().size(), 1u);
+  EXPECT_TRUE(restored.quarantine().front().detail.empty());
+}
+
+TEST(Checkpoint, QuarantineDetailStringRoundTrips) {
+  // v3 persists the human-readable quarantine detail (free text with
+  // spaces) byte-exactly through the percent-escaped wire token.
+  core::StreamingRatingSystem stream(pipeline_config(), 30.0);
+  stream.submit({1.0, 0.5, 1, 1, RatingLabel::kHonest});
+  stream.submit({1.5, 2.0, 2, 1, RatingLabel::kHonest});   // value > 1
+  stream.submit({2.0, -1.0, 3, 1, RatingLabel::kHonest});  // value < 0
+  ASSERT_EQ(stream.quarantine().size(), 2u);
+  ASSERT_FALSE(stream.quarantine().front().detail.empty());
+
+  std::ostringstream out;
+  core::save_checkpoint(stream, out);
+  std::istringstream in(out.str());
+  const auto restored = core::load_checkpoint(in, pipeline_config());
+
+  ASSERT_EQ(restored.quarantine().size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(restored.quarantine()[i].detail, stream.quarantine()[i].detail);
+    EXPECT_EQ(restored.quarantine()[i].reason, stream.quarantine()[i].reason);
+  }
+}
+
+TEST(Checkpoint, SectionChecksumDetectsSingleFlippedByte) {
   core::StreamingRatingSystem stream(pipeline_config(), 30.0);
   stream.submit({1.0, 0.5, 1, 1, RatingLabel::kHonest});
   std::ostringstream out;
   core::save_checkpoint(stream, out);
-  std::string text = out.str();
-  // Rewrite the header to v1 and drop the 5th anchor token (the counter).
-  const auto header = text.find("trustrate-checkpoint 2");
-  ASSERT_NE(header, std::string::npos);
-  text.replace(header, 22, "trustrate-checkpoint 1");
-  const auto anchor = text.find("anchor ");
-  ASSERT_NE(anchor, std::string::npos);
-  // anchor line tokens: flag start last_time epochs_closed skipped epochs
-  std::istringstream line(text.substr(anchor, text.find('\n', anchor) - anchor));
-  std::string tok, kw, flag, start, last, closed, skipped, epochs;
-  line >> kw >> flag >> start >> last >> closed >> skipped >> epochs;
-  const std::string v2_line =
-      kw + ' ' + flag + ' ' + start + ' ' + last + ' ' + closed + ' ' +
-      skipped + ' ' + epochs;
-  const std::string v1_line =
-      kw + ' ' + flag + ' ' + start + ' ' + last + ' ' + closed + ' ' + epochs;
-  text.replace(anchor, v2_line.size(), v1_line);
+  const std::string intact = out.str();
+  ASSERT_NE(intact.find("crc config "), std::string::npos);
+  ASSERT_NE(intact.find("filecrc "), std::string::npos);
 
-  std::istringstream in(text);
-  const auto restored = core::load_checkpoint(in, pipeline_config());
-  EXPECT_EQ(restored.skipped_empty_epochs(), 0u);
-  EXPECT_EQ(restored.pending_ratings(), 1u);
+  // Flip one payload byte mid-file: the section checksum must reject it.
+  std::string corrupt = intact;
+  const std::size_t at = intact.find("trust ");
+  ASSERT_NE(at, std::string::npos);
+  corrupt[at + 2] ^= 0x01;
+  std::istringstream in(corrupt);
+  EXPECT_THROW(core::load_checkpoint(in, pipeline_config()), CheckpointError);
+}
+
+TEST(Checkpoint, ErrorsCarryLineNumbers) {
+  core::StreamingRatingSystem stream(pipeline_config(), 30.0);
+  stream.submit({1.0, 0.5, 1, 1, RatingLabel::kHonest});
+  std::ostringstream out;
+  core::save_checkpoint(stream, out);
+
+  // Checksum failures name the crc line...
+  std::string corrupt = out.str();
+  corrupt[corrupt.find("stats ") + 6] ^= 0x01;
+  std::istringstream bad_crc(corrupt);
+  try {
+    core::load_checkpoint(bad_crc, pipeline_config());
+    FAIL() << "corrupted checkpoint loaded";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("line "), std::string::npos)
+        << e.what();
+  }
+
+  // ...and token-level parse errors (reachable in the unchecksummed v1
+  // format) carry the offending token's line number.
+  std::string v1 = testkit::downconvert_checkpoint_v1(out.str());
+  v1.replace(v1.find("stats ") + 6, 1, "x");
+  std::istringstream bad_token(v1);
+  try {
+    core::load_checkpoint(bad_token, pipeline_config());
+    FAIL() << "corrupted v1 checkpoint loaded";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("(line 4)"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(Checkpoint, EmptySystemRoundTrips) {
