@@ -1,0 +1,169 @@
+// Machine-readable micro-benchmark output (ISSUE 5 satellite).
+//
+// Google-benchmark's console output is for humans; CI wants a stable JSON
+// artifact per binary. TRUSTRATE_BENCH_MAIN(name) replaces the stock
+// BENCHMARK_MAIN(): it runs the registered benchmarks through a collecting
+// console reporter, then writes `BENCH_<name>.json` into the working
+// directory (override with TRUSTRATE_BENCH_JSON_DIR) with one entry per
+// non-aggregate run:
+//
+//   {"bench": "<name>", "schema": "trustrate-bench-1",
+//    "results": [{"name": "BM_Foo/50/4", "benchmark": "BM_Foo",
+//                 "params": "50/4", "repetitions": 3,
+//                 "iterations": 12345,
+//                 "ns_per_op": {"p50": ..., "p90": ..., "p99": ...}}]}
+//
+// ns/op = real_accumulated_time / iterations, independent of the
+// benchmark's display time unit. Percentiles are nearest-rank over the
+// per-repetition samples; a single repetition (the default) reports the
+// same value for every percentile. Wall-clock numbers are inherently
+// non-deterministic — tests validate this file's *schema*, never its
+// values (the counter/timing split of DESIGN.md §11).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace trustrate::benchjson {
+
+/// One benchmark family instance ("BM_Foo/50/4") and its repetition samples.
+struct Samples {
+  std::vector<double> ns_per_op;        ///< one per repetition, insert order
+  benchmark::IterationCount iterations = 0;  ///< of the last repetition
+};
+
+/// Nearest-rank percentile over unsorted samples (p in [0, 100]).
+inline double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size());
+  std::size_t idx = rank <= 1.0 ? 0 : static_cast<std::size_t>(rank + 0.5) - 1;
+  if (idx >= xs.size()) idx = xs.size() - 1;
+  return xs[idx];
+}
+
+/// Console reporter that additionally collects every non-aggregate,
+/// non-errored run, keyed by full run name, preserving first-seen order.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const std::string name = run.benchmark_name();
+      auto it = index_.find(name);
+      if (it == index_.end()) {
+        it = index_.emplace(name, order_.size()).first;
+        order_.push_back(name);
+        samples_.emplace_back();
+      }
+      Samples& s = samples_[it->second];
+      if (run.iterations > 0) {
+        s.ns_per_op.push_back(run.real_accumulated_time /
+                              static_cast<double>(run.iterations) * 1e9);
+        s.iterations = run.iterations;
+      }
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::vector<std::string>& names() const { return order_; }
+  const Samples& samples(std::size_t i) const { return samples_[i]; }
+
+ private:
+  std::map<std::string, std::size_t> index_;
+  std::vector<std::string> order_;
+  std::vector<Samples> samples_;
+};
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+/// Writes BENCH_<bench_name>.json from the collected runs. Returns the
+/// path written, or an empty string when the file could not be opened.
+inline std::string write_json(const std::string& bench_name,
+                              const CollectingReporter& reporter) {
+  const char* dir = std::getenv("TRUSTRATE_BENCH_JSON_DIR");
+  std::string path = dir != nullptr && *dir != '\0'
+                         ? std::string(dir) + "/BENCH_" + bench_name + ".json"
+                         : "BENCH_" + bench_name + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return {};
+  out << "{\"bench\":\"" << json_escape(bench_name)
+      << "\",\"schema\":\"trustrate-bench-1\",\"results\":[";
+  for (std::size_t i = 0; i < reporter.names().size(); ++i) {
+    const std::string& name = reporter.names()[i];
+    const Samples& s = reporter.samples(i);
+    const std::size_t slash = name.find('/');
+    const std::string base = name.substr(0, slash);
+    const std::string params =
+        slash == std::string::npos ? "" : name.substr(slash + 1);
+    if (i != 0) out << ",";
+    out << "{\"name\":\"" << json_escape(name) << "\",\"benchmark\":\""
+        << json_escape(base) << "\",\"params\":\"" << json_escape(params)
+        << "\",\"repetitions\":" << s.ns_per_op.size()
+        << ",\"iterations\":" << s.iterations << ",\"ns_per_op\":{\"p50\":"
+        << format_double(percentile(s.ns_per_op, 50.0)) << ",\"p90\":"
+        << format_double(percentile(s.ns_per_op, 90.0)) << ",\"p99\":"
+        << format_double(percentile(s.ns_per_op, 99.0)) << "}}";
+  }
+  out << "]}\n";
+  return path;
+}
+
+}  // namespace trustrate::benchjson
+
+/// Drop-in replacement for BENCHMARK_MAIN(): identical console behaviour
+/// plus the BENCH_<name>.json artifact.
+#define TRUSTRATE_BENCH_MAIN(bench_name)                                  \
+  int main(int argc, char** argv) {                                       \
+    char arg0_default[] = "benchmark";                                    \
+    char* args_default = arg0_default;                                    \
+    if (!argv) {                                                          \
+      argc = 1;                                                           \
+      argv = &args_default;                                               \
+    }                                                                     \
+    ::benchmark::Initialize(&argc, argv);                                 \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;   \
+    ::trustrate::benchjson::CollectingReporter reporter;                  \
+    ::benchmark::RunSpecifiedBenchmarks(&reporter);                       \
+    const std::string written =                                           \
+        ::trustrate::benchjson::write_json(bench_name, reporter);         \
+    if (!written.empty()) {                                               \
+      std::fprintf(stderr, "bench json: %s\n", written.c_str());          \
+    }                                                                     \
+    ::benchmark::Shutdown();                                              \
+    return 0;                                                             \
+  }                                                                       \
+  int main(int, char**)

@@ -2,6 +2,8 @@
 // order, plus the end-to-end detector and filter on realistic windows.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "common/rng.hpp"
 #include "detect/ar_detector.hpp"
 #include "detect/beta_filter.hpp"
@@ -83,3 +85,5 @@ void BM_BetaFilter(benchmark::State& state) {
 BENCHMARK(BM_BetaFilter)->Arg(60)->Arg(360);
 
 }  // namespace
+
+TRUSTRATE_BENCH_MAIN("micro_ar_estimation");

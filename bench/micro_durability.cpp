@@ -12,6 +12,8 @@
 // atomic checkpoint, and cold recovery (checkpoint restore + WAL replay).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <filesystem>
 
 #include "common/math.hpp"
@@ -140,3 +142,5 @@ void BM_ColdRecovery(benchmark::State& state) {
 BENCHMARK(BM_ColdRecovery)->Arg(512)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
+
+TRUSTRATE_BENCH_MAIN("micro_durability");

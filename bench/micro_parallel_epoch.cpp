@@ -10,6 +10,8 @@
 // single-core host).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cstddef>
 #include <vector>
 
@@ -59,3 +61,5 @@ BENCHMARK(BM_ParallelEpoch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
+
+TRUSTRATE_BENCH_MAIN("micro_parallel_epoch");

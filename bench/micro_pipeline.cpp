@@ -2,6 +2,8 @@
 // trust-enhanced pipeline, and the marketplace simulator itself.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "common/rng.hpp"
 #include "core/marketplace_experiment.hpp"
 #include "core/system.hpp"
@@ -51,3 +53,5 @@ void BM_FullExperiment(benchmark::State& state) {
 BENCHMARK(BM_FullExperiment)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+TRUSTRATE_BENCH_MAIN("micro_pipeline");

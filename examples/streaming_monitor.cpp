@@ -22,6 +22,7 @@
 #include "core/streaming.hpp"
 #include "data/inject.hpp"
 #include "detect/rate_detector.hpp"
+#include "obs/observability.hpp"
 
 using namespace trustrate;
 
@@ -97,9 +98,19 @@ int main() {
   // --- first half, then a kill -9 mid-durable-write -----------------------
   // The injector admits a byte budget and then kills the "process" exactly
   // where a real SIGKILL would: with a torn partial write on disk.
+  // Telemetry (DESIGN.md §11): a metrics registry and a detection audit
+  // log ride along, strictly out-of-band. The same bundle is reused across
+  // the crash, so the post-mortem numbers cover the whole session.
+  obs::MetricsRegistry metrics;
+  obs::MemoryAuditSink audit;
+  obs::Observability telemetry;
+  telemetry.metrics = &metrics;
+  telemetry.audit = &audit;
+
   core::durable::CrashInjector injector;
   core::durable::DurableOptions durable_options;
   durable_options.crash = &injector;
+  durable_options.obs = telemetry;
 
   const std::size_t checkpoint_at = arrivals.size() / 2;
   std::size_t acked = 0;
@@ -139,9 +150,12 @@ int main() {
   }
 
   // --- restart: recover from disk and resume where we left off ------------
+  core::durable::DurableOptions recovery_options;
+  recovery_options.obs = telemetry;
   core::durable::DurableStream durable(dir, monitor_config(),
                                        /*epoch_days=*/30.0,
-                                       /*retention_epochs=*/2, ingest);
+                                       /*retention_epochs=*/2, ingest,
+                                       recovery_options);
   const auto& info = durable.recovery();
   std::printf("-- recovered %s: checkpoint %srestored, %zu WAL records "
               "replayed (%zu ratings), torn tail %s --\n",
@@ -180,6 +194,28 @@ int main() {
   std::printf("  epoch health: %zu/%zu degraded\n\n",
               resumed.degraded_epochs(), resumed.epoch_health().size());
   fs::remove_all(dir);
+
+  // Telemetry dump: the deterministic counters (what happened), then the
+  // audit trail's answer to "which evidence flagged whom".
+  std::printf("telemetry (selected counters):\n");
+  for (const char* name :
+       {"trustrate_ingest_quarantined_total", "trustrate_ratings_filtered_total",
+        "trustrate_suspicious_intervals_total", "trustrate_trust_demotions_total",
+        "trustrate_wal_records_total", "trustrate_checkpoints_written_total",
+        "trustrate_wal_torn_tail_truncations_total",
+        "trustrate_recovery_replayed_records_total"}) {
+    std::printf("  %-46s %llu\n", name,
+                static_cast<unsigned long long>(metrics.counter(name).value()));
+  }
+  const auto demotions = audit.of_type(obs::AuditEventType::kTrustDemotion);
+  std::printf("audit log: %llu events recorded; first shill demotion:\n",
+              static_cast<unsigned long long>(audit.recorded()));
+  for (const auto& e : demotions) {
+    if (e.rater.has_value() && *e.rater >= 9000) {
+      std::printf("  %s\n", obs::to_jsonl(e).c_str());
+      break;
+    }
+  }
 
   // Who ended up distrusted? With a single product and ~4 ratings per
   // honest rater, campaign-window bystanders cannot rebuild trust the way

@@ -15,11 +15,18 @@
 //   --load FILE / --save FILE                       trust store persistence
 //   --scheme simple|beta|weighted|trust-model       aggregation scheme
 //   --months N --seed S                             simulate knobs
+//   --metrics FILE                                  write Prometheus text
+//                                                   exposition after the run
+//                                                   (trust/aggregate)
+//   --audit FILE                                    stream the detection
+//                                                   audit log as JSONL
+//                                                   (trust/aggregate)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "agg/aggregator.hpp"
@@ -28,6 +35,7 @@
 #include "common/rng.hpp"
 #include "core/streaming.hpp"
 #include "data/trace.hpp"
+#include "obs/observability.hpp"
 #include "sim/marketplace.hpp"
 #include "trust/store_io.hpp"
 
@@ -77,6 +85,47 @@ agg::AggregatorKind scheme_of(const std::string& name) {
   throw DataError("unknown scheme: " + name);
 }
 
+/// --metrics / --audit telemetry for the pipeline-running commands. The
+/// sinks live here; attach() hands the stream a bundle of pointers, and the
+/// destructor-ordered members keep the audit stream open past the flush.
+class CliTelemetry {
+ public:
+  CliTelemetry(const Options& opts)
+      : metrics_path_(opts.text("metrics", "")),
+        audit_path_(opts.text("audit", "")) {
+    if (!audit_path_.empty()) {
+      audit_out_.open(audit_path_);
+      if (!audit_out_) {
+        throw DataError("cannot write audit log: " + audit_path_);
+      }
+      audit_sink_.emplace(audit_out_);
+    }
+  }
+
+  void attach(core::StreamingRatingSystem& stream) {
+    obs::Observability o;
+    if (!metrics_path_.empty()) o.metrics = &metrics_;
+    if (audit_sink_.has_value()) o.audit = &*audit_sink_;
+    if (o.enabled()) stream.set_observability(o);
+  }
+
+  /// Writes the Prometheus snapshot (call after flush()).
+  void finish() {
+    if (metrics_path_.empty()) return;
+    std::ofstream out(metrics_path_);
+    if (!out) throw DataError("cannot write metrics: " + metrics_path_);
+    out << metrics_.prometheus();
+    std::fprintf(stderr, "wrote metrics to %s\n", metrics_path_.c_str());
+  }
+
+ private:
+  std::string metrics_path_;
+  std::string audit_path_;
+  obs::MetricsRegistry metrics_;
+  std::ofstream audit_out_;
+  std::optional<obs::JsonlAuditSink> audit_sink_;
+};
+
 core::SystemConfig system_config(const Options& opts) {
   core::SystemConfig cfg;
   cfg.filter.q = opts.number("q", 0.02);
@@ -119,6 +168,8 @@ int cmd_trust(const std::string& path, const Options& opts) {
   const data::RatingTrace trace = load_trace(path);
   core::StreamingRatingSystem stream(system_config(opts),
                                      opts.number("epoch-days", 30.0));
+  CliTelemetry telemetry(opts);
+  telemetry.attach(stream);
   // Optional warm start.
   const std::string load_path = opts.text("load", "");
   // (Streaming system owns its store; a warm start would need a setter —
@@ -134,6 +185,7 @@ int cmd_trust(const std::string& path, const Options& opts) {
 
   for (const Rating& r : trace.ratings) stream.submit(r);
   stream.flush();
+  telemetry.finish();
 
   std::printf("rater_id,trust%s\n", prior.size() ? ",prior" : "");
   for (const auto& [id, record] : stream.system().trust_store().records()) {
@@ -159,8 +211,11 @@ int cmd_aggregate(const std::string& path, const Options& opts) {
   core::StreamingRatingSystem stream(system_config(opts),
                                      opts.number("epoch-days", 30.0),
                                      /*retention_epochs=*/1000000);
+  CliTelemetry telemetry(opts);
+  telemetry.attach(stream);
   for (const Rating& r : trace.ratings) stream.submit(r);
   stream.flush();
+  telemetry.finish();
   // Aggregate each product seen in the trace.
   std::map<ProductId, bool> products;
   for (const Rating& r : trace.ratings) products[r.product] = true;

@@ -508,6 +508,10 @@ struct CheckpointAccess {
       reader.next("filecrc value");
     }
     reader.expect("end");
+    // Observers are not checkpoint state; arm the one-shot audit warning
+    // that fires if nobody re-attaches one before the next epoch close
+    // (core/streaming.cpp). In-memory flag only — the format is unchanged.
+    s.observer_restore_warning_pending_ = true;
     return s;
   }
 };

@@ -53,6 +53,17 @@ void DurableStream::recover(const SystemConfig& config, double epoch_days,
                             std::size_t retention_epochs,
                             const IngestConfig& ingest) {
   namespace fs = std::filesystem;
+  const obs::SpanTimer recovery_span(options_.obs.trace, "recovery");
+  obs::MetricsRegistry* metrics = options_.obs.metrics;
+  const std::uint64_t recovery_t0 =
+      metrics != nullptr ? obs::monotonic_ns() : 0;
+  if (metrics != nullptr) {
+    checkpoints_written_ = &metrics->counter(
+        "trustrate_checkpoints_written_total", "Atomic checkpoints written");
+    checkpoint_write_seconds_ = &metrics->histogram(
+        "trustrate_checkpoint_write_seconds", obs::default_seconds_buckets(),
+        "Checkpoint serialize + atomic write latency");
+  }
   fs::create_directories(dir_);
 
   // A crash mid-atomic-write leaves a `.tmp` the rename never promoted; it
@@ -68,6 +79,22 @@ void DurableStream::recover(const SystemConfig& config, double epoch_days,
 
   const WalRecovered wal = read_wal(dir_);
   recovery_.wal_tail_truncated = wal.tail_truncated;
+  if (wal.tail_truncated) {
+    if (metrics != nullptr) {
+      metrics
+          ->counter("trustrate_wal_torn_tail_truncations_total",
+                    "Torn WAL tails truncated during recovery")
+          .add();
+    }
+    if (options_.obs.audit != nullptr) {
+      obs::AuditEvent e;
+      e.type = obs::AuditEventType::kWalTailTruncated;
+      e.value = static_cast<double>(wal.truncated_bytes);
+      e.detail = "truncated " + std::to_string(wal.truncated_bytes) +
+                 " torn byte(s) off the last WAL segment";
+      options_.obs.audit->record(e);
+    }
+  }
 
   const auto checkpoints = list_checkpoints(dir_);
   recovery_.recovered = wal.next_lsn > 0 || !checkpoints.empty();
@@ -85,6 +112,12 @@ void DurableStream::recover(const SystemConfig& config, double epoch_days,
       break;
     } catch (const CheckpointError&) {
       ++recovery_.corrupt_checkpoints;
+      if (metrics != nullptr) {
+        metrics
+            ->counter("trustrate_recovery_corrupt_checkpoints_total",
+                      "Checkpoint rungs skipped as corrupt during recovery")
+            .add();
+      }
     }
   }
 
@@ -109,21 +142,40 @@ void DurableStream::recover(const SystemConfig& config, double epoch_days,
         std::to_string(wal.first_lsn));
   }
 
+  // Observability attaches before replay: the replayed epochs re-emit their
+  // metrics and audit events, so a recovered process's telemetry describes
+  // the state it actually rebuilt. This re-attaches the epoch observer too,
+  // which is why the durable layer never triggers observer_not_restored.
+  stream_->set_observability(options_.obs);
   stream_->set_epoch_observer(
       [this](const EpochReport&, double /*epoch_start*/, double epoch_end) {
         observed_closes_.push_back(epoch_end);
       });
 
-  for (const auto& [lsn, record] : wal.records) {
-    if (lsn < replay_from) continue;
-    replay(record, lsn);
-    ++recovery_.replayed_records;
+  {
+    const obs::SpanTimer replay_span(options_.obs.trace, "recovery.replay");
+    for (const auto& [lsn, record] : wal.records) {
+      if (lsn < replay_from) continue;
+      replay(record, lsn);
+      ++recovery_.replayed_records;
+    }
+  }
+  if (metrics != nullptr) {
+    metrics
+        ->counter("trustrate_recovery_replayed_records_total",
+                  "WAL records applied during recovery")
+        .add(recovery_.replayed_records);
+    metrics
+        ->counter("trustrate_recovery_replayed_ratings_total",
+                  "Rating records among the replayed WAL records")
+        .add(recovery_.replayed_ratings);
   }
 
   WalOptions wal_options;
   wal_options.segment_bytes = options_.segment_bytes;
   wal_options.fsync = options_.fsync;
   wal_options.crash = options_.crash;
+  wal_options.obs = options_.obs;
   if (wal.next_lsn < replay_from) {
     // The log ends before the checkpoint (its tail segments are gone, e.g.
     // pruned). New records must take LSNs after the checkpoint, or the next
@@ -131,6 +183,15 @@ void DurableStream::recover(const SystemConfig& config, double epoch_days,
     wal_.emplace(dir_, replay_from, wal_options);
   } else {
     wal_.emplace(dir_, wal, wal_options);
+  }
+
+  if (metrics != nullptr) {
+    metrics
+        ->histogram("trustrate_recovery_seconds",
+                    obs::default_seconds_buckets(),
+                    "Full recovery ladder wall time (scan + load + replay)")
+        .observe(static_cast<double>(obs::monotonic_ns() - recovery_t0) *
+                 1e-9);
   }
 }
 
@@ -217,6 +278,9 @@ std::size_t DurableStream::flush() {
 }
 
 std::uint64_t DurableStream::checkpoint() {
+  const obs::SpanTimer span(options_.obs.trace, "checkpoint.write");
+  const std::uint64_t t0 =
+      checkpoint_write_seconds_ != nullptr ? obs::monotonic_ns() : 0;
   // The log must be on disk before a checkpoint claims to supersede it —
   // regardless of fsync policy.
   wal_->sync();
@@ -227,6 +291,11 @@ std::uint64_t DurableStream::checkpoint() {
   atomic_write_file(dir_ / checkpoint_name(lsn), out.str(), options_.crash);
 
   prune();
+  if (checkpoints_written_ != nullptr) checkpoints_written_->add();
+  if (checkpoint_write_seconds_ != nullptr) {
+    checkpoint_write_seconds_->observe(
+        static_cast<double>(obs::monotonic_ns() - t0) * 1e-9);
+  }
   return lsn;
 }
 

@@ -51,6 +51,11 @@ struct DurableOptions {
   std::size_t keep_checkpoints = 2;
   /// Crash-point injector for recovery testing; null in production.
   CrashInjector* crash = nullptr;
+  /// Observability (DESIGN.md §11), threaded down to the wrapped stream and
+  /// the WAL writer: recovery-ladder spans/counters, checkpoint-write
+  /// timing, and the torn-tail audit event. Out-of-band — recovered state
+  /// and on-disk bytes are identical with or without sinks.
+  obs::Observability obs;
 };
 
 class DurableStream {
@@ -114,6 +119,8 @@ class DurableStream {
   RecoveryInfo recovery_;
   std::optional<StreamingRatingSystem> stream_;
   std::optional<WalWriter> wal_;
+  obs::Counter* checkpoints_written_ = nullptr;
+  obs::Histogram* checkpoint_write_seconds_ = nullptr;
   /// Epoch-end times observed (via the stream's close observer) during the
   /// submit/flush/replay call in flight; cleared per call.
   std::vector<double> observed_closes_;

@@ -266,14 +266,48 @@ std::string WalWriter::segment_name(std::uint64_t lsn) {
 
 WalWriter::WalWriter(const std::filesystem::path& dir, std::uint64_t next_lsn,
                      const WalOptions& options)
-    : dir_(dir), options_(options), next_lsn_(next_lsn) {}
+    : dir_(dir), options_(options), next_lsn_(next_lsn) {
+  resolve_instruments();
+}
 
 WalWriter::WalWriter(const std::filesystem::path& dir,
                      const WalRecovered& recovered, const WalOptions& options)
     : dir_(dir), options_(options), next_lsn_(recovered.next_lsn) {
+  resolve_instruments();
   if (!recovered.active_segment.empty()) {
     open_segment(recovered.active_segment);
   }
+}
+
+void WalWriter::resolve_instruments() {
+  obs::MetricsRegistry* m = options_.obs.metrics;
+  if (m == nullptr) return;
+  records_total_ =
+      &m->counter("trustrate_wal_records_total", "Records appended to the WAL");
+  bytes_total_ = &m->counter("trustrate_wal_bytes_total",
+                             "Framed bytes appended to the WAL");
+  fsyncs_total_ =
+      &m->counter("trustrate_wal_fsyncs_total", "fsync barriers on the WAL");
+  segments_rotated_ = &m->counter("trustrate_wal_segments_rotated_total",
+                                  "WAL segment rotations");
+  append_seconds_ = &m->histogram("trustrate_wal_append_seconds",
+                                  obs::default_seconds_buckets(),
+                                  "WAL append latency (incl. any fsync)");
+  fsync_seconds_ =
+      &m->histogram("trustrate_wal_fsync_seconds",
+                    obs::default_seconds_buckets(), "WAL fsync latency");
+}
+
+void WalWriter::sync_segment() {
+  if (segment_ == nullptr) return;
+  const obs::SpanTimer span(options_.obs.trace, "wal.fsync");
+  const std::uint64_t t0 = fsync_seconds_ != nullptr ? obs::monotonic_ns() : 0;
+  segment_->sync();
+  if (fsync_seconds_ != nullptr) {
+    fsync_seconds_->observe(static_cast<double>(obs::monotonic_ns() - t0) *
+                            1e-9);
+  }
+  if (fsyncs_total_ != nullptr) fsyncs_total_->add();
 }
 
 void WalWriter::open_segment(const std::filesystem::path& path) {
@@ -284,27 +318,38 @@ void WalWriter::open_segment(const std::filesystem::path& path) {
 }
 
 void WalWriter::rotate() {
-  if (segment_ != nullptr && options_.fsync != FsyncPolicy::kNone) {
-    segment_->sync();
+  if (segment_ != nullptr) {
+    if (options_.fsync != FsyncPolicy::kNone) sync_segment();
+    if (segments_rotated_ != nullptr) segments_rotated_->add();
   }
   segment_.reset();
   open_segment(dir_ / segment_name(next_lsn_));
 }
 
 std::uint64_t WalWriter::append(const WalRecord& record) {
+  const obs::SpanTimer span(options_.obs.trace, "wal.append", 0,
+                            static_cast<std::int64_t>(next_lsn_));
+  const std::uint64_t t0 = append_seconds_ != nullptr ? obs::monotonic_ns() : 0;
   if (segment_ == nullptr || segment_->size() >= options_.segment_bytes) {
     rotate();
   }
-  segment_->append(encode_frame(record));
+  const std::string frame = encode_frame(record);
+  segment_->append(frame);
   const std::uint64_t lsn = next_lsn_++;
   if (options_.fsync == FsyncPolicy::kAlways) {
-    segment_->sync();
+    sync_segment();
+  }
+  if (records_total_ != nullptr) {
+    records_total_->add();
+    bytes_total_->add(frame.size());
+  }
+  if (append_seconds_ != nullptr) {
+    append_seconds_->observe(static_cast<double>(obs::monotonic_ns() - t0) *
+                             1e-9);
   }
   return lsn;
 }
 
-void WalWriter::sync() {
-  if (segment_ != nullptr) segment_->sync();
-}
+void WalWriter::sync() { sync_segment(); }
 
 }  // namespace trustrate::core::durable

@@ -46,6 +46,7 @@
 
 #include "core/durable/io.hpp"
 #include "core/ingest.hpp"
+#include "obs/observability.hpp"
 
 namespace trustrate::core::durable {
 
@@ -80,6 +81,10 @@ struct WalOptions {
   std::size_t segment_bytes = 1 << 20;  ///< rotation threshold
   FsyncPolicy fsync = FsyncPolicy::kEpoch;
   CrashInjector* crash = nullptr;
+  /// Observability (DESIGN.md §11): append/fsync/rotation counters, timing
+  /// histograms, and fsync spans. Out-of-band — the bytes on disk and the
+  /// record LSNs are identical with or without sinks.
+  obs::Observability obs;
 };
 
 /// Everything read_wal learns from the segment files on disk.
@@ -140,11 +145,23 @@ class WalWriter {
  private:
   void open_segment(const std::filesystem::path& path);
   void rotate();
+  /// fsyncs the active segment with span/counter/histogram instrumentation.
+  void sync_segment();
+  void resolve_instruments();
 
   std::filesystem::path dir_;
   WalOptions options_;
   std::uint64_t next_lsn_ = 0;
   std::unique_ptr<DurableFile> segment_;
+
+  /// Resolved once at construction (null when WalOptions::obs has no
+  /// registry); updates are relaxed atomics on the append path.
+  obs::Counter* records_total_ = nullptr;
+  obs::Counter* bytes_total_ = nullptr;
+  obs::Counter* fsyncs_total_ = nullptr;
+  obs::Counter* segments_rotated_ = nullptr;
+  obs::Histogram* append_seconds_ = nullptr;
+  obs::Histogram* fsync_seconds_ = nullptr;
 };
 
 }  // namespace trustrate::core::durable

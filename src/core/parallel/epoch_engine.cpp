@@ -10,18 +10,24 @@ namespace trustrate::core::parallel {
 ProductReport analyze_product(const ProductObservation& obs,
                               const StageContext& ctx) {
   const SystemConfig& config = *ctx.config;
+  trustrate::obs::TraceSink* trace =
+      ctx.obs != nullptr ? ctx.obs->trace : nullptr;
   TRUSTRATE_EXPECTS(is_time_sorted(obs.ratings),
                     "product ratings must be time-sorted");
   ProductReport pr;
   pr.product = obs.product;
 
   // Feature extraction I: the rating filter.
-  if (config.enable_filter) {
-    pr.filter_outcome = ctx.filter->filter(obs.ratings);
-  } else {
-    pr.filter_outcome = detect::NullFilter{}.filter(obs.ratings);
+  {
+    const trustrate::obs::SpanTimer span(trace, "product.filter", 0,
+                                         static_cast<std::int64_t>(obs.product));
+    if (config.enable_filter) {
+      pr.filter_outcome = ctx.filter->filter(obs.ratings);
+    } else {
+      pr.filter_outcome = detect::NullFilter{}.filter(obs.ratings);
+    }
+    pr.kept = pr.filter_outcome.kept_series(obs.ratings);
   }
-  pr.kept = pr.filter_outcome.kept_series(obs.ratings);
 
   // Feature extraction II: Procedure 1. A degenerate detector pass (fit
   // failure, or every window too short for the normal equations) must not
@@ -30,6 +36,8 @@ ProductReport analyze_product(const ProductObservation& obs,
   const RatingSeries& detector_input =
       config.detector_on_filtered ? pr.kept : obs.ratings;
   if (config.enable_ar_detector) {
+    const trustrate::obs::SpanTimer span(trace, "product.ar_detect", 0,
+                                         static_cast<std::int64_t>(obs.product));
     try {
       pr.suspicion =
           ctx.detector->analyze(detector_input, obs.t_start, obs.t_end);

@@ -38,6 +38,11 @@ struct StageContext {
   const SystemConfig* config = nullptr;
   const detect::BetaQuantileFilter* filter = nullptr;
   const detect::ArSuspicionDetector* detector = nullptr;
+  /// Observability bundle (may be null, or hold null sinks). Trace sinks
+  /// are thread-safe, so workers emit per-product spans concurrently;
+  /// span *content* stays deterministic (name, epoch, product id), only
+  /// timestamps vary. Strictly out-of-band — never read by the stages.
+  const obs::Observability* obs = nullptr;
 };
 
 /// The per-product stage of process_epoch: rating filter → AR suspicion

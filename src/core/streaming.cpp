@@ -1,6 +1,7 @@
 #include "core/streaming.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 
@@ -18,7 +19,45 @@ StreamingRatingSystem::StreamingRatingSystem(SystemConfig config,
 IngestClass StreamingRatingSystem::submit(const Rating& rating) {
   released_.clear();
   const IngestClass result = ingest_.submit(rating, released_);
+  if (ingest_submitted_ != nullptr) {
+    ingest_submitted_->add();
+    switch (result) {
+      case IngestClass::kAccepted:
+        ingest_accepted_->add();
+        break;
+      case IngestClass::kReordered:
+        ingest_accepted_->add();
+        ingest_reordered_->add();
+        break;
+      case IngestClass::kDuplicate:
+        ingest_duplicates_->add();
+        break;
+      case IngestClass::kLate:
+        ingest_late_->add();
+        ingest_quarantined_->add();
+        break;
+      case IngestClass::kMalformed:
+        ingest_malformed_->add();
+        ingest_quarantined_->add();
+        break;
+    }
+  }
+  if (obs_.audit != nullptr &&
+      (result == IngestClass::kLate || result == IngestClass::kMalformed)) {
+    obs::AuditEvent e;
+    e.type = obs::AuditEventType::kRatingQuarantined;
+    e.rater = rating.rater;
+    e.product = rating.product;
+    if (std::isfinite(rating.value)) e.value = rating.value;
+    // The buffer just dead-lettered this rating; its entry (when capacity
+    // allowed one) carries the classification reason.
+    e.detail = !ingest_.quarantine().empty()
+                   ? ingest_.quarantine().back().detail
+                   : to_string(result);
+    obs_.audit->record(e);
+  }
   for (const Rating& r : released_) route(r);
+  update_gauges();
   return result;
 }
 
@@ -59,6 +98,9 @@ void StreamingRatingSystem::fast_forward_empty_epochs(double now) {
     ++skip;
   }
   skipped_empty_epochs_ += skip;
+  if (epochs_skipped_empty_metric_ != nullptr) {
+    epochs_skipped_empty_metric_->add(static_cast<std::uint64_t>(skip));
+  }
 }
 
 std::size_t StreamingRatingSystem::flush() {
@@ -72,6 +114,9 @@ std::size_t StreamingRatingSystem::flush() {
 }
 
 void StreamingRatingSystem::close_epoch(double epoch_end) {
+  const auto ordinal = static_cast<std::uint64_t>(epochs_closed_) + 1;
+  const double span_start = epoch_start_;
+  const obs::SpanTimer span(obs_.trace, "epoch.close", ordinal);
   std::vector<ProductObservation> observations;
   observations.reserve(pending_.size());
   for (auto& [product, series] : pending_) {
@@ -91,6 +136,24 @@ void StreamingRatingSystem::close_epoch(double epoch_end) {
               return a.product < b.product;
             });
 
+  // One-shot recovery warning: epoch observers are not checkpoint state.
+  // If nobody re-attached one by the first close after a restore, the
+  // conformance/monitoring hook is silently gone — say so, once, in the
+  // audit log. (The durable layer always re-attaches its own observer
+  // before replay, so it clears this without an event.)
+  if (observer_restore_warning_pending_) {
+    observer_restore_warning_pending_ = false;
+    if (!epoch_observer_ && obs_.audit != nullptr) {
+      obs::AuditEvent e;
+      e.type = obs::AuditEventType::kObserverNotRestored;
+      e.epoch = ordinal;
+      e.detail =
+          "first epoch close after checkpoint recovery with no epoch "
+          "observer re-attached";
+      obs_.audit->record(e);
+    }
+  }
+
   EpochHealth health = EpochHealth::kHealthy;
   if (!observations.empty()) {
     const EpochReport report = system_.process_epoch(observations);
@@ -107,6 +170,20 @@ void StreamingRatingSystem::close_epoch(double epoch_end) {
   epoch_start_ = epoch_end;
   ++epochs_closed_;
   epoch_health_.push_back(health);
+  if (epochs_closed_metric_ != nullptr) epochs_closed_metric_->add();
+  if (health == EpochHealth::kDegradedDetector) {
+    if (epochs_degraded_metric_ != nullptr) epochs_degraded_metric_->add();
+    if (obs_.audit != nullptr) {
+      obs::AuditEvent e;
+      e.type = obs::AuditEventType::kDegradedEpoch;
+      e.epoch = ordinal;
+      e.window_start = span_start;
+      e.window_end = epoch_end;
+      e.detail = "AR detector contributed nothing; beta-filter-only path";
+      obs_.audit->record(e);
+    }
+  }
+  update_gauges();
 }
 
 std::size_t StreamingRatingSystem::degraded_epochs() const {
@@ -133,6 +210,68 @@ std::size_t StreamingRatingSystem::pending_ratings() const {
   std::size_t n = 0;
   for (const auto& [product, series] : pending_) n += series.size();
   return n;
+}
+
+void StreamingRatingSystem::set_observability(const obs::Observability& o) {
+  obs_ = o;
+  system_.set_observability(o);
+  if (o.metrics != nullptr) {
+    obs::MetricsRegistry& m = *o.metrics;
+    ingest_submitted_ = &m.counter("trustrate_ingest_submitted_total",
+                                   "Ratings offered to submit()");
+    ingest_accepted_ = &m.counter("trustrate_ingest_accepted_total",
+                                  "Ratings accepted (includes reordered)");
+    ingest_reordered_ = &m.counter(
+        "trustrate_ingest_reordered_total",
+        "Ratings accepted out of order within the lateness bound");
+    ingest_duplicates_ = &m.counter("trustrate_ingest_duplicates_total",
+                                    "Exact resubmissions dropped");
+    ingest_late_ = &m.counter("trustrate_ingest_late_total",
+                              "Ratings dropped behind the watermark");
+    ingest_malformed_ = &m.counter("trustrate_ingest_malformed_total",
+                                   "Ratings failing validation");
+    ingest_quarantined_ = &m.counter(
+        "trustrate_ingest_quarantined_total",
+        "Dead-lettered ratings (late + malformed)");
+    epochs_closed_metric_ =
+        &m.counter("trustrate_epochs_closed_total", "Epochs closed");
+    epochs_degraded_metric_ = &m.counter(
+        "trustrate_epochs_degraded_total",
+        "Epochs that fell back to the beta-filter-only path");
+    epochs_skipped_empty_metric_ = &m.counter(
+        "trustrate_epochs_skipped_empty_total",
+        "Fully empty epochs fast-forwarded over");
+    quarantine_size_gauge_ = &m.gauge("trustrate_quarantine_size",
+                                      "Dead-letter list occupancy");
+    pending_gauge_ = &m.gauge(
+        "trustrate_pending_ratings",
+        "Ratings routed into the current epoch but not yet processed");
+    buffered_gauge_ = &m.gauge(
+        "trustrate_buffered_ratings",
+        "Accepted ratings still held by the reordering buffer");
+    update_gauges();
+  } else {
+    ingest_submitted_ = nullptr;
+    ingest_accepted_ = nullptr;
+    ingest_reordered_ = nullptr;
+    ingest_duplicates_ = nullptr;
+    ingest_late_ = nullptr;
+    ingest_malformed_ = nullptr;
+    ingest_quarantined_ = nullptr;
+    epochs_closed_metric_ = nullptr;
+    epochs_degraded_metric_ = nullptr;
+    epochs_skipped_empty_metric_ = nullptr;
+    quarantine_size_gauge_ = nullptr;
+    pending_gauge_ = nullptr;
+    buffered_gauge_ = nullptr;
+  }
+}
+
+void StreamingRatingSystem::update_gauges() {
+  if (pending_gauge_ == nullptr) return;
+  pending_gauge_->set(static_cast<double>(pending_ratings()));
+  buffered_gauge_->set(static_cast<double>(ingest_.buffered()));
+  quarantine_size_gauge_->set(static_cast<double>(ingest_.quarantine().size()));
 }
 
 }  // namespace trustrate::core

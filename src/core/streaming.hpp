@@ -135,6 +135,14 @@ class StreamingRatingSystem {
   double epoch_days() const { return epoch_days_; }
   std::size_t retention_epochs() const { return retention_epochs_; }
 
+  /// Attaches the observability bundle (DESIGN.md §11) to the stream and
+  /// the wrapped batch system: ingest-class counters, epoch health
+  /// counters/gauges, epoch-close spans, and audit events (quarantined
+  /// ratings, degraded epochs, the one-shot observer_not_restored warning).
+  /// Out-of-band — classifications, reports, and trust are identical with
+  /// any combination of sinks. Not checkpointed; re-attach after restore.
+  void set_observability(const obs::Observability& o);
+
  private:
   friend struct CheckpointAccess;  ///< checkpoint.cpp serializes the state
 
@@ -168,6 +176,30 @@ class StreamingRatingSystem {
     std::vector<RatingSeries> epochs;
   };
   std::unordered_map<ProductId, Retained> retained_;
+
+  /// Refreshes the backlog gauges (pending / buffered / quarantine sizes).
+  void update_gauges();
+
+  obs::Observability obs_;
+  obs::Counter* ingest_submitted_ = nullptr;
+  obs::Counter* ingest_accepted_ = nullptr;
+  obs::Counter* ingest_reordered_ = nullptr;
+  obs::Counter* ingest_duplicates_ = nullptr;
+  obs::Counter* ingest_late_ = nullptr;
+  obs::Counter* ingest_malformed_ = nullptr;
+  obs::Counter* ingest_quarantined_ = nullptr;
+  obs::Counter* epochs_closed_metric_ = nullptr;
+  obs::Counter* epochs_degraded_metric_ = nullptr;
+  obs::Counter* epochs_skipped_empty_metric_ = nullptr;
+  obs::Gauge* quarantine_size_gauge_ = nullptr;
+  obs::Gauge* pending_gauge_ = nullptr;
+  obs::Gauge* buffered_gauge_ = nullptr;
+
+  /// Set by checkpoint recovery (core/checkpoint.cpp): epoch observers are
+  /// not checkpoint state, so the first epoch close after a restore emits a
+  /// one-shot observer_not_restored audit event unless the caller (or the
+  /// durable layer) re-attached one. In-memory only — never serialized.
+  bool observer_restore_warning_pending_ = false;
 };
 
 }  // namespace trustrate::core

@@ -20,13 +20,56 @@ TrustEnhancedRatingSystem::TrustEnhancedRatingSystem(SystemConfig config)
 }
 
 TrustEnhancedRatingSystem::~TrustEnhancedRatingSystem() = default;
+
+// Moves are member-wise except for the trust-store observer, which captures
+// `this` (wire_store_observer) and must be re-bound to the new address.
 TrustEnhancedRatingSystem::TrustEnhancedRatingSystem(
-    TrustEnhancedRatingSystem&&) noexcept = default;
+    TrustEnhancedRatingSystem&& other) noexcept
+    : config_(other.config_),
+      filter_(std::move(other.filter_)),
+      detector_(std::move(other.detector_)),
+      engine_(std::move(other.engine_)),
+      store_(std::move(other.store_)),
+      recommendations_(std::move(other.recommendations_)),
+      epochs_(other.epochs_),
+      obs_(other.obs_),
+      epoch_seconds_(other.epoch_seconds_),
+      analyze_seconds_(other.analyze_seconds_),
+      trust_update_seconds_(other.trust_update_seconds_),
+      suspicious_intervals_(other.suspicious_intervals_),
+      trust_demotions_(other.trust_demotions_),
+      trust_transitions_(std::move(other.trust_transitions_)) {
+  wire_store_observer();
+}
+
 TrustEnhancedRatingSystem& TrustEnhancedRatingSystem::operator=(
-    TrustEnhancedRatingSystem&&) noexcept = default;
+    TrustEnhancedRatingSystem&& other) noexcept {
+  if (this != &other) {
+    config_ = other.config_;
+    filter_ = std::move(other.filter_);
+    detector_ = std::move(other.detector_);
+    engine_ = std::move(other.engine_);
+    store_ = std::move(other.store_);
+    recommendations_ = std::move(other.recommendations_);
+    epochs_ = other.epochs_;
+    obs_ = other.obs_;
+    epoch_seconds_ = other.epoch_seconds_;
+    analyze_seconds_ = other.analyze_seconds_;
+    trust_update_seconds_ = other.trust_update_seconds_;
+    suspicious_intervals_ = other.suspicious_intervals_;
+    trust_demotions_ = other.trust_demotions_;
+    trust_transitions_ = std::move(other.trust_transitions_);
+    wire_store_observer();
+  }
+  return *this;
+}
 
 EpochReport TrustEnhancedRatingSystem::process_epoch(
     std::span<const ProductObservation> observations) {
+  const auto epoch_ordinal = static_cast<std::uint64_t>(epochs_) + 1;
+  const obs::SpanTimer epoch_span(obs_.trace, "epoch.process", epoch_ordinal);
+  const std::uint64_t epoch_t0 =
+      epoch_seconds_ != nullptr ? obs::monotonic_ns() : 0;
   EpochReport report;
 
   // Record maintenance: fade old evidence before folding in the new epoch.
@@ -35,8 +78,18 @@ EpochReport TrustEnhancedRatingSystem::process_epoch(
   // Stage 1 — independent per-product analysis (filter → Procedure 1 →
   // flags), sharded across the epoch engine. Slot i of `products` holds
   // observation i's report regardless of which worker computed it.
-  const parallel::StageContext ctx{&config_, &filter_, &detector_};
-  std::vector<ProductReport> products = engine_->analyze(observations, ctx);
+  const parallel::StageContext ctx{&config_, &filter_, &detector_, &obs_};
+  std::vector<ProductReport> products;
+  {
+    const obs::SpanTimer span(obs_.trace, "epoch.analyze", epoch_ordinal);
+    const std::uint64_t t0 =
+        analyze_seconds_ != nullptr ? obs::monotonic_ns() : 0;
+    products = engine_->analyze(observations, ctx);
+    if (analyze_seconds_ != nullptr) {
+      analyze_seconds_->observe(
+          static_cast<double>(obs::monotonic_ns() - t0) * 1e-9);
+    }
+  }
 
   // Stage 2 — deterministic merge in input-slot order. Every accumulation
   // below (metrics, per-rater n/f/s/C) runs in exactly the order of the
@@ -85,11 +138,164 @@ EpochReport TrustEnhancedRatingSystem::process_epoch(
   }
 
   // Procedure 2: one trust update per active rater.
-  for (const auto& [rater, obs] : epoch_obs) {
-    store_.update(rater, obs, config_.b);
+  trust_transitions_.clear();
+  {
+    const obs::SpanTimer span(obs_.trace, "epoch.trust_update", epoch_ordinal);
+    const std::uint64_t t0 =
+        trust_update_seconds_ != nullptr ? obs::monotonic_ns() : 0;
+    for (const auto& [rater, obs] : epoch_obs) {
+      store_.update(rater, obs, config_.b);
+    }
+    if (trust_update_seconds_ != nullptr) {
+      trust_update_seconds_->observe(
+          static_cast<double>(obs::monotonic_ns() - t0) * 1e-9);
+    }
   }
   ++epochs_;
+  if (obs_.enabled()) {
+    finish_epoch_observability(epoch_ordinal, report, observations, epoch_obs);
+  }
+  if (epoch_seconds_ != nullptr) {
+    epoch_seconds_->observe(
+        static_cast<double>(obs::monotonic_ns() - epoch_t0) * 1e-9);
+  }
   return report;
+}
+
+void TrustEnhancedRatingSystem::set_observability(const obs::Observability& o) {
+  obs_ = o;
+  filter_.set_observability(o);
+  detector_.set_observability(o);
+  if (o.metrics != nullptr) {
+    epoch_seconds_ = &o.metrics->histogram(
+        "trustrate_epoch_process_seconds", obs::default_seconds_buckets(),
+        "Full process_epoch wall time");
+    analyze_seconds_ = &o.metrics->histogram(
+        "trustrate_epoch_analyze_seconds", obs::default_seconds_buckets(),
+        "Per-product analysis stage (filter + AR sweep) wall time");
+    trust_update_seconds_ = &o.metrics->histogram(
+        "trustrate_epoch_trust_update_seconds", obs::default_seconds_buckets(),
+        "Procedure-2 trust update stage wall time");
+    suspicious_intervals_ = &o.metrics->counter(
+        "trustrate_suspicious_intervals_total",
+        "Suspicious window runs opened by Procedure 1");
+    trust_demotions_ = &o.metrics->counter(
+        "trustrate_trust_demotions_total",
+        "Raters whose trust crossed below the malicious threshold");
+  } else {
+    epoch_seconds_ = nullptr;
+    analyze_seconds_ = nullptr;
+    trust_update_seconds_ = nullptr;
+    suspicious_intervals_ = nullptr;
+    trust_demotions_ = nullptr;
+  }
+  wire_store_observer();
+}
+
+void TrustEnhancedRatingSystem::wire_store_observer() {
+  if (obs_.enabled()) {
+    store_.set_update_observer([this](RaterId id, double before, double after) {
+      trust_transitions_.push_back({id, before, after});
+    });
+  } else {
+    store_.set_update_observer({});
+  }
+}
+
+void TrustEnhancedRatingSystem::finish_epoch_observability(
+    std::uint64_t epoch_ordinal, const EpochReport& report,
+    std::span<const ProductObservation> observations,
+    const std::unordered_map<RaterId, trust::EpochObservation>& epoch_obs) {
+  const double threshold = config_.ar.error_threshold;
+
+  // Per product (input-slot order): filtered ratings, then suspicious
+  // window runs. Both streams are deterministic — slot order is the
+  // epoch's canonical product order and windows are time-ordered.
+  for (std::size_t slot = 0; slot < report.products.size(); ++slot) {
+    const ProductReport& pr = report.products[slot];
+    const ProductObservation& po = observations[slot];
+    if (obs_.audit != nullptr) {
+      for (const std::size_t i : pr.filter_outcome.removed) {
+        obs::AuditEvent e;
+        e.type = obs::AuditEventType::kRatingFiltered;
+        e.epoch = epoch_ordinal;
+        e.rater = po.ratings[i].rater;
+        e.product = pr.product;
+        e.value = po.ratings[i].value;
+        obs_.audit->record(e);
+      }
+    }
+    // A suspicious *interval* opens at each evaluated-window transition
+    // into suspicion (the run bookkeeping of Procedure 1, DESIGN.md §6).
+    bool prev_suspicious = false;
+    for (const detect::WindowReport& w : pr.suspicion.windows) {
+      if (!w.evaluated) continue;
+      if (w.suspicious && !prev_suspicious) {
+        if (suspicious_intervals_ != nullptr) suspicious_intervals_->add();
+        if (obs_.audit != nullptr) {
+          obs::AuditEvent e;
+          e.type = obs::AuditEventType::kSuspiciousInterval;
+          e.epoch = epoch_ordinal;
+          e.product = pr.product;
+          e.window_start = w.window.start;
+          e.window_end = w.window.end;
+          e.model_error = w.model_error;
+          e.threshold = threshold;
+          e.value = w.level;
+          obs_.audit->record(e);
+        }
+      }
+      prev_suspicious = w.suspicious;
+    }
+  }
+
+  // C(i) increments, rater-sorted: the soft-evidence half of Procedure 2,
+  // with the epoch's hard counts in `detail` so the update is replayable
+  // from the log alone.
+  if (obs_.audit != nullptr) {
+    std::vector<RaterId> raters;
+    for (const auto& [rater, o] : epoch_obs) {
+      if (o.suspicion_value > 0.0) raters.push_back(rater);
+    }
+    std::sort(raters.begin(), raters.end());
+    for (const RaterId rater : raters) {
+      const trust::EpochObservation& o = epoch_obs.at(rater);
+      obs::AuditEvent e;
+      e.type = obs::AuditEventType::kSuspicionIncrement;
+      e.epoch = epoch_ordinal;
+      e.rater = rater;
+      e.value = o.suspicion_value;
+      e.detail = "n=" + std::to_string(o.ratings) +
+                 " f=" + std::to_string(o.filtered) +
+                 " s=" + std::to_string(o.suspicious);
+      obs_.audit->record(e);
+    }
+  }
+
+  // Trust demotions, rater-sorted: Procedure-2 updates that moved a rater
+  // from at-or-above the malicious threshold to below it.
+  std::sort(trust_transitions_.begin(), trust_transitions_.end(),
+            [](const TrustTransition& a, const TrustTransition& b) {
+              return a.rater < b.rater;
+            });
+  for (const TrustTransition& t : trust_transitions_) {
+    if (!(t.before >= config_.malicious_threshold &&
+          t.after < config_.malicious_threshold)) {
+      continue;
+    }
+    if (trust_demotions_ != nullptr) trust_demotions_->add();
+    if (obs_.audit != nullptr) {
+      obs::AuditEvent e;
+      e.type = obs::AuditEventType::kTrustDemotion;
+      e.epoch = epoch_ordinal;
+      e.rater = t.rater;
+      e.threshold = config_.malicious_threshold;
+      e.value = t.after;
+      e.detail = "before=" + std::to_string(t.before);
+      obs_.audit->record(e);
+    }
+  }
+  trust_transitions_.clear();
 }
 
 std::vector<RaterId> TrustEnhancedRatingSystem::malicious() const {
@@ -130,6 +336,9 @@ void TrustEnhancedRatingSystem::restore(trust::TrustStore store,
                                         std::size_t epochs_processed) {
   store_ = std::move(store);
   epochs_ = epochs_processed;
+  // The moved-in store has no observer; re-attach ours (the hook is not
+  // checkpoint state — see TrustStore::set_update_observer).
+  wire_store_observer();
 }
 
 void TrustEnhancedRatingSystem::add_recommendation(const trust::Recommendation& rec) {

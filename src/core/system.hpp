@@ -30,6 +30,7 @@
 #include "core/metrics.hpp"
 #include "detect/ar_detector.hpp"
 #include "detect/beta_filter.hpp"
+#include "obs/observability.hpp"
 #include "trust/propagation.hpp"
 #include "trust/record.hpp"
 
@@ -162,7 +163,26 @@ class TrustEnhancedRatingSystem {
   /// untouched.
   void restore(trust::TrustStore store, std::size_t epochs_processed);
 
+  /// Attaches the observability bundle (DESIGN.md §11): epoch stage spans,
+  /// detection audit events (filtered ratings, suspicious intervals, C(i)
+  /// increments, trust demotions), and the filter/detector instruments.
+  /// Strictly out-of-band — process_epoch results and the trust store are
+  /// bitwise-identical with any combination of sinks. Not checkpointed;
+  /// call before processing (never concurrently with it).
+  void set_observability(const obs::Observability& o);
+
  private:
+  /// Deterministic-count metrics and audit-log emissions for one processed
+  /// epoch, in canonical order (slot, then window position, then rater).
+  void finish_epoch_observability(
+      std::uint64_t epoch_ordinal, const EpochReport& report,
+      std::span<const ProductObservation> observations,
+      const std::unordered_map<RaterId, trust::EpochObservation>& epoch_obs);
+
+  /// (Re-)attaches the trust-store update observer that feeds
+  /// trust_transitions_ (store replacement on restore drops it).
+  void wire_store_observer();
+
   SystemConfig config_;
   detect::BetaQuantileFilter filter_;
   detect::ArSuspicionDetector detector_;
@@ -170,6 +190,22 @@ class TrustEnhancedRatingSystem {
   trust::TrustStore store_;
   trust::RecommendationBuffer recommendations_;
   std::size_t epochs_ = 0;
+
+  obs::Observability obs_;
+  obs::Histogram* epoch_seconds_ = nullptr;
+  obs::Histogram* analyze_seconds_ = nullptr;
+  obs::Histogram* trust_update_seconds_ = nullptr;
+  obs::Counter* suspicious_intervals_ = nullptr;
+  obs::Counter* trust_demotions_ = nullptr;
+
+  /// Scratch: (rater, before, after) per Procedure-2 update of the epoch
+  /// in flight, filled by the store observer, sorted before audit emission.
+  struct TrustTransition {
+    RaterId rater;
+    double before;
+    double after;
+  };
+  std::vector<TrustTransition> trust_transitions_;
 };
 
 }  // namespace trustrate::core

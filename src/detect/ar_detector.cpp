@@ -22,6 +22,24 @@ ArSuspicionDetector::ArSuspicionDetector(ArDetectorConfig config)
   }
 }
 
+void ArSuspicionDetector::set_observability(const obs::Observability& o) {
+  if (o.metrics == nullptr) {
+    fit_seconds_ = nullptr;
+    windows_evaluated_ = nullptr;
+    windows_suspicious_ = nullptr;
+    return;
+  }
+  fit_seconds_ = &o.metrics->histogram(
+      "trustrate_ar_fit_seconds", obs::default_seconds_buckets(),
+      "Per-window AR model fit wall time (Procedure 1)");
+  windows_evaluated_ = &o.metrics->counter(
+      "trustrate_ar_windows_evaluated_total",
+      "AR windows with enough ratings for the normal equations");
+  windows_suspicious_ = &o.metrics->counter(
+      "trustrate_ar_windows_suspicious_total",
+      "AR windows whose model error fell below the threshold");
+}
+
 double ArSuspicionDetector::window_error(std::span<const double> values) const {
   const signal::ArOptions options{.demean = config_.demean};
   signal::ArModel model;
@@ -100,11 +118,20 @@ SuspicionResult ArSuspicionDetector::analyze(const RatingSeries& series,
     values.reserve(n);
     for (std::size_t i = r.first; i < r.last; ++i) values.push_back(series[i].value);
 
-    r.model_error = window_error(values);
+    if (fit_seconds_ != nullptr) {
+      const std::uint64_t fit_start = obs::monotonic_ns();
+      r.model_error = window_error(values);
+      fit_seconds_->observe(
+          static_cast<double>(obs::monotonic_ns() - fit_start) * 1e-9);
+    } else {
+      r.model_error = window_error(values);
+    }
     r.evaluated = true;
+    if (windows_evaluated_ != nullptr) windows_evaluated_->add();
     const std::size_t ordinal = eval_ordinal++;
     if (r.model_error < config_.error_threshold) {
       r.suspicious = true;
+      if (windows_suspicious_ != nullptr) windows_suspicious_->add();
       r.level = config_.scale * (1.0 - r.model_error / config_.error_threshold);
 
       for (std::size_t i = r.first; i < r.last; ++i) {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/observability.hpp"
 #include "signal/ar.hpp"
 #include "signal/window.hpp"
 
@@ -113,11 +114,23 @@ class ArSuspicionDetector {
   const ArDetectorConfig& config() const { return config_; }
   std::string name() const { return "ar-suspicion"; }
 
+  /// Attaches metrics (per-window fit timing histogram, evaluated /
+  /// suspicious window counters). Strictly out-of-band: analyze() results
+  /// are bit-identical with or without instrumentation. Must not be called
+  /// concurrently with analyze(); the cached instruments themselves are
+  /// safe for concurrent analyze() calls (relaxed atomics).
+  void set_observability(const obs::Observability& o);
+
  private:
   /// Fits the configured estimator; returns the normalized model error.
   double window_error(std::span<const double> values) const;
 
   ArDetectorConfig config_;
+
+  /// Instruments resolved once at set_observability (null when disabled).
+  obs::Histogram* fit_seconds_ = nullptr;
+  obs::Counter* windows_evaluated_ = nullptr;
+  obs::Counter* windows_suspicious_ = nullptr;
 };
 
 }  // namespace trustrate::detect

@@ -50,7 +50,33 @@ BetaQuantileFilter::BetaQuantileFilter(BetaFilterConfig config) : config_(config
                     "beta filter needs at least one iteration");
 }
 
+void BetaQuantileFilter::set_observability(const obs::Observability& o) {
+  if (o.metrics == nullptr) {
+    filter_seconds_ = nullptr;
+    ratings_filtered_ = nullptr;
+    return;
+  }
+  filter_seconds_ = &o.metrics->histogram(
+      "trustrate_filter_seconds", obs::default_seconds_buckets(),
+      "Per-product beta filter pass wall time (Feature Extraction I)");
+  ratings_filtered_ = &o.metrics->counter(
+      "trustrate_ratings_filtered_total",
+      "Ratings removed by the beta quantile filter");
+}
+
 FilterOutcome BetaQuantileFilter::filter(const RatingSeries& series) const {
+  const std::uint64_t start =
+      filter_seconds_ != nullptr ? obs::monotonic_ns() : 0;
+  FilterOutcome out = filter_impl(series);
+  if (filter_seconds_ != nullptr) {
+    filter_seconds_->observe(
+        static_cast<double>(obs::monotonic_ns() - start) * 1e-9);
+  }
+  if (ratings_filtered_ != nullptr) ratings_filtered_->add(out.removed.size());
+  return out;
+}
+
+FilterOutcome BetaQuantileFilter::filter_impl(const RatingSeries& series) const {
   FilterOutcome out;
   out.kept.resize(series.size());
   std::iota(out.kept.begin(), out.kept.end(), 0);

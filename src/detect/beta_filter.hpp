@@ -10,6 +10,7 @@
 #pragma once
 
 #include "detect/filter.hpp"
+#include "obs/observability.hpp"
 
 namespace trustrate::detect {
 
@@ -37,8 +38,18 @@ class BetaQuantileFilter final : public RatingFilter {
 
   const BetaFilterConfig& config() const { return config_; }
 
+  /// Attaches metrics (per-call filter timing, removed-rating counter).
+  /// Out-of-band: filter() outcomes are identical either way. Must not
+  /// race filter(); the instruments themselves are thread-safe.
+  void set_observability(const obs::Observability& o);
+
  private:
+  FilterOutcome filter_impl(const RatingSeries& series) const;
+
   BetaFilterConfig config_;
+
+  obs::Histogram* filter_seconds_ = nullptr;
+  obs::Counter* ratings_filtered_ = nullptr;
 };
 
 }  // namespace trustrate::detect

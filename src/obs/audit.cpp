@@ -1,0 +1,104 @@
+#include "obs/audit.hpp"
+
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace trustrate::obs {
+namespace {
+
+std::string format_number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void append_field(std::string& out, const char* key,
+                  const std::optional<double>& v) {
+  if (v.has_value()) {
+    out += std::string(",\"") + key + "\":" + format_number(*v);
+  }
+}
+
+}  // namespace
+
+const char* to_string(AuditEventType type) {
+  switch (type) {
+    case AuditEventType::kRatingQuarantined:   return "rating_quarantined";
+    case AuditEventType::kRatingFiltered:      return "rating_filtered";
+    case AuditEventType::kSuspiciousInterval:  return "suspicious_interval";
+    case AuditEventType::kSuspicionIncrement:  return "suspicion_increment";
+    case AuditEventType::kTrustDemotion:       return "trust_demotion";
+    case AuditEventType::kDegradedEpoch:       return "degraded_epoch";
+    case AuditEventType::kObserverNotRestored: return "observer_not_restored";
+    case AuditEventType::kWalTailTruncated:    return "wal_tail_truncated";
+  }
+  return "unknown";
+}
+
+std::string to_jsonl(const AuditEvent& event) {
+  std::string out =
+      std::string("{\"event\":\"") + to_string(event.type) + '"';
+  if (event.epoch != 0) out += ",\"epoch\":" + std::to_string(event.epoch);
+  if (event.rater.has_value()) {
+    out += ",\"rater\":" + std::to_string(*event.rater);
+  }
+  if (event.product.has_value()) {
+    out += ",\"product\":" + std::to_string(*event.product);
+  }
+  append_field(out, "window_start", event.window_start);
+  append_field(out, "window_end", event.window_end);
+  append_field(out, "model_error", event.model_error);
+  append_field(out, "threshold", event.threshold);
+  append_field(out, "value", event.value);
+  if (!event.detail.empty()) {
+    out += ",\"detail\":\"" + json_escape(event.detail) + '"';
+  }
+  out += '}';
+  return out;
+}
+
+MemoryAuditSink::MemoryAuditSink(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void MemoryAuditSink::record(const AuditEvent& event) {
+  std::lock_guard lock(mutex_);
+  ++recorded_;
+  if (events_.size() == capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+  events_.push_back(event);
+}
+
+std::vector<AuditEvent> MemoryAuditSink::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return {events_.begin(), events_.end()};
+}
+
+std::vector<AuditEvent> MemoryAuditSink::of_type(AuditEventType type) const {
+  std::lock_guard lock(mutex_);
+  std::vector<AuditEvent> out;
+  for (const AuditEvent& e : events_) {
+    if (e.type == type) out.push_back(e);
+  }
+  return out;
+}
+
+std::uint64_t MemoryAuditSink::recorded() const {
+  std::lock_guard lock(mutex_);
+  return recorded_;
+}
+
+std::uint64_t MemoryAuditSink::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+void JsonlAuditSink::record(const AuditEvent& event) {
+  const std::string line = to_jsonl(event);
+  std::lock_guard lock(mutex_);
+  out_ << line << '\n';
+}
+
+}  // namespace trustrate::obs

@@ -1,0 +1,118 @@
+// Structured detection audit log (ISSUE 5 tentpole): one event per
+// consequential pipeline decision, with enough fields to reconstruct the
+// paper's Procedure 1/2 reasoning for any rater — the operator-facing
+// requirement BIRDNEST (Hooi et al.) and Allahbakhsh et al.'s collusion-
+// querying work both stress: a human must be able to ask *which* evidence
+// flagged *whom*.
+//
+// Event inventory (emitted by core/streaming, core/system, core/durable):
+//
+//   rating_quarantined     a submission was dead-lettered (late/malformed)
+//   rating_filtered        the beta filter removed a rating (f_i evidence)
+//   suspicious_interval    Procedure 1 opened a suspicious window run
+//                          (window bounds, model error e(k), threshold)
+//   suspicion_increment    a rater's C(i) grew this epoch (soft evidence)
+//   trust_demotion         a Procedure-2 update moved a rater's trust from
+//                          >= the malicious threshold to below it
+//   degraded_epoch         an epoch fell back to the beta-filter-only path
+//   observer_not_restored  first epoch close after a checkpoint restore
+//                          found no epoch observer re-attached
+//   wal_tail_truncated     recovery cut a torn tail off the WAL
+//
+// Events are **deterministic**: no wall-clock fields, and emitters order
+// same-epoch events canonically (by rater / product / window position), so
+// two runs of the same stream produce byte-identical audit logs — the
+// JSONL output is golden-testable and diffable across runs. Wall-clock
+// belongs to tracing (obs/trace.hpp).
+//
+// Sinks must be thread-safe (same contract as TraceSink).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace trustrate::obs {
+
+enum class AuditEventType : std::uint8_t {
+  kRatingQuarantined = 0,
+  kRatingFiltered,
+  kSuspiciousInterval,
+  kSuspicionIncrement,
+  kTrustDemotion,
+  kDegradedEpoch,
+  kObserverNotRestored,
+  kWalTailTruncated,
+};
+
+const char* to_string(AuditEventType type);
+
+/// One audit event. `epoch` is the 1-based pipeline epoch ordinal (0 when
+/// the decision is not tied to an epoch); optional fields are present
+/// exactly when meaningful for the event type.
+struct AuditEvent {
+  AuditEventType type = AuditEventType::kRatingQuarantined;
+  std::uint64_t epoch = 0;
+  std::optional<RaterId> rater;
+  std::optional<ProductId> product;
+  std::optional<double> window_start;  ///< suspicious window [start, end)
+  std::optional<double> window_end;
+  std::optional<double> model_error;   ///< e(k) that tripped the threshold
+  std::optional<double> threshold;
+  std::optional<double> value;  ///< C(i) increment / new trust / byte count
+  std::string detail;
+};
+
+/// One event as a JSON line: {"event":...,"epoch":...,...}. Field order is
+/// fixed (the declaration order above), values are rendered with %.17g —
+/// byte-stable for equal doubles.
+std::string to_jsonl(const AuditEvent& event);
+
+class AuditSink {
+ public:
+  virtual ~AuditSink() = default;
+  virtual void record(const AuditEvent& event) = 0;
+};
+
+/// Bounded in-memory sink: keeps the newest `capacity` events plus a total
+/// count. The in-process default for tests and interactive inspection.
+class MemoryAuditSink : public AuditSink {
+ public:
+  explicit MemoryAuditSink(std::size_t capacity = 65536);
+
+  void record(const AuditEvent& event) override;
+
+  std::vector<AuditEvent> snapshot() const;
+  /// Newest-last events of one type.
+  std::vector<AuditEvent> of_type(AuditEventType type) const;
+  std::uint64_t recorded() const;
+  std::uint64_t dropped() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<AuditEvent> events_;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Appends one JSON line per event to a caller-owned stream. The stream
+/// must outlive the sink.
+class JsonlAuditSink : public AuditSink {
+ public:
+  explicit JsonlAuditSink(std::ostream& out) : out_(out) {}
+
+  void record(const AuditEvent& event) override;
+
+ private:
+  std::mutex mutex_;
+  std::ostream& out_;
+};
+
+}  // namespace trustrate::obs

@@ -1,0 +1,12 @@
+// Tiny JSON string escaping shared by the trace and audit serializers.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace trustrate::obs {
+
+/// Escapes `"` `\` and control characters for embedding in a JSON string.
+std::string json_escape(std::string_view text);
+
+}  // namespace trustrate::obs

@@ -1,0 +1,123 @@
+// Thread-safe metrics registry (ISSUE 5 tentpole): named counters, gauges,
+// and fixed-bucket histograms with cheap relaxed-atomic hot-path updates,
+// snapshot-able to Prometheus text exposition and JSON.
+//
+// Conventions (DESIGN.md §11):
+//
+//  * every metric is prefixed `trustrate_`; counters end in `_total`,
+//    timing histograms end in `_seconds`;
+//  * **counters and gauges carry only deterministic pipeline counts**
+//    (ratings filtered, epochs closed, suspicious intervals, WAL records);
+//    **histograms carry only wall-clock timings**. The split keeps the
+//    reproducible signal (comparable across runs and platforms) cleanly
+//    separated from the non-reproducible one, and the golden-file tests
+//    (tests/observability_test.cpp) only pin the deterministic side.
+//  * registration is idempotent: asking for an existing name returns the
+//    existing instrument (a histogram keeps its original buckets).
+//
+// Hot-path cost: one relaxed atomic RMW per update, no locks. The registry
+// mutex is taken only at registration and snapshot time, so components
+// resolve their instruments once (at set_observability) and keep raw
+// pointers; instrument addresses are stable for the registry's lifetime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace trustrate::obs {
+
+/// Monotonic counter (deterministic pipeline counts only — see the file
+/// comment). Relaxed atomics: updates never order anything.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins gauge (deterministic instantaneous values: queue depths,
+/// quarantine size).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram (wall-clock timings only). Bucket i counts
+/// observations <= bounds[i]; one implicit +Inf bucket catches the rest.
+/// Cumulative counts are computed at snapshot time, so observe() touches
+/// exactly one bucket counter plus the sum and count.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts, one per bound plus the +Inf slot.
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;  ///< ascending upper bounds
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default bucket bounds for `_seconds` histograms: 1 µs .. ~8 s in
+/// power-of-4 steps (timings in this pipeline span WAL appends to full
+/// epoch closes).
+std::vector<double> default_seconds_buckets();
+
+/// Named-instrument registry. All methods are thread-safe; returned
+/// references stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name, std::string_view help = "");
+  Gauge& gauge(std::string_view name, std::string_view help = "");
+  /// `bounds` is used only on first registration; a later call with the
+  /// same name returns the existing histogram unchanged.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds,
+                       std::string_view help = "");
+
+  /// Prometheus text exposition (content-type text/plain; version=0.0.4):
+  /// `# HELP` / `# TYPE` headers, `_bucket{le=...}` cumulative buckets,
+  /// `_sum` / `_count` per histogram. Metric order is name-sorted, so the
+  /// snapshot is deterministic given deterministic values.
+  std::string prometheus() const;
+
+  /// JSON snapshot: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Counters/gauges (the deterministic side) are grouped apart from the
+  /// timing histograms.
+  std::string json() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& entry(std::string_view name, Kind kind, std::string_view help);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace trustrate::obs

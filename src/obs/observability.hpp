@@ -1,0 +1,29 @@
+// The observability handle threaded through the pipeline (ISSUE 5): a
+// bundle of non-owning sink pointers. Default-constructed it is the null
+// configuration — every instrumented site then reduces to a pointer test,
+// and the pipeline's outputs are guaranteed bitwise-identical to an
+// uninstrumented build (the out-of-band contract, DESIGN.md §11, enforced
+// by the differential oracle running with instrumentation on and off).
+//
+// Ownership: the caller owns the registry and sinks; they must outlive
+// every component the bundle is handed to. Components copy the bundle (it
+// is three pointers) and resolve their metric instruments once.
+#pragma once
+
+#include "obs/audit.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace trustrate::obs {
+
+struct Observability {
+  MetricsRegistry* metrics = nullptr;
+  TraceSink* trace = nullptr;
+  AuditSink* audit = nullptr;
+
+  bool enabled() const {
+    return metrics != nullptr || trace != nullptr || audit != nullptr;
+  }
+};
+
+}  // namespace trustrate::obs

@@ -1,0 +1,54 @@
+#include "obs/trace.hpp"
+
+#include "obs/json.hpp"
+
+namespace trustrate::obs {
+
+std::string to_jsonl(const TraceSpan& span) {
+  std::string out = "{\"span\":\"" + json_escape(span.name) +
+                    "\",\"start_ns\":" + std::to_string(span.start_ns) +
+                    ",\"duration_ns\":" + std::to_string(span.duration_ns);
+  if (span.epoch != 0) out += ",\"epoch\":" + std::to_string(span.epoch);
+  if (span.id >= 0) out += ",\"id\":" + std::to_string(span.id);
+  if (!span.detail.empty()) {
+    out += ",\"detail\":\"" + json_escape(span.detail) + '"';
+  }
+  out += '}';
+  return out;
+}
+
+RingBufferTraceSink::RingBufferTraceSink(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void RingBufferTraceSink::record(const TraceSpan& span) {
+  std::lock_guard lock(mutex_);
+  ++recorded_;
+  if (spans_.size() == capacity_) {
+    spans_.pop_front();
+    ++dropped_;
+  }
+  spans_.push_back(span);
+}
+
+std::vector<TraceSpan> RingBufferTraceSink::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return {spans_.begin(), spans_.end()};
+}
+
+std::uint64_t RingBufferTraceSink::recorded() const {
+  std::lock_guard lock(mutex_);
+  return recorded_;
+}
+
+std::uint64_t RingBufferTraceSink::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+void JsonlTraceSink::record(const TraceSpan& span) {
+  const std::string line = to_jsonl(span);
+  std::lock_guard lock(mutex_);
+  out_ << line << '\n';
+}
+
+}  // namespace trustrate::obs

@@ -1,0 +1,132 @@
+// Pipeline tracing (ISSUE 5 tentpole): per-epoch stage spans — ingest
+// release, beta filter, AR detect, merge/aggregation, trust update — plus
+// durable-layer spans (WAL fsync, checkpoint write, recovery ladder),
+// recorded through a pluggable TraceSink.
+//
+// Spans carry wall-clock timings and are therefore *not* deterministic;
+// the deterministic pipeline counts live in obs/metrics.hpp and the
+// decision trail in obs/audit.hpp (DESIGN.md §11). A null sink costs one
+// pointer test per instrumented site; with a sink attached the only extra
+// work is two steady_clock reads and one record() call, none of which
+// touches pipeline state — oracle digests are bitwise-identical either way.
+//
+// Sinks must be thread-safe: the epoch engine records filter/detect spans
+// from its worker threads.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace trustrate::obs {
+
+/// One completed span. `epoch` is the 1-based pipeline epoch ordinal (0
+/// when the span is not tied to an epoch); `id` is a product/rater/record
+/// identifier when one applies (-1 otherwise).
+struct TraceSpan {
+  std::string name;
+  std::uint64_t start_ns = 0;  ///< steady-clock time at span start
+  std::uint64_t duration_ns = 0;
+  std::uint64_t epoch = 0;
+  std::int64_t id = -1;
+  std::string detail;  ///< free-form attribute ("fsync=epoch", "lsn=42", ...)
+};
+
+/// One span as a JSON line (the JSONL sink's format, exposed for tests).
+std::string to_jsonl(const TraceSpan& span);
+
+/// Span consumer. Implementations must be safe for concurrent record()
+/// calls from multiple threads.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(const TraceSpan& span) = 0;
+};
+
+/// Fixed-capacity in-memory ring: keeps the newest `capacity` spans,
+/// counting what it had to drop. The in-process default — attach, run,
+/// drain for inspection.
+class RingBufferTraceSink : public TraceSink {
+ public:
+  explicit RingBufferTraceSink(std::size_t capacity = 4096);
+
+  void record(const TraceSpan& span) override;
+
+  /// Newest-last copy of the buffered spans.
+  std::vector<TraceSpan> snapshot() const;
+  std::uint64_t recorded() const;
+  std::uint64_t dropped() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<TraceSpan> spans_;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Writes one JSON line per span to a caller-owned stream (file sink for
+/// offline analysis). The stream must outlive the sink.
+class JsonlTraceSink : public TraceSink {
+ public:
+  explicit JsonlTraceSink(std::ostream& out) : out_(out) {}
+
+  void record(const TraceSpan& span) override;
+
+ private:
+  std::mutex mutex_;
+  std::ostream& out_;
+};
+
+/// Steady-clock nanoseconds (monotonic within the process).
+inline std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// RAII span: times its scope and records on destruction. With a null sink
+/// the constructor is a pointer test and the clock is never read.
+class SpanTimer {
+ public:
+  SpanTimer(TraceSink* sink, const char* name, std::uint64_t epoch = 0,
+            std::int64_t id = -1)
+      : sink_(sink), name_(name), epoch_(epoch), id_(id) {
+    if (sink_ != nullptr) start_ns_ = monotonic_ns();
+  }
+
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+  /// Attribute attached to the span at record time (no-op with null sink).
+  void set_detail(std::string detail) {
+    if (sink_ != nullptr) detail_ = std::move(detail);
+  }
+
+  ~SpanTimer() {
+    if (sink_ == nullptr) return;
+    TraceSpan span;
+    span.name = name_;
+    span.start_ns = start_ns_;
+    span.duration_ns = monotonic_ns() - start_ns_;
+    span.epoch = epoch_;
+    span.id = id_;
+    span.detail = std::move(detail_);
+    sink_->record(span);
+  }
+
+ private:
+  TraceSink* sink_;
+  const char* name_;
+  std::uint64_t epoch_;
+  std::int64_t id_;
+  std::uint64_t start_ns_ = 0;
+  std::string detail_;
+};
+
+}  // namespace trustrate::obs

@@ -32,7 +32,14 @@ double TrustStore::trust(RaterId id) const {
 }
 
 void TrustStore::update(RaterId id, const EpochObservation& obs, double b) {
-  update_record(records_[id], obs, b);
+  TrustRecord& record = records_[id];
+  if (observer_) {
+    const double before = record.trust();
+    update_record(record, obs, b);
+    observer_(id, before, record.trust());
+  } else {
+    update_record(record, obs, b);
+  }
 }
 
 void TrustStore::fade_all(double factor) {

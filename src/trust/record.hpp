@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -59,6 +60,18 @@ class TrustStore {
   /// Applies Procedure 2 to one rater.
   void update(RaterId id, const EpochObservation& obs, double b);
 
+  /// Observation hook fired after every update() with the rater's trust
+  /// before and after the Procedure-2 step — the instrumentation point the
+  /// detection audit log (obs/audit.hpp) uses to catch demotions below the
+  /// malicious threshold. Not store *state*: checkpoints never persist it,
+  /// and callers re-attach after restore. The callback must not reenter
+  /// the store.
+  using UpdateObserver =
+      std::function<void(RaterId id, double trust_before, double trust_after)>;
+  void set_update_observer(UpdateObserver observer) {
+    observer_ = std::move(observer);
+  }
+
   /// Applies exponential forgetting to every record.
   void fade_all(double factor);
 
@@ -71,6 +84,7 @@ class TrustStore {
 
  private:
   std::unordered_map<RaterId, TrustRecord> records_;
+  UpdateObserver observer_;
 };
 
 }  // namespace trustrate::trust

@@ -1,0 +1,762 @@
+// Observability-subsystem tests (ISSUE 5): metrics registry semantics and
+// golden Prometheus/JSON expositions, trace and audit sink behaviour with
+// golden JSONL lines, a multi-threaded registry hammer (the TSan target),
+// and the out-of-band contract — the differential digests of a full
+// pipeline run are bitwise-identical with every sink attached and with
+// none, and the audit JSONL itself is byte-identical across runs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "core/checkpoint.hpp"
+#include "core/durable/durable_stream.hpp"
+#include "core/durable/wal.hpp"
+#include "core/streaming.hpp"
+#include "core/system.hpp"
+#include "obs/observability.hpp"
+#include "testkit/digest.hpp"
+#include "testkit/scenario.hpp"
+
+namespace trustrate {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, CounterAndGaugeSemantics) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("trustrate_demo_total", "Demo");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+
+  obs::Gauge& g = reg.gauge("trustrate_demo_gauge");
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(2.5);
+  g.set(-1.25);  // last write wins
+  EXPECT_EQ(g.value(), -1.25);
+}
+
+TEST(Metrics, HistogramBucketsAreInclusiveUpperBounds) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h =
+      reg.histogram("trustrate_demo_seconds", {0.25, 0.5, 1.0}, "Demo");
+  h.observe(0.25);  // exactly on a bound lands in that bucket
+  h.observe(0.30);  // just past the bound: next bucket
+  h.observe(0.75);
+  h.observe(99.0);  // implicit +Inf bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket_counts(), (std::vector<std::uint64_t>{1, 1, 1, 1}));
+  EXPECT_EQ(h.sum(), 0.25 + 0.30 + 0.75 + 99.0);
+}
+
+TEST(Metrics, RegistrationIsIdempotent) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("trustrate_demo_total", "first help");
+  obs::Counter& b = reg.counter("trustrate_demo_total", "ignored");
+  EXPECT_EQ(&a, &b);  // instrument addresses are stable and shared
+
+  obs::Histogram& h1 = reg.histogram("trustrate_h_seconds", {1.0, 2.0});
+  obs::Histogram& h2 = reg.histogram("trustrate_h_seconds", {9.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds(), (std::vector<double>{1.0, 2.0}));  // original kept
+}
+
+TEST(Metrics, DefaultSecondsBucketsArePowerOfFourMicroseconds) {
+  const std::vector<double> bounds = obs::default_seconds_buckets();
+  ASSERT_EQ(bounds.size(), 12u);
+  EXPECT_EQ(bounds.front(), 1e-6);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_EQ(bounds[i], bounds[i - 1] * 4.0);
+  }
+}
+
+/// Builds the small synthetic registry both golden tests pin. All values
+/// are dyadic, so the %.17g renderings below are exact and short.
+void fill_golden_registry(obs::MetricsRegistry& reg) {
+  reg.counter("trustrate_demo_total", "Demo counter").add(3);
+  reg.gauge("trustrate_queue_depth", "Queue depth").set(2.5);
+  obs::Histogram& h =
+      reg.histogram("trustrate_demo_seconds", {0.25, 0.5, 1.0}, "Demo timing");
+  h.observe(0.25);
+  h.observe(0.5);
+  h.observe(3.0);
+}
+
+TEST(Metrics, PrometheusGolden) {
+  obs::MetricsRegistry reg;
+  fill_golden_registry(reg);
+  // Name-sorted entries; cumulative histogram buckets; HELP only when the
+  // help text is non-empty. Pinning the exact bytes is safe because every
+  // value is deterministic (the counter/timing split of DESIGN.md §11).
+  EXPECT_EQ(reg.prometheus(),
+            "# HELP trustrate_demo_seconds Demo timing\n"
+            "# TYPE trustrate_demo_seconds histogram\n"
+            "trustrate_demo_seconds_bucket{le=\"0.25\"} 1\n"
+            "trustrate_demo_seconds_bucket{le=\"0.5\"} 2\n"
+            "trustrate_demo_seconds_bucket{le=\"1\"} 2\n"
+            "trustrate_demo_seconds_bucket{le=\"+Inf\"} 3\n"
+            "trustrate_demo_seconds_sum 3.75\n"
+            "trustrate_demo_seconds_count 3\n"
+            "# HELP trustrate_demo_total Demo counter\n"
+            "# TYPE trustrate_demo_total counter\n"
+            "trustrate_demo_total 3\n"
+            "# HELP trustrate_queue_depth Queue depth\n"
+            "# TYPE trustrate_queue_depth gauge\n"
+            "trustrate_queue_depth 2.5\n");
+}
+
+TEST(Metrics, JsonGolden) {
+  obs::MetricsRegistry reg;
+  fill_golden_registry(reg);
+  EXPECT_EQ(reg.json(),
+            "{\"counters\":{\"trustrate_demo_total\":3},"
+            "\"gauges\":{\"trustrate_queue_depth\":2.5},"
+            "\"histograms\":{\"trustrate_demo_seconds\":"
+            "{\"bounds\":[0.25,0.5,1],\"buckets\":[1,1,0,1],"
+            "\"sum\":3.75,\"count\":3}}}");
+}
+
+// The TSan target: hot-path updates from epoch_workers-style threads racing
+// registration, other updaters, and snapshotters. Totals must come out
+// exact (relaxed atomics lose no increments) and snapshots must never tear
+// the registry structures.
+TEST(MetricsHammer, ConcurrentUpdatesRegistrationAndSnapshots) {
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+
+  // Register up front so the snapshotter always sees a non-empty registry
+  // (workers still race the registration path below).
+  reg.counter("trustrate_hammer_total");
+  reg.gauge("trustrate_hammer_gauge");
+  reg.histogram("trustrate_hammer_seconds", obs::default_seconds_buckets());
+
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::string p = reg.prometheus();
+      const std::string j = reg.json();
+      EXPECT_FALSE(p.empty());
+      EXPECT_FALSE(j.empty());
+    }
+  });
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, t] {
+      // Resolve-once pattern (what set_observability does), but also hit
+      // the registration path concurrently every few iterations.
+      obs::Counter& c = reg.counter("trustrate_hammer_total");
+      obs::Gauge& g = reg.gauge("trustrate_hammer_gauge");
+      obs::Histogram& h =
+          reg.histogram("trustrate_hammer_seconds", obs::default_seconds_buckets());
+      for (int i = 0; i < kIters; ++i) {
+        c.add();
+        g.set(static_cast<double>(i));
+        h.observe(1e-6 * static_cast<double>((t * 131 + i) % 4096));
+        if (i % 512 == 0) {
+          EXPECT_EQ(&reg.counter("trustrate_hammer_total"), &c);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+
+  EXPECT_EQ(reg.counter("trustrate_hammer_total").value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  const obs::Histogram& h =
+      reg.histogram("trustrate_hammer_seconds", obs::default_seconds_buckets());
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+  std::uint64_t bucket_sum = 0;
+  for (const std::uint64_t b : h.bucket_counts()) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, h.count());
+}
+
+// ---------------------------------------------------------------------------
+// Trace sinks
+// ---------------------------------------------------------------------------
+
+TEST(Trace, SpanJsonlGolden) {
+  obs::TraceSpan full;
+  full.name = "epoch.close";
+  full.start_ns = 100;
+  full.duration_ns = 50;
+  full.epoch = 2;
+  full.id = 7;
+  full.detail = "fsync=\"epoch\"";
+  EXPECT_EQ(obs::to_jsonl(full),
+            "{\"span\":\"epoch.close\",\"start_ns\":100,\"duration_ns\":50,"
+            "\"epoch\":2,\"id\":7,\"detail\":\"fsync=\\\"epoch\\\"\"}");
+
+  obs::TraceSpan minimal;  // epoch 0 / id -1 / empty detail are omitted
+  minimal.name = "wal.append";
+  minimal.start_ns = 5;
+  minimal.duration_ns = 1;
+  EXPECT_EQ(obs::to_jsonl(minimal),
+            "{\"span\":\"wal.append\",\"start_ns\":5,\"duration_ns\":1}");
+}
+
+TEST(Trace, RingBufferKeepsNewestAndCountsDrops) {
+  obs::RingBufferTraceSink ring(/*capacity=*/3);
+  for (int i = 0; i < 5; ++i) {
+    obs::TraceSpan s;
+    s.name = "span" + std::to_string(i);
+    ring.record(s);
+  }
+  EXPECT_EQ(ring.recorded(), 5u);
+  EXPECT_EQ(ring.dropped(), 2u);
+  const std::vector<obs::TraceSpan> kept = ring.snapshot();
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ(kept.front().name, "span2");
+  EXPECT_EQ(kept.back().name, "span4");
+}
+
+TEST(Trace, SpanTimerRecordsOnDestructionAndNullSinkIsFree) {
+  obs::RingBufferTraceSink ring;
+  {
+    obs::SpanTimer span(&ring, "unit.test", /*epoch=*/3, /*id=*/42);
+    span.set_detail("k=v");
+  }
+  {
+    obs::SpanTimer null_span(nullptr, "never.recorded");  // must be a no-op
+    null_span.set_detail("ignored");
+  }
+  const auto spans = ring.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "unit.test");
+  EXPECT_EQ(spans[0].epoch, 3u);
+  EXPECT_EQ(spans[0].id, 42);
+  EXPECT_EQ(spans[0].detail, "k=v");
+  EXPECT_GT(spans[0].start_ns, 0u);
+}
+
+TEST(Trace, JsonlSinkWritesOneLinePerSpan) {
+  std::ostringstream out;
+  obs::JsonlTraceSink sink(out);
+  obs::TraceSpan s;
+  s.name = "a";
+  s.start_ns = 1;
+  s.duration_ns = 2;
+  sink.record(s);
+  s.name = "b";
+  sink.record(s);
+  EXPECT_EQ(out.str(),
+            "{\"span\":\"a\",\"start_ns\":1,\"duration_ns\":2}\n"
+            "{\"span\":\"b\",\"start_ns\":1,\"duration_ns\":2}\n");
+}
+
+// ---------------------------------------------------------------------------
+// Audit log
+// ---------------------------------------------------------------------------
+
+TEST(Audit, EventJsonlGolden) {
+  obs::AuditEvent full;
+  full.type = obs::AuditEventType::kSuspiciousInterval;
+  full.epoch = 3;
+  full.rater = 42;
+  full.product = 7;
+  full.window_start = 12.5;
+  full.window_end = 20.5;
+  full.model_error = 0.0078125;
+  full.threshold = 0.03125;
+  full.value = 0.5;
+  full.detail = "run start";
+  EXPECT_EQ(obs::to_jsonl(full),
+            "{\"event\":\"suspicious_interval\",\"epoch\":3,\"rater\":42,"
+            "\"product\":7,\"window_start\":12.5,\"window_end\":20.5,"
+            "\"model_error\":0.0078125,\"threshold\":0.03125,\"value\":0.5,"
+            "\"detail\":\"run start\"}");
+
+  obs::AuditEvent minimal;  // epoch 0 and absent optionals are omitted
+  minimal.type = obs::AuditEventType::kWalTailTruncated;
+  minimal.value = 17.0;
+  EXPECT_EQ(obs::to_jsonl(minimal),
+            "{\"event\":\"wal_tail_truncated\",\"value\":17}");
+
+  obs::AuditEvent escaped;
+  escaped.type = obs::AuditEventType::kRatingQuarantined;
+  escaped.detail = "a \"quoted\"\nline";
+  EXPECT_EQ(obs::to_jsonl(escaped),
+            "{\"event\":\"rating_quarantined\","
+            "\"detail\":\"a \\\"quoted\\\"\\nline\"}");
+}
+
+TEST(Audit, EventTypeNamesAreStable) {
+  using T = obs::AuditEventType;
+  EXPECT_STREQ(obs::to_string(T::kRatingQuarantined), "rating_quarantined");
+  EXPECT_STREQ(obs::to_string(T::kRatingFiltered), "rating_filtered");
+  EXPECT_STREQ(obs::to_string(T::kSuspiciousInterval), "suspicious_interval");
+  EXPECT_STREQ(obs::to_string(T::kSuspicionIncrement), "suspicion_increment");
+  EXPECT_STREQ(obs::to_string(T::kTrustDemotion), "trust_demotion");
+  EXPECT_STREQ(obs::to_string(T::kDegradedEpoch), "degraded_epoch");
+  EXPECT_STREQ(obs::to_string(T::kObserverNotRestored), "observer_not_restored");
+  EXPECT_STREQ(obs::to_string(T::kWalTailTruncated), "wal_tail_truncated");
+}
+
+TEST(Audit, MemorySinkBoundsAndFiltersByType) {
+  obs::MemoryAuditSink sink(/*capacity=*/3);
+  for (int i = 0; i < 5; ++i) {
+    obs::AuditEvent e;
+    e.type = i % 2 == 0 ? obs::AuditEventType::kRatingFiltered
+                        : obs::AuditEventType::kTrustDemotion;
+    e.epoch = static_cast<std::uint64_t>(i + 1);
+    sink.record(e);
+  }
+  EXPECT_EQ(sink.recorded(), 5u);
+  EXPECT_EQ(sink.dropped(), 2u);
+  const auto kept = sink.snapshot();
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ(kept.front().epoch, 3u);  // newest 3 survive
+  EXPECT_EQ(kept.back().epoch, 5u);
+  const auto demotions = sink.of_type(obs::AuditEventType::kTrustDemotion);
+  ASSERT_EQ(demotions.size(), 1u);  // epoch-2 demotion was evicted
+  EXPECT_EQ(demotions[0].epoch, 4u);
+}
+
+TEST(Audit, JsonlSinkWritesOneLinePerEvent) {
+  std::ostringstream out;
+  obs::JsonlAuditSink sink(out);
+  obs::AuditEvent e;
+  e.type = obs::AuditEventType::kDegradedEpoch;
+  e.epoch = 9;
+  sink.record(e);
+  EXPECT_EQ(out.str(), "{\"event\":\"degraded_epoch\",\"epoch\":9}\n");
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline integration: the out-of-band contract
+// ---------------------------------------------------------------------------
+
+/// Everything a full streaming run of a testkit scenario produces that the
+/// out-of-band contract must hold fixed: per-epoch report digests, the
+/// trust digest, the complete serialized state, plus (when instrumented)
+/// the audit JSONL and the ingest-counter metric values.
+struct ScenarioRun {
+  std::vector<std::string> report_digests;
+  std::string trust_digest;
+  std::string state_bytes;  ///< full save_checkpoint serialization
+  std::string audit_jsonl;
+  core::IngestStats stats;
+  std::size_t epochs_closed = 0;
+  std::uint64_t metric_submitted = 0;
+  std::uint64_t metric_epochs_closed = 0;
+  std::uint64_t metric_skipped_empty = 0;
+  std::uint64_t trace_recorded = 0;
+};
+
+ScenarioRun run_scenario(const testkit::Scenario& scenario,
+                         const RatingSeries& arrivals, bool instrumented,
+                         std::size_t epoch_workers = 1) {
+  core::SystemConfig config = scenario.config;
+  config.epoch_workers = epoch_workers;
+  core::StreamingRatingSystem stream(config, scenario.epoch_days,
+                                     scenario.retention_epochs,
+                                     scenario.ingest);
+
+  obs::MetricsRegistry metrics;
+  obs::RingBufferTraceSink trace(1 << 16);
+  std::ostringstream audit_out;
+  obs::JsonlAuditSink audit(audit_out);
+  if (instrumented) {
+    obs::Observability o;
+    o.metrics = &metrics;
+    o.trace = &trace;
+    o.audit = &audit;
+    stream.set_observability(o);
+  }
+
+  ScenarioRun run;
+  stream.set_epoch_observer(
+      [&run](const core::EpochReport& report, double, double) {
+        run.report_digests.push_back(testkit::digest_report(report));
+      });
+  for (const Rating& r : arrivals) stream.submit(r);
+  stream.flush();
+
+  run.trust_digest = testkit::digest_trust(stream.system().trust_store());
+  std::ostringstream state;
+  core::save_checkpoint(stream, state);
+  run.state_bytes = state.str();
+  run.audit_jsonl = audit_out.str();
+  run.stats = stream.ingest_stats();
+  run.epochs_closed = stream.epochs_closed();
+  if (instrumented) {
+    run.metric_submitted =
+        metrics.counter("trustrate_ingest_submitted_total").value();
+    run.metric_epochs_closed =
+        metrics.counter("trustrate_epochs_closed_total").value();
+    run.metric_skipped_empty =
+        metrics.counter("trustrate_epochs_skipped_empty_total").value();
+    run.trace_recorded = trace.recorded();
+  }
+  return run;
+}
+
+TEST(OutOfBand, DigestsIdenticalWithAndWithoutSinks) {
+  for (const std::uint64_t seed : {3ull, 11ull}) {
+    const testkit::Scenario scenario = testkit::make_scenario(seed);
+    const testkit::ArrivalPlan plan = testkit::make_arrivals(scenario);
+    const ScenarioRun off = run_scenario(scenario, plan.arrivals, false);
+    const ScenarioRun on = run_scenario(scenario, plan.arrivals, true);
+    ASSERT_FALSE(off.report_digests.empty()) << scenario.summary;
+    EXPECT_EQ(off.report_digests, on.report_digests) << scenario.summary;
+    EXPECT_EQ(off.trust_digest, on.trust_digest) << scenario.summary;
+    // Strongest form: the complete serialized streaming state (hexfloat
+    // checkpoint bytes) is bitwise-identical with every sink attached.
+    EXPECT_EQ(off.state_bytes, on.state_bytes) << scenario.summary;
+    EXPECT_GT(on.trace_recorded, 0u) << scenario.summary;
+  }
+}
+
+TEST(OutOfBand, AuditJsonlIsByteIdenticalAcrossRuns) {
+  std::size_t total_events = 0;
+  for (const std::uint64_t seed : {3ull, 11ull, 17ull}) {
+    const testkit::Scenario scenario = testkit::make_scenario(seed);
+    const testkit::ArrivalPlan plan = testkit::make_arrivals(scenario);
+    const ScenarioRun first = run_scenario(scenario, plan.arrivals, true);
+    const ScenarioRun second = run_scenario(scenario, plan.arrivals, true);
+    EXPECT_EQ(first.audit_jsonl, second.audit_jsonl) << scenario.summary;
+    for (const char c : first.audit_jsonl) total_events += c == '\n';
+  }
+  // The sweep must actually exercise the audit trail, not compare empties.
+  EXPECT_GT(total_events, 0u);
+}
+
+TEST(OutOfBand, CountersMatchPipelineStats) {
+  const testkit::Scenario scenario = testkit::make_scenario(3);
+  const testkit::ArrivalPlan plan = testkit::make_arrivals(scenario);
+  const ScenarioRun run = run_scenario(scenario, plan.arrivals, true);
+  EXPECT_EQ(run.metric_submitted, run.stats.submitted);
+  EXPECT_EQ(run.metric_epochs_closed, run.epochs_closed);
+}
+
+// epoch_workers > 1: filter/AR spans and instruments are updated from the
+// engine's worker threads. The digests must still match the serial run
+// (worker-count invariance survives instrumentation), and under
+// -DTRUSTRATE_SANITIZE=thread this is the pipeline-shaped race check.
+TEST(OutOfBand, ParallelEpochWorkersShareInstrumentsSafely) {
+  const testkit::Scenario scenario = testkit::make_scenario(11);
+  const testkit::ArrivalPlan plan = testkit::make_arrivals(scenario);
+  const ScenarioRun serial = run_scenario(scenario, plan.arrivals, true, 1);
+  const ScenarioRun parallel = run_scenario(scenario, plan.arrivals, true, 4);
+  EXPECT_EQ(serial.report_digests, parallel.report_digests);
+  EXPECT_EQ(serial.trust_digest, parallel.trust_digest);
+  EXPECT_EQ(serial.audit_jsonl, parallel.audit_jsonl);
+  EXPECT_GT(parallel.trace_recorded, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Audit semantics on crafted streams
+// ---------------------------------------------------------------------------
+
+core::SystemConfig demotion_config() {
+  core::SystemConfig config;
+  config.filter.q = 0.1;
+  config.ar.window_days = 8.0;
+  config.ar.step_days = 2.0;
+  config.b = 10.0;
+  return config;
+}
+
+/// One product, one epoch: 19 moderate ratings plus one far-outlier from
+/// rater 100 that the beta filter provably removes, driving rater 100's
+/// trust from the 0.5 prior to below the malicious threshold (f=1, n=1:
+/// trust <= 1/3) — a guaranteed demotion.
+core::ProductObservation demotion_epoch() {
+  core::ProductObservation po;
+  po.product = 1;
+  po.t_start = 0.0;
+  po.t_end = 20.0;
+  const double values[] = {0.45, 0.5, 0.55, 0.5, 0.5};
+  for (int i = 0; i < 19; ++i) {
+    po.ratings.push_back({0.5 + i, values[i % 5],
+                          static_cast<RaterId>(1 + i), 1, RatingLabel::kHonest});
+  }
+  po.ratings.push_back({19.5, 0.99, 100, 1, RatingLabel::kCollaborative1});
+  return po;
+}
+
+TEST(AuditPipeline, TrustDemotionIsCountedAndLogged) {
+  core::TrustEnhancedRatingSystem system(demotion_config());
+  obs::MetricsRegistry metrics;
+  obs::MemoryAuditSink audit;
+  obs::Observability o;
+  o.metrics = &metrics;
+  o.audit = &audit;
+  system.set_observability(o);
+
+  const core::ProductObservation po = demotion_epoch();
+  system.process_epoch(std::span<const core::ProductObservation>(&po, 1));
+
+  EXPECT_LT(system.trust(100), system.config().malicious_threshold);
+  EXPECT_GE(metrics.counter("trustrate_trust_demotions_total").value(), 1u);
+  EXPECT_GE(metrics.counter("trustrate_ratings_filtered_total").value(), 1u);
+  bool found = false;
+  for (const obs::AuditEvent& e :
+       audit.of_type(obs::AuditEventType::kTrustDemotion)) {
+    if (e.rater == RaterId{100}) {
+      found = true;
+      EXPECT_EQ(e.epoch, 1u);
+      ASSERT_TRUE(e.threshold.has_value());
+      EXPECT_EQ(*e.threshold, system.config().malicious_threshold);
+      ASSERT_TRUE(e.value.has_value());
+      EXPECT_LT(*e.value, 0.5);
+    }
+  }
+  EXPECT_TRUE(found);
+  // The hard evidence behind it: rater 100's filtered rating.
+  bool filtered = false;
+  for (const obs::AuditEvent& e :
+       audit.of_type(obs::AuditEventType::kRatingFiltered)) {
+    filtered |= e.rater == RaterId{100};
+  }
+  EXPECT_TRUE(filtered);
+}
+
+// The store observer captures `this`; moving the system must re-wire it to
+// the new object or demotions silently vanish (and ASan flags the stale
+// capture). Regression test for the explicit move operations.
+TEST(AuditPipeline, SurvivesSystemMove) {
+  core::TrustEnhancedRatingSystem original(demotion_config());
+  obs::MetricsRegistry metrics;
+  obs::MemoryAuditSink audit;
+  obs::Observability o;
+  o.metrics = &metrics;
+  o.audit = &audit;
+  original.set_observability(o);
+
+  core::TrustEnhancedRatingSystem moved = std::move(original);
+  const core::ProductObservation po = demotion_epoch();
+  moved.process_epoch(std::span<const core::ProductObservation>(&po, 1));
+
+  EXPECT_GE(metrics.counter("trustrate_trust_demotions_total").value(), 1u);
+  EXPECT_FALSE(audit.of_type(obs::AuditEventType::kTrustDemotion).empty());
+
+  // Move-assignment re-wires too (a fresh system, so rater 100 crosses the
+  // threshold again rather than already sitting below it).
+  core::TrustEnhancedRatingSystem fresh(demotion_config());
+  fresh.set_observability(o);
+  core::TrustEnhancedRatingSystem assigned(demotion_config());
+  assigned = std::move(fresh);
+  assigned.process_epoch(std::span<const core::ProductObservation>(&po, 1));
+  EXPECT_GE(metrics.counter("trustrate_trust_demotions_total").value(), 2u);
+}
+
+TEST(AuditPipeline, QuarantineEventsCarryTheReason) {
+  core::StreamingRatingSystem stream(demotion_config(), /*epoch_days=*/30.0);
+  obs::MetricsRegistry metrics;
+  obs::MemoryAuditSink audit;
+  obs::Observability o;
+  o.metrics = &metrics;
+  o.audit = &audit;
+  stream.set_observability(o);
+
+  stream.submit({1.0, 0.5, 1, 1, RatingLabel::kHonest});
+  stream.submit({2.0, 2.5, 2, 1, RatingLabel::kHonest});   // out of range
+  stream.submit({0.25, 0.5, 3, 1, RatingLabel::kHonest});  // behind watermark
+
+  EXPECT_EQ(metrics.counter("trustrate_ingest_malformed_total").value(), 1u);
+  EXPECT_EQ(metrics.counter("trustrate_ingest_late_total").value(), 1u);
+  EXPECT_EQ(metrics.counter("trustrate_ingest_quarantined_total").value(), 2u);
+  const auto events = audit.of_type(obs::AuditEventType::kRatingQuarantined);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].rater, RaterId{2});
+  EXPECT_FALSE(events[0].detail.empty());
+  EXPECT_EQ(events[1].rater, RaterId{3});
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint restore: the one-shot observer_not_restored warning
+// ---------------------------------------------------------------------------
+
+/// Closes one epoch on a fresh stream and returns its checkpoint bytes.
+std::string checkpointed_stream_bytes(const core::SystemConfig& config) {
+  core::StreamingRatingSystem stream(config, /*epoch_days=*/30.0);
+  for (int i = 0; i < 12; ++i) {
+    stream.submit({1.0 + i * 2.5, 0.4 + 0.01 * i,
+                   static_cast<RaterId>(1 + i), 1, RatingLabel::kHonest});
+  }
+  stream.submit({35.0, 0.5, 99, 1, RatingLabel::kHonest});  // closes epoch 1
+  std::ostringstream out;
+  core::save_checkpoint(stream, out);
+  return out.str();
+}
+
+TEST(ObserverRestore, WarnsOnceWhenNoObserverReattached) {
+  const core::SystemConfig config = demotion_config();
+  const std::string bytes = checkpointed_stream_bytes(config);
+
+  std::istringstream in(bytes);
+  core::StreamingRatingSystem restored = core::load_checkpoint(in, config);
+  obs::MemoryAuditSink audit;
+  obs::Observability o;
+  o.audit = &audit;
+  restored.set_observability(o);
+
+  restored.submit({40.0, 0.5, 7, 1, RatingLabel::kHonest});
+  restored.flush();  // first epoch close after the restore
+  auto warnings = audit.of_type(obs::AuditEventType::kObserverNotRestored);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_EQ(warnings[0].epoch, 2u);  // ordinal of the closing epoch
+
+  // One-shot: later closes stay silent.
+  restored.submit({70.0, 0.5, 7, 1, RatingLabel::kHonest});
+  restored.flush();
+  warnings = audit.of_type(obs::AuditEventType::kObserverNotRestored);
+  EXPECT_EQ(warnings.size(), 1u);
+}
+
+TEST(ObserverRestore, SilentWhenObserverIsReattached) {
+  const core::SystemConfig config = demotion_config();
+  const std::string bytes = checkpointed_stream_bytes(config);
+
+  std::istringstream in(bytes);
+  core::StreamingRatingSystem restored = core::load_checkpoint(in, config);
+  obs::MemoryAuditSink audit;
+  obs::Observability o;
+  o.audit = &audit;
+  restored.set_observability(o);
+  restored.set_epoch_observer([](const core::EpochReport&, double, double) {});
+
+  restored.submit({40.0, 0.5, 7, 1, RatingLabel::kHonest});
+  restored.flush();
+  EXPECT_TRUE(audit.of_type(obs::AuditEventType::kObserverNotRestored).empty());
+}
+
+TEST(ObserverRestore, FreshStreamsNeverWarn) {
+  core::StreamingRatingSystem stream(demotion_config(), /*epoch_days=*/30.0);
+  obs::MemoryAuditSink audit;
+  obs::Observability o;
+  o.audit = &audit;
+  stream.set_observability(o);
+  stream.submit({1.0, 0.5, 1, 1, RatingLabel::kHonest});
+  stream.flush();
+  EXPECT_TRUE(audit.of_type(obs::AuditEventType::kObserverNotRestored).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Durable layer: WAL/recovery health metrics and the torn-tail audit event
+// ---------------------------------------------------------------------------
+
+fs::path test_dir(const std::string& name) {
+#ifndef _WIN32
+  const std::string uniq = std::to_string(::getpid());
+#else
+  const std::string uniq = "w";
+#endif
+  const fs::path dir =
+      fs::temp_directory_path() / ("trustrate-observability-" + uniq) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+RatingSeries durable_stream_data() {
+  RatingSeries stream;
+  double t = 0.0;
+  for (int i = 0; i < 120; ++i) {
+    t += 0.75;
+    stream.push_back({t, (i % 10) * 0.1, static_cast<RaterId>(1 + i % 13),
+                      static_cast<ProductId>(1 + i % 3), RatingLabel::kHonest});
+  }
+  return stream;
+}
+
+TEST(DurableObservability, WalCheckpointAndRecoveryMetrics) {
+  const fs::path dir = test_dir("metrics");
+  const core::SystemConfig config = demotion_config();
+  const RatingSeries data = durable_stream_data();
+
+  obs::MetricsRegistry write_metrics;
+  obs::MemoryAuditSink write_audit;
+  core::durable::DurableOptions options;
+  options.obs.metrics = &write_metrics;
+  options.obs.audit = &write_audit;
+  {
+    core::durable::DurableStream durable(dir, config, /*epoch_days=*/30.0,
+                                         /*retention_epochs=*/2, {}, options);
+    // Checkpoint midway so recovery has WAL records to replay.
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (i == data.size() / 2) durable.checkpoint();
+      durable.submit(data[i]);
+    }
+  }
+  EXPECT_EQ(write_metrics.counter("trustrate_wal_records_total").value(),
+            static_cast<std::uint64_t>(data.size()) +
+                write_metrics.counter("trustrate_epochs_closed_total").value());
+  EXPECT_GT(write_metrics.counter("trustrate_wal_bytes_total").value(), 0u);
+  EXPECT_GT(write_metrics.counter("trustrate_wal_fsyncs_total").value(), 0u);
+  EXPECT_EQ(write_metrics.counter("trustrate_checkpoints_written_total").value(),
+            1u);
+
+  // Tear the WAL tail the way a kill -9 mid-write would.
+  const auto segments = core::durable::wal_segments(dir);
+  ASSERT_FALSE(segments.empty());
+  {
+    std::ofstream out(segments.back().path,
+                      std::ios::binary | std::ios::app);
+    out << "GARBAGE-TORN-WRITE";
+  }
+
+  obs::MetricsRegistry recovery_metrics;
+  obs::MemoryAuditSink recovery_audit;
+  core::durable::DurableOptions recovery_options;
+  recovery_options.obs.metrics = &recovery_metrics;
+  recovery_options.obs.audit = &recovery_audit;
+  core::durable::DurableStream recovered(dir, config, /*epoch_days=*/30.0,
+                                         /*retention_epochs=*/2, {},
+                                         recovery_options);
+
+  EXPECT_TRUE(recovered.recovery().wal_tail_truncated);
+  EXPECT_EQ(
+      recovery_metrics.counter("trustrate_wal_torn_tail_truncations_total")
+          .value(),
+      1u);
+  const auto torn =
+      recovery_audit.of_type(obs::AuditEventType::kWalTailTruncated);
+  ASSERT_EQ(torn.size(), 1u);
+  ASSERT_TRUE(torn[0].value.has_value());
+  EXPECT_EQ(*torn[0].value, 18.0);  // strlen("GARBAGE-TORN-WRITE")
+
+  EXPECT_GT(recovered.recovery().replayed_records, 0u);
+  EXPECT_EQ(
+      recovery_metrics.counter("trustrate_recovery_replayed_records_total")
+          .value(),
+      recovered.recovery().replayed_records);
+  EXPECT_EQ(
+      recovery_metrics.counter("trustrate_recovery_replayed_ratings_total")
+          .value(),
+      recovered.recovery().replayed_ratings);
+  EXPECT_EQ(
+      recovery_metrics.counter("trustrate_recovery_corrupt_checkpoints_total")
+          .value(),
+      0u);
+  // The durable layer re-attaches its own epoch observer before replay, so
+  // recovery must never trip the observer_not_restored warning.
+  recovered.flush();
+  EXPECT_TRUE(recovery_audit.of_type(obs::AuditEventType::kObserverNotRestored)
+                  .empty());
+  fs::remove_all(dir.parent_path());
+}
+
+}  // namespace
+}  // namespace trustrate
