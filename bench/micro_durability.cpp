@@ -98,6 +98,42 @@ BENCHMARK(BM_SubmitDurable)
     ->Args({512, static_cast<int>(core::durable::FsyncPolicy::kEpoch)})
     ->Args({512, static_cast<int>(core::durable::FsyncPolicy::kAlways)});
 
+/// The fault layer's hot-path cost when nothing is failing: a FaultInjector
+/// with an exhausted (empty) plan attached, so every durable write/fsync
+/// runs the injector gate and the retry-loop bookkeeping but no fault ever
+/// fires. Compare against BM_SubmitDurable at the same policy: the delta is
+/// what shipping the fault hooks costs a healthy deployment.
+void BM_SubmitDurableFaultLayerQuiescent(benchmark::State& state) {
+  const auto arrivals = bench_stream(static_cast<std::size_t>(state.range(0)));
+  const auto policy = static_cast<core::durable::FsyncPolicy>(state.range(1));
+  core::durable::FaultInjector quiescent;  // empty plan: never injects
+  core::durable::DurableOptions options;
+  options.fsync = policy;
+  options.faults = &quiescent;
+  const fs::path dir =
+      bench_dir((std::string("quiescent-") + core::durable::to_string(policy))
+                    .c_str());
+  for (auto _ : state) {
+    state.PauseTiming();
+    fs::remove_all(dir);
+    state.ResumeTiming();
+    core::durable::DurableStream durable(dir, bench_config(),
+                                         /*epoch_days=*/30.0,
+                                         /*retention_epochs=*/2, {}, options);
+    for (const auto& r : arrivals) {
+      benchmark::DoNotOptimize(durable.submit(r));
+    }
+  }
+  fs::remove_all(dir);
+  state.SetItemsProcessed(state.iterations() * arrivals.size());
+  state.SetLabel(std::string("fsync=") + core::durable::to_string(policy) +
+                 " faults=quiescent");
+}
+BENCHMARK(BM_SubmitDurableFaultLayerQuiescent)
+    ->Args({512, static_cast<int>(core::durable::FsyncPolicy::kNone)})
+    ->Args({512, static_cast<int>(core::durable::FsyncPolicy::kEpoch)})
+    ->Args({512, static_cast<int>(core::durable::FsyncPolicy::kAlways)});
+
 void BM_Checkpoint(benchmark::State& state) {
   const auto arrivals = bench_stream(static_cast<std::size_t>(state.range(0)));
   const fs::path dir = bench_dir("checkpoint");

@@ -12,8 +12,18 @@
 // Recovery restores the checkpoint, replays the log, and resumes at the
 // exactly-once cursor.
 //
-//   build/examples/streaming_monitor
+// With --inject-io-faults the disk itself also turns hostile: a seeded
+// errno-level fault plan (EIO bursts, short writes, failed fsyncs, blocked
+// renames) runs underneath the WAL. Transient faults are retried away;
+// persistent ones push the stream down the persistence-degradation ladder
+// (durable -> degraded -> recovering -> durable), which the monitor
+// narrates as it happens. The fault plan survives the kill -9, so recovery
+// itself runs on the failing disk — and the final numbers still match.
+//
+//   build/examples/streaming_monitor [--inject-io-faults[=seed]]
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 
 #include "common/math.hpp"
@@ -45,9 +55,45 @@ void print_stats(const core::IngestStats& s) {
               s.dropped_late, s.malformed);
 }
 
+/// Prints a ladder transition the moment it happens; returns the new state.
+core::durable::DurabilityState narrate_ladder(
+    const core::durable::DurableStream& durable,
+    core::durable::DurabilityState last) {
+  const auto state = durable.durability_state();
+  if (state != last) {
+    std::printf("!! durability ladder: %s -> %s (backlog %zu, durable acks "
+                "%llu of %llu)\n",
+                core::durable::to_string(last),
+                core::durable::to_string(state), durable.backlog_records(),
+                static_cast<unsigned long long>(durable.durable_acknowledged()),
+                static_cast<unsigned long long>(durable.acknowledged()));
+  }
+  return state;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --inject-io-faults[=seed]: run the WAL on a deterministically failing
+  // disk (see file header). The plan is finite — the environment always
+  // heals — so the run must end durable with the same numbers.
+  core::durable::FaultInjector io_faults;
+  bool inject_io_faults = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--inject-io-faults", 18) == 0) {
+      inject_io_faults = true;
+      std::uint64_t fault_seed = 3;
+      if (argv[i][18] == '=') fault_seed = std::strtoull(argv[i] + 19, nullptr, 10);
+      core::durable::FaultPlanOptions plan_options;
+      plan_options.events = 5;
+      plan_options.horizon_ops = 600;
+      io_faults = core::durable::FaultInjector(
+          core::durable::FaultPlan::generate(fault_seed, plan_options));
+      std::printf("injecting I/O faults (seed %llu): %s\n\n",
+                  static_cast<unsigned long long>(fault_seed),
+                  io_faults.plan().summary().c_str());
+    }
+  }
   // Four months of a single product's stream; months 2 and 4 carry
   // collaborative campaigns from the same shill block.
   Rng rng(17);
@@ -111,10 +157,12 @@ int main() {
   core::durable::DurableOptions durable_options;
   durable_options.crash = &injector;
   durable_options.obs = telemetry;
+  if (inject_io_faults) durable_options.faults = &io_faults;
 
   const std::size_t checkpoint_at = arrivals.size() / 2;
   std::size_t acked = 0;
   std::size_t last_epoch = 0;
+  auto ladder = core::durable::DurabilityState::kDurable;
   try {
     core::durable::DurableStream durable(dir, monitor_config(),
                                          /*epoch_days=*/30.0,
@@ -132,6 +180,7 @@ int main() {
       }
       durable.submit(arrivals[i]);
       acked = i + 1;  // submit returned: this arrival is acknowledged
+      ladder = narrate_ladder(durable, ladder);
       if (durable.stream().epochs_closed() != last_epoch) {
         last_epoch = durable.stream().epochs_closed();
         std::printf("epoch %zu closed: %3zu raters below trust threshold, "
@@ -150,8 +199,11 @@ int main() {
   }
 
   // --- restart: recover from disk and resume where we left off ------------
+  // The fault plan carries over: a dying disk does not heal just because
+  // the process restarted.
   core::durable::DurableOptions recovery_options;
   recovery_options.obs = telemetry;
+  if (inject_io_faults) recovery_options.faults = &io_faults;
   core::durable::DurableStream durable(dir, monitor_config(),
                                        /*epoch_days=*/30.0,
                                        /*retention_epochs=*/2, ingest,
@@ -167,8 +219,10 @@ int main() {
               static_cast<unsigned long long>(durable.acknowledged()), acked);
 
   last_epoch = durable.stream().epochs_closed();
+  ladder = durable.durability_state();
   while (durable.acknowledged() < arrivals.size()) {
     durable.submit(arrivals[durable.acknowledged()]);
+    ladder = narrate_ladder(durable, ladder);
     if (durable.stream().epochs_closed() != last_epoch) {
       last_epoch = durable.stream().epochs_closed();
       std::printf("epoch %zu closed: %3zu raters below trust threshold, "
@@ -180,6 +234,24 @@ int main() {
   }
   durable.flush();
   durable.checkpoint();
+  if (inject_io_faults) {
+    // Drain any backlog left at end-of-stream: keep probing like an
+    // operator would until the fault bursts still in the plan burn out.
+    for (int attempt = 0;
+         attempt < 12 &&
+         durable.durability_state() != core::durable::DurabilityState::kDurable;
+         ++attempt) {
+      durable.try_heal();
+    }
+    std::printf("-- I/O fault plan %s: %llu faults injected, ladder ended "
+                "%s, %llu/%llu acknowledgements durable --\n",
+                io_faults.exhausted() ? "exhausted (disk healed)"
+                                      : "NOT exhausted",
+                static_cast<unsigned long long>(io_faults.injected()),
+                core::durable::to_string(durable.durability_state()),
+                static_cast<unsigned long long>(durable.durable_acknowledged()),
+                static_cast<unsigned long long>(durable.acknowledged()));
+  }
   const core::StreamingRatingSystem& resumed = durable.stream();
   std::printf("final:          %3zu raters below trust threshold, "
               "aggregate %.3f\n",
@@ -206,6 +278,17 @@ int main() {
         "trustrate_recovery_replayed_records_total"}) {
     std::printf("  %-46s %llu\n", name,
                 static_cast<unsigned long long>(metrics.counter(name).value()));
+  }
+  if (inject_io_faults) {
+    for (const char* name :
+         {"trustrate_durability_io_faults_total", "trustrate_io_retries_total",
+          "trustrate_durability_degradations_total",
+          "trustrate_durability_heals_total",
+          "trustrate_durability_emergency_prunes_total"}) {
+      std::printf("  %-46s %llu\n", name,
+                  static_cast<unsigned long long>(
+                      metrics.counter(name).value()));
+    }
   }
   const auto demotions = audit.of_type(obs::AuditEventType::kTrustDemotion);
   std::printf("audit log: %llu events recorded; first shill demotion:\n",

@@ -10,6 +10,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace trustrate {
 
@@ -55,6 +56,32 @@ class WalError : public DataError {
 class RecoveryError : public DataError {
  public:
   explicit RecoveryError(const std::string& what) : DataError(what) {}
+};
+
+/// Thrown when an environmental I/O fault (ENOSPC, EIO, a failed fsync or
+/// rename) persists past the IoPolicy retry budget. Carries the failed
+/// operation, the path, and the errno so degradation-ladder logs are
+/// actionable; the durable front-end catches it and degrades rather than
+/// letting it kill the pipeline.
+class IoError : public DataError {
+ public:
+  IoError(std::string op, std::string path, int error_code,
+          const std::string& what)
+      : DataError(what),
+        op_(std::move(op)),
+        path_(std::move(path)),
+        error_code_(error_code) {}
+
+  /// The failed operation ("write", "fsync", "rename", "read", "open").
+  const std::string& op() const { return op_; }
+  const std::string& path() const { return path_; }
+  /// The errno that persisted after retries (0 when not errno-backed).
+  int error_code() const { return error_code_; }
+
+ private:
+  std::string op_;
+  std::string path_;
+  int error_code_;
 };
 
 namespace detail {

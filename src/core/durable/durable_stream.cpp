@@ -34,6 +34,15 @@ std::vector<std::pair<std::uint64_t, std::filesystem::path>> list_checkpoints(
 
 }  // namespace
 
+const char* to_string(DurabilityState state) {
+  switch (state) {
+    case DurabilityState::kDurable:    return "durable";
+    case DurabilityState::kDegraded:   return "degraded";
+    case DurabilityState::kRecovering: return "recovering";
+  }
+  return "unknown";
+}
+
 std::string DurableStream::checkpoint_name(std::uint64_t lsn) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "ckpt-%020llu.ckpt",
@@ -63,6 +72,30 @@ void DurableStream::recover(const SystemConfig& config, double epoch_days,
     checkpoint_write_seconds_ = &metrics->histogram(
         "trustrate_checkpoint_write_seconds", obs::default_seconds_buckets(),
         "Checkpoint serialize + atomic write latency");
+    degradations_total_ = &metrics->counter(
+        "trustrate_durability_degradations_total",
+        "Transitions into the degraded rung of the persistence ladder");
+    heals_total_ =
+        &metrics->counter("trustrate_durability_heals_total",
+                          "Successful heals back to the durable rung");
+    probe_failures_total_ =
+        &metrics->counter("trustrate_durability_probe_failures_total",
+                          "Heal probes rejected by the environment");
+    io_faults_total_ = &metrics->counter(
+        "trustrate_durability_io_faults_total",
+        "Environmental I/O faults that persisted past the retry budget");
+    emergency_prunes_total_ =
+        &metrics->counter("trustrate_durability_emergency_prunes_total",
+                          "ENOSPC emergency prunes of the durable directory");
+    io_retries_total_ = &metrics->counter(
+        "trustrate_io_retries_total",
+        "Inline durable-I/O retries (EINTR, short writes, transient backoff)");
+    state_gauge_ =
+        &metrics->gauge("trustrate_durability_state",
+                        "Ladder rung: 0 durable, 1 degraded, 2 recovering");
+    backlog_gauge_ =
+        &metrics->gauge("trustrate_durability_backlog_records",
+                        "Records buffered in memory awaiting a heal");
   }
   fs::create_directories(dir_);
 
@@ -77,7 +110,7 @@ void DurableStream::recover(const SystemConfig& config, double epoch_days,
     }
   }
 
-  const WalRecovered wal = read_wal(dir_);
+  const WalRecovered wal = read_wal(dir_, io_env());
   recovery_.wal_tail_truncated = wal.tail_truncated;
   if (wal.tail_truncated) {
     if (metrics != nullptr) {
@@ -104,7 +137,7 @@ void DurableStream::recover(const SystemConfig& config, double epoch_days,
   std::uint64_t replay_from = 0;
   for (const auto& [lsn, path] : checkpoints) {
     try {
-      std::istringstream in(read_file(path));
+      std::istringstream in(stable_read_file(path, io_env()));
       stream_.emplace(load_checkpoint(in, config));
       recovery_.loaded_checkpoint = true;
       recovery_.checkpoint_lsn = lsn;
@@ -175,6 +208,8 @@ void DurableStream::recover(const SystemConfig& config, double epoch_days,
   wal_options.segment_bytes = options_.segment_bytes;
   wal_options.fsync = options_.fsync;
   wal_options.crash = options_.crash;
+  wal_options.faults = options_.faults;
+  wal_options.io = options_.io;
   wal_options.obs = options_.obs;
   if (wal.next_lsn < replay_from) {
     // The log ends before the checkpoint (its tail segments are gone, e.g.
@@ -185,6 +220,12 @@ void DurableStream::recover(const SystemConfig& config, double epoch_days,
     wal_.emplace(dir_, wal, wal_options);
   }
 
+  if (recovery_.loaded_checkpoint) {
+    last_checkpoint_lsn_ = recovery_.checkpoint_lsn;
+  }
+  if (state_gauge_ != nullptr) state_gauge_->set(0.0);
+  if (backlog_gauge_ != nullptr) backlog_gauge_->set(0.0);
+
   if (metrics != nullptr) {
     metrics
         ->histogram("trustrate_recovery_seconds",
@@ -193,6 +234,254 @@ void DurableStream::recover(const SystemConfig& config, double epoch_days,
         .observe(static_cast<double>(obs::monotonic_ns() - recovery_t0) *
                  1e-9);
   }
+}
+
+IoEnv DurableStream::io_env() const {
+  IoEnv env;
+  env.crash = options_.crash;
+  env.faults = options_.faults;
+  env.policy = options_.io;
+  env.retries_total = io_retries_total_;
+  return env;
+}
+
+void DurableStream::set_state(DurabilityState next, const std::string& detail) {
+  if (state_ == next) return;
+  state_ = next;
+  if (state_gauge_ != nullptr) {
+    state_gauge_->set(static_cast<double>(static_cast<int>(next)));
+  }
+  if (options_.obs.audit != nullptr) {
+    obs::AuditEvent e;
+    switch (next) {
+      case DurabilityState::kDegraded:
+        e.type = obs::AuditEventType::kDurabilityDegraded;
+        break;
+      case DurabilityState::kRecovering:
+        e.type = obs::AuditEventType::kDurabilityRecovering;
+        break;
+      case DurabilityState::kDurable:
+        e.type = obs::AuditEventType::kDurabilityRestored;
+        break;
+    }
+    e.value = static_cast<double>(backlog_.size());
+    e.detail = detail;
+    options_.obs.audit->record(e);
+  }
+}
+
+void DurableStream::note_io_fault(const IoError& error) {
+  (void)error;
+  if (io_faults_total_ != nullptr) io_faults_total_->add();
+}
+
+void DurableStream::enter_degraded(const IoError& error) {
+  if (state_ != DurabilityState::kDurable) return;
+  // Freeze the failed-fsync window: rating frames appended since the last
+  // successful barrier stay suspect (their pages may have been dropped)
+  // until a heal checkpoint rewrites the state through an independent path.
+  suspect_ratings_ = unsynced_ratings_;
+  unsynced_ratings_ = 0;
+  degraded_submits_ = 0;
+  if (degradations_total_ != nullptr) degradations_total_->add();
+  set_state(DurabilityState::kDegraded,
+            "WAL suspended after persistent '" + error.op() + "' fault on '" +
+                error.path() + "': " + error.what());
+}
+
+void DurableStream::enqueue_backlog(const WalRecord& record) {
+  backlog_.push_back(record);
+  if (record.type == WalRecordType::kRating) ++backlog_ratings_;
+  if (backlog_gauge_ != nullptr) {
+    backlog_gauge_->set(static_cast<double>(backlog_.size()));
+  }
+}
+
+DurableStream::AppendResult DurableStream::try_wal_append(
+    const WalRecord& record) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const std::uint64_t pre = wal_->next_lsn();
+    try {
+      wal_->append(record);
+      if (record.type == WalRecordType::kRating) {
+        if (options_.fsync == FsyncPolicy::kAlways) {
+          unsynced_ratings_ = 0;  // append() synced the segment
+        } else {
+          ++unsynced_ratings_;
+        }
+      }
+      return AppendResult::kLogged;
+    } catch (const IoError& e) {
+      note_io_fault(e);
+      if (wal_->next_lsn() > pre) {
+        // The frame IS in the log; only the kAlways fsync step failed. It
+        // must not be backlogged (replay would double-apply it) — it joins
+        // the suspect window instead.
+        if (record.type == WalRecordType::kRating) ++unsynced_ratings_;
+        enter_degraded(e);
+        return AppendResult::kLoggedUnsynced;
+      }
+      if (attempt == 0 && e.error_code() == ENOSPC &&
+          options_.emergency_prune && emergency_prune_space()) {
+        try {
+          wal_->repair();  // the failed append left a torn tail; clear it
+          continue;        // space freed below the horizon — one retry
+        } catch (const IoError& repair_error) {
+          note_io_fault(repair_error);
+          enter_degraded(repair_error);
+          return AppendResult::kFailed;
+        }
+      }
+      enter_degraded(e);
+      return AppendResult::kFailed;
+    }
+  }
+  return AppendResult::kFailed;
+}
+
+void DurableStream::try_wal_sync() {
+  if (state_ != DurabilityState::kDurable) return;
+  try {
+    wal_->sync();
+    unsynced_ratings_ = 0;
+  } catch (const IoError& e) {
+    note_io_fault(e);
+    enter_degraded(e);
+  }
+}
+
+void DurableStream::maybe_probe_heal() {
+  if (options_.heal_probe_every == 0) return;
+  if (++degraded_submits_ < options_.heal_probe_every) return;
+  degraded_submits_ = 0;
+  try_heal();
+}
+
+bool DurableStream::probe_environment() {
+  namespace fs = std::filesystem;
+  // kTempSuffix so a crash mid-probe leaves a file the recovery GC removes.
+  const fs::path probe = dir_ / (std::string(".durability-probe") + kTempSuffix);
+  std::error_code ec;
+  fs::remove(probe, ec);
+  try {
+    DurableFile file(probe, io_env());
+    file.append("trustrate durability probe\n");
+    file.sync();
+    file.close();
+    fs::remove(probe, ec);
+    return true;
+  } catch (const IoError& e) {
+    note_io_fault(e);
+    if (probe_failures_total_ != nullptr) probe_failures_total_->add();
+    fs::remove(probe, ec);
+    return false;
+  }
+}
+
+bool DurableStream::emergency_prune_space() {
+  namespace fs = std::filesystem;
+  // Disk full: free everything redundant without moving the durability
+  // horizon backward — checkpoints beyond the newest, and WAL segments
+  // wholly below it. Recovery depth shrinks to one rung, but the newest
+  // checkpoint plus the surviving log still reproduce the exact state.
+  bool freed = false;
+  const auto checkpoints = list_checkpoints(dir_);  // newest first
+  for (std::size_t i = 1; i < checkpoints.size(); ++i) {
+    std::error_code ec;
+    freed = fs::remove(checkpoints[i].second, ec) || freed;
+  }
+  if (!checkpoints.empty()) {
+    const std::uint64_t horizon = checkpoints.front().first;
+    const auto segments = wal_segments(dir_);
+    for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+      if (segments[i + 1].first_lsn <= horizon) {
+        std::error_code ec;
+        freed = fs::remove(segments[i].path, ec) || freed;
+      }
+    }
+  }
+  if (freed && emergency_prunes_total_ != nullptr) {
+    emergency_prunes_total_->add();
+  }
+  return freed;
+}
+
+bool DurableStream::try_heal() {
+  if (state_ == DurabilityState::kDurable) return true;
+  set_state(DurabilityState::kRecovering,
+            "probing environment; " + std::to_string(backlog_.size()) +
+                " backlog record(s) pending");
+  if (!probe_environment()) {
+    set_state(DurabilityState::kDegraded,
+              "heal probe rejected by the environment");
+    return false;
+  }
+  std::uint64_t replayed_ratings = 0;
+  try {
+    wal_->repair();
+    while (!backlog_.empty()) {
+      const WalRecord record = backlog_.front();
+      const std::uint64_t pre = wal_->next_lsn();
+      try {
+        wal_->append(record);
+      } catch (const IoError&) {
+        if (wal_->next_lsn() > pre) {
+          // Logged but unsynced (kAlways fsync failed mid-heal): consume it
+          // from the backlog — re-appending would duplicate the frame.
+          backlog_.pop_front();
+          if (record.type == WalRecordType::kRating) {
+            --backlog_ratings_;
+            ++replayed_ratings;
+          }
+          if (backlog_gauge_ != nullptr) {
+            backlog_gauge_->set(static_cast<double>(backlog_.size()));
+          }
+        }
+        throw;
+      }
+      backlog_.pop_front();
+      if (record.type == WalRecordType::kRating) {
+        --backlog_ratings_;
+        ++replayed_ratings;
+      }
+      if (backlog_gauge_ != nullptr) {
+        backlog_gauge_->set(static_cast<double>(backlog_.size()));
+      }
+    }
+    // Re-establish the durability horizon through an independent path: the
+    // checkpoint syncs the fresh segment and its own atomic file, which
+    // supersedes every suspect frame — we never trust a later fsync of a
+    // handle that failed one (the failed-fsync trap).
+    write_checkpoint_locked();
+    suspect_ratings_ = 0;
+    if (heals_total_ != nullptr) heals_total_->add();
+    set_state(DurabilityState::kDurable,
+              "backlog replayed; checkpoint " +
+                  std::to_string(last_checkpoint_lsn_) + " re-established");
+    return true;
+  } catch (const IoError& e) {
+    // Ratings replayed into the log during this failed heal are not yet
+    // superseded by a checkpoint — keep them out of the durable cursor.
+    suspect_ratings_ += replayed_ratings;
+    note_io_fault(e);
+    set_state(DurabilityState::kDegraded,
+              std::string("heal failed: ") + e.what());
+    return false;
+  }
+}
+
+void DurableStream::write_checkpoint_locked() {
+  // The log must be on disk before a checkpoint claims to supersede it —
+  // regardless of fsync policy.
+  wal_->sync();
+  unsynced_ratings_ = 0;
+  const std::uint64_t lsn = wal_->next_lsn();
+  std::ostringstream out;
+  save_checkpoint(*stream_, out);
+  atomic_write_file(dir_ / checkpoint_name(lsn), out.str(), io_env());
+  prune();
+  last_checkpoint_lsn_ = lsn;
+  if (checkpoints_written_ != nullptr) checkpoints_written_->add();
 }
 
 void DurableStream::replay(const WalRecord& record, std::uint64_t lsn) {
@@ -247,17 +536,42 @@ IngestClass DurableStream::submit(const Rating& rating) {
   record.type = WalRecordType::kRating;
   record.rating = rating;
   record.ingest_class = klass;
-  wal_->append(record);
 
+  std::optional<WalRecord> marker;
   if (after > before) {
-    WalRecord marker;
-    marker.type = WalRecordType::kEpochClose;
-    marker.epochs_closed = after;
-    marker.epoch_start =
-        observed_closes_.empty() ? 0.0 : observed_closes_.back();
-    wal_->append(marker);
-    if (options_.fsync == FsyncPolicy::kEpoch) {
-      wal_->sync();
+    WalRecord m;
+    m.type = WalRecordType::kEpochClose;
+    m.epochs_closed = after;
+    m.epoch_start = observed_closes_.empty() ? 0.0 : observed_closes_.back();
+    marker = m;
+  }
+
+  if (state_ != DurabilityState::kDurable) {
+    // Degraded: the WAL is suspended. Apply-then-buffer keeps the
+    // acknowledgement and LSN ordering; durability resumes on heal.
+    enqueue_backlog(record);
+    if (marker.has_value()) enqueue_backlog(*marker);
+    maybe_probe_heal();
+    return klass;
+  }
+
+  if (try_wal_append(record) == AppendResult::kFailed) {
+    enqueue_backlog(record);
+    if (marker.has_value()) enqueue_backlog(*marker);
+    return klass;
+  }
+  if (marker.has_value()) {
+    if (state_ == DurabilityState::kDurable) {
+      if (try_wal_append(*marker) == AppendResult::kFailed) {
+        enqueue_backlog(*marker);
+      }
+    } else {
+      // The rating frame went in but its fsync degraded us mid-pair.
+      enqueue_backlog(*marker);
+    }
+    if (state_ == DurabilityState::kDurable &&
+        options_.fsync == FsyncPolicy::kEpoch) {
+      try_wal_sync();
     }
   }
   return klass;
@@ -270,33 +584,55 @@ std::size_t DurableStream::flush() {
   WalRecord record;
   record.type = WalRecordType::kFlush;
   record.epochs_closed = stream_->epochs_closed();
-  wal_->append(record);
-  if (options_.fsync == FsyncPolicy::kEpoch) {
-    wal_->sync();
+
+  if (state_ != DurabilityState::kDurable) {
+    enqueue_backlog(record);
+    maybe_probe_heal();
+    return processed;
+  }
+  if (try_wal_append(record) == AppendResult::kFailed) {
+    enqueue_backlog(record);
+    return processed;
+  }
+  if (state_ == DurabilityState::kDurable &&
+      options_.fsync == FsyncPolicy::kEpoch) {
+    try_wal_sync();
   }
   return processed;
 }
 
 std::uint64_t DurableStream::checkpoint() {
+  if (state_ != DurabilityState::kDurable) {
+    try_heal();  // a successful heal re-checkpoints as its final step
+    return last_checkpoint_lsn_;
+  }
   const obs::SpanTimer span(options_.obs.trace, "checkpoint.write");
   const std::uint64_t t0 =
       checkpoint_write_seconds_ != nullptr ? obs::monotonic_ns() : 0;
-  // The log must be on disk before a checkpoint claims to supersede it —
-  // regardless of fsync policy.
-  wal_->sync();
-  const std::uint64_t lsn = wal_->next_lsn();
-
-  std::ostringstream out;
-  save_checkpoint(*stream_, out);
-  atomic_write_file(dir_ / checkpoint_name(lsn), out.str(), options_.crash);
-
-  prune();
-  if (checkpoints_written_ != nullptr) checkpoints_written_->add();
+  try {
+    write_checkpoint_locked();
+  } catch (const IoError& e) {
+    note_io_fault(e);
+    bool healed_inline = false;
+    if (e.error_code() == ENOSPC && options_.emergency_prune &&
+        emergency_prune_space()) {
+      try {
+        write_checkpoint_locked();
+        healed_inline = true;
+      } catch (const IoError& retry_error) {
+        note_io_fault(retry_error);
+        enter_degraded(retry_error);
+      }
+    } else {
+      enter_degraded(e);
+    }
+    if (!healed_inline) return last_checkpoint_lsn_;
+  }
   if (checkpoint_write_seconds_ != nullptr) {
     checkpoint_write_seconds_->observe(
         static_cast<double>(obs::monotonic_ns() - t0) * 1e-9);
   }
-  return lsn;
+  return last_checkpoint_lsn_;
 }
 
 void DurableStream::prune() {

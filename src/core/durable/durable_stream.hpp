@@ -31,9 +31,32 @@
 // resumed system is bitwise-identical to one that never crashed — the
 // property the crash-point sweep (src/testkit/crash.hpp) proves for every
 // kill position.
+// Environmental faults and the degradation ladder (ISSUE 6 tentpole):
+// when an I/O fault (ENOSPC, EIO, a failed fsync or rename) persists past
+// the IoPolicy retry budget, the stream does NOT throw — it degrades:
+//
+//   durable     every acknowledgement is WAL-backed (the PR-4 contract);
+//   degraded    the WAL is suspended; submissions are still applied and
+//               acknowledged but buffered in an in-memory backlog — an
+//               alarm (audit event + metrics) is raised, and
+//               durable_acknowledged() stops advancing;
+//   recovering  a heal probe rewrites a sentinel file; on success the
+//               wounded segment is truncated to its last good frame, the
+//               backlog is replayed into a fresh segment, and a checkpoint
+//               re-establishes the durability horizon;
+//   durable     the ladder closes; durable_acknowledged() == acknowledged().
+//
+// Exactly-once under degraded mode: acknowledged() keeps its meaning as
+// the resume cursor, but only durable_acknowledged() submissions survive a
+// process death while degraded — the client that needs the stronger
+// guarantee resumes from the durable cursor and re-submits the rest, and
+// re-application is deterministic, so the healed system is still bitwise
+// identical to one that never saw a fault (the property run_fault_sweep in
+// src/testkit/faults.hpp proves for every seeded plan that heals).
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <filesystem>
 #include <optional>
 
@@ -41,6 +64,15 @@
 #include "core/streaming.hpp"
 
 namespace trustrate::core::durable {
+
+/// Rung of the persistence-degradation ladder (see file header).
+enum class DurabilityState : std::uint8_t {
+  kDurable = 0,
+  kDegraded = 1,
+  kRecovering = 2,
+};
+
+const char* to_string(DurabilityState state);
 
 struct DurableOptions {
   FsyncPolicy fsync = FsyncPolicy::kEpoch;
@@ -51,10 +83,22 @@ struct DurableOptions {
   std::size_t keep_checkpoints = 2;
   /// Crash-point injector for recovery testing; null in production.
   CrashInjector* crash = nullptr;
+  /// Environmental fault injector for fault testing; null in production.
+  FaultInjector* faults = nullptr;
+  /// Retry/backoff policy for transient environmental faults, threaded
+  /// through every durable write/fsync/rename this stream performs.
+  IoPolicy io;
+  /// While degraded, a heal probe runs automatically every this many
+  /// submissions (checkpoint() and try_heal() also probe). 0 disables
+  /// auto-probing.
+  std::size_t heal_probe_every = 16;
+  /// On ENOSPC, try once to free space by pruning WAL segments and
+  /// checkpoints below the durability horizon before degrading.
+  bool emergency_prune = true;
   /// Observability (DESIGN.md §11), threaded down to the wrapped stream and
   /// the WAL writer: recovery-ladder spans/counters, checkpoint-write
-  /// timing, and the torn-tail audit event. Out-of-band — recovered state
-  /// and on-disk bytes are identical with or without sinks.
+  /// timing, torn-tail and degradation-ladder audit events. Out-of-band —
+  /// recovered state and on-disk bytes are identical with or without sinks.
   obs::Observability obs;
 };
 
@@ -85,21 +129,55 @@ class DurableStream {
   /// triggered), syncs per policy, and only then returns — the
   /// acknowledgement IS the durability boundary. Never throws on bad data
   /// (the classification is in-band, as with StreamingRatingSystem).
+  ///
+  /// Never throws IoError either: a persistent environmental fault moves
+  /// the stream down the degradation ladder and the submission is buffered
+  /// in the in-memory backlog (still applied, still acknowledged — but not
+  /// durable until a heal). CrashInjected still propagates: process death
+  /// cannot be survived in process.
   IngestClass submit(const Rating& rating);
 
   /// Durable flush: logged so recovery reproduces the early epoch close.
+  /// Degrades instead of throwing IoError, like submit().
   std::size_t flush();
 
   /// Writes an atomic, checksummed checkpoint capturing everything up to
   /// the last acknowledged submission, then prunes obsolete checkpoints
-  /// and WAL segments. Returns the checkpoint's LSN.
+  /// and WAL segments. Returns the checkpoint's LSN. While degraded this
+  /// first attempts a heal; if the environment is still failing it leaves
+  /// the old checkpoint live and returns last_checkpoint_lsn().
   std::uint64_t checkpoint();
+
+  /// Current rung of the persistence-degradation ladder.
+  DurabilityState durability_state() const { return state_; }
+
+  /// Probe the environment and, on success, heal: truncate the wounded
+  /// segment to its last complete frame, replay the backlog into a fresh
+  /// segment, fsync, and re-checkpoint. Returns true when the stream ends
+  /// durable. Safe to call in any state (no-op when already durable).
+  bool try_heal();
 
   /// Number of acknowledged submissions — the client's resume cursor after
   /// a crash: continue with the arrival at this index.
   std::uint64_t acknowledged() const {
     return stream_->ingest_stats().submitted;
   }
+
+  /// Acknowledged submissions whose durability is *not* in doubt: excludes
+  /// the in-memory backlog (never reached the WAL) and frames appended
+  /// since the last successful fsync barrier when that barrier later
+  /// failed (the failed-fsync trap: those pages may have been dropped).
+  /// Equal to acknowledged() whenever the stream is durable; the stronger
+  /// resume cursor for clients that must survive degraded-mode death.
+  std::uint64_t durable_acknowledged() const {
+    return acknowledged() - backlog_ratings_ - suspect_ratings_;
+  }
+
+  /// Ratings currently buffered in memory awaiting a heal.
+  std::size_t backlog_records() const { return backlog_.size(); }
+
+  /// LSN of the newest successfully written checkpoint (0 before any).
+  std::uint64_t last_checkpoint_lsn() const { return last_checkpoint_lsn_; }
 
   const StreamingRatingSystem& stream() const { return *stream_; }
   const RecoveryInfo& recovery() const { return recovery_; }
@@ -109,18 +187,66 @@ class DurableStream {
   static std::string checkpoint_name(std::uint64_t lsn);
 
  private:
+  /// What one try_wal_append attempt did (see WalWriter::append's fault
+  /// contract): logged and durable per policy; logged but unsynced (the
+  /// kAlways fsync step failed after the frame hit the log — do NOT
+  /// backlog it or replay would double-apply); or not logged at all.
+  enum class AppendResult : std::uint8_t { kLogged, kLoggedUnsynced, kFailed };
+
   void recover(const SystemConfig& config, double epoch_days,
                std::size_t retention_epochs, const IngestConfig& ingest);
   void replay(const WalRecord& record, std::uint64_t lsn);
   void prune();
+  IoEnv io_env() const;
+  AppendResult try_wal_append(const WalRecord& record);
+  /// Epoch/flush-barrier sync; degrades on persistent failure.
+  void try_wal_sync();
+  void note_io_fault(const IoError& error);
+  void enter_degraded(const IoError& error);
+  void enqueue_backlog(const WalRecord& record);
+  /// Called on every degraded submit; runs try_heal() per heal_probe_every.
+  void maybe_probe_heal();
+  /// Rewrites + fsyncs a sentinel file through the fault layer; true when
+  /// the environment accepts writes again.
+  bool probe_environment();
+  /// ENOSPC mitigation: drop checkpoints beyond the newest and WAL segments
+  /// wholly below it. Returns true when anything was freed.
+  bool emergency_prune_space();
+  /// wal sync + serialized checkpoint + atomic write + prune. Throws
+  /// IoError when the environment rejects it.
+  void write_checkpoint_locked();
+  void set_state(DurabilityState next, const std::string& detail);
 
   std::filesystem::path dir_;
   DurableOptions options_;
   RecoveryInfo recovery_;
   std::optional<StreamingRatingSystem> stream_;
   std::optional<WalWriter> wal_;
+
+  DurabilityState state_ = DurabilityState::kDurable;
+  /// Records acknowledged while degraded, awaiting WAL replay on heal.
+  std::deque<WalRecord> backlog_;
+  std::size_t backlog_ratings_ = 0;
+  /// Rating frames appended since the last successful fsync barrier; only
+  /// meaningful for the failed-fsync accounting below.
+  std::uint64_t unsynced_ratings_ = 0;
+  /// Frozen copy of unsynced_ratings_ at degradation time: frames that were
+  /// in the log when a barrier failed and stay suspect until a heal
+  /// checkpoint supersedes them.
+  std::uint64_t suspect_ratings_ = 0;
+  std::size_t degraded_submits_ = 0;  ///< since the last auto heal probe
+  std::uint64_t last_checkpoint_lsn_ = 0;
+
   obs::Counter* checkpoints_written_ = nullptr;
   obs::Histogram* checkpoint_write_seconds_ = nullptr;
+  obs::Counter* degradations_total_ = nullptr;
+  obs::Counter* heals_total_ = nullptr;
+  obs::Counter* probe_failures_total_ = nullptr;
+  obs::Counter* io_faults_total_ = nullptr;
+  obs::Counter* emergency_prunes_total_ = nullptr;
+  obs::Counter* io_retries_total_ = nullptr;
+  obs::Gauge* state_gauge_ = nullptr;
+  obs::Gauge* backlog_gauge_ = nullptr;
   /// Epoch-end times observed (via the stream's close observer) during the
   /// submit/flush/replay call in flight; cleared per call.
   std::vector<double> observed_closes_;

@@ -1,0 +1,202 @@
+#include "core/durable/fault.hpp"
+
+#include <algorithm>
+#include <cerrno>
+
+#include "common/rng.hpp"
+
+namespace trustrate::core::durable {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:        return "none";
+    case FaultKind::kEintr:       return "eintr";
+    case FaultKind::kShortWrite:  return "short_write";
+    case FaultKind::kEio:         return "eio";
+    case FaultKind::kEnospc:      return "enospc";
+    case FaultKind::kFsyncFail:   return "fsync_fail";
+    case FaultKind::kRenameFail:  return "rename_fail";
+    case FaultKind::kReadCorrupt: return "read_corrupt";
+  }
+  return "unknown";
+}
+
+const char* to_string(IoOp op) {
+  switch (op) {
+    case IoOp::kWrite:  return "write";
+    case IoOp::kFsync:  return "fsync";
+    case IoOp::kRename: return "rename";
+    case IoOp::kRead:   return "read";
+  }
+  return "unknown";
+}
+
+FaultPlan FaultPlan::generate(std::uint64_t seed,
+                              const FaultPlanOptions& options) {
+  Rng rng(seed ^ 0xFA017c0de5eed571ull);
+  FaultPlan plan;
+  plan.events.reserve(options.events);
+  for (std::size_t i = 0; i < options.events; ++i) {
+    FaultEvent event;
+    // Weighted draw over the fault inventory. Writes dominate real WAL
+    // traffic, so most faults land there; fsync/rename/read faults each get
+    // a dedicated slice so every plan family appears across a seed sweep.
+    const double which = rng.uniform();
+    if (options.read_faults && which < 0.12) {
+      event.op = IoOp::kRead;
+      event.kind = FaultKind::kReadCorrupt;
+    } else if (which < 0.30) {
+      event.op = IoOp::kFsync;
+      event.kind = rng.bernoulli(0.5) ? FaultKind::kFsyncFail
+                                      : FaultKind::kEintr;
+    } else if (which < 0.42) {
+      event.op = IoOp::kRename;
+      event.kind = FaultKind::kRenameFail;
+    } else {
+      event.op = IoOp::kWrite;
+      const double w = rng.uniform();
+      if (w < 0.30) {
+        event.kind = FaultKind::kEintr;
+      } else if (w < 0.55) {
+        event.kind = FaultKind::kShortWrite;
+      } else if (w < 0.80) {
+        event.kind = FaultKind::kEio;
+      } else {
+        event.kind = FaultKind::kEnospc;
+      }
+    }
+    // Positions are drawn from a per-op horizon scaled to how often each op
+    // actually occurs in WAL traffic: writes dominate, fsyncs are barrier-
+    // cadence, renames happen once per checkpoint, reads only at recovery.
+    // A flat horizon would schedule most fsync/rename events past the ops a
+    // run ever performs, so plans would rarely exhaust ("heal").
+    std::uint64_t horizon = options.horizon_ops;
+    switch (event.op) {
+      case IoOp::kWrite:  break;
+      case IoOp::kFsync:  horizon /= 32; break;
+      case IoOp::kRename: horizon /= 64; break;
+      case IoOp::kRead:   horizon /= 64; break;
+    }
+    event.at = static_cast<std::uint64_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(horizon > 0 ? horizon - 1 : 0)));
+    event.count = static_cast<std::uint32_t>(rng.uniform_int(
+        1, static_cast<std::int64_t>(std::max(1u, options.max_burst))));
+    // Read-corruption bursts stay short so stable_read_file's agreement
+    // rule (two consecutive identical reads, bounded by the retry budget)
+    // always converges — a burst outlasting the budget would let injected
+    // corruption masquerade as on-disk corruption.
+    if (event.kind == FaultKind::kReadCorrupt && event.count > 2) {
+      event.count = 2;
+    }
+    plan.events.push_back(event);
+  }
+  return plan;
+}
+
+std::string FaultPlan::summary() const {
+  std::string out;
+  for (const FaultEvent& e : events) {
+    if (!out.empty()) out += ", ";
+    out += std::string(to_string(e.op)) + "@" + std::to_string(e.at) + " " +
+           to_string(e.kind) + " x" + std::to_string(e.count);
+  }
+  return out.empty() ? "(no faults)" : out;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), fired_(plan_.events.size(), 0) {}
+
+FaultKind FaultInjector::next_fault(IoOp op) {
+  const std::uint64_t index = ops_[static_cast<int>(op)]++;
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& event = plan_.events[i];
+    if (event.op != op || event.kind == FaultKind::kNone) continue;
+    if (fired_[i] >= event.count) continue;
+    // The event covers ops [at, at + count); ops inside the window consume
+    // burst units in order. An op past the window retires the event (the
+    // window was partially idle — e.g. two events overlapped).
+    if (index < event.at) continue;
+    if (index >= event.at + event.count) {
+      fired_[i] = event.count;
+      continue;
+    }
+    ++fired_[i];
+    ++injected_total_;
+    ++injected_[static_cast<int>(event.kind)];
+    return event.kind;
+  }
+  return FaultKind::kNone;
+}
+
+FaultInjector::WriteOutcome FaultInjector::on_write(std::size_t want) {
+  WriteOutcome out;
+  out.kind = next_fault(IoOp::kWrite);
+  switch (out.kind) {
+    case FaultKind::kNone:
+      out.admit = want;
+      break;
+    case FaultKind::kShortWrite:
+      // A real short write persists a non-empty strict prefix when possible
+      // (a one-byte write cannot be shortened); the prefix length is
+      // deterministic in the op counter.
+      out.admit = want > 1 ? 1 + (ops_[0] % (want - 1)) : want;
+      break;
+    case FaultKind::kEintr:
+      out.error = EINTR;
+      break;
+    case FaultKind::kEio:
+      out.error = EIO;
+      break;
+    case FaultKind::kEnospc:
+      out.error = ENOSPC;
+      break;
+    default:
+      // A write op can only draw write-class faults from the plan, but be
+      // permissive: treat anything else as EIO.
+      out.kind = FaultKind::kEio;
+      out.error = EIO;
+      break;
+  }
+  return out;
+}
+
+int FaultInjector::on_fsync() {
+  switch (next_fault(IoOp::kFsync)) {
+    case FaultKind::kNone:  return 0;
+    case FaultKind::kEintr: return EINTR;
+    default:                return EIO;  // kFsyncFail and anything else
+  }
+}
+
+int FaultInjector::on_rename() {
+  return next_fault(IoOp::kRename) == FaultKind::kNone ? 0 : EIO;
+}
+
+bool FaultInjector::on_read(std::uint64_t* flip_at) {
+  const std::uint64_t index = ops_[static_cast<int>(IoOp::kRead)];
+  if (next_fault(IoOp::kRead) == FaultKind::kNone) return false;
+  // Deterministic flip position: a fixed-odd multiplier hash of the read op
+  // index; the caller reduces it modulo the buffer size.
+  *flip_at = index * 0x9E3779B97F4A7C15ull >> 16;
+  return true;
+}
+
+bool FaultInjector::exhausted() const {
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    if (plan_.events[i].kind != FaultKind::kNone &&
+        fired_[i] < plan_.events[i].count) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t RetryPolicy::backoff_us(std::uint32_t retry) const {
+  if (retry == 0) return 0;
+  double us = static_cast<double>(backoff_first_us);
+  for (std::uint32_t i = 1; i < retry; ++i) us *= backoff_multiplier;
+  const double cap = static_cast<double>(backoff_cap_us);
+  return static_cast<std::uint64_t>(us < cap ? us : cap);
+}
+
+}  // namespace trustrate::core::durable

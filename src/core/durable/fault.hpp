@@ -1,0 +1,224 @@
+// Environmental I/O fault injection and retry policy (ISSUE 6 tentpole).
+//
+// The CrashInjector (io.hpp) models one failure mode: abrupt process death.
+// Real deployments also see the *environment* fail while the process lives:
+// a full disk (ENOSPC), a dying device (EIO), interrupted syscalls (EINTR),
+// short writes, fsyncs that fail once and then claim success, renames that
+// fail, and reads that return corrupted bytes. The FaultInjector here is a
+// VFS-level shim threaded through DurableFile / atomic_write_file /
+// read_file alongside the crash injector: it deterministically injects
+// errno-level faults from a seeded FaultPlan, so every fault schedule is
+// replayable byte-for-byte (the same contract the crash sweep has).
+//
+// Fault taxonomy and who handles what (DESIGN.md §12):
+//
+//   EINTR, short write   always retried inline by DurableFile::append /
+//                        sync — invisible above the VFS layer;
+//   EIO, ENOSPC          retried per IoPolicy (bounded attempts, exponential
+//                        backoff on a pluggable clock — virtual in tests);
+//                        persistent faults surface as IoError and drive the
+//                        DurableStream degradation ladder;
+//   fsync failure        POISONS the file handle (the failed-fsync trap: a
+//                        kernel may drop dirty pages on fsync error and
+//                        report the *next* fsync as successful, so a
+//                        subsequent fsync proves nothing). The layer above
+//                        must reopen and rewrite from known-good state;
+//   rename failure       retried per policy; persistent failure aborts the
+//                        atomic checkpoint write (old file stays live);
+//   read corruption      a read returns flipped bytes; readers re-read per
+//                        policy before trusting a corruption verdict (a
+//                        transient DMA/cable fault must not truncate a
+//                        healthy WAL tail).
+//
+// A FaultPlan is a finite list of events; once every event has fired the
+// environment has "healed" and no further faults occur. That finiteness is
+// what the fault-sweep oracle (src/testkit/faults.hpp) leans on: any plan
+// that heals before end-of-stream must yield digests bitwise identical to a
+// fault-free run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace trustrate::obs {
+class Counter;  // obs/metrics.hpp
+}
+
+namespace trustrate::core::durable {
+
+/// The injectable environmental faults.
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kEintr,        ///< write/fsync interrupted; retry is always safe
+  kShortWrite,   ///< write() persists only a prefix of the buffer
+  kEio,          ///< device-level I/O error (possibly transient)
+  kEnospc,       ///< disk full
+  kFsyncFail,    ///< fsync reports failure; the handle is poisoned
+  kRenameFail,   ///< rename(2) fails (checkpoint promotion blocked)
+  kReadCorrupt,  ///< a read returns one flipped byte
+};
+
+const char* to_string(FaultKind kind);
+
+/// The VFS operations the injector gates. Each keeps its own op counter, so
+/// a plan event "the 3rd fsync fails" is independent of how many writes
+/// happened in between.
+enum class IoOp : std::uint8_t { kWrite = 0, kFsync, kRename, kRead };
+
+inline constexpr std::size_t kIoOpCount = 4;
+
+const char* to_string(IoOp op);
+
+/// One scheduled fault: starting at the `at`-th operation of `op`'s kind
+/// (0-based, counted over the injector's lifetime), the next `count`
+/// operations of that kind fail with `kind`.
+struct FaultEvent {
+  IoOp op = IoOp::kWrite;
+  std::uint64_t at = 0;
+  FaultKind kind = FaultKind::kNone;
+  std::uint32_t count = 1;
+};
+
+/// Knobs for FaultPlan::generate. Defaults give a plan of a handful of
+/// faults spread over the first few thousand operations, with transient
+/// bursts short enough that a default IoPolicy rides most of them out and
+/// occasional bursts long enough to force a degradation.
+struct FaultPlanOptions {
+  std::size_t events = 6;           ///< scheduled faults
+  /// Write-fault positions are drawn from [0, horizon); fsync, rename, and
+  /// read events use a fraction of it matching how much rarer those ops are
+  /// in WAL traffic (so a finite run actually reaches them).
+  std::uint64_t horizon_ops = 2000;
+  std::uint32_t max_burst = 8;      ///< max consecutive ops one event affects
+  /// Include read-side corruption events (only meaningful for runs that
+  /// exercise the recovery/read path).
+  bool read_faults = false;
+};
+
+/// A deterministic, seeded schedule of environmental faults.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  /// Deterministic plan from a seed: same seed, same plan, bit for bit.
+  static FaultPlan generate(std::uint64_t seed,
+                            const FaultPlanOptions& options = {});
+
+  /// One-line human summary ("write@12 eio x3, fsync@2 fsync_fail x1, ...").
+  std::string summary() const;
+};
+
+/// Deterministic errno-level fault injector. Thread-compatible (the durable
+/// layer is single-writer, like the crash injector). Each on_*() call
+/// advances the per-op counter exactly once, so the plan positions are
+/// byte-reproducible across runs.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan = {});
+
+  /// What one write() attempt of `want` bytes does. kNone: all `want` bytes
+  /// persist. kShortWrite: only `admit` bytes persist (a real short return).
+  /// kEintr: nothing persists, errno EINTR. kEio/kEnospc: nothing persists,
+  /// the corresponding errno.
+  struct WriteOutcome {
+    FaultKind kind = FaultKind::kNone;
+    std::size_t admit = 0;  ///< bytes persisted (== want when kNone)
+    int error = 0;          ///< errno to report (0 when kNone/kShortWrite)
+  };
+  WriteOutcome on_write(std::size_t want);
+
+  /// errno for this fsync attempt (0 = success).
+  int on_fsync();
+  /// errno for this rename attempt (0 = success).
+  int on_rename();
+  /// True when this read should return corrupted bytes; `*flip_at` receives
+  /// a deterministic byte position to XOR (caller clamps to buffer size).
+  bool on_read(std::uint64_t* flip_at);
+
+  /// Operations seen so far, per kind (armed or not — sizing aid).
+  std::uint64_t ops(IoOp op) const { return ops_[static_cast<int>(op)]; }
+  /// Faults injected so far, total and per kind.
+  std::uint64_t injected() const { return injected_total_; }
+  std::uint64_t injected(FaultKind kind) const {
+    return injected_[static_cast<int>(kind)];
+  }
+  /// True once every scheduled event has fully fired: the environment has
+  /// healed and no further faults will be injected.
+  bool exhausted() const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  /// The active fault (if any) for the current `op` operation, consuming
+  /// one unit of the matching event's burst.
+  FaultKind next_fault(IoOp op);
+
+  FaultPlan plan_;
+  std::vector<std::uint32_t> fired_;  ///< per-event count of fired ops
+  std::uint64_t ops_[kIoOpCount] = {0, 0, 0, 0};
+  std::uint64_t injected_[8] = {0};
+  std::uint64_t injected_total_ = 0;
+};
+
+/// Clock used between I/O retries. Production code may sleep for real; the
+/// deterministic tests use VirtualIoClock, which only accumulates.
+class IoClock {
+ public:
+  virtual ~IoClock() = default;
+  virtual void sleep_us(std::uint64_t us) = 0;
+};
+
+/// Deterministic clock: records the backoff schedule, never blocks.
+class VirtualIoClock : public IoClock {
+ public:
+  void sleep_us(std::uint64_t us) override {
+    slept_us_ += us;
+    sleeps_.push_back(us);
+  }
+  std::uint64_t slept_us() const { return slept_us_; }
+  const std::vector<std::uint64_t>& sleeps() const { return sleeps_; }
+
+ private:
+  std::uint64_t slept_us_ = 0;
+  std::vector<std::uint64_t> sleeps_;
+};
+
+/// Bounded retry with exponential backoff for transient environmental
+/// faults (EIO/ENOSPC, failed renames, corrupt reads). EINTR and short
+/// writes are NOT governed by this — they are retried inline, always.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 4;        ///< total attempts (first + retries)
+  std::uint64_t backoff_first_us = 100;  ///< delay before the first retry
+  double backoff_multiplier = 8.0;
+  std::uint64_t backoff_cap_us = 200'000;
+
+  /// Backoff before retry number `retry` (1-based), per the schedule above.
+  std::uint64_t backoff_us(std::uint32_t retry) const;
+};
+
+/// The retry/backoff configuration threaded through the durable VFS layer.
+struct IoPolicy {
+  RetryPolicy transient;
+  /// Clock for retry backoff; null = retry immediately (no sleeping). Tests
+  /// pass a VirtualIoClock to pin the schedule deterministically.
+  IoClock* clock = nullptr;
+};
+
+class CrashInjector;  // io.hpp
+
+/// Everything the durable VFS layer consults on each operation: the crash
+/// injector (process death), the fault injector (environmental faults), and
+/// the retry policy. Copyable, three pointers plus the policy; null members
+/// mean "healthy environment", and every injection site reduces to a
+/// pointer test on the hot path.
+struct IoEnv {
+  CrashInjector* crash = nullptr;
+  FaultInjector* faults = nullptr;
+  IoPolicy policy;
+  /// When set, every inline retry (EINTR, short-write continuation,
+  /// transient backoff retry) bumps this counter — `trustrate_io_retries_total`
+  /// when threaded from the durable stream's metrics registry.
+  obs::Counter* retries_total = nullptr;
+};
+
+}  // namespace trustrate::core::durable

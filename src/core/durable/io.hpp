@@ -1,5 +1,5 @@
 // Low-level durable file I/O plus the deterministic crash-point injector
-// (ISSUE 4 tentpole).
+// (ISSUE 4 tentpole) and the environmental fault layer (ISSUE 6 tentpole).
 //
 // Every byte the durability layer persists — WAL frames, checkpoint files —
 // flows through DurableFile / atomic_write_file, and both route their
@@ -19,6 +19,30 @@
 // the fsync policies are therefore exercised for correctness and measured
 // for cost (bench/micro_durability), while the crash sweep proves the
 // recovery logic over every partial-write state.
+//
+// Orthogonal to process death, the same call sites consult an IoEnv
+// (fault.hpp): a FaultInjector that injects errno-level environmental
+// faults and an IoPolicy that bounds how hard the layer retries them.
+// Retry semantics implemented here:
+//
+//   EINTR / short write   retried inline, always — both the injected kind
+//                         and the real syscall returns (satellite fix: a
+//                         short ::write must never corrupt the byte
+//                         accounting the crash injector and WAL framing
+//                         rely on);
+//   EIO / ENOSPC          bounded attempts with exponential backoff on the
+//                         policy clock, then IoError with op/path/errno;
+//   failed fsync          poisons the handle: a kernel may drop dirty pages
+//                         on fsync error and report the NEXT fsync as
+//                         successful, so after one failure this handle
+//                         refuses all further appends/syncs — the caller
+//                         must reopen and rewrite from known-good state;
+//   failed rename         retried per policy inside atomic_write_file; a
+//                         persistent failure throws IoError and leaves the
+//                         old file live (plus a complete, fsynced temp);
+//   read corruption       injected in read_file; stable_read_file re-reads
+//                         until two consecutive reads agree, so a transient
+//                         fault cannot drive a destructive verdict.
 #pragma once
 
 #include <cstdint>
@@ -27,13 +51,16 @@
 #include <string_view>
 
 #include "common/error.hpp"
+#include "core/durable/fault.hpp"
 
 namespace trustrate::core::durable {
 
 /// Thrown by the crash injector to simulate an abrupt process kill mid-
 /// durable-write. Deliberately NOT a DataError: nothing is wrong with any
 /// data; the "process" just died. Test harnesses catch it, abandon the
-/// in-memory state, and run recovery against the directory.
+/// in-memory state, and run recovery against the directory. The degradation
+/// ladder never swallows it — an environmental fault can be survived in
+/// process, a kill cannot.
 class CrashInjected : public Error {
  public:
   explicit CrashInjected(const std::string& where)
@@ -86,19 +113,32 @@ class CrashInjector {
 /// on disk; sync() is a real fsync on POSIX.
 class DurableFile {
  public:
-  /// Opens (creating if absent) `path` for appending. `crash` may be null.
-  DurableFile(const std::filesystem::path& path, CrashInjector* crash);
+  /// Opens (creating if absent) `path` for appending, consulting `env` on
+  /// every subsequent operation. Default env = healthy environment.
+  explicit DurableFile(const std::filesystem::path& path, IoEnv env = {});
+  /// Back-compat convenience: crash injection only.
+  DurableFile(const std::filesystem::path& path, CrashInjector* crash)
+      : DurableFile(path, IoEnv{crash, nullptr, {}, nullptr}) {}
   ~DurableFile();
   DurableFile(const DurableFile&) = delete;
   DurableFile& operator=(const DurableFile&) = delete;
 
   /// Appends `bytes`, throwing CrashInjected after persisting the admitted
-  /// prefix when the injector's budget runs out.
+  /// prefix when the injector's budget runs out. EINTR and short writes
+  /// (real or injected) are retried inline; EIO/ENOSPC per the policy, then
+  /// IoError. size() always reflects exactly the bytes persisted.
   void append(std::string_view bytes);
 
-  /// fsync barrier; consults the injector first (a crash can land exactly
-  /// between the last write and the sync).
+  /// fsync barrier; consults the crash injector first (a crash can land
+  /// exactly between the last write and the sync). EINTR is retried; any
+  /// other failure poisons the handle and throws IoError — a poisoned
+  /// handle refuses all further appends and syncs (see header comment).
   void sync();
+
+  /// True after a failed fsync: the kernel may have dropped dirty pages and
+  /// nothing written through this fd can be trusted durable. Reopen and
+  /// rewrite from known-good state.
+  bool poisoned() const { return poisoned_; }
 
   /// Bytes in the file (including whatever it held when opened).
   std::uint64_t size() const { return size_; }
@@ -109,24 +149,48 @@ class DurableFile {
 
  private:
   std::filesystem::path path_;
-  CrashInjector* crash_ = nullptr;
+  IoEnv env_;
   int fd_ = -1;
   std::uint64_t size_ = 0;
+  bool poisoned_ = false;
 };
 
 /// Writes `bytes` to `path` atomically: temp file in the same directory,
 /// write + fsync, rename over `path`, fsync the directory. A crash at any
 /// injected point leaves either the old file (plus at most a stale temp)
-/// or the complete new one — never a torn `path`.
+/// or the complete new one — never a torn `path`. A failed rename is
+/// retried per `env.policy`; a persistent failure throws IoError with the
+/// old file still live.
 void atomic_write_file(const std::filesystem::path& path,
-                       std::string_view bytes, CrashInjector* crash);
+                       std::string_view bytes, IoEnv env = {});
+/// Back-compat convenience: crash injection only.
+inline void atomic_write_file(const std::filesystem::path& path,
+                              std::string_view bytes, CrashInjector* crash) {
+  atomic_write_file(path, bytes, IoEnv{crash, nullptr, {}, nullptr});
+}
 
 /// fsyncs a directory so a rename/create within it is durable (POSIX; no-op
-/// elsewhere). Consults the injector as a barrier.
-void sync_directory(const std::filesystem::path& dir, CrashInjector* crash);
+/// elsewhere). Consults the crash injector as a barrier and the fault
+/// injector's fsync gate.
+void sync_directory(const std::filesystem::path& dir, IoEnv env = {});
+inline void sync_directory(const std::filesystem::path& dir,
+                           CrashInjector* crash) {
+  sync_directory(dir, IoEnv{crash, nullptr, {}, nullptr});
+}
 
-/// Reads a whole file into a string. Throws DataError when unreadable.
-std::string read_file(const std::filesystem::path& path);
+/// Reads a whole file into a string (POSIX read with inline EINTR retry).
+/// Throws IoError (a DataError) with path/op/errno when unreadable. When
+/// `env.faults` is set, read-side corruption faults flip one byte.
+std::string read_file(const std::filesystem::path& path, const IoEnv& env = {});
+
+/// read_file hardened against transient read corruption: with a fault
+/// injector attached, re-reads (bounded by `env.policy.transient`) until
+/// two consecutive reads agree before returning. Callers that act
+/// destructively on what they read (WAL tail truncation, checkpoint
+/// rejection) go through this, so a one-off bad read cannot trigger data
+/// loss. Without an injector it is a single read.
+std::string stable_read_file(const std::filesystem::path& path,
+                             const IoEnv& env = {});
 
 /// Suffix of in-flight atomic writes; recovery deletes leftovers.
 inline constexpr const char* kTempSuffix = ".tmp";

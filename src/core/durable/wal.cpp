@@ -193,7 +193,7 @@ std::string encode_frame(const WalRecord& record) {
   return frame;
 }
 
-WalRecovered read_wal(const std::filesystem::path& dir) {
+WalRecovered read_wal(const std::filesystem::path& dir, const IoEnv& env) {
   WalRecovered out;
   std::vector<WalSegment> segments = wal_segments(dir);
 
@@ -201,7 +201,7 @@ WalRecovered read_wal(const std::filesystem::path& dir) {
   // no decodable frame) is removed up front; everything else must be intact.
   while (!segments.empty()) {
     const WalSegment& last = segments.back();
-    const std::string data = read_file(last.path);
+    const std::string data = stable_read_file(last.path, env);
     const bool magic_ok =
         data.size() >= kMagicSize && data.compare(0, kMagicSize, kMagic) == 0;
     if (magic_ok) break;
@@ -226,7 +226,7 @@ WalRecovered read_wal(const std::filesystem::path& dir) {
                      std::to_string(seg.first_lsn) + ", expected " +
                      std::to_string(lsn));
     }
-    const std::string data = read_file(seg.path);
+    const std::string data = stable_read_file(seg.path, env);
     if (data.size() < kMagicSize || data.compare(0, kMagicSize, kMagic) != 0) {
       throw WalError("WAL segment '" + seg.path.filename().string() +
                      "' has a corrupt header");
@@ -290,6 +290,9 @@ void WalWriter::resolve_instruments() {
       &m->counter("trustrate_wal_fsyncs_total", "fsync barriers on the WAL");
   segments_rotated_ = &m->counter("trustrate_wal_segments_rotated_total",
                                   "WAL segment rotations");
+  io_retries_ = &m->counter(
+      "trustrate_io_retries_total",
+      "Inline durable-I/O retries (EINTR, short writes, transient backoff)");
   append_seconds_ = &m->histogram("trustrate_wal_append_seconds",
                                   obs::default_seconds_buckets(),
                                   "WAL append latency (incl. any fsync)");
@@ -298,11 +301,25 @@ void WalWriter::resolve_instruments() {
                     obs::default_seconds_buckets(), "WAL fsync latency");
 }
 
+IoEnv WalWriter::io_env() const {
+  IoEnv env;
+  env.crash = options_.crash;
+  env.faults = options_.faults;
+  env.policy = options_.io;
+  env.retries_total = io_retries_;
+  return env;
+}
+
 void WalWriter::sync_segment() {
   if (segment_ == nullptr) return;
   const obs::SpanTimer span(options_.obs.trace, "wal.fsync");
   const std::uint64_t t0 = fsync_seconds_ != nullptr ? obs::monotonic_ns() : 0;
-  segment_->sync();
+  try {
+    segment_->sync();
+  } catch (const IoError&) {
+    wounded_ = true;  // poisoned handle: nothing unsynced can be trusted
+    throw;
+  }
   if (fsync_seconds_ != nullptr) {
     fsync_seconds_->observe(static_cast<double>(obs::monotonic_ns() - t0) *
                             1e-9);
@@ -311,9 +328,11 @@ void WalWriter::sync_segment() {
 }
 
 void WalWriter::open_segment(const std::filesystem::path& path) {
-  segment_ = std::make_unique<DurableFile>(path, options_.crash);
+  segment_ = std::make_unique<DurableFile>(path, io_env());
+  last_good_size_ = segment_->size();
   if (segment_->size() == 0) {
     segment_->append(std::string_view(kMagic, kMagicSize));
+    last_good_size_ = segment_->size();
   }
 }
 
@@ -327,21 +346,38 @@ void WalWriter::rotate() {
 }
 
 std::uint64_t WalWriter::append(const WalRecord& record) {
+  if (wounded_) {
+    throw IoError("append", dir_.string(), 0,
+                  "WAL writer is wounded by a prior environmental fault; "
+                  "repair() required before further appends");
+  }
   const obs::SpanTimer span(options_.obs.trace, "wal.append", 0,
                             static_cast<std::int64_t>(next_lsn_));
   const std::uint64_t t0 = append_seconds_ != nullptr ? obs::monotonic_ns() : 0;
-  if (segment_ == nullptr || segment_->size() >= options_.segment_bytes) {
-    rotate();
-  }
   const std::string frame = encode_frame(record);
-  segment_->append(frame);
-  const std::uint64_t lsn = next_lsn_++;
-  if (options_.fsync == FsyncPolicy::kAlways) {
-    sync_segment();
+  try {
+    if (segment_ == nullptr || segment_->size() >= options_.segment_bytes) {
+      rotate();
+    }
+    segment_->append(frame);
+  } catch (const IoError&) {
+    // The active segment may now carry a torn frame tail (the write made
+    // partial progress before the fault persisted). next_lsn_ is untouched:
+    // the record is NOT in the log. CrashInjected is deliberately not
+    // caught — process death is not an environmental wound.
+    wounded_ = true;
+    throw;
   }
+  last_good_size_ = segment_->size();
+  const std::uint64_t lsn = next_lsn_++;
   if (records_total_ != nullptr) {
     records_total_->add();
     bytes_total_->add(frame.size());
+  }
+  // Under kAlways the frame is already in the log when this sync fails:
+  // the lsn stays consumed and the writer is wounded (see header contract).
+  if (options_.fsync == FsyncPolicy::kAlways) {
+    sync_segment();
   }
   if (append_seconds_ != nullptr) {
     append_seconds_->observe(static_cast<double>(obs::monotonic_ns() - t0) *
@@ -350,6 +386,43 @@ std::uint64_t WalWriter::append(const WalRecord& record) {
   return lsn;
 }
 
-void WalWriter::sync() { sync_segment(); }
+void WalWriter::sync() {
+  if (wounded_) {
+    throw IoError("fsync", dir_.string(), 0,
+                  "WAL writer is wounded by a prior environmental fault; "
+                  "repair() required before further syncs");
+  }
+  sync_segment();
+}
+
+void WalWriter::repair() {
+  namespace fs = std::filesystem;
+  if (!wounded_ && segment_ != nullptr) return;
+  if (segment_ != nullptr) {
+    const fs::path active = segment_->path();
+    const std::uint64_t keep = last_good_size_;
+    segment_.reset();  // drop the (possibly poisoned) fd before truncating
+    std::error_code ec;
+    const std::uintmax_t size = fs::file_size(active, ec);
+    if (!ec && size > keep) fs::resize_file(active, keep, ec);
+  }
+  // Continue in a fresh segment: a poisoned fd must never be trusted again,
+  // and naming the new file for next_lsn_ preserves read_wal's contiguity
+  // rule by construction. Remove a partial segment left by an earlier heal
+  // attempt that itself faulted; when the wounded segment held no complete
+  // frames its name equals the fresh one, and removing it loses nothing
+  // (it was magic-only or torn).
+  const fs::path fresh = dir_ / segment_name(next_lsn_);
+  std::error_code ec;
+  fs::remove(fresh, ec);
+  wounded_ = false;
+  try {
+    open_segment(fresh);
+  } catch (const IoError&) {
+    wounded_ = true;  // environment still failing; stay wounded
+    throw;
+  }
+  if (segments_rotated_ != nullptr) segments_rotated_->add();
+}
 
 }  // namespace trustrate::core::durable

@@ -81,6 +81,10 @@ struct WalOptions {
   std::size_t segment_bytes = 1 << 20;  ///< rotation threshold
   FsyncPolicy fsync = FsyncPolicy::kEpoch;
   CrashInjector* crash = nullptr;
+  /// Environmental fault injector (null in production) and the retry policy
+  /// applied to transient faults on every segment write/fsync.
+  FaultInjector* faults = nullptr;
+  IoPolicy io;
   /// Observability (DESIGN.md §11): append/fsync/rotation counters, timing
   /// histograms, and fsync spans. Out-of-band — the bytes on disk and the
   /// record LSNs are identical with or without sinks.
@@ -107,8 +111,11 @@ struct WalRecovered {
 /// Scans `dir` for wal-*.log segments, validates every frame, truncates a
 /// torn tail (physically, via resize_file), and returns the decoded
 /// records. Throws WalError on mid-log corruption or a segment-sequence
-/// gap. A directory with no segments returns an empty log.
-WalRecovered read_wal(const std::filesystem::path& dir);
+/// gap. A directory with no segments returns an empty log. With a fault
+/// injector in `env`, segment bytes come through stable_read_file, so a
+/// transient read corruption is re-read before any destructive verdict
+/// (tail truncation, segment removal, WalError).
+WalRecovered read_wal(const std::filesystem::path& dir, const IoEnv& env = {});
 
 /// One on-disk segment file and the LSN of its first record.
 struct WalSegment {
@@ -131,10 +138,29 @@ class WalWriter {
 
   /// Appends one record (rotating segments as needed) and returns its LSN.
   /// Under FsyncPolicy::kAlways the record is fsynced before returning.
+  ///
+  /// Fault contract: an IoError from the *write* path leaves next_lsn()
+  /// unchanged (the record is not in the log) and wounds the writer; an
+  /// IoError from the kAlways fsync step leaves next_lsn() advanced (the
+  /// frame IS in the log, merely unsynced) and wounds the writer. Callers
+  /// distinguish the two by sampling next_lsn() around the call.
   std::uint64_t append(const WalRecord& record);
 
   /// Explicit fsync barrier (epoch closes and checkpoints under kEpoch).
+  /// A failed fsync poisons the segment handle and wounds the writer.
   void sync();
+
+  /// True after an environmental fault left the active segment with a torn
+  /// frame or a poisoned handle. A wounded writer refuses append()/sync()
+  /// until repair().
+  bool wounded() const { return wounded_; }
+
+  /// Heals a wounded writer: truncates the active segment to its last
+  /// complete-frame boundary, drops the (possibly poisoned) handle, and
+  /// continues in a fresh segment named for next_lsn() — read_wal's
+  /// contiguity invariant is preserved by construction. Throws IoError (and
+  /// stays wounded) when the environment is still failing.
+  void repair();
 
   std::uint64_t next_lsn() const { return next_lsn_; }
   const WalOptions& options() const { return options_; }
@@ -148,11 +174,16 @@ class WalWriter {
   /// fsyncs the active segment with span/counter/histogram instrumentation.
   void sync_segment();
   void resolve_instruments();
+  IoEnv io_env() const;
 
   std::filesystem::path dir_;
   WalOptions options_;
   std::uint64_t next_lsn_ = 0;
   std::unique_ptr<DurableFile> segment_;
+  /// Active-segment byte size at the last complete-frame boundary; repair()
+  /// truncates a torn tail back to this.
+  std::uint64_t last_good_size_ = 0;
+  bool wounded_ = false;
 
   /// Resolved once at construction (null when WalOptions::obs has no
   /// registry); updates are relaxed atomics on the append path.
@@ -160,6 +191,7 @@ class WalWriter {
   obs::Counter* bytes_total_ = nullptr;
   obs::Counter* fsyncs_total_ = nullptr;
   obs::Counter* segments_rotated_ = nullptr;
+  obs::Counter* io_retries_ = nullptr;
   obs::Histogram* append_seconds_ = nullptr;
   obs::Histogram* fsync_seconds_ = nullptr;
 };

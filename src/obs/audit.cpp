@@ -32,6 +32,9 @@ const char* to_string(AuditEventType type) {
     case AuditEventType::kDegradedEpoch:       return "degraded_epoch";
     case AuditEventType::kObserverNotRestored: return "observer_not_restored";
     case AuditEventType::kWalTailTruncated:    return "wal_tail_truncated";
+    case AuditEventType::kDurabilityDegraded:  return "durability_degraded";
+    case AuditEventType::kDurabilityRecovering: return "durability_recovering";
+    case AuditEventType::kDurabilityRestored:  return "durability_restored";
   }
   return "unknown";
 }

@@ -49,6 +49,12 @@ enum class AuditEventType : std::uint8_t {
   kDegradedEpoch,
   kObserverNotRestored,
   kWalTailTruncated,
+  /// Persistence-degradation ladder transitions (DESIGN.md §12): the
+  /// durable stream lost its WAL (environmental fault persisted past the
+  /// retry budget), is probing/replaying to get it back, or got it back.
+  kDurabilityDegraded,
+  kDurabilityRecovering,
+  kDurabilityRestored,
 };
 
 const char* to_string(AuditEventType type);

@@ -1,0 +1,88 @@
+// Environmental-fault sweep oracle (ISSUE 6 tentpole, testing side).
+//
+// The crash sweep (testkit/crash.hpp) proves recovery over every byte-exact
+// process death. This harness proves the orthogonal contract of the fault
+// layer and the degradation ladder (core/durable/fault.hpp): under any
+// seeded plan of environmental faults — ENOSPC, EIO, EINTR, short writes,
+// fsync failures, rename failures, read corruption — that eventually heals,
+// the durable stream must end bitwise identical to a fault-free run:
+//
+//   1. a fault-free reference run records the final state digest (the
+//      serialized checkpoint bytes of the in-memory stream) and the
+//      detection-audit digest (quarantine/suspicion/trust events — the
+//      semantic record; durability-transition events are infrastructure
+//      and legitimately differ between runs);
+//   2. for each seed, the same run repeats with a FaultInjector driving a
+//      generated FaultPlan through every durable write/fsync/rename/read.
+//      Faults never surface to the client: submissions stay acknowledged,
+//      the ladder degrades and heals, and the run completes;
+//   3. final state digest and detection-audit digest must equal the
+//      reference's byte for byte; once the plan is exhausted (environment
+//      healed) the stream must be back on the durable rung with
+//      durable_acknowledged() == acknowledged(), and a cold re-open of the
+//      directory must rebuild the identical state from disk.
+//
+// With `with_crashes` set, each fault plan is additionally composed with
+// the byte-budget crash sweep: the "process" dies at sampled budgets while
+// the environment is faulty, recovery runs under the *continuing* fault
+// plan, and the resumed run must still converge to the reference digest.
+// The loss check uses durable_acknowledged(): acknowledgements issued in
+// degraded mode are soft (the backlog dies with the process) and the
+// client re-submits from the durable cursor.
+//
+// On failure the run directory is left behind and, when `audit_artifact`
+// is set, the full audit trail (durability transitions included) is
+// written there as JSONL — the nightly CI job uploads it.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "core/durable/fault.hpp"
+#include "core/durable/wal.hpp"
+#include "testkit/scenario.hpp"
+
+namespace trustrate::testkit {
+
+struct FaultSweepOptions {
+  /// Seeded fault plans to sweep; plan i uses seed
+  /// plan_seed_base + 1000003 * scenario.seed + i.
+  std::size_t plans = 8;
+  std::uint64_t plan_seed_base = 0;
+  /// Knobs for FaultPlan::generate (events, horizon, burst length).
+  core::durable::FaultPlanOptions plan;
+  core::durable::FsyncPolicy fsync = core::durable::FsyncPolicy::kEpoch;
+  /// Checkpoint cadence of every run (same as the crash sweep's knob).
+  std::size_t checkpoint_every = 64;
+  /// DurableOptions::heal_probe_every of the fault runs.
+  std::size_t heal_probe_every = 8;
+  /// Compose each fault plan with byte-budget crashes (phase 2 recovery
+  /// continues under the same fault plan).
+  bool with_crashes = false;
+  std::uint64_t crash_stride = 997;
+  std::uint64_t crash_first = 1;
+  /// On failure, the failing run's full audit trail is written here as
+  /// JSONL (empty = skip).
+  std::filesystem::path audit_artifact;
+};
+
+struct FaultSweepResult {
+  bool ok = true;
+  std::string divergence;  ///< empty when ok; names plan seed (and budget)
+  std::size_t plans_run = 0;
+  std::size_t healed_plans = 0;  ///< plans whose injector was exhausted
+  std::uint64_t faults_injected = 0;
+  std::uint64_t degradations = 0;  ///< ladder entries observed (audit)
+  std::uint64_t heals = 0;         ///< restorations observed (audit)
+  std::size_t crash_points = 0;    ///< composed mode: budgets that crashed
+  std::size_t clean_points = 0;    ///< composed mode: budgets outlived
+};
+
+/// Runs the sweep for `scenario` under `dir` (created; wiped per run;
+/// removed on success, left behind on failure as a repro artifact).
+FaultSweepResult run_fault_sweep(const Scenario& scenario,
+                                 const std::filesystem::path& dir,
+                                 const FaultSweepOptions& options = {});
+
+}  // namespace trustrate::testkit

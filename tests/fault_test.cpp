@@ -1,0 +1,698 @@
+// Environmental-fault-tolerance tests (ISSUE 6): the fault-injecting VFS
+// shim, the retry/backoff policy, failed-fsync poisoning across every fsync
+// policy, the WalWriter wound/repair cycle, the DurableStream degradation
+// ladder with self-healing, ENOSPC emergency pruning, and the fault-sweep
+// oracle (optionally composed with the byte-budget crash sweep).
+//
+// Environment knobs (the nightly CI fault-matrix job sets these for a
+// date-seeded run under ASan):
+//   TRUSTRATE_FAULT_SEED          scenario seed for the sweep tests
+//   TRUSTRATE_FAULT_PLANS         fault plans per sweep
+//   TRUSTRATE_FAULT_STRIDE        crash-budget stride of the composed sweep
+//   TRUSTRATE_FAULT_ARTIFACT_DIR  where failing runs dump audit JSONL
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "common/error.hpp"
+#include "core/checkpoint.hpp"
+#include "core/durable/durable_stream.hpp"
+#include "core/durable/fault.hpp"
+#include "core/durable/io.hpp"
+#include "core/durable/wal.hpp"
+#include "obs/audit.hpp"
+#include "obs/metrics.hpp"
+#include "testkit/faults.hpp"
+#include "testkit/scenario.hpp"
+
+namespace trustrate {
+namespace {
+
+namespace fs = std::filesystem;
+using core::durable::DurabilityState;
+using core::durable::DurableFile;
+using core::durable::DurableOptions;
+using core::durable::DurableStream;
+using core::durable::FaultEvent;
+using core::durable::FaultInjector;
+using core::durable::FaultKind;
+using core::durable::FaultPlan;
+using core::durable::FaultPlanOptions;
+using core::durable::FsyncPolicy;
+using core::durable::IoEnv;
+using core::durable::IoOp;
+using core::durable::RetryPolicy;
+using core::durable::VirtualIoClock;
+using core::durable::WalOptions;
+using core::durable::WalRecord;
+using core::durable::WalRecordType;
+using core::durable::WalWriter;
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+fs::path artifact_path(const std::string& name) {
+  const char* dir = std::getenv("TRUSTRATE_FAULT_ARTIFACT_DIR");
+  if (dir == nullptr || *dir == '\0') return {};
+  fs::create_directories(dir);
+  return fs::path(dir) / (name + ".jsonl");
+}
+
+/// Fresh per-test scratch directory under the system temp dir.
+fs::path test_dir(const std::string& name) {
+#ifndef _WIN32
+  const std::string uniq = std::to_string(::getpid());
+#else
+  const std::string uniq = "w";
+#endif
+  const fs::path dir =
+      fs::temp_directory_path() / ("trustrate-fault-" + uniq) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+core::SystemConfig pipeline_config() {
+  core::SystemConfig cfg;
+  cfg.filter.q = 0.02;
+  cfg.ar.window_days = 8.0;
+  cfg.ar.step_days = 2.0;
+  cfg.ar.error_threshold = 0.024;
+  cfg.b = 10.0;
+  return cfg;
+}
+
+/// Deterministic rating stream spanning several epochs (so every fsync
+/// policy has barriers to fail).
+RatingSeries small_stream() {
+  RatingSeries stream;
+  double t = 0.0;
+  for (int i = 0; i < 160; ++i) {
+    t += 0.75;
+    stream.push_back({t, (i % 10) * 0.1, static_cast<RaterId>(1 + i % 13),
+                      static_cast<ProductId>(1 + i % 3), RatingLabel::kHonest});
+  }
+  return stream;
+}
+
+DurableOptions options_of(FsyncPolicy fsync) {
+  DurableOptions options;
+  options.fsync = fsync;
+  return options;
+}
+
+FaultPlan plan_of(std::vector<FaultEvent> events) {
+  FaultPlan plan;
+  plan.events = std::move(events);
+  return plan;
+}
+
+std::string digest(const DurableStream& durable) {
+  std::ostringstream bytes;
+  core::save_checkpoint(durable.stream(), bytes);
+  return bytes.str();
+}
+
+/// Reference digest of `stream` driven fault-free with `checkpoint_every`.
+std::string reference_digest(const fs::path& dir, const RatingSeries& stream,
+                             FsyncPolicy fsync, std::size_t checkpoint_every) {
+  DurableOptions options;
+  options.fsync = fsync;
+  DurableStream durable(dir, pipeline_config(), 30.0, 2, {}, options);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    durable.submit(stream[i]);
+    if (checkpoint_every != 0 && (i + 1) % checkpoint_every == 0) {
+      durable.checkpoint();
+    }
+  }
+  durable.flush();
+  durable.checkpoint();
+  return digest(durable);
+}
+
+// ---------------------------------------------------------------------------
+// Fault plans
+
+TEST(FaultPlan, GenerateIsDeterministic) {
+  FaultPlanOptions options;
+  options.events = 12;
+  options.read_faults = true;
+  const FaultPlan a = FaultPlan::generate(42, options);
+  const FaultPlan b = FaultPlan::generate(42, options);
+  ASSERT_EQ(a.events.size(), 12u);
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].op, b.events[i].op) << i;
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind) << i;
+    EXPECT_EQ(a.events[i].at, b.events[i].at) << i;
+    EXPECT_EQ(a.events[i].count, b.events[i].count) << i;
+  }
+  const FaultPlan c = FaultPlan::generate(43, options);
+  EXPECT_NE(a.summary(), c.summary());
+  EXPECT_EQ(a.summary(), b.summary());
+  EXPECT_FALSE(a.summary().empty());
+}
+
+TEST(FaultPlan, GeneratorCoversTheFaultInventory) {
+  // Across a seed sweep every fault family must appear — otherwise the
+  // nightly matrix silently stops exercising part of the taxonomy.
+  FaultPlanOptions options;
+  options.events = 8;
+  options.read_faults = true;
+  std::vector<int> seen(8, 0);
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    for (const FaultEvent& e : FaultPlan::generate(seed, options).events) {
+      seen[static_cast<int>(e.kind)]++;
+      if (e.kind == FaultKind::kReadCorrupt) {
+        EXPECT_LE(e.count, 2u) << "read bursts must stay re-readable";
+      }
+      EXPECT_GE(e.count, 1u);
+      EXPECT_LT(e.at, options.horizon_ops);
+    }
+  }
+  for (const FaultKind kind :
+       {FaultKind::kEintr, FaultKind::kShortWrite, FaultKind::kEio,
+        FaultKind::kEnospc, FaultKind::kFsyncFail, FaultKind::kRenameFail,
+        FaultKind::kReadCorrupt}) {
+    EXPECT_GT(seen[static_cast<int>(kind)], 0) << to_string(kind);
+  }
+}
+
+TEST(FaultPlan, InjectorExhaustsAfterEveryEventFires) {
+  FaultInjector injector(plan_of({{IoOp::kWrite, 1, FaultKind::kEintr, 2},
+                                  {IoOp::kFsync, 0, FaultKind::kFsyncFail, 1}}));
+  EXPECT_FALSE(injector.exhausted());
+  EXPECT_NE(injector.on_fsync(), 0);          // fsync op 0 fires
+  EXPECT_EQ(injector.on_write(8).error, 0);   // write op 0: before the window
+  EXPECT_EQ(injector.on_write(8).error, EINTR);
+  EXPECT_FALSE(injector.exhausted());
+  EXPECT_EQ(injector.on_write(8).error, EINTR);
+  EXPECT_TRUE(injector.exhausted());
+  EXPECT_EQ(injector.on_write(8).error, 0);  // healed: no further faults
+  EXPECT_EQ(injector.injected(), 3u);
+  EXPECT_EQ(injector.injected(FaultKind::kEintr), 2u);
+  EXPECT_EQ(injector.injected(FaultKind::kFsyncFail), 1u);
+}
+
+TEST(RetryPolicy, BackoffIsExponentialWithCap) {
+  const RetryPolicy policy;  // 100us, x8, cap 200ms
+  EXPECT_EQ(policy.backoff_us(0), 0u);
+  EXPECT_EQ(policy.backoff_us(1), 100u);
+  EXPECT_EQ(policy.backoff_us(2), 800u);
+  EXPECT_EQ(policy.backoff_us(3), 6400u);
+  EXPECT_EQ(policy.backoff_us(4), 51200u);
+  EXPECT_EQ(policy.backoff_us(5), 200000u);  // capped
+  EXPECT_EQ(policy.backoff_us(9), 200000u);
+}
+
+// ---------------------------------------------------------------------------
+// DurableFile under faults
+
+TEST(DurableFileFaults, EintrAndShortWritesAreInvisible) {
+  const fs::path dir = test_dir("eintr-short");
+  FaultInjector injector(
+      plan_of({{IoOp::kWrite, 0, FaultKind::kEintr, 1},
+               {IoOp::kWrite, 1, FaultKind::kShortWrite, 1}}));
+  obs::MetricsRegistry metrics;
+  obs::Counter& retries = metrics.counter("trustrate_io_retries_total");
+  IoEnv env;
+  env.faults = &injector;
+  env.retries_total = &retries;
+  DurableFile file(dir / "log", env);
+  file.append("hello durable world");  // EINTR, then a short write, retried
+  file.sync();
+  file.close();
+  EXPECT_EQ(core::durable::read_file(dir / "log"), "hello durable world");
+  EXPECT_EQ(file.size(), 19u);
+  EXPECT_TRUE(injector.exhausted());
+  EXPECT_GE(retries.value(), 2.0);  // one EINTR retry + one short continuation
+}
+
+TEST(DurableFileFaults, TransientEioHealsOnTheBackoffSchedule) {
+  const fs::path dir = test_dir("transient-eio");
+  FaultInjector injector(plan_of({{IoOp::kWrite, 0, FaultKind::kEio, 3}}));
+  VirtualIoClock clock;
+  IoEnv env;
+  env.faults = &injector;
+  env.policy.clock = &clock;
+  DurableFile file(dir / "log", env);
+  file.append("payload");  // 3 EIO attempts, 4th (last allowed) succeeds
+  EXPECT_EQ(file.size(), 7u);
+  EXPECT_TRUE(injector.exhausted());
+  const std::vector<std::uint64_t> want = {100, 800, 6400};
+  EXPECT_EQ(clock.sleeps(), want);
+}
+
+TEST(DurableFileFaults, PersistentEioClassifiesOpPathErrno) {
+  const fs::path dir = test_dir("persistent-eio");
+  FaultInjector injector(plan_of({{IoOp::kWrite, 0, FaultKind::kEio, 4}}));
+  IoEnv env;
+  env.faults = &injector;
+  DurableFile file(dir / "log", env);
+  try {
+    file.append("payload");
+    FAIL() << "persistent EIO must surface";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.op(), "write");
+    EXPECT_EQ(e.error_code(), EIO);
+    EXPECT_NE(e.path().find("log"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find(std::strerror(EIO)),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(file.size(), 0u);  // nothing persisted, accounting exact
+}
+
+TEST(DurableFileFaults, PersistentEnospcClassifies) {
+  const fs::path dir = test_dir("persistent-enospc");
+  FaultInjector injector(plan_of({{IoOp::kWrite, 0, FaultKind::kEnospc, 4}}));
+  IoEnv env;
+  env.faults = &injector;
+  DurableFile file(dir / "log", env);
+  try {
+    file.append("payload");
+    FAIL() << "persistent ENOSPC must surface";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.error_code(), ENOSPC);
+    EXPECT_EQ(e.op(), "write");
+  }
+}
+
+TEST(DurableFileFaults, FailedFsyncPoisonsTheHandle) {
+  const fs::path dir = test_dir("fsync-poison");
+  FaultInjector injector(plan_of({{IoOp::kFsync, 0, FaultKind::kFsyncFail, 1}}));
+  IoEnv env;
+  env.faults = &injector;
+  DurableFile file(dir / "log", env);
+  file.append("frame");
+  try {
+    file.sync();
+    FAIL() << "injected fsync failure must surface";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.op(), "fsync");
+    EXPECT_NE(std::string(e.what()).find("poisoned"), std::string::npos);
+  }
+  EXPECT_TRUE(file.poisoned());
+  // The plan is exhausted — the NEXT fsync would "succeed", proving nothing.
+  // The handle must refuse to let that lie stand.
+  EXPECT_TRUE(injector.exhausted());
+  EXPECT_THROW(file.sync(), IoError);
+  EXPECT_THROW(file.append("more"), IoError);
+}
+
+// ---------------------------------------------------------------------------
+// WalWriter wound / repair
+
+TEST(WalWriterFaults, WriteFaultWoundsWithoutAdvancingLsn) {
+  const fs::path dir = test_dir("wal-wound");
+  // Write op 0 is the segment magic; the frame write is op 1.
+  FaultInjector injector(plan_of({{IoOp::kWrite, 1, FaultKind::kEio, 4}}));
+  WalOptions options;
+  options.fsync = FsyncPolicy::kNone;
+  options.faults = &injector;
+  WalWriter writer(dir, 0, options);
+
+  WalRecord record;
+  record.rating = {1.0, 0.5, 7, 1, RatingLabel::kHonest};
+  EXPECT_THROW(writer.append(record), IoError);
+  EXPECT_TRUE(writer.wounded());
+  EXPECT_EQ(writer.next_lsn(), 0u);  // the record is NOT in the log
+  EXPECT_THROW(writer.append(record), IoError);  // wounded: refuses
+  EXPECT_THROW(writer.sync(), IoError);
+
+  writer.repair();  // plan exhausted: the fresh segment opens cleanly
+  EXPECT_FALSE(writer.wounded());
+  EXPECT_EQ(writer.append(record), 0u);
+  EXPECT_EQ(writer.append(record), 1u);
+  writer.sync();
+
+  const auto recovered = core::durable::read_wal(dir);
+  ASSERT_EQ(recovered.records.size(), 2u);
+  EXPECT_EQ(recovered.records[0].first, 0u);
+  EXPECT_EQ(recovered.records[1].first, 1u);
+  EXPECT_FALSE(recovered.tail_truncated);
+}
+
+TEST(WalWriterFaults, RepairUnderOngoingFaultsStaysWoundedThenHeals) {
+  const fs::path dir = test_dir("wal-repair-retry");
+  // Burst of 8 write faults: the first append burns 4, the first repair's
+  // segment-magic write burns 4 more, the second repair succeeds.
+  FaultInjector injector(plan_of({{IoOp::kWrite, 1, FaultKind::kEio, 8}}));
+  WalOptions options;
+  options.fsync = FsyncPolicy::kNone;
+  options.faults = &injector;
+  WalWriter writer(dir, 0, options);
+
+  WalRecord record;
+  record.rating = {1.0, 0.5, 7, 1, RatingLabel::kHonest};
+  EXPECT_THROW(writer.append(record), IoError);
+  EXPECT_TRUE(writer.wounded());
+  EXPECT_THROW(writer.repair(), IoError);  // environment still failing
+  EXPECT_TRUE(writer.wounded());
+  writer.repair();
+  EXPECT_FALSE(writer.wounded());
+  EXPECT_TRUE(injector.exhausted());
+  EXPECT_EQ(writer.append(record), 0u);
+  EXPECT_EQ(core::durable::read_wal(dir).records.size(), 1u);
+}
+
+TEST(WalWriterFaults, KAlwaysFsyncFaultAdvancesLsnAndWounds) {
+  const fs::path dir = test_dir("wal-fsync-fault");
+  FaultInjector injector(plan_of({{IoOp::kFsync, 0, FaultKind::kFsyncFail, 1}}));
+  WalOptions options;
+  options.fsync = FsyncPolicy::kAlways;
+  options.faults = &injector;
+  WalWriter writer(dir, 0, options);
+
+  WalRecord record;
+  record.rating = {1.0, 0.5, 7, 1, RatingLabel::kHonest};
+  EXPECT_THROW(writer.append(record), IoError);
+  EXPECT_TRUE(writer.wounded());
+  EXPECT_EQ(writer.next_lsn(), 1u);  // the frame IS in the log, unsynced
+
+  writer.repair();
+  EXPECT_FALSE(writer.wounded());
+  EXPECT_EQ(writer.append(record), 1u);
+  writer.sync();
+  const auto recovered = core::durable::read_wal(dir);
+  ASSERT_EQ(recovered.records.size(), 2u);
+  EXPECT_EQ(recovered.next_lsn, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// DurableStream degradation ladder
+
+/// Satellite (c): a failed fsync must keep the affected frames out of the
+/// durable acknowledgement cursor until a heal rewrites durable state —
+/// under every fsync policy (the policies only move WHERE the first fsync
+/// happens: every submit, epoch barriers, or the checkpoint path).
+TEST(DurableStreamLadder, FsyncPoisonDegradesThenHealsUnderEveryPolicy) {
+  const RatingSeries stream = small_stream();
+  for (const FsyncPolicy policy :
+       {FsyncPolicy::kAlways, FsyncPolicy::kEpoch, FsyncPolicy::kNone}) {
+    const std::string tag = core::durable::to_string(policy);
+    const std::string reference =
+        reference_digest(test_dir("fsync-ref-" + tag), stream, policy, 32);
+
+    const fs::path dir = test_dir("fsync-fault-" + tag);
+    FaultInjector injector(
+        plan_of({{IoOp::kFsync, 0, FaultKind::kFsyncFail, 1}}));
+    VirtualIoClock clock;
+    obs::MetricsRegistry metrics;
+    obs::MemoryAuditSink audit;
+    DurableOptions options;
+    options.fsync = policy;
+    options.faults = &injector;
+    options.io.clock = &clock;
+    options.heal_probe_every = 0;  // manual healing only: deterministic ladder
+    options.obs = {&metrics, nullptr, &audit};
+    DurableStream durable(dir, pipeline_config(), 30.0, 2, {}, options);
+
+    bool saw_degraded = false;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      durable.submit(stream[i]);
+      if ((i + 1) % 32 == 0) durable.checkpoint();
+      if (!saw_degraded &&
+          durable.durability_state() == DurabilityState::kDegraded) {
+        saw_degraded = true;
+        // The frames behind the failed barrier are suspect: the durable
+        // cursor must exclude them until a heal rewrites state.
+        EXPECT_LT(durable.durable_acknowledged(), durable.acknowledged())
+            << tag;
+        EXPECT_TRUE(durable.try_heal()) << tag;
+        EXPECT_EQ(durable.durability_state(), DurabilityState::kDurable)
+            << tag;
+        EXPECT_EQ(durable.durable_acknowledged(), durable.acknowledged())
+            << tag;
+      }
+    }
+    durable.flush();
+    durable.checkpoint();
+    ASSERT_TRUE(saw_degraded) << tag << ": the fsync fault never fired";
+    EXPECT_TRUE(injector.exhausted()) << tag;
+    EXPECT_EQ(digest(durable), reference) << tag;
+
+    EXPECT_GE(
+        metrics.counter("trustrate_durability_degradations_total").value(),
+        1.0)
+        << tag;
+    EXPECT_GE(metrics.counter("trustrate_durability_heals_total").value(), 1.0)
+        << tag;
+    EXPECT_EQ(metrics.gauge("trustrate_durability_state").value(), 0.0) << tag;
+    EXPECT_GE(
+        audit.of_type(obs::AuditEventType::kDurabilityDegraded).size(), 1u)
+        << tag;
+    EXPECT_GE(
+        audit.of_type(obs::AuditEventType::kDurabilityRestored).size(), 1u)
+        << tag;
+
+    // Cold recovery of the healed directory rebuilds the identical state.
+    DurableStream reopened(dir, pipeline_config(), 30.0, 2, {},
+                           options_of(policy));
+    EXPECT_EQ(reopened.acknowledged(), durable.acknowledged()) << tag;
+    EXPECT_EQ(digest(reopened), reference) << tag;
+  }
+}
+
+TEST(DurableStreamLadder, PersistentWriteFaultBacklogsAndAutoHeals) {
+  const RatingSeries stream = small_stream();
+  const std::string reference = reference_digest(
+      test_dir("backlog-ref"), stream, FsyncPolicy::kEpoch, 0);
+
+  const fs::path dir = test_dir("backlog-fault");
+  // A long EIO burst: the retry budget (4 attempts) cannot ride it out, so
+  // the stream degrades and buffers; the auto heal probe brings it back.
+  FaultInjector injector(plan_of({{IoOp::kWrite, 6, FaultKind::kEio, 24}}));
+  VirtualIoClock clock;
+  obs::MetricsRegistry metrics;
+  obs::MemoryAuditSink audit;
+  DurableOptions options;
+  options.fsync = FsyncPolicy::kEpoch;
+  options.faults = &injector;
+  options.io.clock = &clock;
+  options.heal_probe_every = 4;
+  options.obs = {&metrics, nullptr, &audit};
+  DurableStream durable(dir, pipeline_config(), 30.0, 2, {}, options);
+
+  bool saw_backlog = false;
+  for (const Rating& rating : stream) {
+    durable.submit(rating);
+    saw_backlog = saw_backlog || durable.backlog_records() > 0;
+  }
+  durable.flush();
+  durable.checkpoint();
+  ASSERT_TRUE(saw_backlog) << "the write burst never forced a backlog";
+  EXPECT_TRUE(injector.exhausted());
+  EXPECT_EQ(durable.durability_state(), DurabilityState::kDurable);
+  EXPECT_EQ(durable.backlog_records(), 0u);
+  EXPECT_EQ(durable.durable_acknowledged(), durable.acknowledged());
+  EXPECT_EQ(digest(durable), reference);
+  EXPECT_GE(metrics.counter("trustrate_durability_io_faults_total").value(),
+            1.0);
+  EXPECT_GE(audit.of_type(obs::AuditEventType::kDurabilityRecovering).size(),
+            1u);
+
+  // Everything acknowledged — backlogged or not — must survive on disk.
+  DurableStream reopened(dir, pipeline_config(), 30.0, 2, {},
+                         options_of(FsyncPolicy::kEpoch));
+  EXPECT_EQ(reopened.acknowledged(), durable.acknowledged());
+  EXPECT_EQ(digest(reopened), reference);
+}
+
+TEST(DurableStreamLadder, EnospcTriggersEmergencyPruneWithoutDegrading) {
+  const RatingSeries stream = small_stream();
+  const std::string reference = reference_digest(
+      test_dir("enospc-ref"), stream, FsyncPolicy::kEpoch, 24);
+
+  // Sizing pass: count write ops so the ENOSPC burst lands late in the run,
+  // when pruneable checkpoints and covered WAL segments exist.
+  std::uint64_t write_ops = 0;
+  {
+    FaultInjector probe;  // empty plan: pure op counter
+    DurableOptions options;
+    options.fsync = FsyncPolicy::kEpoch;
+    options.faults = &probe;
+    DurableStream durable(test_dir("enospc-size"), pipeline_config(), 30.0, 2,
+                          {}, options);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      durable.submit(stream[i]);
+      if ((i + 1) % 24 == 0) durable.checkpoint();
+    }
+    durable.flush();
+    durable.checkpoint();
+    write_ops = probe.ops(IoOp::kWrite);
+  }
+  ASSERT_GT(write_ops, 16u);
+
+  const fs::path dir = test_dir("enospc-fault");
+  FaultInjector injector(plan_of(
+      {{IoOp::kWrite, write_ops * 3 / 4, FaultKind::kEnospc, 4}}));
+  VirtualIoClock clock;
+  obs::MetricsRegistry metrics;
+  DurableOptions options;
+  options.fsync = FsyncPolicy::kEpoch;
+  options.faults = &injector;
+  options.io.clock = &clock;
+  options.obs = {&metrics, nullptr, nullptr};
+  DurableStream durable(dir, pipeline_config(), 30.0, 2, {}, options);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    durable.submit(stream[i]);
+    if ((i + 1) % 24 == 0) durable.checkpoint();
+  }
+  durable.flush();
+  durable.checkpoint();
+
+  EXPECT_TRUE(injector.exhausted());
+  EXPECT_GE(injector.injected(FaultKind::kEnospc), 1u);
+  EXPECT_GE(metrics.counter("trustrate_durability_emergency_prunes_total")
+                .value(),
+            1.0);
+  EXPECT_EQ(durable.durability_state(), DurabilityState::kDurable);
+  EXPECT_EQ(digest(durable), reference);
+
+  DurableStream reopened(dir, pipeline_config(), 30.0, 2, {},
+                         options_of(FsyncPolicy::kEpoch));
+  EXPECT_EQ(reopened.acknowledged(), durable.acknowledged());
+  EXPECT_EQ(digest(reopened), reference);
+}
+
+TEST(DurableStreamLadder, RenameFaultDegradesCheckpointThenHeals) {
+  const RatingSeries stream = small_stream();
+  const std::string reference = reference_digest(
+      test_dir("rename-ref"), stream, FsyncPolicy::kEpoch, 0);
+
+  const fs::path dir = test_dir("rename-fault");
+  // Burst of 6 rename faults: the first checkpoint burns the 4-attempt
+  // budget and degrades (the old file stays live — here, none yet); the
+  // heal's re-checkpoint rides out the remaining 2 and lands.
+  FaultInjector injector(
+      plan_of({{IoOp::kRename, 0, FaultKind::kRenameFail, 6}}));
+  VirtualIoClock clock;
+  obs::MetricsRegistry metrics;
+  DurableOptions options;
+  options.fsync = FsyncPolicy::kEpoch;
+  options.faults = &injector;
+  options.io.clock = &clock;
+  options.heal_probe_every = 0;
+  options.obs = {&metrics, nullptr, nullptr};
+  DurableStream durable(dir, pipeline_config(), 30.0, 2, {}, options);
+  for (std::size_t i = 0; i < 64; ++i) durable.submit(stream[i]);
+
+  EXPECT_EQ(durable.checkpoint(), 0u);  // promotion blocked: no new ckpt
+  EXPECT_EQ(durable.durability_state(), DurabilityState::kDegraded);
+  EXPECT_EQ(durable.last_checkpoint_lsn(), 0u);
+
+  EXPECT_TRUE(durable.try_heal());
+  EXPECT_EQ(durable.durability_state(), DurabilityState::kDurable);
+  EXPECT_GT(durable.last_checkpoint_lsn(), 0u);
+  EXPECT_TRUE(
+      fs::exists(dir / DurableStream::checkpoint_name(
+                           durable.last_checkpoint_lsn())));
+  EXPECT_TRUE(injector.exhausted());
+
+  for (std::size_t i = 64; i < stream.size(); ++i) durable.submit(stream[i]);
+  durable.flush();
+  durable.checkpoint();
+  EXPECT_EQ(digest(durable), reference);
+}
+
+TEST(DurableStreamLadder, TransientReadCorruptionDoesNotTruncateOnRecovery) {
+  const RatingSeries stream = small_stream();
+  const fs::path dir = test_dir("read-corrupt");
+  std::string expected;
+  std::uint64_t acked = 0;
+  {
+    DurableStream durable(dir, pipeline_config(), 30.0, 2, {},
+                          options_of(FsyncPolicy::kEpoch));
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      durable.submit(stream[i]);
+      if (i + 1 == 96) durable.checkpoint();  // checkpoint + live WAL tail
+    }
+    expected = digest(durable);
+    acked = durable.acknowledged();
+  }
+
+  // Transient read corruption while recovering: checkpoint load and WAL
+  // scan must re-read instead of skipping a rung or truncating the tail.
+  FaultInjector injector(
+      plan_of({{IoOp::kRead, 0, FaultKind::kReadCorrupt, 2},
+               {IoOp::kRead, 4, FaultKind::kReadCorrupt, 1}}));
+  DurableOptions options;
+  options.fsync = FsyncPolicy::kEpoch;
+  options.faults = &injector;
+  DurableStream recovered(dir, pipeline_config(), 30.0, 2, {}, options);
+  EXPECT_EQ(recovered.acknowledged(), acked);
+  EXPECT_EQ(digest(recovered), expected);
+  EXPECT_TRUE(recovered.recovery().loaded_checkpoint);
+  EXPECT_EQ(recovered.recovery().corrupt_checkpoints, 0u);
+  EXPECT_FALSE(recovered.recovery().wal_tail_truncated);
+  EXPECT_GE(injector.injected(FaultKind::kReadCorrupt), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// The fault-sweep oracle
+
+TEST(FaultSweep, HealedPlansAreBitExact) {
+  const std::uint64_t seed = env_u64("TRUSTRATE_FAULT_SEED", 2);
+  const testkit::Scenario scenario = testkit::make_scenario(seed);
+  testkit::FaultSweepOptions options;
+  options.plans = env_u64("TRUSTRATE_FAULT_PLANS", 6);
+  options.audit_artifact = artifact_path("fault-sweep");
+  const auto result =
+      testkit::run_fault_sweep(scenario, test_dir("sweep"), options);
+  EXPECT_TRUE(result.ok) << result.divergence;
+  EXPECT_EQ(result.plans_run, options.plans);
+  EXPECT_GT(result.faults_injected, 0u);
+  EXPECT_GT(result.healed_plans, 0u);
+}
+
+TEST(FaultSweep, AllFsyncPoliciesConverge) {
+  const std::uint64_t seed = env_u64("TRUSTRATE_FAULT_SEED", 2);
+  const testkit::Scenario scenario = testkit::make_scenario(seed + 1);
+  for (const FsyncPolicy policy :
+       {FsyncPolicy::kNone, FsyncPolicy::kEpoch, FsyncPolicy::kAlways}) {
+    testkit::FaultSweepOptions options;
+    options.plans = 3;
+    options.plan_seed_base = 7000;
+    options.fsync = policy;
+    options.audit_artifact = artifact_path(
+        std::string("fault-sweep-") + core::durable::to_string(policy));
+    const auto result = testkit::run_fault_sweep(
+        scenario,
+        test_dir(std::string("sweep-") + core::durable::to_string(policy)),
+        options);
+    EXPECT_TRUE(result.ok)
+        << core::durable::to_string(policy) << ": " << result.divergence;
+  }
+}
+
+TEST(FaultSweep, ComposedWithCrashSweepStillRecovers) {
+  const std::uint64_t seed = env_u64("TRUSTRATE_FAULT_SEED", 2);
+  const testkit::Scenario scenario = testkit::make_scenario(seed);
+  testkit::FaultSweepOptions options;
+  options.plans = 2;
+  options.with_crashes = true;
+  options.crash_stride = env_u64("TRUSTRATE_FAULT_STRIDE", 2999);
+  options.crash_first = 17;
+  options.audit_artifact = artifact_path("fault-crash-sweep");
+  const auto result =
+      testkit::run_fault_sweep(scenario, test_dir("composed"), options);
+  EXPECT_TRUE(result.ok) << result.divergence;
+  EXPECT_GT(result.crash_points, 0u);
+  EXPECT_GT(result.clean_points, 0u);
+}
+
+}  // namespace
+}  // namespace trustrate
