@@ -8,6 +8,8 @@
 #include "detect/ar_detector.hpp"
 #include "detect/beta_filter.hpp"
 #include "signal/ar.hpp"
+#include "signal/ar_incremental.hpp"
+#include "signal/window.hpp"
 #include "sim/illustrative.hpp"
 
 using namespace trustrate;
@@ -19,6 +21,17 @@ std::vector<double> noise(std::size_t n) {
   std::vector<double> xs(n);
   for (double& x : xs) x = rng.gaussian(0.5, 0.2);
   return xs;
+}
+
+RatingSeries noise_series(std::size_t n) {
+  Rng rng(1);
+  RatingSeries series(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    series[i].time = static_cast<double>(i) * 0.1;
+    series[i].value = rng.gaussian(0.5, 0.2);
+    series[i].rater = static_cast<RaterId>(i % 97);
+  }
+  return series;
 }
 
 void BM_FitCovariance(benchmark::State& state) {
@@ -54,6 +67,99 @@ void BM_FitBurg(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_FitBurg)->Arg(50)->Arg(200)->Arg(1000);
+
+// --- sliding-fit pair: the pre-PR hot path vs the incremental estimator ---
+//
+// Both sweep the same 50%-overlap count windows (range(1)-rating windows
+// stepping by half) over a range(0)-rating series; items processed = windows
+// fitted, so ns_per_op is directly the per-window fit cost. The perf-smoke
+// CI gate compares the two p50s; the ISSUE 7 acceptance bar is >= 5x at
+// 50/25.
+
+void BM_SlidingFitScratch(benchmark::State& state) {
+  const auto series = noise_series(static_cast<std::size_t>(state.range(0)));
+  const auto window = static_cast<std::size_t>(state.range(1));
+  const auto windows = signal::make_count_windows(series.size(), window, window / 2);
+  std::size_t fitted = 0;
+  for (auto _ : state) {
+    // Faithful replica of the detector loop before the incremental path:
+    // copy the window's values, then the naive covariance fit (strided
+    // c(i, j) passes, Matrix allocations).
+    for (const auto& w : windows) {
+      std::vector<double> values;
+      values.reserve(w.size());
+      for (std::size_t i = w.begin; i < w.end; ++i) {
+        values.push_back(series[i].value);
+      }
+      benchmark::DoNotOptimize(signal::fit_ar_covariance(values, 4));
+      ++fitted;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(fitted));
+}
+BENCHMARK(BM_SlidingFitScratch)->Args({5000, 50})->Args({5000, 200});
+
+void BM_SlidingFitCanonical(benchmark::State& state) {
+  const auto series = noise_series(static_cast<std::size_t>(state.range(0)));
+  const auto window = static_cast<std::size_t>(state.range(1));
+  const auto windows = signal::make_count_windows(series.size(), window, window / 2);
+  signal::CovWorkspace ws;
+  std::vector<double> values;
+  std::size_t fitted = 0;
+  for (auto _ : state) {
+    for (const auto& w : windows) {
+      values.clear();
+      for (std::size_t i = w.begin; i < w.end; ++i) {
+        values.push_back(series[i].value);
+      }
+      benchmark::DoNotOptimize(signal::fit_cov_scratch(values, 4, ws));
+      ++fitted;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(fitted));
+}
+BENCHMARK(BM_SlidingFitCanonical)->Args({5000, 50})->Args({5000, 200});
+
+void BM_SlidingFitIncremental(benchmark::State& state) {
+  const auto series = noise_series(static_cast<std::size_t>(state.range(0)));
+  const auto window = static_cast<std::size_t>(state.range(1));
+  const auto windows = signal::make_count_windows(series.size(), window, window / 2);
+  signal::SlidingCovarianceEstimator est;
+  signal::CovWorkspace ws;
+  std::size_t fitted = 0;
+  for (auto _ : state) {
+    est.begin_series(4, window);
+    for (const auto& w : windows) {
+      est.advance(series, w.begin, w.end);
+      benchmark::DoNotOptimize(est.fit(ws));
+      ++fitted;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(fitted));
+}
+BENCHMARK(BM_SlidingFitIncremental)->Args({5000, 50})->Args({5000, 200});
+
+// Detector-level pair on the paper's 10/5-day time windows: the whole
+// analyze_into pipeline with the incremental path on vs off.
+void BM_DetectorSlidingWindows(benchmark::State& state) {
+  sim::IllustrativeConfig cfg;
+  cfg.simu_time = 360.0;
+  Rng rng(2);
+  const RatingSeries series = sim::generate_illustrative(cfg, rng);
+  detect::ArDetectorConfig det_cfg;
+  det_cfg.window_days = 10.0;
+  det_cfg.step_days = 5.0;
+  det_cfg.incremental = state.range(0) != 0;
+  const detect::ArSuspicionDetector det(det_cfg);
+  detect::ArScratch scratch;
+  detect::SuspicionResult result;
+  for (auto _ : state) {
+    det.analyze_into(series, 0.0, cfg.simu_time, scratch, result);
+    benchmark::DoNotOptimize(result.windows.size());
+  }
+  state.SetItemsProcessed(state.iterations() * series.size());
+}
+BENCHMARK(BM_DetectorSlidingWindows)->Arg(1)->Arg(0);
 
 void BM_DetectorAnalyze(benchmark::State& state) {
   sim::IllustrativeConfig cfg;

@@ -1,0 +1,368 @@
+#include "common/simd.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define TRUSTRATE_SIMD_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#define TRUSTRATE_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace trustrate::simd {
+
+namespace {
+
+// ---------------------------------------------------------------- scalar
+//
+// The canonical shape, spelled out. Products live in named temporaries so
+// no backend (present or future compiler flag) can contract them into FMAs
+// and break the bitwise contract with the vector paths.
+
+double sum_impl_scalar(const double* x, std::size_t n) {
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) lane[i & 3] += x[i];
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+double dot_impl_scalar(const double* a, const double* b, std::size_t n) {
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = a[i] * b[i];
+    lane[i & 3] += p;
+  }
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+void multiply_impl_scalar(double* dst, const double* a, const double* b,
+                          std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] * b[i];
+}
+
+void sum_rows_impl_scalar(const double* const* rows, std::size_t row_count,
+                          std::size_t n, double* out) {
+  // The reference result is *defined* as one canonical sum per row; the
+  // vector backends may fuse rows into shared passes but must land on
+  // exactly these values.
+  for (std::size_t r = 0; r < row_count; ++r) out[r] = sum_impl_scalar(rows[r], n);
+}
+
+void multiply_lagged_impl_scalar(double* const* dst, const double* x,
+                                 std::size_t lag_count, std::size_t n) {
+  for (std::size_t d = 0; d < lag_count; ++d) {
+    for (std::size_t i = 0; i < n; ++i) dst[d][i] = x[i] * x[i - d];
+  }
+}
+
+// ----------------------------------------------------------------- AVX2
+//
+// Compiled with a per-function target attribute so the translation unit
+// itself needs no -mavx2; the dispatcher only selects these after a cpuid
+// check. Unaligned loads keep the result independent of buffer alignment
+// (lane assignment is by element index, never by address).
+
+#if TRUSTRATE_SIMD_X86
+__attribute__((target("avx2"))) double sum_impl_avx2(const double* x,
+                                                     std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  const std::size_t m = n & ~std::size_t{3};
+  std::size_t i = 0;
+  for (; i < m; i += 4) acc = _mm256_add_pd(acc, _mm256_loadu_pd(x + i));
+  double lane[4];
+  _mm256_storeu_pd(lane, acc);
+  for (; i < n; ++i) lane[i & 3] += x[i];
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+__attribute__((target("avx2"))) double dot_impl_avx2(const double* a,
+                                                     const double* b,
+                                                     std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  const std::size_t m = n & ~std::size_t{3};
+  std::size_t i = 0;
+  for (; i < m; i += 4) {
+    // Explicit mul + add (not _mm256_fmadd_pd): each product rounds before
+    // the accumulate, exactly like the scalar reference.
+    const __m256d p = _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    acc = _mm256_add_pd(acc, p);
+  }
+  double lane[4];
+  _mm256_storeu_pd(lane, acc);
+  for (; i < n; ++i) {
+    const double p = a[i] * b[i];
+    lane[i & 3] += p;
+  }
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+__attribute__((target("avx2"))) void multiply_impl_avx2(double* dst,
+                                                        const double* a,
+                                                        const double* b,
+                                                        std::size_t n) {
+  const std::size_t m = n & ~std::size_t{3};
+  std::size_t i = 0;
+  for (; i < m; i += 4) {
+    _mm256_storeu_pd(dst + i,
+                     _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = a[i] * b[i];
+}
+__attribute__((target("avx2"))) void sum_rows_impl_avx2(
+    const double* const* rows, std::size_t row_count, std::size_t n,
+    double* out) {
+  // Fuse four rows per pass: one ymm accumulator per row, all rows loaded
+  // per index block, so the index loop runs once for the whole quad. Each
+  // accumulator sees the same operands in the same order as a standalone
+  // sum() over its row — per-row results are bitwise unchanged by the
+  // fusion.
+  const std::size_t m = n & ~std::size_t{3};
+  std::size_t r = 0;
+  for (; r + 4 <= row_count; r += 4) {
+    const double* r0 = rows[r];
+    const double* r1 = rows[r + 1];
+    const double* r2 = rows[r + 2];
+    const double* r3 = rows[r + 3];
+    __m256d a0 = _mm256_setzero_pd();
+    __m256d a1 = _mm256_setzero_pd();
+    __m256d a2 = _mm256_setzero_pd();
+    __m256d a3 = _mm256_setzero_pd();
+    std::size_t i = 0;
+    for (; i < m; i += 4) {
+      a0 = _mm256_add_pd(a0, _mm256_loadu_pd(r0 + i));
+      a1 = _mm256_add_pd(a1, _mm256_loadu_pd(r1 + i));
+      a2 = _mm256_add_pd(a2, _mm256_loadu_pd(r2 + i));
+      a3 = _mm256_add_pd(a3, _mm256_loadu_pd(r3 + i));
+    }
+    double lane[4][4];
+    _mm256_storeu_pd(lane[0], a0);
+    _mm256_storeu_pd(lane[1], a1);
+    _mm256_storeu_pd(lane[2], a2);
+    _mm256_storeu_pd(lane[3], a3);
+    for (; i < n; ++i) {
+      lane[0][i & 3] += r0[i];
+      lane[1][i & 3] += r1[i];
+      lane[2][i & 3] += r2[i];
+      lane[3][i & 3] += r3[i];
+    }
+    for (std::size_t k = 0; k < 4; ++k) {
+      out[r + k] = (lane[k][0] + lane[k][1]) + (lane[k][2] + lane[k][3]);
+    }
+  }
+  for (; r < row_count; ++r) out[r] = sum_impl_avx2(rows[r], n);
+}
+
+__attribute__((target("avx2"))) void multiply_lagged_impl_avx2(
+    double* const* dst, const double* x, std::size_t lag_count,
+    std::size_t n) {
+  const std::size_t m = n & ~std::size_t{3};
+  std::size_t i = 0;
+  for (; i < m; i += 4) {
+    const __m256d v = _mm256_loadu_pd(x + i);
+    for (std::size_t d = 0; d < lag_count; ++d) {
+      _mm256_storeu_pd(dst[d] + i,
+                       _mm256_mul_pd(v, _mm256_loadu_pd(x + i - d)));
+    }
+  }
+  for (; i < n; ++i) {
+    for (std::size_t d = 0; d < lag_count; ++d) dst[d][i] = x[i] * x[i - d];
+  }
+}
+
+#endif  // TRUSTRATE_SIMD_X86
+
+// ----------------------------------------------------------------- NEON
+//
+// Two 2-lane registers model the four canonical lanes (0,1) and (2,3).
+
+#if TRUSTRATE_SIMD_NEON
+double sum_impl_neon(const double* x, std::size_t n) {
+  float64x2_t acc01 = vdupq_n_f64(0.0);
+  float64x2_t acc23 = vdupq_n_f64(0.0);
+  const std::size_t m = n & ~std::size_t{3};
+  std::size_t i = 0;
+  for (; i < m; i += 4) {
+    acc01 = vaddq_f64(acc01, vld1q_f64(x + i));
+    acc23 = vaddq_f64(acc23, vld1q_f64(x + i + 2));
+  }
+  double lane[4] = {vgetq_lane_f64(acc01, 0), vgetq_lane_f64(acc01, 1),
+                    vgetq_lane_f64(acc23, 0), vgetq_lane_f64(acc23, 1)};
+  for (; i < n; ++i) lane[i & 3] += x[i];
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+double dot_impl_neon(const double* a, const double* b, std::size_t n) {
+  float64x2_t acc01 = vdupq_n_f64(0.0);
+  float64x2_t acc23 = vdupq_n_f64(0.0);
+  const std::size_t m = n & ~std::size_t{3};
+  std::size_t i = 0;
+  for (; i < m; i += 4) {
+    // vmulq + vaddq, never vfmaq: the product must round on its own.
+    const float64x2_t p01 = vmulq_f64(vld1q_f64(a + i), vld1q_f64(b + i));
+    const float64x2_t p23 = vmulq_f64(vld1q_f64(a + i + 2), vld1q_f64(b + i + 2));
+    acc01 = vaddq_f64(acc01, p01);
+    acc23 = vaddq_f64(acc23, p23);
+  }
+  double lane[4] = {vgetq_lane_f64(acc01, 0), vgetq_lane_f64(acc01, 1),
+                    vgetq_lane_f64(acc23, 0), vgetq_lane_f64(acc23, 1)};
+  for (; i < n; ++i) {
+    const double p = a[i] * b[i];
+    lane[i & 3] += p;
+  }
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+void multiply_impl_neon(double* dst, const double* a, const double* b,
+                        std::size_t n) {
+  const std::size_t m = n & ~std::size_t{1};
+  std::size_t i = 0;
+  for (; i < m; i += 2) {
+    vst1q_f64(dst + i, vmulq_f64(vld1q_f64(a + i), vld1q_f64(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = a[i] * b[i];
+}
+void sum_rows_impl_neon(const double* const* rows, std::size_t row_count,
+                        std::size_t n, double* out) {
+  // Fuse two rows per pass (each row already needs two 2-lane registers
+  // for the canonical four lanes).
+  const std::size_t m = n & ~std::size_t{3};
+  std::size_t r = 0;
+  for (; r + 2 <= row_count; r += 2) {
+    const double* r0 = rows[r];
+    const double* r1 = rows[r + 1];
+    float64x2_t a01 = vdupq_n_f64(0.0);
+    float64x2_t a23 = vdupq_n_f64(0.0);
+    float64x2_t b01 = vdupq_n_f64(0.0);
+    float64x2_t b23 = vdupq_n_f64(0.0);
+    std::size_t i = 0;
+    for (; i < m; i += 4) {
+      a01 = vaddq_f64(a01, vld1q_f64(r0 + i));
+      a23 = vaddq_f64(a23, vld1q_f64(r0 + i + 2));
+      b01 = vaddq_f64(b01, vld1q_f64(r1 + i));
+      b23 = vaddq_f64(b23, vld1q_f64(r1 + i + 2));
+    }
+    double lane[2][4] = {{vgetq_lane_f64(a01, 0), vgetq_lane_f64(a01, 1),
+                          vgetq_lane_f64(a23, 0), vgetq_lane_f64(a23, 1)},
+                         {vgetq_lane_f64(b01, 0), vgetq_lane_f64(b01, 1),
+                          vgetq_lane_f64(b23, 0), vgetq_lane_f64(b23, 1)}};
+    for (; i < n; ++i) {
+      lane[0][i & 3] += r0[i];
+      lane[1][i & 3] += r1[i];
+    }
+    out[r] = (lane[0][0] + lane[0][1]) + (lane[0][2] + lane[0][3]);
+    out[r + 1] = (lane[1][0] + lane[1][1]) + (lane[1][2] + lane[1][3]);
+  }
+  for (; r < row_count; ++r) out[r] = sum_impl_neon(rows[r], n);
+}
+
+void multiply_lagged_impl_neon(double* const* dst, const double* x,
+                               std::size_t lag_count, std::size_t n) {
+  const std::size_t m = n & ~std::size_t{1};
+  std::size_t i = 0;
+  for (; i < m; i += 2) {
+    const float64x2_t v = vld1q_f64(x + i);
+    for (std::size_t d = 0; d < lag_count; ++d) {
+      vst1q_f64(dst[d] + i, vmulq_f64(v, vld1q_f64(x + i - d)));
+    }
+  }
+  for (; i < n; ++i) {
+    for (std::size_t d = 0; d < lag_count; ++d) dst[d][i] = x[i] * x[i - d];
+  }
+}
+
+#endif  // TRUSTRATE_SIMD_NEON
+
+// ------------------------------------------------------------- dispatch
+
+using SumFn = double (*)(const double*, std::size_t);
+using DotFn = double (*)(const double*, const double*, std::size_t);
+using MulFn = void (*)(double*, const double*, const double*, std::size_t);
+using SumRowsFn = void (*)(const double* const*, std::size_t, std::size_t,
+                           double*);
+using MulLagFn = void (*)(double* const*, const double*, std::size_t,
+                          std::size_t);
+
+struct Backend {
+  SumFn sum;
+  DotFn dot;
+  MulFn multiply;
+  SumRowsFn sum_rows;
+  MulLagFn multiply_lagged;
+  const char* name;
+};
+
+Backend resolve_backend() {
+#if TRUSTRATE_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) {
+    return {sum_impl_avx2, dot_impl_avx2, multiply_impl_avx2,
+            sum_rows_impl_avx2, multiply_lagged_impl_avx2, "avx2"};
+  }
+#elif TRUSTRATE_SIMD_NEON
+  return {sum_impl_neon, dot_impl_neon, multiply_impl_neon,
+          sum_rows_impl_neon, multiply_lagged_impl_neon, "neon"};
+#endif
+  return {sum_impl_scalar, dot_impl_scalar, multiply_impl_scalar,
+          sum_rows_impl_scalar, multiply_lagged_impl_scalar, "scalar"};
+}
+
+// Namespace-scope constant rather than a function-local static: dynamic
+// initialization runs once at load time (cpuid needs no other globals), and
+// every call site then reads the table with no init-guard check — these
+// functions sit on per-window hot paths where even an acquire-load guard
+// shows up.
+const Backend g_backend = resolve_backend();
+
+inline const Backend& backend_instance() { return g_backend; }
+
+}  // namespace
+
+double sum(const double* x, std::size_t n) {
+  return backend_instance().sum(x, n);
+}
+
+double dot(const double* a, const double* b, std::size_t n) {
+  return backend_instance().dot(a, b, n);
+}
+
+double energy(const double* x, std::size_t n) {
+  return backend_instance().dot(x, x, n);
+}
+
+void multiply(double* dst, const double* a, const double* b, std::size_t n) {
+  backend_instance().multiply(dst, a, b, n);
+}
+
+void sum_rows(const double* const* rows, std::size_t row_count, std::size_t n,
+              double* out) {
+  backend_instance().sum_rows(rows, row_count, n, out);
+}
+
+void multiply_lagged(double* const* dst, const double* x,
+                     std::size_t lag_count, std::size_t n) {
+  backend_instance().multiply_lagged(dst, x, lag_count, n);
+}
+
+double sum_scalar(const double* x, std::size_t n) {
+  return sum_impl_scalar(x, n);
+}
+
+double dot_scalar(const double* a, const double* b, std::size_t n) {
+  return dot_impl_scalar(a, b, n);
+}
+
+void multiply_scalar(double* dst, const double* a, const double* b,
+                     std::size_t n) {
+  multiply_impl_scalar(dst, a, b, n);
+}
+
+void sum_rows_scalar(const double* const* rows, std::size_t row_count,
+                     std::size_t n, double* out) {
+  sum_rows_impl_scalar(rows, row_count, n, out);
+}
+
+void multiply_lagged_scalar(double* const* dst, const double* x,
+                            std::size_t lag_count, std::size_t n) {
+  multiply_lagged_impl_scalar(dst, x, lag_count, n);
+}
+
+const char* backend() { return backend_instance().name; }
+
+}  // namespace trustrate::simd

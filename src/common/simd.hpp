@@ -1,0 +1,74 @@
+// Portable SIMD kernels for the AR hot path.
+//
+// Every reduction here follows one *canonical* evaluation shape — four
+// independent accumulator lanes striding the input by 4, a scalar tail
+// folded into lane (i & 3), and the fixed combine (l0 + l1) + (l2 + l3).
+// The AVX2 and NEON backends implement exactly that shape with vector
+// registers, so the dispatched result is bitwise identical to the scalar
+// reference on every architecture: vector lane j sees the same operands in
+// the same order as scalar accumulator j. This is what lets the
+// incremental-vs-from-scratch AR oracle (testkit) compare digests with
+// hexfloat equality while the hot loops still run at vector speed.
+//
+// No FMA is ever emitted: multiply and add round separately in all
+// backends (the intrinsic paths use explicit mul/add, the scalar paths
+// keep the product in a named temporary so the compiler cannot contract).
+//
+// Dispatch is resolved once per process (AVX2 via cpuid on x86-64, NEON
+// unconditionally on aarch64, scalar otherwise); `backend()` reports the
+// choice and the `*_scalar` entry points stay callable so tests can assert
+// the bitwise contract on the machine they run on.
+#pragma once
+
+#include <cstddef>
+
+namespace trustrate::simd {
+
+/// Canonical 4-lane blocked sum of x[0..n).
+double sum(const double* x, std::size_t n);
+
+/// Canonical 4-lane blocked dot product of a[0..n) and b[0..n).
+double dot(const double* a, const double* b, std::size_t n);
+
+/// Canonical 4-lane blocked sum of squares of x[0..n). Identical to
+/// dot(x, x, n), provided for readability at call sites.
+double energy(const double* x, std::size_t n);
+
+/// Elementwise dst[i] = a[i] * b[i] for i in [0, n). Each element is one
+/// correctly rounded multiply, so the result is backend-independent by
+/// construction.
+void multiply(double* dst, const double* a, const double* b, std::size_t n);
+
+/// out[r] = sum(rows[r], n) for r in [0, row_count) — bitwise identical to
+/// calling sum() per row, but the vector backends fuse several rows into a
+/// single pass (one accumulator register per row) so short same-length
+/// reductions — the p+1 diagonal sums of a covariance fit — pay the loop
+/// and dispatch overhead once instead of row_count times.
+void sum_rows(const double* const* rows, std::size_t row_count, std::size_t n,
+              double* out);
+
+/// dst[d][i] = x[i] * x[i − d] for d in [0, lag_count), i in [0, n) — the
+/// lag-product columns of an AR covariance fit, filled in one pass (each
+/// x[i] is loaded once and multiplied against all lags). The caller must
+/// guarantee x[−(lag_count−1)] is addressable. Like multiply(), every
+/// element is a single correctly rounded multiply, so the result is
+/// backend-independent by construction.
+void multiply_lagged(double* const* dst, const double* x,
+                     std::size_t lag_count, std::size_t n);
+
+/// Scalar reference implementations of the same canonical shape. The
+/// dispatched functions above must agree with these bitwise on any input —
+/// the SIMD conformance test (tests/incremental_ar_test.cpp) pins it.
+double sum_scalar(const double* x, std::size_t n);
+double dot_scalar(const double* a, const double* b, std::size_t n);
+void multiply_scalar(double* dst, const double* a, const double* b,
+                     std::size_t n);
+void sum_rows_scalar(const double* const* rows, std::size_t row_count,
+                     std::size_t n, double* out);
+void multiply_lagged_scalar(double* const* dst, const double* x,
+                            std::size_t lag_count, std::size_t n);
+
+/// Name of the backend the dispatcher resolved: "avx2", "neon" or "scalar".
+const char* backend();
+
+}  // namespace trustrate::simd

@@ -1,6 +1,7 @@
 #include "detect/ar_detector.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 
@@ -61,35 +62,64 @@ double ArSuspicionDetector::window_error(std::span<const double> values) const {
 
 SuspicionResult ArSuspicionDetector::analyze(const RatingSeries& series,
                                              double t0, double t1) const {
-  TRUSTRATE_EXPECTS(is_time_sorted(series), "series must be time-sorted");
+  // The detector is shared across epoch-engine worker threads; per-thread
+  // scratch keeps analyze() reentrant while still amortizing the buffers.
+  static thread_local ArScratch scratch;
   SuspicionResult result;
+  analyze_into(series, t0, t1, scratch, result);
+  return result;
+}
+
+void ArSuspicionDetector::analyze_into(const RatingSeries& series, double t0,
+                                       double t1, ArScratch& scratch,
+                                       SuspicionResult& result) const {
+  TRUSTRATE_EXPECTS(is_time_sorted(series), "series must be time-sorted");
+  result.windows.clear();
+  result.suspicion.clear();
   result.in_suspicious_window.assign(series.size(), false);
 
   const std::size_t needed = std::max<std::size_t>(
       config_.min_ratings, 2 * static_cast<std::size_t>(config_.order) + 1);
 
   // Build the window index ranges.
-  std::vector<WindowReport> reports;
   if (config_.count_based) {
-    for (const auto& iw : signal::make_count_windows(
-             series.size(), config_.window_count, config_.step_count)) {
+    signal::make_count_windows_into(series.size(), config_.window_count,
+                                    config_.step_count, scratch.index_windows);
+    for (const auto& iw : scratch.index_windows) {
       WindowReport r;
       r.first = iw.begin;
       r.last = iw.end;
+      // Half-open span covering exactly the ratings in [first, last).
       r.window = {series[iw.begin].time,
-                  series[iw.end - 1].time};  // informational span
-      reports.push_back(r);
+                  std::nextafter(series[iw.end - 1].time,
+                                 std::numeric_limits<double>::infinity())};
+      result.windows.push_back(r);
     }
   } else if (t1 > t0) {
-    for (const auto& tw :
-         signal::make_time_windows(t0, t1, config_.window_days, config_.step_days)) {
+    signal::make_time_windows_into(t0, t1, config_.window_days,
+                                   config_.step_days, scratch.time_windows);
+    for (const auto& tw : scratch.time_windows) {
       WindowReport r;
       r.window = tw;
       const auto idx = signal::indices_in_window(series, tw);
       r.first = idx.begin;
       r.last = idx.end;
-      reports.push_back(r);
+      result.windows.push_back(r);
     }
+  }
+
+  // The paper's operating point (covariance method, no demeaning) routes
+  // through the canonical kernel: incrementally sliding the lag-product
+  // state by default, or rebuilding it per window when config_.incremental
+  // is off. Both arms execute identical arithmetic — the differential
+  // oracle compares their digests bitwise. Demeaned / autocorrelation /
+  // Burg fits stay on the legacy allocating estimators.
+  const bool canonical =
+      config_.estimator == ArEstimator::kCovariance && !config_.demean;
+  const bool incremental = canonical && config_.incremental;
+  if (incremental) {
+    scratch.estimator.begin_series(
+        config_.order, config_.count_based ? config_.window_count : 0);
   }
 
   // Procedure 1: evaluate windows in time order, accumulating C(i) with
@@ -102,30 +132,42 @@ SuspicionResult ArSuspicionDetector::analyze(const RatingSeries& series,
   // level and credited only the delta, under-counting C(i). Tracking the
   // evaluated-window ordinal (not a 0.0-level sentinel) keeps "not seen
   // yet" distinct from a legitimate near-zero level.
-  struct RunState {
-    std::size_t window = 0;  ///< evaluated-window ordinal of the last hit
-    double level = 0.0;      ///< running maximum level of the current run
-  };
-  std::unordered_map<RaterId, RunState> runs;
+  scratch.runs.clear();
   std::size_t eval_ordinal = 0;
-  for (WindowReport& r : reports) {
+  for (WindowReport& r : result.windows) {
     const std::size_t n = r.last - r.first;
-    if (n < needed) {
-      result.windows.push_back(r);
-      continue;
-    }
-    std::vector<double> values;
-    values.reserve(n);
-    for (std::size_t i = r.first; i < r.last; ++i) values.push_back(series[i].value);
+    if (n < needed) continue;  // stays unevaluated, model_error stays NaN
 
+    const std::uint64_t fit_start =
+        fit_seconds_ != nullptr ? obs::monotonic_ns() : 0;
+    if (incremental) {
+      scratch.estimator.advance(series, r.first, r.last);
+      const signal::CovFitStats stats = scratch.estimator.fit(scratch.workspace);
+      r.model_error =
+          config_.normalization == ErrorNormalization::kResidualVariance
+              ? stats.residual_variance()
+              : stats.normalized_error();
+    } else {
+      scratch.values.clear();
+      for (std::size_t i = r.first; i < r.last; ++i) {
+        scratch.values.push_back(series[i].value);
+      }
+      if (canonical) {
+        const signal::CovFitStats stats =
+            signal::fit_cov_scratch(scratch.values, config_.order, scratch.workspace);
+        r.model_error =
+            config_.normalization == ErrorNormalization::kResidualVariance
+                ? stats.residual_variance()
+                : stats.normalized_error();
+      } else {
+        r.model_error = window_error(scratch.values);
+      }
+    }
     if (fit_seconds_ != nullptr) {
-      const std::uint64_t fit_start = obs::monotonic_ns();
-      r.model_error = window_error(values);
       fit_seconds_->observe(
           static_cast<double>(obs::monotonic_ns() - fit_start) * 1e-9);
-    } else {
-      r.model_error = window_error(values);
     }
+
     r.evaluated = true;
     if (windows_evaluated_ != nullptr) windows_evaluated_->add();
     const std::size_t ordinal = eval_ordinal++;
@@ -137,8 +179,8 @@ SuspicionResult ArSuspicionDetector::analyze(const RatingSeries& series,
       for (std::size_t i = r.first; i < r.last; ++i) {
         result.in_suspicious_window[i] = true;
         const RaterId rater = series[i].rater;
-        const auto [it, fresh] = runs.try_emplace(rater, RunState{ordinal, 0.0});
-        RunState& run = it->second;
+        const bool fresh = !scratch.runs.contains(rater);
+        SuspicionRun& run = scratch.runs[rater];
         if (!fresh && run.window == ordinal) continue;  // already credited here
         if (fresh || run.window + 1 != ordinal) {
           // New run: the rater was absent from the preceding evaluated
@@ -153,9 +195,7 @@ SuspicionResult ArSuspicionDetector::analyze(const RatingSeries& series,
         run.window = ordinal;
       }
     }
-    result.windows.push_back(r);
   }
-  return result;
 }
 
 std::size_t SuspicionResult::suspicious_count() const {

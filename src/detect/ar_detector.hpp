@@ -20,15 +20,25 @@
 //    evaluated-window ordinal, not a level sentinel); each later run is a
 //    genuinely new suspicious interval and credits its full maximum again,
 //    so C(i) = sum over the rater's runs of each run's peak level.
+//
+// Hot path (DESIGN.md §13): for the paper's operating point — covariance
+// estimator, no demeaning — window fits run through the canonical kernel of
+// signal/ar_incremental.hpp, by default incrementally (50%-overlap windows
+// share their lag-product columns). The incremental and from-scratch
+// routes produce bitwise-identical results by construction; the testkit
+// differential oracle pins it. analyze_into() with a caller-owned scratch
+// performs zero steady-state heap allocations.
 #pragma once
 
 #include <string>
-#include <unordered_map>
+#include <limits>
 #include <vector>
 
 #include "common/types.hpp"
+#include "detect/suspicion_map.hpp"
 #include "obs/observability.hpp"
 #include "signal/ar.hpp"
+#include "signal/ar_incremental.hpp"
 #include "signal/window.hpp"
 
 namespace trustrate::detect {
@@ -66,6 +76,13 @@ struct ArDetectorConfig {
   bool demean = false;         ///< see ArOptions::demean
   ArEstimator estimator = ArEstimator::kCovariance;
 
+  /// Slide the covariance cross-product state across overlapping windows
+  /// instead of refitting each window from scratch. Only applies to the
+  /// canonical path (kCovariance, demean == false); results are bitwise
+  /// identical either way — this flag exists for the differential oracle
+  /// and the benches, not for behaviour.
+  bool incremental = true;
+
   // --- detection ---
   ErrorNormalization normalization = ErrorNormalization::kResidualVariance;
   double error_threshold = 0.02;  ///< e(k) below this marks the window (paper §IV)
@@ -78,10 +95,20 @@ struct ArDetectorConfig {
 
 /// Per-window diagnostics.
 struct WindowReport {
-  signal::TimeWindow window;      ///< time span (degenerate for count windows)
+  /// Time span. For count-based windows this is derived from the ratings:
+  /// the half-open [first rating's time, nextafter(last rating's time)) so
+  /// that — like the native time windows — `window.contains(r.time)` holds
+  /// exactly for the ratings in [first, last). (It used to report the
+  /// end-inclusive [first.time, last.time], which excluded the last rating
+  /// and overlapped adjacent windows' ends; detect_test pins the fix.)
+  signal::TimeWindow window;
   std::size_t first = 0;          ///< index range [first, last) in the series
   std::size_t last = 0;
-  double model_error = 1.0;       ///< e(k); 1.0 when the window was skipped
+  /// e(k). NaN when the window was skipped (`evaluated == false`): a
+  /// skipped window has *no* error value, and the old 1.0 sentinel was a
+  /// plausible on-scale number that silently polluted averages. Gate on
+  /// `evaluated` before consuming.
+  double model_error = std::numeric_limits<double>::quiet_NaN();
   bool evaluated = false;         ///< false when skipped for lack of data
   bool suspicious = false;
   double level = 0.0;             ///< L(k), 0 unless suspicious
@@ -92,13 +119,33 @@ struct SuspicionResult {
   std::vector<WindowReport> windows;
 
   /// C(i): accumulated suspicion per rater (only raters with C > 0 appear).
-  std::unordered_map<RaterId, double> suspicion;
+  /// Insertion-ordered flat map; iteration order is first-credit order.
+  RaterFlatMap<double> suspicion;
 
   /// Per input rating: true when the rating lies in >= 1 suspicious window.
   std::vector<bool> in_suspicious_window;
 
   /// Number of suspicious windows.
   std::size_t suspicious_count() const;
+};
+
+/// Per-rater bookkeeping for Procedure 1's run accumulation.
+struct SuspicionRun {
+  std::size_t window = 0;  ///< evaluated-window ordinal of the last hit
+  double level = 0.0;      ///< running maximum level of the current run
+};
+
+/// Reusable scratch for analyze_into(). All buffers grow to high-water
+/// marks; after the first analysis of a given shape, subsequent analyses
+/// allocate nothing (pinned by the counting-allocator test in
+/// tests/incremental_ar_test.cpp).
+struct ArScratch {
+  signal::SlidingCovarianceEstimator estimator;
+  signal::CovWorkspace workspace;
+  std::vector<signal::TimeWindow> time_windows;
+  std::vector<signal::IndexWindow> index_windows;
+  std::vector<double> values;
+  RaterFlatMap<SuspicionRun> runs;
 };
 
 /// The Procedure-1 detector.
@@ -111,6 +158,11 @@ class ArSuspicionDetector {
   /// produce a result with no evaluated windows.
   SuspicionResult analyze(const RatingSeries& series, double t0, double t1) const;
 
+  /// analyze() into caller-owned scratch and result storage. Equivalent
+  /// output; zero heap allocations once `scratch` and `result` are warm.
+  void analyze_into(const RatingSeries& series, double t0, double t1,
+                    ArScratch& scratch, SuspicionResult& result) const;
+
   const ArDetectorConfig& config() const { return config_; }
   std::string name() const { return "ar-suspicion"; }
 
@@ -122,7 +174,8 @@ class ArSuspicionDetector {
   void set_observability(const obs::Observability& o);
 
  private:
-  /// Fits the configured estimator; returns the normalized model error.
+  /// Fits the configured estimator via the legacy allocating path (used for
+  /// autocorrelation / Burg / demeaned fits); returns the thresholded error.
   double window_error(std::span<const double> values) const;
 
   ArDetectorConfig config_;

@@ -1,0 +1,135 @@
+// Flat, insertion-ordered rater → value map for the detector hot path.
+//
+// SuspicionResult used to hold a std::unordered_map<RaterId, double>. That
+// container re-allocates a node per insert, and — critically for the
+// zero-allocation contract of ArSuspicionDetector::analyze — libstdc++'s
+// clear() frees every node, so reusing the map across windows still
+// allocates in steady state. RaterFlatMap keeps its memory across clear():
+// entries live in a vector (insertion order, which the digest path sorts
+// anyway) and lookups go through a power-of-two open-addressing index of
+// positions. After warm-up, insert/lookup/clear perform zero heap
+// allocations as long as the per-epoch rater count stays within the
+// high-water capacity.
+//
+// Deliberately minimal: no erase (the detector never removes a rater), and
+// iteration yields std::pair<RaterId, V> in insertion order, which is all
+// the digest/report consumers need.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace trustrate::detect {
+
+template <typename V>
+class RaterFlatMap {
+ public:
+  using value_type = std::pair<RaterId, V>;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  /// Value for `key`, default-constructed and inserted when absent.
+  V& operator[](RaterId key) {
+    const std::size_t pos = find_or_insert(key);
+    return entries_[pos].second;
+  }
+
+  /// Value for `key`; throws std::out_of_range when absent (the same
+  /// contract call sites relied on with std::unordered_map::at).
+  const V& at(RaterId key) const {
+    const std::size_t pos = find_pos(key);
+    if (pos == kNotFound) throw std::out_of_range("RaterFlatMap::at: no such rater");
+    return entries_[pos].second;
+  }
+
+  bool contains(RaterId key) const { return find_pos(key) != kNotFound; }
+
+  /// Iterator-style lookup: end() when absent.
+  const_iterator find(RaterId key) const {
+    const std::size_t pos = find_pos(key);
+    return pos == kNotFound ? entries_.end() : entries_.begin() + static_cast<std::ptrdiff_t>(pos);
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+
+  /// Forgets all entries but keeps both the entry vector's and the slot
+  /// index's capacity — the whole point of this container.
+  void clear() {
+    entries_.clear();
+    std::fill(slots_.begin(), slots_.end(), kEmptySlot);
+  }
+
+  /// Pre-sizes for `n` raters (optional; the map grows on demand).
+  void reserve(std::size_t n) {
+    entries_.reserve(n);
+    if (n * 10 >= slots_.size() * 7) rehash(slot_count_for(n));
+  }
+
+ private:
+  static constexpr std::uint32_t kEmptySlot = 0;  // slot stores position + 1
+  static constexpr std::size_t kNotFound = static_cast<std::size_t>(-1);
+
+  static std::size_t hash(RaterId key) {
+    // Fibonacci multiplicative hash; RaterIds are dense small integers.
+    return static_cast<std::size_t>(key) * 0x9E3779B9u;
+  }
+
+  static std::size_t slot_count_for(std::size_t n) {
+    std::size_t count = 16;
+    while (count * 7 < n * 10) count *= 2;  // keep load factor under 0.7
+    return count;
+  }
+
+  std::size_t find_pos(RaterId key) const {
+    if (slots_.empty()) return kNotFound;
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t s = hash(key) & mask;; s = (s + 1) & mask) {
+      const std::uint32_t slot = slots_[s];
+      if (slot == kEmptySlot) return kNotFound;
+      const std::size_t pos = slot - 1;
+      if (entries_[pos].first == key) return pos;
+    }
+  }
+
+  std::size_t find_or_insert(RaterId key) {
+    if (slots_.empty() || (entries_.size() + 1) * 10 >= slots_.size() * 7) {
+      rehash(slot_count_for(entries_.size() + 1));
+    }
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t s = hash(key) & mask;
+    for (;; s = (s + 1) & mask) {
+      const std::uint32_t slot = slots_[s];
+      if (slot == kEmptySlot) break;
+      const std::size_t pos = slot - 1;
+      if (entries_[pos].first == key) return pos;
+    }
+    entries_.emplace_back(key, V{});
+    slots_[s] = static_cast<std::uint32_t>(entries_.size());
+    return entries_.size() - 1;
+  }
+
+  void rehash(std::size_t new_slot_count) {
+    if (new_slot_count <= slots_.size()) return;
+    slots_.assign(new_slot_count, kEmptySlot);
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t pos = 0; pos < entries_.size(); ++pos) {
+      std::size_t s = hash(entries_[pos].first) & mask;
+      while (slots_[s] != kEmptySlot) s = (s + 1) & mask;
+      slots_[s] = static_cast<std::uint32_t>(pos + 1);
+    }
+  }
+
+  std::vector<value_type> entries_;   ///< insertion order
+  std::vector<std::uint32_t> slots_;  ///< open-addressing index, pos + 1
+};
+
+}  // namespace trustrate::detect

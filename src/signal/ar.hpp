@@ -56,14 +56,22 @@ struct ArModel {
 
   bool degenerate = false;
 
-  /// Innovation-variance estimate: residual_energy / (N − p). This is the
-  /// quantity Matlab's covariance-method routines report as the model
-  /// error, and the scale on which the paper's detection threshold (0.02)
-  /// lives: for honest ratings it approaches the rating variance; a
-  /// collaborative block collapses it. 0 for degenerate windows.
+  /// Innovation-variance estimate: residual_energy / (N − p) with p the
+  /// *requested* order. This is the quantity Matlab's covariance-method
+  /// routines report as the model error, and the scale on which the
+  /// paper's detection threshold (0.02) lives: for honest ratings it
+  /// approaches the rating variance; a collaborative block collapses it.
+  /// 0 for degenerate windows.
+  ///
+  /// The degrees of freedom deliberately use `requested_order`, not
+  /// `order()`: a degeneracy-forced order reduction must not silently
+  /// shift the df from the documented N − p and move the statistic off
+  /// the scale the fixed threshold was calibrated for (it previously did —
+  /// see the rank-deficient-window regression test in signal_test).
   double residual_variance() const {
-    const std::size_t df = sample_count - static_cast<std::size_t>(order());
-    if (sample_count == 0 || df == 0) return 0.0;
+    const auto df = static_cast<std::ptrdiff_t>(sample_count) -
+                    static_cast<std::ptrdiff_t>(requested_order);
+    if (sample_count == 0 || df <= 0) return 0.0;
     return residual_energy / static_cast<double>(df);
   }
 

@@ -1,0 +1,416 @@
+#include "signal/ar_incremental.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <type_traits>
+
+#include "common/error.hpp"
+#include "common/simd.hpp"
+
+namespace trustrate::signal {
+
+namespace {
+
+constexpr double kTinyEnergy = 1e-14;  // same scale as signal/ar.cpp
+
+// --------------------------------------------------------------- solvers
+//
+// Allocation-free mirrors of signal/matrix.cpp's solve_ldlt /
+// solve_gaussian, specialized to the AR subsystem: solve A x = b with
+// A(i, j) = c(i+1, j+1) and b(i) = −c(i+1, 0), where c is the
+// (p+1)×(p+1) cross-product matrix. Tolerances and elimination order
+// match the Matrix-based solvers so the degeneracy ladder takes the same
+// decisions as fit_ar_covariance (the LDLT divides through stored pivot
+// reciprocals, which perturbs factor entries by at most one extra
+// rounding; the singularity checks themselves are unchanged).
+
+double c_at(const double* c, std::size_t cp1, std::size_t i, std::size_t j) {
+  return c[i * cp1 + j];
+}
+
+// The order parameter is taken as a template so the dispatcher below can
+// instantiate the default order (4) with a compile-time constant — every
+// loop fully unrolls and the index arithmetic folds away. The arithmetic
+// sequence is identical either way, so the constant-order instantiations
+// are bitwise interchangeable with the runtime-order one.
+template <typename Order>
+bool solve_ldlt_impl(const double* c, Order p, CovWorkspace& ws) {
+  const std::size_t cp1 = p + 1;
+  double* l = ws.ldlt_l.data();
+  double* d = ws.ldlt_d.data();
+  double* z = ws.coeffs.data();
+  // Gaussian's rhs buffer is free here (the two solvers never run at the
+  // same time); it stores the pivot reciprocals so each diagonal divides
+  // once and every dependent entry multiplies — division is the only
+  // multi-cycle-latency op in this 4×4-sized solve, and this drops the
+  // count from p(p+1)/2 + p to p.
+  double* inv_d = ws.rhs.data();
+
+  double max_diag = 0.0;
+  for (std::size_t i = 0; i < p; ++i) {
+    max_diag = std::max(max_diag, std::fabs(c_at(c, cp1, i + 1, i + 1)));
+  }
+  const double tiny = std::max(max_diag, 1.0) * 1e-13;
+
+  for (std::size_t j = 0; j < p; ++j) {
+    double dj = c_at(c, cp1, j + 1, j + 1);
+    for (std::size_t k = 0; k < j; ++k) dj -= l[j * p + k] * l[j * p + k] * d[k];
+    if (dj < tiny) return false;  // not safely positive definite
+    d[j] = dj;
+    inv_d[j] = 1.0 / dj;
+    l[j * p + j] = 1.0;
+    for (std::size_t i = j + 1; i < p; ++i) {
+      double acc = c_at(c, cp1, i + 1, j + 1);
+      for (std::size_t k = 0; k < j; ++k) acc -= l[i * p + k] * l[j * p + k] * d[k];
+      l[i * p + j] = acc * inv_d[j];
+    }
+  }
+
+  for (std::size_t i = 0; i < p; ++i) z[i] = -c_at(c, cp1, i + 1, 0);
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t k = 0; k < i; ++k) z[i] -= l[i * p + k] * z[k];
+  }
+  for (std::size_t i = 0; i < p; ++i) z[i] *= inv_d[i];
+  for (std::size_t i = p; i-- > 0;) {
+    for (std::size_t k = i + 1; k < p; ++k) z[i] -= l[k * p + i] * z[k];
+  }
+  return true;
+}
+
+
+bool solve_gaussian_ws(const double* c, std::size_t p, CovWorkspace& ws) {
+  const std::size_t cp1 = p + 1;
+  double* a = ws.gauss_a.data();
+  double* b = ws.rhs.data();
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = 0; j < p; ++j) a[i * p + j] = c_at(c, cp1, i + 1, j + 1);
+    b[i] = -c_at(c, cp1, i + 1, 0);
+  }
+
+  double max_abs = 0.0;
+  for (std::size_t i = 0; i < p * p; ++i) max_abs = std::max(max_abs, std::fabs(a[i]));
+  const double tiny = std::max(max_abs, 1.0) * 1e-13;
+
+  for (std::size_t col = 0; col < p; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < p; ++r) {
+      if (std::fabs(a[r * p + col]) > std::fabs(a[pivot * p + col])) pivot = r;
+    }
+    if (std::fabs(a[pivot * p + col]) < tiny) return false;
+    if (pivot != col) {
+      for (std::size_t k = col; k < p; ++k) std::swap(a[pivot * p + k], a[col * p + k]);
+      std::swap(b[pivot], b[col]);
+    }
+    for (std::size_t r = col + 1; r < p; ++r) {
+      const double factor = a[r * p + col] / a[col * p + col];
+      if (factor == 0.0) continue;
+      for (std::size_t k = col; k < p; ++k) a[r * p + k] -= factor * a[col * p + k];
+      b[r] -= factor * b[col];
+    }
+  }
+  double* x = ws.coeffs.data();
+  for (std::size_t i = p; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t k = i + 1; k < p; ++k) acc -= a[i * p + k] * x[k];
+    x[i] = acc / a[i * p + i];
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------- kernel
+//
+// The shared covariance fit: `v` points at the N window values, `cols[d]`
+// at the window-local product column q_d (valid entries [d, N)). Both the
+// incremental estimator and the from-scratch path land here, so their
+// arithmetic — reduction shape, boundary-correction order, solver ladder —
+// is identical instruction for instruction.
+
+// One rung of the order-reduction ladder: build the c(i, j) matrix at
+// order `pp`, solve, and fill `stats` on success. Returns true when the
+// fit is settled (solved or degenerate), false when the normal equations
+// were singular and the ladder should retry one order lower. Templated on
+// the order's type so the kernel can instantiate the default order with a
+// compile-time constant (fully unrolled corrections, solver and residual
+// loops) while ladder retries and non-default orders share the same code
+// with a runtime value — the arithmetic sequence, and hence every bit of
+// the result, is the same either way.
+template <typename Order>
+bool cov_fit_try_order(const double* const* cols, std::size_t n, Order pp,
+                       bool is_requested_order, double& window_energy,
+                       CovFitStats& stats, CovWorkspace& ws) {
+  const std::size_t cp1 = pp + 1;
+  double* c = ws.c.data();
+
+  // One fused multi-row reduction covers every matrix diagonal (S_d for
+  // d = 0..p, all over the same index range), then O(1) boundary
+  // corrections walk each diagonal outward: c(i, i+d) adds q_d(p−i) and
+  // drops q_d(N−i) relative to c(i−1, i−1+d).
+  for (std::size_t d = 0; d <= pp; ++d) ws.sum_ptrs[d] = cols[d] + pp;
+  simd::sum_rows(ws.sum_ptrs.data(), cp1, n - pp, ws.diag_sums.data());
+
+  if (is_requested_order) {
+    // A window without signal energy has nothing to model (constant-zero
+    // values); same early exit as fit_ar_covariance. q_0(u) = y(u)² is
+    // already materialized and S_0 covers [p, n), so the full-window
+    // energy is S_0 plus the first p squares — all terms non-negative,
+    // and both fit arms share this exact sequence, so the degeneracy
+    // decision is common to them by construction.
+    double e = ws.diag_sums[0];
+    for (std::size_t i = 0; i < pp; ++i) e += cols[0][i];
+    window_energy = e;
+    if (window_energy <= kTinyEnergy) {
+      stats.degenerate = true;
+      return true;
+    }
+  }
+
+  for (std::size_t d = 0; d <= pp; ++d) {
+    const double* q = cols[d];
+    double acc = ws.diag_sums[d];
+    c[0 * cp1 + d] = acc;
+    c[d * cp1 + 0] = acc;
+    for (std::size_t i = 1; i + d <= pp; ++i) {
+      acc += q[pp - i];
+      acc -= q[n - i];
+      c[i * cp1 + (i + d)] = acc;
+      c[(i + d) * cp1 + i] = acc;
+    }
+  }
+
+  if (!solve_ldlt_impl(c, pp, ws) && !solve_gaussian_ws(c, pp, ws)) {
+    return false;
+  }
+
+  stats.fitted_order = static_cast<int>(pp);
+  // E_min = c(0,0) + Σ a_k c(0,k); guard cancellation below zero.
+  double e = c[0];
+  for (std::size_t k = 1; k <= pp; ++k) e += ws.coeffs[k - 1] * c[k];
+  stats.residual_energy = std::max(e, 0.0);
+  stats.reference_energy = c[0];
+  return true;
+}
+
+CovFitStats cov_fit_kernel(const double* const* cols, std::size_t n,
+                           int requested_order, CovWorkspace& ws) {
+  CovFitStats stats;
+  stats.requested_order = requested_order;
+  stats.sample_count = n;
+
+  double window_energy = 0.0;
+
+  // Order-reduction ladder: singular normal equations at p retry at p−1
+  // (a constant level makes the matrix rank-1; the lower-order model
+  // describes the same signal exactly). The default order gets the
+  // compile-time instantiation — it is the steady-state path.
+  int p = requested_order;
+  bool done;
+  if (p == 4) {
+    done = cov_fit_try_order(cols, n, std::integral_constant<std::size_t, 4>{},
+                             true, window_energy, stats, ws);
+  } else {
+    done = cov_fit_try_order(cols, n, static_cast<std::size_t>(p), true,
+                             window_energy, stats, ws);
+  }
+  for (--p; !done && p >= 1; --p) {
+    done = cov_fit_try_order(cols, n, static_cast<std::size_t>(p), false,
+                             window_energy, stats, ws);
+  }
+  if (done) return stats;
+
+  // Even order 1 was singular: nothing is predictable; report full error.
+  stats.fitted_order = 0;
+  stats.reference_energy = window_energy;
+  stats.residual_energy = window_energy;
+  return stats;
+}
+
+}  // namespace
+
+double CovFitStats::normalized_error() const {
+  if (degenerate || reference_energy <= kTinyEnergy) return 0.0;
+  return std::clamp(residual_energy / reference_energy, 0.0, 1.0);
+}
+
+void CovWorkspace::reserve(int order, std::size_t window_len) {
+  if (order <= ready_order && window_len <= ready_len) return;
+  // Size to the joint high-water marks so interleaved (order, length)
+  // requests can never leave a buffer smaller than a skipped combination
+  // would need.
+  ready_order = std::max(ready_order, order);
+  ready_len = std::max(ready_len, window_len);
+  window_len = ready_len;
+  const auto p = static_cast<std::size_t>(ready_order);
+  if (c.size() < (p + 1) * (p + 1)) c.resize((p + 1) * (p + 1));
+  if (ldlt_l.size() < p * p) ldlt_l.resize(p * p);
+  if (ldlt_d.size() < p) ldlt_d.resize(p);
+  if (gauss_a.size() < p * p) gauss_a.resize(p * p);
+  if (rhs.size() < p) rhs.resize(p);
+  if (coeffs.size() < p) coeffs.resize(p);
+  if (col_ptrs.size() < p + 1) col_ptrs.resize(p + 1);
+  if (sum_ptrs.size() < p + 1) sum_ptrs.resize(p + 1);
+  if (diag_sums.size() < p + 1) diag_sums.resize(p + 1);
+  if (window_len > 0 && fresh_cols.size() < (p + 1) * window_len) {
+    fresh_cols.resize((p + 1) * window_len);
+  }
+}
+
+CovFitStats fit_cov_scratch(std::span<const double> x, int order,
+                            CovWorkspace& ws) {
+  TRUSTRATE_EXPECTS(order >= 1, "AR order must be >= 1");
+  TRUSTRATE_EXPECTS(x.size() >= 2 * static_cast<std::size_t>(order) + 1,
+                    "covariance method needs x.size() >= 2*order + 1");
+  const std::size_t n = x.size();
+  const auto p = static_cast<std::size_t>(order);
+  ws.reserve(order, n);
+  // Rebuild every product column from the raw values — the "from scratch"
+  // arm of the oracle. Column entries are single multiplies, so they equal
+  // the incrementally maintained ones bit for bit.
+  for (std::size_t d = 0; d <= p; ++d) {
+    double* col = ws.fresh_cols.data() + d * n;
+    if (d > 0) std::memset(col, 0, d * sizeof(double));
+    simd::multiply(col + d, x.data() + d, x.data(), n - d);
+    ws.col_ptrs[d] = col;
+  }
+  return cov_fit_kernel(ws.col_ptrs.data(), n, order, ws);
+}
+
+ArModel fit_ar_covariance_canonical(std::span<const double> x, int order) {
+  CovWorkspace ws;
+  const CovFitStats stats = fit_cov_scratch(x, order, ws);
+  ArModel model;
+  model.requested_order = order;
+  model.sample_count = stats.sample_count;
+  model.mean = 0.0;
+  model.coeffs.assign(ws.coeffs.begin(),
+                      ws.coeffs.begin() + stats.fitted_order);
+  model.residual_energy = stats.residual_energy;
+  model.reference_energy = stats.reference_energy;
+  model.degenerate = stats.degenerate;
+  model.normalized_error = stats.normalized_error();
+  return model;
+}
+
+void SlidingCovarianceEstimator::begin_series(int order,
+                                              std::size_t capacity_hint) {
+  TRUSTRATE_EXPECTS(order >= 1, "AR order must be >= 1");
+  const bool order_changed = order != order_;
+  order_ = order;
+  base_ = first_ = last_ = 0;
+  if (order_changed && cap_ > 0) {
+    // Row count depends on the order; re-shape the existing storage.
+    const std::size_t keep = cap_;
+    cap_ = 0;
+    ensure_capacity(keep);
+  }
+  if (capacity_hint > cap_) ensure_capacity(capacity_hint);
+  if (lag_ptrs_.size() < static_cast<std::size_t>(order_) + 1) {
+    lag_ptrs_.resize(static_cast<std::size_t>(order_) + 1);
+  }
+}
+
+void SlidingCovarianceEstimator::ensure_capacity(std::size_t needed) {
+  const std::size_t rows = static_cast<std::size_t>(order_) + 2;
+  std::size_t new_cap = std::max<std::size_t>(cap_ * 2, 64);
+  while (new_cap < needed) new_cap *= 2;
+  std::vector<double> grown(rows * new_cap, 0.0);
+  const std::size_t live = last_ - first_;
+  const std::size_t off = first_ - base_;
+  for (std::size_t r = 0; r < rows && live > 0 && !rows_.empty(); ++r) {
+    std::memcpy(grown.data() + r * new_cap, rows_.data() + r * cap_ + off,
+                live * sizeof(double));
+  }
+  rows_ = std::move(grown);
+  cap_ = new_cap;
+  base_ = first_;
+}
+
+void SlidingCovarianceEstimator::advance(const RatingSeries& series,
+                                         std::size_t first, std::size_t last) {
+  TRUSTRATE_EXPECTS(first >= first_ && last >= last_ && first <= last,
+                    "sliding windows must advance monotonically");
+  TRUSTRATE_EXPECTS(last <= series.size(), "window end past the series");
+  TRUSTRATE_EXPECTS(order_ >= 1, "begin_series must run before advance");
+  first_ = first;
+  if (first_ > last_) {
+    // The window jumped past everything stored: nothing is retained, and
+    // appends below rewrite the (stale) slots from scratch. Cross-window
+    // lag products of the first `order_` new ratings come out garbage, but
+    // fits only ever read q_d(g) with g − d inside the window, so they are
+    // never consumed (same reason the fresh-column path zero-fills them).
+    base_ = first_;
+    last_ = first_;
+  }
+
+  if (last > base_ + cap_) {
+    // Reclaim the evicted prefix in place — but only when the prefix is at
+    // least as large as the live span, so each retained slot moves at most
+    // once per buffer's worth of appends (amortized O(1) per rating). A
+    // smaller prefix means the buffer is simply too tight for this
+    // window/step ratio: grow instead, which settles the capacity near
+    // twice the window size and makes compactions rare.
+    const std::size_t shift = first_ - base_;
+    const std::size_t live = last_ - first_;
+    if (shift >= live && cap_ > 0) {
+      const std::size_t rows = static_cast<std::size_t>(order_) + 2;
+      for (std::size_t r = 0; r < rows; ++r) {
+        std::memmove(rows_.data() + r * cap_, rows_.data() + r * cap_ + shift,
+                     live * sizeof(double));
+      }
+      base_ = first_;
+    }
+    if (last > base_ + cap_) ensure_capacity(last - base_);
+  }
+
+  // q_d(g) = x(g) · x(g−d): one multiply per (rating, lag), computed
+  // exactly once no matter how many windows cover the rating. The values
+  // row is filled first (one strided gather out of the Rating structs),
+  // then every product column reads from it contiguously — the compiler
+  // vectorizes the multiply, and each entry is still the single correctly
+  // rounded product of the same two series values the fresh-column path
+  // computes. Slots with g < base_ + d are left unwritten: a fit only
+  // reads q_d at window-local indices >= d, i.e. global g with
+  // g − d >= first_ >= base_, and base_ / first_ only ever advance, so
+  // those slots can never be consumed (the fresh-column path zero-fills
+  // the corresponding window-local slots for the same reason).
+  const auto p = static_cast<std::size_t>(order_);
+  const std::size_t base = base_;
+  double* values = rows_.data();
+  for (std::size_t g = last_; g < last; ++g) values[g - base] = series[g].value;
+  // Steady state appends the same global range to every column, so one
+  // fused pass fills all p+1 of them (each new value loaded once). Only
+  // the first ratings after begin_series or a jump-reset need the scalar
+  // prefix below: column d starts at g = base_ + d because its first d
+  // slots would need values older than the buffer base — and those slots
+  // can never be consumed, since a fit only reads q_d at window-local
+  // indices >= d, i.e. global g with g − d >= first_ >= base_, and base_ /
+  // first_ only ever advance (the fresh-column path zero-fills the
+  // corresponding slots for the same reason).
+  const std::size_t fused_from = std::min(last, std::max(last_, base + p));
+  for (std::size_t d = 0; d <= p; ++d) {
+    double* qrow = rows_.data() + (1 + d) * cap_;
+    lag_ptrs_[d] = qrow + (fused_from - base);
+    for (std::size_t g = std::max(last_, base + d); g < fused_from; ++g) {
+      qrow[g - base] = values[g - base] * values[g - base - d];
+    }
+  }
+  if (fused_from < last) {
+    simd::multiply_lagged(lag_ptrs_.data(), values + (fused_from - base),
+                          p + 1, last - fused_from);
+  }
+  last_ = last;
+}
+
+CovFitStats SlidingCovarianceEstimator::fit(CovWorkspace& ws) const {
+  const std::size_t n = last_ - first_;
+  TRUSTRATE_EXPECTS(n >= 2 * static_cast<std::size_t>(order_) + 1,
+                    "covariance method needs window size >= 2*order + 1");
+  ws.reserve(order_, 0);
+  const std::size_t off = first_ - base_;
+  for (std::size_t d = 0; d <= static_cast<std::size_t>(order_); ++d) {
+    ws.col_ptrs[d] = rows_.data() + (1 + d) * cap_ + off;
+  }
+  return cov_fit_kernel(ws.col_ptrs.data(), n, order_, ws);
+}
+
+}  // namespace trustrate::signal

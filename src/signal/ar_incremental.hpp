@@ -1,0 +1,165 @@
+// Incremental covariance-method AR estimation for sliding windows.
+//
+// The paper's detector (§III-A.1) refits the covariance-method normal
+// equations on every sliding window — 50%-overlap windows mean every
+// rating is fitted twice and every fit rebuilds the c(i, j) cross-product
+// matrix from scratch with one cache pass per matrix entry. This module
+// exploits the overlap.
+//
+// ## The recurrence
+//
+// For window values y(0..N−1) and order p, the covariance normal equations
+// need c(i, j) = Σ_{t=p}^{N−1} y(t−i) y(t−j) for 0 ≤ i, j ≤ p. Every term
+// is a lag product: with d = j − i ≥ 0 and u = t − i,
+//
+//     c(i, i+d) = Σ_{u=p−i}^{N−1−i} q_d(u),   q_d(u) = y(u) · y(u−d).
+//
+// All entries on diagonal d of the matrix are sums of the *same* product
+// column q_d over ranges that differ only at the ends. The estimator
+// therefore maintains the p+1 product columns q_0..q_p incrementally as
+// ratings enter (update: p+1 multiplies per arriving rating) and leave
+// (downdate: the column slots are simply evicted) the fit range, and per
+// window computes
+//
+//     S_d = Σ_{u=p}^{N−1} q_d(u)                  (one SIMD reduction)
+//     c(i, i+d) = S_d + Σ_{k=1}^{i} q_d(p−k) − Σ_{k=1}^{i} q_d(N−k)
+//
+// — O((p+1)·N) fused work instead of O((p+1)²·N) strided passes, with the
+// products themselves computed once per rating instead of once per window
+// per matrix diagonal.
+//
+// ## The bitwise contract
+//
+// The differential oracle (testkit) demands that the incremental estimator
+// and a from-scratch fit of the same span produce *hexfloat-identical*
+// models. A running c(i, j) sum updated with floating-point add/subtract
+// cannot meet that bar: the downdate is not an exact inverse of the
+// update, so the maintained sum drifts from the freshly computed one. The
+// recurrence is therefore realized one level down: the *columns* are the
+// maintained state (each slot is one exactly-rounded multiply, identical
+// no matter when it was computed), and every window's sums are formed by
+// the canonical fixed-shape reduction of common/simd.hpp. Incremental and
+// from-scratch fits then execute literally the same arithmetic in the
+// same order — equality is by construction, and the oracle pins it.
+//
+// Degenerate windows (no energy) and singular normal equations follow the
+// same order-reduction ladder as signal/ar.hpp's fit_ar_covariance, and
+// both paths share this file's kernel, so the fallback decisions are
+// taken from identical inputs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "signal/ar.hpp"
+
+namespace trustrate::signal {
+
+/// Reusable scratch for covariance fits. All buffers grow to high-water
+/// marks and are reused; after warm-up a fit performs zero heap
+/// allocations.
+struct CovWorkspace {
+  std::vector<double> c;           ///< (p+1)×(p+1) cross-product matrix
+  std::vector<double> ldlt_l;      ///< p×p unit lower-triangular factor
+  std::vector<double> ldlt_d;      ///< p diagonal of D
+  std::vector<double> gauss_a;     ///< p×p Gaussian-elimination copy
+  std::vector<double> rhs;         ///< p right-hand side / solution buffer
+  std::vector<double> coeffs;      ///< fitted a_1..a_p (first `fitted_order`)
+  std::vector<double> fresh_cols;  ///< (p+1)×n product columns, scratch fits
+  std::vector<const double*> col_ptrs;  ///< column pointer table
+  std::vector<const double*> sum_ptrs;  ///< shifted pointers for sum_rows
+  std::vector<double> diag_sums;        ///< S_0..S_p per-diagonal sums
+  int ready_order = -1;        ///< high-water order already reserved
+  std::size_t ready_len = 0;   ///< high-water window length already reserved
+
+  /// Grows every buffer for the given order / window length. O(1) when the
+  /// high-water marks already cover the request (the per-window path).
+  void reserve(int order, std::size_t window_len);
+};
+
+/// Result of one covariance-method window fit. Coefficients live in the
+/// workspace (`CovWorkspace::coeffs[0..fitted_order)`) so the steady-state
+/// path never allocates; fit_ar_covariance_canonical copies them out for
+/// ArModel consumers.
+struct CovFitStats {
+  int requested_order = 0;
+  int fitted_order = 0;           ///< may be < requested after degeneracy
+  std::size_t sample_count = 0;   ///< N
+  double residual_energy = 0.0;
+  double reference_energy = 0.0;  ///< c(0, 0) of the accepted fit
+  bool degenerate = false;        ///< no signal energy in the window
+
+  /// residual_energy / (N − requested_order); the ArModel::residual_variance
+  /// scale after the df fix (requested order, not the reduced one).
+  double residual_variance() const {
+    const auto df = static_cast<std::ptrdiff_t>(sample_count) -
+                    static_cast<std::ptrdiff_t>(requested_order);
+    if (sample_count == 0 || df <= 0) return 0.0;
+    return residual_energy / static_cast<double>(df);
+  }
+
+  /// residual_energy / reference_energy clamped to [0, 1]; 0 when degenerate.
+  double normalized_error() const;
+};
+
+/// Covariance-method fit of x through the canonical kernel, refitting from
+/// scratch (columns rebuilt, then the same reductions as the incremental
+/// path). Zero steady-state allocations. Same preconditions as
+/// fit_ar_covariance: order >= 1, x.size() >= 2*order + 1, no demeaning.
+CovFitStats fit_cov_scratch(std::span<const double> x, int order,
+                            CovWorkspace& ws);
+
+/// Convenience wrapper producing a full ArModel (allocates; for tests,
+/// ablations and the differential oracle).
+ArModel fit_ar_covariance_canonical(std::span<const double> x, int order);
+
+/// Sliding-window covariance estimator. Feed it monotonically advancing
+/// index windows over one time-sorted series:
+///
+///   SlidingCovarianceEstimator est;
+///   CovWorkspace ws;
+///   est.begin_series(order);
+///   for (each window [first, last)) {
+///     est.advance(series, first, last);     // update/downdate columns
+///     CovFitStats s = est.fit(ws);          // fit the current window
+///   }
+///
+/// `advance` appends the values of series[prev_last..last) — computing each
+/// lag-product column entry exactly once — and evicts everything below
+/// `first`. Eviction compacts the storage in place (amortized O(1) per
+/// rating, no allocation after the buffers reach the largest window size).
+class SlidingCovarianceEstimator {
+ public:
+  /// Resets all state for a new series. `capacity_hint` optionally
+  /// pre-sizes the buffers (ratings per window).
+  void begin_series(int order, std::size_t capacity_hint = 0);
+
+  /// Advances the window to [first, last). Both endpoints must be
+  /// monotonically non-decreasing across calls and last <= series.size().
+  void advance(const RatingSeries& series, std::size_t first, std::size_t last);
+
+  /// Fits the current window. Requires a preceding advance() with
+  /// last − first >= 2*order + 1.
+  CovFitStats fit(CovWorkspace& ws) const;
+
+  int order() const { return order_; }
+  std::size_t window_size() const { return last_ - first_; }
+
+ private:
+  void ensure_capacity(std::size_t needed);
+
+  int order_ = 0;
+  std::size_t base_ = 0;   ///< series index stored at buffer slot 0
+  std::size_t first_ = 0;  ///< current window [first_, last_)
+  std::size_t last_ = 0;
+  std::size_t cap_ = 0;    ///< slots per row
+  /// SoA rows: row 0 = values, row 1+d = column q_d, each cap_ wide.
+  std::vector<double> rows_;
+  /// Column append cursors handed to simd::multiply_lagged (sized once in
+  /// begin_series; refreshed per advance because compaction moves rows).
+  std::vector<double*> lag_ptrs_;
+};
+
+}  // namespace trustrate::signal

@@ -6,11 +6,11 @@
 
 namespace trustrate::signal {
 
-std::vector<TimeWindow> make_time_windows(double t0, double t1, double width,
-                                          double step) {
+void make_time_windows_into(double t0, double t1, double width, double step,
+                            std::vector<TimeWindow>& out) {
   TRUSTRATE_EXPECTS(width > 0.0 && step > 0.0, "width and step must be positive");
   TRUSTRATE_EXPECTS(t1 > t0, "make_time_windows requires t1 > t0");
-  std::vector<TimeWindow> out;
+  out.clear();
   // Each start is computed as t0 + k*step, not by repeated `start += step`:
   // accumulated floating-point drift over long horizons would make late
   // window edges disagree with the t0 + k*step grid.
@@ -21,16 +21,28 @@ std::vector<TimeWindow> make_time_windows(double t0, double t1, double width,
     // A window already covering the remainder of [t0, t1) ends the tiling.
     if (start + width >= t1) break;
   }
+}
+
+std::vector<TimeWindow> make_time_windows(double t0, double t1, double width,
+                                          double step) {
+  std::vector<TimeWindow> out;
+  make_time_windows_into(t0, t1, width, step, out);
   return out;
+}
+
+void make_count_windows_into(std::size_t n, std::size_t window, std::size_t step,
+                             std::vector<IndexWindow>& out) {
+  TRUSTRATE_EXPECTS(window >= 1 && step >= 1, "window and step must be >= 1");
+  out.clear();
+  for (std::size_t begin = 0; begin + window <= n; begin += step) {
+    out.push_back({begin, begin + window});
+  }
 }
 
 std::vector<IndexWindow> make_count_windows(std::size_t n, std::size_t window,
                                             std::size_t step) {
-  TRUSTRATE_EXPECTS(window >= 1 && step >= 1, "window and step must be >= 1");
   std::vector<IndexWindow> out;
-  for (std::size_t begin = 0; begin + window <= n; begin += step) {
-    out.push_back({begin, begin + window});
-  }
+  make_count_windows_into(n, window, step, out);
   return out;
 }
 

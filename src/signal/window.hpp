@@ -41,6 +41,15 @@ std::vector<TimeWindow> make_time_windows(double t0, double t1, double width,
 std::vector<IndexWindow> make_count_windows(std::size_t n, std::size_t window,
                                             std::size_t step);
 
+/// Allocation-reusing variants: clear `out` and refill it with the same
+/// tiling the value-returning functions produce. The detector's per-window
+/// scratch path uses these so steady-state analysis never reallocates the
+/// window list.
+void make_time_windows_into(double t0, double t1, double width, double step,
+                            std::vector<TimeWindow>& out);
+void make_count_windows_into(std::size_t n, std::size_t window, std::size_t step,
+                             std::vector<IndexWindow>& out);
+
 /// Index range of ratings (in a time-sorted series) falling inside `w`.
 /// Binary search, O(log n).
 IndexWindow indices_in_window(const RatingSeries& series, const TimeWindow& w);

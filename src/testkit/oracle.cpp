@@ -503,6 +503,28 @@ DifferentialResult run_differential(const Scenario& scenario) {
   }
   fs::remove_all(durable_dir);  // kept on failure as a repro artifact
 
+  // 8. Incremental vs from-scratch AR estimation: the sliding covariance
+  // estimator maintains lag-product columns and reduces them with the same
+  // canonical kernel a fresh fit uses, so flipping the config bit must not
+  // move a single bit of output — same epoch digests (which include
+  // hexfloat window errors), same trust records, same checkpoint bytes.
+  {
+    Scenario flipped = scenario;
+    flipped.config.ar.incremental = !scenario.config.ar.incremental;
+    const StreamOutcome other = run_stream(flipped, scenario.ratings, 1);
+    if (const auto d = compare_epochs(base.epoch_digests, other.epoch_digests,
+                                      "incremental-flipped AR vs base")) {
+      return fail(*d);
+    }
+    if (other.trust_digest != base.trust_digest) {
+      return fail("incremental-flipped AR vs base: trust records diverged");
+    }
+    if (other.checkpoint != base.checkpoint) {
+      return fail("incremental-flipped AR vs base: final checkpoint bytes "
+                  "diverged");
+    }
+  }
+
   return result;
 }
 

@@ -93,6 +93,12 @@ struct DifferentialResult {
   std::string divergence;  ///< empty when ok; includes seed + repro command
 };
 
+/// The full oracle: streaming vs batch reference, parallel worker counts,
+/// perturbed ingest, checkpoint resume/migration, the durable front-end,
+/// and — because the AR detector's incremental and from-scratch covariance
+/// paths promise bitwise-identical models — a run with
+/// `ArDetectorConfig::incremental` flipped, compared digest-for-digest and
+/// checkpoint-byte-for-byte against the base run.
 DifferentialResult run_differential(const Scenario& scenario);
 
 /// One-line command replaying `seed` (printed on every divergence).

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 #include "common/math.hpp"
@@ -372,6 +374,9 @@ TEST(ArDetector, SparseWindowsSkipped) {
   for (const auto& w : res.windows) {
     EXPECT_FALSE(w.evaluated);
     EXPECT_FALSE(w.suspicious);
+    // A skipped window has no error value: NaN, not the old on-scale 1.0
+    // sentinel that polluted ungated averages.
+    EXPECT_TRUE(std::isnan(w.model_error));
   }
 }
 
@@ -385,6 +390,36 @@ TEST(ArDetector, CountBasedWindows) {
   const ArSuspicionDetector det(cfg);
   const auto res = det.analyze(s, 0.0, 0.0);  // t0/t1 ignored
   EXPECT_EQ(res.windows.size(), (s.size() - 50) / 25 + 1);
+}
+
+TEST(ArDetector, CountWindowSpansAreHalfOpen) {
+  // Distinct strictly increasing times so span membership is unambiguous.
+  RatingSeries s;
+  for (int i = 0; i < 30; ++i) {
+    s.push_back({static_cast<double>(i) * 1.5, 0.5, static_cast<RaterId>(i), 0,
+                 RatingLabel::kHonest});
+  }
+  ArDetectorConfig cfg;
+  cfg.count_based = true;
+  cfg.window_count = 9;
+  cfg.step_count = 4;
+  const ArSuspicionDetector det(cfg);
+  const auto res = det.analyze(s, 0.0, 0.0);
+  ASSERT_FALSE(res.windows.empty());
+  for (const auto& w : res.windows) {
+    // Half-open like every other TimeWindow: starts at the first rating
+    // and ends just past the last one, so contains() holds for exactly the
+    // ratings in [first, last). (It used to report the end-inclusive
+    // [first.time, last.time], excluding the final rating.)
+    EXPECT_EQ(w.window.start, s[w.first].time);
+    EXPECT_EQ(w.window.end,
+              std::nextafter(s[w.last - 1].time,
+                             std::numeric_limits<double>::infinity()));
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      EXPECT_EQ(w.window.contains(s[i].time), i >= w.first && i < w.last)
+          << "rating " << i;
+    }
+  }
 }
 
 TEST(ArDetector, InSuspiciousWindowMaskMatchesWindows) {

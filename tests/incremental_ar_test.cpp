@@ -1,0 +1,320 @@
+// Incremental covariance AR estimation (ISSUE 7 tentpole): the sliding
+// estimator must match from-scratch fits bit for bit — including through
+// degenerate and order-reduced windows — the SIMD kernels must match their
+// scalar references bit for bit, and the detector's steady-state
+// analyze_into path must not touch the heap.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/simd.hpp"
+#include "detect/ar_detector.hpp"
+#include "signal/ar.hpp"
+#include "signal/ar_incremental.hpp"
+#include "signal/window.hpp"
+#include "testkit/digest.hpp"
+
+// ---------------------------------------------------------------------------
+// Counting allocator: global operator new/delete replacements for this test
+// binary only. The counter observes every heap allocation, which is what
+// lets AnalyzeIntoIsAllocationFree assert an exact zero over the warm path.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+// noinline keeps GCC from pairing an inlined std::free with a visible new
+// expression and warning about a mismatch that does not exist (both sides
+// of the replacement pair are malloc-backed).
+__attribute__((noinline)) void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+__attribute__((noinline)) void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+__attribute__((noinline)) void operator delete(void* p) noexcept { std::free(p); }
+__attribute__((noinline)) void operator delete[](void* p) noexcept { std::free(p); }
+__attribute__((noinline)) void operator delete(void* p, std::size_t) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete[](void* p, std::size_t) noexcept {
+  std::free(p);
+}
+
+namespace trustrate {
+namespace {
+
+using testkit::hex_double;
+
+RatingSeries make_series(std::size_t n) {
+  Rng rng(7);
+  RatingSeries series(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    series[i].time = static_cast<double>(i) * 0.25;
+    series[i].value = rng.gaussian(0.5, 0.2);
+    series[i].rater = static_cast<RaterId>(i % 41);
+  }
+  // A constant stretch: singular normal equations at p >= 2, solvable at
+  // p = 1 — the order-reduction ladder.
+  for (std::size_t i = 100; i < 160 && i < n; ++i) series[i].value = 0.6;
+  // A zero stretch: no window energy at all — the degenerate early exit.
+  for (std::size_t i = 200; i < 260 && i < n; ++i) series[i].value = 0.0;
+  return series;
+}
+
+void expect_bitwise_equal_fits(const signal::CovFitStats& inc,
+                               const signal::CovWorkspace& inc_ws,
+                               const signal::CovFitStats& fresh,
+                               const signal::CovWorkspace& fresh_ws,
+                               std::size_t window_index) {
+  SCOPED_TRACE("window " + std::to_string(window_index));
+  ASSERT_EQ(inc.fitted_order, fresh.fitted_order);
+  EXPECT_EQ(inc.sample_count, fresh.sample_count);
+  EXPECT_EQ(inc.degenerate, fresh.degenerate);
+  // Hexfloat renders are bit-exact: any last-bit divergence fails loudly
+  // and legibly.
+  EXPECT_EQ(hex_double(inc.residual_energy), hex_double(fresh.residual_energy));
+  EXPECT_EQ(hex_double(inc.reference_energy), hex_double(fresh.reference_energy));
+  EXPECT_EQ(hex_double(inc.residual_variance()), hex_double(fresh.residual_variance()));
+  EXPECT_EQ(hex_double(inc.normalized_error()), hex_double(fresh.normalized_error()));
+  for (int k = 0; k < inc.fitted_order; ++k) {
+    EXPECT_EQ(hex_double(inc_ws.coeffs[static_cast<std::size_t>(k)]),
+              hex_double(fresh_ws.coeffs[static_cast<std::size_t>(k)]))
+        << "coefficient a_" << k + 1;
+  }
+}
+
+TEST(IncrementalAr, OverlappingSlidesMatchFreshFitsBitwise) {
+  const RatingSeries series = make_series(400);
+  constexpr int kOrder = 4;
+
+  signal::SlidingCovarianceEstimator est;
+  signal::CovWorkspace inc_ws;
+  signal::CovWorkspace fresh_ws;
+  est.begin_series(kOrder);
+
+  const auto windows = signal::make_count_windows(series.size(), 50, 25);
+  ASSERT_GT(windows.size(), 10u);
+  std::vector<double> values;
+  std::size_t degenerate_seen = 0;
+  std::size_t reduced_seen = 0;
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    est.advance(series, windows[w].begin, windows[w].end);
+    const signal::CovFitStats inc = est.fit(inc_ws);
+
+    values.clear();
+    for (std::size_t i = windows[w].begin; i < windows[w].end; ++i) {
+      values.push_back(series[i].value);
+    }
+    const signal::CovFitStats fresh = signal::fit_cov_scratch(values, kOrder, fresh_ws);
+    expect_bitwise_equal_fits(inc, inc_ws, fresh, fresh_ws, w);
+    degenerate_seen += inc.degenerate ? 1 : 0;
+    reduced_seen += (!inc.degenerate && inc.fitted_order < kOrder) ? 1 : 0;
+  }
+  // The series is constructed so the sweep exercises both fallback paths.
+  EXPECT_GE(degenerate_seen, 1u);
+  EXPECT_GE(reduced_seen, 1u);
+}
+
+TEST(IncrementalAr, SparseJumpAdvancesMatchFreshFits) {
+  const RatingSeries series = make_series(400);
+  constexpr int kOrder = 4;
+
+  signal::SlidingCovarianceEstimator est;
+  signal::CovWorkspace inc_ws;
+  signal::CovWorkspace fresh_ws;
+  est.begin_series(kOrder);
+
+  // Disjoint and unevenly-sized windows: eviction drops whole spans and
+  // the buffers compact across gaps, not just 50% overlaps.
+  const std::vector<signal::IndexWindow> windows = {
+      {0, 50}, {80, 131}, {131, 140}, {290, 353}, {390, 400}};
+  std::vector<double> values;
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    est.advance(series, windows[w].begin, windows[w].end);
+    if (windows[w].size() < static_cast<std::size_t>(2 * kOrder + 1)) continue;
+    const signal::CovFitStats inc = est.fit(inc_ws);
+    values.clear();
+    for (std::size_t i = windows[w].begin; i < windows[w].end; ++i) {
+      values.push_back(series[i].value);
+    }
+    const signal::CovFitStats fresh = signal::fit_cov_scratch(values, kOrder, fresh_ws);
+    expect_bitwise_equal_fits(inc, inc_ws, fresh, fresh_ws, w);
+  }
+}
+
+TEST(IncrementalAr, CanonicalKernelAgreesWithNaiveCovarianceFit) {
+  // Not bitwise — the naive fit uses different summation — but the two
+  // solve the same normal equations, so the statistics must agree tightly
+  // on a well-conditioned window.
+  Rng rng(11);
+  std::vector<double> xs(120);
+  for (double& x : xs) x = rng.gaussian(0.5, 0.2);
+  const signal::ArModel canonical = signal::fit_ar_covariance_canonical(xs, 4);
+  const signal::ArModel naive = signal::fit_ar_covariance(xs, 4);
+  ASSERT_EQ(canonical.order(), naive.order());
+  EXPECT_NEAR(canonical.residual_energy, naive.residual_energy,
+              1e-9 * naive.residual_energy);
+  EXPECT_NEAR(canonical.reference_energy, naive.reference_energy,
+              1e-9 * naive.reference_energy);
+  for (int k = 0; k < naive.order(); ++k) {
+    EXPECT_NEAR(canonical.coeffs[static_cast<std::size_t>(k)],
+                naive.coeffs[static_cast<std::size_t>(k)], 1e-8);
+  }
+}
+
+TEST(IncrementalAr, DetectorIncrementalFlagDoesNotChangeResults) {
+  const RatingSeries series = make_series(600);
+  detect::ArDetectorConfig cfg;
+  cfg.window_days = 10.0;
+  cfg.step_days = 5.0;
+  cfg.error_threshold = 0.05;  // make sure some windows trip
+
+  cfg.incremental = true;
+  const detect::SuspicionResult on =
+      detect::ArSuspicionDetector(cfg).analyze(series, 0.0, 100.0);
+  cfg.incremental = false;
+  const detect::SuspicionResult off =
+      detect::ArSuspicionDetector(cfg).analyze(series, 0.0, 100.0);
+
+  ASSERT_EQ(on.windows.size(), off.windows.size());
+  for (std::size_t w = 0; w < on.windows.size(); ++w) {
+    SCOPED_TRACE("window " + std::to_string(w));
+    EXPECT_EQ(on.windows[w].evaluated, off.windows[w].evaluated);
+    EXPECT_EQ(on.windows[w].suspicious, off.windows[w].suspicious);
+    EXPECT_EQ(hex_double(on.windows[w].model_error),
+              hex_double(off.windows[w].model_error));
+    EXPECT_EQ(hex_double(on.windows[w].level), hex_double(off.windows[w].level));
+  }
+  EXPECT_EQ(on.in_suspicious_window, off.in_suspicious_window);
+  ASSERT_EQ(on.suspicion.size(), off.suspicion.size());
+  for (const auto& [rater, c] : on.suspicion) {
+    ASSERT_TRUE(off.suspicion.contains(rater)) << "rater " << rater;
+    EXPECT_EQ(hex_double(c), hex_double(off.suspicion.at(rater)));
+  }
+}
+
+TEST(IncrementalAr, SimdKernelsMatchScalarReferenceBitwise) {
+  Rng rng(13);
+  // Sizes straddling every vector-width boundary, including the empty and
+  // sub-width cases that exercise only the scalar tail.
+  for (const std::size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 15u, 16u, 17u,
+                              50u, 63u, 64u, 65u, 200u}) {
+    SCOPED_TRACE("n=" + std::to_string(n));
+    std::vector<double> a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = rng.gaussian(0.0, 1.0) * std::pow(10.0, rng.uniform(-3.0, 3.0));
+      b[i] = rng.gaussian(0.0, 1.0);
+    }
+    EXPECT_EQ(hex_double(simd::sum(a.data(), n)),
+              hex_double(simd::sum_scalar(a.data(), n)));
+    EXPECT_EQ(hex_double(simd::dot(a.data(), b.data(), n)),
+              hex_double(simd::dot_scalar(a.data(), b.data(), n)));
+    EXPECT_EQ(hex_double(simd::energy(a.data(), n)),
+              hex_double(simd::dot_scalar(a.data(), a.data(), n)));
+    std::vector<double> dst(n, 0.0), dst_ref(n, 0.0);
+    simd::multiply(dst.data(), a.data(), b.data(), n);
+    simd::multiply_scalar(dst_ref.data(), a.data(), b.data(), n);
+    EXPECT_EQ(dst, dst_ref);
+
+    // sum_rows must equal per-row sum bitwise for every row count around
+    // the fusion widths (AVX2 fuses 4 rows, NEON 2) — and the row count
+    // the kernel actually uses is order+1 = 5.
+    std::vector<std::vector<double>> rows_data;
+    std::vector<const double*> row_ptrs;
+    for (std::size_t r = 0; r < 9; ++r) {
+      std::vector<double> row(n);
+      for (auto& v : row) v = rng.gaussian(0.0, 1.0);
+      rows_data.push_back(std::move(row));
+    }
+    for (const auto& row : rows_data) row_ptrs.push_back(row.data());
+    for (const std::size_t rc : {1u, 2u, 3u, 4u, 5u, 8u, 9u}) {
+      SCOPED_TRACE("rows=" + std::to_string(rc));
+      std::vector<double> fused(rc), reference(rc);
+      simd::sum_rows(row_ptrs.data(), rc, n, fused.data());
+      simd::sum_rows_scalar(row_ptrs.data(), rc, n, reference.data());
+      for (std::size_t r = 0; r < rc; ++r) {
+        EXPECT_EQ(hex_double(fused[r]), hex_double(reference[r]));
+        EXPECT_EQ(hex_double(fused[r]),
+                  hex_double(simd::sum(row_ptrs[r], n)));
+      }
+    }
+
+    // multiply_lagged fills every lag column with the identical single
+    // multiplies the scalar reference produces. Lag d reads x[i − d], so
+    // hand it a pointer with enough history in front.
+    if (n > 8) {
+      const std::size_t lags = 5, hist = lags - 1;
+      const double* x = a.data() + hist;
+      const std::size_t len = n - hist;
+      std::vector<std::vector<double>> got(lags, std::vector<double>(len)),
+          want(lags, std::vector<double>(len));
+      std::vector<double*> got_ptrs, want_ptrs;
+      for (std::size_t d = 0; d < lags; ++d) {
+        got_ptrs.push_back(got[d].data());
+        want_ptrs.push_back(want[d].data());
+      }
+      simd::multiply_lagged(got_ptrs.data(), x, lags, len);
+      simd::multiply_lagged_scalar(want_ptrs.data(), x, lags, len);
+      for (std::size_t d = 0; d < lags; ++d) EXPECT_EQ(got[d], want[d]);
+    }
+
+    // Unaligned slices must not change lane assignment (it is by element
+    // index, not address).
+    if (n > 3) {
+      EXPECT_EQ(hex_double(simd::sum(a.data() + 1, n - 3)),
+                hex_double(simd::sum_scalar(a.data() + 1, n - 3)));
+      EXPECT_EQ(hex_double(simd::dot(a.data() + 1, b.data() + 2, n - 3)),
+                hex_double(simd::dot_scalar(a.data() + 1, b.data() + 2, n - 3)));
+    }
+  }
+}
+
+TEST(IncrementalAr, AnalyzeIntoIsAllocationFreeSteadyState) {
+  const RatingSeries series = make_series(600);
+  detect::ArDetectorConfig cfg;
+  cfg.window_days = 10.0;
+  cfg.step_days = 5.0;
+  cfg.error_threshold = 0.05;  // suspicious windows exercise the run maps
+  const detect::ArSuspicionDetector det(cfg);
+
+  detect::ArScratch scratch;
+  detect::SuspicionResult result;
+  // Warm every high-water mark (buffers, flat maps, estimator storage).
+  det.analyze_into(series, 0.0, 100.0, scratch, result);
+  det.analyze_into(series, 0.0, 100.0, scratch, result);
+  ASSERT_GT(result.suspicious_count(), 0u);
+
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  det.analyze_into(series, 0.0, 100.0, scratch, result);
+  const std::uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state analyze_into touched the heap";
+
+  // Count-based windowing shares the contract.
+  detect::ArDetectorConfig count_cfg = cfg;
+  count_cfg.count_based = true;
+  count_cfg.window_count = 50;
+  count_cfg.step_count = 25;
+  const detect::ArSuspicionDetector count_det(count_cfg);
+  count_det.analyze_into(series, 0.0, 0.0, scratch, result);
+  count_det.analyze_into(series, 0.0, 0.0, scratch, result);
+  const std::uint64_t before2 = g_alloc_count.load(std::memory_order_relaxed);
+  count_det.analyze_into(series, 0.0, 0.0, scratch, result);
+  const std::uint64_t after2 = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after2 - before2, 0u)
+      << "steady-state count-window analyze_into touched the heap";
+}
+
+}  // namespace
+}  // namespace trustrate

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
@@ -92,7 +93,14 @@ void expect_bitwise_equal(const core::EpochReport& a,
       EXPECT_EQ(wa.evaluated, wb.evaluated);
       EXPECT_EQ(wa.suspicious, wb.suspicious);
       // Exact comparisons on purpose: bitwise, not approximately equal.
-      EXPECT_EQ(wa.model_error, wb.model_error);
+      // Skipped windows carry the NaN sentinel, which never compares equal
+      // to itself — both sides must agree on skipping instead.
+      if (wa.evaluated) {
+        EXPECT_EQ(wa.model_error, wb.model_error);
+      } else {
+        EXPECT_TRUE(std::isnan(wa.model_error));
+        EXPECT_TRUE(std::isnan(wb.model_error));
+      }
       EXPECT_EQ(wa.level, wb.level);
       EXPECT_EQ(wa.window.start, wb.window.start);
       EXPECT_EQ(wa.window.end, wb.window.end);

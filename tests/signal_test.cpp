@@ -219,6 +219,37 @@ TEST(ArCovariance, ResidualsMatchReportedEnergy) {
   EXPECT_NEAR(e, m.residual_energy, 1e-6 * std::max(1.0, m.residual_energy));
 }
 
+TEST(ArModelApi, ResidualVarianceUsesRequestedOrderDf) {
+  // Regression: residual_variance() must divide by N − requested_order even
+  // after a degeneracy-forced order reduction left fewer coefficients —
+  // the df used to follow order(), silently rescaling the statistic the
+  // fixed 0.02 threshold was calibrated for.
+  ArModel m;
+  m.requested_order = 4;
+  m.coeffs = {0.5};  // order() == 1 after a reduction
+  m.sample_count = 20;
+  m.residual_energy = 1.6;
+  EXPECT_DOUBLE_EQ(m.residual_variance(), 1.6 / 16.0);  // not 1.6 / 19
+}
+
+TEST(ArCovariance, RankDeficientWindowKeepsRequestedOrderDf) {
+  // Period-3 signal with the last sample breaking the pattern: the
+  // regressor columns x(t−1) and x(t−4) are exactly collinear, so the
+  // order-4 normal equations are singular and the fit reduces to order 3 —
+  // where the broken tail sample leaves a *nonzero* residual, making the
+  // df choice observable.
+  std::vector<double> x;
+  const double pattern[3] = {0.2, 0.7, 0.4};
+  for (int i = 0; i < 20; ++i) x.push_back(pattern[i % 3]);
+  x.back() = 0.9;
+  const ArModel m = fit_ar_covariance(x, 4);
+  ASSERT_LT(m.order(), 4);
+  EXPECT_EQ(m.requested_order, 4);
+  ASSERT_GT(m.residual_energy, 0.0);
+  EXPECT_DOUBLE_EQ(m.residual_variance(),
+                   m.residual_energy / static_cast<double>(x.size() - 4));
+}
+
 TEST(ArModelApi, PredictNextTracksAr1) {
   // x(n) = 0.9 x(n-1) + w -> coeffs = {-0.9}.
   ArModel m;
