@@ -12,6 +12,8 @@
 
 #include "common/error.hpp"
 #include "core/durable/crc32c.hpp"
+#include "core/shard/shard_map.hpp"
+#include "core/shard/sharded_system.hpp"
 
 namespace trustrate::core {
 namespace {
@@ -33,15 +35,6 @@ void write_rating(std::ostream& out, const Rating& r) {
   out << format_double(r.time) << ' ' << format_double(r.value) << ' '
       << r.rater << ' ' << r.product << ' '
       << static_cast<unsigned>(r.label) << '\n';
-}
-
-template <typename Map>
-std::vector<ProductId> sorted_keys(const Map& map) {
-  std::vector<ProductId> keys;
-  keys.reserve(map.size());
-  for (const auto& [key, value] : map) keys.push_back(key);
-  std::sort(keys.begin(), keys.end());
-  return keys;
 }
 
 /// Quarantine detail strings are free text (spaces, anything ingest put
@@ -176,10 +169,10 @@ class TokenReader {
     return out;
   }
 
-  /// Consumes a v3 `crc <name> <hex8>` line. The checksum itself was
+  /// Consumes a `crc <name> <hex8>` line (v3+). The checksum itself was
   /// verified against the raw bytes before parsing began; this enforces
   /// only that the line is structurally where the format says it is.
-  void consume_crc(const char* section) {
+  void consume_crc(const std::string& section) {
     expect("crc");
     const std::string name = next("crc section name");
     if (name != section) {
@@ -196,12 +189,12 @@ class TokenReader {
 };
 
 /// Verifies every `crc <name> <hex8>` section checksum and the trailing
-/// `filecrc <hex8>` of a version-3 checkpoint against the raw bytes.
+/// `filecrc <hex8>` of a version-3+ checkpoint against the raw bytes.
 /// Section coverage: from the byte after the previous crc line (the byte
 /// after the header line for the first section) up to the start of the crc
 /// line. filecrc covers everything from the first byte up to the start of
 /// the filecrc line. Throws CheckpointError naming the section and line.
-void verify_v3_checksums(const std::string& text) {
+void verify_section_checksums(const std::string& text) {
   std::size_t line_start = 0;
   std::size_t line_number = 0;
   std::size_t section_start = std::string::npos;  // set after the header line
@@ -248,283 +241,626 @@ void verify_v3_checksums(const std::string& text) {
   }
   if (!file_checked) {
     throw CheckpointError(
-        "checkpoint truncated: version 3 requires a filecrc line");
+        "checkpoint truncated: version 3+ requires a filecrc line");
+  }
+}
+
+/// Appends one `pending`-shaped product map (used for both the global v3
+/// section body and each shard's slice of it in v4).
+template <typename Iter>
+void write_pending_body(std::ostream& sec, Iter begin, Iter end,
+                        std::size_t count) {
+  sec << "pending " << count << '\n';
+  for (Iter it = begin; it != end; ++it) {
+    sec << it->first << ' ' << it->second->size() << '\n';
+    for (const Rating& r : *it->second) write_rating(sec, r);
+  }
+}
+
+template <typename Iter>
+void write_retained_body(std::ostream& sec, Iter begin, Iter end,
+                         std::size_t count) {
+  sec << "retained " << count << '\n';
+  for (Iter it = begin; it != end; ++it) {
+    sec << it->first << ' ' << it->second->size() << '\n';
+    for (const RatingSeries& epoch : *it->second) {
+      sec << epoch.size() << '\n';
+      for (const Rating& r : epoch) write_rating(sec, r);
+    }
+  }
+}
+
+std::string render_checkpoint(const StreamSnapshot& s, int version) {
+  TRUSTRATE_EXPECTS(version == kCheckpointVersion ||
+                        version == kShardedCheckpointVersion,
+                    "write_checkpoint renders version 3 or 4 only");
+  std::string text =
+      "trustrate-checkpoint " + std::to_string(version) + "\n";
+  std::ostringstream sec;
+  // Closes the open section: appends its bytes plus the `crc` line whose
+  // checksum covers exactly those bytes.
+  const auto end_section = [&text, &sec](const std::string& name) {
+    const std::string body = sec.str();
+    text += body;
+    text += "crc " + name + ' ' + crc32c_hex(crc32c(body)) + '\n';
+    sec.str({});
+  };
+
+  sec << "config " << format_double(s.epoch_days) << ' '
+      << s.retention_epochs << ' '
+      << format_double(s.ingest_config.max_lateness_days) << ' '
+      << s.ingest_config.max_quarantine << '\n';
+  end_section("config");
+
+  sec << "anchor " << (s.anchored ? 1 : 0) << ' '
+      << format_double(s.epoch_start) << ' ' << format_double(s.last_time)
+      << ' ' << s.epochs_closed << ' ' << s.skipped_empty_epochs << ' '
+      << s.system_epochs << '\n';
+  end_section("anchor");
+
+  sec << "stats " << s.stats.submitted << ' ' << s.stats.accepted << ' '
+      << s.stats.reordered << ' ' << s.stats.duplicates << ' '
+      << s.stats.dropped_late << ' ' << s.stats.malformed << ' '
+      << s.stats.quarantined << '\n';
+  end_section("stats");
+
+  sec << "health " << s.health.size();
+  for (EpochHealth h : s.health) {
+    sec << ' ' << static_cast<unsigned>(h);
+  }
+  sec << '\n';
+  end_section("health");
+
+  sec << "ingest " << (s.ingest_anchored ? 1 : 0) << ' '
+      << format_double(s.ingest_max_time) << '\n';
+  sec << "buffer " << s.buffer.size() << '\n';
+  for (const Rating& r : s.buffer) write_rating(sec, r);
+  sec << "seen " << s.seen.size() << '\n';
+  for (const auto& [time, rater, product, value] : s.seen) {
+    sec << format_double(time) << ' ' << rater << ' ' << product << ' '
+        << format_double(value) << '\n';
+  }
+  sec << "quarantine " << s.quarantine.size() << '\n';
+  for (const QuarantinedRating& q : s.quarantine) {
+    sec << static_cast<unsigned>(q.reason) << ' ' << format_double(q.rating.time)
+        << ' ' << format_double(q.rating.value) << ' ' << q.rating.rater
+        << ' ' << q.rating.product << ' '
+        << static_cast<unsigned>(q.rating.label) << ' '
+        << escape_detail(q.detail) << '\n';
+  }
+  end_section("ingest");
+
+  // Sorted (product, payload) views shared by both layouts.
+  using PendingRef = std::pair<ProductId, const RatingSeries*>;
+  using RetainedRef = std::pair<ProductId, const std::vector<RatingSeries>*>;
+  std::vector<PendingRef> pending;
+  pending.reserve(s.pending.size());
+  for (const auto& [product, series] : s.pending) {
+    pending.push_back({product, &series});
+  }
+  std::vector<RetainedRef> retained;
+  retained.reserve(s.retained.size());
+  for (const auto& [product, epochs] : s.retained) {
+    retained.push_back({product, &epochs});
+  }
+
+  if (version == kShardedCheckpointVersion) {
+    // `layout N skip0 .. skipN-1`: the saved shard count and its per-shard
+    // skipped-cell diagnostics. An unsharded snapshot writes as one shard.
+    const std::size_t shards = s.shards == 0 ? 1 : s.shards;
+    sec << "layout " << shards;
+    for (std::size_t k = 0; k < shards; ++k) {
+      sec << ' '
+          << (k < s.shard_skipped_cells.size() ? s.shard_skipped_cells[k] : 0);
+    }
+    sec << '\n';
+    end_section("layout");
+
+    // One section per shard: the shard's slice of pending/retained, in
+    // global sorted-product order (stable partition of a sorted list).
+    for (std::size_t k = 0; k < shards; ++k) {
+      std::vector<PendingRef> shard_pending;
+      for (const PendingRef& p : pending) {
+        if (shard::shard_of(p.first, shards) == k) shard_pending.push_back(p);
+      }
+      std::vector<RetainedRef> shard_retained;
+      for (const RetainedRef& r : retained) {
+        if (shard::shard_of(r.first, shards) == k) shard_retained.push_back(r);
+      }
+      sec << "shard " << k << '\n';
+      write_pending_body(sec, shard_pending.begin(), shard_pending.end(),
+                         shard_pending.size());
+      write_retained_body(sec, shard_retained.begin(), shard_retained.end(),
+                          shard_retained.size());
+      end_section("shard" + std::to_string(k));
+    }
+  } else {
+    write_pending_body(sec, pending.begin(), pending.end(), pending.size());
+    end_section("pending");
+    write_retained_body(sec, retained.begin(), retained.end(),
+                        retained.size());
+    end_section("retained");
+  }
+
+  sec << "trust " << s.trust.size() << '\n';
+  for (const auto& [id, record] : s.trust) {
+    sec << id << ' ' << format_double(record.successes) << ' '
+        << format_double(record.failures) << '\n';
+  }
+  end_section("trust");
+
+  text += "filecrc " + crc32c_hex(crc32c(text)) + "\n";
+  text += "end\n";
+  return text;
+}
+
+/// Parses one `pending ...` body into the (global) snapshot map, failing on
+/// a product that already has pending state (a cross-shard duplicate).
+void parse_pending_body(TokenReader& reader, StreamSnapshot& s) {
+  reader.expect("pending");
+  const std::size_t pending_products = reader.read_size("pending products");
+  for (std::size_t i = 0; i < pending_products; ++i) {
+    const auto product =
+        static_cast<ProductId>(reader.read_size("pending product"));
+    if (s.pending.contains(product)) {
+      reader.fail("checkpoint corrupt: product " + std::to_string(product) +
+                  " pending in two shards");
+    }
+    const std::size_t count = reader.read_size("pending count");
+    RatingSeries& series = s.pending[product];
+    series.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      series.push_back(reader.read_rating());
+    }
+  }
+}
+
+void parse_retained_body(TokenReader& reader, StreamSnapshot& s) {
+  reader.expect("retained");
+  const std::size_t retained_products = reader.read_size("retained products");
+  for (std::size_t i = 0; i < retained_products; ++i) {
+    const auto product =
+        static_cast<ProductId>(reader.read_size("retained product"));
+    if (s.retained.contains(product)) {
+      reader.fail("checkpoint corrupt: product " + std::to_string(product) +
+                  " retained in two shards");
+    }
+    const std::size_t epochs = reader.read_size("retained epochs");
+    auto& slot = s.retained[product];
+    slot.resize(epochs);
+    for (std::size_t e = 0; e < epochs; ++e) {
+      const std::size_t count = reader.read_size("retained epoch count");
+      slot[e].reserve(count);
+      for (std::size_t k = 0; k < count; ++k) {
+        slot[e].push_back(reader.read_rating());
+      }
+    }
   }
 }
 
 }  // namespace
 
 /// Grants the checkpoint serializer access to the streaming internals; this
-/// is the single place that knows the wire format.
+/// is the single place that knows how to move state in and out of a live
+/// stream (the wire format itself lives in render/parse above).
 struct CheckpointAccess {
-  static void save(const StreamingRatingSystem& s, std::ostream& out) {
-    std::string text = "trustrate-checkpoint " +
-                       std::to_string(kCheckpointVersion) + "\n";
-    std::ostringstream sec;
-    // Closes the open section: appends its bytes plus the `crc` line whose
-    // checksum covers exactly those bytes.
-    const auto end_section = [&text, &sec](const char* name) {
-      const std::string body = sec.str();
-      text += body;
-      text += std::string("crc ") + name + ' ' + crc32c_hex(crc32c(body)) +
-              '\n';
-      sec.str({});
-    };
-
+  static StreamSnapshot take(const StreamingRatingSystem& s) {
+    StreamSnapshot snap;
+    snap.epoch_days = s.epoch_days_;
+    snap.retention_epochs = s.retention_epochs_;
     const IngestBuffer& ing = s.ingest_;
-    sec << "config " << format_double(s.epoch_days_) << ' '
-        << s.retention_epochs_ << ' '
-        << format_double(ing.config_.max_lateness_days) << ' '
-        << ing.config_.max_quarantine << '\n';
-    end_section("config");
+    snap.ingest_config = ing.config_;
 
-    sec << "anchor " << (s.anchored_ ? 1 : 0) << ' '
-        << format_double(s.epoch_start_) << ' ' << format_double(s.last_time_)
-        << ' ' << s.epochs_closed_ << ' ' << s.skipped_empty_epochs_ << ' '
-        << s.system_.epochs_processed() << '\n';
-    end_section("anchor");
+    snap.anchored = s.anchored_;
+    snap.epoch_start = s.epoch_start_;
+    snap.last_time = s.last_time_;
+    snap.epochs_closed = s.epochs_closed_;
+    snap.skipped_empty_epochs = s.skipped_empty_epochs_;
+    snap.system_epochs = s.system_.epochs_processed();
 
-    const IngestStats& st = ing.stats_;
-    sec << "stats " << st.submitted << ' ' << st.accepted << ' '
-        << st.reordered << ' ' << st.duplicates << ' ' << st.dropped_late
-        << ' ' << st.malformed << ' ' << st.quarantined << '\n';
-    end_section("stats");
+    snap.stats = ing.stats_;
+    snap.health = s.epoch_health_;
 
-    sec << "health " << s.epoch_health_.size();
-    for (EpochHealth h : s.epoch_health_) {
-      sec << ' ' << static_cast<unsigned>(h);
+    snap.ingest_anchored = ing.anchored_;
+    snap.ingest_max_time = ing.max_time_;
+    snap.buffer.assign(ing.buffer_.begin(), ing.buffer_.end());
+    snap.seen.assign(ing.seen_.begin(), ing.seen_.end());
+    snap.quarantine.assign(ing.quarantine_.begin(), ing.quarantine_.end());
+
+    for (const auto& [product, series] : s.pending_) {
+      snap.pending[product] = series;
     }
-    sec << '\n';
-    end_section("health");
-
-    sec << "ingest " << (ing.anchored_ ? 1 : 0) << ' '
-        << format_double(ing.max_time_) << '\n';
-    sec << "buffer " << ing.buffer_.size() << '\n';
-    for (const Rating& r : ing.buffer_) write_rating(sec, r);
-    sec << "seen " << ing.seen_.size() << '\n';
-    for (const auto& [time, rater, product, value] : ing.seen_) {
-      sec << format_double(time) << ' ' << rater << ' ' << product << ' '
-          << format_double(value) << '\n';
+    for (const auto& [product, retained] : s.retained_) {
+      snap.retained[product] = retained.epochs;
     }
-    sec << "quarantine " << ing.quarantine_.size() << '\n';
-    for (const QuarantinedRating& q : ing.quarantine_) {
-      sec << static_cast<unsigned>(q.reason) << ' ' << format_double(q.rating.time)
-          << ' ' << format_double(q.rating.value) << ' ' << q.rating.rater
-          << ' ' << q.rating.product << ' '
-          << static_cast<unsigned>(q.rating.label) << ' '
-          << escape_detail(q.detail) << '\n';
-    }
-    end_section("ingest");
-
-    sec << "pending " << s.pending_.size() << '\n';
-    for (ProductId product : sorted_keys(s.pending_)) {
-      const RatingSeries& series = s.pending_.at(product);
-      sec << product << ' ' << series.size() << '\n';
-      for (const Rating& r : series) write_rating(sec, r);
-    }
-    end_section("pending");
-
-    sec << "retained " << s.retained_.size() << '\n';
-    for (ProductId product : sorted_keys(s.retained_)) {
-      const auto& epochs = s.retained_.at(product).epochs;
-      sec << product << ' ' << epochs.size() << '\n';
-      for (const RatingSeries& epoch : epochs) {
-        sec << epoch.size() << '\n';
-        for (const Rating& r : epoch) write_rating(sec, r);
-      }
-    }
-    end_section("retained");
 
     const auto& records = s.system_.trust_store().records();
-    std::vector<RaterId> raters;
-    raters.reserve(records.size());
-    for (const auto& [id, record] : records) raters.push_back(id);
-    std::sort(raters.begin(), raters.end());
-    sec << "trust " << raters.size() << '\n';
-    for (RaterId id : raters) {
-      const trust::TrustRecord& r = records.at(id);
-      sec << id << ' ' << format_double(r.successes) << ' '
-          << format_double(r.failures) << '\n';
+    snap.trust.reserve(records.size());
+    for (const auto& [id, record] : records) {
+      snap.trust.push_back({id, record});
     }
-    end_section("trust");
-
-    text += "filecrc " + crc32c_hex(crc32c(text)) + "\n";
-    text += "end\n";
-    out << text;
+    std::sort(snap.trust.begin(), snap.trust.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return snap;
   }
 
-  static StreamingRatingSystem load(const std::string& text,
-                                    const SystemConfig& config) {
-    // Header peek: the version decides whether checksums exist to verify
-    // before token parsing starts.
-    {
-      std::istringstream header(text);
-      std::string magic;
-      std::size_t version = 0;
-      if ((header >> magic >> version) && magic == "trustrate-checkpoint" &&
-          version == 3) {
-        verify_v3_checksums(text);
-      }
-    }
-
-    std::istringstream in(text);
-    TokenReader reader(in);
-    reader.expect("trustrate-checkpoint");
-    const std::size_t version = reader.read_size("version");
-    if (version < 1 || version > static_cast<std::size_t>(kCheckpointVersion)) {
-      throw CheckpointError("unsupported checkpoint version " +
-                            std::to_string(version));
-    }
-    const bool checksummed = version >= 3;
-
-    reader.expect("config");
-    const double epoch_days = reader.read_double("epoch_days");
-    const std::size_t retention = reader.read_size("retention_epochs");
-    IngestConfig ingest_config;
-    ingest_config.max_lateness_days = reader.read_double("max_lateness_days");
-    ingest_config.max_quarantine = reader.read_size("max_quarantine");
-    if (checksummed) reader.consume_crc("config");
-
-    StreamingRatingSystem s(config, epoch_days, retention, ingest_config);
-
-    reader.expect("anchor");
-    s.anchored_ = reader.read_bool("anchored");
-    s.epoch_start_ = reader.read_double("epoch_start");
-    s.last_time_ = reader.read_double("last_time");
-    s.epochs_closed_ = reader.read_size("epochs_closed");
-    if (version >= 2) {
-      s.skipped_empty_epochs_ = reader.read_size("skipped_empty_epochs");
-    }
-    const std::size_t system_epochs = reader.read_size("system_epochs");
-    if (checksummed) reader.consume_crc("anchor");
+  static StreamingRatingSystem restore(const StreamSnapshot& snap,
+                                       const SystemConfig& config) {
+    StreamingRatingSystem s(config, snap.epoch_days, snap.retention_epochs,
+                            snap.ingest_config);
+    s.anchored_ = snap.anchored;
+    s.epoch_start_ = snap.epoch_start;
+    s.last_time_ = snap.last_time;
+    s.epochs_closed_ = snap.epochs_closed;
+    s.skipped_empty_epochs_ = snap.skipped_empty_epochs;
+    s.epoch_health_ = snap.health;
 
     IngestBuffer& ing = s.ingest_;
-    reader.expect("stats");
-    ing.stats_.submitted = reader.read_size("submitted");
-    ing.stats_.accepted = reader.read_size("accepted");
-    ing.stats_.reordered = reader.read_size("reordered");
-    ing.stats_.duplicates = reader.read_size("duplicates");
-    ing.stats_.dropped_late = reader.read_size("dropped_late");
-    ing.stats_.malformed = reader.read_size("malformed");
-    ing.stats_.quarantined = reader.read_size("quarantined");
-    if (checksummed) reader.consume_crc("stats");
+    ing.stats_ = snap.stats;
+    ing.anchored_ = snap.ingest_anchored;
+    ing.max_time_ = snap.ingest_max_time;
+    for (const Rating& r : snap.buffer) ing.buffer_.insert(r);
+    for (const IngestBuffer::SeenKey& key : snap.seen) ing.seen_.insert(key);
+    ing.quarantine_.assign(snap.quarantine.begin(), snap.quarantine.end());
 
-    reader.expect("health");
-    const std::size_t health_count = reader.read_size("health count");
-    s.epoch_health_.reserve(health_count);
-    for (std::size_t i = 0; i < health_count; ++i) {
-      const std::size_t h = reader.read_size("health flag");
-      if (h > static_cast<std::size_t>(EpochHealth::kDegradedDetector)) {
-        reader.fail("checkpoint corrupt: unknown epoch health flag");
-      }
-      s.epoch_health_.push_back(static_cast<EpochHealth>(h));
+    for (const auto& [product, series] : snap.pending) {
+      s.pending_[product] = series;
     }
-    if (checksummed) reader.consume_crc("health");
+    for (const auto& [product, epochs] : snap.retained) {
+      s.retained_[product].epochs = epochs;
+    }
 
-    reader.expect("ingest");
-    ing.anchored_ = reader.read_bool("ingest anchored");
-    ing.max_time_ = reader.read_double("ingest max_time");
-    reader.expect("buffer");
-    const std::size_t buffered = reader.read_size("buffer count");
-    for (std::size_t i = 0; i < buffered; ++i) {
-      ing.buffer_.insert(reader.read_rating());
-    }
-    reader.expect("seen");
-    const std::size_t seen = reader.read_size("seen count");
-    for (std::size_t i = 0; i < seen; ++i) {
-      const double time = reader.read_double("seen time");
-      const auto rater = static_cast<RaterId>(reader.read_size("seen rater"));
-      const auto product =
-          static_cast<ProductId>(reader.read_size("seen product"));
-      const double value = reader.read_double("seen value");
-      ing.seen_.insert({time, rater, product, value});
-    }
-    reader.expect("quarantine");
-    const std::size_t quarantined = reader.read_size("quarantine count");
-    for (std::size_t i = 0; i < quarantined; ++i) {
-      const std::size_t reason = reader.read_size("quarantine reason");
-      if (reason > static_cast<std::size_t>(IngestClass::kMalformed)) {
-        reader.fail("checkpoint corrupt: unknown quarantine reason");
-      }
-      const Rating rating = reader.read_rating();
-      // v1/v2 dropped the diagnostic detail; v3 carries it escaped.
-      std::string detail = checksummed ? reader.read_detail() : std::string{};
-      ing.quarantine_.push_back(
-          {rating, static_cast<IngestClass>(reason), std::move(detail)});
-    }
-    if (checksummed) reader.consume_crc("ingest");
-
-    reader.expect("pending");
-    const std::size_t pending_products = reader.read_size("pending products");
-    for (std::size_t i = 0; i < pending_products; ++i) {
-      const auto product =
-          static_cast<ProductId>(reader.read_size("pending product"));
-      const std::size_t count = reader.read_size("pending count");
-      RatingSeries& series = s.pending_[product];
-      series.reserve(count);
-      for (std::size_t k = 0; k < count; ++k) {
-        series.push_back(reader.read_rating());
-      }
-    }
-    if (checksummed) reader.consume_crc("pending");
-
-    reader.expect("retained");
-    const std::size_t retained_products = reader.read_size("retained products");
-    for (std::size_t i = 0; i < retained_products; ++i) {
-      const auto product =
-          static_cast<ProductId>(reader.read_size("retained product"));
-      const std::size_t epochs = reader.read_size("retained epochs");
-      auto& slot = s.retained_[product].epochs;
-      slot.resize(epochs);
-      for (std::size_t e = 0; e < epochs; ++e) {
-        const std::size_t count = reader.read_size("retained epoch count");
-        slot[e].reserve(count);
-        for (std::size_t k = 0; k < count; ++k) {
-          slot[e].push_back(reader.read_rating());
-        }
-      }
-    }
-    if (checksummed) reader.consume_crc("retained");
-
-    reader.expect("trust");
-    const std::size_t raters = reader.read_size("trust count");
     trust::TrustStore store;
-    for (std::size_t i = 0; i < raters; ++i) {
-      const auto id = static_cast<RaterId>(reader.read_size("trust rater"));
-      trust::TrustRecord record;
-      record.successes = reader.read_double("trust successes");
-      record.failures = reader.read_double("trust failures");
-      if (store.records().contains(id)) {
-        reader.fail("checkpoint corrupt: duplicate trust rater " +
-                    std::to_string(id));
-      }
+    for (const auto& [id, record] : snap.trust) {
       store.record(id) = record;
     }
-    if (checksummed) reader.consume_crc("trust");
-    s.system_.restore(std::move(store), system_epochs);
+    s.system_.restore(std::move(store), snap.system_epochs);
 
-    if (checksummed) {
-      reader.expect("filecrc");
-      reader.next("filecrc value");
-    }
-    reader.expect("end");
     // Observers are not checkpoint state; arm the one-shot audit warning
     // that fires if nobody re-attaches one before the next epoch close
     // (core/streaming.cpp). In-memory flag only — the format is unchanged.
     s.observer_restore_warning_pending_ = true;
     return s;
   }
+
+  static StreamSnapshot take_sharded(shard::ShardedRatingSystem& sys) {
+    sys.quiesce();
+    StreamSnapshot snap;
+    snap.epoch_days = sys.epoch_days_;
+    snap.retention_epochs = sys.retention_epochs_;
+    const IngestBuffer& ing = sys.ingest_;
+    snap.ingest_config = ing.config_;
+
+    snap.anchored = sys.anchored_;
+    snap.epoch_start = sys.epoch_start_;
+    snap.last_time = sys.last_time_;
+    snap.epochs_closed = sys.epochs_closed_;
+    snap.skipped_empty_epochs = sys.skipped_empty_epochs_;
+    snap.system_epochs = sys.merge_.epochs_processed();
+
+    snap.stats = ing.stats_;
+    snap.health = sys.epoch_health_;
+
+    snap.ingest_anchored = ing.anchored_;
+    snap.ingest_max_time = ing.max_time_;
+    snap.buffer.assign(ing.buffer_.begin(), ing.buffer_.end());
+    snap.seen.assign(ing.seen_.begin(), ing.seen_.end());
+
+    // The sharded system's quarantine sink bypasses the classifier's own
+    // store, so the dead letters live per shard; merge them back into
+    // global arrival order by their global ordinal.
+    std::vector<const shard::ShardedRatingSystem::DeadLetter*> dead;
+    for (const auto& sh : sys.shards_) {
+      for (const auto& d : sh->quarantine) dead.push_back(&d);
+    }
+    std::sort(dead.begin(), dead.end(),
+              [](const auto* a, const auto* b) { return a->seq < b->seq; });
+    snap.quarantine.reserve(dead.size());
+    for (const auto* d : dead) snap.quarantine.push_back(d->entry);
+
+    // Union across shards; std::map restores the canonical product order.
+    for (const auto& sh : sys.shards_) {
+      for (const auto& [product, series] : sh->pending) {
+        snap.pending[product] = series;
+      }
+      for (const auto& [product, retained] : sh->retained) {
+        snap.retained[product] = retained.epochs;
+      }
+    }
+
+    const auto& records = sys.merge_.trust_store().records();
+    snap.trust.reserve(records.size());
+    for (const auto& [id, record] : records) {
+      snap.trust.push_back({id, record});
+    }
+    std::sort(snap.trust.begin(), snap.trust.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+
+    snap.shards = sys.shards_.size();
+    snap.shard_skipped_cells.reserve(snap.shards);
+    for (const auto& sh : sys.shards_) {
+      snap.shard_skipped_cells.push_back(sh->skipped_cells);
+    }
+    return snap;
+  }
+
+  static std::unique_ptr<shard::ShardedRatingSystem> restore_sharded(
+      const StreamSnapshot& snap, const SystemConfig& config,
+      shard::ShardOptions options) {
+    // Build unthreaded, fill state on the calling thread, then start the
+    // workers — no thread ever observes partially restored shards.
+    const bool threaded = options.threaded;
+    options.threaded = false;
+    auto sys = std::make_unique<shard::ShardedRatingSystem>(
+        config, std::move(options), snap.epoch_days, snap.retention_epochs,
+        snap.ingest_config);
+
+    sys->anchored_ = snap.anchored;
+    sys->epoch_start_ = snap.epoch_start;
+    sys->last_time_ = snap.last_time;
+    sys->epochs_closed_ = snap.epochs_closed;
+    sys->skipped_empty_epochs_ = snap.skipped_empty_epochs;
+    sys->epoch_health_ = snap.health;
+
+    IngestBuffer& ing = sys->ingest_;
+    ing.stats_ = snap.stats;
+    ing.anchored_ = snap.ingest_anchored;
+    ing.max_time_ = snap.ingest_max_time;
+    for (const Rating& r : snap.buffer) ing.buffer_.insert(r);
+    for (const IngestBuffer::SeenKey& key : snap.seen) ing.seen_.insert(key);
+
+    // Re-partition under the TARGET layout — the snapshot's shard count
+    // (or a pre-shard v3 checkpoint with none at all) need not match.
+    std::size_t pending_ratings = 0;
+    for (const auto& [product, series] : snap.pending) {
+      sys->shards_[sys->shard_index(product)]->pending[product] = series;
+      pending_ratings += series.size();
+    }
+    sys->pending_count_ = pending_ratings;
+    for (const auto& [product, epochs] : snap.retained) {
+      sys->shards_[sys->shard_index(product)]->retained[product].epochs =
+          epochs;
+    }
+
+    // Dead letters re-shard in global arrival order; relative order within
+    // a shard is all the merge needs, and every future ordinal (>= the
+    // quarantined counter) sorts after these.
+    for (std::size_t i = 0; i < snap.quarantine.size(); ++i) {
+      QuarantinedRating entry = snap.quarantine[i];
+      const std::size_t k = sys->shard_index(entry.rating.product);
+      sys->add_dead_letter(*sys->shards_[k], std::move(entry),
+                           static_cast<std::uint64_t>(i));
+    }
+
+    // Skipped-cell counters are layout-scoped diagnostics: only meaningful
+    // when the layout survives the round trip.
+    if (snap.shards == sys->shards_.size() &&
+        snap.shard_skipped_cells.size() == sys->shards_.size()) {
+      for (std::size_t k = 0; k < sys->shards_.size(); ++k) {
+        sys->shards_[k]->skipped_cells = snap.shard_skipped_cells[k];
+      }
+    }
+
+    trust::TrustStore store;
+    for (const auto& [id, record] : snap.trust) {
+      store.record(id) = record;
+    }
+    sys->merge_.restore(std::move(store), snap.system_epochs);
+
+    if (threaded) {
+      sys->options_.threaded = true;
+      sys->start_threads();
+    }
+    return sys;
+  }
 };
 
+StreamSnapshot take_snapshot(const StreamingRatingSystem& stream) {
+  return CheckpointAccess::take(stream);
+}
+
+StreamingRatingSystem restore_stream(const StreamSnapshot& snapshot,
+                                     const SystemConfig& config) {
+  return CheckpointAccess::restore(snapshot, config);
+}
+
+StreamSnapshot parse_checkpoint(const std::string& text) {
+  // Header peek: the version decides whether checksums exist to verify
+  // before token parsing starts.
+  {
+    std::istringstream header(text);
+    std::string magic;
+    std::size_t version = 0;
+    if ((header >> magic >> version) && magic == "trustrate-checkpoint" &&
+        version >= 3) {
+      verify_section_checksums(text);
+    }
+  }
+
+  std::istringstream in(text);
+  TokenReader reader(in);
+  reader.expect("trustrate-checkpoint");
+  const std::size_t version = reader.read_size("version");
+  if (version < 1 ||
+      version > static_cast<std::size_t>(kShardedCheckpointVersion)) {
+    throw CheckpointError("unsupported checkpoint version " +
+                          std::to_string(version));
+  }
+  const bool checksummed = version >= 3;
+  const bool sharded = version >= 4;
+
+  StreamSnapshot s;
+  reader.expect("config");
+  s.epoch_days = reader.read_double("epoch_days");
+  s.retention_epochs = reader.read_size("retention_epochs");
+  s.ingest_config.max_lateness_days = reader.read_double("max_lateness_days");
+  s.ingest_config.max_quarantine = reader.read_size("max_quarantine");
+  if (checksummed) reader.consume_crc("config");
+
+  reader.expect("anchor");
+  s.anchored = reader.read_bool("anchored");
+  s.epoch_start = reader.read_double("epoch_start");
+  s.last_time = reader.read_double("last_time");
+  s.epochs_closed = reader.read_size("epochs_closed");
+  if (version >= 2) {
+    s.skipped_empty_epochs = reader.read_size("skipped_empty_epochs");
+  }
+  s.system_epochs = reader.read_size("system_epochs");
+  if (checksummed) reader.consume_crc("anchor");
+
+  reader.expect("stats");
+  s.stats.submitted = reader.read_size("submitted");
+  s.stats.accepted = reader.read_size("accepted");
+  s.stats.reordered = reader.read_size("reordered");
+  s.stats.duplicates = reader.read_size("duplicates");
+  s.stats.dropped_late = reader.read_size("dropped_late");
+  s.stats.malformed = reader.read_size("malformed");
+  s.stats.quarantined = reader.read_size("quarantined");
+  if (checksummed) reader.consume_crc("stats");
+
+  reader.expect("health");
+  const std::size_t health_count = reader.read_size("health count");
+  s.health.reserve(health_count);
+  for (std::size_t i = 0; i < health_count; ++i) {
+    const std::size_t h = reader.read_size("health flag");
+    if (h > static_cast<std::size_t>(EpochHealth::kDegradedDetector)) {
+      reader.fail("checkpoint corrupt: unknown epoch health flag");
+    }
+    s.health.push_back(static_cast<EpochHealth>(h));
+  }
+  if (checksummed) reader.consume_crc("health");
+
+  reader.expect("ingest");
+  s.ingest_anchored = reader.read_bool("ingest anchored");
+  s.ingest_max_time = reader.read_double("ingest max_time");
+  reader.expect("buffer");
+  const std::size_t buffered = reader.read_size("buffer count");
+  s.buffer.reserve(buffered);
+  for (std::size_t i = 0; i < buffered; ++i) {
+    s.buffer.push_back(reader.read_rating());
+  }
+  reader.expect("seen");
+  const std::size_t seen = reader.read_size("seen count");
+  s.seen.reserve(seen);
+  for (std::size_t i = 0; i < seen; ++i) {
+    const double time = reader.read_double("seen time");
+    const auto rater = static_cast<RaterId>(reader.read_size("seen rater"));
+    const auto product =
+        static_cast<ProductId>(reader.read_size("seen product"));
+    const double value = reader.read_double("seen value");
+    s.seen.push_back({time, rater, product, value});
+  }
+  reader.expect("quarantine");
+  const std::size_t quarantined = reader.read_size("quarantine count");
+  s.quarantine.reserve(quarantined);
+  for (std::size_t i = 0; i < quarantined; ++i) {
+    const std::size_t reason = reader.read_size("quarantine reason");
+    if (reason > static_cast<std::size_t>(IngestClass::kMalformed)) {
+      reader.fail("checkpoint corrupt: unknown quarantine reason");
+    }
+    const Rating rating = reader.read_rating();
+    // v1/v2 dropped the diagnostic detail; v3+ carries it escaped.
+    std::string detail = checksummed ? reader.read_detail() : std::string{};
+    s.quarantine.push_back(
+        {rating, static_cast<IngestClass>(reason), std::move(detail)});
+  }
+  if (checksummed) reader.consume_crc("ingest");
+
+  if (sharded) {
+    reader.expect("layout");
+    s.shards = reader.read_size("shard count");
+    if (s.shards == 0) {
+      reader.fail("checkpoint corrupt: zero-shard layout");
+    }
+    s.shard_skipped_cells.reserve(s.shards);
+    for (std::size_t k = 0; k < s.shards; ++k) {
+      s.shard_skipped_cells.push_back(reader.read_size("shard skipped cells"));
+    }
+    reader.consume_crc("layout");
+    for (std::size_t k = 0; k < s.shards; ++k) {
+      reader.expect("shard");
+      const std::size_t index = reader.read_size("shard index");
+      if (index != k) {
+        reader.fail("checkpoint corrupt: shard sections out of order");
+      }
+      parse_pending_body(reader, s);
+      parse_retained_body(reader, s);
+      reader.consume_crc("shard" + std::to_string(k));
+    }
+  } else {
+    parse_pending_body(reader, s);
+    if (checksummed) reader.consume_crc("pending");
+    parse_retained_body(reader, s);
+    if (checksummed) reader.consume_crc("retained");
+  }
+
+  reader.expect("trust");
+  const std::size_t raters = reader.read_size("trust count");
+  s.trust.reserve(raters);
+  for (std::size_t i = 0; i < raters; ++i) {
+    const auto id = static_cast<RaterId>(reader.read_size("trust rater"));
+    trust::TrustRecord record;
+    record.successes = reader.read_double("trust successes");
+    record.failures = reader.read_double("trust failures");
+    if (!s.trust.empty() && s.trust.back().first >= id) {
+      // The writer sorts raters, so an order violation is corruption (and a
+      // duplicate is the equality case of the same check).
+      reader.fail("checkpoint corrupt: trust raters out of order at " +
+                  std::to_string(id));
+    }
+    s.trust.push_back({id, record});
+  }
+  if (checksummed) reader.consume_crc("trust");
+
+  if (checksummed) {
+    reader.expect("filecrc");
+    reader.next("filecrc value");
+  }
+  reader.expect("end");
+  return s;
+}
+
+void write_checkpoint(const StreamSnapshot& snapshot, int version,
+                      std::ostream& out) {
+  out << render_checkpoint(snapshot, version);
+}
+
 void save_checkpoint(const StreamingRatingSystem& stream, std::ostream& out) {
-  CheckpointAccess::save(stream, out);
+  write_checkpoint(take_snapshot(stream), kCheckpointVersion, out);
 }
 
 StreamingRatingSystem load_checkpoint(std::istream& in,
                                       const SystemConfig& config) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return CheckpointAccess::load(buffer.str(), config);
+  return restore_stream(parse_checkpoint(buffer.str()), config);
+}
+
+// Sharded checkpoint entry points live here because CheckpointAccess is the
+// single owner of state movement in and out of live systems; the sharded
+// engine's header only declares them.
+
+StreamSnapshot shard::ShardedRatingSystem::snapshot() {
+  return CheckpointAccess::take_sharded(*this);
+}
+
+void shard::ShardedRatingSystem::save(std::ostream& out) {
+  write_checkpoint(snapshot(), kShardedCheckpointVersion, out);
+}
+
+std::unique_ptr<shard::ShardedRatingSystem> shard::ShardedRatingSystem::
+    from_snapshot(const StreamSnapshot& snapshot, const SystemConfig& config,
+                  ShardOptions options) {
+  return CheckpointAccess::restore_sharded(snapshot, config,
+                                           std::move(options));
+}
+
+std::unique_ptr<shard::ShardedRatingSystem> shard::ShardedRatingSystem::load(
+    std::istream& in, const SystemConfig& config, ShardOptions options) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return CheckpointAccess::restore_sharded(parse_checkpoint(buffer.str()),
+                                           config, std::move(options));
 }
 
 }  // namespace trustrate::core

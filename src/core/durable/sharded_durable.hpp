@@ -1,0 +1,147 @@
+// Crash-safe front-end for the sharded engine (ISSUE 8): per-shard WAL
+// segment streams plus shared v4 checkpoints, and the recovery
+// orchestrator that merges the shard logs back into one global replay.
+//
+// Directory layout:
+//
+//   <dir>/ckpt-<seq20>.ckpt     v4 checkpoints (global; seq = acknowledged
+//                               submission count at the checkpoint)
+//   <dir>/shard-<k>/wal-*.log   shard k's WAL segments
+//
+// Each acknowledged submission is logged as a kShardRating frame to the
+// shard that OWNS ITS PRODUCT, carrying the global submission ordinal —
+// per-shard LSNs order one shard's log, the ordinal orders the stream.
+// Explicit flush() writes a kShardFlush marker (ordinal + epochs_closed)
+// to shard 0. Recovery merge-sorts every shard's surviving records by
+// ordinal and replays the longest contiguous prefix above the newest
+// valid checkpoint; replay re-classifies each submission and must agree
+// with the logged verdict, so the recovered system is bitwise-identical
+// to one that never died — at ANY target shard count, because replay
+// reassembles the global order before the new layout re-partitions it.
+//
+// Torn shards and cross-shard gaps: each shard's torn tail is truncated
+// independently (the standard single-WAL rule). A truncated shard leaves
+// a HOLE in the global ordinal sequence; records with higher ordinals in
+// OTHER shards' logs are unreplayable (the stream cannot skip an
+// acknowledged submission) and are discarded. Whenever recovery loses
+// anything this way — or the on-disk shard layout differs from the
+// target layout — it immediately re-checkpoints the recovered state and
+// resets every shard WAL, so the orphaned frames can never resurface.
+//
+// Scope vs DurableStream (core/durable/durable_stream.hpp): no
+// degradation ladder and no environmental fault injection — an I/O error
+// here throws IoError. Under FsyncPolicy::kEpoch the sync barrier is
+// flush()/checkpoint() (epoch cells close on background threads in
+// threaded mode; there is no synchronous close edge to hang a barrier
+// on); kAlways syncs the owning shard's log after every append.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/durable/wal.hpp"
+#include "core/shard/sharded_system.hpp"
+
+namespace trustrate::core::durable {
+
+struct ShardedDurableOptions {
+  FsyncPolicy fsync = FsyncPolicy::kEpoch;
+  /// Per-shard WAL segment rotation threshold.
+  std::size_t segment_bytes = 1 << 20;
+  /// Checkpoints kept on disk (>= 1). Shard WAL segments wholly below the
+  /// oldest kept checkpoint are pruned when their obsolescence is known
+  /// (tracked per checkpoint written this process lifetime).
+  std::size_t keep_checkpoints = 2;
+  /// Observability, threaded down to the sharded system and WAL writers.
+  obs::Observability obs;
+};
+
+class ShardedDurableStream {
+ public:
+  struct RecoveryInfo {
+    bool recovered = false;          ///< durable state existed in `dir`
+    bool loaded_checkpoint = false;  ///< a checkpoint rung succeeded
+    std::uint64_t checkpoint_seq = 0;
+    std::size_t corrupt_checkpoints = 0;  ///< rungs skipped as corrupt
+    std::size_t replayed_records = 0;     ///< WAL records applied
+    std::size_t replayed_ratings = 0;     ///< submissions among them
+    std::size_t torn_shards = 0;          ///< shard WAL tails truncated
+    /// Records discarded past a cross-shard ordinal gap (acknowledged on a
+    /// surviving shard after a lost record on a torn one).
+    std::size_t discarded_records = 0;
+    /// The recovered state was re-checkpointed and the shard WALs reset
+    /// (data was discarded, or the shard layout changed on disk).
+    bool wal_reset = false;
+  };
+
+  /// Opens (creating if needed) the sharded durable directory and recovers
+  /// whatever state it holds into the layout `shard_options` describes —
+  /// the on-disk layout may differ; recovery re-partitions. Throws
+  /// WalError / RecoveryError / CheckpointError on unrecoverable
+  /// corruption, IoError on environmental failure.
+  ShardedDurableStream(const std::filesystem::path& dir,
+                       const SystemConfig& config,
+                       shard::ShardOptions shard_options,
+                       double epoch_days = 30.0,
+                       std::size_t retention_epochs = 2,
+                       IngestConfig ingest = {},
+                       ShardedDurableOptions options = {});
+
+  /// WAL-backed submit: applies the rating, logs it to the owning shard,
+  /// syncs per policy, then returns — the acknowledgement is the
+  /// durability boundary (same contract as DurableStream::submit).
+  IngestClass submit(const Rating& rating);
+
+  /// Durable flush: drains + closes regardless of time, logs the marker so
+  /// recovery reproduces the early close, and syncs every shard's log.
+  std::size_t flush();
+
+  /// Atomic v4 checkpoint of everything acknowledged so far; prunes
+  /// obsolete checkpoints and provably covered WAL segments. Returns the
+  /// checkpoint's submission ordinal.
+  std::uint64_t checkpoint();
+
+  /// Acknowledged submissions — the client's resume cursor after a crash.
+  std::uint64_t acknowledged() const {
+    return system_->ingest_stats().submitted;
+  }
+
+  const shard::ShardedRatingSystem& system() const { return *system_; }
+  shard::ShardedRatingSystem& system() { return *system_; }
+  const RecoveryInfo& recovery() const { return recovery_; }
+  const std::filesystem::path& dir() const { return dir_; }
+
+  /// Shard k's WAL directory under `dir` (exposed for tests/tools).
+  static std::filesystem::path shard_dir(const std::filesystem::path& dir,
+                                         std::size_t k);
+  /// Checkpoint file name for a given submission ordinal.
+  static std::string checkpoint_name(std::uint64_t seq);
+
+ private:
+  void recover(const SystemConfig& config, double epoch_days,
+               std::size_t retention_epochs, const IngestConfig& ingest);
+  void open_writers(const std::vector<WalRecovered>& recovered);
+  void reset_wals();
+  void sync_all();
+  void write_checkpoint_file();
+  void prune();
+  WalOptions wal_options() const;
+
+  std::filesystem::path dir_;
+  shard::ShardOptions shard_options_;
+  ShardedDurableOptions options_;
+  RecoveryInfo recovery_;
+  std::unique_ptr<shard::ShardedRatingSystem> system_;
+  std::vector<std::unique_ptr<WalWriter>> writers_;  ///< one per shard
+  std::uint64_t last_checkpoint_seq_ = 0;
+  /// Per-shard next_lsn at each checkpoint written this lifetime; prune()
+  /// only removes segments below the oldest KEPT checkpoint's recorded
+  /// cursor (unknown for checkpoints inherited from a previous process —
+  /// those prune nothing until newer checkpoints displace them).
+  std::map<std::uint64_t, std::vector<std::uint64_t>> checkpoint_wal_lsns_;
+};
+
+}  // namespace trustrate::core::durable

@@ -76,6 +76,20 @@ std::string encode_payload(const WalRecord& record) {
     case WalRecordType::kFlush:
       put_u64(payload, record.epochs_closed);
       break;
+    case WalRecordType::kShardRating:
+      payload.reserve(34);
+      put_u64(payload, record.seq);
+      put_double(payload, record.rating.time);
+      put_double(payload, record.rating.value);
+      put_u32(payload, record.rating.rater);
+      put_u32(payload, record.rating.product);
+      payload.push_back(static_cast<char>(record.rating.label));
+      payload.push_back(static_cast<char>(record.ingest_class));
+      break;
+    case WalRecordType::kShardFlush:
+      put_u64(payload, record.seq);
+      put_u64(payload, record.epochs_closed);
+      break;
   }
   return payload;
 }
@@ -128,6 +142,30 @@ std::optional<std::pair<WalRecord, std::size_t>> parse_frame(
       if (len != 8) return std::nullopt;
       record.type = WalRecordType::kFlush;
       record.epochs_closed = get_u64(p);
+      break;
+    case static_cast<unsigned char>(WalRecordType::kShardRating): {
+      if (len != 34) return std::nullopt;
+      record.type = WalRecordType::kShardRating;
+      record.seq = get_u64(p);
+      record.rating.time = get_double(p + 8);
+      record.rating.value = get_double(p + 16);
+      record.rating.rater = static_cast<RaterId>(get_u32(p + 24));
+      record.rating.product = static_cast<ProductId>(get_u32(p + 28));
+      const auto label = static_cast<unsigned char>(p[32]);
+      const auto klass = static_cast<unsigned char>(p[33]);
+      if (label > static_cast<unsigned char>(RatingLabel::kCollaborative2) ||
+          klass > static_cast<unsigned char>(IngestClass::kMalformed)) {
+        return std::nullopt;
+      }
+      record.rating.label = static_cast<RatingLabel>(label);
+      record.ingest_class = static_cast<IngestClass>(klass);
+      break;
+    }
+    case static_cast<unsigned char>(WalRecordType::kShardFlush):
+      if (len != 16) return std::nullopt;
+      record.type = WalRecordType::kShardFlush;
+      record.seq = get_u64(p);
+      record.epochs_closed = get_u64(p + 8);
       break;
     default:
       return std::nullopt;

@@ -63,15 +63,25 @@ enum class WalRecordType : std::uint8_t {
   kRating = 1,      ///< one acknowledged submission (any classification)
   kEpochClose = 2,  ///< an epoch closed while routing the previous rating
   kFlush = 3,       ///< explicit flush(): drain + close regardless of time
+  /// Sharded-stream submission (core/durable/sharded_durable.hpp): the
+  /// kRating payload prefixed with the u64 *global* submission ordinal.
+  /// Each shard logs only its own products, so per-shard LSNs say nothing
+  /// about global order — the ordinal is what recovery merge-sorts on.
+  kShardRating = 4,
+  /// Sharded-stream explicit flush: u64 global submission ordinal at the
+  /// flush (replay applies it after that many submissions) + u64
+  /// epochs_closed after it. Logged to shard 0 only.
+  kShardFlush = 5,
 };
 
 /// One log record. Which fields are meaningful depends on `type`.
 struct WalRecord {
   WalRecordType type = WalRecordType::kRating;
-  Rating rating;                                      ///< kRating
-  IngestClass ingest_class = IngestClass::kAccepted;  ///< kRating
-  std::uint64_t epochs_closed = 0;  ///< kEpochClose / kFlush
+  Rating rating;                                      ///< kRating / kShardRating
+  IngestClass ingest_class = IngestClass::kAccepted;  ///< kRating / kShardRating
+  std::uint64_t epochs_closed = 0;  ///< kEpochClose / kFlush / kShardFlush
   double epoch_start = 0.0;         ///< kEpochClose
+  std::uint64_t seq = 0;            ///< kShardRating / kShardFlush: global ordinal
 };
 
 /// Serializes one record as a framed byte string (exposed for tests).

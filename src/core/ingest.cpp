@@ -33,6 +33,10 @@ double IngestBuffer::watermark() const {
 void IngestBuffer::quarantine_rating(const Rating& rating, IngestClass reason,
                                      std::string detail) {
   ++stats_.quarantined;
+  if (quarantine_sink_) {
+    quarantine_sink_({rating, reason, std::move(detail)});
+    return;
+  }
   quarantine_.push_back({rating, reason, std::move(detail)});
   while (quarantine_.size() > config_.max_quarantine) quarantine_.pop_front();
 }

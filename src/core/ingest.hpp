@@ -30,6 +30,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <set>
 #include <string>
 #include <tuple>
@@ -86,6 +87,11 @@ struct QuarantinedRating {
 /// dead-letter quarantine. See the file comment for the semantics.
 class IngestBuffer {
  public:
+  /// Duplicate-horizon key: (time, rater, product, value). Ordered by time
+  /// first so expired keys form a prefix. Public so checkpoint/snapshot
+  /// code can carry the horizon state around.
+  using SeenKey = std::tuple<double, RaterId, ProductId, double>;
+
   explicit IngestBuffer(IngestConfig config = {});
 
   /// Classifies one rating. Accepted ratings are buffered; every buffered
@@ -110,12 +116,18 @@ class IngestBuffer {
   const std::deque<QuarantinedRating>& quarantine() const { return quarantine_; }
   const IngestConfig& config() const { return config_; }
 
+  /// Redirects dead-lettered ratings to `sink` instead of the internal
+  /// capped deque. Counters (`quarantined`, `dropped_late`, `malformed`)
+  /// still advance globally; only the storage moves. The sharded engine
+  /// uses this to keep per-shard quarantine stores with per-shard caps
+  /// while classification stays at the (global) front door. Pass an empty
+  /// function to restore the internal deque.
+  void set_quarantine_sink(std::function<void(QuarantinedRating&&)> sink) {
+    quarantine_sink_ = std::move(sink);
+  }
+
  private:
   friend struct CheckpointAccess;  ///< checkpoint.cpp serializes the state
-
-  /// Duplicate horizon key: (time, rater, product, value). Ordered by time
-  /// first so expired keys form a prefix.
-  using SeenKey = std::tuple<double, RaterId, ProductId, double>;
 
   void quarantine_rating(const Rating& rating, IngestClass reason,
                          std::string detail);
@@ -141,6 +153,7 @@ class IngestBuffer {
   std::set<SeenKey> seen_;
 
   std::deque<QuarantinedRating> quarantine_;
+  std::function<void(QuarantinedRating&&)> quarantine_sink_;
 };
 
 }  // namespace trustrate::core

@@ -1,0 +1,39 @@
+// Product → shard placement for the sharded service engine (DESIGN.md §14).
+//
+// The map must be a pure function of (product, shard_count): ingest
+// threads, the checkpoint writer, and WAL recovery all re-derive the
+// owning shard independently and must agree. It must also scatter
+// well for non-power-of-two shard counts (the conformance oracle runs 7
+// shards on purpose), so the product ID goes through a full-avalanche
+// mixer (splitmix64's finalizer) before the modulo — consecutive product
+// IDs land on unrelated shards.
+//
+// Placement is *layout*, not state: every cross-shard result is merged
+// canonically (sorted by product / rater), so digests are identical for
+// any placement function. Tests exploit that by overriding the map with
+// adversarial skew (everything on one shard) and asserting nothing
+// changes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace trustrate::core::shard {
+
+/// splitmix64 finalizer: full-avalanche 64-bit mix.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Owning shard of a product under an N-shard layout. N must be >= 1.
+inline std::size_t shard_of(ProductId product, std::size_t shards) {
+  return static_cast<std::size_t>(mix64(product) %
+                                  static_cast<std::uint64_t>(shards));
+}
+
+}  // namespace trustrate::core::shard

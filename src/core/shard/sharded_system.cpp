@@ -1,0 +1,599 @@
+#include "core/shard/sharded_system.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "core/parallel/epoch_engine.hpp"
+
+namespace trustrate::core::shard {
+
+namespace {
+
+/// The merge authority never runs stage 1, so its engine stays serial
+/// regardless of the configured worker count (per-shard engines get the
+/// workers instead).
+SystemConfig merge_config(SystemConfig config) {
+  config.epoch_workers = 1;
+  return config;
+}
+
+}  // namespace
+
+ShardedRatingSystem::Shard::Shard(const SystemConfig& config,
+                                  std::size_t workers,
+                                  std::size_t queue_capacity)
+    : filter(config.filter),
+      detector(config.ar),
+      engine(std::make_unique<parallel::EpochEngine>(workers)),
+      inbox(queue_capacity),
+      outbox(queue_capacity) {}
+
+ShardedRatingSystem::ShardedRatingSystem(SystemConfig config,
+                                         ShardOptions options,
+                                         double epoch_days,
+                                         std::size_t retention_epochs,
+                                         IngestConfig ingest)
+    : config_(config),
+      options_(std::move(options)),
+      merge_(merge_config(config)),
+      epoch_days_(epoch_days),
+      retention_epochs_(retention_epochs),
+      ingest_(ingest) {
+  TRUSTRATE_EXPECTS(epoch_days > 0.0, "epoch length must be positive");
+  TRUSTRATE_EXPECTS(options_.shards >= 1, "shard count must be >= 1");
+  const std::size_t workers =
+      options_.epoch_workers != 0
+          ? options_.epoch_workers
+          : (config_.epoch_workers != 0 ? config_.epoch_workers : 1);
+  shards_.reserve(options_.shards);
+  for (std::size_t k = 0; k < options_.shards; ++k) {
+    shards_.push_back(
+        std::make_unique<Shard>(config_, workers, options_.queue_capacity));
+  }
+
+  // Dead letters are classified globally (the counters in IngestStats keep
+  // their stream-wide meaning) but *stored* per shard with a per-shard cap
+  // — the sink captures the global ordinal so the stores merge back into
+  // arrival order for checkpoints and the quarantine() view.
+  ingest_.set_quarantine_sink([this](QuarantinedRating&& q) {
+    const std::uint64_t seq = ingest_.stats().quarantined;
+    const std::size_t k = shard_index(q.rating.product);
+    if (threads_running_) {
+      ShardEvent e;
+      e.type = ShardEvent::Type::kQuarantine;
+      e.dead = std::move(q);
+      e.seq = seq;
+      enqueue(k, std::move(e));
+    } else {
+      add_dead_letter(*shards_[k], std::move(q), seq);
+    }
+  });
+
+  if (options_.threaded) start_threads();
+}
+
+ShardedRatingSystem::~ShardedRatingSystem() { stop_threads(); }
+
+std::size_t ShardedRatingSystem::shard_index(ProductId product) const {
+  const std::size_t n = shards_.size();
+  if (options_.shard_fn) return options_.shard_fn(product, n) % n;
+  return shard_of(product, n);
+}
+
+IngestClass ShardedRatingSystem::submit(const Rating& rating) {
+  released_.clear();
+  const IngestClass result = ingest_.submit(rating, released_);
+  if (ingest_submitted_ != nullptr) {
+    ingest_submitted_->add();
+    switch (result) {
+      case IngestClass::kAccepted:
+        ingest_accepted_->add();
+        break;
+      case IngestClass::kReordered:
+        ingest_accepted_->add();
+        ingest_reordered_->add();
+        break;
+      case IngestClass::kDuplicate:
+        ingest_duplicates_->add();
+        break;
+      case IngestClass::kLate:
+        ingest_late_->add();
+        ingest_quarantined_->add();
+        break;
+      case IngestClass::kMalformed:
+        ingest_malformed_->add();
+        ingest_quarantined_->add();
+        break;
+    }
+  }
+  for (const Rating& r : released_) route(r);
+  update_gauges();
+  return result;
+}
+
+void ShardedRatingSystem::route(const Rating& rating) {
+  if (!anchored_) {
+    anchored_ = true;
+    epoch_start_ = rating.time;
+  }
+  last_time_ = rating.time;
+
+  // Same boundary walk as StreamingRatingSystem::route: close every cell
+  // the stream moved past; once NOTHING is pending anywhere, the rest of
+  // the gap is fully empty and fast-forwards in O(1). A shard-local gap is
+  // not a stream gap — shards with no data for a closing cell record a
+  // skipped cell in analyze_cell instead of stalling or skipping others.
+  while (rating.time >= epoch_start_ + epoch_days_) {
+    if (pending_count_ == 0) {
+      fast_forward_empty_epochs(rating.time);
+      break;
+    }
+    issue_close(epoch_start_ + epoch_days_);
+  }
+
+  const std::size_t k = shard_index(rating.product);
+  Shard& shard = *shards_[k];
+  if (shard.routed_metric != nullptr) shard.routed_metric->add();
+  if (threads_running_) {
+    ShardEvent e;
+    e.type = ShardEvent::Type::kRating;
+    e.rating = rating;
+    enqueue(k, std::move(e));
+  } else {
+    shard.pending[rating.product].push_back(rating);
+  }
+  ++pending_count_;
+}
+
+void ShardedRatingSystem::fast_forward_empty_epochs(double now) {
+  // now >= epoch_start_ + epoch_days_, so skip >= 1. Identical arithmetic
+  // (including the FP boundary guards) to the unsharded stream and the
+  // batch oracle — the three must land on the same grid cell.
+  auto skip = static_cast<std::size_t>((now - epoch_start_) / epoch_days_);
+  epoch_start_ += static_cast<double>(skip) * epoch_days_;
+  while (epoch_start_ > now) {
+    epoch_start_ -= epoch_days_;
+    --skip;
+  }
+  while (now >= epoch_start_ + epoch_days_) {
+    epoch_start_ += epoch_days_;
+    ++skip;
+  }
+  skipped_empty_epochs_ += skip;
+  if (epochs_skipped_empty_metric_ != nullptr) {
+    epochs_skipped_empty_metric_->add(static_cast<std::uint64_t>(skip));
+  }
+}
+
+void ShardedRatingSystem::issue_close(double epoch_end) {
+  const std::uint64_t cell = cells_issued_++;
+  const double cell_start = epoch_start_;
+  if (threads_running_) {
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      ShardEvent e;
+      e.type = ShardEvent::Type::kClose;
+      e.seq = cell;
+      e.epoch_start = cell_start;
+      e.epoch_end = epoch_end;
+      enqueue(k, std::move(e));
+    }
+  } else {
+    std::vector<ShardResult> results;
+    results.reserve(shards_.size());
+    for (auto& shard : shards_) {
+      results.push_back(analyze_cell(*shard, cell, cell_start, epoch_end));
+    }
+    merge_cell(std::move(results));
+  }
+  epoch_start_ = epoch_end;
+  pending_count_ = 0;
+}
+
+ShardedRatingSystem::ShardResult ShardedRatingSystem::analyze_cell(
+    Shard& shard, std::uint64_t cell, double epoch_start, double epoch_end) {
+  ShardResult result;
+  result.cell = cell;
+  result.epoch_start = epoch_start;
+  result.epoch_end = epoch_end;
+  if (shard.pending.empty()) {
+    // This shard saw nothing this cell — a shard-local gap. The close
+    // still happens globally; only this shard's participation is skipped.
+    ++shard.skipped_cells;
+    if (shard.skipped_metric != nullptr) shard.skipped_metric->add();
+    return result;
+  }
+
+  result.observations.reserve(shard.pending.size());
+  for (auto& [product, series] : shard.pending) {
+    ProductObservation obs;
+    obs.product = product;
+    obs.t_start = epoch_start;
+    obs.t_end = epoch_end;
+    obs.ratings = std::move(series);
+    result.observations.push_back(std::move(obs));
+  }
+  shard.pending.clear();
+  std::sort(result.observations.begin(), result.observations.end(),
+            [](const ProductObservation& a, const ProductObservation& b) {
+              return a.product < b.product;
+            });
+
+  {
+    const obs::SpanTimer span(
+        obs_.trace,
+        shard.analyze_span_name.empty() ? "shard.analyze"
+                                        : shard.analyze_span_name.c_str(),
+        cell + 1);
+    const parallel::StageContext ctx{&config_, &shard.filter, &shard.detector,
+                                     &obs_};
+    result.reports = shard.engine->analyze(result.observations, ctx);
+  }
+  if (shard.cells_metric != nullptr) shard.cells_metric->add();
+
+  // Retention is shard-local state; the observations themselves travel to
+  // the merger, so the retained window keeps a copy.
+  for (const ProductObservation& obs : result.observations) {
+    Shard::Retained& r = shard.retained[obs.product];
+    r.epochs.push_back(obs.ratings);
+    if (r.epochs.size() > retention_epochs_) {
+      r.epochs.erase(r.epochs.begin());
+    }
+  }
+  return result;
+}
+
+void ShardedRatingSystem::merge_cell(std::vector<ShardResult> results) {
+  const double cell_start = results.front().epoch_start;
+  const double cell_end = results.front().epoch_end;
+
+  std::vector<ProductObservation> observations;
+  std::vector<ProductReport> reports;
+  for (ShardResult& r : results) {
+    observations.insert(observations.end(),
+                        std::make_move_iterator(r.observations.begin()),
+                        std::make_move_iterator(r.observations.end()));
+    reports.insert(reports.end(), std::make_move_iterator(r.reports.begin()),
+                   std::make_move_iterator(r.reports.end()));
+  }
+
+  // Canonical product order: each shard slice is sorted and the slices are
+  // disjoint, so sorting the concatenation recreates exactly the product
+  // order the unsharded close would have fed process_epoch.
+  std::vector<std::size_t> order(observations.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return observations[a].product < observations[b].product;
+  });
+  std::vector<ProductObservation> sorted_obs;
+  sorted_obs.reserve(observations.size());
+  std::vector<ProductReport> sorted_reports;
+  sorted_reports.reserve(reports.size());
+  for (const std::size_t i : order) {
+    sorted_obs.push_back(std::move(observations[i]));
+    sorted_reports.push_back(std::move(reports[i]));
+  }
+
+  EpochHealth health = EpochHealth::kHealthy;
+  if (!sorted_obs.empty()) {
+    const EpochReport report =
+        merge_.merge_epoch(sorted_obs, std::move(sorted_reports));
+    if (report.detector_degraded) health = EpochHealth::kDegradedDetector;
+    last_close_products_ = sorted_obs.size();
+    if (epoch_observer_) epoch_observer_(report, cell_start, cell_end);
+  } else {
+    // Unreachable through the coordinator (it only closes when something
+    // is pending), kept for defensive parity with the unsharded close.
+    last_close_products_ = 0;
+  }
+  ++epochs_closed_;
+  epoch_health_.push_back(health);
+  if (epochs_closed_metric_ != nullptr) epochs_closed_metric_->add();
+  if (health == EpochHealth::kDegradedDetector) {
+    if (epochs_degraded_metric_ != nullptr) epochs_degraded_metric_->add();
+    if (obs_.audit != nullptr) {
+      obs::AuditEvent e;
+      e.type = obs::AuditEventType::kDegradedEpoch;
+      e.epoch = static_cast<std::uint64_t>(epochs_closed_);
+      e.window_start = cell_start;
+      e.window_end = cell_end;
+      e.detail = "AR detector contributed nothing; beta-filter-only path";
+      obs_.audit->record(e);
+    }
+  }
+  // Publishes every merge-thread write above to quiescing readers.
+  cells_merged_.fetch_add(1, std::memory_order_release);
+}
+
+std::size_t ShardedRatingSystem::flush() {
+  released_.clear();
+  ingest_.drain(released_);
+  for (const Rating& r : released_) route(r);
+  if (!anchored_ || pending_count_ == 0) {
+    quiesce();
+    update_gauges();
+    return 0;
+  }
+  issue_close(std::max(last_time_ + 1e-9, epoch_start_ + epoch_days_));
+  quiesce();
+  update_gauges();
+  return last_close_products_;
+}
+
+void ShardedRatingSystem::add_dead_letter(Shard& shard,
+                                          QuarantinedRating&& entry,
+                                          std::uint64_t seq) {
+  shard.quarantine.push_back({std::move(entry), seq});
+  while (shard.quarantine.size() > ingest_.config().max_quarantine) {
+    shard.quarantine.pop_front();
+  }
+}
+
+// ------------------------------------------------------------- threading
+
+void ShardedRatingSystem::enqueue(std::size_t k, ShardEvent&& event) {
+  Shard& shard = *shards_[k];
+  shard.inbox.push(std::move(event));
+  ++shard.events_pushed;
+}
+
+void ShardedRatingSystem::shard_worker(std::size_t k) {
+  Shard& shard = *shards_[k];
+  for (;;) {
+    ShardEvent event = shard.inbox.pop();
+    bool stop = false;
+    switch (event.type) {
+      case ShardEvent::Type::kRating:
+        shard.pending[event.rating.product].push_back(event.rating);
+        break;
+      case ShardEvent::Type::kQuarantine:
+        add_dead_letter(shard, std::move(event.dead), event.seq);
+        break;
+      case ShardEvent::Type::kClose:
+        shard.outbox.push(
+            analyze_cell(shard, event.seq, event.epoch_start, event.epoch_end));
+        break;
+      case ShardEvent::Type::kStop: {
+        ShardResult sentinel;
+        sentinel.cell = kStopCell;
+        shard.outbox.push(std::move(sentinel));
+        stop = true;
+        break;
+      }
+    }
+    // Release: quiescing readers that observe this count also observe the
+    // shard-state writes the event caused.
+    shard.events_processed.fetch_add(1, std::memory_order_release);
+    if (stop) return;
+  }
+}
+
+void ShardedRatingSystem::merge_worker() {
+  for (;;) {
+    std::vector<ShardResult> results;
+    results.reserve(shards_.size());
+    ShardResult first = shards_[0]->outbox.pop();
+    const bool stopping = first.cell == kStopCell;
+    if (!stopping) results.push_back(std::move(first));
+    // Each shard receives closes (and the final stop) in the same order,
+    // and processes its inbox FIFO — so the k-th outbox head is always the
+    // same cell as shard 0's (or the matching stop sentinel).
+    for (std::size_t k = 1; k < shards_.size(); ++k) {
+      ShardResult r = shards_[k]->outbox.pop();
+      if (!stopping) results.push_back(std::move(r));
+    }
+    if (stopping) return;
+    merge_cell(std::move(results));
+  }
+}
+
+void ShardedRatingSystem::start_threads() {
+  threads_running_ = true;
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    shards_[k]->worker = std::thread([this, k] { shard_worker(k); });
+  }
+  merge_thread_ = std::thread([this] { merge_worker(); });
+}
+
+void ShardedRatingSystem::stop_threads() {
+  if (!threads_running_) return;
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    ShardEvent e;
+    e.type = ShardEvent::Type::kStop;
+    enqueue(k, std::move(e));
+  }
+  for (auto& shard : shards_) shard->worker.join();
+  merge_thread_.join();
+  threads_running_ = false;
+}
+
+void ShardedRatingSystem::quiesce() const {
+  if (!threads_running_) return;
+  for (const auto& shard : shards_) {
+    while (shard->events_processed.load(std::memory_order_acquire) <
+           shard->events_pushed) {
+      std::this_thread::yield();
+    }
+  }
+  while (cells_merged_.load(std::memory_order_acquire) < cells_issued_) {
+    std::this_thread::yield();
+  }
+}
+
+// --------------------------------------------------------------- queries
+
+double ShardedRatingSystem::trust(RaterId id) const {
+  quiesce();
+  return merge_.trust(id);
+}
+
+std::vector<RaterId> ShardedRatingSystem::malicious() const {
+  quiesce();
+  return merge_.malicious();
+}
+
+std::optional<double> ShardedRatingSystem::aggregate(ProductId product) const {
+  quiesce();
+  const Shard& shard = *shards_[shard_index(product)];
+  RatingSeries all;
+  if (const auto it = shard.retained.find(product); it != shard.retained.end()) {
+    for (const RatingSeries& epoch : it->second.epochs) {
+      all.insert(all.end(), epoch.begin(), epoch.end());
+    }
+  }
+  if (const auto it = shard.pending.find(product); it != shard.pending.end()) {
+    all.insert(all.end(), it->second.begin(), it->second.end());
+  }
+  if (all.empty()) return std::nullopt;
+  return merge_.aggregate(all);
+}
+
+std::size_t ShardedRatingSystem::epochs_closed() const {
+  quiesce();
+  return epochs_closed_;
+}
+
+const std::vector<EpochHealth>& ShardedRatingSystem::epoch_health() const {
+  quiesce();
+  return epoch_health_;
+}
+
+std::size_t ShardedRatingSystem::degraded_epochs() const {
+  quiesce();
+  return static_cast<std::size_t>(
+      std::count(epoch_health_.begin(), epoch_health_.end(),
+                 EpochHealth::kDegradedDetector));
+}
+
+std::size_t ShardedRatingSystem::skipped_empty_epochs() const {
+  return skipped_empty_epochs_;
+}
+
+std::vector<std::size_t> ShardedRatingSystem::shard_skipped_cells() const {
+  quiesce();
+  std::vector<std::size_t> cells;
+  cells.reserve(shards_.size());
+  for (const auto& shard : shards_) cells.push_back(shard->skipped_cells);
+  return cells;
+}
+
+std::size_t ShardedRatingSystem::pending_ratings() const {
+  return pending_count_;
+}
+
+std::vector<QuarantinedRating> ShardedRatingSystem::shard_quarantine(
+    std::size_t k) const {
+  TRUSTRATE_EXPECTS(k < shards_.size(), "shard index out of range");
+  quiesce();
+  std::vector<QuarantinedRating> out;
+  out.reserve(shards_[k]->quarantine.size());
+  for (const DeadLetter& d : shards_[k]->quarantine) out.push_back(d.entry);
+  return out;
+}
+
+std::vector<QuarantinedRating> ShardedRatingSystem::quarantine() const {
+  quiesce();
+  std::vector<const DeadLetter*> all;
+  for (const auto& shard : shards_) {
+    for (const DeadLetter& d : shard->quarantine) all.push_back(&d);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const DeadLetter* a, const DeadLetter* b) {
+              return a->seq < b->seq;
+            });
+  std::vector<QuarantinedRating> out;
+  out.reserve(all.size());
+  for (const DeadLetter* d : all) out.push_back(d->entry);
+  return out;
+}
+
+// --------------------------------------------------------- observability
+
+void ShardedRatingSystem::set_epoch_observer(EpochCloseObserver observer) {
+  quiesce();
+  epoch_observer_ = std::move(observer);
+}
+
+void ShardedRatingSystem::set_observability(const obs::Observability& o) {
+  quiesce();
+  obs_ = o;
+  merge_.set_observability(o);
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    Shard& shard = *shards_[k];
+    shard.filter.set_observability(o);
+    shard.detector.set_observability(o);
+    if (o.metrics != nullptr) {
+      const std::string prefix = "trustrate_shard" + std::to_string(k);
+      shard.analyze_span_name = "shard" + std::to_string(k) + ".analyze";
+      shard.routed_metric = &o.metrics->counter(
+          prefix + "_routed_total", "Ratings routed to this shard");
+      shard.cells_metric = &o.metrics->counter(
+          prefix + "_cells_total", "Epoch cells this shard analyzed");
+      shard.skipped_metric = &o.metrics->counter(
+          prefix + "_skipped_cells_total",
+          "Epoch cells closed with no pending data on this shard");
+    } else {
+      shard.analyze_span_name.clear();
+      shard.routed_metric = nullptr;
+      shard.cells_metric = nullptr;
+      shard.skipped_metric = nullptr;
+    }
+  }
+  if (o.metrics != nullptr) {
+    obs::MetricsRegistry& m = *o.metrics;
+    ingest_submitted_ = &m.counter("trustrate_ingest_submitted_total",
+                                   "Ratings offered to submit()");
+    ingest_accepted_ = &m.counter("trustrate_ingest_accepted_total",
+                                  "Ratings accepted (includes reordered)");
+    ingest_reordered_ = &m.counter(
+        "trustrate_ingest_reordered_total",
+        "Ratings accepted out of order within the lateness bound");
+    ingest_duplicates_ = &m.counter("trustrate_ingest_duplicates_total",
+                                    "Exact resubmissions dropped");
+    ingest_late_ = &m.counter("trustrate_ingest_late_total",
+                              "Ratings dropped behind the watermark");
+    ingest_malformed_ = &m.counter("trustrate_ingest_malformed_total",
+                                   "Ratings failing validation");
+    ingest_quarantined_ = &m.counter(
+        "trustrate_ingest_quarantined_total",
+        "Dead-lettered ratings (late + malformed)");
+    epochs_closed_metric_ =
+        &m.counter("trustrate_epochs_closed_total", "Epochs closed");
+    epochs_degraded_metric_ = &m.counter(
+        "trustrate_epochs_degraded_total",
+        "Epochs that fell back to the beta-filter-only path");
+    epochs_skipped_empty_metric_ = &m.counter(
+        "trustrate_epochs_skipped_empty_total",
+        "Fully empty epochs fast-forwarded over");
+    pending_gauge_ = &m.gauge(
+        "trustrate_pending_ratings",
+        "Ratings routed into the current epoch but not yet processed");
+    buffered_gauge_ = &m.gauge(
+        "trustrate_buffered_ratings",
+        "Accepted ratings still held by the reordering buffer");
+    update_gauges();
+  } else {
+    ingest_submitted_ = nullptr;
+    ingest_accepted_ = nullptr;
+    ingest_reordered_ = nullptr;
+    ingest_duplicates_ = nullptr;
+    ingest_late_ = nullptr;
+    ingest_malformed_ = nullptr;
+    ingest_quarantined_ = nullptr;
+    epochs_closed_metric_ = nullptr;
+    epochs_degraded_metric_ = nullptr;
+    epochs_skipped_empty_metric_ = nullptr;
+    pending_gauge_ = nullptr;
+    buffered_gauge_ = nullptr;
+  }
+}
+
+void ShardedRatingSystem::update_gauges() {
+  if (pending_gauge_ == nullptr) return;
+  pending_gauge_->set(static_cast<double>(pending_count_));
+  buffered_gauge_->set(static_cast<double>(ingest_.buffered()));
+}
+
+}  // namespace trustrate::core::shard

@@ -1,0 +1,338 @@
+// Sharded multi-core service engine (ISSUE 8 tentpole, DESIGN.md §14).
+//
+// StreamingRatingSystem is one pipeline: one reorder buffer, one pending
+// map, one epoch engine. The parallel engine (core/parallel) saturates
+// cores *within* an epoch close, but every rating still funnels through a
+// single routing path. ShardedRatingSystem partitions products across N
+// independent shards — each with its own pending/retained maps, its own
+// BetaQuantileFilter + ArSuspicionDetector + EpochEngine, and its own
+// capped dead-letter store — while keeping the three pieces of state that
+// must stay global exactly where they are:
+//
+//  * the ingest classifier (watermark, duplicate horizon, counters): a
+//    rating's accepted/late/duplicate verdict must not depend on the shard
+//    layout, so classification happens at the front door before routing;
+//  * the epoch grid cursor: epochs are a property of the stream, not of a
+//    shard — one coordinator walks the same boundary logic as
+//    StreamingRatingSystem::route, and a fully-empty gap fast-forwards in
+//    O(1) only when *no* shard holds pending data (a gap on one shard
+//    never fast-forwards the others; shards merely record a skipped cell);
+//  * rater-level trust: C(i) and trust records span shards, so one merge
+//    authority (a TrustEnhancedRatingSystem) folds the per-shard analyses
+//    into Procedure 2.
+//
+// Determinism argument (the oracle's path 9 asserts it bitwise): per-
+// product analysis is a pure function of (observation, config) — the same
+// property that makes the epoch engine worker-count-invariant — so *which*
+// shard analyzes a product cannot change its report. At each epoch close
+// the shards' report slices are concatenated and sorted by product ID,
+// recreating exactly the canonical product order of the unsharded close,
+// and TrustEnhancedRatingSystem::merge_epoch runs the same stage-2 merge
+// (integer counts in slot order, per-rater suspicion terms sorted before
+// summing — the PR 3 discipline). Digests are therefore bitwise identical
+// at ANY shard count, any worker count, and any placement function.
+//
+// Execution modes:
+//
+//  * inline (ShardOptions::threaded == false): everything runs on the
+//    calling thread; shards are just partitioned state. This is the mode
+//    the conformance oracle sweeps — identical results, zero threads.
+//  * threaded: the submit() caller classifies and routes events into one
+//    bounded lock-free SPSC queue per shard (core/shard/spsc_queue.hpp;
+//    a full ring blocks the producer — bounded memory backpressure);
+//    shard workers buffer ratings and analyze their slice at each close;
+//    a merge thread combines one result per shard per cell, in cell
+//    order, and applies the canonical merge. Pipeline parallelism: shard
+//    k can analyze cell c while the merger folds cell c−1.
+//
+// Threading contract: one thread calls submit()/flush(). Query methods
+// (trust, aggregate, stats, health) quiesce first — they wait until every
+// routed event is consumed and every issued cell is merged — and must not
+// run concurrently with submit(). The epoch observer fires on the merge
+// thread in threaded mode.
+//
+// Checkpoints: snapshot() produces the global StreamSnapshot (per-shard
+// dead letters merged by their global arrival ordinal); save() writes
+// checkpoint v4 (layout + per-shard sections). from_snapshot() partitions
+// under the *target* layout, so any checkpoint version resumes at any
+// shard count — including a v3 pre-shard checkpoint (the v3→v4
+// compatibility regression pins this).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/ingest.hpp"
+#include "core/shard/shard_map.hpp"
+#include "core/shard/spsc_queue.hpp"
+#include "core/system.hpp"
+#include "detect/ar_detector.hpp"
+#include "detect/beta_filter.hpp"
+
+namespace trustrate::core {
+struct CheckpointAccess;  // checkpoint.cpp moves state in and out
+}  // namespace trustrate::core
+
+namespace trustrate::core::parallel {
+class EpochEngine;
+}  // namespace trustrate::core::parallel
+
+namespace trustrate::core::shard {
+
+struct ShardOptions {
+  /// Number of product shards (>= 1).
+  std::size_t shards = 1;
+
+  /// false: inline mode — partitioned state, zero threads, bitwise the
+  /// reference. true: one worker thread per shard plus a merge thread.
+  bool threaded = false;
+
+  /// Capacity of each SPSC ring (rounded up to a power of two). A full
+  /// ring blocks the producer: this bound IS the backpressure.
+  std::size_t queue_capacity = 4096;
+
+  /// Worker count of each shard's epoch engine; 0 inherits
+  /// SystemConfig::epoch_workers.
+  std::size_t epoch_workers = 0;
+
+  /// Product placement override for tests (default: shard_of). Layout
+  /// only — results are placement-invariant; the adversarial-skew tests
+  /// route everything to one shard and assert digests don't move.
+  std::function<std::size_t(ProductId, std::size_t)> shard_fn;
+};
+
+class ShardedRatingSystem {
+ public:
+  ShardedRatingSystem(SystemConfig config, ShardOptions options,
+                      double epoch_days = 30.0,
+                      std::size_t retention_epochs = 2, IngestConfig ingest = {});
+  ~ShardedRatingSystem();
+
+  ShardedRatingSystem(const ShardedRatingSystem&) = delete;
+  ShardedRatingSystem& operator=(const ShardedRatingSystem&) = delete;
+
+  /// Classifies and routes one rating; same in-band error policy as
+  /// StreamingRatingSystem::submit. In threaded mode the call returns once
+  /// the event is enqueued (or after blocking on a full ring).
+  IngestClass submit(const Rating& rating);
+
+  /// Drains the reorder buffer and closes the in-progress epoch regardless
+  /// of time. Returns the number of products processed. Quiesces.
+  std::size_t flush();
+
+  double trust(RaterId id) const;
+  std::vector<RaterId> malicious() const;
+
+  /// Trust-weighted aggregate over the owning shard's retained + pending
+  /// ratings for the product (see StreamingRatingSystem::aggregate).
+  std::optional<double> aggregate(ProductId product) const;
+
+  std::size_t epochs_closed() const;
+  const std::vector<EpochHealth>& epoch_health() const;
+  std::size_t degraded_epochs() const;
+
+  /// Fully-empty epochs the *global* cursor fast-forwarded over (no shard
+  /// had pending data) — same meaning as the unsharded counter.
+  std::size_t skipped_empty_epochs() const;
+
+  /// Per-shard skipped cells: epoch closes that ran with no pending data
+  /// on that shard (plus nothing at a flush). Layout-scoped diagnostics —
+  /// they restore from a checkpoint only at a matching shard count.
+  std::vector<std::size_t> shard_skipped_cells() const;
+
+  std::size_t pending_ratings() const;
+  std::size_t buffered_ratings() const { return ingest_.buffered(); }
+  const IngestStats& ingest_stats() const { return ingest_.stats(); }
+
+  /// Shard k's dead-letter store, oldest first (per-shard cap =
+  /// IngestConfig::max_quarantine). The global `quarantined` counter in
+  /// ingest_stats() is preserved across the split.
+  std::vector<QuarantinedRating> shard_quarantine(std::size_t k) const;
+
+  /// All shards' dead letters merged back into global arrival order.
+  std::vector<QuarantinedRating> quarantine() const;
+
+  using EpochCloseObserver = StreamingRatingSystem::EpochCloseObserver;
+  /// Fires after each non-empty epoch closes (merge thread in threaded
+  /// mode). Call before submitting; not checkpoint state.
+  void set_epoch_observer(EpochCloseObserver observer);
+
+  /// Attaches metrics/trace/audit. Global ingest + epoch instruments plus
+  /// per-shard routed/cells/skipped counters and per-shard analyze spans.
+  /// Out-of-band; call before submitting, never mid-stream.
+  void set_observability(const obs::Observability& o);
+
+  /// The merge authority: global trust state, epoch counter, aggregation.
+  const TrustEnhancedRatingSystem& system() const { return merge_; }
+  /// Which shard owns `product` under this system's layout.
+  std::size_t shard_for(ProductId product) const { return shard_index(product); }
+  double epoch_days() const { return epoch_days_; }
+  std::size_t retention_epochs() const { return retention_epochs_; }
+  std::size_t shards() const { return shards_.size(); }
+  const ShardOptions& options() const { return options_; }
+
+  /// Blocks until every routed event is consumed and every issued cell is
+  /// merged. No-op in inline mode. Safe to call repeatedly.
+  void quiesce() const;
+
+  /// Global state extraction (quiesces first): per-shard pending/retained
+  /// merged, dead letters in global order, layout recorded.
+  StreamSnapshot snapshot();
+
+  /// Writes a v4 (sharded) checkpoint.
+  void save(std::ostream& out);
+
+  /// Rebuilds a sharded system from any snapshot, partitioning under THIS
+  /// options' layout. snapshot.shards may differ from options.shards (or
+  /// be 0 for a pre-shard checkpoint): pending/retained re-partition;
+  /// per-shard skipped-cell counters restore only on a layout match.
+  static std::unique_ptr<ShardedRatingSystem> from_snapshot(
+      const StreamSnapshot& snapshot, const SystemConfig& config,
+      ShardOptions options);
+
+  /// parse_checkpoint + from_snapshot (accepts checkpoint versions 1–4).
+  static std::unique_ptr<ShardedRatingSystem> load(std::istream& in,
+                                                   const SystemConfig& config,
+                                                   ShardOptions options);
+
+ private:
+  friend struct trustrate::core::CheckpointAccess;
+
+  /// One dead-lettered rating with its global arrival ordinal (the value
+  /// of IngestStats::quarantined when it was dead-lettered): per-shard
+  /// stores merge back into global order by sorting on it.
+  struct DeadLetter {
+    QuarantinedRating entry;
+    std::uint64_t seq = 0;
+  };
+
+  /// Event streamed to a shard worker (threaded mode).
+  struct ShardEvent {
+    enum class Type : std::uint8_t { kRating, kQuarantine, kClose, kStop };
+    Type type = Type::kRating;
+    Rating rating;            ///< kRating
+    QuarantinedRating dead;   ///< kQuarantine
+    std::uint64_t seq = 0;    ///< kQuarantine: dead-letter ordinal; kClose: cell
+    double epoch_start = 0.0;  ///< kClose
+    double epoch_end = 0.0;    ///< kClose
+  };
+
+  /// One shard's contribution to one epoch cell (threaded mode). The
+  /// sentinel (cell == kStopCell) acknowledges kStop.
+  struct ShardResult {
+    std::uint64_t cell = 0;
+    double epoch_start = 0.0;
+    double epoch_end = 0.0;
+    std::vector<ProductObservation> observations;  ///< sorted by product
+    std::vector<ProductReport> reports;            ///< aligned with above
+  };
+  static constexpr std::uint64_t kStopCell = ~std::uint64_t{0};
+
+  struct Shard {
+    detect::BetaQuantileFilter filter;
+    detect::ArSuspicionDetector detector;
+    std::unique_ptr<parallel::EpochEngine> engine;
+
+    std::unordered_map<ProductId, RatingSeries> pending;
+    struct Retained {
+      std::vector<RatingSeries> epochs;
+    };
+    std::unordered_map<ProductId, Retained> retained;
+    std::deque<DeadLetter> quarantine;
+    std::size_t skipped_cells = 0;
+
+    // Threaded mode.
+    SpscQueue<ShardEvent> inbox;
+    SpscQueue<ShardResult> outbox;
+    std::thread worker;
+    std::uint64_t events_pushed = 0;              ///< coordinator-owned
+    std::atomic<std::uint64_t> events_processed{0};
+
+    // Observability (resolved in set_observability; null when off).
+    std::string analyze_span_name;  ///< stable storage for SpanTimer
+    obs::Counter* routed_metric = nullptr;
+    obs::Counter* cells_metric = nullptr;
+    obs::Counter* skipped_metric = nullptr;
+
+    Shard(const SystemConfig& config, std::size_t workers,
+          std::size_t queue_capacity);
+  };
+
+  std::size_t shard_index(ProductId product) const;
+  void route(const Rating& rating);
+  void fast_forward_empty_epochs(double now);
+  /// Issues the close of the cell ending at `epoch_end` (inline: runs it;
+  /// threaded: enqueues kClose on every shard).
+  void issue_close(double epoch_end);
+  /// Analyzes one shard's pending slice for a cell; updates retained and
+  /// skipped-cell accounting. Runs on the shard's owner thread.
+  ShardResult analyze_cell(Shard& shard, std::uint64_t cell,
+                           double epoch_start, double epoch_end);
+  /// Concatenate-sort-merge one cell's shard results; fires the observer.
+  /// Runs on the merge thread (threaded) or the caller (inline).
+  void merge_cell(std::vector<ShardResult> results);
+  void shard_worker(std::size_t k);
+  void merge_worker();
+  void start_threads();
+  void stop_threads();
+  void enqueue(std::size_t k, ShardEvent&& event);
+  void add_dead_letter(Shard& shard, QuarantinedRating&& entry,
+                       std::uint64_t seq);
+  void update_gauges();
+
+  SystemConfig config_;
+  ShardOptions options_;
+  TrustEnhancedRatingSystem merge_;  ///< global trust + stage-2 authority
+  double epoch_days_;
+  std::size_t retention_epochs_;
+
+  IngestBuffer ingest_;  ///< global classifier front door
+  std::vector<Rating> released_;
+
+  bool anchored_ = false;
+  double epoch_start_ = 0.0;
+  double last_time_ = 0.0;
+  std::size_t skipped_empty_epochs_ = 0;
+  std::size_t pending_count_ = 0;  ///< ratings routed since the last close
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Written by the merge thread (threaded) or the caller (inline); reads
+  // from other threads must quiesce first (cells_merged_ release/acquire
+  // publishes them).
+  std::size_t epochs_closed_ = 0;
+  std::vector<EpochHealth> epoch_health_;
+  std::size_t last_close_products_ = 0;
+  EpochCloseObserver epoch_observer_;
+
+  std::uint64_t cells_issued_ = 0;  ///< coordinator-owned
+  std::atomic<std::uint64_t> cells_merged_{0};
+  std::thread merge_thread_;
+  bool threads_running_ = false;
+
+  obs::Observability obs_;
+  obs::Counter* ingest_submitted_ = nullptr;
+  obs::Counter* ingest_accepted_ = nullptr;
+  obs::Counter* ingest_reordered_ = nullptr;
+  obs::Counter* ingest_duplicates_ = nullptr;
+  obs::Counter* ingest_late_ = nullptr;
+  obs::Counter* ingest_malformed_ = nullptr;
+  obs::Counter* ingest_quarantined_ = nullptr;
+  obs::Counter* epochs_closed_metric_ = nullptr;
+  obs::Counter* epochs_degraded_metric_ = nullptr;
+  obs::Counter* epochs_skipped_empty_metric_ = nullptr;
+  obs::Gauge* pending_gauge_ = nullptr;
+  obs::Gauge* buffered_gauge_ = nullptr;
+};
+
+}  // namespace trustrate::core::shard

@@ -1,0 +1,129 @@
+// Bounded lock-free single-producer/single-consumer ring queue — the
+// transport between the ingest thread and each shard worker, and between
+// each shard worker and the merge thread (DESIGN.md §14).
+//
+// Classic Lamport ring with C++11 atomics:
+//
+//  * capacity is rounded up to a power of two; indices are monotonic, so
+//    occupancy is head − tail and every slot is usable (no sacrificial
+//    empty slot);
+//  * the producer owns `head_` (writes with release after constructing the
+//    slot), the consumer owns `tail_` (writes with release after moving
+//    the slot out); each side reads the other's index with acquire and
+//    caches it to avoid ping-ponging the line on every call;
+//  * indices are monotonically increasing u64s masked into the ring, so
+//    wraparound is free of ABA concerns for any realistic stream length;
+//  * head_/tail_ live on separate (destructive-interference-sized) cache
+//    lines so the producer and consumer don't false-share.
+//
+// Backpressure contract: try_push fails (returns false) when the ring is
+// full — the bounded buffer IS the backpressure; push() spins briefly and
+// then yields, so a producer ahead of a slow shard degrades to polite
+// blocking instead of unbounded memory growth (and still makes progress on
+// a single hardware thread, where spinning alone would deadlock the
+// consumer off the core). pop()/try_pop mirror the same discipline.
+//
+// T must be movable. The queue never allocates after construction; slots
+// are default-constructed up front and assigned through.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace trustrate::core::shard {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// `capacity` is the number of elements the ring can hold; it is rounded
+  /// up to a power of two (minimum 2).
+  explicit SpscQueue(std::size_t capacity = 1024) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }  ///< usable slots
+
+  /// Producer side. False when the ring is full (backpressure).
+  bool try_push(T&& value) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head - cached_tail_ > mask_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head - cached_tail_ > mask_) return false;
+    }
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Blocking push: spins a bounded number of times, then yields between
+  /// attempts — the consumer may be sharing this core.
+  void push(T&& value) {
+    std::size_t spins = 0;
+    while (!try_push(std::move(value))) {
+      if (++spins >= kSpinLimit) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+
+  /// Consumer side. False when the ring is empty.
+  bool try_pop(T& out) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == cached_head_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail == cached_head_) return false;
+    }
+    out = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Blocking pop, same spin-then-yield discipline as push().
+  T pop() {
+    T out;
+    std::size_t spins = 0;
+    while (!try_pop(out)) {
+      if (++spins >= kSpinLimit) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+    return out;
+  }
+
+  /// Consumer-visible occupancy (approximate from any other thread).
+  std::size_t size() const {
+    return static_cast<std::size_t>(head_.load(std::memory_order_acquire) -
+                                    tail_.load(std::memory_order_acquire));
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  static constexpr std::size_t kSpinLimit = 64;
+  /// Destructive-interference distance, fixed at 64 bytes (every target we
+  /// build for) rather than std::hardware_destructive_interference_size,
+  /// whose value — and hence this header's ABI — shifts with -mtune.
+  static constexpr std::size_t kLine = 64;
+
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+
+  alignas(kLine) std::atomic<std::uint64_t> head_{0};  ///< producer-owned
+  alignas(kLine) std::uint64_t cached_tail_ = 0;       ///< producer-local
+  alignas(kLine) std::atomic<std::uint64_t> tail_{0};  ///< consumer-owned
+  alignas(kLine) std::uint64_t cached_head_ = 0;       ///< consumer-local
+};
+
+}  // namespace trustrate::core::shard

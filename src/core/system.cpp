@@ -70,14 +70,11 @@ EpochReport TrustEnhancedRatingSystem::process_epoch(
   const obs::SpanTimer epoch_span(obs_.trace, "epoch.process", epoch_ordinal);
   const std::uint64_t epoch_t0 =
       epoch_seconds_ != nullptr ? obs::monotonic_ns() : 0;
-  EpochReport report;
-
-  // Record maintenance: fade old evidence before folding in the new epoch.
-  if (config_.forgetting < 1.0) store_.fade_all(config_.forgetting);
-
   // Stage 1 — independent per-product analysis (filter → Procedure 1 →
   // flags), sharded across the epoch engine. Slot i of `products` holds
-  // observation i's report regardless of which worker computed it.
+  // observation i's report regardless of which worker computed it. The
+  // stage never reads the trust store, so the evidence fade can happen in
+  // the merge half below with identical results.
   const parallel::StageContext ctx{&config_, &filter_, &detector_, &obs_};
   std::vector<ProductReport> products;
   {
@@ -90,6 +87,33 @@ EpochReport TrustEnhancedRatingSystem::process_epoch(
           static_cast<double>(obs::monotonic_ns() - t0) * 1e-9);
     }
   }
+
+  EpochReport report =
+      merge_epoch_impl(epoch_ordinal, observations, std::move(products));
+  if (epoch_seconds_ != nullptr) {
+    epoch_seconds_->observe(
+        static_cast<double>(obs::monotonic_ns() - epoch_t0) * 1e-9);
+  }
+  return report;
+}
+
+EpochReport TrustEnhancedRatingSystem::merge_epoch(
+    std::span<const ProductObservation> observations,
+    std::vector<ProductReport> products) {
+  TRUSTRATE_EXPECTS(products.size() == observations.size(),
+                    "merge_epoch: one report per observation required");
+  const auto epoch_ordinal = static_cast<std::uint64_t>(epochs_) + 1;
+  const obs::SpanTimer epoch_span(obs_.trace, "epoch.merge", epoch_ordinal);
+  return merge_epoch_impl(epoch_ordinal, observations, std::move(products));
+}
+
+EpochReport TrustEnhancedRatingSystem::merge_epoch_impl(
+    std::uint64_t epoch_ordinal, std::span<const ProductObservation> observations,
+    std::vector<ProductReport> products) {
+  EpochReport report;
+
+  // Record maintenance: fade old evidence before folding in the new epoch.
+  if (config_.forgetting < 1.0) store_.fade_all(config_.forgetting);
 
   // Stage 2 — deterministic merge in input-slot order. Every accumulation
   // below (metrics, per-rater n/f/s/C) runs in exactly the order of the
@@ -154,10 +178,6 @@ EpochReport TrustEnhancedRatingSystem::process_epoch(
   ++epochs_;
   if (obs_.enabled()) {
     finish_epoch_observability(epoch_ordinal, report, observations, epoch_obs);
-  }
-  if (epoch_seconds_ != nullptr) {
-    epoch_seconds_->observe(
-        static_cast<double>(obs::monotonic_ns() - epoch_t0) * 1e-9);
   }
   return report;
 }

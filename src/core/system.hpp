@@ -132,6 +132,19 @@ class TrustEnhancedRatingSystem {
   /// merged in input order, so results do not depend on the worker count.
   EpochReport process_epoch(std::span<const ProductObservation> observations);
 
+  /// Second half of process_epoch for pre-analyzed products: folds
+  /// `products` (slot i analyzing observation i, produced by
+  /// parallel::analyze_product — e.g. on another system's engine, or on a
+  /// shard's engine) into this system's trust state. Runs the fade, the
+  /// canonical sorted suspicion merge, Procedure 2, and observability —
+  /// everything process_epoch does except the analysis stage itself.
+  /// Feeding it the concatenation of per-shard analyses, sorted by product
+  /// ID, yields bitwise-identical results to process_epoch on the whole
+  /// epoch: stage 1 is per-product-independent and stage 2 is
+  /// product-order-canonical (DESIGN.md §14).
+  EpochReport merge_epoch(std::span<const ProductObservation> observations,
+                          std::vector<ProductReport> products);
+
   /// Trust in a rater (0.5 for unknown raters).
   double trust(RaterId id) const { return store_.trust(id); }
 
@@ -172,6 +185,12 @@ class TrustEnhancedRatingSystem {
   void set_observability(const obs::Observability& o);
 
  private:
+  /// Shared tail of process_epoch / merge_epoch: fade, deterministic slot-
+  /// order merge, Procedure 2, epoch counter, observability.
+  EpochReport merge_epoch_impl(std::uint64_t epoch_ordinal,
+                               std::span<const ProductObservation> observations,
+                               std::vector<ProductReport> products);
+
   /// Deterministic-count metrics and audit-log emissions for one processed
   /// epoch, in canonical order (slot, then window position, then rater).
   void finish_epoch_observability(

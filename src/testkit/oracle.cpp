@@ -13,6 +13,7 @@
 
 #include "core/checkpoint.hpp"
 #include "core/durable/durable_stream.hpp"
+#include "core/shard/sharded_system.hpp"
 
 namespace trustrate::testkit {
 namespace {
@@ -92,6 +93,61 @@ StreamOutcome run_stream(
   out.epochs_closed = active->epochs_closed();
   out.skipped_empty_epochs = active->skipped_empty_epochs();
   out.quarantine_size = active->quarantine().size();
+  return out;
+}
+
+StreamOutcome run_sharded(const Scenario& scenario,
+                          const RatingSeries& arrivals, std::size_t shards,
+                          std::size_t workers, bool threaded,
+                          const ShardPlan* plan) {
+  core::SystemConfig config = scenario.config;
+  config.epoch_workers = workers;
+  core::shard::ShardOptions options;
+  options.shards = shards;
+  options.threaded = threaded;
+  auto system = std::make_unique<core::shard::ShardedRatingSystem>(
+      config, options, scenario.epoch_days, scenario.retention_epochs,
+      scenario.ingest);
+
+  StreamOutcome out;
+  // In threaded mode the observer fires on the merge thread; reads below
+  // happen after flush()/queries quiesce, which orders them after every
+  // merge the coordinator issued.
+  const auto observer = [&out](const core::EpochReport& report, double,
+                               double) {
+    out.epoch_digests.push_back(digest_report(report, {}));
+  };
+  system->set_epoch_observer(observer);
+
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    if (plan != nullptr && i == plan->cut_index) {
+      std::ostringstream bytes;
+      core::write_checkpoint(system->snapshot(),
+                             plan->via_v3 ? core::kCheckpointVersion
+                                          : core::kShardedCheckpointVersion,
+                             bytes);
+      core::shard::ShardOptions resume_options;
+      resume_options.shards = plan->resume_shards;
+      resume_options.threaded = plan->resume_threaded;
+      std::istringstream in(bytes.str());
+      system = core::shard::ShardedRatingSystem::load(in, config,
+                                                      resume_options);
+      system->set_epoch_observer(observer);
+    }
+    system->submit(arrivals[i]);
+  }
+  system->flush();
+
+  out.trust_digest = digest_trust(system->system().trust_store(), nullptr);
+  std::ostringstream final_bytes;
+  core::write_checkpoint(system->snapshot(), core::kCheckpointVersion,
+                         final_bytes);
+  out.checkpoint = final_bytes.str();
+  out.stats = system->ingest_stats();
+  out.health = system->epoch_health();
+  out.epochs_closed = system->epochs_closed();
+  out.skipped_empty_epochs = system->skipped_empty_epochs();
+  out.quarantine_size = system->quarantine().size();
   return out;
 }
 
@@ -522,6 +578,111 @@ DifferentialResult run_differential(const Scenario& scenario) {
     if (other.checkpoint != base.checkpoint) {
       return fail("incremental-flipped AR vs base: final checkpoint bytes "
                   "diverged");
+    }
+  }
+
+  // 9. Sharded engine (core/shard): the product partition is layout, not
+  // state — digests, trust, and the collapsed-v3 checkpoint must be
+  // byte-identical at every shard count × worker count.
+  const auto check_sharded = [&](const StreamOutcome& outcome,
+                                 const std::string& what)
+      -> std::optional<std::string> {
+    if (const auto d =
+            compare_epochs(base.epoch_digests, outcome.epoch_digests, what)) {
+      return d;
+    }
+    if (outcome.trust_digest != base.trust_digest) {
+      return what + ": trust records diverged";
+    }
+    if (outcome.checkpoint != base.checkpoint) {
+      return what + ": collapsed-v3 checkpoint bytes diverged";
+    }
+    return std::nullopt;
+  };
+  for (const std::size_t shards :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{7}}) {
+    for (const std::size_t workers : {std::size_t{1}, std::size_t{2}}) {
+      const StreamOutcome sharded = run_sharded(
+          scenario, scenario.ratings, shards, workers, /*threaded=*/false);
+      if (const auto d = check_sharded(
+              sharded, "sharded " + std::to_string(shards) + "x" +
+                           std::to_string(workers) + " vs serial")) {
+        return fail(*d);
+      }
+    }
+  }
+  {
+    const StreamOutcome threaded = run_sharded(scenario, scenario.ratings,
+                                               /*shards=*/3, /*workers=*/1,
+                                               /*threaded=*/true);
+    if (const auto d = check_sharded(threaded, "sharded threaded vs serial")) {
+      return fail(*d);
+    }
+  }
+  {
+    // Mid-stream v4 checkpoint taken at 2 shards, resumed at 5 threaded —
+    // the layout changes UNDER the cut and nothing may move.
+    const ShardPlan reshard_plan{cut, /*resume_shards=*/5,
+                                 /*resume_threaded=*/true, /*via_v3=*/false};
+    const StreamOutcome resharded =
+        run_sharded(scenario, scenario.ratings, /*shards=*/2, /*workers=*/1,
+                    /*threaded=*/false, &reshard_plan);
+    if (const auto d = check_sharded(
+            resharded, "sharded 2->5 checkpoint-resumed vs serial")) {
+      return fail(*d);
+    }
+  }
+  {
+    // v3 (pre-shard) checkpoint loaded into a sharded system: the
+    // compatibility regression, cut mid-stream like path 5.
+    const ShardPlan migrate_plan{cut, /*resume_shards=*/4,
+                                 /*resume_threaded=*/false, /*via_v3=*/true};
+    const StreamOutcome migrated =
+        run_sharded(scenario, scenario.ratings, /*shards=*/1, /*workers=*/1,
+                    /*threaded=*/false, &migrate_plan);
+    if (const auto d = check_sharded(
+            migrated, "v3-checkpoint-into-sharded vs serial")) {
+      return fail(*d);
+    }
+  }
+  // The perturbed arrivals through the sharded front door: the global
+  // classifier must keep its verdicts (and the per-shard dead-letter
+  // stores their merged order) independent of the layout.
+  {
+    const StreamOutcome sharded_perturbed = run_sharded(
+        scenario, arrival_plan.arrivals, /*shards=*/4, /*workers=*/1,
+        /*threaded=*/false);
+    if (const auto d = compare_epochs(base.epoch_digests,
+                                      sharded_perturbed.epoch_digests,
+                                      "sharded perturbed vs serial")) {
+      return fail(*d);
+    }
+    if (sharded_perturbed.stats != perturbed.stats) {
+      return fail("sharded perturbed ingest stats {" +
+                  stats_to_string(sharded_perturbed.stats) +
+                  "} != plain perturbed {" + stats_to_string(perturbed.stats) +
+                  "}");
+    }
+    if (strip_ingest_noise(sharded_perturbed.checkpoint) !=
+        strip_ingest_noise(base.checkpoint)) {
+      return fail("sharded perturbed vs serial: checkpoint differs beyond "
+                  "ingest stats/quarantine");
+    }
+    // Quarantine caps are per shard (satellite 4): below the cap the merged
+    // store equals the plain stream's; once the cap binds, sharding retains
+    // at least as much (up to cap × shards), never less.
+    if (perturbed.stats.quarantined <= scenario.ingest.max_quarantine) {
+      if (sharded_perturbed.quarantine_size != perturbed.quarantine_size) {
+        return fail("sharded perturbed: merged quarantine size " +
+                    std::to_string(sharded_perturbed.quarantine_size) +
+                    " != plain " + std::to_string(perturbed.quarantine_size));
+      }
+    } else if (sharded_perturbed.quarantine_size < perturbed.quarantine_size) {
+      return fail("sharded perturbed: per-shard caps retained fewer dead "
+                  "letters (" +
+                  std::to_string(sharded_perturbed.quarantine_size) +
+                  ") than the plain stream's global cap (" +
+                  std::to_string(perturbed.quarantine_size) + ")");
     }
   }
 

@@ -13,7 +13,12 @@
 //      v1 format first) resumed at a different worker count;
 //   5. the parallel epoch engine at 2 and 4 workers;
 //   6. the durable front-end (core/durable): WAL + on-disk atomic
-//      checkpoint, live and after a cold recovery (restore + replay).
+//      checkpoint, live and after a cold recovery (restore + replay);
+//   7. the AR detector's incremental covariance path vs a from-scratch fit;
+//   8. the sharded engine (core/shard) at shard counts {1, 2, 4, 7} ×
+//      worker counts {1, 2}, inline and threaded, including a mid-stream
+//      v4 checkpoint resumed at a DIFFERENT shard count and a v3
+//      (pre-shard) checkpoint loaded into a sharded system.
 //
 // All paths must agree *bitwise*: per-epoch reports (model errors, levels,
 // suspicious values C(i)), trust records, and — where the comparison is
@@ -71,6 +76,28 @@ struct BatchOutcome {
 };
 
 BatchOutcome run_batch_reference(const Scenario& scenario);
+
+/// Mid-run checkpoint/resume plan for run_sharded: after `cut_index`
+/// arrivals the sharded state is serialized (v4, or collapsed to the v3
+/// pre-shard format when `via_v3`) and restored into a fresh sharded
+/// system with `resume_shards` shards.
+struct ShardPlan {
+  std::size_t cut_index = 0;
+  std::size_t resume_shards = 1;
+  bool resume_threaded = false;
+  /// Write the cut checkpoint in the v3 (unsharded) format — exercises the
+  /// pre-shard-checkpoint-into-sharded-system compatibility path.
+  bool via_v3 = false;
+};
+
+/// Runs the scenario's pipeline through the sharded engine (core/shard)
+/// at the given shard/worker counts, capturing the same outcome fields as
+/// run_stream (the final `checkpoint` is rendered in the v3 global format
+/// so it compares byte-for-byte against a plain stream's).
+StreamOutcome run_sharded(const Scenario& scenario,
+                          const RatingSeries& arrivals, std::size_t shards,
+                          std::size_t workers, bool threaded,
+                          const ShardPlan* plan = nullptr);
 
 /// Replaces the ingest-statistics line and the quarantine block (and, for
 /// v3 checkpoints, the checksums covering them) with placeholders: the
