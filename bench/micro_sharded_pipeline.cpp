@@ -95,7 +95,7 @@ void BM_SpscTransfer(benchmark::State& state) {
       Payload p;
       std::uint64_t sink = 0;
       for (std::int64_t i = 0; i < kBatch; ++i) {
-        p = q.pop();
+        q.pop(p);
         sink += p[0];
       }
       benchmark::DoNotOptimize(sink);
@@ -111,6 +111,60 @@ void BM_SpscTransfer(benchmark::State& state) {
   state.counters["capacity"] = static_cast<double>(capacity);
 }
 BENCHMARK(BM_SpscTransfer)->Arg(16)->Arg(4096)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_SpscTransferBatch(benchmark::State& state) {
+  // Same payload volume as BM_SpscTransfer, moved with try_push_n/pop_n
+  // spans: one index handoff per span instead of per item, which is the
+  // delta the classifier and merge paths now ride (DESIGN.md §15).
+  using Payload = std::array<std::uint64_t, 8>;
+  const std::size_t capacity = static_cast<std::size_t>(state.range(0));
+  constexpr std::int64_t kBatch = 100000;
+  constexpr std::size_t kSpan = 32;
+  for (auto _ : state) {
+    core::shard::SpscQueue<Payload> q(capacity);
+    std::thread consumer([&q] {
+      std::array<Payload, kSpan> span;
+      std::uint64_t sink = 0;
+      std::int64_t seen = 0;
+      while (seen < kBatch) {
+        const std::size_t n = q.pop_n(span.data(), kSpan);
+        for (std::size_t i = 0; i < n; ++i) sink += span[i][0];
+        seen += static_cast<std::int64_t>(n);
+      }
+      benchmark::DoNotOptimize(sink);
+    });
+    std::array<Payload, kSpan> out;
+    std::int64_t sent = 0;
+    while (sent < kBatch) {
+      const std::size_t want = static_cast<std::size_t>(
+          std::min<std::int64_t>(kSpan, kBatch - sent));
+      for (std::size_t i = 0; i < want; ++i) {
+        out[i] = Payload{};
+        out[i][0] = static_cast<std::uint64_t>(sent + static_cast<std::int64_t>(i));
+      }
+      std::size_t done = 0;
+      std::size_t spins = 0;
+      while (done < want) {
+        const std::size_t pushed = q.try_push_n(out.data() + done, want - done);
+        done += pushed;
+        // Same spin-then-yield discipline as the pipeline's producers
+        // (enqueue/flush_staged): a hot retry loop would hammer the
+        // consumer's index line with acquire loads and starve the drain.
+        if (pushed == 0 && ++spins >= 64) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+      sent += static_cast<std::int64_t>(want);
+    }
+    consumer.join();
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  state.counters["capacity"] = static_cast<double>(capacity);
+  state.counters["span"] = static_cast<double>(kSpan);
+}
+BENCHMARK(BM_SpscTransferBatch)->Arg(16)->Arg(4096)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace

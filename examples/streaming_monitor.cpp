@@ -20,7 +20,17 @@
 // narrates as it happens. The fault plan survives the kill -9, so recovery
 // itself runs on the failing disk — and the final numbers still match.
 //
+// With --inject-thread-faults the run ends with a third act: the same
+// stream through the THREADED sharded engine behind the sharded durable
+// front-end, with a seeded fault planted inside one shard worker (a crash,
+// a stall, or a transient slowdown — testkit/threadfault.hpp). The
+// supervision layer (DESIGN.md §15) contains the blast radius: the crash
+// poisons its shard, the watchdog classifies the stall, and the durable
+// stream heals — rebuilds the engine from checkpoint + per-shard WAL — and
+// finishes with numbers identical to the unfaulted run, all narrated.
+//
 //   build/examples/streaming_monitor [--inject-io-faults[=seed]]
+//                                    [--inject-thread-faults[=seed]]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,10 +39,12 @@
 #include "common/math.hpp"
 #include "common/rng.hpp"
 #include "core/durable/durable_stream.hpp"
+#include "core/durable/sharded_durable.hpp"
 #include "core/streaming.hpp"
 #include "data/inject.hpp"
 #include "detect/rate_detector.hpp"
 #include "obs/observability.hpp"
+#include "testkit/threadfault.hpp"
 
 using namespace trustrate;
 
@@ -79,8 +91,16 @@ int main(int argc, char** argv) {
   // heals — so the run must end durable with the same numbers.
   core::durable::FaultInjector io_faults;
   bool inject_io_faults = false;
+  bool inject_thread_faults = false;
+  std::uint64_t thread_fault_seed = 7;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--inject-io-faults", 18) == 0) {
+    if (std::strncmp(argv[i], "--inject-thread-faults", 22) == 0) {
+      // --inject-thread-faults[=seed]: end with the supervised sharded act.
+      inject_thread_faults = true;
+      if (argv[i][22] == '=') {
+        thread_fault_seed = std::strtoull(argv[i] + 23, nullptr, 10);
+      }
+    } else if (std::strncmp(argv[i], "--inject-io-faults", 18) == 0) {
       inject_io_faults = true;
       std::uint64_t fault_seed = 3;
       if (argv[i][18] == '=') fault_seed = std::strtoull(argv[i] + 19, nullptr, 10);
@@ -332,6 +352,76 @@ int main(int argc, char** argv) {
     if (!w.anomalous) continue;
     std::printf("  days [%.1f, %.1f): %zu ratings (expected %.1f)\n",
                 w.window.start, w.window.end, w.last - w.first, w.expected);
+  }
+
+  // --- third act: a fault INSIDE the engine itself ------------------------
+  // The transport was hostile, then the disk; now a worker thread of the
+  // sharded engine crashes or stalls mid-stream. Supervision (DESIGN.md
+  // §15) contains it — poisons the shard or classifies the stall — and the
+  // sharded durable stream heals: tears the engine down (close-aware, never
+  // hangs), rebuilds from checkpoint + per-shard WAL, and retries. The
+  // injected plan fires once, so the healed run completes with the same
+  // numbers as an unfaulted one.
+  if (inject_thread_faults) {
+    testkit::ThreadFaultPlan plan =
+        testkit::ThreadFaultPlan::generate(thread_fault_seed, 3);
+    // This demo streams ONE product, so only its owning shard sees events;
+    // retarget the plan there so the fault reliably fires. (The nightly
+    // matrix streams many products and keeps the generated shard.)
+    plan.shard = core::shard::shard_of(1, 3);
+    testkit::ThreadFaultInjector thread_faults(plan);
+    std::printf("\ninjecting a thread fault (seed %llu): %s\n",
+                static_cast<unsigned long long>(thread_fault_seed),
+                plan.summary().c_str());
+    const fs::path shard_dir =
+        fs::temp_directory_path() / "trustrate-streaming-monitor-shards";
+    fs::remove_all(shard_dir);
+    obs::MemoryAuditSink shard_audit;
+    core::shard::ShardOptions shard_options;
+    shard_options.shards = 3;
+    shard_options.threaded = true;
+    shard_options.supervision.stall_ticks = 1 << 12;  // impatient watchdog
+    shard_options.event_hook = thread_faults.hook();
+    core::durable::ShardedDurableOptions shard_stream_options;
+    shard_stream_options.fsync = core::durable::FsyncPolicy::kNone;
+    shard_stream_options.heal_attempts = 1;
+    shard_stream_options.obs = {nullptr, nullptr, &shard_audit};
+    core::durable::ShardedDurableStream sharded(
+        shard_dir, monitor_config(), shard_options, /*epoch_days=*/30.0,
+        /*retention_epochs=*/2, ingest, shard_stream_options);
+    try {
+      for (const Rating& r : arrivals) sharded.submit(r);
+      sharded.flush();
+      std::printf("-- supervised run finished: %zu heal(s), %zu fail-stop(s)"
+                  "%s%s --\n",
+                  sharded.supervision().heals, sharded.supervision().failstops,
+                  sharded.supervision().heals > 0 ? "; last failure: " : "",
+                  sharded.supervision().heals > 0
+                      ? sharded.supervision().last_failure.c_str()
+                      : "");
+      std::printf("   sharded (3 shards, threaded): %3zu raters below trust "
+                  "threshold, aggregate %.3f — same verdicts as the serial "
+                  "run above\n",
+                  sharded.system().malicious().size(),
+                  sharded.system().aggregate(1).value_or(-1.0));
+    } catch (const ShardFailure& failure) {
+      // heal_attempts exhausted: the structured fail-stop an operator sees.
+      std::printf("-- pipeline fail-stop: %s\n   diagnostic: %s --\n",
+                  failure.what(), failure.diagnostic().c_str());
+    }
+    for (const auto& event : shard_audit.snapshot()) {
+      switch (event.type) {
+        case obs::AuditEventType::kShardPoisoned:
+        case obs::AuditEventType::kShardStalled:
+        case obs::AuditEventType::kPipelineFailstop:
+        case obs::AuditEventType::kPipelineHealed:
+          std::printf("   audit: %s\n", obs::to_jsonl(event).c_str());
+          break;
+        default:
+          break;
+      }
+    }
+    fs::remove_all(shard_dir);
   }
   return 0;
 }

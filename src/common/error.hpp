@@ -8,6 +8,7 @@
 // service down.
 #pragma once
 
+#include <cstddef>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -82,6 +83,49 @@ class IoError : public DataError {
   std::string op_;
   std::string path_;
   int error_code_;
+};
+
+/// How a supervised shard pipeline failed (DESIGN.md §15).
+enum class ShardFailureKind {
+  kPoisoned,  ///< a worker threw; its exception is stashed and rethrowable
+  kStalled,   ///< the watchdog saw a non-empty inbox with no progress
+  kWedged,    ///< a bounded quiesce/enqueue wait ran out its tick deadline
+};
+
+constexpr const char* to_string(ShardFailureKind kind) {
+  switch (kind) {
+    case ShardFailureKind::kPoisoned: return "poisoned";
+    case ShardFailureKind::kStalled:  return "stalled";
+    case ShardFailureKind::kWedged:   return "wedged";
+  }
+  return "unknown";
+}
+
+/// Thrown by every public entry point of a sharded pipeline once
+/// supervision has latched a failure: a shard worker (or the merge thread)
+/// threw, stalled past the watchdog budget, or wedged a bounded wait. The
+/// pipeline fail-stops — queues are closed, threads unwound — instead of
+/// hanging or calling std::terminate; a durable front-end catches this and
+/// heals by rebuilding from checkpoint + WAL. `shard()` equal to the
+/// shard count designates the merge thread.
+class ShardFailure : public Error {
+ public:
+  ShardFailure(ShardFailureKind kind, std::size_t shard,
+               std::string diagnostic, const std::string& what)
+      : Error(what), kind_(kind), shard_(shard),
+        diagnostic_(std::move(diagnostic)) {}
+
+  ShardFailureKind kind() const { return kind_; }
+  /// Index of the failed shard (== shard count for the merge thread).
+  std::size_t shard() const { return shard_; }
+  /// Progress counters at classification time: inbox depth, events pushed
+  /// vs processed, heartbeat age — the operator-facing wedge evidence.
+  const std::string& diagnostic() const { return diagnostic_; }
+
+ private:
+  ShardFailureKind kind_;
+  std::size_t shard_;
+  std::string diagnostic_;
 };
 
 namespace detail {

@@ -73,8 +73,12 @@ ShardedDurableStream::ShardedDurableStream(const std::filesystem::path& dir,
                                            ShardedDurableOptions options)
     : dir_(dir),
       shard_options_(std::move(shard_options)),
-      options_(std::move(options)) {
-  recover(config, epoch_days, retention_epochs, ingest);
+      options_(std::move(options)),
+      config_(config),
+      epoch_days_(epoch_days),
+      retention_epochs_(retention_epochs),
+      ingest_(ingest) {
+  recover(config_, epoch_days_, retention_epochs_, ingest_);
 }
 
 WalOptions ShardedDurableStream::wal_options() const {
@@ -290,7 +294,23 @@ void ShardedDurableStream::reset_wals() {
 IngestClass ShardedDurableStream::submit(const Rating& rating) {
   // Apply first, then log: the global ordinal is the submission's index in
   // arrival order, which the classifier's counter hands us post-increment.
-  const IngestClass result = system_->submit(rating);
+  // The apply/log order also makes supervised healing exactly-once: a
+  // submission interrupted by a ShardFailure was never logged, the rebuilt
+  // system replays only acknowledged state, and the retry below
+  // re-classifies it deterministically from scratch.
+  IngestClass result{};
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      result = system_->submit(rating);
+      break;
+    } catch (const ShardFailure& failure) {
+      if (attempt >= options_.heal_attempts) {
+        record_failstop(failure);
+        throw;
+      }
+      heal(failure);
+    }
+  }
   const std::uint64_t seq = system_->ingest_stats().submitted - 1;
   const std::size_t k = system_->shard_for(rating.product);
   WalRecord record;
@@ -304,7 +324,19 @@ IngestClass ShardedDurableStream::submit(const Rating& rating) {
 }
 
 std::size_t ShardedDurableStream::flush() {
-  const std::size_t products = system_->flush();
+  std::size_t products = 0;
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      products = system_->flush();
+      break;
+    } catch (const ShardFailure& failure) {
+      if (attempt >= options_.heal_attempts) {
+        record_failstop(failure);
+        throw;
+      }
+      heal(failure);
+    }
+  }
   WalRecord record;
   record.type = WalRecordType::kShardFlush;
   record.seq = system_->ingest_stats().submitted;
@@ -312,6 +344,62 @@ std::size_t ShardedDurableStream::flush() {
   writers_[0]->append(record);
   if (options_.fsync != FsyncPolicy::kNone) sync_all();
   return products;
+}
+
+bool ShardedDurableStream::try_heal() {
+  if (!system_->failed()) return true;
+  const std::optional<ShardFailure> failure = system_->failure();
+  heal(*failure);
+  return !system_->failed();
+}
+
+void ShardedDurableStream::heal(const ShardFailure& failure) {
+  const obs::SpanTimer heal_span(options_.obs.trace, "shard.heal");
+  supervision_.last_failure = failure.what();
+  // Release the WAL writers first (recover() re-opens the segments), then
+  // the engine — its destructor runs the close-aware shutdown protocol,
+  // which cannot hang on the poisoned/stalled workers (DESIGN.md §15).
+  writers_.clear();
+  system_.reset();
+  recovery_ = RecoveryInfo{};
+  recover(config_, epoch_days_, retention_epochs_, ingest_);
+  ++supervision_.heals;
+  if (options_.obs.metrics != nullptr) {
+    options_.obs.metrics
+        ->counter("trustrate_pipeline_heals_total",
+                  "Supervised pipeline rebuilds from checkpoint + WAL")
+        .add();
+  }
+  if (options_.obs.audit != nullptr) {
+    obs::AuditEvent e;
+    e.type = obs::AuditEventType::kPipelineHealed;
+    e.value = static_cast<double>(failure.shard());
+    e.detail = std::string(to_string(failure.kind())) + ": " +
+               failure.what() + " — replayed " +
+               std::to_string(recovery_.replayed_ratings) +
+               " submissions from checkpoint " +
+               std::to_string(recovery_.checkpoint_seq);
+    options_.obs.audit->record(e);
+  }
+}
+
+void ShardedDurableStream::record_failstop(const ShardFailure& failure) {
+  ++supervision_.failstops;
+  supervision_.last_failure = failure.what();
+  if (options_.obs.metrics != nullptr) {
+    options_.obs.metrics
+        ->counter("trustrate_pipeline_failstops_total",
+                  "ShardFailures surfaced to the caller with no heal left")
+        .add();
+  }
+  if (options_.obs.audit != nullptr) {
+    obs::AuditEvent e;
+    e.type = obs::AuditEventType::kPipelineFailstop;
+    e.value = static_cast<double>(failure.shard());
+    e.detail = std::string(to_string(failure.kind())) + ": " +
+               failure.what() + " — " + failure.diagnostic();
+    options_.obs.audit->record(e);
+  }
 }
 
 void ShardedDurableStream::sync_all() {
@@ -334,8 +422,20 @@ void ShardedDurableStream::write_checkpoint_file() {
 }
 
 std::uint64_t ShardedDurableStream::checkpoint() {
-  if (options_.fsync != FsyncPolicy::kNone) sync_all();
-  write_checkpoint_file();
+  // snapshot() quiesces, so a latched failure surfaces here too.
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      if (options_.fsync != FsyncPolicy::kNone) sync_all();
+      write_checkpoint_file();
+      break;
+    } catch (const ShardFailure& failure) {
+      if (attempt >= options_.heal_attempts) {
+        record_failstop(failure);
+        throw;
+      }
+      heal(failure);
+    }
+  }
   prune();
   return last_checkpoint_seq_;
 }

@@ -55,6 +55,14 @@ struct ShardedDurableOptions {
   /// oldest kept checkpoint are pruned when their obsolescence is known
   /// (tracked per checkpoint written this process lifetime).
   std::size_t keep_checkpoints = 2;
+  /// Supervised restarts per public call (DESIGN.md §15): when the
+  /// threaded engine latches a ShardFailure, the stream tears the broken
+  /// system down (close-aware shutdown — provably non-blocking), rebuilds
+  /// it from the newest checkpoint + WAL replay, and retries the call.
+  /// Every acknowledged submission is WAL-logged before its ack, so the
+  /// healed state is bitwise-identical to fault-free (oracle path 10).
+  /// 0 = fail-stop immediately: the ShardFailure propagates untouched.
+  std::size_t heal_attempts = 1;
   /// Observability, threaded down to the sharded system and WAL writers.
   obs::Observability obs;
 };
@@ -114,6 +122,20 @@ class ShardedDurableStream {
   const RecoveryInfo& recovery() const { return recovery_; }
   const std::filesystem::path& dir() const { return dir_; }
 
+  /// Supervised-restart bookkeeping (cumulative for this stream's life).
+  struct SupervisionInfo {
+    std::size_t heals = 0;      ///< pipeline rebuilds that succeeded
+    std::size_t failstops = 0;  ///< ShardFailures surfaced to the caller
+    std::string last_failure;   ///< what() of the last contained failure
+  };
+  const SupervisionInfo& supervision() const { return supervision_; }
+
+  /// If the engine has latched a ShardFailure, rebuild it from durable
+  /// state now (regardless of heal_attempts). Returns true when the
+  /// engine is healthy afterwards. Epoch observers attached directly to
+  /// system() do not survive a heal — re-attach before the next submit.
+  bool try_heal();
+
   /// Shard k's WAL directory under `dir` (exposed for tests/tools).
   static std::filesystem::path shard_dir(const std::filesystem::path& dir,
                                          std::size_t k);
@@ -123,6 +145,11 @@ class ShardedDurableStream {
  private:
   void recover(const SystemConfig& config, double epoch_days,
                std::size_t retention_epochs, const IngestConfig& ingest);
+  /// Tears down the failed engine and rebuilds it from checkpoint + WAL;
+  /// emits the pipeline_healed audit event. Throws (failstop) when the
+  /// rebuild itself fails.
+  void heal(const ShardFailure& failure);
+  void record_failstop(const ShardFailure& failure);
   void open_writers(const std::vector<WalRecovered>& recovered);
   void reset_wals();
   void sync_all();
@@ -134,6 +161,12 @@ class ShardedDurableStream {
   shard::ShardOptions shard_options_;
   ShardedDurableOptions options_;
   RecoveryInfo recovery_;
+  SupervisionInfo supervision_;
+  // Construction parameters, kept so heal() can re-run recover().
+  SystemConfig config_;
+  double epoch_days_ = 30.0;
+  std::size_t retention_epochs_ = 2;
+  IngestConfig ingest_;
   std::unique_ptr<shard::ShardedRatingSystem> system_;
   std::vector<std::unique_ptr<WalWriter>> writers_;  ///< one per shard
   std::uint64_t last_checkpoint_seq_ = 0;

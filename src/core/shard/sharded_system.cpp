@@ -20,6 +20,25 @@ SystemConfig merge_config(SystemConfig config) {
   return config;
 }
 
+/// Spin rounds between watchdog observations in a supervised wait; one
+/// observation round == one deterministic supervision tick.
+constexpr std::size_t kWaitSpinLimit = 64;
+
+/// Span size for batched ring transfers (worker inbox drain, merge outbox
+/// refill): one index handoff per span instead of per event.
+constexpr std::size_t kDrainBatch = 32;
+
+std::string describe_exception(std::exception_ptr error) {
+  if (!error) return "unknown error";
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "non-standard exception";
+  }
+}
+
 }  // namespace
 
 ShardedRatingSystem::Shard::Shard(const SystemConfig& config,
@@ -84,6 +103,7 @@ std::size_t ShardedRatingSystem::shard_index(ProductId product) const {
 }
 
 IngestClass ShardedRatingSystem::submit(const Rating& rating) {
+  throw_if_failed();
   released_.clear();
   const IngestClass result = ingest_.submit(rating, released_);
   if (ingest_submitted_ != nullptr) {
@@ -110,6 +130,7 @@ IngestClass ShardedRatingSystem::submit(const Rating& rating) {
     }
   }
   for (const Rating& r : released_) route(r);
+  if (threads_running_) flush_staged();
   update_gauges();
   return result;
 }
@@ -141,7 +162,7 @@ void ShardedRatingSystem::route(const Rating& rating) {
     ShardEvent e;
     e.type = ShardEvent::Type::kRating;
     e.rating = rating;
-    enqueue(k, std::move(e));
+    stage_event(k, std::move(e));
   } else {
     shard.pending[rating.product].push_back(rating);
   }
@@ -172,6 +193,9 @@ void ShardedRatingSystem::issue_close(double epoch_end) {
   const std::uint64_t cell = cells_issued_++;
   const double cell_start = epoch_start_;
   if (threads_running_) {
+    // Staged ratings for this cell must reach their shards before the
+    // close event does (per-shard FIFO is the only ordering guarantee).
+    flush_staged();
     for (std::size_t k = 0; k < shards_.size(); ++k) {
       ShardEvent e;
       e.type = ShardEvent::Type::kClose;
@@ -308,9 +332,11 @@ void ShardedRatingSystem::merge_cell(std::vector<ShardResult> results) {
 }
 
 std::size_t ShardedRatingSystem::flush() {
+  throw_if_failed();
   released_.clear();
   ingest_.drain(released_);
   for (const Rating& r : released_) route(r);
+  if (threads_running_) flush_staged();
   if (!anchored_ || pending_count_ == 0) {
     quiesce();
     update_gauges();
@@ -335,57 +361,157 @@ void ShardedRatingSystem::add_dead_letter(Shard& shard,
 
 void ShardedRatingSystem::enqueue(std::size_t k, ShardEvent&& event) {
   Shard& shard = *shards_[k];
-  shard.inbox.push(std::move(event));
-  ++shard.events_pushed;
+  std::size_t spins = 0;
+  while (!shard.inbox.try_push(std::move(event))) {
+    if (shard.inbox.closed()) {
+      // Closed mid-stream only by a latched failure; surface it.
+      throw_if_failed();
+      return;  // unreachable unless closed during shutdown — drop
+    }
+    if (++spins >= kWaitSpinLimit) {
+      supervised_tick();  // throws once a stall/poison is classified
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+  // Coordinator-owned counter: relaxed is enough (workers only read it
+  // for approximate diagnostics).
+  shard.events_pushed.store(
+      shard.events_pushed.load(std::memory_order_relaxed) + 1,
+      std::memory_order_relaxed);
+}
+
+void ShardedRatingSystem::stage_event(std::size_t k, ShardEvent&& event) {
+  shards_[k]->staged.push_back(std::move(event));
+}
+
+void ShardedRatingSystem::flush_staged() {
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    Shard& shard = *shards_[k];
+    std::vector<ShardEvent>& batch = shard.staged;
+    if (batch.empty()) continue;
+    std::size_t done = 0;
+    std::size_t spins = 0;
+    while (done < batch.size()) {
+      done += shard.inbox.try_push_n(batch.data() + done, batch.size() - done);
+      if (done == batch.size()) break;
+      if (shard.inbox.closed()) {
+        batch.clear();
+        throw_if_failed();
+        return;
+      }
+      if (++spins >= kWaitSpinLimit) {
+        supervised_tick();
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+    shard.events_pushed.store(
+        shard.events_pushed.load(std::memory_order_relaxed) + batch.size(),
+        std::memory_order_relaxed);
+    batch.clear();
+  }
 }
 
 void ShardedRatingSystem::shard_worker(std::size_t k) {
   Shard& shard = *shards_[k];
-  for (;;) {
-    ShardEvent event = shard.inbox.pop();
-    bool stop = false;
-    switch (event.type) {
-      case ShardEvent::Type::kRating:
-        shard.pending[event.rating.product].push_back(event.rating);
-        break;
-      case ShardEvent::Type::kQuarantine:
-        add_dead_letter(shard, std::move(event.dead), event.seq);
-        break;
-      case ShardEvent::Type::kClose:
-        shard.outbox.push(
-            analyze_cell(shard, event.seq, event.epoch_start, event.epoch_end));
-        break;
-      case ShardEvent::Type::kStop: {
-        ShardResult sentinel;
-        sentinel.cell = kStopCell;
-        shard.outbox.push(std::move(sentinel));
-        stop = true;
-        break;
+  try {
+    // Draining in spans amortizes the ring's cache-line handoff: one
+    // acquire/release pair covers up to kDrainBatch events.
+    std::vector<ShardEvent> batch(kDrainBatch);
+    for (;;) {
+      const std::size_t n = shard.inbox.pop_n(batch.data(), kDrainBatch);
+      if (n == 0) return;  // closed and drained: failure or shutdown
+      for (std::size_t i = 0; i < n; ++i) {
+        ShardEvent& event = batch[i];
+        // Heartbeat marks "started an event"; events_processed marks
+        // "finished it" — the gap tells the watchdog's diagnostic whether
+        // the worker is wedged mid-event or between events.
+        shard.heartbeat.fetch_add(1, std::memory_order_relaxed);
+        if (options_.event_hook) {
+          ShardEventContext ctx;
+          ctx.shard = k;
+          ctx.ordinal = shard.events_processed.load(std::memory_order_relaxed);
+          ctx.abort = &shard.abort_requested;
+          options_.event_hook(ctx);
+        }
+        bool stop = false;
+        switch (event.type) {
+          case ShardEvent::Type::kRating:
+            shard.pending[event.rating.product].push_back(event.rating);
+            break;
+          case ShardEvent::Type::kQuarantine:
+            add_dead_letter(shard, std::move(event.dead), event.seq);
+            break;
+          case ShardEvent::Type::kClose:
+            if (!shard.outbox.push(analyze_cell(shard, event.seq,
+                                                event.epoch_start,
+                                                event.epoch_end))) {
+              return;  // outbox closed: the pipeline is coming down
+            }
+            break;
+          case ShardEvent::Type::kStop: {
+            ShardResult sentinel;
+            sentinel.cell = kStopCell;
+            shard.outbox.push(std::move(sentinel));
+            stop = true;
+            break;
+          }
+        }
+        // Release: quiescing readers that observe this count also observe
+        // the shard-state writes the event caused.
+        shard.events_processed.fetch_add(1, std::memory_order_release);
+        if (stop) return;
       }
     }
-    // Release: quiescing readers that observe this count also observe the
-    // shard-state writes the event caused.
-    shard.events_processed.fetch_add(1, std::memory_order_release);
-    if (stop) return;
+  } catch (...) {
+    contain_worker_failure(k, std::current_exception());
   }
 }
 
 void ShardedRatingSystem::merge_worker() {
-  for (;;) {
-    std::vector<ShardResult> results;
-    results.reserve(shards_.size());
-    ShardResult first = shards_[0]->outbox.pop();
-    const bool stopping = first.cell == kStopCell;
-    if (!stopping) results.push_back(std::move(first));
-    // Each shard receives closes (and the final stop) in the same order,
-    // and processes its inbox FIFO — so the k-th outbox head is always the
-    // same cell as shard 0's (or the matching stop sentinel).
-    for (std::size_t k = 1; k < shards_.size(); ++k) {
-      ShardResult r = shards_[k]->outbox.pop();
-      if (!stopping) results.push_back(std::move(r));
+  try {
+    // Per-shard staging deques: whenever the pipeline runs deep, a single
+    // try_pop_n span refills several cells' worth of results at once.
+    std::vector<std::deque<ShardResult>> ready(shards_.size());
+    std::vector<ShardResult> batch(kDrainBatch);
+    for (;;) {
+      for (std::size_t k = 0; k < shards_.size(); ++k) {
+        while (ready[k].empty()) {
+          const std::size_t n =
+              shards_[k]->outbox.pop_n(batch.data(), kDrainBatch);
+          if (n == 0) return;  // closed: failure latched elsewhere
+          for (std::size_t i = 0; i < n; ++i) {
+            ready[k].push_back(std::move(batch[i]));
+          }
+        }
+      }
+      // Each shard receives closes (and the final stop) in the same
+      // order, and processes its inbox FIFO — so the k-th outbox head is
+      // always the same cell as shard 0's (or the matching sentinel).
+      bool stopping = false;
+      for (const auto& q : ready) {
+        if (q.front().cell == kStopCell || q.front().cell == kPoisonCell) {
+          stopping = true;
+          break;
+        }
+      }
+      if (stopping) return;
+      std::vector<ShardResult> results;
+      results.reserve(shards_.size());
+      for (auto& q : ready) {
+        results.push_back(std::move(q.front()));
+        q.pop_front();
+      }
+      merge_cell(std::move(results));
     }
-    if (stopping) return;
-    merge_cell(std::move(results));
+  } catch (...) {
+    // Merge-thread containment: shards().size() designates the merger.
+    fail_pipeline(ShardFailureKind::kPoisoned, shards_.size(),
+                  describe_exception(std::current_exception()),
+                  "merge thread threw; surviving shards were drained and "
+                  "their rings closed",
+                  std::current_exception());
   }
 }
 
@@ -399,26 +525,209 @@ void ShardedRatingSystem::start_threads() {
 
 void ShardedRatingSystem::stop_threads() {
   if (!threads_running_) return;
-  for (std::size_t k = 0; k < shards_.size(); ++k) {
-    ShardEvent e;
-    e.type = ShardEvent::Type::kStop;
-    enqueue(k, std::move(e));
+  if (!pipeline_failed_.load(std::memory_order_acquire)) {
+    // Normal shutdown: a stop event per shard; each worker acknowledges
+    // with a stop sentinel the merger folds. try_push (not enqueue): a
+    // failure racing in closes the ring, and then the closes below are
+    // the shutdown signal.
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      ShardEvent e;
+      e.type = ShardEvent::Type::kStop;
+      bool pushed = shards_[k]->inbox.try_push(std::move(e));
+      if (!pushed && !shards_[k]->inbox.closed()) {
+        // Ring full (tiny-queue configurations): fall back to the
+        // blocking push, which a racing close still bounds.
+        ShardEvent stop;
+        stop.type = ShardEvent::Type::kStop;
+        pushed = shards_[k]->inbox.push(std::move(stop));
+      }
+      if (pushed) {
+        shards_[k]->events_pushed.store(
+            shards_[k]->events_pushed.load(std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);
+      }
+    }
   }
-  for (auto& shard : shards_) shard->worker.join();
-  merge_thread_.join();
+  // Close every ring regardless of path. After this line every blocked
+  // push/pop in the system returns within a bounded number of steps
+  // (DESIGN.md §15), so the joins below cannot hang on a dead peer.
+  for (auto& shard : shards_) {
+    shard->inbox.close();
+    shard->outbox.close();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  if (merge_thread_.joinable()) merge_thread_.join();
   threads_running_ = false;
 }
 
 void ShardedRatingSystem::quiesce() const {
+  throw_if_failed();
   if (!threads_running_) return;
   for (const auto& shard : shards_) {
+    std::size_t spins = 0;
     while (shard->events_processed.load(std::memory_order_acquire) <
-           shard->events_pushed) {
-      std::this_thread::yield();
+           shard->events_pushed.load(std::memory_order_relaxed)) {
+      if (++spins >= kWaitSpinLimit) {
+        supervised_tick();  // bounds the wait: throws on stall/poison
+        std::this_thread::yield();
+        spins = 0;
+      }
     }
   }
+  std::size_t spins = 0;
   while (cells_merged_.load(std::memory_order_acquire) < cells_issued_) {
-    std::this_thread::yield();
+    if (++spins >= kWaitSpinLimit) {
+      supervised_tick();
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+  // A failure can land between the last counter check and here (e.g. a
+  // worker poisoned by its final event); surface it rather than letting
+  // the caller read torn state.
+  throw_if_failed();
+}
+
+// ----------------------------------------------------------- supervision
+
+std::string ShardedRatingSystem::shard_diagnostic(std::size_t k) const {
+  const Shard& shard = *shards_[k];
+  const std::uint64_t processed =
+      shard.events_processed.load(std::memory_order_acquire);
+  const std::uint64_t beat = shard.heartbeat.load(std::memory_order_acquire);
+  std::string out = "shard " + std::to_string(k) + ": inbox depth " +
+                    std::to_string(shard.inbox.size()) + ", events " +
+                    std::to_string(shard.events_pushed.load(
+                        std::memory_order_relaxed)) + " pushed / " +
+                    std::to_string(processed) + " processed, heartbeat " +
+                    std::to_string(beat);
+  out += beat > processed ? " (mid-event)" : " (between events)";
+  return out;
+}
+
+void ShardedRatingSystem::throw_if_failed() const {
+  if (!pipeline_failed_.load(std::memory_order_acquire)) return;
+  std::lock_guard lock(failure_mutex_);
+  throw ShardFailure(failure_kind_, failure_shard_, failure_diagnostic_,
+                     failure_message_);
+}
+
+std::optional<ShardFailure> ShardedRatingSystem::failure() const {
+  if (!pipeline_failed_.load(std::memory_order_acquire)) return std::nullopt;
+  std::lock_guard lock(failure_mutex_);
+  return ShardFailure(failure_kind_, failure_shard_, failure_diagnostic_,
+                      failure_message_);
+}
+
+void ShardedRatingSystem::fail_pipeline(ShardFailureKind kind,
+                                        std::size_t shard,
+                                        const std::string& message,
+                                        std::string diagnostic,
+                                        std::exception_ptr error) noexcept {
+  bool first = false;
+  {
+    std::lock_guard lock(failure_mutex_);
+    if (!failure_recorded_) {
+      failure_recorded_ = true;
+      failure_kind_ = kind;
+      failure_shard_ = shard;
+      failure_message_ = "sharded pipeline " + std::string(to_string(kind)) +
+                         " (shard " + std::to_string(shard) + "): " + message;
+      failure_diagnostic_ = std::move(diagnostic);
+      failure_error_ = std::move(error);
+      first = true;
+    }
+  }
+  if (!first) return;
+  // Latch BEFORE closing: a waiter released by a closed ring must already
+  // see the failure when it asks.
+  pipeline_failed_.store(true, std::memory_order_release);
+  for (auto& s : shards_) {
+    s->inbox.close();
+    s->outbox.close();
+  }
+  if (kind == ShardFailureKind::kPoisoned && shard_poisoned_metric_ != nullptr) {
+    shard_poisoned_metric_->add();
+  }
+  if (kind == ShardFailureKind::kStalled && shard_stalled_metric_ != nullptr) {
+    shard_stalled_metric_->add();
+  }
+  if (obs_.audit != nullptr) {
+    obs::AuditEvent e;
+    e.type = kind == ShardFailureKind::kPoisoned
+                 ? obs::AuditEventType::kShardPoisoned
+                 : obs::AuditEventType::kShardStalled;
+    e.value = static_cast<double>(shard);
+    std::lock_guard lock(failure_mutex_);
+    e.detail = failure_message_ + " — " + failure_diagnostic_;
+    obs_.audit->record(e);
+  }
+}
+
+void ShardedRatingSystem::contain_worker_failure(
+    std::size_t k, std::exception_ptr error) noexcept {
+  Shard& shard = *shards_[k];
+  shard.worker_error = error;
+  shard.poisoned.store(true, std::memory_order_release);
+  // Best-effort poison sentinel so the merger unblocks without waiting
+  // for the closes below to propagate; a full or already-closed outbox is
+  // fine — close() is the stronger signal.
+  ShardResult sentinel;
+  sentinel.cell = kPoisonCell;
+  shard.outbox.try_push(std::move(sentinel));
+  fail_pipeline(ShardFailureKind::kPoisoned, k, describe_exception(error),
+                shard_diagnostic(k), error);
+}
+
+void ShardedRatingSystem::supervised_tick() const {
+  throw_if_failed();
+  const std::uint64_t budget = options_.supervision.stall_ticks;
+  if (budget == 0) return;  // watchdog disabled
+  bool all_shards_idle = true;
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    Shard& shard = *shards_[k];
+    const std::uint64_t processed =
+        shard.events_processed.load(std::memory_order_acquire);
+    if (processed != shard.watch_processed) {
+      shard.watch_processed = processed;
+      shard.stall_age = 0;
+    } else if (shard.events_pushed.load(std::memory_order_relaxed) >
+               processed) {
+      all_shards_idle = false;
+      if (++shard.stall_age >= budget) {
+        shard.abort_requested.store(true, std::memory_order_release);
+        const_cast<ShardedRatingSystem*>(this)->fail_pipeline(
+            ShardFailureKind::kStalled, k,
+            "no progress for " + std::to_string(shard.stall_age) +
+                " supervision ticks",
+            shard_diagnostic(k), nullptr);
+        throw_if_failed();
+      }
+    } else {
+      shard.stall_age = 0;
+    }
+  }
+  // The merger only looks stalled while waiting on a stalled shard — so
+  // it is classified only once every shard has fully caught up.
+  const std::uint64_t merged = cells_merged_.load(std::memory_order_acquire);
+  if (merged != merge_watch_) {
+    merge_watch_ = merged;
+    merge_stall_age_ = 0;
+  } else if (all_shards_idle && merged < cells_issued_) {
+    if (++merge_stall_age_ >= budget) {
+      const_cast<ShardedRatingSystem*>(this)->fail_pipeline(
+          ShardFailureKind::kStalled, shards_.size(),
+          "merge made no progress for " + std::to_string(merge_stall_age_) +
+              " supervision ticks",
+          "merge: cells " + std::to_string(cells_issued_) + " issued / " +
+              std::to_string(merged) + " merged; every shard inbox drained",
+          nullptr);
+      throw_if_failed();
+    }
+  } else {
+    merge_stall_age_ = 0;
   }
 }
 
@@ -468,6 +777,7 @@ std::size_t ShardedRatingSystem::degraded_epochs() const {
 }
 
 std::size_t ShardedRatingSystem::skipped_empty_epochs() const {
+  throw_if_failed();
   return skipped_empty_epochs_;
 }
 
@@ -480,6 +790,7 @@ std::vector<std::size_t> ShardedRatingSystem::shard_skipped_cells() const {
 }
 
 std::size_t ShardedRatingSystem::pending_ratings() const {
+  throw_if_failed();
   return pending_count_;
 }
 
@@ -567,6 +878,12 @@ void ShardedRatingSystem::set_observability(const obs::Observability& o) {
     epochs_skipped_empty_metric_ = &m.counter(
         "trustrate_epochs_skipped_empty_total",
         "Fully empty epochs fast-forwarded over");
+    shard_poisoned_metric_ = &m.counter(
+        "trustrate_shard_poisoned_total",
+        "Shard or merge workers that threw and were contained");
+    shard_stalled_metric_ = &m.counter(
+        "trustrate_shard_stalled_total",
+        "Shards the watchdog classified as stalled");
     pending_gauge_ = &m.gauge(
         "trustrate_pending_ratings",
         "Ratings routed into the current epoch but not yet processed");
@@ -587,6 +904,8 @@ void ShardedRatingSystem::set_observability(const obs::Observability& o) {
     epochs_skipped_empty_metric_ = nullptr;
     pending_gauge_ = nullptr;
     buffered_gauge_ = nullptr;
+    shard_poisoned_metric_ = nullptr;
+    shard_stalled_metric_ = nullptr;
   }
 }
 

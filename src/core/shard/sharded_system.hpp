@@ -57,20 +57,38 @@
 // under the *target* layout, so any checkpoint version resumes at any
 // shard count — including a v3 pre-shard checkpoint (the v3→v4
 // compatibility regression pins this).
+//
+// Supervision (ISSUE 9 tentpole, DESIGN.md §15): in threaded mode every
+// worker runs under exception containment. A throwing worker marks its
+// shard *poisoned* (the exception_ptr is stashed), emits a poison sentinel
+// downstream, and closes every ring, so no thread can block on a dead
+// peer; a deterministic tick-driven watchdog classifies a shard as
+// *stalled* when its inbox is non-empty but events_processed stops
+// advancing within SupervisionOptions::stall_ticks observation rounds.
+// Either way the pipeline latches a structured failure: the next public
+// API call throws ShardFailure (common/error.hpp) instead of hanging or
+// aborting, and destruction still joins cleanly because closed rings
+// bound every wait (the shutdown-protocol proof sketch is in DESIGN.md
+// §15). ShardedDurableStream catches ShardFailure and heals by replaying
+// checkpoint + WAL — bitwise-identical to a fault-free run (oracle path
+// 10) — or fail-stops with the diagnostic when healing is disabled.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/error.hpp"
 #include "core/checkpoint.hpp"
 #include "core/ingest.hpp"
 #include "core/shard/shard_map.hpp"
@@ -88,6 +106,37 @@ class EpochEngine;
 }  // namespace trustrate::core::parallel
 
 namespace trustrate::core::shard {
+
+/// Watchdog budgets for the threaded pipeline. The supervisor runs on the
+/// coordinator thread and counts deterministic *observation ticks* (one
+/// per submit() plus one per round of any bounded wait — a virtual clock
+/// like the durable layer's VirtualIoClock, no wall time), so stall
+/// classification does not depend on machine speed for whether it fires,
+/// only for how long a tick takes.
+struct SupervisionOptions {
+  /// Consecutive no-progress observation ticks (inbox non-empty, no
+  /// events_processed advance) before a shard is classified as stalled
+  /// and the pipeline fail-stops. 0 disables the watchdog: waits then
+  /// block until the peer makes progress or a failure closes the rings,
+  /// exactly the pre-supervision behavior.
+  std::uint64_t stall_ticks = std::uint64_t{1} << 26;
+};
+
+/// Context handed to ShardOptions::event_hook before a shard worker
+/// processes each event. `abort` is set by the watchdog once the shard is
+/// classified as stalled — a cooperative injected stall polls it so
+/// shutdown provably terminates.
+struct ShardEventContext {
+  std::size_t shard = 0;       ///< worker's shard index
+  std::uint64_t ordinal = 0;   ///< events this shard processed so far
+  const std::atomic<bool>* abort = nullptr;
+};
+
+/// Test-only fault injection point (testkit::ThreadFaultInjector adapts
+/// onto it). Called on the worker thread; may throw (crash), sleep
+/// (slow), or poll ctx.abort in a bounded loop (stall). Null — and zero
+/// cost — in production. Threaded mode only.
+using ShardEventHook = std::function<void(const ShardEventContext&)>;
 
 struct ShardOptions {
   /// Number of product shards (>= 1).
@@ -109,6 +158,12 @@ struct ShardOptions {
   /// only — results are placement-invariant; the adversarial-skew tests
   /// route everything to one shard and assert digests don't move.
   std::function<std::size_t(ProductId, std::size_t)> shard_fn;
+
+  /// Watchdog budgets (threaded mode).
+  SupervisionOptions supervision;
+
+  /// Per-event fault-injection hook (threaded mode, tests only).
+  ShardEventHook event_hook;
 };
 
 class ShardedRatingSystem {
@@ -182,8 +237,24 @@ class ShardedRatingSystem {
   const ShardOptions& options() const { return options_; }
 
   /// Blocks until every routed event is consumed and every issued cell is
-  /// merged. No-op in inline mode. Safe to call repeatedly.
+  /// merged. No-op in inline mode. Safe to call repeatedly. The wait is
+  /// bounded by supervision: if a shard is poisoned, or stops making
+  /// progress for SupervisionOptions::stall_ticks observation rounds,
+  /// this throws ShardFailure naming the wedged shard (inbox depth,
+  /// events pushed vs processed, heartbeat age) instead of hanging.
   void quiesce() const;
+
+  /// True once supervision has latched a failure; every public entry
+  /// point then throws the corresponding ShardFailure. Destruction stays
+  /// safe — closed rings bound every wait, so joins complete.
+  bool failed() const {
+    return pipeline_failed_.load(std::memory_order_acquire);
+  }
+
+  /// The latched failure, rebuilt as a throwable ShardFailure (nullptr
+  /// when healthy). For a poisoned shard the original worker exception is
+  /// nested in the message.
+  std::optional<ShardFailure> failure() const;
 
   /// Global state extraction (quiesces first): per-shard pending/retained
   /// merged, dead letters in global order, layout recorded.
@@ -228,7 +299,9 @@ class ShardedRatingSystem {
   };
 
   /// One shard's contribution to one epoch cell (threaded mode). The
-  /// sentinel (cell == kStopCell) acknowledges kStop.
+  /// sentinel (cell == kStopCell) acknowledges kStop; kPoisonCell is the
+  /// poison sentinel a dying worker emits so the merge thread never
+  /// blocks on a dead outbox.
   struct ShardResult {
     std::uint64_t cell = 0;
     double epoch_start = 0.0;
@@ -237,6 +310,7 @@ class ShardedRatingSystem {
     std::vector<ProductReport> reports;            ///< aligned with above
   };
   static constexpr std::uint64_t kStopCell = ~std::uint64_t{0};
+  static constexpr std::uint64_t kPoisonCell = ~std::uint64_t{0} - 1;
 
   struct Shard {
     detect::BetaQuantileFilter filter;
@@ -255,8 +329,25 @@ class ShardedRatingSystem {
     SpscQueue<ShardEvent> inbox;
     SpscQueue<ShardResult> outbox;
     std::thread worker;
-    std::uint64_t events_pushed = 0;              ///< coordinator-owned
+    /// Coordinator-owned writer; atomic because worker-side diagnostics
+    /// (contain_worker_failure) read it from the failing thread.
+    std::atomic<std::uint64_t> events_pushed{0};
     std::atomic<std::uint64_t> events_processed{0};
+
+    // Supervision (DESIGN.md §15). The worker bumps `heartbeat` when it
+    // STARTS an event and events_processed when it finishes, so the
+    // watchdog's diagnostic can tell "between events" from "mid-event".
+    std::atomic<std::uint64_t> heartbeat{0};
+    std::atomic<bool> abort_requested{false};  ///< set when classified stalled
+    std::atomic<bool> poisoned{false};
+    std::exception_ptr worker_error;  ///< written before poisoned (release)
+
+    // Watchdog state, coordinator-owned (mutated during const waits via
+    // the unique_ptr indirection — the threading contract already pins
+    // quiesce/queries to the submit thread).
+    std::uint64_t watch_processed = 0;  ///< last observed events_processed
+    std::uint64_t stall_age = 0;        ///< consecutive no-progress ticks
+    std::vector<ShardEvent> staged;     ///< coordinator batch for try_push_n
 
     // Observability (resolved in set_observability; null when off).
     std::string analyze_span_name;  ///< stable storage for SpanTimer
@@ -284,11 +375,37 @@ class ShardedRatingSystem {
   void shard_worker(std::size_t k);
   void merge_worker();
   void start_threads();
+  /// Close/poison-aware shutdown: closes every ring (so every blocked
+  /// push/pop returns), then joins. Never throws, never hangs — see the
+  /// protocol proof sketch in DESIGN.md §15.
   void stop_threads();
   void enqueue(std::size_t k, ShardEvent&& event);
+  /// Buffers a rating event for `k`; flush_staged() pushes each shard's
+  /// run with one try_push_n span (satellite: batched ring transfers).
+  void stage_event(std::size_t k, ShardEvent&& event);
+  void flush_staged();
   void add_dead_letter(Shard& shard, QuarantinedRating&& entry,
                        std::uint64_t seq);
   void update_gauges();
+
+  // --- supervision (coordinator side unless noted) ---
+  /// Rethrows the latched ShardFailure, if any.
+  void throw_if_failed() const;
+  /// Latches the failure (first caller wins), emits the audit event +
+  /// metric, and closes every ring so no wait can outlive it. Safe from
+  /// any thread; never throws.
+  void fail_pipeline(ShardFailureKind kind, std::size_t shard,
+                     const std::string& message, std::string diagnostic,
+                     std::exception_ptr error) noexcept;
+  /// Worker-side containment: stash the exception, poison the shard, emit
+  /// the poison sentinel, then fail_pipeline.
+  void contain_worker_failure(std::size_t k, std::exception_ptr error) noexcept;
+  /// One watchdog observation round (a deterministic virtual-clock tick):
+  /// advances per-shard stall ages, classifies stalls past the budget
+  /// (latching a failure), and throws if the pipeline has failed.
+  void supervised_tick() const;
+  /// Progress counters for shard k, formatted for diagnostics.
+  std::string shard_diagnostic(std::size_t k) const;
 
   SystemConfig config_;
   ShardOptions options_;
@@ -320,6 +437,22 @@ class ShardedRatingSystem {
   std::thread merge_thread_;
   bool threads_running_ = false;
 
+  // Supervision state. `pipeline_failed_` is the fast-path flag; the
+  // details live behind the mutex (workers, the merge thread, and the
+  // watchdog may race to fail first — the first latches).
+  std::atomic<bool> pipeline_failed_{false};
+  mutable std::mutex failure_mutex_;
+  bool failure_recorded_ = false;
+  ShardFailureKind failure_kind_ = ShardFailureKind::kPoisoned;
+  std::size_t failure_shard_ = 0;
+  std::string failure_message_;
+  std::string failure_diagnostic_;
+  std::exception_ptr failure_error_;
+  // Merge-thread watchdog counters (coordinator-owned, mutated during
+  // const waits).
+  mutable std::uint64_t merge_watch_ = 0;
+  mutable std::uint64_t merge_stall_age_ = 0;
+
   obs::Observability obs_;
   obs::Counter* ingest_submitted_ = nullptr;
   obs::Counter* ingest_accepted_ = nullptr;
@@ -333,6 +466,8 @@ class ShardedRatingSystem {
   obs::Counter* epochs_skipped_empty_metric_ = nullptr;
   obs::Gauge* pending_gauge_ = nullptr;
   obs::Gauge* buffered_gauge_ = nullptr;
+  obs::Counter* shard_poisoned_metric_ = nullptr;
+  obs::Counter* shard_stalled_metric_ = nullptr;
 };
 
 }  // namespace trustrate::core::shard

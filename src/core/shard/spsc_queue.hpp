@@ -1,6 +1,6 @@
 // Bounded lock-free single-producer/single-consumer ring queue — the
 // transport between the ingest thread and each shard worker, and between
-// each shard worker and the merge thread (DESIGN.md §14).
+// each shard worker and the merge thread (DESIGN.md §14, §15).
 //
 // Classic Lamport ring with C++11 atomics:
 //
@@ -23,10 +23,27 @@
 // a single hardware thread, where spinning alone would deadlock the
 // consumer off the core). pop()/try_pop mirror the same discipline.
 //
+// Close/poison contract (DESIGN.md §15): either side (or a supervisor
+// thread) may close() the queue. A closed queue refuses new items —
+// push()/try_push return false — but still DELIVERS everything enqueued
+// before the close: pop() drains the ring and only then returns false.
+// This is what makes a supervised shutdown provably non-blocking: once
+// every ring is closed, every blocked push() and pop() in the system
+// returns within a bounded number of steps, so worker joins cannot hang on
+// a dead peer. An item raced in concurrently with close() may be either
+// delivered or dropped; supervision only closes rings it is about to
+// discard, so the ambiguity is harmless.
+//
+// Batched transfers: try_push_n/try_pop_n move a span of items with ONE
+// index store (one release, one cache-line handoff) instead of one per
+// item, amortizing the inter-core traffic that dominates small-payload
+// rings; pop_n is the blocking form the shard workers drain with.
+//
 // T must be movable. The queue never allocates after construction; slots
 // are default-constructed up front and assigned through.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -53,8 +70,18 @@ class SpscQueue {
 
   std::size_t capacity() const { return mask_ + 1; }  ///< usable slots
 
-  /// Producer side. False when the ring is full (backpressure).
+  /// Poisons the queue: subsequent pushes are refused, blocked calls on
+  /// either side return once the ring drains. Idempotent; any thread may
+  /// call it (this is the one operation a third, supervising thread is
+  /// allowed).
+  void close() { closed_.store(true, std::memory_order_release); }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Producer side. False when the ring is full (backpressure) or closed.
+  /// On failure `value` is untouched, so the caller can retry or reroute.
   bool try_push(T&& value) {
+    if (closed()) return false;
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
     if (head - cached_tail_ > mask_) {
       cached_tail_ = tail_.load(std::memory_order_acquire);
@@ -65,16 +92,39 @@ class SpscQueue {
     return true;
   }
 
+  /// Producer side, span form: moves out of items[0..n) as many as fit and
+  /// publishes them with a single release store. Returns the count moved
+  /// (0 when full or closed); items beyond it are untouched.
+  std::size_t try_push_n(T* items, std::size_t n) {
+    if (n == 0 || closed()) return 0;
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    std::size_t free = capacity() - static_cast<std::size_t>(head - cached_tail_);
+    if (free < n) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      free = capacity() - static_cast<std::size_t>(head - cached_tail_);
+    }
+    const std::size_t count = std::min(n, free);
+    for (std::size_t i = 0; i < count; ++i) {
+      slots_[(head + i) & mask_] = std::move(items[i]);
+    }
+    if (count != 0) head_.store(head + count, std::memory_order_release);
+    return count;
+  }
+
   /// Blocking push: spins a bounded number of times, then yields between
-  /// attempts — the consumer may be sharing this core.
-  void push(T&& value) {
+  /// attempts — the consumer may be sharing this core. Returns false (with
+  /// `value` untouched) when the queue is closed: the consumer is gone and
+  /// waiting longer cannot help.
+  bool push(T&& value) {
     std::size_t spins = 0;
     while (!try_push(std::move(value))) {
+      if (closed()) return false;
       if (++spins >= kSpinLimit) {
         std::this_thread::yield();
         spins = 0;
       }
     }
+    return true;
   }
 
   /// Consumer side. False when the ring is empty.
@@ -89,17 +139,57 @@ class SpscQueue {
     return true;
   }
 
-  /// Blocking pop, same spin-then-yield discipline as push().
-  T pop() {
-    T out;
+  /// Consumer side, span form: pops up to `max` immediately-available
+  /// items into out[0..) and retires them with a single release store.
+  /// Returns the count popped (0 when the ring is momentarily empty).
+  std::size_t try_pop_n(T* out, std::size_t max) {
+    if (max == 0) return 0;
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t avail = static_cast<std::size_t>(cached_head_ - tail);
+    if (avail == 0) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      avail = static_cast<std::size_t>(cached_head_ - tail);
+      if (avail == 0) return 0;
+    }
+    const std::size_t count = std::min(max, avail);
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = std::move(slots_[(tail + i) & mask_]);
+    }
+    tail_.store(tail + count, std::memory_order_release);
+    return count;
+  }
+
+  /// Blocking pop, same spin-then-yield discipline as push(). Returns
+  /// false only when the queue is closed AND fully drained — items pushed
+  /// before the close are always delivered (the close() release /
+  /// closed() acquire pair makes the final head_ store visible before the
+  /// drain check concludes).
+  bool pop(T& out) {
     std::size_t spins = 0;
-    while (!try_pop(out)) {
+    for (;;) {
+      if (try_pop(out)) return true;
+      if (closed()) return try_pop(out);
       if (++spins >= kSpinLimit) {
         std::this_thread::yield();
         spins = 0;
       }
     }
-    return out;
+  }
+
+  /// Blocking span pop: waits until at least one item is available (or
+  /// the queue is closed and drained — returns 0), then pops up to `max`
+  /// with one index store.
+  std::size_t pop_n(T* out, std::size_t max) {
+    std::size_t spins = 0;
+    for (;;) {
+      const std::size_t n = try_pop_n(out, max);
+      if (n != 0) return n;
+      if (closed()) return try_pop_n(out, max);
+      if (++spins >= kSpinLimit) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
   }
 
   /// Consumer-visible occupancy (approximate from any other thread).
@@ -124,6 +214,9 @@ class SpscQueue {
   alignas(kLine) std::uint64_t cached_tail_ = 0;       ///< producer-local
   alignas(kLine) std::atomic<std::uint64_t> tail_{0};  ///< consumer-owned
   alignas(kLine) std::uint64_t cached_head_ = 0;       ///< consumer-local
+  /// Written at most once per lifecycle; read in every blocking loop. Own
+  /// line so the hot index lines stay exclusive to their owners.
+  alignas(kLine) std::atomic<bool> closed_{false};
 };
 
 }  // namespace trustrate::core::shard

@@ -35,6 +35,10 @@ const char* to_string(AuditEventType type) {
     case AuditEventType::kDurabilityDegraded:  return "durability_degraded";
     case AuditEventType::kDurabilityRecovering: return "durability_recovering";
     case AuditEventType::kDurabilityRestored:  return "durability_restored";
+    case AuditEventType::kShardPoisoned:       return "shard_poisoned";
+    case AuditEventType::kShardStalled:        return "shard_stalled";
+    case AuditEventType::kPipelineFailstop:    return "pipeline_failstop";
+    case AuditEventType::kPipelineHealed:      return "pipeline_healed";
   }
   return "unknown";
 }

@@ -18,6 +18,13 @@
 //   observer_not_restored  first epoch close after a checkpoint restore
 //                          found no epoch observer re-attached
 //   wal_tail_truncated     recovery cut a torn tail off the WAL
+//   shard_poisoned         a shard (or merge) worker threw; supervision
+//                          contained it and fail-stopped the pipeline
+//   shard_stalled          the watchdog saw a non-empty inbox make no
+//                          progress for its tick budget
+//   pipeline_failstop      a ShardFailure was surfaced with no heal left
+//   pipeline_healed        the durable front-end rebuilt the pipeline from
+//                          checkpoint + WAL after a ShardFailure
 //
 // Events are **deterministic**: no wall-clock fields, and emitters order
 // same-epoch events canonically (by rater / product / window position), so
@@ -55,6 +62,14 @@ enum class AuditEventType : std::uint8_t {
   kDurabilityDegraded,
   kDurabilityRecovering,
   kDurabilityRestored,
+  /// Shard-supervision transitions (DESIGN.md §15): a shard worker threw
+  /// (poisoned) or stopped making progress under the watchdog (stalled);
+  /// the pipeline then either fail-stopped with a structured ShardFailure
+  /// or was healed by the durable front-end from checkpoint + WAL.
+  kShardPoisoned,
+  kShardStalled,
+  kPipelineFailstop,
+  kPipelineHealed,
 };
 
 const char* to_string(AuditEventType type);

@@ -13,7 +13,9 @@
 
 #include "core/checkpoint.hpp"
 #include "core/durable/durable_stream.hpp"
+#include "core/durable/sharded_durable.hpp"
 #include "core/shard/sharded_system.hpp"
+#include "testkit/threadfault.hpp"
 
 namespace trustrate::testkit {
 namespace {
@@ -684,6 +686,74 @@ DifferentialResult run_differential(const Scenario& scenario) {
                   ") than the plain stream's global cap (" +
                   std::to_string(perturbed.quarantine_size) + ")");
     }
+  }
+
+  // 10. Supervised heal (DESIGN.md §15): the clean stream through the
+  // THREADED sharded durable front-end with a seeded worker crash. The
+  // stream must contain the crash as a ShardFailure, rebuild the engine
+  // from checkpoint + per-shard WAL replay, retry the interrupted call,
+  // and still land bitwise-identical to the fault-free serial run —
+  // exactly-once comes from apply-then-log: a submission interrupted by
+  // the failure was never logged, so replay omits it and the retry
+  // re-applies it once. The injector latches after one shot, so the
+  // healed replay does NOT re-fire. A cold reopen of the healed directory
+  // must agree too.
+  {
+    const fs::path heal_dir =
+        fs::temp_directory_path() /
+        ("trustrate-oracle-heal-" + uniq + "-" + std::to_string(scenario.seed));
+    fs::remove_all(heal_dir);
+    ThreadFaultPlan fault_plan;
+    fault_plan.shard = static_cast<std::size_t>(scenario.seed % 3);
+    fault_plan.at_ordinal = 5 + scenario.seed % 7;
+    fault_plan.kind = ThreadFaultKind::kThrow;
+    ThreadFaultInjector injector(fault_plan);
+    core::shard::ShardOptions heal_shards;
+    heal_shards.shards = 3;
+    heal_shards.threaded = true;
+    heal_shards.event_hook = injector.hook();
+    core::durable::ShardedDurableOptions heal_stream;
+    heal_stream.fsync = core::durable::FsyncPolicy::kNone;
+    heal_stream.heal_attempts = 2;
+    std::string healed_checkpoint;
+    {
+      core::durable::ShardedDurableStream durable(
+          heal_dir, scenario.config, heal_shards, scenario.epoch_days,
+          scenario.retention_epochs, scenario.ingest, heal_stream);
+      for (const Rating& r : scenario.ratings) durable.submit(r);
+      durable.flush();
+      if (injector.fired() && durable.supervision().heals == 0) {
+        return fail("sharded heal: injected crash fired (" +
+                    fault_plan.summary() + ") but the stream never healed");
+      }
+      if (digest_trust(durable.system().system().trust_store(), nullptr) !=
+          base.trust_digest) {
+        return fail("sharded heal vs serial: trust digest diverged");
+      }
+      std::ostringstream bytes;
+      core::write_checkpoint(durable.system().snapshot(),
+                             core::kCheckpointVersion, bytes);
+      healed_checkpoint = bytes.str();
+    }
+    if (healed_checkpoint != base.checkpoint) {
+      return fail("sharded heal vs serial: final checkpoint bytes diverged");
+    }
+    {
+      core::shard::ShardOptions reopen_shards;
+      reopen_shards.shards = 3;
+      reopen_shards.threaded = true;
+      core::durable::ShardedDurableStream reopened(
+          heal_dir, scenario.config, reopen_shards, scenario.epoch_days,
+          scenario.retention_epochs, scenario.ingest, heal_stream);
+      std::ostringstream bytes;
+      core::write_checkpoint(reopened.system().snapshot(),
+                             core::kCheckpointVersion, bytes);
+      if (bytes.str() != base.checkpoint) {
+        return fail(
+            "sharded heal cold reopen vs serial: checkpoint bytes diverged");
+      }
+    }
+    fs::remove_all(heal_dir);  // kept on failure as a repro artifact
   }
 
   return result;

@@ -18,7 +18,12 @@
 //   8. the sharded engine (core/shard) at shard counts {1, 2, 4, 7} ×
 //      worker counts {1, 2}, inline and threaded, including a mid-stream
 //      v4 checkpoint resumed at a DIFFERENT shard count and a v3
-//      (pre-shard) checkpoint loaded into a sharded system.
+//      (pre-shard) checkpoint loaded into a sharded system;
+//   9. the threaded sharded durable front-end with a seeded worker crash
+//      (testkit/threadfault.hpp): the stream must contain the crash,
+//      heal from checkpoint + per-shard WAL replay (DESIGN.md §15), and
+//      land bitwise-identical to the fault-free serial run — live and
+//      after a cold reopen of the healed directory.
 //
 // All paths must agree *bitwise*: per-epoch reports (model errors, levels,
 // suspicious values C(i)), trust records, and — where the comparison is

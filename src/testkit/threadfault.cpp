@@ -1,0 +1,85 @@
+#include "testkit/threadfault.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace trustrate::testkit {
+
+namespace {
+
+/// splitmix64 — the testkit's shared deterministic scrambler.
+std::uint64_t mix(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const char* to_string(ThreadFaultKind kind) {
+  switch (kind) {
+    case ThreadFaultKind::kThrow: return "throw";
+    case ThreadFaultKind::kStall: return "stall";
+    case ThreadFaultKind::kSlow:  return "slow";
+  }
+  return "unknown";
+}
+
+ThreadFaultPlan ThreadFaultPlan::generate(std::uint64_t seed,
+                                          std::size_t shards) {
+  std::uint64_t state = seed;
+  ThreadFaultPlan plan;
+  plan.shard = shards == 0 ? 0 : mix(state) % shards;
+  // Early ordinals: every shard reaches a handful of events in any
+  // non-trivial stream, so the fault reliably fires.
+  plan.at_ordinal = mix(state) % 24;
+  switch (mix(state) % 3) {
+    case 0: plan.kind = ThreadFaultKind::kThrow; break;
+    case 1: plan.kind = ThreadFaultKind::kStall; break;
+    default: plan.kind = ThreadFaultKind::kSlow; break;
+  }
+  // Slow faults stay short; stalls run long enough for any sane watchdog
+  // budget to classify them first, but still bounded.
+  plan.slices = plan.kind == ThreadFaultKind::kSlow ? 3 : 2000;
+  return plan;
+}
+
+std::string ThreadFaultPlan::summary() const {
+  return std::string(to_string(kind)) + " on shard " + std::to_string(shard) +
+         " at event ordinal " + std::to_string(at_ordinal) + " (" +
+         std::to_string(slices) + " slice bound)";
+}
+
+core::shard::ShardEventHook ThreadFaultInjector::hook() {
+  return [this](const core::shard::ShardEventContext& ctx) {
+    if (ctx.shard != plan_.shard || ctx.ordinal != plan_.at_ordinal) return;
+    if (fired_.exchange(true, std::memory_order_acq_rel)) return;
+    switch (plan_.kind) {
+      case ThreadFaultKind::kThrow:
+        throw InjectedThreadFault("injected crash: " + plan_.summary());
+      case ThreadFaultKind::kStall:
+        // Bounded cooperative stall: the watchdog classifies the shard as
+        // stalled (inbox non-empty, no progress), sets the abort flag, and
+        // the throw below routes the stall through the poison path. With
+        // no watchdog the loop simply expires and the worker continues.
+        for (std::uint64_t slice = 0; slice < plan_.slices; ++slice) {
+          if (ctx.abort != nullptr &&
+              ctx.abort->load(std::memory_order_acquire)) {
+            aborted_.store(true, std::memory_order_release);
+            throw InjectedThreadFault("injected stall aborted by watchdog: " +
+                                      plan_.summary());
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        return;
+      case ThreadFaultKind::kSlow:
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(static_cast<long long>(plan_.slices)));
+        return;
+    }
+  };
+}
+
+}  // namespace trustrate::testkit

@@ -1,0 +1,83 @@
+// Seeded thread-fault injection for the sharded pipeline (ISSUE 9): makes
+// a chosen shard worker throw, stall, or slow down at a chosen event
+// ordinal, so every supervision transition in DESIGN.md §15 — poison
+// containment, watchdog stall classification, fail-stop, durable heal —
+// is deterministically reachable from a test.
+//
+// The injector adapts onto ShardOptions::event_hook: the hook fires on
+// the worker thread before each event, and the plan triggers exactly once
+// (an atomic latch), so a healed pipeline that replays the same stream
+// does NOT re-fire and runs to completion — which is precisely what the
+// healed-vs-fault-free oracle (path 10) needs.
+//
+// Fault model (bounded by construction, so supervised shutdown provably
+// terminates — the DESIGN.md §15 proof leans on this):
+//
+//  * kThrow — throws InjectedThreadFault; the worker's containment stashes
+//    it, poisons the shard, and fail-stops the pipeline.
+//  * kStall — spins in bounded 1ms slices, polling the watchdog's abort
+//    flag; when aborted (the shard was classified stalled) it throws, so
+//    the stall resolves through the same poison path. If the watchdog is
+//    off or slower than `stall_slices`, the stall simply ends and the
+//    worker continues unharmed.
+//  * kSlow — sleeps a few slices once, then continues; no failure. The
+//    watchdog must NOT fire (slowness is not a stall).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "core/shard/sharded_system.hpp"
+
+namespace trustrate::testkit {
+
+enum class ThreadFaultKind : std::uint8_t { kThrow, kStall, kSlow };
+
+const char* to_string(ThreadFaultKind kind);
+
+/// The exception an injected crash (or aborted stall) throws inside the
+/// worker; supervision reports it through ShardFailure's message.
+class InjectedThreadFault : public std::runtime_error {
+ public:
+  explicit InjectedThreadFault(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct ThreadFaultPlan {
+  std::size_t shard = 0;        ///< worker the fault lands on
+  std::uint64_t at_ordinal = 0; ///< fires before this shard-local event
+  ThreadFaultKind kind = ThreadFaultKind::kThrow;
+  /// kStall/kSlow: bound in ~1ms slices (kStall polls abort every slice).
+  std::uint64_t slices = 2000;
+
+  /// Deterministic plan from a seed: same splitmix64 discipline as the
+  /// I/O FaultPlan, so a date-seeded CI matrix replays exactly.
+  static ThreadFaultPlan generate(std::uint64_t seed, std::size_t shards);
+
+  std::string summary() const;
+};
+
+class ThreadFaultInjector {
+ public:
+  explicit ThreadFaultInjector(ThreadFaultPlan plan) : plan_(plan) {}
+
+  /// The hook to install as ShardOptions::event_hook. The injector must
+  /// outlive every system the hook is installed on.
+  core::shard::ShardEventHook hook();
+
+  const ThreadFaultPlan& plan() const { return plan_; }
+  /// The fault has triggered (it triggers at most once).
+  bool fired() const { return fired_.load(std::memory_order_acquire); }
+  /// A kStall saw the watchdog's abort flag and threw.
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+ private:
+  ThreadFaultPlan plan_;
+  std::atomic<bool> fired_{false};
+  std::atomic<bool> aborted_{false};
+};
+
+}  // namespace trustrate::testkit

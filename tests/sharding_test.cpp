@@ -219,7 +219,8 @@ TEST(SpscQueue, HammerProducerRacesConsumer) {
   std::atomic<bool> in_order{true};
   std::thread consumer([&q, &in_order] {
     for (std::uint64_t i = 0; i < kCount; ++i) {
-      if (q.pop() != i) {
+      std::uint64_t value = 0;
+      if (!q.pop(value) || value != i) {
         in_order.store(false);
         return;
       }

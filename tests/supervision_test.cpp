@@ -1,0 +1,665 @@
+// Shard-supervision tests (ISSUE 9): SpscQueue close/poison semantics and
+// batched span transfers, crash containment at chosen event ordinals
+// across shard counts, watchdog stall classification (fires exactly once,
+// and slowness is NOT a stall), poison propagation to every public API
+// entry point, shutdown-under-poison termination (this binary's ctest
+// TIMEOUT is the external watchdog — a hang fails the suite), a TSan
+// hammer of the close/poison paths, the durable heal's bitwise oracle,
+// fail-stop with heal_attempts=0, and a seeded thread-fault sweep proving
+// the trichotomy: every plan either heals bitwise-identical, fail-stops
+// with a structured ShardFailure, or completes unharmed — never hangs,
+// never std::terminate()s.
+//
+// Environment knobs (the nightly CI thread-fault-matrix job sets these
+// for a date-seeded run):
+//   TRUSTRATE_SUPERVISION_SEED          base seed for the generated sweep
+//   TRUSTRATE_SUPERVISION_PLANS         plans per sweep
+//   TRUSTRATE_SUPERVISION_ARTIFACT_DIR  where failing runs dump audit JSONL
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "common/error.hpp"
+#include "core/checkpoint.hpp"
+#include "core/durable/sharded_durable.hpp"
+#include "core/shard/sharded_system.hpp"
+#include "core/shard/spsc_queue.hpp"
+#include "obs/audit.hpp"
+#include "obs/metrics.hpp"
+#include "testkit/threadfault.hpp"
+
+namespace trustrate {
+namespace {
+
+namespace fs = std::filesystem;
+using core::durable::ShardedDurableOptions;
+using core::durable::ShardedDurableStream;
+using core::shard::ShardedRatingSystem;
+using core::shard::ShardOptions;
+using core::shard::SpscQueue;
+using testkit::InjectedThreadFault;
+using testkit::ThreadFaultInjector;
+using testkit::ThreadFaultKind;
+using testkit::ThreadFaultPlan;
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+fs::path artifact_path(const std::string& name) {
+  const char* dir = std::getenv("TRUSTRATE_SUPERVISION_ARTIFACT_DIR");
+  if (dir == nullptr || *dir == '\0') return {};
+  fs::create_directories(dir);
+  return fs::path(dir) / (name + ".jsonl");
+}
+
+/// Dumps the captured audit trail next to a failing sweep run so the
+/// nightly CI matrix uploads a replayable diagnosis artifact.
+void write_artifact(const fs::path& path, const obs::MemoryAuditSink& audit,
+                    const std::string& note) {
+  if (path.empty()) return;
+  std::ofstream out(path, std::ios::app);
+  out << "{\"note\":\"" << note << "\"}\n";
+  for (const obs::AuditEvent& event : audit.snapshot()) {
+    out << obs::to_jsonl(event) << '\n';
+  }
+}
+
+/// Fresh per-test scratch directory under the system temp dir.
+fs::path test_dir(const std::string& name) {
+#ifndef _WIN32
+  const std::string uniq = std::to_string(::getpid());
+#else
+  const std::string uniq = "w";
+#endif
+  const fs::path dir =
+      fs::temp_directory_path() / ("trustrate-supervision-" + uniq) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+core::SystemConfig pipeline_config() {
+  core::SystemConfig cfg;
+  cfg.filter.q = 0.02;
+  cfg.ar.window_days = 8.0;
+  cfg.ar.step_days = 2.0;
+  cfg.ar.error_threshold = 0.024;
+  cfg.b = 10.0;
+  return cfg;
+}
+
+/// Deterministic multi-epoch stream over 16 products — wide enough that a
+/// modulo placement puts work on every shard at counts up to 7, so a fault
+/// planted on ANY shard index reliably reaches its event ordinal.
+RatingSeries wide_stream(int count = 320) {
+  RatingSeries stream;
+  double t = 0.0;
+  for (int i = 0; i < count; ++i) {
+    t += 0.45;
+    stream.push_back({t, (i % 10) * 0.1, static_cast<RaterId>(1 + i % 13),
+                      static_cast<ProductId>(1 + i % 16),
+                      RatingLabel::kHonest});
+  }
+  return stream;
+}
+
+/// Drives the whole stream plus flush, catching the structured failure the
+/// supervised pipeline surfaces on whichever public call trips first.
+std::optional<ShardFailure> drive(ShardedRatingSystem& system,
+                                  const RatingSeries& stream) {
+  try {
+    for (const Rating& r : stream) system.submit(r);
+    system.flush();
+  } catch (const ShardFailure& failure) {
+    return failure;
+  }
+  return std::nullopt;
+}
+
+/// Fault-free reference: the same stream through the threaded sharded
+/// durable front-end, rendered as collapsed-v3 checkpoint bytes.
+std::string reference_digest(const RatingSeries& stream, std::size_t shards) {
+  const fs::path dir = test_dir("reference-" + std::to_string(shards));
+  ShardOptions shard_options;
+  shard_options.shards = shards;
+  shard_options.threaded = true;
+  ShardedDurableOptions options;
+  options.fsync = core::durable::FsyncPolicy::kNone;
+  ShardedDurableStream durable(dir, pipeline_config(), shard_options, 30.0, 2,
+                               {}, options);
+  for (const Rating& r : stream) durable.submit(r);
+  durable.flush();
+  std::ostringstream bytes;
+  core::write_checkpoint(durable.system().snapshot(), core::kCheckpointVersion,
+                         bytes);
+  fs::remove_all(dir);
+  return bytes.str();
+}
+
+// ---------------------------------------------------------------------------
+// SpscQueue close / poison semantics (satellite a)
+
+TEST(SpscClose, CloseRefusesNewPushesButDeliversQueued) {
+  SpscQueue<int> q(8);
+  ASSERT_TRUE(q.try_push(1));
+  ASSERT_TRUE(q.try_push(2));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  int v = 41;
+  EXPECT_FALSE(q.try_push(std::move(v)));
+  v = 42;
+  EXPECT_FALSE(q.push(std::move(v)));
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 2);
+  // Drained and closed: pop reports shutdown instead of blocking forever.
+  EXPECT_FALSE(q.pop(out));
+  EXPECT_EQ(q.pop_n(&out, 1), 0u);
+}
+
+TEST(SpscClose, CloseReleasesBlockedPop) {
+  SpscQueue<int> q(4);
+  std::atomic<bool> released{false};
+  std::thread consumer([&] {
+    int out = 0;
+    while (q.pop(out)) {
+    }
+    released.store(true, std::memory_order_release);
+  });
+  // The consumer is (or is about to be) parked in pop on an empty ring;
+  // close must wake it with "no more items".
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(released.load(std::memory_order_acquire));
+}
+
+TEST(SpscClose, CloseReleasesBlockedPush) {
+  SpscQueue<int> q(2);
+  int v0 = 0, v1 = 1;
+  ASSERT_TRUE(q.try_push(std::move(v0)));
+  ASSERT_TRUE(q.try_push(std::move(v1)));
+  std::atomic<bool> refused{false};
+  std::thread producer([&] {
+    int v = 2;
+    // Ring is full and nobody pops: only close can release this.
+    if (!q.push(std::move(v))) refused.store(true, std::memory_order_release);
+  });
+  q.close();
+  producer.join();
+  EXPECT_TRUE(refused.load(std::memory_order_acquire));
+  // The two items queued before close still drain.
+  int out = -1;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_FALSE(q.pop(out));
+}
+
+// ---------------------------------------------------------------------------
+// Batched span transfers (satellite c)
+
+TEST(SpscBatch, SpanRoundTripKeepsFifo) {
+  SpscQueue<std::uint64_t> q(16);
+  std::array<std::uint64_t, 8> span{};
+  std::uint64_t next = 0;
+  std::uint64_t expect = 0;
+  for (int round = 0; round < 64; ++round) {
+    for (auto& s : span) s = next++;
+    std::size_t done = 0;
+    while (done < span.size()) {
+      done += q.try_push_n(span.data() + done, span.size() - done);
+      std::array<std::uint64_t, 8> out{};
+      const std::size_t n = q.try_pop_n(out.data(), out.size());
+      for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[i], expect++);
+    }
+  }
+  std::array<std::uint64_t, 16> tail{};
+  std::size_t n = 0;
+  while ((n = q.try_pop_n(tail.data(), tail.size())) != 0) {
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(tail[i], expect++);
+  }
+  EXPECT_EQ(expect, next);
+}
+
+TEST(SpscBatch, TryPushNIsBoundedBySpace) {
+  SpscQueue<int> q(4);
+  std::array<int, 8> items{0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(q.try_push_n(items.data(), items.size()), 4u);
+  EXPECT_EQ(q.try_push_n(items.data() + 4, 4), 0u);
+  std::array<int, 8> out{};
+  EXPECT_EQ(q.try_pop_n(out.data(), out.size()), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SpscBatch, PopNDrainsThenReportsClose) {
+  SpscQueue<int> q(8);
+  std::array<int, 3> items{7, 8, 9};
+  ASSERT_EQ(q.try_push_n(items.data(), items.size()), 3u);
+  q.close();
+  std::array<int, 8> out{};
+  EXPECT_EQ(q.pop_n(out.data(), out.size()), 3u);
+  EXPECT_EQ(out[0], 7);
+  EXPECT_EQ(out[2], 9);
+  EXPECT_EQ(q.pop_n(out.data(), out.size()), 0u);
+}
+
+TEST(SpscBatch, ThreadedSpanHammer) {
+  // TSan target: one producer pushing spans, one consumer popping spans,
+  // with a mid-stream close from the producer side after the last item.
+  constexpr std::uint64_t kItems = 200000;
+  SpscQueue<std::uint64_t> q(64);
+  std::atomic<bool> in_order{true};
+  std::thread consumer([&] {
+    std::array<std::uint64_t, 32> span{};
+    std::uint64_t expect = 0;
+    std::size_t n = 0;
+    while ((n = q.pop_n(span.data(), span.size())) != 0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (span[i] != expect++) {
+          in_order.store(false, std::memory_order_release);
+          return;
+        }
+      }
+    }
+    if (expect != kItems) in_order.store(false, std::memory_order_release);
+  });
+  std::array<std::uint64_t, 32> out{};
+  std::uint64_t sent = 0;
+  while (sent < kItems) {
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(out.size(), kItems - sent));
+    for (std::size_t i = 0; i < want; ++i) out[i] = sent + i;
+    std::size_t done = 0;
+    while (done < want) done += q.try_push_n(out.data() + done, want - done);
+    sent += want;
+  }
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(in_order.load(std::memory_order_acquire));
+}
+
+// ---------------------------------------------------------------------------
+// Crash containment (tentpole: poisoned shards)
+
+TEST(Supervision, CrashAtOrdinalSweepAcrossShardCounts) {
+  const RatingSeries stream = wide_stream();
+  for (const std::size_t shards : {1u, 2u, 4u, 7u}) {
+    for (const std::uint64_t ordinal : {0u, 3u, 11u}) {
+      const std::size_t target = shards / 2;  // middle shard, 0 for 1-shard
+      ThreadFaultPlan plan;
+      plan.shard = target;
+      plan.at_ordinal = ordinal;
+      plan.kind = ThreadFaultKind::kThrow;
+      ThreadFaultInjector injector(plan);
+      obs::MetricsRegistry metrics;
+      obs::MemoryAuditSink audit;
+      ShardOptions options;
+      options.shards = shards;
+      options.threaded = true;
+      // Deterministic placement: every shard owns products, so the fault
+      // ordinal is reachable on any target shard (results are
+      // placement-invariant; this only routes work).
+      options.shard_fn = [](ProductId p, std::size_t n) {
+        return static_cast<std::size_t>(p) % n;
+      };
+      options.event_hook = injector.hook();
+      {
+        ShardedRatingSystem system(pipeline_config(), options, 30.0, 2, {});
+        system.set_observability({&metrics, nullptr, &audit});
+        const std::optional<ShardFailure> failure = drive(system, stream);
+        ASSERT_TRUE(failure.has_value())
+            << "shards=" << shards << " ordinal=" << ordinal
+            << ": injected crash did not surface";
+        EXPECT_EQ(failure->kind(), ShardFailureKind::kPoisoned);
+        EXPECT_EQ(failure->shard(), target);
+        EXPECT_NE(failure->diagnostic().find("shard"), std::string::npos);
+        EXPECT_NE(std::string(failure->what()).find("injected crash"),
+                  std::string::npos);
+        EXPECT_TRUE(system.failed());
+        ASSERT_TRUE(system.failure().has_value());
+        EXPECT_EQ(system.failure()->kind(), ShardFailureKind::kPoisoned);
+        // Destruction with a poisoned shard must terminate (the suite's
+        // ctest TIMEOUT is the external watchdog).
+      }
+      EXPECT_TRUE(injector.fired());
+      EXPECT_EQ(audit.of_type(obs::AuditEventType::kShardPoisoned).size(), 1u);
+      EXPECT_EQ(metrics.counter("trustrate_shard_poisoned_total").value(), 1u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog (tentpole: deterministic stall classification)
+
+TEST(Supervision, StallClassifiedExactlyOnce) {
+  ThreadFaultPlan plan;
+  plan.shard = 1;
+  plan.at_ordinal = 4;
+  plan.kind = ThreadFaultKind::kStall;
+  plan.slices = 60000;  // minutes if un-aborted: the watchdog MUST cut in
+  ThreadFaultInjector injector(plan);
+  obs::MetricsRegistry metrics;
+  obs::MemoryAuditSink audit;
+  ShardOptions options;
+  options.shards = 2;
+  options.threaded = true;
+  options.shard_fn = [](ProductId p, std::size_t n) {
+    return static_cast<std::size_t>(p) % n;
+  };
+  options.supervision.stall_ticks = 8;  // tiny budget: classify fast
+  options.event_hook = injector.hook();
+  {
+    ShardedRatingSystem system(pipeline_config(), options, 30.0, 2, {});
+    system.set_observability({&metrics, nullptr, &audit});
+    const std::optional<ShardFailure> failure = drive(system, wide_stream());
+    ASSERT_TRUE(failure.has_value()) << "stalled shard was never classified";
+    EXPECT_EQ(failure->kind(), ShardFailureKind::kStalled);
+    EXPECT_EQ(failure->shard(), 1u);
+    EXPECT_NE(failure->diagnostic().find("mid-event"), std::string::npos);
+  }
+  // The worker saw the watchdog's abort flag and resolved the stall
+  // through the poison path (joined by the destructor above).
+  EXPECT_TRUE(injector.aborted());
+  // Fires exactly once: the failure latch is first-wins, so the aborted
+  // stall's secondary containment emits no second event.
+  EXPECT_EQ(audit.of_type(obs::AuditEventType::kShardStalled).size(), 1u);
+  EXPECT_EQ(audit.of_type(obs::AuditEventType::kShardPoisoned).size(), 0u);
+  EXPECT_EQ(metrics.counter("trustrate_shard_stalled_total").value(), 1u);
+}
+
+TEST(Supervision, SlownessIsNotAStall) {
+  ThreadFaultPlan plan;
+  plan.shard = 0;
+  plan.at_ordinal = 2;
+  plan.kind = ThreadFaultKind::kSlow;
+  plan.slices = 40;  // one 40ms hiccup
+  ThreadFaultInjector injector(plan);
+  obs::MemoryAuditSink audit;
+  ShardOptions options;
+  options.shards = 2;
+  options.threaded = true;
+  options.shard_fn = [](ProductId p, std::size_t n) {
+    return static_cast<std::size_t>(p) % n;
+  };
+  // Generous default budget: a slow shard makes progress between ticks
+  // and must NOT be classified.
+  options.event_hook = injector.hook();
+  ShardedRatingSystem system(pipeline_config(), options, 30.0, 2, {});
+  system.set_observability({nullptr, nullptr, &audit});
+  const std::optional<ShardFailure> failure = drive(system, wide_stream());
+  EXPECT_FALSE(failure.has_value());
+  EXPECT_TRUE(injector.fired());
+  EXPECT_FALSE(system.failed());
+  EXPECT_EQ(audit.of_type(obs::AuditEventType::kShardStalled).size(), 0u);
+  EXPECT_GT(system.epochs_closed(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Poison propagation (tentpole: every public entry point throws)
+
+TEST(Supervision, PoisonPropagatesToEveryPublicEntryPoint) {
+  ThreadFaultPlan plan;
+  plan.shard = 0;
+  plan.at_ordinal = 0;
+  plan.kind = ThreadFaultKind::kThrow;
+  ThreadFaultInjector injector(plan);
+  ShardOptions options;
+  options.shards = 2;
+  options.threaded = true;
+  options.shard_fn = [](ProductId p, std::size_t n) {
+    return static_cast<std::size_t>(p) % n;
+  };
+  options.event_hook = injector.hook();
+  ShardedRatingSystem system(pipeline_config(), options, 30.0, 2, {});
+  ASSERT_TRUE(drive(system, wide_stream()).has_value());
+
+  const Rating r{1.0, 0.5, 1, 1, RatingLabel::kHonest};
+  const std::vector<std::pair<const char*, std::function<void()>>> calls = {
+      {"submit", [&] { system.submit(r); }},
+      {"flush", [&] { system.flush(); }},
+      {"trust", [&] { system.trust(1); }},
+      {"malicious", [&] { system.malicious(); }},
+      {"aggregate", [&] { system.aggregate(1); }},
+      {"epochs_closed", [&] { system.epochs_closed(); }},
+      {"epoch_health", [&] { system.epoch_health(); }},
+      {"degraded_epochs", [&] { system.degraded_epochs(); }},
+      {"skipped_empty_epochs", [&] { system.skipped_empty_epochs(); }},
+      {"shard_skipped_cells", [&] { system.shard_skipped_cells(); }},
+      {"pending_ratings", [&] { system.pending_ratings(); }},
+      {"quarantine", [&] { system.quarantine(); }},
+      {"shard_quarantine", [&] { system.shard_quarantine(0); }},
+      {"snapshot", [&] { system.snapshot(); }},
+      {"save",
+       [&] {
+         std::ostringstream out;
+         system.save(out);
+       }},
+      {"quiesce", [&] { system.quiesce(); }},
+  };
+  for (const auto& [name, call] : calls) {
+    EXPECT_THROW(call(), ShardFailure) << "entry point: " << name;
+  }
+  // failed()/failure() are the non-throwing observers.
+  EXPECT_TRUE(system.failed());
+  EXPECT_TRUE(system.failure().has_value());
+}
+
+TEST(Supervision, RepeatedShutdownUnderPoisonTerminates) {
+  // Poison at varied ordinals and destroy immediately, without draining:
+  // stop_threads() under a latched failure must never hang (the ctest
+  // TIMEOUT is the watchdog). Small rings force the blocking-push paths.
+  const RatingSeries stream = wide_stream(96);
+  for (std::uint64_t ordinal = 0; ordinal < 10; ++ordinal) {
+    ThreadFaultPlan plan;
+    plan.shard = ordinal % 3;
+    plan.at_ordinal = ordinal;
+    plan.kind = ThreadFaultKind::kThrow;
+    ThreadFaultInjector injector(plan);
+    ShardOptions options;
+    options.shards = 3;
+    options.threaded = true;
+    options.queue_capacity = 4;  // tiny rings: exercise full-ring closes
+    options.shard_fn = [](ProductId p, std::size_t n) {
+      return static_cast<std::size_t>(p) % n;
+    };
+    options.event_hook = injector.hook();
+    ShardedRatingSystem system(pipeline_config(), options, 30.0, 2, {});
+    try {
+      for (const Rating& r : stream) system.submit(r);
+      system.flush();
+    } catch (const ShardFailure&) {
+      // Destroy with queues mid-flight.
+    }
+    EXPECT_TRUE(injector.fired()) << "ordinal " << ordinal;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Durable heal and fail-stop (tentpole: recovery)
+
+TEST(Supervision, HealedRunIsBitwiseIdenticalToFaultFree) {
+  const RatingSeries stream = wide_stream();
+  const std::string reference = reference_digest(stream, 3);
+
+  const fs::path dir = test_dir("heal-bitwise");
+  ThreadFaultPlan plan;
+  plan.shard = 1;
+  plan.at_ordinal = 6;
+  plan.kind = ThreadFaultKind::kThrow;
+  ThreadFaultInjector injector(plan);
+  obs::MemoryAuditSink audit;
+  ShardOptions shard_options;
+  shard_options.shards = 3;
+  shard_options.threaded = true;
+  shard_options.shard_fn = [](ProductId p, std::size_t n) {
+    return static_cast<std::size_t>(p) % n;
+  };
+  shard_options.event_hook = injector.hook();
+  ShardedDurableOptions options;
+  options.fsync = core::durable::FsyncPolicy::kNone;
+  options.heal_attempts = 2;
+  options.obs = {nullptr, nullptr, &audit};
+  {
+    ShardedDurableStream durable(dir, pipeline_config(), shard_options, 30.0,
+                                 2, {}, options);
+    for (const Rating& r : stream) durable.submit(r);
+    durable.flush();
+    EXPECT_TRUE(injector.fired());
+    EXPECT_GE(durable.supervision().heals, 1u);
+    EXPECT_EQ(durable.supervision().failstops, 0u);
+    EXPECT_NE(durable.supervision().last_failure.find("poisoned"),
+              std::string::npos);
+    std::ostringstream bytes;
+    core::write_checkpoint(durable.system().snapshot(),
+                           core::kCheckpointVersion, bytes);
+    EXPECT_EQ(bytes.str(), reference)
+        << "healed state diverged from fault-free";
+  }
+  EXPECT_GE(audit.of_type(obs::AuditEventType::kPipelineHealed).size(), 1u);
+  EXPECT_EQ(audit.of_type(obs::AuditEventType::kPipelineFailstop).size(), 0u);
+  fs::remove_all(dir);
+}
+
+TEST(Supervision, ZeroHealAttemptsFailStopsThenHealsOnDemand) {
+  const RatingSeries stream = wide_stream();
+  const fs::path dir = test_dir("failstop");
+  ThreadFaultPlan plan;
+  plan.shard = 0;
+  plan.at_ordinal = 3;
+  plan.kind = ThreadFaultKind::kThrow;
+  ThreadFaultInjector injector(plan);
+  obs::MemoryAuditSink audit;
+  ShardOptions shard_options;
+  shard_options.shards = 2;
+  shard_options.threaded = true;
+  shard_options.shard_fn = [](ProductId p, std::size_t n) {
+    return static_cast<std::size_t>(p) % n;
+  };
+  shard_options.event_hook = injector.hook();
+  ShardedDurableOptions options;
+  options.fsync = core::durable::FsyncPolicy::kNone;
+  options.heal_attempts = 0;  // fail-stop immediately
+  options.obs = {nullptr, nullptr, &audit};
+  ShardedDurableStream durable(dir, pipeline_config(), shard_options, 30.0, 2,
+                               {}, options);
+  bool failed = false;
+  try {
+    for (const Rating& r : stream) durable.submit(r);
+    durable.flush();
+  } catch (const ShardFailure& failure) {
+    failed = true;
+    EXPECT_EQ(failure.kind(), ShardFailureKind::kPoisoned);
+  }
+  ASSERT_TRUE(failed) << "fail-stop never surfaced";
+  EXPECT_EQ(durable.supervision().failstops, 1u);
+  EXPECT_EQ(durable.supervision().heals, 0u);
+  EXPECT_EQ(audit.of_type(obs::AuditEventType::kPipelineFailstop).size(), 1u);
+
+  // Explicit heal (the operator's lever): the stream rebuilds from its own
+  // durable state; acknowledged() is the documented resume cursor — every
+  // submission at or past it was never acked, so the client re-sends from
+  // there and nothing is applied twice.
+  ASSERT_TRUE(durable.try_heal());
+  EXPECT_EQ(durable.supervision().heals, 1u);
+  for (std::size_t i = static_cast<std::size_t>(durable.acknowledged());
+       i < stream.size(); ++i) {
+    durable.submit(stream[i]);
+  }
+  durable.flush();
+  std::ostringstream bytes;
+  core::write_checkpoint(durable.system().snapshot(), core::kCheckpointVersion,
+                         bytes);
+  EXPECT_EQ(bytes.str(), reference_digest(stream, 2));
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded sweep: the trichotomy (acceptance criterion)
+
+TEST(Supervision, SeededThreadFaultSweepTrichotomy) {
+  // Every generated plan must end in exactly one of: (1) the run completes
+  // and its state is bitwise-identical to fault-free (healed, or the fault
+  // was benign); (2) a structured ShardFailure surfaces (fail-stop); it
+  // never hangs (ctest TIMEOUT) and never escapes as another exception
+  // type (which would std::terminate on the worker).
+  const std::uint64_t seed = env_u64("TRUSTRATE_SUPERVISION_SEED", 424242);
+  const std::uint64_t plans = env_u64("TRUSTRATE_SUPERVISION_PLANS", 10);
+  constexpr std::size_t kShards = 3;
+  const RatingSeries stream = wide_stream();
+  const std::string reference = reference_digest(stream, kShards);
+
+  for (std::uint64_t p = 0; p < plans; ++p) {
+    const ThreadFaultPlan plan =
+        ThreadFaultPlan::generate(seed + p, kShards);
+    SCOPED_TRACE("seed " + std::to_string(seed + p) + ": " + plan.summary());
+    ThreadFaultInjector injector(plan);
+    obs::MemoryAuditSink audit;
+    const fs::path dir = test_dir("sweep-" + std::to_string(p));
+    ShardOptions shard_options;
+    shard_options.shards = kShards;
+    shard_options.threaded = true;
+    shard_options.shard_fn = [](ProductId pr, std::size_t n) {
+      return static_cast<std::size_t>(pr) % n;
+    };
+    shard_options.supervision.stall_ticks = 1 << 12;  // classify stalls fast
+    shard_options.event_hook = injector.hook();
+    ShardedDurableOptions options;
+    options.fsync = core::durable::FsyncPolicy::kNone;
+    options.heal_attempts = 1;
+    options.obs = {nullptr, nullptr, &audit};
+    bool completed = false;
+    std::string outcome;
+    try {
+      ShardedDurableStream durable(dir, pipeline_config(), shard_options,
+                                   30.0, 2, {}, options);
+      for (const Rating& r : stream) durable.submit(r);
+      durable.flush();
+      std::ostringstream bytes;
+      core::write_checkpoint(durable.system().snapshot(),
+                             core::kCheckpointVersion, bytes);
+      completed = true;
+      outcome = "completed, heals=" +
+                std::to_string(durable.supervision().heals);
+      if (bytes.str() != reference) {
+        write_artifact(artifact_path("sweep-" + std::to_string(seed + p)),
+                       audit, "digest divergence: " + plan.summary());
+        FAIL() << "completed run diverged from fault-free reference";
+      }
+    } catch (const ShardFailure& failure) {
+      outcome = std::string("failstop: ") + failure.what();
+    } catch (const std::exception& e) {
+      write_artifact(artifact_path("sweep-" + std::to_string(seed + p)),
+                     audit, std::string("unstructured escape: ") + e.what());
+      FAIL() << "non-ShardFailure escaped: " << e.what();
+    }
+    EXPECT_TRUE(completed || !outcome.empty());
+    fs::remove_all(dir);
+  }
+}
+
+}  // namespace
+}  // namespace trustrate
