@@ -7,11 +7,18 @@
 // directory (override with TRUSTRATE_BENCH_JSON_DIR) with one entry per
 // non-aggregate run:
 //
-//   {"bench": "<name>", "schema": "trustrate-bench-1",
+//   {"bench": "<name>", "schema": "trustrate-bench-2",
+//    "hardware_threads": 4, "build_type": "Release",
 //    "results": [{"name": "BM_Foo/50/4", "benchmark": "BM_Foo",
 //                 "params": "50/4", "repetitions": 3,
 //                 "iterations": 12345,
 //                 "ns_per_op": {"p50": ..., "p90": ..., "p99": ...}}]}
+//
+// Schema history: trustrate-bench-2 added hardware_threads (the runner's
+// core count — a 1-CPU CI VM and a 16-core laptop produce incomparable
+// threaded-pipeline numbers) and build_type (Debug numbers are never
+// comparable to Release). results[] is unchanged from trustrate-bench-1,
+// so consumers keyed on results[].name / ns_per_op.p50 keep working.
 //
 // ns/op = real_accumulated_time / iterations, independent of the
 // benchmark's display time unit. Percentiles are nearest-rank over the
@@ -29,6 +36,7 @@
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace trustrate::benchjson {
@@ -110,6 +118,19 @@ inline std::string format_double(double v) {
   return buf;
 }
 
+/// The CMake build type baked in via TRUSTRATE_BUILD_TYPE (see
+/// bench/CMakeLists.txt); falls back to the NDEBUG split when the
+/// definition is absent (e.g. a non-CMake compile of this header).
+inline const char* build_type() {
+#ifdef TRUSTRATE_BUILD_TYPE
+  return TRUSTRATE_BUILD_TYPE;
+#elif defined(NDEBUG)
+  return "Release";
+#else
+  return "Debug";
+#endif
+}
+
 /// Writes BENCH_<bench_name>.json from the collected runs. Returns the
 /// path written, or an empty string when the file could not be opened.
 inline std::string write_json(const std::string& bench_name,
@@ -121,7 +142,9 @@ inline std::string write_json(const std::string& bench_name,
   std::ofstream out(path, std::ios::trunc);
   if (!out) return {};
   out << "{\"bench\":\"" << json_escape(bench_name)
-      << "\",\"schema\":\"trustrate-bench-1\",\"results\":[";
+      << "\",\"schema\":\"trustrate-bench-2\",\"hardware_threads\":"
+      << std::thread::hardware_concurrency() << ",\"build_type\":\""
+      << json_escape(build_type()) << "\",\"results\":[";
   for (std::size_t i = 0; i < reporter.names().size(); ++i) {
     const std::string& name = reporter.names()[i];
     const Samples& s = reporter.samples(i);

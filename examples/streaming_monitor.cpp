@@ -29,20 +29,35 @@
 // stream heals — rebuilds the engine from checkpoint + per-shard WAL — and
 // finishes with numbers identical to the unfaulted run, all narrated.
 //
+// With --serve[=port] the run ends with a serving act: the full stream
+// replayed through the THREADED 3-shard engine with the session's metrics
+// registry attached, then the process stays alive exposing /metrics
+// (Prometheus), /healthz, and /status on 127.0.0.1 (default port 9464,
+// =0 for an ephemeral port) until SIGINT/SIGTERM — the scrape target the
+// CI smoke job curls.
+//
 //   build/examples/streaming_monitor [--inject-io-faults[=seed]]
 //                                    [--inject-thread-faults[=seed]]
+//                                    [--serve[=port]]
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <thread>
 
 #include "common/math.hpp"
 #include "common/rng.hpp"
 #include "core/durable/durable_stream.hpp"
 #include "core/durable/sharded_durable.hpp"
+#include "core/shard/sharded_system.hpp"
 #include "core/streaming.hpp"
 #include "data/inject.hpp"
 #include "detect/rate_detector.hpp"
+#include "obs/http.hpp"
+#include "obs/introspect.hpp"
 #include "obs/observability.hpp"
 #include "testkit/threadfault.hpp"
 
@@ -83,6 +98,11 @@ core::durable::DurabilityState narrate_ladder(
   return state;
 }
 
+/// SIGINT/SIGTERM flag for the --serve loop (sig_atomic_t: handler-safe).
+volatile std::sig_atomic_t g_stop_serving = 0;
+
+void handle_stop_signal(int) { g_stop_serving = 1; }
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -92,9 +112,18 @@ int main(int argc, char** argv) {
   core::durable::FaultInjector io_faults;
   bool inject_io_faults = false;
   bool inject_thread_faults = false;
+  bool serve = false;
+  std::uint16_t serve_port = 9464;
   std::uint64_t thread_fault_seed = 7;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--inject-thread-faults", 22) == 0) {
+    if (std::strncmp(argv[i], "--serve", 7) == 0) {
+      // --serve[=port]: end with the introspection serving act.
+      serve = true;
+      if (argv[i][7] == '=') {
+        serve_port =
+            static_cast<std::uint16_t>(std::strtoul(argv[i] + 8, nullptr, 10));
+      }
+    } else if (std::strncmp(argv[i], "--inject-thread-faults", 22) == 0) {
       // --inject-thread-faults[=seed]: end with the supervised sharded act.
       inject_thread_faults = true;
       if (argv[i][22] == '=') {
@@ -422,6 +451,47 @@ int main(int argc, char** argv) {
       }
     }
     fs::remove_all(shard_dir);
+  }
+
+  // --- serving act: live introspection over the threaded engine -----------
+  // Replay the whole stream through the threaded 3-shard engine with the
+  // session's metrics registry attached, then stay alive as a scrape
+  // target: /metrics, /healthz, /status on 127.0.0.1 until SIGINT/SIGTERM.
+  if (serve) {
+    core::shard::ShardOptions serve_options;
+    serve_options.shards = 3;
+    serve_options.threaded = true;
+    core::shard::ShardedRatingSystem engine(monitor_config(), serve_options,
+                                            /*epoch_days=*/30.0,
+                                            /*retention_epochs=*/2, ingest);
+    obs::Observability serve_obs;
+    serve_obs.metrics = &metrics;
+    serve_obs.audit = &audit;
+    engine.set_observability(serve_obs);
+    for (const Rating& r : arrivals) engine.submit(r);
+    engine.flush();
+
+    obs::HttpServerOptions http_options;
+    http_options.port = serve_port;
+    obs::ExpositionServer server(http_options);
+    obs::bind_introspection(server, &metrics,
+                            [&engine] { return engine.probe(); });
+    if (!server.start()) {
+      std::fprintf(stderr, "--serve failed: %s\n", server.error().c_str());
+      return 1;
+    }
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+    std::printf("\nserving introspection on http://127.0.0.1:%u "
+                "(/metrics /healthz /status) — Ctrl-C to exit\n",
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+    while (g_stop_serving == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    server.stop();
+    std::printf("introspection server stopped after %llu request(s)\n",
+                static_cast<unsigned long long>(server.requests_served()));
   }
   return 0;
 }

@@ -638,6 +638,8 @@ struct CheckpointAccess {
         snap.shard_skipped_cells.size() == sys->shards_.size()) {
       for (std::size_t k = 0; k < sys->shards_.size(); ++k) {
         sys->shards_[k]->skipped_cells = snap.shard_skipped_cells[k];
+        sys->shards_[k]->skipped_cells_pub.store(snap.shard_skipped_cells[k],
+                                                 std::memory_order_relaxed);
       }
     }
 

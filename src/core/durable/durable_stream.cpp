@@ -234,6 +234,36 @@ void DurableStream::recover(const SystemConfig& config, double epoch_days,
         .observe(static_cast<double>(obs::monotonic_ns() - recovery_t0) *
                  1e-9);
   }
+  refresh_probe(/*scan_segments=*/true);
+}
+
+void DurableStream::refresh_probe(bool scan_segments) {
+  obs::DurabilityProbe p;
+  p.present = true;
+  p.state = to_string(state_);
+  p.acknowledged = acknowledged();
+  p.durable_acknowledged = durable_acknowledged();
+  p.backlog_records = backlog_.size();
+  p.last_checkpoint = last_checkpoint_lsn_;
+  const std::uint64_t next = wal_->next_lsn();
+  p.wal_records = next;
+  p.records_since_checkpoint =
+      next >= last_checkpoint_lsn_ ? next - last_checkpoint_lsn_ : 0;
+  p.active_segment_records = next - wal_->active_segment_first_lsn();
+  p.heals = heals_count_;
+  p.failstops = 0;
+  p.last_failure = last_failure_;
+  const std::size_t segments =
+      scan_segments ? wal_segments(dir_).size() : 0;
+  std::lock_guard<std::mutex> lock(probe_mutex_);
+  p.wal_segments =
+      scan_segments ? segments : probe_snapshot_.wal_segments;
+  probe_snapshot_ = std::move(p);
+}
+
+obs::DurabilityProbe DurableStream::probe() const {
+  std::lock_guard<std::mutex> lock(probe_mutex_);
+  return probe_snapshot_;
 }
 
 IoEnv DurableStream::io_env() const {
@@ -277,6 +307,8 @@ void DurableStream::note_io_fault(const IoError& error) {
 
 void DurableStream::enter_degraded(const IoError& error) {
   if (state_ != DurabilityState::kDurable) return;
+  last_failure_ = std::string(error.op()) + " on '" + error.path() +
+                  "': " + error.what();
   // Freeze the failed-fsync window: rating frames appended since the last
   // successful barrier stay suspect (their pages may have been dropped)
   // until a heal checkpoint rewrites the state through an independent path.
@@ -414,6 +446,7 @@ bool DurableStream::try_heal() {
   if (!probe_environment()) {
     set_state(DurabilityState::kDegraded,
               "heal probe rejected by the environment");
+    refresh_probe(/*scan_segments=*/false);
     return false;
   }
   std::uint64_t replayed_ratings = 0;
@@ -454,10 +487,12 @@ bool DurableStream::try_heal() {
     // handle that failed one (the failed-fsync trap).
     write_checkpoint_locked();
     suspect_ratings_ = 0;
+    ++heals_count_;
     if (heals_total_ != nullptr) heals_total_->add();
     set_state(DurabilityState::kDurable,
               "backlog replayed; checkpoint " +
                   std::to_string(last_checkpoint_lsn_) + " re-established");
+    refresh_probe(/*scan_segments=*/true);
     return true;
   } catch (const IoError& e) {
     // Ratings replayed into the log during this failed heal are not yet
@@ -466,6 +501,7 @@ bool DurableStream::try_heal() {
     note_io_fault(e);
     set_state(DurabilityState::kDegraded,
               std::string("heal failed: ") + e.what());
+    refresh_probe(/*scan_segments=*/false);
     return false;
   }
 }
@@ -552,12 +588,14 @@ IngestClass DurableStream::submit(const Rating& rating) {
     enqueue_backlog(record);
     if (marker.has_value()) enqueue_backlog(*marker);
     maybe_probe_heal();
+    refresh_probe(/*scan_segments=*/false);
     return klass;
   }
 
   if (try_wal_append(record) == AppendResult::kFailed) {
     enqueue_backlog(record);
     if (marker.has_value()) enqueue_backlog(*marker);
+    refresh_probe(/*scan_segments=*/false);
     return klass;
   }
   if (marker.has_value()) {
@@ -574,6 +612,7 @@ IngestClass DurableStream::submit(const Rating& rating) {
       try_wal_sync();
     }
   }
+  refresh_probe(/*scan_segments=*/false);
   return klass;
 }
 
@@ -588,16 +627,19 @@ std::size_t DurableStream::flush() {
   if (state_ != DurabilityState::kDurable) {
     enqueue_backlog(record);
     maybe_probe_heal();
+    refresh_probe(/*scan_segments=*/false);
     return processed;
   }
   if (try_wal_append(record) == AppendResult::kFailed) {
     enqueue_backlog(record);
+    refresh_probe(/*scan_segments=*/false);
     return processed;
   }
   if (state_ == DurabilityState::kDurable &&
       options_.fsync == FsyncPolicy::kEpoch) {
     try_wal_sync();
   }
+  refresh_probe(/*scan_segments=*/false);
   return processed;
 }
 
@@ -626,12 +668,16 @@ std::uint64_t DurableStream::checkpoint() {
     } else {
       enter_degraded(e);
     }
-    if (!healed_inline) return last_checkpoint_lsn_;
+    if (!healed_inline) {
+      refresh_probe(/*scan_segments=*/true);
+      return last_checkpoint_lsn_;
+    }
   }
   if (checkpoint_write_seconds_ != nullptr) {
     checkpoint_write_seconds_->observe(
         static_cast<double>(obs::monotonic_ns() - t0) * 1e-9);
   }
+  refresh_probe(/*scan_segments=*/true);
   return last_checkpoint_lsn_;
 }
 

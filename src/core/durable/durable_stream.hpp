@@ -58,10 +58,12 @@
 #include <cstdint>
 #include <deque>
 #include <filesystem>
+#include <mutex>
 #include <optional>
 
 #include "core/durable/wal.hpp"
 #include "core/streaming.hpp"
+#include "obs/introspect.hpp"
 
 namespace trustrate::core::durable {
 
@@ -186,6 +188,14 @@ class DurableStream {
   /// Checkpoint file name for a given LSN (exposed for tests/tools).
   static std::string checkpoint_name(std::uint64_t lsn);
 
+  /// Snapshot of the durability surface for the introspection endpoints
+  /// (/healthz, /status). Safe to call from a server thread while the
+  /// owner thread submits: returns a mutex-guarded copy refreshed on the
+  /// owner thread at the end of every submit/flush/checkpoint/heal. All
+  /// "ages" are record counts, not wall clock — deterministic and
+  /// scrape-order independent.
+  obs::DurabilityProbe probe() const;
+
  private:
   /// What one try_wal_append attempt did (see WalWriter::append's fault
   /// contract): logged and durable per policy; logged but unsynced (the
@@ -216,6 +226,10 @@ class DurableStream {
   /// IoError when the environment rejects it.
   void write_checkpoint_locked();
   void set_state(DurabilityState next, const std::string& detail);
+  /// Rebuilds probe_snapshot_ from owner-thread state. `scan_segments`
+  /// re-counts WAL segment files on disk (a directory scan — done only at
+  /// recovery/checkpoint/heal boundaries, not per submit).
+  void refresh_probe(bool scan_segments);
 
   std::filesystem::path dir_;
   DurableOptions options_;
@@ -236,6 +250,13 @@ class DurableStream {
   std::uint64_t suspect_ratings_ = 0;
   std::size_t degraded_submits_ = 0;  ///< since the last auto heal probe
   std::uint64_t last_checkpoint_lsn_ = 0;
+  std::uint64_t heals_count_ = 0;  ///< successful heals (for the probe)
+  std::string last_failure_;       ///< newest degradation detail (for the probe)
+
+  /// Introspection snapshot (see probe()). Guarded by probe_mutex_; written
+  /// only on the owner thread via refresh_probe().
+  mutable std::mutex probe_mutex_;
+  obs::DurabilityProbe probe_snapshot_;
 
   obs::Counter* checkpoints_written_ = nullptr;
   obs::Histogram* checkpoint_write_seconds_ = nullptr;

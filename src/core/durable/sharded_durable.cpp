@@ -79,6 +79,46 @@ ShardedDurableStream::ShardedDurableStream(const std::filesystem::path& dir,
       retention_epochs_(retention_epochs),
       ingest_(ingest) {
   recover(config_, epoch_days_, retention_epochs_, ingest_);
+  refresh_probe(/*scan_segments=*/true);
+}
+
+void ShardedDurableStream::refresh_probe(bool scan_segments) {
+  obs::DurabilityProbe p;
+  p.present = true;
+  // No degradation ladder here: an environmental I/O error throws instead
+  // (see the file header). Engine health lives in the pipeline probe.
+  p.state = "durable";
+  p.acknowledged = acknowledged();
+  p.durable_acknowledged = p.acknowledged;
+  p.backlog_records = 0;
+  p.last_checkpoint = last_checkpoint_seq_;
+  p.records_since_checkpoint =
+      p.acknowledged >= last_checkpoint_seq_
+          ? p.acknowledged - last_checkpoint_seq_
+          : 0;
+  for (const auto& writer : writers_) {
+    if (writer == nullptr) continue;
+    p.wal_records += writer->next_lsn();
+    p.active_segment_records +=
+        writer->next_lsn() - writer->active_segment_first_lsn();
+  }
+  p.heals = supervision_.heals;
+  p.failstops = supervision_.failstops;
+  p.last_failure = supervision_.last_failure;
+  std::size_t segments = 0;
+  if (scan_segments) {
+    for (std::size_t k = 0; k < writers_.size(); ++k) {
+      segments += wal_segments(shard_dir(dir_, k)).size();
+    }
+  }
+  std::lock_guard<std::mutex> lock(probe_mutex_);
+  p.wal_segments = scan_segments ? segments : probe_snapshot_.wal_segments;
+  probe_snapshot_ = std::move(p);
+}
+
+obs::DurabilityProbe ShardedDurableStream::probe() const {
+  std::lock_guard<std::mutex> lock(probe_mutex_);
+  return probe_snapshot_;
 }
 
 WalOptions ShardedDurableStream::wal_options() const {
@@ -320,6 +360,7 @@ IngestClass ShardedDurableStream::submit(const Rating& rating) {
   record.seq = seq;
   writers_[k]->append(record);
   if (options_.fsync == FsyncPolicy::kAlways) writers_[k]->sync();
+  refresh_probe(/*scan_segments=*/false);
   return result;
 }
 
@@ -343,6 +384,7 @@ std::size_t ShardedDurableStream::flush() {
   record.epochs_closed = system_->epochs_closed();
   writers_[0]->append(record);
   if (options_.fsync != FsyncPolicy::kNone) sync_all();
+  refresh_probe(/*scan_segments=*/false);
   return products;
 }
 
@@ -381,6 +423,7 @@ void ShardedDurableStream::heal(const ShardFailure& failure) {
                std::to_string(recovery_.checkpoint_seq);
     options_.obs.audit->record(e);
   }
+  refresh_probe(/*scan_segments=*/true);
 }
 
 void ShardedDurableStream::record_failstop(const ShardFailure& failure) {
@@ -400,6 +443,7 @@ void ShardedDurableStream::record_failstop(const ShardFailure& failure) {
                failure.what() + " — " + failure.diagnostic();
     options_.obs.audit->record(e);
   }
+  refresh_probe(/*scan_segments=*/false);
 }
 
 void ShardedDurableStream::sync_all() {
@@ -437,6 +481,7 @@ std::uint64_t ShardedDurableStream::checkpoint() {
     }
   }
   prune();
+  refresh_probe(/*scan_segments=*/true);
   return last_checkpoint_seq_;
 }
 

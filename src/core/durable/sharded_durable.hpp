@@ -40,10 +40,12 @@
 #include <filesystem>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/durable/wal.hpp"
 #include "core/shard/sharded_system.hpp"
+#include "obs/introspect.hpp"
 
 namespace trustrate::core::durable {
 
@@ -136,6 +138,14 @@ class ShardedDurableStream {
   /// system() do not survive a heal — re-attach before the next submit.
   bool try_heal();
 
+  /// Snapshot of the durability surface for the introspection endpoints
+  /// (/healthz, /status): checkpoint cursor, WAL record/segment totals
+  /// summed across shards, supervised-restart counters. Safe to call from
+  /// a server thread while the owner thread submits — returns a
+  /// mutex-guarded copy refreshed on the owner thread at the end of every
+  /// submit/flush/checkpoint/heal. Ages are record counts, not wall clock.
+  obs::DurabilityProbe probe() const;
+
   /// Shard k's WAL directory under `dir` (exposed for tests/tools).
   static std::filesystem::path shard_dir(const std::filesystem::path& dir,
                                          std::size_t k);
@@ -156,6 +166,10 @@ class ShardedDurableStream {
   void write_checkpoint_file();
   void prune();
   WalOptions wal_options() const;
+  /// Rebuilds probe_snapshot_ from owner-thread state. `scan_segments`
+  /// re-counts segment files across every shard directory (done only at
+  /// recovery/checkpoint/heal boundaries, not per submit).
+  void refresh_probe(bool scan_segments);
 
   std::filesystem::path dir_;
   shard::ShardOptions shard_options_;
@@ -175,6 +189,11 @@ class ShardedDurableStream {
   /// cursor (unknown for checkpoints inherited from a previous process —
   /// those prune nothing until newer checkpoints displace them).
   std::map<std::uint64_t, std::vector<std::uint64_t>> checkpoint_wal_lsns_;
+
+  /// Introspection snapshot (see probe()). Guarded by probe_mutex_; written
+  /// only on the owner thread via refresh_probe().
+  mutable std::mutex probe_mutex_;
+  obs::DurabilityProbe probe_snapshot_;
 };
 
 }  // namespace trustrate::core::durable

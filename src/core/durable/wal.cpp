@@ -304,13 +304,21 @@ std::string WalWriter::segment_name(std::uint64_t lsn) {
 
 WalWriter::WalWriter(const std::filesystem::path& dir, std::uint64_t next_lsn,
                      const WalOptions& options)
-    : dir_(dir), options_(options), next_lsn_(next_lsn) {
+    : dir_(dir),
+      options_(options),
+      next_lsn_(next_lsn),
+      active_first_lsn_(next_lsn) {
   resolve_instruments();
 }
 
 WalWriter::WalWriter(const std::filesystem::path& dir,
                      const WalRecovered& recovered, const WalOptions& options)
-    : dir_(dir), options_(options), next_lsn_(recovered.next_lsn) {
+    : dir_(dir),
+      options_(options),
+      next_lsn_(recovered.next_lsn),
+      active_first_lsn_(recovered.active_segment.empty()
+                            ? recovered.next_lsn
+                            : recovered.active_segment_first_lsn) {
   resolve_instruments();
   if (!recovered.active_segment.empty()) {
     open_segment(recovered.active_segment);
@@ -380,6 +388,7 @@ void WalWriter::rotate() {
     if (segments_rotated_ != nullptr) segments_rotated_->add();
   }
   segment_.reset();
+  active_first_lsn_ = next_lsn_;
   open_segment(dir_ / segment_name(next_lsn_));
 }
 
@@ -454,6 +463,7 @@ void WalWriter::repair() {
   std::error_code ec;
   fs::remove(fresh, ec);
   wounded_ = false;
+  active_first_lsn_ = next_lsn_;
   try {
     open_segment(fresh);
   } catch (const IoError&) {

@@ -173,6 +173,12 @@ class WalWriter {
   void repair();
 
   std::uint64_t next_lsn() const { return next_lsn_; }
+
+  /// First LSN of the active segment — next_lsn() minus this is how many
+  /// records the segment holds, the "segment age" the introspection
+  /// /status endpoint reports (clock-free, deterministic).
+  std::uint64_t active_segment_first_lsn() const { return active_first_lsn_; }
+
   const WalOptions& options() const { return options_; }
 
   /// Segment file name for the record sequence starting at `lsn`.
@@ -189,6 +195,7 @@ class WalWriter {
   std::filesystem::path dir_;
   WalOptions options_;
   std::uint64_t next_lsn_ = 0;
+  std::uint64_t active_first_lsn_ = 0;
   std::unique_ptr<DurableFile> segment_;
   /// Active-segment byte size at the last complete-frame boundary; repair()
   /// truncates a torn tail back to this.

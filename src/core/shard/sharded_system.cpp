@@ -106,6 +106,17 @@ IngestClass ShardedRatingSystem::submit(const Rating& rating) {
   throw_if_failed();
   released_.clear();
   const IngestClass result = ingest_.submit(rating, released_);
+  // Causal ID (ISSUE 10): the 1-based global submission ordinal of this
+  // call. Every rating this call releases into routing is stamped with it,
+  // so its path — classify → shard ring → epoch close → merge — can be
+  // reconstructed from the trace sink. Zero cost with a null sink.
+  current_causal_ = static_cast<std::uint64_t>(ingest_.stats().submitted);
+  if (obs_.trace != nullptr) {
+    obs::SpanTimer span(obs_.trace, "ingest.classify", 0,
+                        static_cast<std::int64_t>(rating.product));
+    span.set_causal(current_causal_);
+    span.set_detail(std::string("verdict=") + to_string(result));
+  }
   if (ingest_submitted_ != nullptr) {
     ingest_submitted_->add();
     switch (result) {
@@ -131,6 +142,7 @@ IngestClass ShardedRatingSystem::submit(const Rating& rating) {
   }
   for (const Rating& r : released_) route(r);
   if (threads_running_) flush_staged();
+  current_causal_ = 0;
   update_gauges();
   return result;
 }
@@ -157,14 +169,22 @@ void ShardedRatingSystem::route(const Rating& rating) {
 
   const std::size_t k = shard_index(rating.product);
   Shard& shard = *shards_[k];
-  if (shard.routed_metric != nullptr) shard.routed_metric->add();
+  if (shard.routed_metric != nullptr) {
+    shard.routed_metric->add();
+    shard.routed_labeled_->add();
+  }
   if (threads_running_) {
     ShardEvent e;
     e.type = ShardEvent::Type::kRating;
     e.rating = rating;
+    e.causal = current_causal_;
     stage_event(k, std::move(e));
   } else {
     shard.pending[rating.product].push_back(rating);
+    // Inline mode: the coordinator owns the cell's causal range directly
+    // (the worker owns it in threaded mode — never both).
+    if (shard.cell_causal_lo == 0) shard.cell_causal_lo = current_causal_;
+    shard.cell_causal_hi = current_causal_;
   }
   ++pending_count_;
 }
@@ -222,11 +242,19 @@ ShardedRatingSystem::ShardResult ShardedRatingSystem::analyze_cell(
   result.cell = cell;
   result.epoch_start = epoch_start;
   result.epoch_end = epoch_end;
+  result.causal_lo = shard.cell_causal_lo;
+  result.causal_hi = shard.cell_causal_hi;
+  shard.cell_causal_lo = 0;
+  shard.cell_causal_hi = 0;
   if (shard.pending.empty()) {
     // This shard saw nothing this cell — a shard-local gap. The close
     // still happens globally; only this shard's participation is skipped.
     ++shard.skipped_cells;
-    if (shard.skipped_metric != nullptr) shard.skipped_metric->add();
+    shard.skipped_cells_pub.fetch_add(1, std::memory_order_relaxed);
+    if (shard.skipped_metric != nullptr) {
+      shard.skipped_metric->add();
+      shard.skipped_labeled_->add();
+    }
     return result;
   }
 
@@ -246,16 +274,24 @@ ShardedRatingSystem::ShardResult ShardedRatingSystem::analyze_cell(
             });
 
   {
-    const obs::SpanTimer span(
+    obs::SpanTimer span(
         obs_.trace,
         shard.analyze_span_name.empty() ? "shard.analyze"
                                         : shard.analyze_span_name.c_str(),
         cell + 1);
+    if (result.causal_hi != 0) {
+      span.set_causal(result.causal_hi);
+      span.set_detail("causal=[" + std::to_string(result.causal_lo) + "," +
+                      std::to_string(result.causal_hi) + "]");
+    }
     const parallel::StageContext ctx{&config_, &shard.filter, &shard.detector,
                                      &obs_};
     result.reports = shard.engine->analyze(result.observations, ctx);
   }
-  if (shard.cells_metric != nullptr) shard.cells_metric->add();
+  if (shard.cells_metric != nullptr) {
+    shard.cells_metric->add();
+    shard.cells_labeled_->add();
+  }
 
   // Retention is shard-local state; the observations themselves travel to
   // the merger, so the retained window keeps a copy.
@@ -272,6 +308,25 @@ ShardedRatingSystem::ShardResult ShardedRatingSystem::analyze_cell(
 void ShardedRatingSystem::merge_cell(std::vector<ShardResult> results) {
   const double cell_start = results.front().epoch_start;
   const double cell_end = results.front().epoch_end;
+
+  // Merge span carries the cell's whole causal range (min/max of the
+  // shard slices), closing the ingest → ring → close → merge trace chain.
+  obs::SpanTimer merge_span(obs_.trace, "merge.cell",
+                            results.front().cell + 1);
+  if (obs_.trace != nullptr) {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    for (const ShardResult& r : results) {
+      if (r.causal_lo == 0) continue;
+      if (lo == 0 || r.causal_lo < lo) lo = r.causal_lo;
+      if (r.causal_hi > hi) hi = r.causal_hi;
+    }
+    if (hi != 0) {
+      merge_span.set_causal(hi);
+      merge_span.set_detail("causal=[" + std::to_string(lo) + "," +
+                            std::to_string(hi) + "]");
+    }
+  }
 
   std::vector<ProductObservation> observations;
   std::vector<ProductReport> reports;
@@ -335,14 +390,19 @@ std::size_t ShardedRatingSystem::flush() {
   throw_if_failed();
   released_.clear();
   ingest_.drain(released_);
+  // Drained ratings are admitted by this flush; their causal ID is the
+  // newest submission ordinal (the one whose flush released them).
+  current_causal_ = static_cast<std::uint64_t>(ingest_.stats().submitted);
   for (const Rating& r : released_) route(r);
   if (threads_running_) flush_staged();
   if (!anchored_ || pending_count_ == 0) {
+    current_causal_ = 0;
     quiesce();
     update_gauges();
     return 0;
   }
   issue_close(std::max(last_time_ + 1e-9, epoch_start_ + epoch_days_));
+  current_causal_ = 0;
   quiesce();
   update_gauges();
   return last_close_products_;
@@ -355,6 +415,9 @@ void ShardedRatingSystem::add_dead_letter(Shard& shard,
   while (shard.quarantine.size() > ingest_.config().max_quarantine) {
     shard.quarantine.pop_front();
   }
+  // Occupancy mirror for probe(): the owner thread is the only writer.
+  shard.quarantine_size.store(shard.quarantine.size(),
+                              std::memory_order_relaxed);
 }
 
 // ------------------------------------------------------------- threading
@@ -439,6 +502,12 @@ void ShardedRatingSystem::shard_worker(std::size_t k) {
         switch (event.type) {
           case ShardEvent::Type::kRating:
             shard.pending[event.rating.product].push_back(event.rating);
+            // Worker-owned causal range for the cell in progress; the
+            // coordinator never touches these fields in threaded mode.
+            if (shard.cell_causal_lo == 0) shard.cell_causal_lo = event.causal;
+            if (event.causal > shard.cell_causal_hi) {
+              shard.cell_causal_hi = event.causal;
+            }
             break;
           case ShardEvent::Type::kQuarantine:
             add_dead_letter(shard, std::move(event.dead), event.seq);
@@ -692,21 +761,22 @@ void ShardedRatingSystem::supervised_tick() const {
         shard.events_processed.load(std::memory_order_acquire);
     if (processed != shard.watch_processed) {
       shard.watch_processed = processed;
-      shard.stall_age = 0;
+      shard.stall_age.store(0, std::memory_order_relaxed);
     } else if (shard.events_pushed.load(std::memory_order_relaxed) >
                processed) {
       all_shards_idle = false;
-      if (++shard.stall_age >= budget) {
+      const std::uint64_t age =
+          shard.stall_age.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (age >= budget) {
         shard.abort_requested.store(true, std::memory_order_release);
         const_cast<ShardedRatingSystem*>(this)->fail_pipeline(
             ShardFailureKind::kStalled, k,
-            "no progress for " + std::to_string(shard.stall_age) +
-                " supervision ticks",
+            "no progress for " + std::to_string(age) + " supervision ticks",
             shard_diagnostic(k), nullptr);
         throw_if_failed();
       }
     } else {
-      shard.stall_age = 0;
+      shard.stall_age.store(0, std::memory_order_relaxed);
     }
   }
   // The merger only looks stalled while waiting on a stalled shard — so
@@ -714,12 +784,14 @@ void ShardedRatingSystem::supervised_tick() const {
   const std::uint64_t merged = cells_merged_.load(std::memory_order_acquire);
   if (merged != merge_watch_) {
     merge_watch_ = merged;
-    merge_stall_age_ = 0;
+    merge_stall_age_.store(0, std::memory_order_relaxed);
   } else if (all_shards_idle && merged < cells_issued_) {
-    if (++merge_stall_age_ >= budget) {
+    const std::uint64_t age =
+        merge_stall_age_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (age >= budget) {
       const_cast<ShardedRatingSystem*>(this)->fail_pipeline(
           ShardFailureKind::kStalled, shards_.size(),
-          "merge made no progress for " + std::to_string(merge_stall_age_) +
+          "merge made no progress for " + std::to_string(age) +
               " supervision ticks",
           "merge: cells " + std::to_string(cells_issued_) + " issued / " +
               std::to_string(merged) + " merged; every shard inbox drained",
@@ -727,7 +799,7 @@ void ShardedRatingSystem::supervised_tick() const {
       throw_if_failed();
     }
   } else {
-    merge_stall_age_ = 0;
+    merge_stall_age_.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -836,20 +908,40 @@ void ShardedRatingSystem::set_observability(const obs::Observability& o) {
     shard.filter.set_observability(o);
     shard.detector.set_observability(o);
     if (o.metrics != nullptr) {
+      // Naming-drift fix (ISSUE 10 satellite): the shard dimension moves
+      // out of the metric name and into a label —
+      // trustrate_shard_routed_total{shard="k"} is the conforming family.
+      // The old flat names (trustrate_shardK_*) stay emitted for one
+      // release behind the trustrate_deprecated_metric_names gauge.
       const std::string prefix = "trustrate_shard" + std::to_string(k);
+      const std::string label = "{shard=\"" + std::to_string(k) + "\"}";
       shard.analyze_span_name = "shard" + std::to_string(k) + ".analyze";
       shard.routed_metric = &o.metrics->counter(
-          prefix + "_routed_total", "Ratings routed to this shard");
+          prefix + "_routed_total",
+          "DEPRECATED flat name; use trustrate_shard_routed_total");
       shard.cells_metric = &o.metrics->counter(
-          prefix + "_cells_total", "Epoch cells this shard analyzed");
+          prefix + "_cells_total",
+          "DEPRECATED flat name; use trustrate_shard_cells_total");
       shard.skipped_metric = &o.metrics->counter(
           prefix + "_skipped_cells_total",
+          "DEPRECATED flat name; use trustrate_shard_skipped_cells_total");
+      shard.routed_labeled_ =
+          &o.metrics->counter("trustrate_shard_routed_total" + label,
+                              "Ratings routed to this shard");
+      shard.cells_labeled_ =
+          &o.metrics->counter("trustrate_shard_cells_total" + label,
+                              "Epoch cells this shard analyzed");
+      shard.skipped_labeled_ = &o.metrics->counter(
+          "trustrate_shard_skipped_cells_total" + label,
           "Epoch cells closed with no pending data on this shard");
     } else {
       shard.analyze_span_name.clear();
       shard.routed_metric = nullptr;
       shard.cells_metric = nullptr;
       shard.skipped_metric = nullptr;
+      shard.routed_labeled_ = nullptr;
+      shard.cells_labeled_ = nullptr;
+      shard.skipped_labeled_ = nullptr;
     }
   }
   if (o.metrics != nullptr) {
@@ -890,6 +982,14 @@ void ShardedRatingSystem::set_observability(const obs::Observability& o) {
     buffered_gauge_ = &m.gauge(
         "trustrate_buffered_ratings",
         "Accepted ratings still held by the reordering buffer");
+    // Deprecation gate (ISSUE 10 satellite): counts the old flat-name
+    // series (trustrate_shardK_{routed,cells,skipped_cells}_total) still
+    // emitted alongside their labeled replacements. Dashboards alert on
+    // this being nonzero; the flat names disappear next release.
+    m.gauge("trustrate_deprecated_metric_names",
+            "Metric series emitted under deprecated names (removed next "
+            "release)")
+        .set(static_cast<double>(shards_.size() * 3));
     update_gauges();
   } else {
     ingest_submitted_ = nullptr;
@@ -910,9 +1010,96 @@ void ShardedRatingSystem::set_observability(const obs::Observability& o) {
 }
 
 void ShardedRatingSystem::update_gauges() {
+  // Probe mirrors publish unconditionally (a handful of relaxed stores):
+  // the introspection server may attach mid-run without observability.
+  probe_pub_.submitted.store(
+      static_cast<std::uint64_t>(ingest_.stats().submitted),
+      std::memory_order_relaxed);
+  probe_pub_.pending.store(static_cast<std::uint64_t>(pending_count_),
+                           std::memory_order_relaxed);
+  probe_pub_.buffered.store(static_cast<std::uint64_t>(ingest_.buffered()),
+                            std::memory_order_relaxed);
+  probe_pub_.cells_issued.store(cells_issued_, std::memory_order_relaxed);
+  probe_pub_.skipped_empty.store(
+      static_cast<std::uint64_t>(skipped_empty_epochs_),
+      std::memory_order_relaxed);
+  probe_pub_.epoch_start.store(epoch_start_, std::memory_order_relaxed);
+  probe_pub_.last_time.store(last_time_, std::memory_order_relaxed);
+  probe_pub_.anchored.store(anchored_, std::memory_order_relaxed);
   if (pending_gauge_ == nullptr) return;
   pending_gauge_->set(static_cast<double>(pending_count_));
   buffered_gauge_->set(static_cast<double>(ingest_.buffered()));
+}
+
+obs::PipelineProbe ShardedRatingSystem::probe() const noexcept {
+  obs::PipelineProbe p;
+  p.threaded = options_.threaded;
+  p.stall_budget = options_.supervision.stall_ticks;
+  p.failed = pipeline_failed_.load(std::memory_order_acquire);
+  if (p.failed) {
+    // Post-latch the details are frozen; the lock is uncontended.
+    std::lock_guard lock(failure_mutex_);
+    p.failure_kind = to_string(failure_kind_);
+    p.failure_shard = failure_shard_;
+    p.failure_message = failure_message_;
+  }
+  p.submitted = probe_pub_.submitted.load(std::memory_order_relaxed);
+  p.pending = probe_pub_.pending.load(std::memory_order_relaxed);
+  p.buffered = probe_pub_.buffered.load(std::memory_order_relaxed);
+  p.anchored = probe_pub_.anchored.load(std::memory_order_relaxed);
+  p.epoch_start = probe_pub_.epoch_start.load(std::memory_order_relaxed);
+  p.last_time = probe_pub_.last_time.load(std::memory_order_relaxed);
+  p.cells_issued = probe_pub_.cells_issued.load(std::memory_order_relaxed);
+  p.cells_merged = cells_merged_.load(std::memory_order_acquire);
+  p.merge_lag =
+      p.cells_issued > p.cells_merged ? p.cells_issued - p.cells_merged : 0;
+  // A residual stall age with no outstanding cells is stale — the watchdog
+  // only resets it on its next tick, which may never come once the wait
+  // loop that was counting exits. No lag, no stall.
+  p.merge_stall_age =
+      p.merge_lag > 0 ? merge_stall_age_.load(std::memory_order_relaxed) : 0;
+  p.skipped_empty_epochs =
+      probe_pub_.skipped_empty.load(std::memory_order_relaxed);
+  p.shards.reserve(shards_.size());
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    const Shard& shard = *shards_[k];
+    obs::ShardProbe s;
+    s.index = k;
+    s.poisoned = shard.poisoned.load(std::memory_order_acquire);
+    s.abort_requested = shard.abort_requested.load(std::memory_order_acquire);
+    s.events_pushed = shard.events_pushed.load(std::memory_order_relaxed);
+    s.events_processed =
+        shard.events_processed.load(std::memory_order_acquire);
+    const std::uint64_t beat = shard.heartbeat.load(std::memory_order_relaxed);
+    s.heartbeat_age = beat > s.events_processed ? beat - s.events_processed : 0;
+    // Same staleness rule as merge_stall_age: an age left over from a wait
+    // loop that already got its progress means nothing once the inbox is
+    // drained.
+    s.stall_age = s.events_pushed > s.events_processed
+                      ? shard.stall_age.load(std::memory_order_relaxed)
+                      : 0;
+    s.inbox = {shard.inbox.size(), shard.inbox.high_water(),
+               shard.inbox.producer_stalls(), shard.inbox.capacity()};
+    s.outbox = {shard.outbox.size(), shard.outbox.high_water(),
+                shard.outbox.producer_stalls(), shard.outbox.capacity()};
+    s.quarantine_size = shard.quarantine_size.load(std::memory_order_relaxed);
+    s.skipped_cells = shard.skipped_cells_pub.load(std::memory_order_relaxed);
+    // Watchdog verdict (DESIGN.md §15 taxonomy): poisoned beats stalled
+    // beats slow; "slow" is a positive stall age still under budget.
+    if (s.poisoned) {
+      s.health = obs::ShardHealth::kPoisoned;
+    } else if (s.abort_requested ||
+               (p.failed && p.failure_kind == "stalled" &&
+                p.failure_shard == k)) {
+      s.health = obs::ShardHealth::kStalled;
+    } else if (s.stall_age > 0) {
+      s.health = obs::ShardHealth::kSlow;
+    } else {
+      s.health = obs::ShardHealth::kOk;
+    }
+    p.shards.push_back(std::move(s));
+  }
+  return p;
 }
 
 }  // namespace trustrate::core::shard

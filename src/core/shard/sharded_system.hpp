@@ -96,6 +96,7 @@
 #include "core/system.hpp"
 #include "detect/ar_detector.hpp"
 #include "detect/beta_filter.hpp"
+#include "obs/introspect.hpp"
 
 namespace trustrate::core {
 struct CheckpointAccess;  // checkpoint.cpp moves state in and out
@@ -256,6 +257,15 @@ class ShardedRatingSystem {
   /// nested in the message.
   std::optional<ShardFailure> failure() const;
 
+  /// Lock-free-ish introspection snapshot for the /healthz and /status
+  /// endpoints (ISSUE 10). Unlike every other query this does NOT quiesce
+  /// and never throws: it reads only relaxed/acquire atomics (plus the
+  /// failure mutex once a failure has latched, by then uncontended), so
+  /// the HTTP server thread may call it while another thread submits.
+  /// The snapshot is approximate — a scrape racing an ingest batch sees a
+  /// recent past, not a linearizable cut (DESIGN.md §16).
+  obs::PipelineProbe probe() const noexcept;
+
   /// Global state extraction (quiesces first): per-shard pending/retained
   /// merged, dead letters in global order, layout recorded.
   StreamSnapshot snapshot();
@@ -296,6 +306,10 @@ class ShardedRatingSystem {
     std::uint64_t seq = 0;    ///< kQuarantine: dead-letter ordinal; kClose: cell
     double epoch_start = 0.0;  ///< kClose
     double epoch_end = 0.0;    ///< kClose
+    /// kRating: causal ID — the global submission ordinal of the submit()
+    /// that admitted this rating into routing (its own ordinal for
+    /// in-order arrivals; the releasing submission's for reordered ones).
+    std::uint64_t causal = 0;
   };
 
   /// One shard's contribution to one epoch cell (threaded mode). The
@@ -308,6 +322,11 @@ class ShardedRatingSystem {
     double epoch_end = 0.0;
     std::vector<ProductObservation> observations;  ///< sorted by product
     std::vector<ProductReport> reports;            ///< aligned with above
+    /// Causal ID range of the ratings this cell analyzed on this shard
+    /// (0,0 when the cell saw none) — carried so merge spans can report
+    /// the whole cell's range.
+    std::uint64_t causal_lo = 0;
+    std::uint64_t causal_hi = 0;
   };
   static constexpr std::uint64_t kStopCell = ~std::uint64_t{0};
   static constexpr std::uint64_t kPoisonCell = ~std::uint64_t{0} - 1;
@@ -324,6 +343,17 @@ class ShardedRatingSystem {
     std::unordered_map<ProductId, Retained> retained;
     std::deque<DeadLetter> quarantine;
     std::size_t skipped_cells = 0;
+
+    /// Owner-thread causal-range accumulator for the cell in progress
+    /// (coordinator in inline mode, worker in threaded mode — never both).
+    std::uint64_t cell_causal_lo = 0;
+    std::uint64_t cell_causal_hi = 0;
+
+    /// Probe mirrors (ISSUE 10): relaxed atomics published by the owner
+    /// thread so the introspection server can read dead-letter occupancy
+    /// and skipped-cell counts without touching the deque/counter.
+    std::atomic<std::uint64_t> quarantine_size{0};
+    std::atomic<std::uint64_t> skipped_cells_pub{0};
 
     // Threaded mode.
     SpscQueue<ShardEvent> inbox;
@@ -344,16 +374,25 @@ class ShardedRatingSystem {
 
     // Watchdog state, coordinator-owned (mutated during const waits via
     // the unique_ptr indirection — the threading contract already pins
-    // quiesce/queries to the submit thread).
+    // quiesce/queries to the submit thread). stall_age is atomic only so
+    // probe() can read the watchdog's view from the server thread; the
+    // coordinator remains its single writer.
     std::uint64_t watch_processed = 0;  ///< last observed events_processed
-    std::uint64_t stall_age = 0;        ///< consecutive no-progress ticks
+    std::atomic<std::uint64_t> stall_age{0};  ///< consecutive no-progress ticks
     std::vector<ShardEvent> staged;     ///< coordinator batch for try_push_n
 
-    // Observability (resolved in set_observability; null when off).
+    // Observability (resolved in set_observability; null when off). Each
+    // per-shard counter has two series for one release: the labeled
+    // family ("trustrate_shard_routed_total{shard=\"k\"}", the
+    // convention-conforming form) and the deprecated flat name
+    // ("trustrate_shardK_routed_total") — see the deprecation gauge.
     std::string analyze_span_name;  ///< stable storage for SpanTimer
     obs::Counter* routed_metric = nullptr;
     obs::Counter* cells_metric = nullptr;
     obs::Counter* skipped_metric = nullptr;
+    obs::Counter* routed_labeled_ = nullptr;
+    obs::Counter* cells_labeled_ = nullptr;
+    obs::Counter* skipped_labeled_ = nullptr;
 
     Shard(const SystemConfig& config, std::size_t workers,
           std::size_t queue_capacity);
@@ -437,6 +476,26 @@ class ShardedRatingSystem {
   std::thread merge_thread_;
   bool threads_running_ = false;
 
+  /// Causal ID of the submit() currently routing (0 outside submit/flush);
+  /// coordinator-owned, stamped onto every kRating event it stages.
+  std::uint64_t current_causal_ = 0;
+
+  /// Probe mirrors (ISSUE 10): relaxed-atomic copies of coordinator-owned
+  /// cursor state, published at the end of each submit()/flush() so the
+  /// introspection server reads a TSan-clean recent past. Never read by
+  /// the pipeline itself.
+  struct ProbePub {
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> pending{0};
+    std::atomic<std::uint64_t> buffered{0};
+    std::atomic<std::uint64_t> cells_issued{0};
+    std::atomic<std::uint64_t> skipped_empty{0};
+    std::atomic<double> epoch_start{0.0};
+    std::atomic<double> last_time{0.0};
+    std::atomic<bool> anchored{false};
+  };
+  mutable ProbePub probe_pub_;
+
   // Supervision state. `pipeline_failed_` is the fast-path flag; the
   // details live behind the mutex (workers, the merge thread, and the
   // watchdog may race to fail first — the first latches).
@@ -449,9 +508,9 @@ class ShardedRatingSystem {
   std::string failure_diagnostic_;
   std::exception_ptr failure_error_;
   // Merge-thread watchdog counters (coordinator-owned, mutated during
-  // const waits).
+  // const waits; merge_stall_age_ is atomic only for probe() reads).
   mutable std::uint64_t merge_watch_ = 0;
-  mutable std::uint64_t merge_stall_age_ = 0;
+  mutable std::atomic<std::uint64_t> merge_stall_age_{0};
 
   obs::Observability obs_;
   obs::Counter* ingest_submitted_ = nullptr;

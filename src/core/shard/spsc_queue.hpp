@@ -85,10 +85,14 @@ class SpscQueue {
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
     if (head - cached_tail_ > mask_) {
       cached_tail_ = tail_.load(std::memory_order_acquire);
-      if (head - cached_tail_ > mask_) return false;
+      if (head - cached_tail_ > mask_) {
+        stalls_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
     }
     slots_[head & mask_] = std::move(value);
     head_.store(head + 1, std::memory_order_release);
+    note_occupancy(head + 1 - cached_tail_);
     return true;
   }
 
@@ -104,10 +108,15 @@ class SpscQueue {
       free = capacity() - static_cast<std::size_t>(head - cached_tail_);
     }
     const std::size_t count = std::min(n, free);
+    if (count == 0) {
+      stalls_.fetch_add(1, std::memory_order_relaxed);
+      return 0;
+    }
     for (std::size_t i = 0; i < count; ++i) {
       slots_[(head + i) & mask_] = std::move(items[i]);
     }
-    if (count != 0) head_.store(head + count, std::memory_order_release);
+    head_.store(head + count, std::memory_order_release);
+    note_occupancy(head + count - cached_tail_);
     return count;
   }
 
@@ -200,7 +209,35 @@ class SpscQueue {
 
   bool empty() const { return size() == 0; }
 
+  // -- Backpressure telemetry (ISSUE 10). Relaxed atomics, written only by
+  // the producer, readable from ANY thread (the introspection server
+  // scrapes them mid-run) without perturbing semantics: the on-vs-off
+  // digest oracle in tests/introspection_test.cpp pins that pushing with a
+  // scraper attached changes nothing the pipeline computes.
+
+  /// Max occupancy the producer has observed just after a push. Computed
+  /// against its cached view of the consumer cursor, so it is an upper
+  /// bound on true occupancy at that instant — an honest high-water mark
+  /// for "how full did this ring get", not an exact trajectory.
+  std::uint64_t high_water() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+
+  /// Failed push attempts against a FULL ring (closed refusals excluded).
+  /// Each spin iteration of a blocked producer counts, so the number reads
+  /// as backpressure *pressure*, not distinct episodes.
+  std::uint64_t producer_stalls() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// Producer-only high-water update: single writer, relaxed is enough.
+  void note_occupancy(std::uint64_t occupancy) {
+    if (occupancy > high_water_.load(std::memory_order_relaxed)) {
+      high_water_.store(occupancy, std::memory_order_relaxed);
+    }
+  }
+
   static constexpr std::size_t kSpinLimit = 64;
   /// Destructive-interference distance, fixed at 64 bytes (every target we
   /// build for) rather than std::hardware_destructive_interference_size,
@@ -211,7 +248,11 @@ class SpscQueue {
   std::size_t mask_ = 0;
 
   alignas(kLine) std::atomic<std::uint64_t> head_{0};  ///< producer-owned
-  alignas(kLine) std::uint64_t cached_tail_ = 0;       ///< producer-local
+  /// cached_tail_ shares the producer-local line with the telemetry cells:
+  /// all three are written by the producer only, so co-residency is free.
+  alignas(kLine) std::uint64_t cached_tail_ = 0;
+  std::atomic<std::uint64_t> high_water_{0};
+  std::atomic<std::uint64_t> stalls_{0};
   alignas(kLine) std::atomic<std::uint64_t> tail_{0};  ///< consumer-owned
   alignas(kLine) std::uint64_t cached_head_ = 0;       ///< consumer-local
   /// Written at most once per lifecycle; read in every blocking loop. Own

@@ -1,0 +1,213 @@
+#include "obs/http.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <exception>
+#include <utility>
+
+namespace trustrate::obs {
+namespace {
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+std::string render_response(const HttpResponse& r) {
+  std::string out;
+  out.reserve(r.body.size() + 128);
+  out += "HTTP/1.1 ";
+  out += std::to_string(r.status);
+  out += ' ';
+  out += reason_phrase(r.status);
+  out += "\r\nContent-Type: ";
+  out += r.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(r.body.size());
+  out += "\r\nConnection: close\r\n";
+  if (r.status == 405) out += "Allow: GET\r\n";
+  out += "\r\n";
+  out += r.body;
+  return out;
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // client went away; nothing useful to do
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads until the end of the request head (CRLFCRLF) or the byte cap.
+/// Returns false on timeout/disconnect/overflow.
+bool read_request_head(int fd, std::size_t cap, std::string& head) {
+  char buf[1024];
+  while (head.size() < cap) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // timeout or error
+    }
+    if (n == 0) return false;  // peer closed before a full request line
+    head.append(buf, static_cast<std::size_t>(n));
+    if (head.find("\r\n\r\n") != std::string::npos ||
+        head.find("\n\n") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;  // head overflow
+}
+
+/// Splits "GET /path HTTP/1.1" out of the request head. Returns false on
+/// anything that is not a parseable request line.
+bool parse_request_line(const std::string& head, std::string& method,
+                        std::string& path) {
+  const std::size_t eol = head.find_first_of("\r\n");
+  const std::string line = head.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos || sp1 == 0) return false;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos || sp2 == sp1 + 1) return false;
+  if (line.compare(sp2 + 1, 5, "HTTP/") != 0) return false;
+  method = line.substr(0, sp1);
+  path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  // Drop a query string: the endpoints take no parameters.
+  const std::size_t q = path.find('?');
+  if (q != std::string::npos) path.resize(q);
+  return !path.empty() && path.front() == '/';
+}
+
+}  // namespace
+
+ExpositionServer::ExpositionServer(HttpServerOptions options)
+    : options_(options) {}
+
+ExpositionServer::~ExpositionServer() { stop(); }
+
+void ExpositionServer::handle(std::string path, HttpHandler handler) {
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+bool ExpositionServer::start() {
+  if (running()) return true;
+  error_.clear();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    error_ = std::string("bind: ") + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, options_.backlog) < 0) {
+    error_ = std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    bound_port_ = ntohs(bound.sin_port);
+  }
+  listen_fd_ = fd;
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void ExpositionServer::stop() {
+  if (!thread_.joinable()) return;
+  stop_requested_.store(true, std::memory_order_release);
+  thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void ExpositionServer::serve_loop() {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;  // listening socket is gone; nothing left to serve
+    }
+    if (ready == 0) continue;  // timeout: re-check the stop flag
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+void ExpositionServer::serve_connection(int fd) {
+  timeval tv{};
+  tv.tv_sec = options_.recv_timeout_ms / 1000;
+  tv.tv_usec = (options_.recv_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+
+  std::string head;
+  HttpResponse response;
+  std::string method;
+  std::string path;
+  if (!read_request_head(fd, options_.max_request_bytes, head) ||
+      !parse_request_line(head, method, path)) {
+    response = {400, "text/plain; charset=utf-8", "bad request\n"};
+  } else if (method != "GET") {
+    response = {405, "text/plain; charset=utf-8", "method not allowed\n"};
+  } else {
+    const auto it = handlers_.find(path);
+    if (it == handlers_.end()) {
+      response = {404, "text/plain; charset=utf-8", "not found\n"};
+    } else {
+      try {
+        response = it->second();
+      } catch (const std::exception& e) {
+        response = {500, "text/plain; charset=utf-8",
+                    std::string("handler error: ") + e.what() + "\n"};
+      } catch (...) {
+        response = {500, "text/plain; charset=utf-8", "handler error\n"};
+      }
+    }
+  }
+  send_all(fd, render_response(response));
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace trustrate::obs

@@ -1,0 +1,107 @@
+// Dependency-free HTTP/1.1 exposition server (ISSUE 10 tentpole): the
+// read-side front door for /metrics, /healthz and /status. Deliberately
+// minimal — a blocking-accept loop on its own thread, one connection at a
+// time, GET-only — because the payloads are small snapshots and the
+// callers are scrapers, not browsers. The design goals, in order:
+//
+//   1. Zero effect on the pipeline. Handlers run on the server thread and
+//      may only touch thread-safe surfaces (MetricsRegistry snapshots,
+//      the probe() structs from obs/introspect.hpp). The on-vs-off digest
+//      oracle in tests/introspection_test.cpp pins this.
+//   2. Clean shutdown. The accept loop polls the listening socket with a
+//      short timeout and re-checks a stop flag, so stop() (or the
+//      destructor) always joins promptly — no half-closed-socket games.
+//   3. Bounded everything: request size, per-connection recv timeout,
+//      accept backlog. A malformed or hostile client gets a 4xx and a
+//      closed socket, never a wedged server.
+//
+// The server binds 127.0.0.1 only — this is an operator introspection
+// surface, not a public API. Port 0 requests an ephemeral port; read the
+// chosen one back with port().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+namespace trustrate::obs {
+
+/// What a handler returns. `status` must be a plain HTTP status code the
+/// server knows a reason phrase for (200/400/404/405/500).
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Endpoint callback, invoked on the server thread for each GET. Must be
+/// safe to call concurrently with the pipeline's write path. A throwing
+/// handler yields a 500 with the exception text.
+using HttpHandler = std::function<HttpResponse()>;
+
+struct HttpServerOptions {
+  /// TCP port; 0 picks an ephemeral port (read back via port()).
+  std::uint16_t port = 0;
+  /// listen(2) backlog; pending connections beyond it are kernel-refused.
+  int backlog = 16;
+  /// Request-head cap; anything longer is answered 400 and dropped.
+  std::size_t max_request_bytes = 8192;
+  /// Per-connection recv timeout in milliseconds (bounds slow-loris).
+  long recv_timeout_ms = 2000;
+};
+
+/// Blocking-accept exposition server. Lifecycle: construct, handle() the
+/// endpoints, start(), scrape, stop() (idempotent; the destructor calls
+/// it). start() after stop() restarts the listener — the tests exercise
+/// this explicitly. handle() must not be called while running.
+class ExpositionServer {
+ public:
+  explicit ExpositionServer(HttpServerOptions options = {});
+  ~ExpositionServer();
+
+  ExpositionServer(const ExpositionServer&) = delete;
+  ExpositionServer& operator=(const ExpositionServer&) = delete;
+
+  /// Registers `handler` for an exact-match GET `path` ("/metrics").
+  /// Re-registering a path replaces the handler.
+  void handle(std::string path, HttpHandler handler);
+
+  /// Opens the socket and spawns the accept thread. Returns false (with
+  /// error() set) when the bind/listen fails — e.g. the port is taken.
+  bool start();
+
+  /// Stops accepting, joins the server thread. Safe to call twice.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Bound port after a successful start() (resolves port 0 requests).
+  std::uint16_t port() const { return bound_port_; }
+
+  /// Human-readable reason for the last start() failure.
+  const std::string& error() const { return error_; }
+
+  /// Total requests answered (any status) since construction.
+  std::uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  void serve_connection(int fd);
+
+  HttpServerOptions options_;
+  std::map<std::string, HttpHandler> handlers_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::string error_;
+};
+
+}  // namespace trustrate::obs

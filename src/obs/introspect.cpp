@@ -1,0 +1,249 @@
+#include "obs/introspect.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "obs/http.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace trustrate::obs {
+namespace {
+
+/// Shortest round-trippable decimal, matching the metrics JSON emitter.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void append_kv(std::string& out, const char* key, std::uint64_t v) {
+  out += '"';
+  out += key;
+  out += "\":";
+  out += std::to_string(v);
+}
+
+void append_kv(std::string& out, const char* key, const std::string& v) {
+  out += '"';
+  out += key;
+  out += "\":\"";
+  out += json_escape(v);
+  out += '"';
+}
+
+void append_kv(std::string& out, const char* key, bool v) {
+  out += '"';
+  out += key;
+  out += "\":";
+  out += v ? "true" : "false";
+}
+
+void append_queue(std::string& out, const char* key, const QueueProbe& q) {
+  out += '"';
+  out += key;
+  out += "\":{";
+  append_kv(out, "depth", q.depth);
+  out += ',';
+  append_kv(out, "high_water", q.high_water);
+  out += ',';
+  append_kv(out, "stalls", q.stalls);
+  out += ',';
+  append_kv(out, "capacity", q.capacity);
+  out += '}';
+}
+
+bool all_shards_ok(const PipelineProbe& p) {
+  for (const ShardProbe& s : p.shards) {
+    if (s.health != ShardHealth::kOk) return false;
+  }
+  return true;
+}
+
+std::string overall_status(const PipelineProbe& p, const DurabilityProbe& d) {
+  if (p.failed || (d.present && d.state == "failed")) return "failed";
+  if (!all_shards_ok(p) || p.merge_stall_age > 0 ||
+      (d.present && d.state != "durable")) {
+    return "degraded";
+  }
+  return "ok";
+}
+
+void append_durability(std::string& out, const DurabilityProbe& d,
+                       bool with_ages) {
+  out += "\"durability\":{";
+  append_kv(out, "present", d.present);
+  if (d.present) {
+    out += ',';
+    append_kv(out, "state", d.state);
+    out += ',';
+    append_kv(out, "heals", d.heals);
+    out += ',';
+    append_kv(out, "failstops", d.failstops);
+    if (with_ages) {
+      out += ',';
+      append_kv(out, "acknowledged", d.acknowledged);
+      out += ',';
+      append_kv(out, "durable_acknowledged", d.durable_acknowledged);
+      out += ',';
+      append_kv(out, "backlog_records", d.backlog_records);
+      out += ',';
+      append_kv(out, "last_checkpoint", d.last_checkpoint);
+      out += ',';
+      append_kv(out, "records_since_checkpoint", d.records_since_checkpoint);
+      out += ',';
+      append_kv(out, "wal_records", d.wal_records);
+      out += ',';
+      append_kv(out, "wal_segments", d.wal_segments);
+      out += ',';
+      append_kv(out, "active_segment_records", d.active_segment_records);
+    }
+    if (!d.last_failure.empty()) {
+      out += ',';
+      append_kv(out, "last_failure", d.last_failure);
+    }
+  }
+  out += '}';
+}
+
+}  // namespace
+
+const char* to_string(ShardHealth h) {
+  switch (h) {
+    case ShardHealth::kOk:
+      return "ok";
+    case ShardHealth::kSlow:
+      return "slow";
+    case ShardHealth::kStalled:
+      return "stalled";
+    case ShardHealth::kPoisoned:
+      return "poisoned";
+  }
+  return "unknown";
+}
+
+std::string render_healthz(const PipelineProbe& p, const DurabilityProbe& d) {
+  std::string out;
+  out.reserve(256 + p.shards.size() * 128);
+  out += '{';
+  append_kv(out, "status", overall_status(p, d));
+  out += ",\"pipeline\":{";
+  append_kv(out, "mode", std::string(p.threaded ? "threaded" : "inline"));
+  out += ',';
+  append_kv(out, "failed", p.failed);
+  if (p.failed) {
+    out += ',';
+    append_kv(out, "failure_kind", p.failure_kind);
+    out += ',';
+    append_kv(out, "failure_shard", std::uint64_t{p.failure_shard});
+    out += ',';
+    append_kv(out, "failure_message", p.failure_message);
+  }
+  out += ',';
+  append_kv(out, "merge_lag", p.merge_lag);
+  out += ',';
+  append_kv(out, "merge_stall_age", p.merge_stall_age);
+  out += ',';
+  append_kv(out, "stall_budget", p.stall_budget);
+  out += ",\"shards\":[";
+  for (std::size_t k = 0; k < p.shards.size(); ++k) {
+    const ShardProbe& s = p.shards[k];
+    if (k != 0) out += ',';
+    out += '{';
+    append_kv(out, "shard", std::uint64_t{s.index});
+    out += ',';
+    append_kv(out, "state", std::string(to_string(s.health)));
+    out += ',';
+    append_kv(out, "heartbeat_age", s.heartbeat_age);
+    out += ',';
+    append_kv(out, "stall_age", s.stall_age);
+    out += '}';
+  }
+  out += "]},";
+  append_durability(out, d, /*with_ages=*/false);
+  out += "}\n";
+  return out;
+}
+
+std::string render_status(const PipelineProbe& p, const DurabilityProbe& d) {
+  std::string out;
+  out.reserve(512 + p.shards.size() * 256);
+  out += "{\"epoch\":{";
+  append_kv(out, "anchored", p.anchored);
+  out += ",\"epoch_start\":";
+  out += fmt_double(p.epoch_start);
+  out += ",\"last_time\":";
+  out += fmt_double(p.last_time);
+  out += ',';
+  append_kv(out, "cells_issued", p.cells_issued);
+  out += ',';
+  append_kv(out, "cells_merged", p.cells_merged);
+  out += ',';
+  append_kv(out, "merge_lag", p.merge_lag);
+  out += ',';
+  append_kv(out, "skipped_empty_epochs", p.skipped_empty_epochs);
+  out += "},\"ingest\":{";
+  append_kv(out, "submitted", p.submitted);
+  out += ',';
+  append_kv(out, "pending", p.pending);
+  out += ',';
+  append_kv(out, "buffered", p.buffered);
+  out += "},\"shards\":[";
+  for (std::size_t k = 0; k < p.shards.size(); ++k) {
+    const ShardProbe& s = p.shards[k];
+    if (k != 0) out += ',';
+    out += '{';
+    append_kv(out, "shard", std::uint64_t{s.index});
+    out += ',';
+    append_kv(out, "state", std::string(to_string(s.health)));
+    out += ',';
+    append_kv(out, "events_pushed", s.events_pushed);
+    out += ',';
+    append_kv(out, "events_processed", s.events_processed);
+    out += ',';
+    append_queue(out, "inbox", s.inbox);
+    out += ',';
+    append_queue(out, "outbox", s.outbox);
+    out += ',';
+    append_kv(out, "quarantine", s.quarantine_size);
+    out += ',';
+    append_kv(out, "skipped_cells", s.skipped_cells);
+    out += '}';
+  }
+  out += "],";
+  append_durability(out, d, /*with_ages=*/true);
+  out += "}\n";
+  return out;
+}
+
+void bind_introspection(ExpositionServer& server, MetricsRegistry* metrics,
+                        std::function<PipelineProbe()> pipeline,
+                        std::function<DurabilityProbe()> durability) {
+  if (metrics != nullptr) {
+    server.handle("/metrics", [metrics] {
+      HttpResponse r;
+      r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      r.body = metrics->prometheus();
+      return r;
+    });
+  }
+  server.handle("/healthz", [pipeline, durability] {
+    const PipelineProbe p = pipeline ? pipeline() : PipelineProbe{};
+    const DurabilityProbe d = durability ? durability() : DurabilityProbe{};
+    HttpResponse r;
+    r.content_type = "application/json";
+    r.body = render_healthz(p, d);
+    return r;
+  });
+  server.handle("/status", [pipeline = std::move(pipeline),
+                            durability = std::move(durability)] {
+    const PipelineProbe p = pipeline ? pipeline() : PipelineProbe{};
+    const DurabilityProbe d = durability ? durability() : DurabilityProbe{};
+    HttpResponse r;
+    r.content_type = "application/json";
+    r.body = render_status(p, d);
+    return r;
+  });
+}
+
+}  // namespace trustrate::obs

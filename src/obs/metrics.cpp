@@ -93,19 +93,37 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 std::string MetricsRegistry::prometheus() const {
   std::lock_guard lock(mutex_);
   std::string out;
+  // Labeled series ("name{shard=\"0\"}") share one metric family; HELP and
+  // TYPE headers are emitted once per family, not once per series. The
+  // sorted map keeps a family's series adjacent, so tracking the previous
+  // family name is enough. Unlabeled names are their own family and render
+  // exactly as before.
+  std::string last_family;
   for (const auto& [name, e] : entries_) {
-    if (!e.help.empty()) out += "# HELP " + name + ' ' + e.help + '\n';
+    const std::string family = name.substr(0, name.find('{'));
+    if (family != last_family) {
+      if (!e.help.empty()) out += "# HELP " + family + ' ' + e.help + '\n';
+      switch (e.kind) {
+        case Kind::kCounter:
+          out += "# TYPE " + family + " counter\n";
+          break;
+        case Kind::kGauge:
+          out += "# TYPE " + family + " gauge\n";
+          break;
+        case Kind::kHistogram:
+          out += "# TYPE " + family + " histogram\n";
+          break;
+      }
+      last_family = family;
+    }
     switch (e.kind) {
       case Kind::kCounter:
-        out += "# TYPE " + name + " counter\n";
         out += name + ' ' + std::to_string(e.counter->value()) + '\n';
         break;
       case Kind::kGauge:
-        out += "# TYPE " + name + " gauge\n";
         out += name + ' ' + format_number(e.gauge->value()) + '\n';
         break;
       case Kind::kHistogram: {
-        out += "# TYPE " + name + " histogram\n";
         const auto counts = e.histogram->bucket_counts();
         const auto& bounds = e.histogram->bounds();
         std::uint64_t cumulative = 0;
@@ -118,7 +136,11 @@ std::string MetricsRegistry::prometheus() const {
         out += name + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
                '\n';
         out += name + "_sum " + format_number(e.histogram->sum()) + '\n';
-        out += name + "_count " + std::to_string(e.histogram->count()) + '\n';
+        // _count must equal the +Inf cumulative bucket per the exposition
+        // format; deriving it from the same per-bucket loads (rather than
+        // the separate count_ cell) keeps a snapshot torn by a concurrent
+        // observe() internally consistent.
+        out += name + "_count " + std::to_string(cumulative) + '\n';
         break;
       }
     }

@@ -10,6 +10,7 @@ std::string to_jsonl(const TraceSpan& span) {
                     ",\"duration_ns\":" + std::to_string(span.duration_ns);
   if (span.epoch != 0) out += ",\"epoch\":" + std::to_string(span.epoch);
   if (span.id >= 0) out += ",\"id\":" + std::to_string(span.id);
+  if (span.causal != 0) out += ",\"causal\":" + std::to_string(span.causal);
   if (!span.detail.empty()) {
     out += ",\"detail\":\"" + json_escape(span.detail) + '"';
   }

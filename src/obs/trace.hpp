@@ -26,13 +26,18 @@ namespace trustrate::obs {
 
 /// One completed span. `epoch` is the 1-based pipeline epoch ordinal (0
 /// when the span is not tied to an epoch); `id` is a product/rater/record
-/// identifier when one applies (-1 otherwise).
+/// identifier when one applies (-1 otherwise). `causal` is the causal ID
+/// (ISSUE 10): the 1-based global submission ordinal of the newest rating
+/// this span covers, threaded from ingest classification through the
+/// shard ring, epoch close, and merge — 0 when the span carries none.
+/// Stage spans with a causal range put "causal=[lo,hi]" in `detail`.
 struct TraceSpan {
   std::string name;
   std::uint64_t start_ns = 0;  ///< steady-clock time at span start
   std::uint64_t duration_ns = 0;
   std::uint64_t epoch = 0;
   std::int64_t id = -1;
+  std::uint64_t causal = 0;
   std::string detail;  ///< free-form attribute ("fsync=epoch", "lsn=42", ...)
 };
 
@@ -108,6 +113,11 @@ class SpanTimer {
     if (sink_ != nullptr) detail_ = std::move(detail);
   }
 
+  /// Causal ID attached to the span at record time (no-op with null sink).
+  void set_causal(std::uint64_t causal) {
+    if (sink_ != nullptr) causal_ = causal;
+  }
+
   ~SpanTimer() {
     if (sink_ == nullptr) return;
     TraceSpan span;
@@ -116,6 +126,7 @@ class SpanTimer {
     span.duration_ns = monotonic_ns() - start_ns_;
     span.epoch = epoch_;
     span.id = id_;
+    span.causal = causal_;
     span.detail = std::move(detail_);
     sink_->record(span);
   }
@@ -125,6 +136,7 @@ class SpanTimer {
   const char* name_;
   std::uint64_t epoch_;
   std::int64_t id_;
+  std::uint64_t causal_ = 0;
   std::uint64_t start_ns_ = 0;
   std::string detail_;
 };
